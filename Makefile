@@ -1,0 +1,37 @@
+# Standard developer entry points; everything is stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz sessions over the wire codec and reconstitution.
+fuzz:
+	$(GO) test ./internal/temporal/ -fuzz FuzzUnmarshalElement -fuzztime 30s
+	$(GO) test ./internal/temporal/ -fuzz FuzzReconstitute -fuzztime 30s
+
+# Regenerate every paper figure/table at paper scale (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/lmbench
+
+clean:
+	$(GO) clean ./...

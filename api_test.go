@@ -1,0 +1,87 @@
+package lmerge
+
+import "testing"
+
+// TestFacadeQuickstart exercises the package-documentation example through
+// the public facade.
+func TestFacadeQuickstart(t *testing.T) {
+	out := NewTDB()
+	m := NewR3(func(e Element) {
+		if err := out.Apply(e); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	})
+	m.Attach(0)
+	m.Attach(1)
+	mustOK(t, m.Process(0, Insert(P(1), 10, 20)))
+	mustOK(t, m.Process(1, Insert(P(1), 10, 25))) // divergent copy
+	mustOK(t, m.Process(0, Stable(Infinity)))
+	if out.Stable() != Infinity {
+		t.Fatal("output did not complete")
+	}
+	if out.Len() != 1 {
+		t.Fatalf("output has %d events", out.Len())
+	}
+	// Stream 0 vouched for everything: its lifetime wins.
+	if out.Count(Event{Payload: P(1), Vs: 10, Ve: 20}) != 1 {
+		t.Fatalf("unexpected output %v", out)
+	}
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadePropertyDispatch routes through the property framework.
+func TestFacadePropertyDispatch(t *testing.T) {
+	p := MeetAll(
+		Properties{Order: StrictlyIncreasing, InsertOnly: true, KeyVsPayload: true, DeterministicTies: true},
+		Properties{Order: NonDecreasing, InsertOnly: true, KeyVsPayload: true, DeterministicTies: true},
+	)
+	if got := Choose(p); got != CaseR1 {
+		t.Fatalf("Choose = %v, want R1", got)
+	}
+	if NewMergerFor(p, nil).Case() != CaseR1 {
+		t.Fatal("NewMergerFor dispatched wrong case")
+	}
+	if New(CaseR4, nil).Case() != CaseR4 {
+		t.Fatal("New dispatched wrong case")
+	}
+}
+
+// TestFacadeOperatorFeedback exercises attach/detach and feedback through
+// the facade types.
+func TestFacadeOperatorFeedback(t *testing.T) {
+	var got []Feedback
+	op := NewOperator(NewR3(nil), WithFeedback(func(f Feedback) { got = append(got, f) }, 0))
+	a := op.Attach(MinTime)
+	b := op.Attach(MinTime)
+	mustOK(t, op.Process(a, Insert(P(7), 1, 5)))
+	mustOK(t, op.Process(a, Stable(10)))
+	if len(got) != 1 || got[0].Stream != b {
+		t.Fatalf("feedback = %v", got)
+	}
+	op.Detach(b)
+	if op.ActiveInputs() != 1 {
+		t.Fatal("detach failed")
+	}
+}
+
+// TestFacadeEquivalence uses the model helpers.
+func TestFacadeEquivalence(t *testing.T) {
+	a := Stream{Insert(P(1), 1, 5), Stable(Infinity)}
+	b := Stream{Insert(P(1), 1, 9), Adjust(P(1), 1, 9, 5), Stable(Infinity)}
+	if !Equivalent(a, b) {
+		t.Fatal("streams should be equivalent")
+	}
+	tdb, err := Reconstitute(b)
+	if err != nil || tdb.Len() != 1 {
+		t.Fatalf("reconstitute: %v %v", tdb, err)
+	}
+	if err := CheckCompatR3(tdb, []*TDB{tdb}); err != nil {
+		t.Fatalf("self-compatibility: %v", err)
+	}
+}

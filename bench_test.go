@@ -1,0 +1,174 @@
+package lmerge
+
+import (
+	"testing"
+
+	"lmerge/internal/bench"
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+// benchScale sizes the per-iteration experiment workloads. Each testing.B
+// iteration regenerates one full figure/table; use cmd/lmbench for
+// paper-scale runs with printed rows.
+var benchScale = bench.Scale{Events: 10000, PayloadBytes: 256}
+
+// One benchmark per evaluation figure/table (paper Sec. VI).
+
+func BenchmarkFig2MemoryInOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig2MemoryInOrder(benchScale)
+	}
+}
+
+func BenchmarkFig3ThroughputInOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig3ThroughputInOrder(benchScale)
+	}
+}
+
+func BenchmarkFig4OutputSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig4OutputSize(benchScale)
+	}
+}
+
+func BenchmarkFig5ThroughputLag(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig5ThroughputLag(benchScale)
+	}
+}
+
+func BenchmarkFig6StableFreq(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig6StableFreq(benchScale)
+	}
+}
+
+func BenchmarkFig7EnforceVsGeneral(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig7EnforceVsGeneral(benchScale)
+	}
+}
+
+func BenchmarkFig8Bursty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig8Bursty(benchScale)
+	}
+}
+
+func BenchmarkFig9Congestion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig9Congestion(benchScale)
+	}
+}
+
+func BenchmarkFig10PlanSwitch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig10PlanSwitch(benchScale)
+	}
+}
+
+func BenchmarkTableIVScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.TableIVScaling(benchScale)
+	}
+}
+
+// Per-element microbenchmarks: the raw cost of each merge algorithm on the
+// workloads its restriction case targets (complements Table IV).
+
+func benchStreams(b *testing.B, ordered bool) []temporal.Stream {
+	b.Helper()
+	if ordered {
+		sc := gen.NewScript(gen.Config{
+			Events: 20000, Seed: 77, UniqueVs: true, MaxGap: 8, PayloadBytes: 64,
+		})
+		return []temporal.Stream{
+			sc.RenderOrdered(gen.OrderedStrict, gen.RenderOptions{Seed: 1, StableFreq: 0.01}),
+			sc.RenderOrdered(gen.OrderedStrict, gen.RenderOptions{Seed: 2, StableFreq: 0.01}),
+			sc.RenderOrdered(gen.OrderedStrict, gen.RenderOptions{Seed: 3, StableFreq: 0.01}),
+		}
+	}
+	sc := gen.NewScript(gen.Config{
+		Events: 20000, Seed: 78, MaxGap: 8, EventDuration: 100,
+		Revisions: 0.4, RemoveProb: 0.15, PayloadBytes: 64,
+	})
+	return []temporal.Stream{
+		sc.Render(gen.RenderOptions{Seed: 1, Disorder: 0.2, StableFreq: 0.01}),
+		sc.Render(gen.RenderOptions{Seed: 2, Disorder: 0.2, StableFreq: 0.01}),
+		sc.Render(gen.RenderOptions{Seed: 3, Disorder: 0.2, StableFreq: 0.01}),
+	}
+}
+
+func benchMerger(b *testing.B, mk func(core.Emit) core.Merger, ordered bool) {
+	b.Helper()
+	streams := benchStreams(b, ordered)
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mk(func(temporal.Element) {})
+		for s := range streams {
+			m.Attach(s)
+		}
+		pos := make([]int, len(streams))
+		for {
+			advanced := false
+			for s := range streams {
+				if pos[s] < len(streams[s]) {
+					if err := m.Process(s, streams[s][pos[s]]); err != nil {
+						b.Fatal(err)
+					}
+					pos[s]++
+					advanced = true
+				}
+			}
+			if !advanced {
+				break
+			}
+		}
+	}
+	b.ReportMetric(float64(total), "elements/op")
+}
+
+func BenchmarkMergeR0(b *testing.B) {
+	benchMerger(b, func(e core.Emit) core.Merger { return core.NewR0(e) }, true)
+}
+
+func BenchmarkMergeR1(b *testing.B) {
+	benchMerger(b, func(e core.Emit) core.Merger { return core.NewR1(e) }, true)
+}
+
+func BenchmarkMergeR2(b *testing.B) {
+	benchMerger(b, func(e core.Emit) core.Merger { return core.NewR2(e) }, true)
+}
+
+func BenchmarkMergeR3(b *testing.B) {
+	benchMerger(b, func(e core.Emit) core.Merger { return core.NewR3(e) }, false)
+}
+
+func BenchmarkMergeR3Naive(b *testing.B) {
+	benchMerger(b, func(e core.Emit) core.Merger { return core.NewR3Naive(e) }, false)
+}
+
+func BenchmarkMergeR4(b *testing.B) {
+	benchMerger(b, func(e core.Emit) core.Merger { return core.NewR4(e) }, false)
+}
+
+// Ablation benchmarks (DESIGN.md §5).
+
+func BenchmarkAblationPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationPolicies(benchScale)
+	}
+}
+
+func BenchmarkAblationFeedbackLag(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationFeedbackLag(benchScale)
+	}
+}

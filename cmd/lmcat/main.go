@@ -1,0 +1,132 @@
+// Command lmcat performs a Logical Merge over stream files: each argument
+// is one physical stream (JSON lines, as produced by cmd/lmgen), delivered
+// round-robin into the selected LMerge algorithm; the merged stream is
+// written to stdout and statistics to stderr.
+//
+// Usage:
+//
+//	lmcat a.jsonl b.jsonl c.jsonl > merged.jsonl
+//	lmcat -case R4 -verify a.jsonl b.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lmerge/internal/core"
+	"lmerge/internal/props"
+	"lmerge/internal/temporal"
+)
+
+func main() {
+	caseName := flag.String("case", "auto", "merge algorithm: auto, R0, R1, R2, R3, R3-, R4 (auto measures the inputs and picks the cheapest safe case)")
+	verify := flag.Bool("verify", false, "reconstitute the output and every input; check logical equivalence")
+	quiet := flag.Bool("q", false, "suppress the merged stream on stdout (stats only)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: lmcat [-case R3] [-verify] stream.jsonl...")
+		os.Exit(2)
+	}
+
+	streams := make([]temporal.Stream, flag.NArg())
+	for i, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		streams[i], err = temporal.ReadStream(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+	}
+
+	if strings.EqualFold(*caseName, "auto") {
+		p := props.MeasureAll(streams...)
+		chosen := props.Choose(p)
+		fmt.Fprintf(os.Stderr, "lmcat: measured %v -> %v\n", p, chosen)
+		*caseName = chosen.String()
+	}
+
+	var out temporal.Stream
+	outTDB := temporal.NewTDB()
+	emit := func(e temporal.Element) {
+		out = append(out, e)
+		if err := outTDB.Apply(e); err != nil {
+			fatal(fmt.Errorf("merged output invalid: %w", err))
+		}
+	}
+	m, err := makeMerger(*caseName, emit)
+	if err != nil {
+		fatal(err)
+	}
+	for i := range streams {
+		m.Attach(i)
+	}
+	pos := make([]int, len(streams))
+	for {
+		advanced := false
+		for s := range streams {
+			if pos[s] < len(streams[s]) {
+				if err := m.Process(s, streams[s][pos[s]]); err != nil {
+					fatal(err)
+				}
+				pos[s]++
+				advanced = true
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+
+	if !*quiet {
+		if err := temporal.WriteStream(os.Stdout, out); err != nil {
+			fatal(err)
+		}
+	}
+	st := m.Stats()
+	fmt.Fprintf(os.Stderr, "lmcat: %s merged %d inputs: in=%d (i=%d a=%d s=%d) out=%d (i=%d a=%d s=%d) dropped=%d warnings=%d\n",
+		m.Case(), len(streams),
+		st.InElements(), st.InInserts, st.InAdjusts, st.InStables,
+		st.OutElements(), st.OutInserts, st.OutAdjusts, st.OutStables,
+		st.Dropped, st.ConsistencyWarnings)
+
+	if *verify {
+		for i, s := range streams {
+			in, err := temporal.Reconstitute(s)
+			if err != nil {
+				fatal(fmt.Errorf("input %d invalid: %w", i, err))
+			}
+			if !in.Equal(outTDB) {
+				fatal(fmt.Errorf("input %d TDB differs from merged output TDB", i))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "lmcat: verified — output ≡ all %d inputs (%d events)\n", len(streams), outTDB.Len())
+	}
+}
+
+func makeMerger(name string, emit core.Emit) (core.Merger, error) {
+	switch strings.ToUpper(name) {
+	case "R0":
+		return core.NewR0(emit), nil
+	case "R1":
+		return core.NewR1(emit), nil
+	case "R2":
+		return core.NewR2(emit), nil
+	case "R3", "R3+":
+		return core.NewR3(emit), nil
+	case "R3-":
+		return core.NewR3Naive(emit), nil
+	case "R4":
+		return core.NewR4(emit), nil
+	}
+	return nil, fmt.Errorf("unknown case %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lmcat: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command lmgen generates synthetic physical streams (the paper's test
+// workload, Sec. VI-B) as JSON lines on stdout. Several invocations with
+// the same -script-seed but different -render-seed values produce physically
+// divergent, mutually consistent presentations of the same logical stream —
+// exactly what cmd/lmcat merges.
+//
+// Usage:
+//
+//	lmgen -events 1000 -render-seed 1 > a.jsonl
+//	lmgen -events 1000 -render-seed 2 -disorder 0.4 > b.jsonl
+//	lmcat a.jsonl b.jsonl > merged.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+func main() {
+	events := flag.Int("events", 1000, "number of event histories")
+	scriptSeed := flag.Int64("script-seed", 1, "logical script seed (share across renderings)")
+	renderSeed := flag.Int64("render-seed", 1, "physical rendering seed (vary across renderings)")
+	disorder := flag.Float64("disorder", 0.2, "fraction of out-of-order elements")
+	stableFreq := flag.Float64("stablefreq", 0.01, "stable element probability per element")
+	revisions := flag.Float64("revisions", 0.4, "probability an event revises its end time")
+	removeProb := flag.Float64("removals", 0.15, "probability a revised event is cancelled")
+	payload := flag.Int("payload", 100, "payload string bytes")
+	split := flag.Bool("split", false, "render inserts as insert(∞) plus adjust")
+	ordered := flag.Bool("ordered", false, "emit the strictly-ordered insert-only rendering (R0 case)")
+	dups := flag.Float64("dups", 0, "probability of duplicate (Vs,Payload) histories (R4 case)")
+	flag.Parse()
+
+	cfg := gen.Config{
+		Events:       *events,
+		Seed:         *scriptSeed,
+		PayloadBytes: *payload,
+		Revisions:    *revisions,
+		RemoveProb:   *removeProb,
+		DupProb:      *dups,
+		UniqueVs:     *ordered,
+	}
+	if *ordered {
+		cfg.Revisions, cfg.RemoveProb, cfg.DupProb = 0, 0, 0
+	}
+	sc := gen.NewScript(cfg)
+	var s temporal.Stream
+	if *ordered {
+		s = sc.RenderOrdered(gen.OrderedStrict, gen.RenderOptions{Seed: *renderSeed, StableFreq: *stableFreq})
+	} else {
+		s = sc.Render(gen.RenderOptions{
+			Seed:         *renderSeed,
+			Disorder:     *disorder,
+			StableFreq:   *stableFreq,
+			SplitInserts: *split,
+		})
+	}
+	if err := temporal.WriteStream(os.Stdout, s); err != nil {
+		fmt.Fprintf(os.Stderr, "lmgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "lmgen: %d elements (%d inserts, %d adjusts, %d stables)\n",
+		len(s), s.Inserts(), s.Adjusts(), s.Stables())
+}

@@ -1,0 +1,171 @@
+// Command lmserved runs Logical Merge as a network service and provides the
+// matching publisher/subscriber client modes — the deployment shape of the
+// paper's high-availability application (replicas on different machines
+// feeding one LMerge at the consumer).
+//
+// Usage:
+//
+//	lmserved serve -addr 127.0.0.1:7171 -case R3
+//	lmgen -events 1000 -render-seed 1 | lmserved pub -addr 127.0.0.1:7171
+//	lmgen -events 1000 -render-seed 2 | lmserved pub -addr 127.0.0.1:7171
+//	lmserved sub -addr 127.0.0.1:7171 > merged.jsonl
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"lmerge/internal/core"
+	"lmerge/internal/server"
+	"lmerge/internal/temporal"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		serve(os.Args[2:])
+	case "pub":
+		publish(os.Args[2:])
+	case "sub":
+		subscribe(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: lmserved serve|pub|sub [flags]")
+	os.Exit(2)
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7171", "listen address")
+	caseName := fs.String("case", "R3", "merge algorithm: R0, R1, R2, R3, R4")
+	fs.Parse(args)
+
+	c, err := parseCase(*caseName)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := server.New(*addr, c)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "lmserved: merging (%s) on %s — ctrl-c to stop\n", c, s.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	st := s.Stats()
+	s.Close()
+	fmt.Fprintf(os.Stderr, "lmserved: done — in=%d out=%d dropped=%d warnings=%d\n",
+		st.InElements(), st.OutElements(), st.Dropped, st.ConsistencyWarnings)
+}
+
+func publish(args []string) {
+	fs := flag.NewFlagSet("pub", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7171", "server address")
+	join := fs.Int64("join", int64(temporal.MinTime), "join guarantee timestamp (default: complete stream)")
+	fs.Parse(args)
+
+	var in *os.File
+	switch fs.NArg() {
+	case 0:
+		in = os.Stdin
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	default:
+		fatal(fmt.Errorf("pub takes at most one input file"))
+	}
+	p, err := server.Connect(*addr, temporal.Time(*join))
+	if err != nil {
+		fatal(err)
+	}
+	defer p.Close()
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := 0
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		e, err := temporal.UnmarshalElement(sc.Bytes())
+		if err != nil {
+			fatal(err)
+		}
+		if err := p.Send(e); err != nil {
+			fatal(err)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "lmserved: published %d elements as stream %d\n", n, p.ID())
+}
+
+func subscribe(args []string) {
+	fs := flag.NewFlagSet("sub", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7171", "server address")
+	until := fs.Bool("until-complete", true, "exit once the merged stream reaches stable(∞)")
+	fs.Parse(args)
+
+	sub, err := server.Subscribe(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer sub.Close()
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for {
+		e, ok := sub.Next()
+		if !ok {
+			return
+		}
+		line, err := temporal.MarshalElement(e)
+		if err != nil {
+			fatal(err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+		if *until && e.Kind == temporal.KindStable && e.T() == temporal.Infinity {
+			return
+		}
+	}
+}
+
+func parseCase(name string) (core.Case, error) {
+	switch strings.ToUpper(name) {
+	case "R0":
+		return core.CaseR0, nil
+	case "R1":
+		return core.CaseR1, nil
+	case "R2":
+		return core.CaseR2, nil
+	case "R3", "R3+":
+		return core.CaseR3, nil
+	case "R4":
+		return core.CaseR4, nil
+	}
+	return 0, fmt.Errorf("unknown case %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lmserved: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+package lmerge_test
+
+import (
+	"fmt"
+
+	"lmerge"
+)
+
+// ExampleNewR3 merges two divergent presentations of one logical stream.
+func ExampleNewR3() {
+	out := lmerge.NewTDB()
+	m := lmerge.NewR3(func(e lmerge.Element) {
+		if err := out.Apply(e); err != nil {
+			panic(err)
+		}
+	})
+	m.Attach(0)
+	m.Attach(1)
+
+	// Replica 0 knows the event's final lifetime immediately; replica 1
+	// learns it through a revision.
+	m.Process(0, lmerge.Insert(lmerge.P(7), 10, 25))
+	m.Process(1, lmerge.Insert(lmerge.P(7), 10, lmerge.Infinity))
+	m.Process(1, lmerge.Adjust(lmerge.P(7), 10, lmerge.Infinity, 25))
+	m.Process(0, lmerge.Stable(lmerge.Infinity))
+
+	fmt.Println(out)
+	// Output:
+	// TDB(stable=∞){⟨7, [10, 25)⟩}
+}
+
+// ExampleChoose selects the cheapest merge algorithm from stream properties.
+func ExampleChoose() {
+	ordered := lmerge.Properties{
+		Order:             lmerge.StrictlyIncreasing,
+		InsertOnly:        true,
+		KeyVsPayload:      true,
+		DeterministicTies: true,
+	}
+	disordered := lmerge.Properties{KeyVsPayload: true}
+
+	fmt.Println(lmerge.Choose(ordered))
+	fmt.Println(lmerge.Choose(lmerge.MeetAll(ordered, disordered)))
+	// Output:
+	// R0
+	// R3
+}
+
+// ExampleReconstitute interprets a physical stream as its logical TDB.
+func ExampleReconstitute() {
+	s := lmerge.Stream{
+		lmerge.Insert(lmerge.P(1), 6, 20),
+		lmerge.Adjust(lmerge.P(1), 6, 20, 30),
+		lmerge.Adjust(lmerge.P(1), 6, 30, 25),
+		lmerge.Stable(lmerge.Infinity),
+	}
+	tdb, err := lmerge.Reconstitute(s)
+	if err != nil {
+		panic(err)
+	}
+	// The adjust chain collapses: equivalent to insert(1, 6, 25).
+	fmt.Println(lmerge.Equivalent(s, lmerge.Stream{lmerge.Insert(lmerge.P(1), 6, 25)}))
+	fmt.Println(tdb.Len())
+	// Output:
+	// true
+	// 1
+}
+
+// ExampleMeasure derives a stream's guarantees from its contents.
+func ExampleMeasure() {
+	s := lmerge.Stream{
+		lmerge.Insert(lmerge.P(1), 1, 5),
+		lmerge.Insert(lmerge.P(2), 3, 9),
+		lmerge.Stable(lmerge.Infinity),
+	}
+	p := lmerge.Measure(s)
+	fmt.Println(p.Order, p.InsertOnly, lmerge.Choose(p))
+	// Output:
+	// strictly-increasing true R0
+}
+
+// ExampleNewOperator shows dynamic attach/detach with fast-forward feedback.
+func ExampleNewOperator() {
+	op := lmerge.NewOperator(
+		lmerge.NewR3(nil),
+		lmerge.WithFeedback(func(f lmerge.Feedback) {
+			fmt.Printf("fast-forward stream %d to %v\n", f.Stream, f.T)
+		}, 0),
+	)
+	fast := op.Attach(lmerge.MinTime)
+	slow := op.Attach(lmerge.MinTime)
+	_ = slow
+
+	op.Process(fast, lmerge.Insert(lmerge.P(1), 1, 10))
+	op.Process(fast, lmerge.Stable(100)) // slow input lags: it is signalled
+	// Output:
+	// fast-forward stream 1 to 100
+}

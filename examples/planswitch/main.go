@@ -1,0 +1,150 @@
+// Dynamic plan switching with fast-forward (paper Secs. II-3, V-D, VI-E-3):
+// two alternative plans for the same query apply a user-defined function
+// whose cost depends on a payload field X — plan 0 is expensive for small X,
+// plan 1 for large X — over a stream whose X values alternate in batches.
+// Running both under LMerge lets the output follow whichever plan is fast
+// right now; adding feedback signals lets the slow plan skip work the merge
+// no longer needs, cutting completion time several-fold.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lmerge"
+	"lmerge/internal/core"
+	"lmerge/internal/engine"
+	"lmerge/internal/operators"
+)
+
+const (
+	events    = 20000
+	expensive = 100
+	cheap     = 1
+	threshold = 200
+)
+
+func main() {
+	stream := workload()
+	cost0 := operators.ExpensiveBelow(threshold, expensive, cheap, false)
+	cost1 := operators.ExpensiveBelow(threshold, expensive, cheap, true)
+
+	t0 := singlePlan(stream, cost0)
+	t1 := singlePlan(stream, cost1)
+	tm, _ := merged(stream, cost0, cost1, false)
+	tf, skipped := merged(stream, cost0, cost1, true)
+
+	fmt.Printf("workload: %d events, X alternating low/high batches\n\n", events)
+	fmt.Printf("%-24s %12s %10s\n", "strategy", "work units", "speedup")
+	best := min64(t0, t1)
+	for _, row := range []struct {
+		name string
+		v    int64
+	}{
+		{"plan 0 (UDF0) alone", t0},
+		{"plan 1 (UDF1) alone", t1},
+		{"LMerge, no feedback", tm},
+		{"LMerge + fast-forward", tf},
+	} {
+		fmt.Printf("%-24s %12d %9.1fx\n", row.name, row.v, float64(best)/float64(row.v))
+	}
+	fmt.Printf("\nwith feedback the slow plan skipped %d elements outright\n", skipped)
+}
+
+// workload builds the alternating-batch stream.
+func workload() lmerge.Stream {
+	rng := rand.New(rand.NewSource(3))
+	var out lmerge.Stream
+	vs := lmerge.Time(0)
+	low := true
+	last := lmerge.MinTime
+	for made := 0; made < events; {
+		batch := events/20 + rng.Intn(events/10)
+		for i := 0; i < batch && made < events; i++ {
+			vs += 1 + lmerge.Time(rng.Int63n(3))
+			id := rng.Int63n(200)
+			if !low {
+				id += 200
+			}
+			out = append(out, lmerge.Insert(lmerge.Payload{ID: id, Data: "x"}, vs, vs+40))
+			made++
+			if made%64 == 0 && vs > last {
+				out = append(out, lmerge.Stable(vs))
+				last = vs
+			}
+		}
+		low = !low
+	}
+	return append(out, lmerge.Stable(lmerge.Infinity))
+}
+
+func singlePlan(stream lmerge.Stream, cost func(lmerge.Payload) int) int64 {
+	var total int64
+	for _, e := range stream {
+		if e.Kind == lmerge.KindInsert {
+			total += int64(cost(e.Payload))
+		}
+	}
+	return total
+}
+
+// merged runs both plans on a two-worker virtual schedule under LMerge.
+func merged(stream lmerge.Stream, cost0, cost1 func(lmerge.Payload) int, feedback bool) (int64, int64) {
+	g := engine.NewGraph()
+	lag := lmerge.Time(-1)
+	if feedback {
+		lag = 0
+	}
+	lm := operators.NewLMerge(2, lag, func(emit core.Emit) core.Merger { return core.NewR3(emit) })
+	lmNode := g.Add(lm)
+	sink := operators.NewSink()
+	sink.TDB = nil
+	g.Connect(lmNode, g.Add(sink))
+
+	udfs := [2]*operators.UDF{operators.NewUDF(cost0), operators.NewUDF(cost1)}
+	var srcs [2]*engine.Node
+	for i := 0; i < 2; i++ {
+		src := g.Add(operators.NewSource(fmt.Sprintf("plan%d", i)))
+		un := g.Add(udfs[i])
+		g.Connect(src, un)
+		g.Connect(un, lmNode)
+		srcs[i] = src
+	}
+	var clock [2]int64
+	var pos [2]int
+	var lastWork [2]int64
+	for {
+		if lm.Operator().MaxStable() == lmerge.Infinity {
+			return min64(clock[0], clock[1]), udfs[0].Skipped() + udfs[1].Skipped()
+		}
+		w := 0
+		if pos[0] >= len(stream) || (pos[1] < len(stream) && clock[1] < clock[0]) {
+			w = 1
+		}
+		if pos[w] >= len(stream) {
+			w = 1 - w
+			if pos[w] >= len(stream) {
+				return max64(clock[0], clock[1]), udfs[0].Skipped() + udfs[1].Skipped()
+			}
+		}
+		srcs[w].Inject(stream[pos[w]])
+		pos[w]++
+		work := udfs[w].WorkDone()
+		clock[w] += work - lastWork[w] + 1
+		lastWork[w] = work
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+// Quickstart: merge the two physical streams of the paper's Table I — the
+// same logical stream presented with different ordering, finalisation, and
+// lifetime-change chains — and show that the merged output reconstitutes to
+// the single logical TDB {A:[6,12), B:[8,10)}.
+package main
+
+import (
+	"fmt"
+
+	"lmerge"
+)
+
+func main() {
+	a, b := lmerge.P('A'), lmerge.P('B')
+
+	// Phy1 and Phy2 from Table I (a/m/f map to insert/adjust/stable).
+	phy1 := lmerge.Stream{
+		lmerge.Insert(b, 8, lmerge.Infinity),
+		lmerge.Insert(a, 6, 12),
+		lmerge.Adjust(b, 8, lmerge.Infinity, 10),
+		lmerge.Stable(11),
+		lmerge.Stable(lmerge.Infinity),
+	}
+	phy2 := lmerge.Stream{
+		lmerge.Insert(a, 6, 7),
+		lmerge.Insert(b, 8, 15),
+		lmerge.Adjust(a, 6, 7, 12),
+		lmerge.Adjust(b, 8, 15, 10),
+		lmerge.Stable(lmerge.Infinity),
+	}
+
+	fmt.Println("Phy1 and Phy2 are physically different presentations:")
+	fmt.Printf("  |Phy1|=%d elements, |Phy2|=%d elements, equivalent=%v\n\n",
+		len(phy1), len(phy2), lmerge.Equivalent(phy1, phy2))
+
+	// Merge them with the general keyed algorithm (LMR3+).
+	out := lmerge.NewTDB()
+	var merged lmerge.Stream
+	m := lmerge.NewR3(func(e lmerge.Element) {
+		merged = append(merged, e)
+		if err := out.Apply(e); err != nil {
+			panic(err)
+		}
+	})
+	m.Attach(0)
+	m.Attach(1)
+
+	fmt.Println("Interleaved delivery and merged output:")
+	for i := 0; i < len(phy1) || i < len(phy2); i++ {
+		for s, phy := range []lmerge.Stream{phy1, phy2} {
+			if i < len(phy) {
+				before := len(merged)
+				if err := m.Process(s, phy[i]); err != nil {
+					panic(err)
+				}
+				fmt.Printf("  in[%d] %-28v", s, phy[i])
+				if len(merged) > before {
+					for _, e := range merged[before:] {
+						fmt.Printf("  -> %v", e)
+					}
+				}
+				fmt.Println()
+			}
+		}
+	}
+
+	fmt.Printf("\nMerged TDB: %v\n", out)
+	want := lmerge.MustTDB(lmerge.Stream{lmerge.Insert(a, 6, 12), lmerge.Insert(b, 8, 10)})
+	fmt.Printf("Equals Table I logical TDB: %v\n", out.Equal(want))
+	st := m.Stats()
+	fmt.Printf("Stats: in=%d elements, out=%d elements (Theorem 1: out inserts+adjusts %d <= in inserts %d)\n",
+		st.InElements(), st.OutElements(), st.OutInserts+st.OutAdjusts, st.InInserts)
+}

@@ -1,0 +1,3 @@
+module lmerge
+
+go 1.24

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/operators"
+	"lmerge/internal/temporal"
+)
+
+// AblationPoliciesResult carries the R3 policy-matrix measurements.
+type AblationPoliciesResult struct {
+	// Per policy name: output elements, adjusts, removals (spurious events
+	// that had to be fully deleted), throughput.
+	Elements map[string]int64
+	Adjusts  map[string]int64
+	Removals map[string]int64
+	Tput     map[string]float64
+	Table    *Table
+}
+
+// AblationPolicies sweeps the R3 output-policy space of Sec. V-A on one
+// revision-heavy divergent workload: chattiness (adjusts), spurious output
+// (removals — events emitted then fully deleted), and throughput. Expected
+// ordering: eager ≥ lazy in adjusts; quorum and the deferred policies trade
+// latency for fewer removals; fully-frozen emits no adjusts at all.
+func AblationPolicies(scale Scale) AblationPoliciesResult {
+	sc := gen.NewScript(gen.Config{
+		Events:        scale.Events,
+		Seed:          61,
+		PayloadBytes:  scale.PayloadBytes,
+		MaxGap:        gen.TicksPerSecond,
+		EventDuration: 8 * gen.TicksPerSecond,
+		Revisions:     0.7,
+		RemoveProb:    0.25,
+	})
+	streams := make([]temporal.Stream, 3)
+	for i := range streams {
+		streams[i] = sc.Render(gen.RenderOptions{Seed: int64(6100 + i), Disorder: 0.4, StableFreq: 0.02})
+	}
+	res := AblationPoliciesResult{
+		Elements: make(map[string]int64),
+		Adjusts:  make(map[string]int64),
+		Removals: make(map[string]int64),
+		Tput:     make(map[string]float64),
+		Table: &Table{
+			ID:      "ablation-policies",
+			Title:   "R3 output-policy ablation (Sec. V-A)",
+			Columns: []string{"policy", "out elements", "adjusts", "removals", "throughput"},
+		},
+	}
+	policies := []struct {
+		name string
+		opts core.R3Options
+	}{
+		{"first-wins/lazy (default)", core.R3Options{}},
+		{"first-wins/eager", core.R3Options{Adjust: core.AdjustEager}},
+		{"quorum-2", core.R3Options{Insert: core.InsertQuorum, Quorum: 2}},
+		{"quorum-3", core.R3Options{Insert: core.InsertQuorum, Quorum: 3}},
+		{"half-frozen", core.R3Options{Insert: core.InsertHalfFrozen}},
+		{"fully-frozen", core.R3Options{Insert: core.InsertFullyFrozen}},
+		{"follow-leader", core.R3Options{Follow: core.FollowLeader}},
+	}
+	for _, p := range policies {
+		var removals int64
+		mk := mergerMaker{p.name, func(e core.Emit) core.Merger {
+			inner := core.NewR3(e, p.opts)
+			return inner
+		}}
+		r := runMergeCounting(mk, streams, &removals)
+		res.Elements[p.name] = r.OutElements
+		res.Adjusts[p.name] = r.OutAdjusts
+		res.Removals[p.name] = removals
+		res.Tput[p.name] = r.Throughput()
+		res.Table.AddRow(p.name,
+			fmt.Sprintf("%d", r.OutElements),
+			fmt.Sprintf("%d", r.OutAdjusts),
+			fmt.Sprintf("%d", removals),
+			fmtTput(r.Throughput()))
+	}
+	res.Table.Note("expected: eager chattiest; deferred/quorum policies cut spurious removals; fully-frozen emits zero adjusts")
+	return res
+}
+
+// runMergeCounting is runMerge with a removal counter hooked into the emit
+// path.
+func runMergeCounting(m mergerMaker, streams []temporal.Stream, removals *int64) runResult {
+	inner := m.mk
+	m.mk = func(emit core.Emit) core.Merger {
+		return inner(func(e temporal.Element) {
+			if e.IsRemoval() {
+				*removals++
+			}
+			emit(e)
+		})
+	}
+	return runMerge(m, streams, 0, false)
+}
+
+// AblationFeedbackResult carries the feedback-lag sweep.
+type AblationFeedbackResult struct {
+	Lags       []temporal.Time // -1 = feedback off
+	Completion []int64
+	Table      *Table
+}
+
+// AblationFeedbackLag sweeps the feedback threshold of the Fig. 10 pipeline:
+// how far an input may trail the merged output before it is fast-forwarded.
+// Expected shape: tight thresholds approach the ideal (all expensive work
+// skipped); loose thresholds degrade towards the no-feedback completion.
+func AblationFeedbackLag(scale Scale) AblationFeedbackResult {
+	stream := fig10Stream(scale)
+	const expensive, cheap, threshold = 100, 1, 200
+	cost0 := operators.ExpensiveBelow(threshold, expensive, cheap, false)
+	cost1 := operators.ExpensiveBelow(threshold, expensive, cheap, true)
+
+	res := AblationFeedbackResult{
+		Lags: []temporal.Time{0, 50, 500, 5000, 50000, -1},
+		Table: &Table{
+			ID:      "ablation-feedback",
+			Title:   "Feedback fast-forward threshold sweep (Fig. 10 pipeline)",
+			Columns: []string{"lag (ticks)", "completion (work units)", "vs no feedback"},
+		},
+	}
+	var base int64
+	for _, lag := range res.Lags {
+		c := runPlanPairLag(stream, cost0, cost1, lag, nil)
+		res.Completion = append(res.Completion, c)
+		if lag == -1 {
+			base = c
+		}
+	}
+	for i, lag := range res.Lags {
+		name := fmt.Sprintf("%d", lag)
+		if lag == -1 {
+			name = "off"
+		}
+		res.Table.AddRow(name, fmt.Sprintf("%d", res.Completion[i]),
+			fmt.Sprintf("%.2fx", float64(base)/float64(res.Completion[i])))
+	}
+	res.Table.Note("expected: tight lag ≈ max speedup, degrading towards 1x as the threshold loosens")
+	return res
+}

@@ -1,0 +1,74 @@
+package bench
+
+import "testing"
+
+func TestAblationPoliciesShape(t *testing.T) {
+	r := AblationPolicies(tiny)
+	def := "first-wins/lazy (default)"
+	if r.Adjusts["first-wins/eager"] < r.Adjusts[def] {
+		t.Errorf("eager adjusts (%d) < lazy adjusts (%d)",
+			r.Adjusts["first-wins/eager"], r.Adjusts[def])
+	}
+	if r.Adjusts["fully-frozen"] != 0 {
+		t.Errorf("fully-frozen emitted %d adjusts", r.Adjusts["fully-frozen"])
+	}
+	if r.Removals["fully-frozen"] != 0 || r.Removals["half-frozen"] != 0 {
+		t.Errorf("deferred policies should emit no removals: ff=%d hf=%d",
+			r.Removals["fully-frozen"], r.Removals["half-frozen"])
+	}
+	// Spurious removals shrink as emission is deferred.
+	if r.Removals["quorum-3"] > r.Removals[def] {
+		t.Errorf("quorum-3 removals (%d) > default (%d)", r.Removals["quorum-3"], r.Removals[def])
+	}
+	// Every policy produced a complete output.
+	for name, n := range r.Elements {
+		if n == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
+func TestAblationFeedbackShape(t *testing.T) {
+	r := AblationFeedbackLag(Scale{Events: 4000, PayloadBytes: 8})
+	n := len(r.Lags)
+	off := r.Completion[n-1] // lag -1 = feedback off
+	tight := r.Completion[0]
+	if tight*2 > off {
+		t.Errorf("tight feedback (%d) should be well below no-feedback (%d)", tight, off)
+	}
+	// Completion must not improve as the threshold loosens.
+	for i := 1; i < n-1; i++ {
+		if r.Completion[i] < r.Completion[i-1]*9/10 {
+			t.Errorf("completion improved when loosening lag: %v", r.Completion)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{
+		ID:      "x",
+		Columns: []string{"a", "b"},
+	}
+	tbl.AddRow("1", "has,comma")
+	tbl.AddRow("2", `has"quote`)
+	got := tbl.CSV()
+	want := "a,b\n1,\"has,comma\"\n2,\"has\"\"quote\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestAblationJumpstartShape(t *testing.T) {
+	r := AblationJumpstart(Scale{Events: 1500, PayloadBytes: 16})
+	if r.SnapshotSize == 0 {
+		t.Fatal("snapshot is empty")
+	}
+	// The seeded consumer covers the live state immediately after the seed;
+	// the cold consumer needs the whole tail (or never gets there).
+	if r.SeededElements > r.SnapshotSize {
+		t.Errorf("seeded start needed %d elements, snapshot is %d", r.SeededElements, r.SnapshotSize)
+	}
+	if r.ColdElements <= r.SeededElements {
+		t.Errorf("cold start (%d) should be far slower than seeded (%d)", r.ColdElements, r.SeededElements)
+	}
+}

@@ -1,0 +1,326 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Section VI). Each experiment is a plain
+// function returning a printable Table (plus raw measurements), so it can be
+// driven both by testing.B wrappers in the repository root and by the
+// cmd/lmbench binary.
+//
+// Absolute numbers will differ from the paper's (different machine, engine,
+// and decade); what the harness reproduces is the shape of each result —
+// which algorithm wins, how costs scale, where crossovers fall. The
+// EXPERIMENTS.md file at the repository root records paper-vs-measured for
+// each experiment.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string // e.g. "fig2"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a free-form note printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (header row first; cells with
+// commas or quotes are quoted), for piping lmbench output into plotting
+// tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Scale configures experiment sizes: tests use Small, cmd/lmbench defaults
+// to Paper (the paper's 200K–400K element streams).
+type Scale struct {
+	// Events is the number of event histories per workload.
+	Events int
+	// PayloadBytes is the payload string size (paper: 1000).
+	PayloadBytes int
+}
+
+// Small is a sub-second scale for tests.
+var Small = Scale{Events: 2000, PayloadBytes: 32}
+
+// Paper approximates the paper's workload sizes.
+var Paper = Scale{Events: 100000, PayloadBytes: 1000}
+
+// mergerMaker builds a merge algorithm around an emit callback.
+type mergerMaker struct {
+	name string
+	mk   func(core.Emit) core.Merger
+}
+
+// variants returns the paper's six evaluated operators (Sec. VI-A). Only
+// those applicable to a workload should be run against it.
+func variants() []mergerMaker {
+	return []mergerMaker{
+		{"LMR0", func(e core.Emit) core.Merger { return core.NewR0(e) }},
+		{"LMR1", func(e core.Emit) core.Merger { return core.NewR1(e) }},
+		{"LMR2", func(e core.Emit) core.Merger { return core.NewR2(e) }},
+		{"LMR3+", func(e core.Emit) core.Merger { return core.NewR3(e) }},
+		{"LMR3-", func(e core.Emit) core.Merger { return core.NewR3Naive(e) }},
+		{"LMR4", func(e core.Emit) core.Merger { return core.NewR4(e) }},
+	}
+}
+
+// generalVariants are the mergers that accept unrestricted (R3-keyed)
+// streams.
+func generalVariants() []mergerMaker {
+	all := variants()
+	return []mergerMaker{all[3], all[4], all[5]}
+}
+
+// runResult captures one merge run's measurements.
+type runResult struct {
+	OutElements int64
+	OutAdjusts  int64
+	Wall        time.Duration
+	PeakBytes   int
+	Stats       core.Stats
+	Final       *temporal.TDB
+}
+
+// Throughput returns output elements per wall-clock second.
+func (r runResult) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.OutElements) / r.Wall.Seconds()
+}
+
+// runMerge feeds the streams round-robin through a fresh merger, sampling
+// SizeBytes every sampleEvery input elements for the peak-memory metric.
+func runMerge(m mergerMaker, streams []temporal.Stream, sampleEvery int, verify bool) runResult {
+	var res runResult
+	var out *temporal.TDB
+	if verify {
+		out = temporal.NewTDB()
+	}
+	merger := m.mk(func(e temporal.Element) {
+		res.OutElements++
+		if e.Kind == temporal.KindAdjust {
+			res.OutAdjusts++
+		}
+		if out != nil {
+			if err := out.Apply(e); err != nil {
+				panic(fmt.Sprintf("bench: merger %s emitted invalid element: %v", m.name, err))
+			}
+		}
+	})
+	for i := range streams {
+		merger.Attach(i)
+	}
+	pos := make([]int, len(streams))
+	processed := 0
+	start := time.Now()
+	for {
+		advanced := false
+		for s := range streams {
+			if pos[s] >= len(streams[s]) {
+				continue
+			}
+			if err := merger.Process(s, streams[s][pos[s]]); err != nil {
+				panic(fmt.Sprintf("bench: merger %s rejected element: %v", m.name, err))
+			}
+			pos[s]++
+			processed++
+			advanced = true
+			if sampleEvery > 0 && processed%sampleEvery == 0 {
+				if sz := merger.SizeBytes(); sz > res.PeakBytes {
+					res.PeakBytes = sz
+				}
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	res.Wall = time.Since(start)
+	if sz := merger.SizeBytes(); sz > res.PeakBytes {
+		res.PeakBytes = sz
+	}
+	res.Stats = *merger.Stats()
+	res.Final = out
+	return res
+}
+
+// runSchedule feeds a merged delivery schedule (elements in availability
+// order across streams) through a fresh merger, timing the run.
+func runSchedule(items []gen.DeliveryItem, mk func(core.Emit) core.Merger) runResult {
+	var res runResult
+	m := mk(func(e temporal.Element) {
+		res.OutElements++
+		if e.Kind == temporal.KindAdjust {
+			res.OutAdjusts++
+		}
+	})
+	maxStream := 0
+	for _, it := range items {
+		if it.Stream > maxStream {
+			maxStream = it.Stream
+		}
+	}
+	for s := 0; s <= maxStream; s++ {
+		m.Attach(s)
+	}
+	start := time.Now()
+	for _, it := range items {
+		if err := m.Process(it.Stream, it.El); err != nil {
+			panic(fmt.Sprintf("bench: schedule element rejected: %v", err))
+		}
+	}
+	res.Wall = time.Since(start)
+	res.Stats = *m.Stats()
+	res.PeakBytes = m.SizeBytes()
+	return res
+}
+
+// orderedWorkload renders n identical in-order, insert-only copies (the
+// Fig. 2/3 workload: "identical copies of a query" over an ordered stream;
+// identical stable placement keeps the live population independent of the
+// input count, isolating the per-algorithm cost).
+func orderedWorkload(sc *gen.Script, n int) []temporal.Stream {
+	one := sc.RenderOrdered(gen.OrderedStrict, gen.RenderOptions{Seed: 1000, StableFreq: 0.01})
+	streams := make([]temporal.Stream, n)
+	for i := range streams {
+		streams[i] = one
+	}
+	return streams
+}
+
+// orderedScript draws the strictly-increasing script behind orderedWorkload.
+func orderedScript(scale Scale, seed int64) *gen.Script {
+	return gen.NewScript(gen.Config{
+		Events:       scale.Events,
+		Seed:         seed,
+		PayloadBytes: scale.PayloadBytes,
+		UniqueVs:     true,
+		MaxGap:       2 * gen.TicksPerSecond,
+		// Lifetime tuned so a bounded population is alive at once.
+		EventDuration: 20 * gen.TicksPerSecond,
+	})
+}
+
+// disorderedWorkload renders n divergent presentations with revisions.
+func disorderedWorkload(sc *gen.Script, n int, disorder, stableFreq float64) []temporal.Stream {
+	streams := make([]temporal.Stream, n)
+	for i := range streams {
+		streams[i] = sc.Render(gen.RenderOptions{
+			Seed:       int64(2000 + i),
+			Disorder:   disorder,
+			StableFreq: stableFreq,
+		})
+	}
+	return streams
+}
+
+// disorderedScript draws the general R3 workload script.
+func disorderedScript(scale Scale, seed int64) *gen.Script {
+	return gen.NewScript(gen.Config{
+		Events:        scale.Events,
+		Seed:          seed,
+		PayloadBytes:  scale.PayloadBytes,
+		MaxGap:        2 * gen.TicksPerSecond,
+		EventDuration: 10 * gen.TicksPerSecond,
+		Revisions:     0.4,
+		RemoveProb:    0.15,
+	})
+}
+
+// nowTimer/sinceTimer wrap wall-clock timing so runners read uniformly.
+func nowTimer() time.Time { return time.Now() }
+
+func sinceTimer(t time.Time) float64 {
+	s := time.Since(t).Seconds()
+	if s <= 0 {
+		return 1e-9
+	}
+	return s
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+func fmtTput(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM/s", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK/s", v/1e3)
+	}
+	return fmt.Sprintf("%.0f/s", v)
+}

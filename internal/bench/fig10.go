@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lmerge/internal/core"
+	"lmerge/internal/engine"
+	"lmerge/internal/operators"
+	"lmerge/internal/temporal"
+)
+
+// Fig10Result carries the plan-switching measurements.
+type Fig10Result struct {
+	// Completion, in virtual work units, per strategy.
+	UDF0Alone, UDF1Alone   int64
+	LMergeOnly, LMFeedback int64
+	SkippedWithFeedback    int64
+	Table                  *Table
+}
+
+// Fig10PlanSwitch reproduces Fig. 10: two alternative plans for the same
+// query apply a user-defined function whose cost depends on a payload field
+// X — UDF0 is expensive for small X, UDF1 for large X — over a stream whose
+// X values alternate between low and high batches (batch size random in
+// [10K, 30K] scaled to the workload). Strategies:
+//
+//	UDF0 / UDF1      each plan alone (paper: 176 s and 163 s)
+//	LMR3+            both plans under LMerge, no feedback (paper: ~163 s —
+//	                 LMerge follows the faster plan but total work is unchanged)
+//	LM+Feedback      LMerge fast-forwards the slower plan (paper: ~34 s, ~5×)
+//
+// Completion is measured in deterministic work units on a two-worker virtual
+// schedule, so results are machine-independent.
+func Fig10PlanSwitch(scale Scale) Fig10Result {
+	stream := fig10Stream(scale)
+	const expensive, cheap = 100, 1
+	const threshold = 200
+
+	cost0 := operators.ExpensiveBelow(threshold, expensive, cheap, false) // UDF0: slow for small X
+	cost1 := operators.ExpensiveBelow(threshold, expensive, cheap, true)  // UDF1: slow for large X
+
+	alone := func(cost func(temporal.Payload) int) int64 {
+		var total int64
+		for _, e := range stream {
+			if e.Kind == temporal.KindInsert {
+				total += int64(cost(e.Payload))
+			}
+		}
+		return total
+	}
+	res := Fig10Result{
+		UDF0Alone: alone(cost0),
+		UDF1Alone: alone(cost1),
+	}
+	res.LMergeOnly = runPlanPairLag(stream, cost0, cost1, -1, nil)
+	res.LMFeedback = runPlanPairLag(stream, cost0, cost1, 0, &res.SkippedWithFeedback)
+
+	res.Table = &Table{
+		ID:      "fig10",
+		Title:   "Plan switching with fast-forward (completion in work units)",
+		Columns: []string{"strategy", "completion", "vs best single plan"},
+	}
+	best := res.UDF0Alone
+	if res.UDF1Alone < best {
+		best = res.UDF1Alone
+	}
+	rows := []struct {
+		name string
+		v    int64
+	}{
+		{"UDF0 alone", res.UDF0Alone},
+		{"UDF1 alone", res.UDF1Alone},
+		{"LMR3+ (no feedback)", res.LMergeOnly},
+		{"LM+Feedback", res.LMFeedback},
+	}
+	for _, r := range rows {
+		res.Table.AddRow(r.name, fmt.Sprintf("%d", r.v), fmt.Sprintf("%.2fx", float64(best)/float64(r.v)))
+	}
+	res.Table.Note("paper shape: LMR3+ ≈ best single plan; LM+Feedback several times faster (~5x)")
+	return res
+}
+
+// fig10Stream renders the alternating-batch workload: ordered, insert-only,
+// with stables, X alternating between [0,200) and [200,400] batches.
+func fig10Stream(scale Scale) temporal.Stream {
+	rng := rand.New(rand.NewSource(50))
+	n := scale.Events
+	batchLo, batchHi := n/20, 3*n/20 // paper: 10K–30K of 200K
+	if batchLo < 1 {
+		batchLo, batchHi = 1, 3
+	}
+	var out temporal.Stream
+	vs := temporal.Time(0)
+	low := true
+	lastStable := temporal.MinTime
+	for made := 0; made < n; {
+		batch := batchLo + rng.Intn(batchHi-batchLo+1)
+		for i := 0; i < batch && made < n; i++ {
+			vs += 1 + temporal.Time(rng.Int63n(3))
+			id := rng.Int63n(200)
+			if !low {
+				id += 200
+			}
+			out = append(out, temporal.Insert(temporal.Payload{ID: id, Data: "x"}, vs, vs+40))
+			made++
+			if made%64 == 0 {
+				if t := vs; t > lastStable {
+					out = append(out, temporal.Stable(t))
+					lastStable = t
+				}
+			}
+		}
+		low = !low
+	}
+	out = append(out, temporal.Stable(temporal.Infinity))
+	return out
+}
+
+// runPlanPairLag executes both plans on a two-worker virtual schedule
+// feeding one LMerge and returns the completion time in work units: the
+// moment the merged output reaches stable(∞). lag is the feedback
+// threshold in ticks; -1 disables feedback entirely.
+func runPlanPairLag(stream temporal.Stream, cost0, cost1 func(temporal.Payload) int, lag temporal.Time, skipped *int64) int64 {
+	g := engine.NewGraph()
+	lm := operators.NewLMerge(2, lag, func(emit core.Emit) core.Merger { return core.NewR3(emit) })
+	lmNode := g.Add(lm)
+	sink := operators.NewSink()
+	sink.TDB = nil
+	g.Connect(lmNode, g.Add(sink))
+
+	udfs := [2]*operators.UDF{operators.NewUDF(cost0), operators.NewUDF(cost1)}
+	var srcs [2]*engine.Node
+	for i := 0; i < 2; i++ {
+		src := g.Add(operators.NewSource(fmt.Sprintf("plan%d", i)))
+		un := g.Add(udfs[i])
+		g.Connect(src, un)
+		g.Connect(un, lmNode)
+		srcs[i] = src
+	}
+
+	var clock [2]int64
+	var pos [2]int
+	var lastWork [2]int64
+	for {
+		if lm.Operator().MaxStable() == temporal.Infinity {
+			// Output complete: completion = the clock of the plan that got
+			// it there (the other worker ran in parallel).
+			done := clock[0]
+			if clock[1] < done {
+				done = clock[1]
+			}
+			if skipped != nil {
+				*skipped = udfs[0].Skipped() + udfs[1].Skipped()
+			}
+			return done
+		}
+		// Advance the worker with the smaller local clock.
+		w := 0
+		if pos[0] >= len(stream) || (pos[1] < len(stream) && clock[1] < clock[0]) {
+			w = 1
+		}
+		if pos[w] >= len(stream) {
+			w = 1 - w
+			if pos[w] >= len(stream) {
+				break // both exhausted without completion (should not happen)
+			}
+		}
+		srcs[w].Inject(stream[pos[w]])
+		pos[w]++
+		work := udfs[w].WorkDone()
+		delta := work - lastWork[w]
+		lastWork[w] = work
+		clock[w] += delta + 1 // +1: per-element engine overhead
+	}
+	if clock[0] > clock[1] {
+		return clock[0]
+	}
+	return clock[1]
+}

@@ -1,0 +1,87 @@
+package bench
+
+import "fmt"
+
+// Fig2Result carries the raw measurements behind the Fig. 2 table.
+type Fig2Result struct {
+	Inputs []int
+	// Peak bytes per variant name per input count.
+	Bytes map[string][]int
+	Table *Table
+}
+
+// Fig2MemoryInOrder reproduces Fig. 2: memory use of every LMerge variant
+// over in-order, insert-only input streams, as the number of inputs grows
+// from 2 to 10. Expected shape: LMR0/LMR1/LMR2 negligible and flat; LMR3+
+// modest and nearly independent of the input count (payloads shared in
+// in2t); LMR3- large and growing linearly (duplicated payloads).
+func Fig2MemoryInOrder(scale Scale) Fig2Result {
+	sc := orderedScript(scale, 42)
+	inputs := []int{2, 4, 6, 8, 10}
+	res := Fig2Result{
+		Inputs: inputs,
+		Bytes:  make(map[string][]int),
+		Table: &Table{
+			ID:      "fig2",
+			Title:   "Peak memory, in-order input streams",
+			Columns: append([]string{"variant"}, colsForInputs(inputs)...),
+		},
+	}
+	for _, v := range variants() {
+		cells := []string{v.name}
+		for _, n := range inputs {
+			streams := orderedWorkload(sc, n)
+			r := runMerge(v, streams, 256, false)
+			res.Bytes[v.name] = append(res.Bytes[v.name], r.PeakBytes)
+			cells = append(cells, fmtBytes(r.PeakBytes))
+		}
+		res.Table.AddRow(cells...)
+	}
+	res.Table.Note("paper shape: LMR0-2 negligible; LMR3+ flat in #inputs; LMR3- linear in #inputs")
+	return res
+}
+
+// Fig3Result carries the raw measurements behind the Fig. 3 table.
+type Fig3Result struct {
+	Inputs []int
+	// Output elements/sec per variant per input count.
+	Throughput map[string][]float64
+	Table      *Table
+}
+
+// Fig3ThroughputInOrder reproduces Fig. 3: throughput of every variant over
+// in-order streams. Expected shape: the simpler the algorithm, the higher
+// the throughput; LMR3+ well above LMR3-.
+func Fig3ThroughputInOrder(scale Scale) Fig3Result {
+	sc := orderedScript(scale, 43)
+	inputs := []int{2, 4, 6, 8, 10}
+	res := Fig3Result{
+		Inputs:     inputs,
+		Throughput: make(map[string][]float64),
+		Table: &Table{
+			ID:      "fig3",
+			Title:   "Throughput, in-order input streams",
+			Columns: append([]string{"variant"}, colsForInputs(inputs)...),
+		},
+	}
+	for _, v := range variants() {
+		cells := []string{v.name}
+		for _, n := range inputs {
+			streams := orderedWorkload(sc, n)
+			r := runMerge(v, streams, 0, false)
+			res.Throughput[v.name] = append(res.Throughput[v.name], r.Throughput())
+			cells = append(cells, fmtTput(r.Throughput()))
+		}
+		res.Table.AddRow(cells...)
+	}
+	res.Table.Note("paper shape: simpler algorithms faster; LMR3+ well above LMR3-")
+	return res
+}
+
+func colsForInputs(inputs []int) []string {
+	out := make([]string, len(inputs))
+	for i, n := range inputs {
+		out[i] = fmt.Sprintf("%d inputs", n)
+	}
+	return out
+}

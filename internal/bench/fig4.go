@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+
+	"lmerge/internal/core"
+	"lmerge/internal/engine"
+	"lmerge/internal/gen"
+	"lmerge/internal/operators"
+	"lmerge/internal/temporal"
+)
+
+// Fig4Result carries the raw adjust counts behind the Fig. 4 table.
+type Fig4Result struct {
+	Disorder []float64
+	// Adjust elements produced by a single plan (no LMerge) and at the
+	// LMerge output merging three plan copies, per disorder level.
+	SinglePlan []int64
+	LMergeOut  []int64
+	Table      *Table
+}
+
+// Fig4OutputSize reproduces Fig. 4: output size (number of adjust elements)
+// as input disorder increases. The sub-query is a lifetime-modifying
+// operator (Signal: point samples → last-value intervals) whose adjust
+// volume equals the number of out-of-order arrivals. We compare the output
+// of a single plan ("without LMerge") against the output of LMerge over
+// three such plan copies. Expected shape: adjusts grow significantly with
+// disorder at a plan's output, while the R3 lazy output policy limits the
+// chattiness of the merged stream by suppressing intermediate adjusts that
+// never reach the final TDB.
+func Fig4OutputSize(scale Scale) Fig4Result {
+	res := Fig4Result{
+		Disorder: []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8},
+		Table: &Table{
+			ID:      "fig4",
+			Title:   "Output size (adjust elements), increasing disorder",
+			Columns: []string{"disorder", "single plan adjusts", "LMerge output adjusts"},
+		},
+	}
+	sc := gen.NewScript(gen.Config{
+		Events:        scale.Events,
+		Seed:          44,
+		PayloadBytes:  scale.PayloadBytes,
+		UniqueVs:      true,
+		MaxGap:        gen.TicksPerSecond / 4,
+		EventDuration: 10 * gen.TicksPerSecond,
+	})
+	for _, d := range res.Disorder {
+		// Single plan: what the consumer would see without LMerge.
+		single := signalOutput(sc, 0, d)
+		var singleAdj int64
+		for _, e := range single {
+			if e.Kind == temporal.KindAdjust {
+				singleAdj++
+			}
+		}
+		// Three plan copies into LMerge(R3).
+		streams := make([]temporal.Stream, 3)
+		for i := range streams {
+			streams[i] = signalOutput(sc, int64(i), d)
+		}
+		r := runMerge(mergerMaker{"LMR3+", func(e core.Emit) core.Merger { return core.NewR3(e) }},
+			streams, 0, false)
+		res.SinglePlan = append(res.SinglePlan, singleAdj)
+		res.LMergeOut = append(res.LMergeOut, r.OutAdjusts)
+		res.Table.AddRow(
+			fmt.Sprintf("%.0f%%", d*100),
+			fmt.Sprintf("%d", singleAdj),
+			fmt.Sprintf("%d", r.OutAdjusts),
+		)
+	}
+	res.Table.Note("paper shape: adjusts grow steeply with disorder; LMerge's lazy policy caps chattiness")
+	return res
+}
+
+// signalOutput renders one plan copy's output: the unique-Vs script
+// presented with the given disorder, through the Signal lifetime modifier.
+func signalOutput(sc *gen.Script, seed int64, disorder float64) temporal.Stream {
+	g := engine.NewGraph()
+	src := g.Add(operators.NewSource("in"))
+	sig := g.Add(operators.NewSignal())
+	var out temporal.Stream
+	sink := operators.NewSink()
+	sink.TDB = nil // capture only
+	sink.OnElement = func(e temporal.Element) { out = append(out, e) }
+	g.Connect(src, sig)
+	g.Connect(sig, g.Add(sink))
+	for _, e := range sc.Render(gen.RenderOptions{Seed: 4400 + seed, Disorder: disorder, StableFreq: 0.01}) {
+		src.Inject(e)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+// Fig5Result carries the raw throughput behind the Fig. 5 table.
+type Fig5Result struct {
+	LagSeconds []float64
+	// Output elements/sec with one or two of the three inputs lagging.
+	OneLagging []float64
+	TwoLagging []float64
+	// Fraction of input elements absorbed through the cheap duplicate-drop
+	// path (the paper's "directly drop tuples from the lagging streams").
+	OneDropFrac []float64
+	TwoDropFrac []float64
+	Table       *Table
+}
+
+// Fig5ThroughputLag reproduces Fig. 5: three inputs with 20% disorder,
+// StableFreq 0.1%, 40-second lifetimes; one or two streams lag behind by 0–5
+// seconds. Expected shape: as lag grows, the laggards' elements are dropped
+// through the cheap duplicate path (the leader already carried them), so
+// throughput improves — more when more streams lag. We report both the
+// wall-clock throughput and the dropped fraction; the latter is the
+// deterministic signature of the mechanism.
+func Fig5ThroughputLag(scale Scale) Fig5Result {
+	sc := gen.NewScript(gen.Config{
+		Events:        scale.Events,
+		Seed:          45,
+		PayloadBytes:  scale.PayloadBytes,
+		MaxGap:        2 * gen.TicksPerSecond,
+		EventDuration: 40 * gen.TicksPerSecond,
+		Revisions:     0.3,
+		RemoveProb:    0.1,
+	})
+	res := Fig5Result{
+		LagSeconds: []float64{0, 1, 2, 3, 4, 5},
+		Table: &Table{
+			ID:      "fig5",
+			Title:   "Throughput, increasing stream lag (3 inputs, 20% disorder)",
+			Columns: []string{"lag", "1 lagging", "dropped", "2 lagging", "dropped"},
+		},
+	}
+	const rate = 5000.0 // elements/sec nominal presentation rate
+	base := make([]temporal.Stream, 3)
+	for i := range base {
+		base[i] = sc.Render(gen.RenderOptions{Seed: int64(4500 + i), Disorder: 0.2, StableFreq: 0.001})
+	}
+	run := func(lagSec float64, lagging int) (float64, float64) {
+		timed := make([]gen.TimedStream, 3)
+		for i := range base {
+			ts := gen.Timed(base[i], rate)
+			if i < lagging {
+				ts = ts.WithLag(lagSec)
+			}
+			timed[i] = ts
+		}
+		schedule := gen.MergeDelivery(timed)
+		// Median of repeated runs with a quiesced heap: wall-clock noise
+		// would otherwise drown the effect.
+		var samples []float64
+		var dropFrac float64
+		for rep := 0; rep < 5; rep++ {
+			runtime.GC()
+			r := runSchedule(schedule, func(e core.Emit) core.Merger { return core.NewR3(e) })
+			samples = append(samples, r.Throughput())
+			dropFrac = float64(r.Stats.Dropped) / float64(r.Stats.InElements())
+		}
+		sort.Float64s(samples)
+		return samples[len(samples)/2], dropFrac
+	}
+	for _, lag := range res.LagSeconds {
+		one, oneDrop := run(lag, 1)
+		two, twoDrop := run(lag, 2)
+		res.OneLagging = append(res.OneLagging, one)
+		res.TwoLagging = append(res.TwoLagging, two)
+		res.OneDropFrac = append(res.OneDropFrac, oneDrop)
+		res.TwoDropFrac = append(res.TwoDropFrac, twoDrop)
+		res.Table.AddRow(fmt.Sprintf("%.0fs", lag),
+			fmtTput(one), fmt.Sprintf("%.0f%%", oneDrop*100),
+			fmtTput(two), fmt.Sprintf("%.0f%%", twoDrop*100))
+	}
+	res.Table.Note("paper shape: laggards' elements dropped cheaply (dropped%% rises with lag), lifting throughput; stronger with more laggards")
+	return res
+}
+
+// Fig6Result carries the measurements behind the Fig. 6 tables.
+type Fig6Result struct {
+	StableFreq []float64
+	// Per variant: peak bytes and throughput per frequency.
+	Bytes      map[string][]int
+	Throughput map[string][]float64
+	Table      *Table
+}
+
+// Fig6StableFreq reproduces Fig. 6: memory and throughput of the general
+// mergers as StableFreq grows from 0.001% to 1%. Memory falls with more
+// frequent stables (earlier cleanup), as in the paper. For throughput the
+// paper reports a decrease (more frequent compatibility checks); in this
+// engine the opposing effect dominates — rare stables balloon the
+// half-frozen population, deepening every index operation — so LMR3+/LMR4
+// throughput rises with StableFreq here (see EXPERIMENTS.md). The simple
+// mergers are unaffected either way (measured on their own ordered
+// workload).
+func Fig6StableFreq(scale Scale) Fig6Result {
+	sc := disorderedScript(scale, 46)
+	ordered := orderedScript(scale, 46)
+	res := Fig6Result{
+		StableFreq: []float64{0.00001, 0.0001, 0.001, 0.01},
+		Bytes:      make(map[string][]int),
+		Throughput: make(map[string][]float64),
+		Table: &Table{
+			ID:      "fig6",
+			Title:   "Memory and throughput, increasing StableFreq (3 inputs)",
+			Columns: []string{"variant", "StableFreq", "peak memory", "throughput"},
+		},
+	}
+	for _, v := range []string{"LMR3+", "LMR4", "LMR1"} {
+		for _, f := range res.StableFreq {
+			var streams []temporal.Stream
+			var mk mergerMaker
+			switch v {
+			case "LMR3+":
+				streams = disorderedWorkloadFreq(sc, 3, 0.2, f)
+				mk = mergerMaker{v, func(e core.Emit) core.Merger { return core.NewR3(e) }}
+			case "LMR4":
+				streams = disorderedWorkloadFreq(sc, 3, 0.2, f)
+				mk = mergerMaker{v, func(e core.Emit) core.Merger { return core.NewR4(e) }}
+			case "LMR1":
+				streams = make([]temporal.Stream, 3)
+				for i := range streams {
+					streams[i] = ordered.RenderOrdered(gen.OrderedDeterministic,
+						gen.RenderOptions{Seed: int64(4600 + i), StableFreq: f})
+				}
+				mk = mergerMaker{v, func(e core.Emit) core.Merger { return core.NewR1(e) }}
+			}
+			r := runMerge(mk, streams, 256, false)
+			res.Bytes[v] = append(res.Bytes[v], r.PeakBytes)
+			res.Throughput[v] = append(res.Throughput[v], r.Throughput())
+			res.Table.AddRow(v, fmt.Sprintf("%.3f%%", f*100), fmtBytes(r.PeakBytes), fmtTput(r.Throughput()))
+		}
+	}
+	res.Table.Note("paper shape: memory falls with StableFreq (reproduced); paper throughput falls, here it rises — see EXPERIMENTS.md")
+	return res
+}
+
+func disorderedWorkloadFreq(sc *gen.Script, n int, disorder, stableFreq float64) []temporal.Stream {
+	streams := make([]temporal.Stream, n)
+	for i := range streams {
+		streams[i] = sc.Render(gen.RenderOptions{
+			Seed:       int64(4700 + i),
+			Disorder:   disorder,
+			StableFreq: stableFreq,
+		})
+	}
+	return streams
+}

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"fmt"
+
+	"lmerge/internal/core"
+	"lmerge/internal/engine"
+	"lmerge/internal/gen"
+	"lmerge/internal/metrics"
+	"lmerge/internal/operators"
+	"lmerge/internal/temporal"
+)
+
+// Fig7Result carries the raw measurements behind the Fig. 7 tables and the
+// Sec. VI-D-3 latency comparison.
+type Fig7Result struct {
+	Inputs []int
+	// Per strategy ("LMR3+", "LMR3-", "C+LMR1"): peak bytes, throughput.
+	Bytes      map[string][]int
+	Throughput map[string][]float64
+	// Latency summaries (virtual milliseconds) at the largest input count.
+	Latency map[string]metrics.Summary
+	Table   *Table
+}
+
+// Fig7EnforceVsGeneral reproduces Fig. 7 and the latency discussion of Sec.
+// VI-D: enforcing stream properties with a Cleanse per input and merging
+// with the simple LMR1, versus merging the raw disordered/revising streams
+// directly with the general LMR3+ (and the naive LMR3-). Workload: a 50%
+// disordered stream through a lifetime-modifying sub-query (Signal), whose
+// output carries roughly a third adjust elements (the paper reports 36%),
+// StableFreq 0.1%.
+//
+// Expected shape: LMR3+ memory nearly flat in the input count and smallest;
+// C+LMR1 memory grows linearly (per-input ordering buffers, ~7× LMR3+ at 10
+// inputs in the paper); LMR3+ throughput highest, gap widening with inputs;
+// C+LMR1 latency orders of magnitude above LMR3+ (it holds events until
+// fully frozen).
+func Fig7EnforceVsGeneral(scale Scale) Fig7Result {
+	res := Fig7Result{
+		Inputs:     []int{2, 4, 6, 8, 10},
+		Bytes:      make(map[string][]int),
+		Throughput: make(map[string][]float64),
+		Latency:    make(map[string]metrics.Summary),
+		Table: &Table{
+			ID:      "fig7",
+			Title:   "Enforcing stream properties (C+LMR1) vs general LMerge (3 strategies)",
+			Columns: []string{"strategy", "inputs", "peak memory", "throughput", "mean latency"},
+		},
+	}
+	// Plan outputs: aggregate over 50% disordered input.
+	sc := gen.NewScript(gen.Config{
+		Events:       scale.Events,
+		Seed:         47,
+		PayloadBytes: scale.PayloadBytes,
+		UniqueVs:     true,
+		MaxGap:       gen.TicksPerSecond / 4,
+	})
+	planOut := make([]temporal.Stream, 10)
+	for i := range planOut {
+		planOut[i] = fig7PlanOutput(sc, int64(i), 0.5)
+	}
+	for _, strategy := range []string{"LMR3+", "LMR3-", "C+LMR1"} {
+		for _, n := range res.Inputs {
+			streams := planOut[:n]
+			var bytes int
+			var tput float64
+			var lat metrics.Summary
+			switch strategy {
+			case "LMR3+":
+				bytes, tput, lat = runDirect(streams, func(e core.Emit) core.Merger { return core.NewR3(e) })
+			case "LMR3-":
+				bytes, tput, lat = runDirect(streams, func(e core.Emit) core.Merger { return core.NewR3Naive(e) })
+			case "C+LMR1":
+				bytes, tput, lat = runCleansePipeline(streams)
+			}
+			res.Bytes[strategy] = append(res.Bytes[strategy], bytes)
+			res.Throughput[strategy] = append(res.Throughput[strategy], tput)
+			if n == res.Inputs[len(res.Inputs)-1] {
+				res.Latency[strategy] = lat
+			}
+			res.Table.AddRow(strategy, fmt.Sprintf("%d", n), fmtBytes(bytes), fmtTput(tput),
+				fmt.Sprintf("%.1fms", lat.Mean))
+		}
+	}
+	res.Table.Note("paper shape: LMR3+ flat memory & best throughput; C+LMR1 linear memory (~7x at 10 inputs) and orders-of-magnitude latency")
+	return res
+}
+
+// fig7PlanOutput renders one plan copy's output: the unique-Vs script with
+// the given disorder through the Signal lifetime modifier, StableFreq 0.1%.
+func fig7PlanOutput(sc *gen.Script, seed int64, disorder float64) temporal.Stream {
+	g := engine.NewGraph()
+	src := g.Add(operators.NewSource("in"))
+	sig := g.Add(operators.NewSignal())
+	var out temporal.Stream
+	sink := operators.NewSink()
+	sink.TDB = nil
+	sink.OnElement = func(e temporal.Element) { out = append(out, e) }
+	g.Connect(src, sig)
+	g.Connect(sig, g.Add(sink))
+	for _, e := range sc.Render(gen.RenderOptions{Seed: 4800 + seed, Disorder: disorder, StableFreq: 0.001}) {
+		src.Inject(e)
+	}
+	return out
+}
+
+// latencyTicksToMs converts virtual ticks to virtual milliseconds.
+func latencyTicksToMs(ticks float64) float64 {
+	return ticks / gen.TicksPerSecond * 1000
+}
+
+// runDirect merges the streams directly and measures peak memory,
+// throughput, and virtual output latency (application-time distance between
+// the stream frontier and each emitted event start).
+func runDirect(streams []temporal.Stream, mk func(core.Emit) core.Merger) (int, float64, metrics.Summary) {
+	var lats metrics.Latencies
+	now := temporal.MinTime
+	var outCount int64
+	m := mk(func(e temporal.Element) {
+		outCount++
+		if e.Kind == temporal.KindInsert && now != temporal.MinTime {
+			lats.Observe(latencyTicksToMs(float64(now - e.Vs)))
+		}
+	})
+	for i := range streams {
+		m.Attach(i)
+	}
+	peak := 0
+	pos := make([]int, len(streams))
+	processed := 0
+	start := nowTimer()
+	for {
+		advanced := false
+		for s := range streams {
+			if pos[s] >= len(streams[s]) {
+				continue
+			}
+			e := streams[s][pos[s]]
+			pos[s]++
+			if e.Kind == temporal.KindInsert && e.Vs > now {
+				now = e.Vs
+			}
+			if err := m.Process(s, e); err != nil {
+				panic(err)
+			}
+			processed++
+			advanced = true
+			if processed%256 == 0 {
+				if sz := m.SizeBytes(); sz > peak {
+					peak = sz
+				}
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	wall := sinceTimer(start)
+	if sz := m.SizeBytes(); sz > peak {
+		peak = sz
+	}
+	return peak, float64(outCount) / wall, lats.Summary()
+}
+
+// runCleansePipeline builds source→cleanse per input feeding one LMR1 and
+// measures the same quantities; peak memory includes the cleanse buffers.
+func runCleansePipeline(streams []temporal.Stream) (int, float64, metrics.Summary) {
+	g := engine.NewGraph()
+	var lats metrics.Latencies
+	now := temporal.MinTime
+	var outCount int64
+	lm := operators.NewLMerge(len(streams), -1, func(emit core.Emit) core.Merger {
+		return core.NewR1(emit)
+	})
+	lmNode := g.Add(lm)
+	sink := operators.NewSink()
+	sink.TDB = nil
+	sink.OnElement = func(e temporal.Element) {
+		outCount++
+		if e.Kind == temporal.KindInsert && now != temporal.MinTime {
+			lats.Observe(latencyTicksToMs(float64(now - e.Vs)))
+		}
+	}
+	g.Connect(lmNode, g.Add(sink))
+	srcs := make([]*engine.Node, len(streams))
+	cleanses := make([]*operators.Cleanse, len(streams))
+	for i := range streams {
+		src := g.Add(operators.NewSource("plan"))
+		cleanses[i] = operators.NewCleanse()
+		cn := g.Add(cleanses[i])
+		g.Connect(src, cn)
+		g.Connect(cn, lmNode)
+		srcs[i] = src
+	}
+	peak := 0
+	pos := make([]int, len(streams))
+	processed := 0
+	start := nowTimer()
+	for {
+		advanced := false
+		for s := range streams {
+			if pos[s] >= len(streams[s]) {
+				continue
+			}
+			e := streams[s][pos[s]]
+			pos[s]++
+			if e.Kind == temporal.KindInsert && e.Vs > now {
+				now = e.Vs
+			}
+			srcs[s].Inject(e)
+			processed++
+			advanced = true
+			if processed%256 == 0 {
+				total := lm.SizeBytes()
+				for _, c := range cleanses {
+					total += c.SizeBytes()
+				}
+				if total > peak {
+					peak = total
+				}
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	wall := sinceTimer(start)
+	return peak, float64(outCount) / wall, lats.Summary()
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/metrics"
+	"lmerge/internal/temporal"
+)
+
+// Fig8Result carries the Fig. 8 time series: one bursty input stream's
+// arrival rate and the LMerge output rate, plus variability summaries.
+type Fig8Result struct {
+	Input   []metrics.Point
+	Output  []metrics.Point
+	InputCV float64 // coefficient of variation of a single input's rate
+	OutCV   float64 // of the merged output rate
+	Table   *Table
+}
+
+// Fig8Bursty reproduces Fig. 8: four 20%-disordered copies presented at
+// 5000 elements/s with random stalls (probability 0.3–0.5% per element,
+// delays ~N(20, 5) scaled). LMerge follows the best input at every instant,
+// so the merged output is far smoother than any single input. Expected
+// shape: output rate variability (CV) well below input variability.
+func Fig8Bursty(scale Scale) Fig8Result {
+	sc := disorderedScript(scale, 48)
+	const rate = 5000.0
+	// Size stalls so each stream spends roughly a third of the run stalled
+	// regardless of workload size (transient bursts, not permanent
+	// overload): expected stall fraction ≈ prob × mean × rate.
+	span := float64(scale.Events) / rate
+	streams := make([]gen.TimedStream, 4)
+	for i := range streams {
+		prob := 0.003 + 0.0005*float64(i)
+		stall := 0.35 / (prob * rate)
+		streams[i] = gen.Timed(
+			sc.Render(gen.RenderOptions{Seed: int64(4900 + i), Disorder: 0.2, StableFreq: 0.01}),
+			rate,
+		).WithBursts(int64(10+i), prob, stall, stall/4)
+	}
+	bucket := span / 50
+	inSeries := metrics.NewSeries(bucket)
+	outSeries := metrics.NewSeries(bucket)
+	for _, te := range streams[0] {
+		if te.El.Kind == temporal.KindInsert {
+			inSeries.Add(te.At, 1)
+		}
+	}
+	schedule := gen.MergeDelivery(streams)
+	var at float64
+	m := core.NewR3(func(e temporal.Element) {
+		if e.Kind == temporal.KindInsert {
+			outSeries.Add(at, 1)
+		}
+	})
+	for s := range streams {
+		m.Attach(s)
+	}
+	for _, it := range schedule {
+		at = it.At
+		if err := m.Process(it.Stream, it.El); err != nil {
+			panic(err)
+		}
+	}
+	res := Fig8Result{
+		Input:   inSeries.Rate(),
+		Output:  outSeries.Rate(),
+		InputCV: metrics.Summarize(trim(inSeries.Values())).CoefficientOfVar,
+		OutCV:   metrics.Summarize(trim(outSeries.Values())).CoefficientOfVar,
+		Table: &Table{
+			ID:      "fig8",
+			Title:   "Handling bursty streams (4 inputs, LMerge output)",
+			Columns: []string{"series", "rate over time", "CV"},
+		},
+	}
+	res.Table.AddRow("input 0", metrics.Sparkline(res.Input, 50), fmt.Sprintf("%.3f", res.InputCV))
+	res.Table.AddRow("LMerge out", metrics.Sparkline(res.Output, 50), fmt.Sprintf("%.3f", res.OutCV))
+	res.Table.Note("paper shape: each input bursty, merged output smooth (CV(out) << CV(in))")
+	return res
+}
+
+// Fig9Result carries the Fig. 9 time series: three congested inputs and the
+// merged output.
+type Fig9Result struct {
+	Inputs  [][]metrics.Point
+	Output  []metrics.Point
+	InCVs   []float64
+	OutCV   float64
+	Table   *Table
+	Overlap bool // two inputs congested simultaneously (the paper's ~18s moment)
+}
+
+// Fig9Congestion reproduces Fig. 9: three streams at 5000 elements/s, each
+// suffering network congestion in a different window (two windows overlap).
+// Expected shape: LMerge output unaffected as long as one input is clear —
+// congestion is fully masked.
+func Fig9Congestion(scale Scale) Fig9Result {
+	sc := disorderedScript(scale, 49)
+	const rate = 5000.0
+	span := float64(scale.Events) / rate
+	// Congestion windows as fractions of the span; windows 1 and 2 overlap.
+	wins := [][]gen.Window{
+		{{From: span * 0.15, To: span * 0.3}},
+		{{From: span * 0.5, To: span * 0.68}},
+		{{From: span * 0.6, To: span * 0.8}},
+	}
+	streams := make([]gen.TimedStream, 3)
+	for i := range streams {
+		streams[i] = gen.Timed(
+			sc.Render(gen.RenderOptions{Seed: int64(5000 + i), Disorder: 0.2, StableFreq: 0.01}),
+			rate,
+		).WithCongestion(wins[i], 6)
+	}
+	bucket := span / 50
+	inSeries := make([]*metrics.Series, 3)
+	for i := range inSeries {
+		inSeries[i] = metrics.NewSeries(bucket)
+		for _, te := range streams[i] {
+			if te.El.Kind == temporal.KindInsert {
+				inSeries[i].Add(te.At, 1)
+			}
+		}
+	}
+	outSeries := metrics.NewSeries(bucket)
+	var at float64
+	m := core.NewR3(func(e temporal.Element) {
+		if e.Kind == temporal.KindInsert {
+			outSeries.Add(at, 1)
+		}
+	})
+	for s := range streams {
+		m.Attach(s)
+	}
+	for _, it := range gen.MergeDelivery(streams) {
+		at = it.At
+		if err := m.Process(it.Stream, it.El); err != nil {
+			panic(err)
+		}
+	}
+	res := Fig9Result{
+		Output:  outSeries.Rate(),
+		OutCV:   metrics.Summarize(trim(outSeries.Values())).CoefficientOfVar,
+		Overlap: true,
+		Table: &Table{
+			ID:      "fig9",
+			Title:   "Masking network congestion (3 inputs, staggered windows)",
+			Columns: []string{"series", "rate over time", "CV"},
+		},
+	}
+	for i, s := range inSeries {
+		pts := s.Rate()
+		cv := metrics.Summarize(trim(s.Values())).CoefficientOfVar
+		res.Inputs = append(res.Inputs, pts)
+		res.InCVs = append(res.InCVs, cv)
+		res.Table.AddRow(fmt.Sprintf("input %d", i), metrics.Sparkline(pts, 50), fmt.Sprintf("%.3f", cv))
+	}
+	res.Table.AddRow("LMerge out", metrics.Sparkline(res.Output, 50), fmt.Sprintf("%.3f", res.OutCV))
+	res.Table.Note("paper shape: every input dips during its congestion window; merged output stays steady")
+	return res
+}
+
+// trim drops the trailing partial bucket, which otherwise skews CV.
+func trim(vals []float64) []float64 {
+	if len(vals) > 1 {
+		return vals[:len(vals)-1]
+	}
+	return vals
+}

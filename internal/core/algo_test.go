@@ -1,0 +1,290 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+// phy1/phy2 are Table I's two physical presentations.
+func tableIStreams() (temporal.Stream, temporal.Stream) {
+	a, b := temporal.P('A'), temporal.P('B')
+	phy1 := temporal.Stream{
+		temporal.Insert(b, 8, temporal.Infinity),
+		temporal.Insert(a, 6, 12),
+		temporal.Adjust(b, 8, temporal.Infinity, 10),
+		temporal.Stable(11),
+		temporal.Stable(temporal.Infinity),
+	}
+	phy2 := temporal.Stream{
+		temporal.Insert(a, 6, 7),
+		temporal.Insert(b, 8, 15),
+		temporal.Adjust(a, 6, 7, 12),
+		temporal.Adjust(b, 8, 15, 10),
+		temporal.Stable(temporal.Infinity),
+	}
+	return phy1, phy2
+}
+
+// TestTableIMerge merges the introduction's example streams and checks the
+// output against the logical TDB of Table I.
+func TestTableIMerge(t *testing.T) {
+	want := temporal.MustReconstitute(temporal.Stream{
+		temporal.Insert(temporal.P('A'), 6, 12),
+		temporal.Insert(temporal.P('B'), 8, 10),
+	})
+	for _, c := range []Case{CaseR3, CaseR4} {
+		phy1, phy2 := tableIStreams()
+		rec := newRecorder(t)
+		m := New(c, rec.emit)
+		feed(t, m, []temporal.Stream{phy1, phy2}, interleavings("roundrobin", 2, []int{len(phy1), len(phy2)}, 0), nil)
+		if !rec.tdb.Equal(want) {
+			t.Errorf("%v: merged TDB = %v, want %v", c, rec.tdb, want)
+		}
+	}
+}
+
+// TestPunctuationHoldExample reproduces the Sec. I-B punctuation hazard: the
+// merger has propagated Phy2's a(A,6,7) and a(B,8,15); Phy1's f(11) cannot
+// be blindly forwarded because it would freeze A at [6,7) and prevent B's
+// later adjustment down to 10. Algorithm R3 reconciles the output against
+// Phy1's view (which, by Phy1's own validity, already carries A=[6,12) and
+// B=[8,10)) before emitting the stable.
+func TestPunctuationHoldExample(t *testing.T) {
+	a, b := temporal.P('A'), temporal.P('B')
+	rec := newRecorder(t)
+	m := NewR3(rec.emit)
+	m.Attach(0)
+	m.Attach(1)
+	// Phy2 delivers first: output follows it.
+	mustP(t, m, 1, temporal.Insert(a, 6, 7))
+	mustP(t, m, 1, temporal.Insert(b, 8, 15))
+	// Phy1 delivers its prefix up to and including f(11) (Table I order).
+	mustP(t, m, 0, temporal.Insert(b, 8, temporal.Infinity))
+	mustP(t, m, 0, temporal.Insert(a, 6, 12))
+	mustP(t, m, 0, temporal.Adjust(b, 8, temporal.Infinity, 10))
+	mustP(t, m, 0, temporal.Stable(11))
+	// Before the stable reached the output, A was adjusted to Phy1's
+	// lifetime (half frozen at 12, still adjustable) and B to its final 10.
+	if got := rec.tdb.CountsByKey(temporal.VsPayload{Vs: 6, Payload: a}); len(got) != 1 || got[12] != 1 {
+		t.Fatalf("A not reconciled to Phy1's lifetime before stable: %v", rec.tdb)
+	}
+	if got := rec.tdb.CountsByKey(temporal.VsPayload{Vs: 8, Payload: b}); len(got) != 1 || got[10] != 1 {
+		t.Fatalf("B not adjusted to 10 before stable: %v", rec.tdb)
+	}
+	if rec.tdb.Stable() != 11 {
+		t.Fatalf("output stable = %v, want 11", rec.tdb.Stable())
+	}
+	// Phy2's late revisions are absorbed without output effect.
+	mustP(t, m, 1, temporal.Adjust(a, 6, 7, 12))
+	mustP(t, m, 1, temporal.Adjust(b, 8, 15, 10))
+	mustP(t, m, 1, temporal.Stable(temporal.Infinity))
+	want := temporal.MustReconstitute(temporal.Stream{
+		temporal.Insert(a, 6, 12), temporal.Insert(b, 8, 10),
+	})
+	if !rec.tdb.Equal(want) {
+		t.Fatalf("final TDB = %v", rec.tdb)
+	}
+	if m.Stats().ConsistencyWarnings != 0 {
+		t.Fatalf("warnings on the paper's own example: %d", m.Stats().ConsistencyWarnings)
+	}
+}
+
+func mustP(t *testing.T, m Merger, s StreamID, e temporal.Element) {
+	t.Helper()
+	if err := m.Process(s, e); err != nil {
+		t.Fatalf("process %v: %v", e, err)
+	}
+}
+
+func TestRestrictedMergersRejectAdjust(t *testing.T) {
+	adj := temporal.Adjust(temporal.P(1), 5, 10, 12)
+	for _, m := range []Merger{NewR0(nil), NewR1(nil), NewR2(nil)} {
+		err := m.Process(0, adj)
+		if err == nil {
+			t.Errorf("%v: adjust should be rejected", m.Case())
+		} else if !strings.Contains(err.Error(), "unsupported") {
+			t.Errorf("%v: error %q", m.Case(), err)
+		}
+	}
+}
+
+func TestR0DropsStaleAndDuplicate(t *testing.T) {
+	rec := newRecorder(t)
+	m := NewR0(rec.emit)
+	mustP(t, m, 0, temporal.Insert(temporal.P(1), 5, 10))
+	mustP(t, m, 1, temporal.Insert(temporal.P(1), 5, 10)) // duplicate
+	mustP(t, m, 1, temporal.Insert(temporal.P(2), 3, 10)) // stale
+	mustP(t, m, 0, temporal.Stable(4))
+	mustP(t, m, 1, temporal.Stable(4)) // duplicate stable
+	if got := m.Stats().Dropped; got != 3 {
+		t.Errorf("Dropped = %d, want 3", got)
+	}
+	if m.Stats().OutInserts != 1 || m.Stats().OutStables != 1 {
+		t.Errorf("output counts wrong: %+v", m.Stats())
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	phy1, phy2 := tableIStreams()
+	rec := newRecorder(t)
+	m := NewR3(rec.emit)
+	feed(t, m, []temporal.Stream{phy1, phy2}, interleavings("sequential", 2, []int{len(phy1), len(phy2)}, 0), nil)
+	st := m.Stats()
+	if st.InInserts != 4 || st.InAdjusts != 3 || st.InStables != 3 {
+		t.Errorf("input counts wrong: %+v", st)
+	}
+	if st.InElements() != 10 {
+		t.Errorf("InElements = %d", st.InElements())
+	}
+	if st.OutElements() != int64(len(rec.out)) {
+		t.Errorf("OutElements = %d, recorded %d", st.OutElements(), len(rec.out))
+	}
+}
+
+func TestR3SizeBytesShrinksAfterFreeze(t *testing.T) {
+	m := NewR3(nil)
+	for i := int64(0); i < 100; i++ {
+		mustP(t, m, 0, temporal.Insert(temporal.Payload{ID: i, Data: "xxxxxxxx"}, temporal.Time(i), temporal.Time(i+50)))
+	}
+	grown := m.SizeBytes()
+	if grown == 0 || m.Live() != 100 {
+		t.Fatalf("expected live state, size=%d live=%d", grown, m.Live())
+	}
+	mustP(t, m, 0, temporal.Stable(temporal.Infinity))
+	if m.Live() != 0 || m.SizeBytes() != 0 {
+		t.Fatalf("state not reclaimed: live=%d size=%d", m.Live(), m.SizeBytes())
+	}
+}
+
+func TestR4DuplicateEventsMerged(t *testing.T) {
+	// Two inputs each carry the same event twice (true duplicates): the
+	// output must carry it exactly twice.
+	a := temporal.P('A')
+	s := temporal.Stream{
+		temporal.Insert(a, 5, 10),
+		temporal.Insert(a, 5, 10),
+		temporal.Stable(temporal.Infinity),
+	}
+	rec := newRecorder(t)
+	m := NewR4(rec.emit)
+	feed(t, m, []temporal.Stream{s.Clone(), s.Clone()}, interleavings("roundrobin", 2, []int{3, 3}, 0), nil)
+	if got := rec.tdb.Count(temporal.Ev(a, 5, 10)); got != 2 {
+		t.Fatalf("duplicate event multiplicity = %d, want 2", got)
+	}
+}
+
+func TestR4SameKeyDifferentVe(t *testing.T) {
+	// Two events share (Vs, Payload) with different end times — illegal for
+	// R3's key assumption, bread and butter for R4.
+	a := temporal.P('A')
+	s1 := temporal.Stream{
+		temporal.Insert(a, 5, 10),
+		temporal.Insert(a, 5, 20),
+		temporal.Stable(temporal.Infinity),
+	}
+	s2 := temporal.Stream{
+		temporal.Insert(a, 5, 20),
+		temporal.Insert(a, 5, 10),
+		temporal.Stable(temporal.Infinity),
+	}
+	rec := newRecorder(t)
+	m := NewR4(rec.emit)
+	feed(t, m, []temporal.Stream{s1, s2}, interleavings("roundrobin", 2, []int{3, 3}, 0), nil)
+	if rec.tdb.Count(temporal.Ev(a, 5, 10)) != 1 || rec.tdb.Count(temporal.Ev(a, 5, 20)) != 1 {
+		t.Fatalf("multiset merge wrong: %v", rec.tdb)
+	}
+}
+
+func TestR4EmptyIntervalInsertIgnored(t *testing.T) {
+	rec := newRecorder(t)
+	m := NewR4(rec.emit)
+	mustP(t, m, 0, temporal.Insert(temporal.P(1), 5, 5))
+	mustP(t, m, 0, temporal.Stable(temporal.Infinity))
+	if rec.tdb.Len() != 0 {
+		t.Fatalf("empty-interval insert produced events: %v", rec.tdb)
+	}
+}
+
+func TestCaseString(t *testing.T) {
+	if CaseR0.String() != "R0" || CaseR4.String() != "R4" {
+		t.Error("Case strings wrong")
+	}
+	if !strings.Contains(Case(9).String(), "9") {
+		t.Error("out-of-range Case should print its number")
+	}
+	if InsertQuorum.String() != "quorum" || AdjustEager.String() != "eager" || AdjustLazy.String() != "lazy" {
+		t.Error("policy strings wrong")
+	}
+	if InsertFirstWins.String() != "first-wins" || InsertHalfFrozen.String() != "half-frozen" || InsertFullyFrozen.String() != "fully-frozen" {
+		t.Error("insert policy strings wrong")
+	}
+}
+
+func TestNewDispatch(t *testing.T) {
+	for c := CaseR0; c <= CaseR4; c++ {
+		if got := New(c, nil).Case(); got != c {
+			t.Errorf("New(%v).Case() = %v", c, got)
+		}
+	}
+}
+
+func TestDetachDropsMergerState(t *testing.T) {
+	for _, mk := range []func() Merger{
+		func() Merger { return NewR3(nil) },
+		func() Merger { return NewR4(nil) },
+		func() Merger { return NewR3Naive(nil) },
+	} {
+		m := mk()
+		m.Attach(0)
+		m.Attach(1)
+		mustP(t, m, 0, temporal.Insert(temporal.P(1), 5, 50))
+		mustP(t, m, 1, temporal.Insert(temporal.P(1), 5, 60))
+		before := m.SizeBytes()
+		m.Detach(1)
+		if after := m.SizeBytes(); after > before {
+			t.Errorf("%T: size grew after detach: %d -> %d", m, before, after)
+		}
+	}
+}
+
+func TestR3LateInsertForRetiredKeyDropped(t *testing.T) {
+	rec := newRecorder(t)
+	m := NewR3(rec.emit)
+	m.Attach(0)
+	m.Attach(1)
+	mustP(t, m, 0, temporal.Insert(temporal.P(1), 5, 8))
+	mustP(t, m, 0, temporal.Stable(20)) // event fully frozen and retired
+	mustP(t, m, 1, temporal.Insert(temporal.P(1), 5, 8))
+	mustP(t, m, 1, temporal.Adjust(temporal.P(1), 5, 8, 9))
+	if got := rec.tdb.Count(temporal.Ev(temporal.P(1), 5, 8)); got != 1 {
+		t.Fatalf("retired event count = %d, want 1", got)
+	}
+	if m.Stats().Dropped < 2 {
+		t.Errorf("late elements should be dropped, stats: %+v", m.Stats())
+	}
+}
+
+func TestR3RemovalFlow(t *testing.T) {
+	// A cancelled event (adjust to Ve == Vs) must disappear from the output
+	// even when another stream still believes in it at the stable point.
+	a := temporal.P('A')
+	rec := newRecorder(t)
+	m := NewR3(rec.emit)
+	m.Attach(0)
+	m.Attach(1)
+	mustP(t, m, 0, temporal.Insert(a, 5, 50))
+	mustP(t, m, 1, temporal.Insert(a, 5, 50))
+	mustP(t, m, 0, temporal.Adjust(a, 5, 50, 5)) // cancel on stream 0
+	mustP(t, m, 0, temporal.Stable(100))
+	if rec.tdb.Len() != 0 {
+		t.Fatalf("cancelled event survived: %v", rec.tdb)
+	}
+	// Stream 1's late cancel is absorbed.
+	mustP(t, m, 1, temporal.Adjust(a, 5, 50, 5))
+	mustP(t, m, 1, temporal.Stable(temporal.Infinity))
+	if rec.tdb.Len() != 0 || m.Stats().ConsistencyWarnings != 0 {
+		t.Fatalf("late cancel mishandled: %v, warnings=%d", rec.tdb, m.Stats().ConsistencyWarnings)
+	}
+}

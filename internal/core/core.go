@@ -1,0 +1,174 @@
+// Package core implements the Logical Merge (LMerge) operator of
+// Chandramouli, Maier, and Goldstein, "Physically Independent Stream
+// Merging" (ICDE 2012), Section IV.
+//
+// LMerge consumes several mutually consistent physical streams — streams
+// that reconstitute to (segments of) the same temporal database even though
+// they differ in element order, timing, and composition — and emits a single
+// stream compatible with all of them.
+//
+// The package provides one merger per point in the paper's restriction
+// spectrum, each exploiting stronger input properties for lower cost:
+//
+//	R0  strictly increasing Vs, insert/stable only      (Algorithm R0)
+//	R1  non-decreasing Vs, deterministic same-Vs order  (Algorithm R1)
+//	R2  non-decreasing Vs, any same-Vs order, key(Vs,P) (Algorithm R2)
+//	R3  any order, adjusts allowed, key(Vs,P)           (Algorithm R3, in2t)
+//	R4  no restrictions (multiset TDB)                  (Algorithm R4, in3t)
+//
+// plus R3Naive (the LMR3- baseline of Section VI-A, with unshared per-input
+// indexes), output-policy variants (Section V-A), dynamic attach/detach
+// (Section V-B), and feedback signals for plan fast-forward (Section V-D).
+package core
+
+import (
+	"fmt"
+
+	"lmerge/internal/temporal"
+)
+
+// StreamID identifies one input stream of an LMerge operator. IDs are small
+// non-negative integers assigned by the caller (or by Operator's Attach).
+type StreamID = int
+
+// Case names a point in the paper's restriction spectrum R0–R4.
+type Case uint8
+
+// The restriction cases of Section III-C.
+const (
+	CaseR0 Case = iota
+	CaseR1
+	CaseR2
+	CaseR3
+	CaseR4
+)
+
+// String returns "R0".."R4".
+func (c Case) String() string {
+	if c > CaseR4 {
+		return fmt.Sprintf("Case(%d)", uint8(c))
+	}
+	return [...]string{"R0", "R1", "R2", "R3", "R4"}[c]
+}
+
+// Emit receives each element the merger appends to its output stream.
+type Emit func(temporal.Element)
+
+// Merger is a Logical Merge algorithm. Implementations are not safe for
+// concurrent use; the engine serialises calls per operator.
+type Merger interface {
+	// Case returns the restriction case this merger implements.
+	Case() Case
+	// Process consumes one element from input stream s. It returns an error
+	// only for elements that are invalid under the merger's restriction case
+	// (e.g. an adjust offered to R0); elements that are merely redundant are
+	// absorbed silently.
+	Process(s StreamID, e temporal.Element) error
+	// Attach registers input stream s. R1 needs it for its per-stream
+	// counters; other mergers accept unseen ids lazily but attaching keeps
+	// accounting exact.
+	Attach(s StreamID)
+	// Detach unregisters input stream s; subsequent elements from s are
+	// ignored. Index entries owned by s are dropped.
+	Detach(s StreamID)
+	// MaxStable returns the largest stable timestamp emitted on the output.
+	MaxStable() temporal.Time
+	// SizeBytes estimates the merger's current memory footprint.
+	SizeBytes() int
+	// Stats returns the merger's counters. The pointer stays valid for the
+	// merger's lifetime.
+	Stats() *Stats
+}
+
+// New constructs the merger for case c with output callback emit. R3 is
+// built with default policies; use NewR3 directly for policy control.
+func New(c Case, emit Emit) Merger {
+	switch c {
+	case CaseR0:
+		return NewR0(emit)
+	case CaseR1:
+		return NewR1(emit)
+	case CaseR2:
+		return NewR2(emit)
+	case CaseR3:
+		return NewR3(emit)
+	default:
+		return NewR4(emit)
+	}
+}
+
+// Stats counts a merger's input and output traffic. OutAdjusts is the
+// paper's "output size" chattiness metric (Section VI-B).
+type Stats struct {
+	InInserts, InAdjusts, InStables    int64
+	OutInserts, OutAdjusts, OutStables int64
+	// Dropped counts input elements absorbed without any output effect
+	// (duplicates from slower streams, elements past the stable point).
+	Dropped int64
+	// ConsistencyWarnings counts input anomalies that violate mutual
+	// consistency (e.g. an adjust for an event no stream produced); the
+	// merger skips them rather than corrupting its output.
+	ConsistencyWarnings int64
+}
+
+// OutElements returns the total number of output elements.
+func (s *Stats) OutElements() int64 { return s.OutInserts + s.OutAdjusts + s.OutStables }
+
+// InElements returns the total number of input elements.
+func (s *Stats) InElements() int64 { return s.InInserts + s.InAdjusts + s.InStables }
+
+// base carries the state and output plumbing shared by all mergers.
+type base struct {
+	emit      Emit
+	stats     Stats
+	maxStable temporal.Time
+	attached  map[StreamID]bool
+}
+
+func newBase(emit Emit) base {
+	if emit == nil {
+		emit = func(temporal.Element) {}
+	}
+	return base{emit: emit, maxStable: temporal.MinTime, attached: make(map[StreamID]bool)}
+}
+
+func (b *base) Stats() *Stats              { return &b.stats }
+func (b *base) MaxStable() temporal.Time   { return b.maxStable }
+func (b *base) Attach(s StreamID)          { b.attached[s] = true }
+func (b *base) Detach(s StreamID)          { delete(b.attached, s) }
+func (b *base) isAttached(s StreamID) bool { return b.attached[s] }
+
+// noteAttached lazily registers streams that were never explicitly attached,
+// so callers can use fixed ids without ceremony.
+func (b *base) noteAttached(s StreamID) { b.attached[s] = true }
+
+func (b *base) outInsert(p temporal.Payload, vs, ve temporal.Time) {
+	b.stats.OutInserts++
+	b.emit(temporal.Insert(p, vs, ve))
+}
+
+func (b *base) outAdjust(p temporal.Payload, vs, vold, ve temporal.Time) {
+	b.stats.OutAdjusts++
+	b.emit(temporal.Adjust(p, vs, vold, ve))
+}
+
+func (b *base) outStable(t temporal.Time) {
+	b.stats.OutStables++
+	b.emit(temporal.Stable(t))
+}
+
+func (b *base) countIn(e temporal.Element) {
+	switch e.Kind {
+	case temporal.KindInsert:
+		b.stats.InInserts++
+	case temporal.KindAdjust:
+		b.stats.InAdjusts++
+	case temporal.KindStable:
+		b.stats.InStables++
+	}
+}
+
+// errUnsupported reports an element kind a restricted merger cannot accept.
+func errUnsupported(c Case, e temporal.Element) error {
+	return fmt.Errorf("lmerge %v: unsupported element %v", c, e)
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+func TestFollowLeaderMirrorsLeader(t *testing.T) {
+	a := temporal.P('A')
+	rec := newRecorder(t)
+	m := NewR3(rec.emit, R3Options{Follow: FollowLeader})
+	m.Attach(0)
+	m.Attach(1)
+	// Stream 0 becomes the leader by raising the stable point.
+	mustP(t, m, 0, temporal.Insert(a, 10, 50))
+	mustP(t, m, 0, temporal.Stable(5))
+
+	// A non-leader's new key is tracked but not emitted...
+	b := temporal.P('B')
+	mustP(t, m, 1, temporal.Insert(b, 20, 60))
+	if got := rec.tdb.CountsByKey(temporal.VsPayload{Vs: 20, Payload: b}); len(got) != 0 {
+		t.Fatalf("non-leader insert leaked to output: %v", rec.tdb)
+	}
+	// ...until the leader produces it.
+	mustP(t, m, 0, temporal.Insert(b, 20, 60))
+	if got := rec.tdb.CountsByKey(temporal.VsPayload{Vs: 20, Payload: b}); len(got) != 1 {
+		t.Fatalf("leader insert not emitted: %v", rec.tdb)
+	}
+
+	// Leader revisions are mirrored eagerly; non-leader revisions absorbed.
+	mustP(t, m, 1, temporal.Adjust(a, 10, 50, 99))
+	if rec.tdb.Count(temporal.Ev(a, 10, 50)) != 1 {
+		t.Fatal("non-leader adjust should be absorbed")
+	}
+	mustP(t, m, 0, temporal.Adjust(a, 10, 50, 70))
+	if rec.tdb.Count(temporal.Ev(a, 10, 70)) != 1 {
+		t.Fatalf("leader adjust not mirrored: %v", rec.tdb)
+	}
+}
+
+func TestFollowLeaderLeadershipChanges(t *testing.T) {
+	a := temporal.P('A')
+	rec := newRecorder(t)
+	m := NewR3(rec.emit, R3Options{Follow: FollowLeader})
+	m.Attach(0)
+	m.Attach(1)
+	mustP(t, m, 0, temporal.Insert(a, 10, 50))
+	mustP(t, m, 1, temporal.Insert(a, 10, 55))
+	mustP(t, m, 0, temporal.Stable(5)) // 0 leads
+	mustP(t, m, 0, temporal.Adjust(a, 10, 50, 60))
+	if rec.tdb.Count(temporal.Ev(a, 10, 60)) != 1 {
+		t.Fatalf("leader 0 adjust not mirrored: %v", rec.tdb)
+	}
+	// Stream 1 overtakes: it becomes the leader and its view is mirrored.
+	mustP(t, m, 1, temporal.Stable(8))
+	mustP(t, m, 1, temporal.Adjust(a, 10, 55, 80))
+	if rec.tdb.Count(temporal.Ev(a, 10, 80)) != 1 {
+		t.Fatalf("new leader's adjust not mirrored: %v", rec.tdb)
+	}
+	// Old leader's adjusts are now absorbed.
+	mustP(t, m, 0, temporal.Adjust(a, 10, 60, 65))
+	if rec.tdb.Count(temporal.Ev(a, 10, 80)) != 1 {
+		t.Fatal("old leader's adjust leaked")
+	}
+}
+
+func TestFollowLeaderEquivalenceAndOracle(t *testing.T) {
+	sc := r3Script(71)
+	want := sc.TDB()
+	streams := r3Streams(sc, 3)
+	lens := []int{len(streams[0]), len(streams[1]), len(streams[2])}
+	for _, pat := range patterns {
+		rec := newRecorder(t)
+		m := NewR3(rec.emit, R3Options{Follow: FollowLeader})
+		feed(t, m, streams, interleavings(pat, 3, lens, 71), func(_ int, in []*temporal.TDB) {
+			if err := temporal.CheckCompatR3(rec.tdb, in); err != nil {
+				t.Fatalf("pattern %s: %v", pat, err)
+			}
+		})
+		if !rec.tdb.Equal(want) {
+			t.Fatalf("pattern %s: follow-leader output TDB differs", pat)
+		}
+		if w := m.Stats().ConsistencyWarnings; w != 0 {
+			t.Fatalf("pattern %s: %d warnings", pat, w)
+		}
+	}
+}
+
+func TestFollowLeaderFlappingIsChattier(t *testing.T) {
+	// When leadership alternates, follow-leader re-adjusts the output to
+	// each new leader's view — the overhead the paper warns about — while
+	// the default lazy policy absorbs the churn.
+	sc := r3Script(73)
+	streams := r3Streams(sc, 3)
+	lens := []int{len(streams[0]), len(streams[1]), len(streams[2])}
+	run := func(opts R3Options) int64 {
+		rec := newRecorder(t)
+		m := NewR3(rec.emit, opts)
+		feed(t, m, streams, interleavings("roundrobin", 3, lens, 73), nil)
+		if !rec.tdb.Equal(sc.TDB()) {
+			t.Fatal("wrong TDB")
+		}
+		return m.Stats().OutAdjusts
+	}
+	lazy := run(R3Options{})
+	follow := run(R3Options{Follow: FollowLeader})
+	if follow < lazy {
+		t.Errorf("flapping leadership should not reduce adjusts: follow=%d lazy=%d", follow, lazy)
+	}
+}
+
+func TestFollowPolicyString(t *testing.T) {
+	if FollowNone.String() != "follow-none" || FollowLeader.String() != "follow-leader" {
+		t.Error("follow policy strings wrong")
+	}
+}

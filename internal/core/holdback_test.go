@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+// TestConservativeNoDuplicateAfterHoldback is the regression test for a bug
+// the randomized soak found: under InsertFullyFrozen the output stable point
+// is held back to the earliest pending event, so a fully frozen node whose
+// Vs lies at or above the held-back point must not be retired — a lagging
+// stream would otherwise re-create it and the event would be emitted twice.
+func TestConservativeNoDuplicateAfterHoldback(t *testing.T) {
+	early := temporal.P('E') // long-lived: holds the stable point back
+	late := temporal.P('L')  // short-lived: freezes (and is emitted) first
+	rec := newRecorder(t)
+	m := NewR3(rec.emit, R3Options{Insert: InsertFullyFrozen})
+	m.Attach(0)
+	m.Attach(1)
+
+	mustP(t, m, 0, temporal.Insert(early, 10, 100))
+	mustP(t, m, 0, temporal.Insert(late, 20, 30))
+	// Stream 0 vouches past the late event's end: it is emitted with its
+	// final lifetime, but the output stable point stays at 10 (the early
+	// event is still pending).
+	mustP(t, m, 0, temporal.Stable(50))
+	if got := rec.tdb.Count(temporal.Ev(late, 20, 30)); got != 1 {
+		t.Fatalf("late event count = %d, want 1", got)
+	}
+	if rec.tdb.Stable() != 10 {
+		t.Fatalf("output stable = %v, want 10 (held back)", rec.tdb.Stable())
+	}
+	// The lagging stream now delivers its copy of the late event — the
+	// merge must absorb it, not re-create and re-emit it.
+	mustP(t, m, 1, temporal.Insert(late, 20, 30))
+	mustP(t, m, 1, temporal.Insert(early, 10, 100))
+	mustP(t, m, 1, temporal.Stable(temporal.Infinity))
+	if got := rec.tdb.Count(temporal.Ev(late, 20, 30)); got != 1 {
+		t.Fatalf("late event duplicated: count = %d", got)
+	}
+	if got := rec.tdb.Count(temporal.Ev(early, 10, 100)); got != 1 {
+		t.Fatalf("early event count = %d, want 1", got)
+	}
+	if rec.tdb.Stable() != temporal.Infinity {
+		t.Fatal("merge did not complete")
+	}
+}
+
+// TestConservativeCancelledEventDoesNotWedgeStable: an event that is
+// cancelled before it freezes will never be emitted, so it must not hold the
+// conservative policy's output stable point back (it previously wedged the
+// stable point — and node cleanup — permanently).
+func TestConservativeCancelledEventDoesNotWedgeStable(t *testing.T) {
+	gone := temporal.P('G')
+	keep := temporal.P('K')
+	rec := newRecorder(t)
+	m := NewR3(rec.emit, R3Options{Insert: InsertFullyFrozen})
+	m.Attach(0)
+	mustP(t, m, 0, temporal.Insert(gone, 10, 20))
+	mustP(t, m, 0, temporal.Adjust(gone, 10, 20, 10)) // cancelled
+	mustP(t, m, 0, temporal.Insert(keep, 15, 25))
+	mustP(t, m, 0, temporal.Stable(40))
+	// Everything before 40 is settled: keep emitted, gone never emitted,
+	// and the stable point must reach 40, not stick at 10.
+	if rec.tdb.Count(temporal.Ev(keep, 15, 25)) != 1 || rec.tdb.Len() != 1 {
+		t.Fatalf("output = %v", rec.tdb)
+	}
+	if rec.tdb.Stable() != 40 {
+		t.Fatalf("output stable = %v, want 40", rec.tdb.Stable())
+	}
+	if m.Live() != 0 {
+		t.Fatalf("%d nodes leaked past the stable point", m.Live())
+	}
+}
+
+// TestConservativeEmitsInfiniteEventsAtEnd: a never-ending event is final
+// once stable(∞) arrives and must be emitted by the conservative policy.
+func TestConservativeEmitsInfiniteEventsAtEnd(t *testing.T) {
+	p := temporal.P('I')
+	rec := newRecorder(t)
+	m := NewR3(rec.emit, R3Options{Insert: InsertFullyFrozen})
+	m.Attach(0)
+	mustP(t, m, 0, temporal.Insert(p, 10, temporal.Infinity))
+	mustP(t, m, 0, temporal.Stable(50))
+	if rec.tdb.Len() != 0 {
+		t.Fatal("never-ending event emitted before the stream completed")
+	}
+	if rec.tdb.Stable() != 10 {
+		t.Fatalf("stable = %v, want 10 (held back)", rec.tdb.Stable())
+	}
+	mustP(t, m, 0, temporal.Stable(temporal.Infinity))
+	if rec.tdb.Count(temporal.Ev(p, 10, temporal.Infinity)) != 1 {
+		t.Fatalf("never-ending event missing at stream end: %v", rec.tdb)
+	}
+	if rec.tdb.Stable() != temporal.Infinity {
+		t.Fatal("merge did not complete")
+	}
+}

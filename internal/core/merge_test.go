@@ -1,0 +1,492 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+// recorder collects a merger's output, failing the test immediately if the
+// merger ever emits an element that is invalid on its own output stream.
+type recorder struct {
+	t   *testing.T
+	out temporal.Stream
+	tdb *temporal.TDB
+}
+
+func newRecorder(t *testing.T) *recorder {
+	return &recorder{t: t, tdb: temporal.NewTDB()}
+}
+
+func (r *recorder) emit(e temporal.Element) {
+	r.out = append(r.out, e)
+	if err := r.tdb.Apply(e); err != nil {
+		r.t.Fatalf("merger emitted invalid element #%d: %v", len(r.out), err)
+	}
+}
+
+// interleavings enumerates delivery orders for a set of streams. Each order
+// is a sequence of stream ids; the feeder pops the next undelivered element
+// of that stream.
+func interleavings(name string, n int, lens []int, seed int64) []int {
+	total := 0
+	for _, l := range lens {
+		total += l
+	}
+	order := make([]int, 0, total)
+	switch name {
+	case "roundrobin":
+		left := append([]int(nil), lens...)
+		for remaining := total; remaining > 0; {
+			for s := 0; s < n; s++ {
+				if left[s] > 0 {
+					order = append(order, s)
+					left[s]--
+					remaining--
+				}
+			}
+		}
+	case "sequential": // stream 0 completes before stream 1 starts, etc.
+		for s := 0; s < n; s++ {
+			for i := 0; i < lens[s]; i++ {
+				order = append(order, s)
+			}
+		}
+	case "skew": // stream 0 runs far ahead of the rest
+		left := append([]int(nil), lens...)
+		for remaining := total; remaining > 0; {
+			for burst := 0; burst < 4 && left[0] > 0; burst++ {
+				order = append(order, 0)
+				left[0]--
+				remaining--
+			}
+			for s := 1; s < n; s++ {
+				if left[s] > 0 {
+					order = append(order, s)
+					left[s]--
+					remaining--
+				}
+			}
+		}
+	case "random":
+		rng := rand.New(rand.NewSource(seed))
+		left := append([]int(nil), lens...)
+		for remaining := total; remaining > 0; {
+			s := rng.Intn(n)
+			if left[s] > 0 {
+				order = append(order, s)
+				left[s]--
+				remaining--
+			}
+		}
+	}
+	return order
+}
+
+var patterns = []string{"roundrobin", "sequential", "skew", "random"}
+
+// feed delivers the streams to the merger in the given order. If oracle is
+// non-nil it runs after every delivered element with the current input TDBs.
+func feed(t *testing.T, m Merger, streams []temporal.Stream, order []int,
+	oracle func(raiser int, inTDBs []*temporal.TDB)) {
+	t.Helper()
+	pos := make([]int, len(streams))
+	inTDBs := make([]*temporal.TDB, len(streams))
+	for i := range streams {
+		inTDBs[i] = temporal.NewTDB()
+		m.Attach(i)
+	}
+	for _, s := range order {
+		e := streams[s][pos[s]]
+		pos[s]++
+		if err := inTDBs[s].Apply(e); err != nil {
+			t.Fatalf("input stream %d delivered invalid element: %v", s, err)
+		}
+		if err := m.Process(s, e); err != nil {
+			t.Fatalf("merger rejected %v from stream %d: %v", e, s, err)
+		}
+		if oracle != nil {
+			oracle(s, inTDBs)
+		}
+	}
+}
+
+func r3Script(seed int64) *gen.Script {
+	return gen.NewScript(gen.Config{
+		Events:        120,
+		Seed:          seed,
+		EventDuration: 80,
+		MaxGap:        12,
+		Revisions:     0.6,
+		RemoveProb:    0.25,
+		PayloadBytes:  8,
+	})
+}
+
+func r3Streams(sc *gen.Script, n int) []temporal.Stream {
+	streams := make([]temporal.Stream, n)
+	for i := range streams {
+		streams[i] = sc.Render(gen.RenderOptions{
+			Seed:         int64(100 + i),
+			Disorder:     0.3,
+			StableFreq:   0.08,
+			SplitInserts: i%2 == 1,
+		})
+	}
+	return streams
+}
+
+// TestR3Equivalence: merging divergent renderings under every delivery
+// pattern yields an output stream equivalent to the script's TDB.
+func TestR3Equivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		sc := r3Script(seed)
+		want := sc.TDB()
+		streams := r3Streams(sc, 3)
+		lens := []int{len(streams[0]), len(streams[1]), len(streams[2])}
+		for _, pat := range patterns {
+			rec := newRecorder(t)
+			m := NewR3(rec.emit)
+			feed(t, m, streams, interleavings(pat, 3, lens, seed), nil)
+			if !rec.tdb.Equal(want) {
+				t.Fatalf("seed %d pattern %s: output TDB %v != script TDB %v", seed, pat, rec.tdb, want)
+			}
+			if rec.tdb.Stable() != temporal.Infinity {
+				t.Fatalf("seed %d pattern %s: output did not reach stable(∞)", seed, pat)
+			}
+			if m.Live() != 0 {
+				t.Fatalf("seed %d pattern %s: %d nodes leaked after stable(∞)", seed, pat, m.Live())
+			}
+			if w := m.Stats().ConsistencyWarnings; w != 0 {
+				t.Fatalf("seed %d pattern %s: %d consistency warnings on consistent inputs", seed, pat, w)
+			}
+		}
+	}
+}
+
+// TestR3CompatibilityOracle validates the output against the paper's C1–C3
+// conditions after every single input element.
+func TestR3CompatibilityOracle(t *testing.T) {
+	sc := r3Script(7)
+	streams := r3Streams(sc, 3)
+	lens := []int{len(streams[0]), len(streams[1]), len(streams[2])}
+	for _, pat := range patterns {
+		rec := newRecorder(t)
+		m := NewR3(rec.emit)
+		step := 0
+		feed(t, m, streams, interleavings(pat, 3, lens, 7), func(raiser int, in []*temporal.TDB) {
+			step++
+			if err := temporal.CheckCompatR3(rec.tdb, in); err != nil {
+				t.Fatalf("pattern %s step %d: %v", pat, step, err)
+			}
+		})
+	}
+}
+
+// TestR4Equivalence exercises the general merger on multiset workloads with
+// duplicate (Vs, Payload) keys.
+func TestR4Equivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		cfg := gen.Config{
+			Events:        120,
+			Seed:          seed,
+			EventDuration: 80,
+			MaxGap:        12,
+			Revisions:     0.5,
+			RemoveProb:    0.2,
+			PayloadBytes:  8,
+			DupProb:       0.3,
+		}
+		sc := gen.NewScript(cfg)
+		want := sc.TDB()
+		streams := make([]temporal.Stream, 3)
+		for i := range streams {
+			streams[i] = sc.Render(gen.RenderOptions{Seed: int64(200 + i), Disorder: 0.4, StableFreq: 0.08})
+		}
+		lens := []int{len(streams[0]), len(streams[1]), len(streams[2])}
+		for _, pat := range patterns {
+			rec := newRecorder(t)
+			m := NewR4(rec.emit)
+			feed(t, m, streams, interleavings(pat, 3, lens, seed), nil)
+			if !rec.tdb.Equal(want) {
+				t.Fatalf("seed %d pattern %s: output TDB differs\n got %v\nwant %v", seed, pat, rec.tdb, want)
+			}
+			if m.Live() != 0 {
+				t.Fatalf("seed %d pattern %s: %d nodes leaked", seed, pat, m.Live())
+			}
+			if w := m.Stats().ConsistencyWarnings; w != 0 {
+				t.Fatalf("seed %d pattern %s: %d consistency warnings", seed, pat, w)
+			}
+		}
+	}
+}
+
+// TestR4StrongOracle validates the R4 conformance condition of Sec. III-D
+// each time the output stable point advances.
+func TestR4StrongOracle(t *testing.T) {
+	cfg := gen.Config{
+		Events: 100, Seed: 5, EventDuration: 60, MaxGap: 10,
+		Revisions: 0.5, RemoveProb: 0.2, PayloadBytes: 8, DupProb: 0.25,
+	}
+	sc := gen.NewScript(cfg)
+	streams := make([]temporal.Stream, 3)
+	for i := range streams {
+		streams[i] = sc.Render(gen.RenderOptions{Seed: int64(300 + i), Disorder: 0.3, StableFreq: 0.1})
+	}
+	lens := []int{len(streams[0]), len(streams[1]), len(streams[2])}
+	for _, pat := range patterns {
+		rec := newRecorder(t)
+		m := NewR4(rec.emit)
+		last := temporal.MinTime
+		feed(t, m, streams, interleavings(pat, 3, lens, 5), func(raiser int, in []*temporal.TDB) {
+			if ms := m.MaxStable(); ms > last {
+				last = ms
+				if err := temporal.CheckStrongR4(rec.tdb, in[raiser]); err != nil {
+					t.Fatalf("pattern %s at stable %v: %v", pat, ms, err)
+				}
+			}
+		})
+	}
+}
+
+// TestR4HandlesR3Workloads: the general merger must subsume the key-
+// constrained case.
+func TestR4HandlesR3Workloads(t *testing.T) {
+	sc := r3Script(9)
+	streams := r3Streams(sc, 3)
+	lens := []int{len(streams[0]), len(streams[1]), len(streams[2])}
+	rec := newRecorder(t)
+	m := NewR4(rec.emit)
+	feed(t, m, streams, interleavings("random", 3, lens, 9), nil)
+	if !rec.tdb.Equal(sc.TDB()) {
+		t.Fatal("R4 output differs from script TDB on an R3 workload")
+	}
+}
+
+// TestR3NaiveEquivalence: the LMR3- baseline must be correct too, just
+// costlier.
+func TestR3NaiveEquivalence(t *testing.T) {
+	sc := r3Script(11)
+	want := sc.TDB()
+	streams := r3Streams(sc, 3)
+	lens := []int{len(streams[0]), len(streams[1]), len(streams[2])}
+	for _, pat := range patterns {
+		rec := newRecorder(t)
+		m := NewR3Naive(rec.emit)
+		feed(t, m, streams, interleavings(pat, 3, lens, 11), nil)
+		if !rec.tdb.Equal(want) {
+			t.Fatalf("pattern %s: LMR3- output TDB differs", pat)
+		}
+		if w := m.Stats().ConsistencyWarnings; w != 0 {
+			t.Fatalf("pattern %s: %d consistency warnings", pat, w)
+		}
+	}
+}
+
+// TestR3NaiveCompatibilityOracle runs C1–C3 against LMR3- as well.
+func TestR3NaiveCompatibilityOracle(t *testing.T) {
+	sc := r3Script(13)
+	streams := r3Streams(sc, 2)
+	lens := []int{len(streams[0]), len(streams[1])}
+	rec := newRecorder(t)
+	m := NewR3Naive(rec.emit)
+	feed(t, m, streams, interleavings("random", 2, lens, 13), func(raiser int, in []*temporal.TDB) {
+		if err := temporal.CheckCompatR3(rec.tdb, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// orderedStreams renders n presentations for the given ordered kind.
+func orderedStreams(t *testing.T, kind gen.OrderedKind, n int, unique bool) (*gen.Script, []temporal.Stream) {
+	t.Helper()
+	cfg := gen.Config{
+		Events: 300, Seed: 21, MaxGap: 10, PayloadBytes: 8,
+		UniqueVs: unique,
+	}
+	if !unique {
+		cfg.GroupSize = 3
+	}
+	sc := gen.NewScript(cfg)
+	streams := make([]temporal.Stream, n)
+	for i := range streams {
+		streams[i] = sc.RenderOrdered(kind, gen.RenderOptions{Seed: int64(400 + i), StableFreq: 0.05})
+	}
+	return sc, streams
+}
+
+func TestR0Merge(t *testing.T) {
+	sc, streams := orderedStreams(t, gen.OrderedStrict, 3, true)
+	lens := make([]int, 3)
+	for i := range streams {
+		lens[i] = len(streams[i])
+	}
+	for _, pat := range patterns {
+		rec := newRecorder(t)
+		m := NewR0(rec.emit)
+		feed(t, m, streams, interleavings(pat, 3, lens, 21), nil)
+		if !rec.tdb.Equal(sc.TDB()) {
+			t.Fatalf("pattern %s: R0 output TDB differs", pat)
+		}
+		// Strictly increasing output Vs, no duplicates.
+		last := temporal.MinTime
+		for _, e := range rec.out {
+			if e.Kind == temporal.KindInsert {
+				if e.Vs <= last {
+					t.Fatalf("pattern %s: output Vs not strictly increasing", pat)
+				}
+				last = e.Vs
+			}
+		}
+	}
+}
+
+func TestR1Merge(t *testing.T) {
+	sc, streams := orderedStreams(t, gen.OrderedDeterministic, 3, false)
+	lens := make([]int, 3)
+	for i := range streams {
+		lens[i] = len(streams[i])
+	}
+	for _, pat := range patterns {
+		rec := newRecorder(t)
+		m := NewR1(rec.emit)
+		feed(t, m, streams, interleavings(pat, 3, lens, 22), nil)
+		if !rec.tdb.Equal(sc.TDB()) {
+			t.Fatalf("pattern %s: R1 output TDB differs", pat)
+		}
+	}
+}
+
+func TestR2Merge(t *testing.T) {
+	sc, streams := orderedStreams(t, gen.OrderedShuffledTies, 3, false)
+	lens := make([]int, 3)
+	for i := range streams {
+		lens[i] = len(streams[i])
+	}
+	for _, pat := range patterns {
+		rec := newRecorder(t)
+		m := NewR2(rec.emit)
+		feed(t, m, streams, interleavings(pat, 3, lens, 23), nil)
+		if !rec.tdb.Equal(sc.TDB()) {
+			t.Fatalf("pattern %s: R2 output TDB differs", pat)
+		}
+	}
+}
+
+// TestR1MismergesShuffledTies documents why R2 exists: when same-Vs order
+// differs across streams, the counting merger emits the i-th element of
+// whichever stream reaches position i first — here duplicating A and losing
+// B entirely.
+func TestR1MismergesShuffledTies(t *testing.T) {
+	a, b := temporal.P('A'), temporal.P('B')
+	s1 := temporal.Stream{temporal.Insert(a, 1, 5), temporal.Insert(b, 1, 6)}
+	s2 := temporal.Stream{temporal.Insert(b, 1, 6), temporal.Insert(a, 1, 5)}
+	out := temporal.NewTDB()
+	m := NewR1(func(e temporal.Element) {
+		if err := out.Apply(e); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	})
+	m.Attach(0)
+	m.Attach(1)
+	// Delivery order s1[0], s2[0], s2[1], s1[1]: s2 reaches position 1 first.
+	for _, step := range []struct {
+		s StreamID
+		e temporal.Element
+	}{{0, s1[0]}, {1, s2[0]}, {1, s2[1]}, {0, s1[1]}} {
+		if err := m.Process(step.s, step.e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := temporal.MustReconstitute(s1)
+	if out.Equal(want) {
+		t.Fatal("R1 unexpectedly merged an R2 workload correctly; the counterexample is gone")
+	}
+	if out.Count(temporal.Ev(a, 1, 5)) != 2 || out.Count(temporal.Ev(b, 1, 6)) != 0 {
+		t.Fatalf("expected duplicated A and missing B, got %v", out)
+	}
+	// R2 handles the same delivery correctly.
+	out2 := temporal.NewTDB()
+	m2 := NewR2(func(e temporal.Element) {
+		if err := out2.Apply(e); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	})
+	for _, step := range []struct {
+		s StreamID
+		e temporal.Element
+	}{{0, s1[0]}, {1, s2[0]}, {1, s2[1]}, {0, s1[1]}} {
+		if err := m2.Process(step.s, step.e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !out2.Equal(want) {
+		t.Fatalf("R2 should merge the shuffled-ties delivery correctly, got %v", out2)
+	}
+}
+
+// TestTheorem1NonChattiness: Algorithm R3 outputs no more inserts+adjusts
+// than inserts received, and no more stables than stables received.
+func TestTheorem1NonChattiness(t *testing.T) {
+	for _, seed := range []int64{31, 32, 33, 34} {
+		sc := r3Script(seed)
+		streams := r3Streams(sc, 4)
+		lens := make([]int, len(streams))
+		for i := range streams {
+			lens[i] = len(streams[i])
+		}
+		for _, pat := range patterns {
+			rec := newRecorder(t)
+			m := NewR3(rec.emit)
+			feed(t, m, streams, interleavings(pat, len(streams), lens, seed), nil)
+			st := m.Stats()
+			if st.OutInserts+st.OutAdjusts > st.InInserts {
+				t.Fatalf("seed %d pattern %s: %d inserts+adjusts out > %d inserts in",
+					seed, pat, st.OutInserts+st.OutAdjusts, st.InInserts)
+			}
+			if st.OutStables > st.InStables {
+				t.Fatalf("seed %d pattern %s: %d stables out > %d stables in",
+					seed, pat, st.OutStables, st.InStables)
+			}
+		}
+	}
+}
+
+// TestMergeSingleInput: with one input the merge must reproduce the input's
+// TDB exactly, for every algorithm.
+func TestMergeSingleInput(t *testing.T) {
+	sc := r3Script(41)
+	s := sc.Render(gen.RenderOptions{Seed: 1, Disorder: 0.2, StableFreq: 0.05})
+	for _, c := range []Case{CaseR3, CaseR4} {
+		rec := newRecorder(t)
+		m := New(c, rec.emit)
+		feed(t, m, []temporal.Stream{s}, interleavings("sequential", 1, []int{len(s)}, 0), nil)
+		if !rec.tdb.Equal(sc.TDB()) {
+			t.Fatalf("%v: single-input merge differs from input TDB", c)
+		}
+	}
+}
+
+// TestManyInputsStillOneOutput: duplicated identical inputs must not inflate
+// the output.
+func TestManyInputsStillOneOutput(t *testing.T) {
+	sc := r3Script(43)
+	s := sc.Render(gen.RenderOptions{Seed: 9, Disorder: 0.2})
+	streams := make([]temporal.Stream, 8)
+	lens := make([]int, 8)
+	for i := range streams {
+		streams[i] = s.Clone()
+		lens[i] = len(s)
+	}
+	rec := newRecorder(t)
+	m := NewR3(rec.emit)
+	feed(t, m, streams, interleavings("roundrobin", 8, lens, 43), nil)
+	if !rec.tdb.Equal(sc.TDB()) {
+		t.Fatal("output TDB differs with 8 identical inputs")
+	}
+	if int(m.Stats().OutInserts) > sc.Cfg.Events {
+		t.Fatalf("emitted %d inserts for %d events", m.Stats().OutInserts, sc.Cfg.Events)
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+// This file tests the missing-element semantics of paper Section V-C:
+// requiring the output to contain an element as long as ANY input reports it
+// would chain LMerge to the slowest input, so instead —
+//
+//   - R0/R1/R2 output an element missing from stream S as long as another
+//     stream delivers it before S delivers an element with higher Vs;
+//
+//   - R3/R4 output an element e as long as the stream that advances
+//     MaxStable beyond e.Vs produced e.
+
+func TestR0MissingElementRace(t *testing.T) {
+	a, b, c := temporal.P('A'), temporal.P('B'), temporal.P('C')
+	full := temporal.Stream{
+		temporal.Insert(a, 1, 10),
+		temporal.Insert(b, 2, 10),
+		temporal.Insert(c, 3, 10),
+	}
+	gappy := temporal.Stream{ // missing B
+		temporal.Insert(a, 1, 10),
+		temporal.Insert(c, 3, 10),
+	}
+
+	// Case 1: the full stream delivers B before the gappy stream reaches C:
+	// B survives.
+	rec := newRecorder(t)
+	m := NewR0(rec.emit)
+	mustP(t, m, 0, full[0])  // A
+	mustP(t, m, 1, gappy[0]) // A (dup)
+	mustP(t, m, 0, full[1])  // B — delivered in time
+	mustP(t, m, 1, gappy[1]) // C
+	mustP(t, m, 0, full[2])  // C (dup)
+	if rec.tdb.Count(temporal.Ev(b, 2, 10)) != 1 {
+		t.Fatalf("B should survive when delivered before the gap overtakes: %v", rec.tdb)
+	}
+
+	// Case 2: the gappy stream races ahead past B's slot first: B is lost
+	// (the price of not chaining the output to the slowest input).
+	rec2 := newRecorder(t)
+	m2 := NewR0(rec2.emit)
+	mustP(t, m2, 1, gappy[0]) // A
+	mustP(t, m2, 1, gappy[1]) // C — MaxVs now 3
+	mustP(t, m2, 0, full[0])  // A (dup)
+	mustP(t, m2, 0, full[1])  // B — too late, Vs 2 < MaxVs 3
+	mustP(t, m2, 0, full[2])  // C (dup)
+	if rec2.tdb.Count(temporal.Ev(b, 2, 10)) != 0 {
+		t.Fatalf("B should be dropped once the merge moved past its slot: %v", rec2.tdb)
+	}
+	if m2.Stats().Dropped == 0 {
+		t.Fatal("late B should be counted as dropped")
+	}
+}
+
+func TestR3MissingElementFollowsStableRaiser(t *testing.T) {
+	a, b := temporal.P('A'), temporal.P('B')
+
+	// Stream 0 carries both events; stream 1 is missing B.
+	mk := func() (*recorder, *R3) {
+		rec := newRecorder(t)
+		m := NewR3(rec.emit)
+		m.Attach(0)
+		m.Attach(1)
+		mustP(t, m, 0, temporal.Insert(a, 1, 3))
+		mustP(t, m, 0, temporal.Insert(b, 2, 4))
+		mustP(t, m, 1, temporal.Insert(a, 1, 3))
+		return rec, m
+	}
+
+	// Case 1: the complete stream raises the stable point: B survives.
+	rec, m := mk()
+	mustP(t, m, 0, temporal.Stable(10))
+	if rec.tdb.Count(temporal.Ev(b, 2, 4)) != 1 {
+		t.Fatalf("B vouched for by the raiser should survive: %v", rec.tdb)
+	}
+
+	// Case 2: the gappy stream raises the stable point: B is removed — the
+	// raiser vouches for completeness below t and does not know B.
+	rec2, m2 := mk()
+	mustP(t, m2, 1, temporal.Stable(10))
+	if rec2.tdb.Count(temporal.Ev(b, 2, 4)) != 0 {
+		t.Fatalf("B not vouched for by the raiser should be removed: %v", rec2.tdb)
+	}
+	// The removal keeps the output stream valid (recorder applies strictly).
+	if rec2.tdb.Stable() != 10 {
+		t.Fatal("stable did not advance")
+	}
+}
+
+func TestR3GappyStreamsEndToEnd(t *testing.T) {
+	// Three renderings, one dropping 10% of histories. Whether a dropped
+	// event survives depends on who raises each stable — but the output must
+	// always be a valid stream whose events all come from the script, and
+	// with a complete stream raising the final stable, nothing beyond the
+	// drops can be missing.
+	sc := r3Script(91)
+	complete0 := sc.Render(gen.RenderOptions{Seed: 1, Disorder: 0.3, StableFreq: 0.05})
+	complete1 := sc.Render(gen.RenderOptions{Seed: 2, Disorder: 0.3, StableFreq: 0.05})
+	gappy := sc.Render(gen.RenderOptions{Seed: 3, Disorder: 0.3, StableFreq: 0.05, DropFrac: 0.1})
+	if len(gappy) >= len(complete0) {
+		t.Fatal("drops did not shrink the rendering")
+	}
+	streams := []temporal.Stream{complete0, complete1, gappy}
+	lens := []int{len(complete0), len(complete1), len(gappy)}
+	// Keys the script ever produced (including cancelled histories).
+	keys := make(map[temporal.VsPayload]bool)
+	for _, h := range sc.Histories {
+		keys[temporal.VsPayload{Vs: h.Vs, Payload: h.P}] = true
+	}
+	want := sc.TDB()
+	for _, pat := range patterns {
+		rec := newRecorder(t)
+		m := NewR3(rec.emit)
+		feed(t, m, streams, interleavings(pat, 3, lens, 91), nil)
+		// The merge never invents keys: every output event's (Vs, Payload)
+		// comes from the workload. Lifetimes may be pinned at a stale value
+		// for events the faulty stream vouched past (counted below).
+		stale := 0
+		for _, ev := range rec.tdb.Events() {
+			if !keys[ev.Key()] {
+				t.Fatalf("pattern %s: fabricated key %v", pat, ev)
+			}
+			if want.Count(ev) == 0 {
+				stale++
+			}
+		}
+		if rec.tdb.Stable() != temporal.Infinity {
+			t.Fatalf("pattern %s: merge did not complete", pat)
+		}
+		// Divergence is bounded by the faulty stream's gap.
+		if stale > len(sc.Histories)/5 {
+			t.Fatalf("pattern %s: %d stale lifetimes", pat, stale)
+		}
+		// At least the overwhelming majority of events must survive.
+		if rec.tdb.Len() < want.Len()*8/10 {
+			t.Fatalf("pattern %s: only %d of %d events survived", pat, rec.tdb.Len(), want.Len())
+		}
+	}
+	// With a complete stream carrying the merge to the end on its own, the
+	// output is exact: its stable(∞) reconciles every pinned node first.
+	rec := newRecorder(t)
+	m := NewR3(rec.emit)
+	feed(t, m, streams, interleavings("sequential", 3, lens, 91), nil)
+	if !rec.tdb.Equal(want) {
+		t.Fatal("complete-stream-led merge should be exact")
+	}
+}
+
+func TestR3GappyOracleStillHolds(t *testing.T) {
+	// Even with a faulty input the output must stay compatible with the
+	// non-faulty inputs (the oracle takes the TDBs as they are).
+	sc := r3Script(93)
+	streams := []temporal.Stream{
+		sc.Render(gen.RenderOptions{Seed: 1, Disorder: 0.3, StableFreq: 0.05}),
+		sc.Render(gen.RenderOptions{Seed: 2, Disorder: 0.3, StableFreq: 0.05, DropFrac: 0.15}),
+	}
+	lens := []int{len(streams[0]), len(streams[1])}
+	rec := newRecorder(t)
+	m := NewR3(rec.emit)
+	// The oracle's C3 assumes mutually consistent inputs; with a faulty
+	// stream we verify only that the output never emits an invalid element
+	// (the recorder checks every Apply) and the merge completes.
+	feed(t, m, streams, interleavings("random", 2, lens, 93), nil)
+	if rec.tdb.Stable() != temporal.Infinity {
+		t.Fatal("merge did not complete")
+	}
+}
+
+func TestR4GappyStreamsEndToEnd(t *testing.T) {
+	// The general merger must also tolerate a faulty input with duplicate
+	// keys in play: no invented keys, completion, bounded divergence.
+	cfg := gen.Config{
+		Events: 200, Seed: 95, EventDuration: 60, MaxGap: 8,
+		Revisions: 0.4, RemoveProb: 0.2, PayloadBytes: 8, DupProb: 0.2,
+	}
+	sc := gen.NewScript(cfg)
+	streams := []temporal.Stream{
+		sc.Render(gen.RenderOptions{Seed: 1, Disorder: 0.3, StableFreq: 0.05}),
+		sc.Render(gen.RenderOptions{Seed: 2, Disorder: 0.3, StableFreq: 0.05, DropFrac: 0.1}),
+	}
+	lens := []int{len(streams[0]), len(streams[1])}
+	keys := make(map[temporal.VsPayload]bool)
+	for _, h := range sc.Histories {
+		keys[temporal.VsPayload{Vs: h.Vs, Payload: h.P}] = true
+	}
+	for _, pat := range patterns {
+		rec := newRecorder(t)
+		m := NewR4(rec.emit)
+		feed(t, m, streams, interleavings(pat, 2, lens, 95), nil)
+		for _, ev := range rec.tdb.Events() {
+			if !keys[ev.Key()] {
+				t.Fatalf("pattern %s: fabricated key %v", pat, ev)
+			}
+		}
+		if rec.tdb.Stable() != temporal.Infinity {
+			t.Fatalf("pattern %s: merge did not complete", pat)
+		}
+	}
+}

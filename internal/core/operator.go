@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"lmerge/internal/temporal"
+)
+
+// Feedback is the fast-forward signal of Section V-D: it tells the query
+// plan feeding input Stream that elements before time T are no longer of
+// interest, so the plan may skip producing them and purge related state.
+type Feedback struct {
+	Stream StreamID
+	T      temporal.Time
+}
+
+// FeedbackFunc receives feedback signals for routing upstream.
+type FeedbackFunc func(Feedback)
+
+// Operator wraps a Merger with the dynamic input management of Section V-B
+// (attach with a join timestamp, graceful detach) and the feedback signal
+// generation of Section V-D. It is the form of LMerge that the engine and
+// the applications (high availability, plan switching) instantiate.
+type Operator struct {
+	m        Merger
+	next     StreamID
+	inputs   map[StreamID]*inputState
+	feedback FeedbackFunc
+	// feedbackLag is how far an input's own progress may trail the output
+	// stable point before a fast-forward signal is sent; 0 signals eagerly.
+	feedbackLag temporal.Time
+}
+
+type inputState struct {
+	joinTime     temporal.Time
+	joined       bool
+	leaving      bool
+	lastStable   temporal.Time // the input's own progress
+	lastFeedback temporal.Time
+}
+
+// OperatorOption configures an Operator.
+type OperatorOption func(*Operator)
+
+// WithFeedback routes fast-forward signals to fn whenever an input's own
+// progress trails the merged output's stable point by more than lag.
+func WithFeedback(fn FeedbackFunc, lag temporal.Time) OperatorOption {
+	return func(o *Operator) {
+		o.feedback = fn
+		o.feedbackLag = lag
+	}
+}
+
+// NewOperator wraps merger m.
+func NewOperator(m Merger, opts ...OperatorOption) *Operator {
+	o := &Operator{m: m, inputs: make(map[StreamID]*inputState)}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// Merger returns the wrapped merge algorithm (for stats and sizing).
+func (o *Operator) Merger() Merger { return o.m }
+
+// MaxStable returns the output's stable point.
+func (o *Operator) MaxStable() temporal.Time { return o.m.MaxStable() }
+
+// Attach registers a new input stream. joinTime is the stream's guarantee
+// point: it will present a correct TDB for every event with Ve >= joinTime.
+// Streams that participate from the beginning attach with
+// joinTime = temporal.MinTime and are immediately full members. A stream
+// attached mid-run becomes a full member — able to carry the output on its
+// own — once the output stable point reaches joinTime; until then its stable
+// elements are withheld from the merge so its pre-join gap cannot suppress
+// events the other inputs carry.
+func (o *Operator) Attach(joinTime temporal.Time) StreamID {
+	id := o.next
+	o.next++
+	st := &inputState{
+		joinTime:     joinTime,
+		lastStable:   temporal.MinTime,
+		lastFeedback: temporal.MinTime,
+	}
+	st.joined = joinTime <= o.m.MaxStable() || joinTime == temporal.MinTime
+	o.inputs[id] = st
+	o.m.Attach(id)
+	return id
+}
+
+// Detach marks input id as leaving; its subsequent elements are ignored and
+// its merger-held state is released.
+func (o *Operator) Detach(id StreamID) {
+	st, ok := o.inputs[id]
+	if !ok || st.leaving {
+		return
+	}
+	st.leaving = true
+	o.m.Detach(id)
+}
+
+// Joined reports whether input id is a full member (see Attach).
+func (o *Operator) Joined(id StreamID) bool {
+	st, ok := o.inputs[id]
+	return ok && st.joined
+}
+
+// ActiveInputs returns the number of attached, non-leaving inputs.
+func (o *Operator) ActiveInputs() int {
+	n := 0
+	for _, st := range o.inputs {
+		if !st.leaving {
+			n++
+		}
+	}
+	return n
+}
+
+// Process feeds one element from input id through the merge.
+func (o *Operator) Process(id StreamID, e temporal.Element) error {
+	st, ok := o.inputs[id]
+	if !ok {
+		return fmt.Errorf("lmerge: element from unattached stream %d", id)
+	}
+	if st.leaving {
+		return nil
+	}
+	if e.Kind == temporal.KindStable {
+		st.lastStable = temporal.MaxT(st.lastStable, e.T())
+		if !st.joined && st.joinTime <= o.m.MaxStable() {
+			st.joined = true
+		}
+		if !st.joined {
+			// Withhold: the stream's pre-join gap must not drive the output.
+			return nil
+		}
+	}
+	before := o.m.MaxStable()
+	if err := o.m.Process(id, e); err != nil {
+		return err
+	}
+	if after := o.m.MaxStable(); after > before {
+		o.onStableAdvance(after)
+	}
+	return nil
+}
+
+// onStableAdvance promotes pending joiners and emits fast-forward feedback
+// to inputs lagging behind the new output stable point.
+func (o *Operator) onStableAdvance(t temporal.Time) {
+	for id, st := range o.inputs {
+		if st.leaving {
+			continue
+		}
+		if !st.joined && st.joinTime <= t {
+			st.joined = true
+		}
+		if o.feedback == nil {
+			continue
+		}
+		if st.lastStable < t-o.feedbackLag && st.lastFeedback < t {
+			st.lastFeedback = t
+			o.feedback(Feedback{Stream: id, T: t})
+		}
+	}
+}

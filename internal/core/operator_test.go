@@ -1,0 +1,244 @@
+package core
+
+import (
+	"testing"
+
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+func TestOperatorDetachMidRun(t *testing.T) {
+	sc := r3Script(61)
+	want := sc.TDB()
+	s0 := sc.Render(gen.RenderOptions{Seed: 1, Disorder: 0.3, StableFreq: 0.05})
+	s1 := sc.Render(gen.RenderOptions{Seed: 2, Disorder: 0.3, StableFreq: 0.05})
+
+	rec := newRecorder(t)
+	op := NewOperator(NewR3(rec.emit))
+	id0 := op.Attach(temporal.MinTime)
+	id1 := op.Attach(temporal.MinTime)
+
+	// Interleave until stream 1 "fails" a third of the way through, then
+	// stream 0 carries the query alone.
+	fail := len(s1) / 3
+	for i := 0; i < fail; i++ {
+		if err := op.Process(id0, s0[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := op.Process(id1, s1[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	op.Detach(id1)
+	if op.ActiveInputs() != 1 {
+		t.Fatalf("ActiveInputs = %d, want 1", op.ActiveInputs())
+	}
+	// Elements from a detached stream are ignored, not errors.
+	if err := op.Process(id1, s1[fail]); err != nil {
+		t.Fatalf("detached stream element should be ignored: %v", err)
+	}
+	for i := fail; i < len(s0); i++ {
+		if err := op.Process(id0, s0[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rec.tdb.Equal(want) {
+		t.Fatal("output TDB wrong after mid-run detach")
+	}
+	if op.MaxStable() != temporal.Infinity {
+		t.Fatal("output did not complete after detach")
+	}
+}
+
+func TestOperatorRestartedReplicaNoDuplicates(t *testing.T) {
+	// A replica fails and restarts from scratch, re-delivering its stream
+	// from the beginning (the paper's re-attachment duplication hazard).
+	sc := r3Script(63)
+	want := sc.TDB()
+	s0 := sc.Render(gen.RenderOptions{Seed: 1, Disorder: 0.2, StableFreq: 0.05})
+	s1 := sc.Render(gen.RenderOptions{Seed: 2, Disorder: 0.2, StableFreq: 0.05})
+
+	rec := newRecorder(t)
+	op := NewOperator(NewR3(rec.emit))
+	id0 := op.Attach(temporal.MinTime)
+	id1 := op.Attach(temporal.MinTime)
+
+	half := len(s1) / 2
+	for i := 0; i < half; i++ {
+		mustProcess(t, op, id0, s0[i])
+		mustProcess(t, op, id1, s1[i])
+	}
+	// Replica 1 dies and a restarted instance re-attaches; it reprocesses
+	// its input from scratch (duplicating prior elements).
+	op.Detach(id1)
+	id1b := op.Attach(op.MaxStable())
+	for i := half; i < len(s0); i++ {
+		mustProcess(t, op, id0, s0[i])
+	}
+	for _, e := range s1 {
+		mustProcess(t, op, id1b, e)
+	}
+	if !rec.tdb.Equal(want) {
+		t.Fatal("output TDB wrong after replica restart")
+	}
+}
+
+func TestOperatorJoinGating(t *testing.T) {
+	// A joining stream's stables must be withheld until the output stable
+	// point reaches its join time — otherwise its pre-join gap could delete
+	// events the established inputs carry.
+	a := temporal.P('A')
+	rec := newRecorder(t)
+	op := NewOperator(NewR3(rec.emit))
+	id0 := op.Attach(temporal.MinTime)
+
+	mustProcess(t, op, id0, temporal.Insert(a, 5, 50))
+
+	// A new replica joins, guaranteeing correctness only from t=100 — it
+	// missed event A entirely.
+	idJ := op.Attach(100)
+	if op.Joined(idJ) {
+		t.Fatal("joiner should not be a full member immediately")
+	}
+	// The joiner races ahead: without gating, its stable(60) would remove
+	// event A from the output.
+	mustProcess(t, op, idJ, temporal.Stable(60))
+	if op.MaxStable() != temporal.MinTime {
+		t.Fatal("withheld stable advanced the output")
+	}
+	if rec.tdb.Count(temporal.Ev(a, 5, 50)) != 1 {
+		t.Fatal("event A lost")
+	}
+	// The established stream advances the output past the join point.
+	mustProcess(t, op, id0, temporal.Stable(120))
+	if op.MaxStable() != 120 {
+		t.Fatalf("MaxStable = %v, want 120", op.MaxStable())
+	}
+	if !op.Joined(idJ) {
+		t.Fatal("joiner should be a full member once MaxStable ≥ join time")
+	}
+	// Now the joiner alone can carry the stream.
+	op.Detach(id0)
+	mustProcess(t, op, idJ, temporal.Insert(a, 130, 140))
+	mustProcess(t, op, idJ, temporal.Stable(temporal.Infinity))
+	if rec.tdb.Count(temporal.Ev(a, 130, 140)) != 1 {
+		t.Fatal("joiner's event missing")
+	}
+	if op.MaxStable() != temporal.Infinity {
+		t.Fatal("joiner could not advance the output after joining")
+	}
+}
+
+func TestOperatorFeedback(t *testing.T) {
+	var signals []Feedback
+	rec := newRecorder(t)
+	op := NewOperator(NewR3(rec.emit), WithFeedback(func(f Feedback) { signals = append(signals, f) }, 0))
+	fast := op.Attach(temporal.MinTime)
+	slow := op.Attach(temporal.MinTime)
+
+	a := temporal.P('A')
+	mustProcess(t, op, fast, temporal.Insert(a, 1, 10))
+	mustProcess(t, op, slow, temporal.Insert(a, 1, 10))
+	mustProcess(t, op, fast, temporal.Stable(20))
+
+	if len(signals) != 1 || signals[0].Stream != slow || signals[0].T != 20 {
+		t.Fatalf("signals = %v, want one fast-forward(20) to the slow stream", signals)
+	}
+	// No repeat signal while the output stable point is unchanged.
+	mustProcess(t, op, fast, temporal.Insert(a, 25, 30))
+	if len(signals) != 1 {
+		t.Fatalf("spurious feedback: %v", signals)
+	}
+	// The slow stream catching up suppresses further signals to it.
+	mustProcess(t, op, slow, temporal.Stable(20))
+	mustProcess(t, op, fast, temporal.Stable(22))
+	// slow.lastStable = 20 < 22, so it is signalled again (lag 0).
+	if len(signals) != 2 || signals[1].T != 22 {
+		t.Fatalf("signals = %v", signals)
+	}
+}
+
+func TestOperatorFeedbackLag(t *testing.T) {
+	var signals []Feedback
+	rec := newRecorder(t)
+	op := NewOperator(NewR3(rec.emit), WithFeedback(func(f Feedback) { signals = append(signals, f) }, 50))
+	fast := op.Attach(temporal.MinTime)
+	slow := op.Attach(temporal.MinTime)
+	_ = slow
+
+	a := temporal.P('A')
+	mustProcess(t, op, fast, temporal.Insert(a, 1, 10))
+	// A stream that has reported no progress at all is maximally behind, so
+	// the first stable advance signals it regardless of lag.
+	mustProcess(t, op, fast, temporal.Stable(30))
+	if len(signals) != 1 || signals[0].Stream != slow || signals[0].T != 30 {
+		t.Fatalf("startup signal missing: %v", signals)
+	}
+	// Once the slow stream has a baseline within the lag window, it is left
+	// alone.
+	mustProcess(t, op, slow, temporal.Stable(25))
+	mustProcess(t, op, fast, temporal.Insert(a, 60, 70))
+	mustProcess(t, op, fast, temporal.Stable(60))
+	if len(signals) != 1 {
+		t.Fatalf("slow stream within lag 50 of stable 60 should not be signalled: %v", signals)
+	}
+	// Falling more than 50 behind triggers feedback again.
+	mustProcess(t, op, fast, temporal.Stable(90))
+	if len(signals) != 2 || signals[1].Stream != slow || signals[1].T != 90 {
+		t.Fatalf("signals = %v", signals)
+	}
+}
+
+func TestOperatorUnknownStream(t *testing.T) {
+	op := NewOperator(NewR3(nil))
+	if err := op.Process(99, temporal.Stable(1)); err == nil {
+		t.Fatal("element from unattached stream should error")
+	}
+}
+
+func mustProcess(t *testing.T, op *Operator, id StreamID, e temporal.Element) {
+	t.Helper()
+	if err := op.Process(id, e); err != nil {
+		t.Fatalf("process %v: %v", e, err)
+	}
+}
+
+func TestOperatorHAAllButOneFail(t *testing.T) {
+	// n replicas, n-1 fail at staggered points: output must still complete
+	// and equal the script TDB (the paper's HA claim, Sec. II-1).
+	sc := r3Script(67)
+	want := sc.TDB()
+	const n = 5
+	streams := make([]temporal.Stream, n)
+	ids := make([]StreamID, n)
+	rec := newRecorder(t)
+	op := NewOperator(NewR3(rec.emit))
+	maxLen := 0
+	for i := range streams {
+		streams[i] = sc.Render(gen.RenderOptions{Seed: int64(70 + i), Disorder: 0.3, StableFreq: 0.05})
+		ids[i] = op.Attach(temporal.MinTime)
+		if len(streams[i]) > maxLen {
+			maxLen = len(streams[i])
+		}
+	}
+	for pos := 0; pos < maxLen; pos++ {
+		for i := range streams {
+			// Replica i>0 fails after i/n of the run.
+			if i > 0 && pos >= len(streams[i])*i/n {
+				if op.ActiveInputs() > 1 {
+					op.Detach(ids[i])
+				}
+				continue
+			}
+			if pos < len(streams[i]) {
+				mustProcess(t, op, ids[i], streams[i][pos])
+			}
+		}
+	}
+	if !rec.tdb.Equal(want) {
+		t.Fatal("HA merge lost or duplicated events")
+	}
+	if op.MaxStable() != temporal.Infinity {
+		t.Fatal("HA merge did not complete")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import "fmt"
+
+// InsertPolicy controls when R3 first reflects a (Vs, Payload) on the output
+// (policy location 2 of Section V-A).
+type InsertPolicy uint8
+
+const (
+	// InsertFirstWins emits the first insert seen for each (Vs, Payload)
+	// immediately — maximally responsive; the paper's Algorithm R3 default.
+	InsertFirstWins InsertPolicy = iota
+	// InsertQuorum waits until at least Quorum inputs have produced the
+	// (Vs, Payload), reducing the chance of spurious output that later needs
+	// full deletion. Events are still emitted at the half-frozen transition
+	// regardless of quorum, as compatibility requires.
+	InsertQuorum
+	// InsertHalfFrozen defers emission until the event becomes half frozen
+	// on some input: the output never fully removes an element, at the cost
+	// of latency.
+	InsertHalfFrozen
+	// InsertFullyFrozen (conservative; Out2 of Table II) emits an event only
+	// with its final lifetime. The output stable point is held back to the
+	// earliest unemitted Vs so compatibility is preserved.
+	InsertFullyFrozen
+)
+
+// String names the policy.
+func (p InsertPolicy) String() string {
+	switch p {
+	case InsertFirstWins:
+		return "first-wins"
+	case InsertQuorum:
+		return "quorum"
+	case InsertHalfFrozen:
+		return "half-frozen"
+	case InsertFullyFrozen:
+		return "fully-frozen"
+	}
+	return fmt.Sprintf("InsertPolicy(%d)", uint8(p))
+}
+
+// AdjustPolicy controls whether R3 propagates incoming adjust elements
+// immediately (policy location 1 of Section V-A).
+type AdjustPolicy uint8
+
+const (
+	// AdjustLazy retains the current output value for every (Vs, Payload)
+	// and issues adjusts only when a stable element would otherwise make
+	// output and input diverge irrecoverably. This is the paper's default;
+	// it gives the non-chattiness bound of Theorem 1.
+	AdjustLazy AdjustPolicy = iota
+	// AdjustEager reflects every incoming adjust at the output. Chattier,
+	// but downstream listeners see revisions sooner.
+	AdjustEager
+)
+
+// String names the policy.
+func (p AdjustPolicy) String() string {
+	if p == AdjustEager {
+		return "eager"
+	}
+	return "lazy"
+}
+
+// FollowPolicy optionally ties the output to one distinguished input
+// (Sec. V-A: "force LMerge to 'follow' a particular input stream, for
+// example, the stream with the currently maximum stable() timestamp").
+type FollowPolicy uint8
+
+const (
+	// FollowNone applies the insert/adjust policies uniformly to all inputs
+	// (the default).
+	FollowNone FollowPolicy = iota
+	// FollowLeader mirrors the leading stream — the input that most
+	// recently advanced the output stable point: the leader's inserts and
+	// revisions are reflected eagerly, other inputs are only tracked. When
+	// leadership flaps, the output pays extra adjusts to re-align, the
+	// overhead the paper warns about.
+	FollowLeader
+)
+
+// String names the policy.
+func (p FollowPolicy) String() string {
+	if p == FollowLeader {
+		return "follow-leader"
+	}
+	return "follow-none"
+}
+
+// R3Options selects the output policies of an R3 merger.
+type R3Options struct {
+	Insert InsertPolicy
+	// Quorum is the number of inputs that must present a (Vs, Payload)
+	// before it is emitted, when Insert == InsertQuorum. Values < 1 mean 1.
+	Quorum int
+	Adjust AdjustPolicy
+	Follow FollowPolicy
+}

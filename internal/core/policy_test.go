@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+// tableIIInputs is the spirit of paper Table II: two presentations of one
+// logical event set where stream 2 revises A's lifetime.
+func tableIIInputs() (temporal.Stream, temporal.Stream) {
+	a, b := temporal.P('A'), temporal.P('B')
+	in1 := temporal.Stream{
+		temporal.Insert(a, 6, 10),
+		temporal.Insert(b, 7, 14),
+		temporal.Adjust(a, 6, 10, 15),
+		temporal.Stable(16),
+	}
+	in2 := temporal.Stream{
+		temporal.Insert(a, 6, 12),
+		temporal.Insert(b, 7, 14),
+		temporal.Adjust(a, 6, 12, 15),
+		temporal.Stable(16),
+	}
+	return in1, in2
+}
+
+// runPolicy merges the Table II inputs round-robin under the given options.
+func runPolicy(t *testing.T, opts R3Options) (temporal.Stream, *temporal.TDB) {
+	t.Helper()
+	in1, in2 := tableIIInputs()
+	rec := newRecorder(t)
+	m := NewR3(rec.emit, opts)
+	m.Attach(0)
+	m.Attach(1)
+	for i := 0; i < len(in1) || i < len(in2); i++ {
+		if i < len(in1) {
+			if err := m.Process(0, in1[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i < len(in2) {
+			if err := m.Process(1, in2[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return rec.out, rec.tdb
+}
+
+func TestTableIIPolicies(t *testing.T) {
+	in1, _ := tableIIInputs()
+	want := temporal.MustReconstitute(in1)
+
+	// Out1: aggressive — every change propagated as seen.
+	out1, tdb1 := runPolicy(t, R3Options{Insert: InsertFirstWins, Adjust: AdjustEager})
+	// Out2: conservative — elements only once final.
+	out2, tdb2 := runPolicy(t, R3Options{Insert: InsertFullyFrozen})
+	// Out3: in between — first element per key immediately, modifications
+	// saved until final (the paper's default).
+	out3, tdb3 := runPolicy(t, R3Options{})
+
+	for name, tdb := range map[string]*temporal.TDB{"Out1": tdb1, "Out2": tdb2, "Out3": tdb3} {
+		if !tdb.Equal(want) {
+			t.Errorf("%s: final TDB differs from inputs", name)
+		}
+	}
+
+	if len(out1) <= len(out3) {
+		t.Errorf("aggressive policy should be chattiest: |Out1|=%d |Out3|=%d", len(out1), len(out3))
+	}
+	if out2.Adjusts() != 0 {
+		t.Errorf("conservative policy should emit no adjusts, emitted %d", out2.Adjusts())
+	}
+	if len(out2) >= len(out1) {
+		t.Errorf("conservative policy should emit fewer elements than aggressive: %d vs %d", len(out2), len(out1))
+	}
+	// Conservative emits events with their final lifetimes directly.
+	for _, e := range out2 {
+		if e.Kind == temporal.KindInsert && e.Payload == temporal.P('A') && e.Ve != 15 {
+			t.Errorf("conservative policy emitted non-final A lifetime %v", e.Ve)
+		}
+	}
+	// The default policy emits A immediately with the first-seen lifetime,
+	// then a single reconciling adjust at the stable point.
+	if out3[0] != temporal.Insert(temporal.P('A'), 6, 10) {
+		t.Errorf("default policy first element = %v, want insert(A,6,10)", out3[0])
+	}
+}
+
+func TestPolicyEquivalenceOnGeneratedWorkloads(t *testing.T) {
+	sc := r3Script(51)
+	want := sc.TDB()
+	streams := r3Streams(sc, 3)
+	lens := []int{len(streams[0]), len(streams[1]), len(streams[2])}
+	optsList := []R3Options{
+		{Insert: InsertFirstWins, Adjust: AdjustLazy},
+		{Insert: InsertFirstWins, Adjust: AdjustEager},
+		{Insert: InsertQuorum, Quorum: 2},
+		{Insert: InsertQuorum, Quorum: 3, Adjust: AdjustEager},
+		{Insert: InsertHalfFrozen},
+		{Insert: InsertFullyFrozen},
+	}
+	for _, opts := range optsList {
+		for _, pat := range patterns {
+			rec := newRecorder(t)
+			m := NewR3(rec.emit, opts)
+			feed(t, m, streams, interleavings(pat, 3, lens, 51), nil)
+			if !rec.tdb.Equal(want) {
+				t.Fatalf("policy %v/%v pattern %s: output TDB differs", opts.Insert, opts.Adjust, pat)
+			}
+			if w := m.Stats().ConsistencyWarnings; w != 0 {
+				t.Fatalf("policy %v/%v pattern %s: %d warnings", opts.Insert, opts.Adjust, pat, w)
+			}
+		}
+	}
+}
+
+// TestPolicyOracle: the deferred-emission policies must also satisfy C1–C3
+// at every step.
+func TestPolicyOracle(t *testing.T) {
+	sc := r3Script(53)
+	streams := r3Streams(sc, 2)
+	lens := []int{len(streams[0]), len(streams[1])}
+	for _, opts := range []R3Options{
+		{Insert: InsertHalfFrozen},
+		{Insert: InsertFullyFrozen},
+		{Insert: InsertQuorum, Quorum: 2},
+		{Adjust: AdjustEager},
+	} {
+		rec := newRecorder(t)
+		m := NewR3(rec.emit, opts)
+		feed(t, m, streams, interleavings("random", 2, lens, 53), func(_ int, in []*temporal.TDB) {
+			if err := temporal.CheckCompatR3(rec.tdb, in); err != nil {
+				t.Fatalf("policy %v/%v: %v", opts.Insert, opts.Adjust, err)
+			}
+		})
+	}
+}
+
+// TestChattinessOrdering: eager ≥ lazy adjust output on revision-heavy
+// workloads; the conservative insert policy emits no spurious inserts.
+func TestChattinessOrdering(t *testing.T) {
+	cfg := gen.Config{
+		Events: 200, Seed: 55, EventDuration: 100, MaxGap: 10,
+		Revisions: 0.9, RemoveProb: 0.3, PayloadBytes: 8,
+	}
+	sc := gen.NewScript(cfg)
+	streams := make([]temporal.Stream, 3)
+	for i := range streams {
+		streams[i] = sc.Render(gen.RenderOptions{Seed: int64(60 + i), Disorder: 0.4, StableFreq: 0.05})
+	}
+	lens := []int{len(streams[0]), len(streams[1]), len(streams[2])}
+
+	run := func(opts R3Options) *Stats {
+		rec := newRecorder(t)
+		m := NewR3(rec.emit, opts)
+		feed(t, m, streams, interleavings("roundrobin", 3, lens, 55), nil)
+		if !rec.tdb.Equal(sc.TDB()) {
+			t.Fatalf("policy %+v: wrong TDB", opts)
+		}
+		return m.Stats()
+	}
+	lazy := run(R3Options{})
+	eager := run(R3Options{Adjust: AdjustEager})
+	conservative := run(R3Options{Insert: InsertFullyFrozen})
+
+	if eager.OutAdjusts < lazy.OutAdjusts {
+		t.Errorf("eager adjusts (%d) < lazy adjusts (%d)", eager.OutAdjusts, lazy.OutAdjusts)
+	}
+	// Conservative never emits an event it must later remove.
+	removals := 0
+	rec := newRecorder(t)
+	m := NewR3(rec.emit, R3Options{Insert: InsertFullyFrozen})
+	feed(t, m, streams, interleavings("roundrobin", 3, lens, 55), nil)
+	for _, e := range rec.out {
+		if e.Kind == temporal.KindAdjust && e.IsRemoval() {
+			removals++
+		}
+	}
+	if removals != 0 {
+		t.Errorf("conservative policy emitted %d removals", removals)
+	}
+	if conservative.OutElements() >= lazy.OutElements() {
+		t.Errorf("conservative (%d elements) should be less chatty than default (%d)",
+			conservative.OutElements(), lazy.OutElements())
+	}
+}

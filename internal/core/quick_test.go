@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+// TestQuickR3Equivalence drives randomized workload shapes, rendering
+// parameters, and delivery patterns through R3, checking final logical
+// equivalence and output validity each time.
+func TestQuickR3Equivalence(t *testing.T) {
+	f := func(seed int64, disorderPct, revPct, streams3, patIdx uint8, split bool) bool {
+		n := 2 + int(streams3)%3 // 2..4 inputs
+		sc := gen.NewScript(gen.Config{
+			Events:        60,
+			Seed:          seed,
+			EventDuration: 50,
+			MaxGap:        9,
+			Revisions:     float64(revPct%100) / 100,
+			RemoveProb:    0.2,
+			PayloadBytes:  6,
+		})
+		want := sc.TDB()
+		streams := make([]temporal.Stream, n)
+		lens := make([]int, n)
+		for i := range streams {
+			streams[i] = sc.Render(gen.RenderOptions{
+				Seed:         seed + int64(i) + 1,
+				Disorder:     float64(disorderPct%90) / 100,
+				StableFreq:   0.08,
+				SplitInserts: split && i%2 == 0,
+			})
+			lens[i] = len(streams[i])
+		}
+		pat := patterns[int(patIdx)%len(patterns)]
+		out := temporal.NewTDB()
+		ok := true
+		m := NewR3(func(e temporal.Element) {
+			if err := out.Apply(e); err != nil {
+				ok = false
+			}
+		})
+		for i := range streams {
+			m.Attach(i)
+		}
+		pos := make([]int, n)
+		for _, s := range interleavings(pat, n, lens, seed) {
+			if m.Process(s, streams[s][pos[s]]) != nil {
+				return false
+			}
+			pos[s]++
+		}
+		return ok && out.Equal(want) && m.Stats().ConsistencyWarnings == 0 && m.Live() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickR4Multiset does the same for the general merger with duplicate
+// keys in the workload.
+func TestQuickR4Multiset(t *testing.T) {
+	f := func(seed int64, disorderPct, dupPct, patIdx uint8) bool {
+		sc := gen.NewScript(gen.Config{
+			Events:        50,
+			Seed:          seed,
+			EventDuration: 40,
+			MaxGap:        8,
+			Revisions:     0.4,
+			RemoveProb:    0.2,
+			PayloadBytes:  6,
+			DupProb:       float64(dupPct%50) / 100,
+		})
+		want := sc.TDB()
+		n := 3
+		streams := make([]temporal.Stream, n)
+		lens := make([]int, n)
+		for i := range streams {
+			streams[i] = sc.Render(gen.RenderOptions{
+				Seed:       seed*7 + int64(i),
+				Disorder:   float64(disorderPct%90) / 100,
+				StableFreq: 0.1,
+			})
+			lens[i] = len(streams[i])
+		}
+		pat := patterns[int(patIdx)%len(patterns)]
+		out := temporal.NewTDB()
+		ok := true
+		m := NewR4(func(e temporal.Element) {
+			if err := out.Apply(e); err != nil {
+				ok = false
+			}
+		})
+		for i := range streams {
+			m.Attach(i)
+		}
+		pos := make([]int, n)
+		for _, s := range interleavings(pat, n, lens, seed) {
+			if m.Process(s, streams[s][pos[s]]) != nil {
+				return false
+			}
+			pos[s]++
+		}
+		return ok && out.Equal(want) && m.Stats().ConsistencyWarnings == 0 && m.Live() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSnapshotRoundTrip: at any cut point, the snapshot plus the
+// remaining elements of one complete input reproduce the live region.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(seed int64, cutPct uint8) bool {
+		sc := gen.NewScript(gen.Config{
+			Events: 50, Seed: seed, EventDuration: 40, MaxGap: 8,
+			Revisions: 0.4, RemoveProb: 0.2, PayloadBytes: 6,
+		})
+		stream := sc.Render(gen.RenderOptions{Seed: seed + 1, Disorder: 0.3, StableFreq: 0.1})
+		cut := int(cutPct) % len(stream)
+		m := NewR3(nil)
+		m.Attach(0)
+		for i := 0; i < cut; i++ {
+			if m.Process(0, stream[i]) != nil {
+				return false
+			}
+		}
+		snap := m.Snapshot()
+		snapTDB, err := temporal.Reconstitute(snap)
+		if err != nil {
+			return false
+		}
+		// Resume a fresh merger from the snapshot plus the tail.
+		out := temporal.NewTDB()
+		ok := true
+		m2 := NewR3(func(e temporal.Element) {
+			if err := out.Apply(e); err != nil {
+				ok = false
+			}
+		})
+		m2.Attach(0)
+		m2.Attach(1)
+		for _, e := range snap {
+			if m2.Process(0, e) != nil {
+				return false
+			}
+		}
+		for _, e := range stream { // the live source replays from scratch
+			if m2.Process(1, e) != nil {
+				return false
+			}
+		}
+		if !ok {
+			return false
+		}
+		// Everything live at the snapshot or later must match ground truth.
+		cutStable := snapTDB.Stable()
+		if cutStable == temporal.MinTime {
+			cutStable = 0
+		}
+		want := liveTDB(sc.TDB(), cutStable)
+		got := liveTDB(out, cutStable)
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import "lmerge/internal/temporal"
+
+// R0 is Algorithm R0: inputs carry only insert and stable elements with
+// strictly increasing Vs, so order is deterministic and duplicate-free. The
+// merger keeps just the maximum Vs and stable timestamps seen across all
+// inputs — O(1) state and O(1) per element.
+type R0 struct {
+	base
+	maxVs temporal.Time
+}
+
+// NewR0 returns an R0 merger writing its output to emit.
+func NewR0(emit Emit) *R0 {
+	return &R0{base: newBase(emit), maxVs: temporal.MinTime}
+}
+
+// Case returns CaseR0.
+func (m *R0) Case() Case { return CaseR0 }
+
+// SizeBytes reports the constant-size state of R0.
+func (m *R0) SizeBytes() int { return 16 }
+
+// Process implements Merger.
+func (m *R0) Process(s StreamID, e temporal.Element) error {
+	m.noteAttached(s)
+	m.countIn(e)
+	switch e.Kind {
+	case temporal.KindInsert:
+		if e.Vs > m.maxVs {
+			m.maxVs = e.Vs
+			m.outInsert(e.Payload, e.Vs, e.Ve)
+		} else {
+			m.stats.Dropped++
+		}
+		return nil
+	case temporal.KindStable:
+		if t := e.T(); t > m.maxStable {
+			m.maxStable = t
+			m.outStable(t)
+		} else {
+			m.stats.Dropped++
+		}
+		return nil
+	default:
+		return errUnsupported(CaseR0, e)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import "lmerge/internal/temporal"
+
+// R1 is Algorithm R1: insert-only inputs with non-decreasing Vs where
+// elements sharing a Vs arrive in deterministic order on every input (e.g.
+// Top-k output in rank order). In addition to the maxima, the merger keeps
+// one counter per input: how many elements that input has delivered at the
+// current maximum Vs. An insert is forwarded exactly when its input's
+// counter catches up with the global maximum.
+type R1 struct {
+	base
+	maxVs       temporal.Time
+	sameVsCount map[StreamID]int
+}
+
+// NewR1 returns an R1 merger writing its output to emit.
+func NewR1(emit Emit) *R1 {
+	return &R1{
+		base:        newBase(emit),
+		maxVs:       temporal.MinTime,
+		sameVsCount: make(map[StreamID]int),
+	}
+}
+
+// Case returns CaseR1.
+func (m *R1) Case() Case { return CaseR1 }
+
+// SizeBytes reports state linear in the number of inputs.
+func (m *R1) SizeBytes() int { return 16 + 16*len(m.sameVsCount) }
+
+// Attach registers a new input; its counter starts at zero, so it cannot
+// cause duplicate output even when it replays the current timestamp.
+func (m *R1) Attach(s StreamID) {
+	m.base.Attach(s)
+	if _, ok := m.sameVsCount[s]; !ok {
+		m.sameVsCount[s] = 0
+	}
+}
+
+// Detach drops the input's counter.
+func (m *R1) Detach(s StreamID) {
+	m.base.Detach(s)
+	delete(m.sameVsCount, s)
+}
+
+// Process implements Merger.
+func (m *R1) Process(s StreamID, e temporal.Element) error {
+	m.noteAttached(s)
+	m.countIn(e)
+	switch e.Kind {
+	case temporal.KindInsert:
+		if e.Vs < m.maxVs {
+			m.stats.Dropped++
+			return nil
+		}
+		if e.Vs > m.maxVs {
+			for id := range m.sameVsCount {
+				m.sameVsCount[id] = 0
+			}
+			m.maxVs = e.Vs
+		}
+		maxCount := 0
+		for _, c := range m.sameVsCount {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		if m.sameVsCount[s] == maxCount {
+			m.outInsert(e.Payload, e.Vs, e.Ve)
+		} else {
+			m.stats.Dropped++
+		}
+		m.sameVsCount[s]++
+		return nil
+	case temporal.KindStable:
+		if t := e.T(); t > m.maxStable {
+			m.maxStable = t
+			m.outStable(t)
+		} else {
+			m.stats.Dropped++
+		}
+		return nil
+	default:
+		return errUnsupported(CaseR1, e)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+func TestR2DupMultiset(t *testing.T) {
+	a := temporal.P('A')
+	// Each input presents A twice at Vs=1, in different interleavings.
+	s0 := temporal.Stream{
+		temporal.Insert(a, 1, 5), temporal.Insert(a, 1, 5),
+		temporal.Insert(temporal.P('B'), 2, 6),
+	}
+	s1 := temporal.Stream{
+		temporal.Insert(a, 1, 5), temporal.Insert(a, 1, 5),
+		temporal.Insert(temporal.P('B'), 2, 6),
+	}
+	rec := newRecorder(t)
+	m := NewR2Dup(rec.emit)
+	m.Attach(0)
+	m.Attach(1)
+	for i := range s0 {
+		mustP(t, m, 0, s0[i])
+		mustP(t, m, 1, s1[i])
+	}
+	mustP(t, m, 0, temporal.Stable(temporal.Infinity))
+	if got := rec.tdb.Count(temporal.Ev(a, 1, 5)); got != 2 {
+		t.Fatalf("A multiplicity = %d, want 2", got)
+	}
+	if rec.tdb.Len() != 3 {
+		t.Fatalf("output %v", rec.tdb)
+	}
+}
+
+func TestR2DupUnevenDelivery(t *testing.T) {
+	// One stream delivers its duplicates before the other starts: the output
+	// must still carry exactly the max multiplicity.
+	a := temporal.P('A')
+	rec := newRecorder(t)
+	m := NewR2Dup(rec.emit)
+	m.Attach(0)
+	m.Attach(1)
+	mustP(t, m, 0, temporal.Insert(a, 1, 5))
+	mustP(t, m, 0, temporal.Insert(a, 1, 5))
+	mustP(t, m, 0, temporal.Insert(a, 1, 5))
+	// Stream 1 replays the same three copies: all absorbed.
+	mustP(t, m, 1, temporal.Insert(a, 1, 5))
+	mustP(t, m, 1, temporal.Insert(a, 1, 5))
+	mustP(t, m, 1, temporal.Insert(a, 1, 5))
+	if got := rec.tdb.Count(temporal.Ev(a, 1, 5)); got != 3 {
+		t.Fatalf("A multiplicity = %d, want 3", got)
+	}
+	if m.Stats().Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3", m.Stats().Dropped)
+	}
+}
+
+func TestR2PlainStillDedups(t *testing.T) {
+	a := temporal.P('A')
+	rec := newRecorder(t)
+	m := NewR2(rec.emit)
+	m.Attach(0)
+	mustP(t, m, 0, temporal.Insert(a, 1, 5))
+	mustP(t, m, 0, temporal.Insert(a, 1, 5)) // violates the key; plain R2 dedups
+	if got := rec.tdb.Count(temporal.Ev(a, 1, 5)); got != 1 {
+		t.Fatalf("A multiplicity = %d, want 1", got)
+	}
+}
+
+func TestR2DupVsAdvanceResets(t *testing.T) {
+	a := temporal.P('A')
+	rec := newRecorder(t)
+	m := NewR2Dup(rec.emit)
+	m.Attach(0)
+	mustP(t, m, 0, temporal.Insert(a, 1, 5))
+	mustP(t, m, 0, temporal.Insert(a, 1, 5))
+	mustP(t, m, 0, temporal.Insert(a, 2, 6)) // Vs advances: fresh multiset
+	mustP(t, m, 0, temporal.Insert(a, 2, 6))
+	if rec.tdb.Count(temporal.Ev(a, 1, 5)) != 2 || rec.tdb.Count(temporal.Ev(a, 2, 6)) != 2 {
+		t.Fatalf("output %v", rec.tdb)
+	}
+}

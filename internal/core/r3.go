@@ -1,0 +1,282 @@
+package core
+
+import (
+	"lmerge/internal/index"
+	"lmerge/internal/temporal"
+)
+
+// R3 is Algorithm R3 (the paper's LMR3+): inputs may present inserts,
+// adjusts, and stables in any order, constrained only by their stable
+// elements, with (Vs, Payload) a key of the TDB. State lives in the in2t
+// two-tier index: a red-black tree keyed (Vs, Payload) whose nodes share one
+// payload copy across all inputs and map each stream to its current Ve.
+//
+// The default policies match the paper's pseudocode: the first insert for a
+// key is emitted immediately (location 2), and incoming adjusts are absorbed
+// silently, with the output corrected only when a stable element would
+// otherwise make the divergence irrecoverable (location 1). This yields
+// Theorem 1's bound: no more inserts+adjusts are emitted than inserts
+// received.
+type R3 struct {
+	base
+	opts  R3Options
+	index *index.In2t
+	// leader is the input that most recently advanced the output stable
+	// point (meaningful under FollowLeader; -1 before any stable).
+	leader StreamID
+}
+
+// NewR3 returns an R3 merger writing its output to emit. At most one
+// options struct may be supplied.
+func NewR3(emit Emit, opts ...R3Options) *R3 {
+	m := &R3{base: newBase(emit), index: index.NewIn2t(), leader: -1}
+	if len(opts) > 0 {
+		m.opts = opts[0]
+	}
+	if m.opts.Quorum < 1 {
+		m.opts.Quorum = 1
+	}
+	return m
+}
+
+// Case returns CaseR3.
+func (m *R3) Case() Case { return CaseR3 }
+
+// Options returns the merger's policy configuration.
+func (m *R3) Options() R3Options { return m.opts }
+
+// SizeBytes reports the in2t footprint (payloads shared across inputs).
+func (m *R3) SizeBytes() int { return m.index.SizeBytes() }
+
+// Live returns the number of live (Vs, Payload) nodes (the paper's w).
+func (m *R3) Live() int { return m.index.Len() }
+
+// Detach unregisters stream s and drops its second-tier entries.
+func (m *R3) Detach(s StreamID) {
+	m.base.Detach(s)
+	m.index.Ascend(func(n *index.Node2) bool {
+		n.DeleteStream(s)
+		return true
+	})
+}
+
+// Process implements Merger.
+func (m *R3) Process(s StreamID, e temporal.Element) error {
+	m.noteAttached(s)
+	m.countIn(e)
+	switch e.Kind {
+	case temporal.KindInsert:
+		m.insert(s, e)
+		return nil
+	case temporal.KindAdjust:
+		m.adjust(s, e)
+		return nil
+	case temporal.KindStable:
+		m.stable(s, e.T())
+		return nil
+	}
+	return errUnsupported(CaseR3, e)
+}
+
+func (m *R3) insert(s StreamID, e temporal.Element) {
+	f, ok := m.index.SameVsPayload(e)
+	if !ok {
+		if e.Vs < m.maxStable {
+			// The node existed and was removed once fully frozen; this is a
+			// late duplicate from a slow stream.
+			m.stats.Dropped++
+			return
+		}
+		f = m.index.AddNode(e)
+	}
+	f.SetVe(s, e.Ve)
+	if _, emitted := f.Ve(index.OutputStream); !emitted {
+		if m.emitOnInsert(s, f) {
+			m.outInsert(e.Payload, e.Vs, e.Ve)
+			f.SetVe(index.OutputStream, e.Ve)
+		}
+	} else if m.reflectEagerly(s) {
+		// Another input presents the same event with a different lifetime:
+		// under the aggressive policy that revision is propagated at once
+		// (Out1 of Table II reflects In2's a(A,6,12) as m(A,6,12)).
+		m.eagerAdjust(f, e.Ve)
+	}
+}
+
+// reflectEagerly reports whether stream s's revisions are mirrored on the
+// output immediately.
+func (m *R3) reflectEagerly(s StreamID) bool {
+	switch m.opts.Follow {
+	case FollowLeader:
+		return s == m.leader
+	default:
+		return m.opts.Adjust == AdjustEager
+	}
+}
+
+// emitOnInsert applies the insert policy at element-arrival time.
+func (m *R3) emitOnInsert(s StreamID, f *index.Node2) bool {
+	if m.opts.Follow == FollowLeader && m.leader >= 0 && s != m.leader {
+		// Only the leading stream's first appearances go out immediately;
+		// the rest are deferred to the stable reconciliation.
+		return false
+	}
+	switch m.opts.Insert {
+	case InsertFirstWins:
+		return true
+	case InsertQuorum:
+		inputs := f.Streams()
+		if _, has := f.Ve(index.OutputStream); has {
+			inputs--
+		}
+		return inputs >= m.opts.Quorum
+	default: // InsertHalfFrozen, InsertFullyFrozen: deferred to stable time
+		return false
+	}
+}
+
+func (m *R3) adjust(s StreamID, e temporal.Element) {
+	f, ok := m.index.SameVsPayload(e)
+	if !ok {
+		// Adjust for an event we never tracked: either its node was already
+		// fully frozen (slow stream) or the key precedes this merger's
+		// attachment; both are absorbed.
+		m.stats.Dropped++
+		return
+	}
+	f.SetVe(s, e.Ve)
+	if m.reflectEagerly(s) {
+		m.eagerAdjust(f, e.Ve)
+	}
+}
+
+// eagerAdjust reflects an input adjust at the output immediately when it is
+// legal to do so (the new Ve must not precede the output's stable point).
+func (m *R3) eagerAdjust(f *index.Node2, ve temporal.Time) {
+	outVe, has := f.Ve(index.OutputStream)
+	if !has || outVe == ve {
+		return
+	}
+	k := f.Key()
+	if ve < m.maxStable || (ve == k.Vs && k.Vs < m.maxStable) {
+		return // would be invalid on the output stream; lazy path will handle it
+	}
+	m.outAdjust(k.Payload, k.Vs, outVe, ve)
+	if ve == k.Vs {
+		f.DeleteStream(index.OutputStream)
+	} else {
+		f.SetVe(index.OutputStream, ve)
+	}
+}
+
+func (m *R3) stable(s StreamID, t temporal.Time) {
+	if t <= m.maxStable {
+		m.stats.Dropped++
+		return
+	}
+	m.leader = s // this input now vouches furthest: it leads
+	// First pass: reconcile every node becoming half or fully frozen, and
+	// find how far the output stable point may advance (InsertFullyFrozen
+	// holds it back to the earliest still-unemitted node).
+	type scanned struct {
+		f      *index.Node2
+		inVe   temporal.Time
+		pinned bool
+	}
+	hf := m.index.FindHalfFrozen(t)
+	results := make([]scanned, 0, len(hf))
+	holdback := t
+	for _, f := range hf {
+		inVe, has := f.Ve(s)
+		if !has {
+			// Stream s, which is about to vouch for everything before t,
+			// never produced this event: treat it as absent (Sec. V-C).
+			inVe = f.Key().Vs
+		}
+		pinned := m.reconcile(f, inVe, t)
+		results = append(results, scanned{f, inVe, pinned})
+		if m.opts.Insert == InsertFullyFrozen && inVe >= t {
+			// Still half frozen per the vouching stream and not yet final:
+			// its eventual insert must stay legal, so the output stable
+			// point may not pass its start. (Nodes the raiser reports as
+			// absent or cancelled — inVe < t without an emission — will
+			// never be emitted and impose no constraint.)
+			if _, emitted := f.Ve(index.OutputStream); !emitted {
+				holdback = temporal.MinT(holdback, f.Key().Vs)
+			}
+		}
+	}
+	// Second pass: retire fully frozen nodes — but only those the advanced
+	// stable point actually seals. A node whose Vs stays at or above the
+	// held-back stable point must survive: a lagging stream could otherwise
+	// re-create it and the output would emit the event twice.
+	for _, r := range results {
+		if r.inVe < t && !r.pinned && r.f.Key().Vs < holdback {
+			m.index.DeleteNode(r.f.Key())
+		}
+	}
+	if holdback > m.maxStable {
+		m.maxStable = holdback
+		m.outStable(holdback)
+	}
+}
+
+// reconcile brings the output for node f in line with the stable-raising
+// input's value inVe, ahead of the output stable advancing to t. It corrects
+// only divergence that is about to become irrecoverable (AdjustLazy) and
+// emits deferred first-appearances for the deferred insert policies.
+//
+// The return value reports a pinned node: the raiser's view could not be
+// honoured (it lacks an event that is already half frozen on the output, or
+// asks for an end time below the output stable point — only possible with
+// faulty inputs). Pinned nodes are kept alive so a later, better-informed
+// raiser can still bring the output's lifetime in line.
+func (m *R3) reconcile(f *index.Node2, inVe, t temporal.Time) (pinned bool) {
+	k := f.Key()
+	outVe, has := f.Ve(index.OutputStream)
+	if !has {
+		if inVe == k.Vs {
+			return false // absent on both sides
+		}
+		if m.opts.Insert == InsertFullyFrozen && inVe >= t && !t.IsInf() {
+			// Not final yet; the output stable point is held back instead.
+			// (At stable(∞) everything is final, including never-ending
+			// events, so they are emitted rather than withheld forever.)
+			return false
+		}
+		// First appearance on the output. Legal: the output stable point has
+		// not passed k.Vs (nodes are reconciled no later than the stable
+		// element that first exceeds their Vs, and the fully-frozen policy
+		// holds the stable point back).
+		m.outInsert(k.Payload, k.Vs, inVe)
+		f.SetVe(index.OutputStream, inVe)
+		return false
+	}
+	if inVe == outVe {
+		return false
+	}
+	if inVe >= t && outVe >= t {
+		return false // both still adjustable later; retain current output (lazy)
+	}
+	// Divergence would freeze: adjust the output to match the input.
+	if inVe < m.maxStable && inVe != k.Vs {
+		// Only possible if the inputs were not mutually consistent; an
+		// adjust below the output stable point would be invalid, so skip.
+		m.stats.ConsistencyWarnings++
+		return true
+	}
+	if inVe == k.Vs && k.Vs < m.maxStable {
+		// Removal of an already half-frozen output event: likewise only
+		// possible with inconsistent inputs (a faulty stream vouching past
+		// an event it never carried).
+		m.stats.ConsistencyWarnings++
+		return true
+	}
+	m.outAdjust(k.Payload, k.Vs, outVe, inVe)
+	if inVe == k.Vs {
+		f.DeleteStream(index.OutputStream)
+	} else {
+		f.SetVe(index.OutputStream, inVe)
+	}
+	return false
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"lmerge/internal/index"
+	"lmerge/internal/temporal"
+)
+
+// R3Naive is the paper's LMR3- baseline (Section VI-A): a simpler
+// implementation of case R3 that keeps a separate (Vs, Payload)-ordered
+// index per input stream, each storing full event copies, plus one more
+// index for the output. It is easier to write than the in2t design but
+// duplicates payloads across inputs — memory grows linearly with the number
+// of input streams — and needs multiple tree lookups per element. Figures
+// 2, 3, and 7 plot it as the strawman.
+type R3Naive struct {
+	base
+	inputs map[StreamID]*naiveIndex
+	output *naiveIndex
+}
+
+// naiveIndex is one per-stream event index with duplicated payload storage.
+type naiveIndex struct {
+	tree  *index.Tree[temporal.VsPayload, temporal.Time]
+	bytes int
+}
+
+func newNaiveIndex() *naiveIndex {
+	return &naiveIndex{tree: index.NewTree[temporal.VsPayload, temporal.Time](temporal.VsPayload.Compare)}
+}
+
+func (n *naiveIndex) put(k temporal.VsPayload, ve temporal.Time) {
+	if _, had := n.tree.Get(k); !had {
+		n.bytes += k.Payload.SizeBytes() + 72 // payload copy + node overhead
+	}
+	n.tree.Put(k, ve)
+}
+
+func (n *naiveIndex) del(k temporal.VsPayload) {
+	if n.tree.Delete(k) {
+		n.bytes -= k.Payload.SizeBytes() + 72
+	}
+}
+
+// NewR3Naive returns an LMR3- merger writing its output to emit. Policies
+// are fixed to the paper defaults (first-wins inserts, lazy adjusts).
+func NewR3Naive(emit Emit) *R3Naive {
+	return &R3Naive{
+		base:   newBase(emit),
+		inputs: make(map[StreamID]*naiveIndex),
+		output: newNaiveIndex(),
+	}
+}
+
+// Case returns CaseR3 (LMR3- implements the same restriction case as R3).
+func (m *R3Naive) Case() Case { return CaseR3 }
+
+// SizeBytes reports the summed footprint of all per-input indexes plus the
+// output index — the unshared-payload cost the in2t design avoids.
+func (m *R3Naive) SizeBytes() int {
+	total := m.output.bytes
+	for _, in := range m.inputs {
+		total += in.bytes
+	}
+	return total
+}
+
+// Live returns the number of keys in the output index.
+func (m *R3Naive) Live() int { return m.output.tree.Len() }
+
+// Attach registers input stream s.
+func (m *R3Naive) Attach(s StreamID) {
+	m.base.Attach(s)
+	if _, ok := m.inputs[s]; !ok {
+		m.inputs[s] = newNaiveIndex()
+	}
+}
+
+// Detach unregisters input stream s and frees its whole index.
+func (m *R3Naive) Detach(s StreamID) {
+	m.base.Detach(s)
+	delete(m.inputs, s)
+}
+
+func (m *R3Naive) input(s StreamID) *naiveIndex {
+	in, ok := m.inputs[s]
+	if !ok {
+		in = newNaiveIndex()
+		m.inputs[s] = in
+	}
+	return in
+}
+
+// Process implements Merger.
+func (m *R3Naive) Process(s StreamID, e temporal.Element) error {
+	m.noteAttached(s)
+	m.countIn(e)
+	switch e.Kind {
+	case temporal.KindInsert:
+		k := e.Key()
+		if e.Vs < m.maxStable {
+			if _, tracked := m.output.tree.Get(k); !tracked {
+				m.stats.Dropped++
+				return nil
+			}
+		}
+		m.input(s).put(k, e.Ve)
+		if _, emitted := m.output.tree.Get(k); !emitted && e.Vs >= m.maxStable {
+			m.outInsert(e.Payload, e.Vs, e.Ve)
+			m.output.put(k, e.Ve)
+		}
+		return nil
+	case temporal.KindAdjust:
+		k := e.Key()
+		in := m.input(s)
+		if _, had := in.tree.Get(k); !had {
+			m.stats.Dropped++
+			return nil
+		}
+		if e.IsRemoval() {
+			in.del(k)
+		} else {
+			in.put(k, e.Ve)
+		}
+		return nil
+	case temporal.KindStable:
+		m.stable(s, e.T())
+		return nil
+	}
+	return errUnsupported(CaseR3, e)
+}
+
+func (m *R3Naive) stable(s StreamID, t temporal.Time) {
+	in := m.input(s)
+	if t <= m.maxStable {
+		// A lagging stream's stable still lets us drop its fully frozen
+		// entries, bounding the laggard's index.
+		m.prune(in, t)
+		m.stats.Dropped++
+		return
+	}
+	// Walk stream s's entries becoming half or fully frozen.
+	type kv struct {
+		k  temporal.VsPayload
+		ve temporal.Time
+	}
+	var frozen []kv
+	in.tree.Ascend(func(k temporal.VsPayload, ve temporal.Time) bool {
+		if k.Vs >= t {
+			return false
+		}
+		frozen = append(frozen, kv{k, ve})
+		return true
+	})
+	for _, f := range frozen {
+		outVe, has := m.output.tree.Get(f.k)
+		if !has {
+			if f.k.Vs < m.maxStable {
+				// The key was already frozen and retired from the output by
+				// an earlier stable; this is a laggard's leftover entry.
+				if f.ve < t {
+					in.del(f.k)
+				}
+				continue
+			}
+			// Never emitted before: first appearance now.
+			m.outInsert(f.k.Payload, f.k.Vs, f.ve)
+			m.output.put(f.k, f.ve)
+			outVe = f.ve
+		}
+		if f.ve != outVe && (f.ve < t || outVe < t) {
+			if f.ve < m.maxStable {
+				m.stats.ConsistencyWarnings++
+			} else {
+				m.outAdjust(f.k.Payload, f.k.Vs, outVe, f.ve)
+				m.output.put(f.k, f.ve)
+			}
+		}
+		if f.ve < t {
+			in.del(f.k)
+			m.output.del(f.k)
+		}
+	}
+	// Output keys below t that stream s does not vouch for are removed
+	// (Sec. V-C missing-element semantics).
+	var orphans []kv
+	m.output.tree.Ascend(func(k temporal.VsPayload, ve temporal.Time) bool {
+		if k.Vs >= t {
+			return false
+		}
+		if _, vouched := in.tree.Get(k); !vouched {
+			orphans = append(orphans, kv{k, ve})
+		}
+		return true
+	})
+	for _, o := range orphans {
+		if o.k.Vs < m.maxStable {
+			m.stats.ConsistencyWarnings++
+			continue
+		}
+		m.outAdjust(o.k.Payload, o.k.Vs, o.ve, o.k.Vs)
+		m.output.del(o.k)
+	}
+	m.maxStable = t
+	m.outStable(t)
+}
+
+// prune drops stream entries that are fully frozen at the stream's own
+// stable point.
+func (m *R3Naive) prune(in *naiveIndex, t temporal.Time) {
+	var dead []temporal.VsPayload
+	in.tree.Ascend(func(k temporal.VsPayload, ve temporal.Time) bool {
+		if k.Vs >= t {
+			return false
+		}
+		if ve < t {
+			dead = append(dead, k)
+		}
+		return true
+	})
+	for _, k := range dead {
+		in.del(k)
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"lmerge/internal/index"
+	"lmerge/internal/temporal"
+)
+
+// R4 is Algorithm R4, the fully general Logical Merge: elements of all kinds
+// in any stable-respecting order, with the TDB a true multiset — several
+// events may share (Vs, Payload) with different Ve values, and exact
+// duplicates may occur. State lives in the in3t three-tier index, which
+// extends in2t's per-stream hash entry to a small Ve-ordered tree of
+// occurrence counts.
+//
+// Output maintenance follows Section IV-E: inserts are reflected only while
+// they keep the output's per-key count within the maximum input count;
+// adjusts are absorbed; and stable processing enforces two invariants before
+// the stable is propagated — per-key output counts equal the vouching
+// input's counts (AdjustOutputCount), and the fully frozen Ve multiset of
+// the output matches the input's exactly (AdjustOutput).
+type R4 struct {
+	base
+	index *index.In3t
+}
+
+// NewR4 returns an R4 merger writing its output to emit.
+func NewR4(emit Emit) *R4 {
+	return &R4{base: newBase(emit), index: index.NewIn3t()}
+}
+
+// Case returns CaseR4.
+func (m *R4) Case() Case { return CaseR4 }
+
+// SizeBytes reports the in3t footprint.
+func (m *R4) SizeBytes() int { return m.index.SizeBytes() }
+
+// Live returns the number of live (Vs, Payload) nodes.
+func (m *R4) Live() int { return m.index.Len() }
+
+// Detach unregisters stream s and drops its third-tier multisets.
+func (m *R4) Detach(s StreamID) {
+	m.base.Detach(s)
+	m.index.Ascend(func(n *index.Node3) bool {
+		n.DeleteStream(s)
+		return true
+	})
+}
+
+// Process implements Merger.
+func (m *R4) Process(s StreamID, e temporal.Element) error {
+	m.noteAttached(s)
+	m.countIn(e)
+	switch e.Kind {
+	case temporal.KindInsert:
+		m.insert(s, e)
+		return nil
+	case temporal.KindAdjust:
+		m.adjust(s, e)
+		return nil
+	case temporal.KindStable:
+		m.stable(s, e.T())
+		return nil
+	}
+	return errUnsupported(CaseR4, e)
+}
+
+func (m *R4) insert(s StreamID, e temporal.Element) {
+	if e.Ve == e.Vs {
+		m.stats.Dropped++ // empty validity interval contributes nothing
+		return
+	}
+	f, ok := m.index.SameVsPayload(e)
+	if !ok {
+		if e.Vs < m.maxStable {
+			m.stats.Dropped++
+			return
+		}
+		f = m.index.AddNode(e)
+	}
+	f.IncrementCount(s, e.Ve)
+	// Reflect the insert only while the output's count for this key stays
+	// within some input's count (limits chattiness; Sec. IV-E invariant 1).
+	if e.Vs >= m.maxStable && f.Count(s) > f.Count(index.OutputStream) {
+		m.outInsert(e.Payload, e.Vs, e.Ve)
+		f.IncrementCount(index.OutputStream, e.Ve)
+	}
+}
+
+func (m *R4) adjust(s StreamID, e temporal.Element) {
+	f, ok := m.index.SameVsPayload(e)
+	if !ok {
+		m.stats.Dropped++
+		return
+	}
+	if !f.DecrementCount(s, e.VOld) {
+		// The stream adjusted an occurrence it never produced here; with
+		// mutually consistent inputs this only happens for occurrences
+		// already retired as fully frozen.
+		m.stats.Dropped++
+		return
+	}
+	if !e.IsRemoval() {
+		f.IncrementCount(s, e.Ve)
+	}
+}
+
+func (m *R4) stable(s StreamID, t temporal.Time) {
+	if t <= m.maxStable {
+		m.stats.Dropped++
+		return
+	}
+	for _, f := range m.index.FindHalfFrozen(t) {
+		m.adjustOutputCount(f, s)
+		m.adjustOutput(f, s, t)
+		if maxVe, ok := f.MaxVe(s); !ok || maxVe < t {
+			// Every occurrence stream s vouches for is fully frozen (and the
+			// output now mirrors them): the node needs no more tracking.
+			m.index.DeleteNode(f.Key())
+		}
+	}
+	m.maxStable = t
+	m.outStable(t)
+}
+
+// adjustOutputCount makes the output hold exactly as many events for f's
+// (Vs, Payload) as vouching input s does, aligning per-Ve counts where it
+// can (AdjustOutputCount of Sec. IV-E). Only occurrences with Ve at or above
+// the current output stable point participate; earlier ones were settled by
+// previous stables and can no longer differ.
+func (m *R4) adjustOutputCount(f *index.Node3, s StreamID) {
+	k := f.Key()
+	totalIn, totalOut := 0, 0
+	diff := make(map[temporal.Time]int) // out - in, per Ve, within the live region
+	f.AscendVe(s, func(ve temporal.Time, c int) bool {
+		if ve >= m.maxStable {
+			totalIn += c
+			diff[ve] -= c
+		}
+		return true
+	})
+	f.AscendVe(index.OutputStream, func(ve temporal.Time, c int) bool {
+		if ve >= m.maxStable {
+			totalOut += c
+			diff[ve] += c
+		}
+		return true
+	})
+	switch {
+	case totalOut > totalIn:
+		// Remove surplus output events, taking them from over-represented
+		// Ve values.
+		need := totalOut - totalIn
+		if k.Vs < m.maxStable {
+			// Removal would delete a half-frozen output event — impossible
+			// with mutually consistent inputs.
+			m.stats.ConsistencyWarnings++
+			return
+		}
+		for ve, d := range diff {
+			for ; d > 0 && need > 0; d, need = d-1, need-1 {
+				m.outAdjust(k.Payload, k.Vs, ve, k.Vs)
+				f.DecrementCount(index.OutputStream, ve)
+			}
+		}
+	case totalIn > totalOut:
+		need := totalIn - totalOut
+		if k.Vs < m.maxStable {
+			m.stats.ConsistencyWarnings++
+			return
+		}
+		for ve, d := range diff {
+			for ; d < 0 && need > 0; d, need = d+1, need-1 {
+				m.outInsert(k.Payload, k.Vs, ve)
+				f.IncrementCount(index.OutputStream, ve)
+			}
+		}
+	}
+}
+
+// adjustOutput retargets output events so that, for every Ve becoming fully
+// frozen (Ve < t), the output's occurrence count equals vouching input s's
+// (AdjustOutput of Sec. IV-E). Deficits are filled first from surplus output
+// occurrences inside the frozen region, then from surplus occurrences
+// beyond it; leftover frozen surplus is pushed out to the input's unfrozen
+// values (or Infinity as a last resort).
+func (m *R4) adjustOutput(f *index.Node3, s StreamID, t temporal.Time) {
+	k := f.Key()
+	// Per-Ve imbalance within the live region [maxStable, ∞).
+	type imb struct {
+		ve temporal.Time
+		n  int
+	}
+	var deficitFF, surplusFF, surplusLive, deficitLive []imb
+	diff := make(map[temporal.Time]int)
+	f.AscendVe(s, func(ve temporal.Time, c int) bool {
+		if ve >= m.maxStable {
+			diff[ve] -= c
+		}
+		return true
+	})
+	f.AscendVe(index.OutputStream, func(ve temporal.Time, c int) bool {
+		if ve >= m.maxStable {
+			diff[ve] += c
+		}
+		return true
+	})
+	for ve, d := range diff {
+		switch {
+		case d < 0 && ve < t:
+			deficitFF = append(deficitFF, imb{ve, -d})
+		case d > 0 && ve < t:
+			surplusFF = append(surplusFF, imb{ve, d})
+		case d > 0:
+			surplusLive = append(surplusLive, imb{ve, d})
+		case d < 0:
+			deficitLive = append(deficitLive, imb{ve, -d})
+		}
+	}
+	if len(deficitFF) == 0 && len(surplusFF) == 0 {
+		return
+	}
+	move := func(from, to temporal.Time) {
+		m.outAdjust(k.Payload, k.Vs, from, to)
+		f.DecrementCount(index.OutputStream, from)
+		f.IncrementCount(index.OutputStream, to)
+	}
+	take := func(pool *[]imb) (temporal.Time, bool) {
+		for len(*pool) > 0 {
+			head := &(*pool)[0]
+			if head.n > 0 {
+				head.n--
+				if head.n == 0 {
+					*pool = (*pool)[1:]
+				}
+				return head.ve, true
+			}
+			*pool = (*pool)[1:]
+		}
+		return 0, false
+	}
+	// Fill frozen deficits from frozen surplus first, then live surplus.
+	for _, d := range deficitFF {
+		for i := 0; i < d.n; i++ {
+			if src, ok := take(&surplusFF); ok {
+				move(src, d.ve)
+				continue
+			}
+			if src, ok := take(&surplusLive); ok {
+				move(src, d.ve)
+				continue
+			}
+			// Totals should have been equalised by adjustOutputCount.
+			m.stats.ConsistencyWarnings++
+		}
+	}
+	// Push leftover frozen surplus out of the frozen region.
+	for {
+		src, ok := take(&surplusFF)
+		if !ok {
+			break
+		}
+		if dst, ok := take(&deficitLive); ok {
+			move(src, dst)
+			continue
+		}
+		m.stats.ConsistencyWarnings++
+		move(src, temporal.Infinity)
+	}
+}

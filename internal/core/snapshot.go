@@ -1,0 +1,72 @@
+package core
+
+import (
+	"lmerge/internal/index"
+	"lmerge/internal/temporal"
+)
+
+// Snapshotter is implemented by mergers that can checkpoint their live
+// state as a stream. The snapshot is the "seed" of the paper's query
+// jumpstart (Sec. II-4): a stream prefix that reconstitutes to every event
+// still contributing to future output — long-lived events a restarted query
+// could not recover from the real-time feed — followed by the output's
+// stable point.
+//
+// A snapshot is mutually consistent with the merger's inputs in the
+// paper's segment sense (Sec. III-B): it represents the same reference
+// stream with the fully frozen history skipped. Feeding a snapshot plus a
+// live stream (attached with the snapshot's stable point as its join
+// guarantee) into a fresh LMerge seeds the new query instance seamlessly.
+type Snapshotter interface {
+	Snapshot() temporal.Stream
+}
+
+// Snapshot implements Snapshotter: one insert per live output event, in
+// (Vs, Payload) order, closed by the output stable point.
+func (m *R3) Snapshot() temporal.Stream {
+	var out temporal.Stream
+	m.index.Ascend(func(n *index.Node2) bool {
+		if ve, has := n.Ve(index.OutputStream); has {
+			k := n.Key()
+			out = append(out, temporal.Insert(k.Payload, k.Vs, ve))
+		}
+		return true
+	})
+	if m.maxStable != temporal.MinTime {
+		out = append(out, temporal.Stable(m.maxStable))
+	}
+	return out
+}
+
+// Snapshot implements Snapshotter for the multiset case: live output events
+// are emitted with their multiplicities.
+func (m *R4) Snapshot() temporal.Stream {
+	var out temporal.Stream
+	m.index.Ascend(func(n *index.Node3) bool {
+		k := n.Key()
+		n.AscendVe(index.OutputStream, func(ve temporal.Time, count int) bool {
+			for i := 0; i < count; i++ {
+				out = append(out, temporal.Insert(k.Payload, k.Vs, ve))
+			}
+			return true
+		})
+		return true
+	})
+	if m.maxStable != temporal.MinTime {
+		out = append(out, temporal.Stable(m.maxStable))
+	}
+	return out
+}
+
+// Snapshot of the naive baseline mirrors its output index.
+func (m *R3Naive) Snapshot() temporal.Stream {
+	var out temporal.Stream
+	m.output.tree.Ascend(func(k temporal.VsPayload, ve temporal.Time) bool {
+		out = append(out, temporal.Insert(k.Payload, k.Vs, ve))
+		return true
+	})
+	if m.maxStable != temporal.MinTime {
+		out = append(out, temporal.Stable(m.maxStable))
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+// liveTDB restricts a TDB to events that could still matter at stable point
+// l: everything whose end reaches l.
+func liveTDB(t *temporal.TDB, l temporal.Time) *temporal.TDB {
+	out := temporal.NewTDB()
+	for _, ev := range t.Events() {
+		if ev.Ve >= l {
+			for i := 0; i < t.Count(ev); i++ {
+				if err := out.Apply(temporal.Insert(ev.Payload, ev.Vs, ev.Ve)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestSnapshotReconstitutesLiveState(t *testing.T) {
+	sc := r3Script(81)
+	streams := r3Streams(sc, 2)
+	rec := newRecorder(t)
+	m := NewR3(rec.emit)
+	m.Attach(0)
+	m.Attach(1)
+	half := len(streams[0]) / 2
+	for i := 0; i < half; i++ {
+		mustP(t, m, 0, streams[0][i])
+		mustP(t, m, 1, streams[1][i])
+	}
+	snap := m.Snapshot()
+	snapTDB, err := temporal.Reconstitute(snap)
+	if err != nil {
+		t.Fatalf("snapshot is not a valid stream: %v", err)
+	}
+	// The snapshot must reproduce exactly the live part of the output.
+	want := liveTDB(rec.tdb, m.MaxStable())
+	// Unfrozen output events are also in the snapshot; liveTDB keeps them
+	// too (Ve >= MaxStable for unfrozen and half-frozen events alike).
+	if !snapTDB.Equal(want) {
+		t.Fatalf("snapshot TDB = %v\nwant live output %v", snapTDB, want)
+	}
+	if snapTDB.Stable() != m.MaxStable() {
+		t.Fatalf("snapshot stable = %v, want %v", snapTDB.Stable(), m.MaxStable())
+	}
+}
+
+// TestQueryJumpstart reproduces the Sec. II-4 scenario: a new query
+// instance is seeded with a checkpoint snapshot plus live streams attached
+// at the snapshot's stable point, and converges to the correct result for
+// everything the snapshot covers.
+func TestQueryJumpstart(t *testing.T) {
+	sc := r3Script(83)
+	streams := r3Streams(sc, 2)
+
+	// Phase 1: the original query runs halfway, then a checkpoint is taken.
+	rec1 := newRecorder(t)
+	m1 := NewR3(rec1.emit)
+	m1.Attach(0)
+	m1.Attach(1)
+	half := len(streams[0]) / 2
+	for i := 0; i < half; i++ {
+		mustP(t, m1, 0, streams[0][i])
+		mustP(t, m1, 1, streams[1][i])
+	}
+	snap := m1.Snapshot()
+	snapStable := m1.MaxStable()
+	if snapStable == temporal.MinTime {
+		t.Skip("no stable point reached before checkpoint; enlarge the script")
+	}
+
+	// Phase 2: a fresh instance is seeded with the snapshot, and the live
+	// streams re-attach with the snapshot point as their join guarantee
+	// (they replay from scratch, as a restarted source would).
+	rec2 := newRecorder(t)
+	op := NewOperator(NewR3(rec2.emit))
+	seed := op.Attach(temporal.MinTime)
+	for _, e := range snap {
+		if err := op.Process(seed, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if op.MaxStable() != snapStable {
+		t.Fatalf("seeded instance stable = %v, want %v", op.MaxStable(), snapStable)
+	}
+	live0 := op.Attach(snapStable)
+	live1 := op.Attach(snapStable)
+	op.Detach(seed) // the checkpoint source is exhausted
+	for i := 0; i < len(streams[0]); i++ {
+		if err := op.Process(live0, streams[0][i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := op.Process(live1, streams[1][i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if op.MaxStable() != temporal.Infinity {
+		t.Fatal("jumpstarted query did not complete")
+	}
+	// The jumpstarted instance must agree with the ground truth on every
+	// event that was live at (or born after) the checkpoint; the fully
+	// frozen history before it was deliberately skipped.
+	want := liveTDB(sc.TDB(), snapStable)
+	got := liveTDB(rec2.tdb, snapStable)
+	if !got.Equal(want) {
+		t.Fatalf("jumpstart output differs on the live region:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestQueryCutover reproduces Sec. II-5: the consumer switches from one
+// running plan to a newly spun-up one (different physical presentation)
+// without the application seeing a seam.
+func TestQueryCutover(t *testing.T) {
+	sc := r3Script(85)
+	want := sc.TDB()
+	oldPlan := sc.Render(gen.RenderOptions{Seed: 1, Disorder: 0.2, StableFreq: 0.05})
+	newPlan := sc.Render(gen.RenderOptions{Seed: 2, Disorder: 0.4, StableFreq: 0.05, SplitInserts: true})
+
+	rec := newRecorder(t)
+	op := NewOperator(NewR3(rec.emit))
+	oldID := op.Attach(temporal.MinTime)
+
+	third := len(oldPlan) / 3
+	for i := 0; i < third; i++ {
+		if err := op.Process(oldID, oldPlan[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Spin up the new plan; it reprocesses from scratch while the old plan
+	// keeps running, then the old plan is detached (the cutover).
+	newID := op.Attach(op.MaxStable())
+	pos := 0
+	for i := third; i < 2*third; i++ {
+		if err := op.Process(oldID, oldPlan[i]); err != nil {
+			t.Fatal(err)
+		}
+		// The new plan spins up at double speed to catch up.
+		for k := 0; k < 2 && pos < len(newPlan); k++ {
+			if err := op.Process(newID, newPlan[pos]); err != nil {
+				t.Fatal(err)
+			}
+			pos++
+		}
+	}
+	op.Detach(oldID)
+	for ; pos < len(newPlan); pos++ {
+		if err := op.Process(newID, newPlan[pos]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rec.tdb.Equal(want) {
+		t.Fatal("cutover output differs from the logical result")
+	}
+	if op.MaxStable() != temporal.Infinity {
+		t.Fatal("cutover output incomplete")
+	}
+}
+
+func TestSnapshotVariants(t *testing.T) {
+	// R4 snapshots carry multiplicities; R3Naive mirrors its output index.
+	a := temporal.P('A')
+	for _, tc := range []struct {
+		name string
+		mk   func(Emit) Merger
+	}{
+		{"R4", func(e Emit) Merger { return NewR4(e) }},
+		{"R3Naive", func(e Emit) Merger { return NewR3Naive(e) }},
+	} {
+		rec := temporal.NewTDB()
+		m := tc.mk(func(e temporal.Element) {
+			if err := rec.Apply(e); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+		})
+		m.Attach(0)
+		mustP(t, m, 0, temporal.Insert(a, 10, 50))
+		if tc.name == "R4" {
+			mustP(t, m, 0, temporal.Insert(a, 10, 50)) // true duplicate
+		}
+		mustP(t, m, 0, temporal.Stable(20))
+		snap := m.(Snapshotter).Snapshot()
+		got, err := temporal.Reconstitute(snap)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !got.Equal(rec) {
+			t.Fatalf("%s: snapshot %v != output %v", tc.name, got, rec)
+		}
+	}
+}

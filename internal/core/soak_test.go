@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+// TestSoakRandomisedMergeMatrix is a broader randomized sweep than the quick
+// tests: many (workload × algorithm × delivery) combinations with oracle
+// validation sampled along the way. Skipped under -short.
+func TestSoakRandomisedMergeMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(4242))
+	for iter := 0; iter < 40; iter++ {
+		cfg := gen.Config{
+			Events:        150 + rng.Intn(150),
+			Seed:          rng.Int63(),
+			EventDuration: temporal.Time(30 + rng.Intn(120)),
+			MaxGap:        temporal.Time(4 + rng.Intn(12)),
+			Revisions:     rng.Float64() * 0.8,
+			RemoveProb:    rng.Float64() * 0.4,
+			PayloadBytes:  6,
+		}
+		algo := rng.Intn(3) // 0: R3 (random policy), 1: R4, 2: LMR3- baseline
+		useR4 := algo == 1
+		if useR4 {
+			cfg.DupProb = rng.Float64() * 0.4
+		}
+		sc := gen.NewScript(cfg)
+		want := sc.TDB()
+		n := 2 + rng.Intn(4)
+		streams := make([]temporal.Stream, n)
+		lens := make([]int, n)
+		for i := range streams {
+			streams[i] = sc.Render(gen.RenderOptions{
+				Seed:         rng.Int63(),
+				Disorder:     rng.Float64() * 0.8,
+				StableFreq:   0.02 + rng.Float64()*0.1,
+				SplitInserts: rng.Intn(2) == 0,
+			})
+			lens[i] = len(streams[i])
+		}
+		rec := newRecorder(t)
+		var m Merger
+		switch algo {
+		case 1:
+			m = NewR4(rec.emit)
+		case 2:
+			m = NewR3Naive(rec.emit)
+		default:
+			// Randomise the R3 policy as well.
+			opts := R3Options{
+				Insert: InsertPolicy(rng.Intn(4)),
+				Quorum: 1 + rng.Intn(n),
+				Adjust: AdjustPolicy(rng.Intn(2)),
+				Follow: FollowPolicy(rng.Intn(2)),
+			}
+			m = NewR3(rec.emit, opts)
+		}
+		pat := patterns[rng.Intn(len(patterns))]
+		step := 0
+		feed(t, m, streams, interleavings(pat, n, lens, rng.Int63()), func(_ int, in []*temporal.TDB) {
+			step++
+			if algo == 0 && step%97 == 0 {
+				if err := temporal.CheckCompatR3(rec.tdb, in); err != nil {
+					t.Fatalf("iter %d pattern %s step %d: %v", iter, pat, step, err)
+				}
+			}
+		})
+		if !rec.tdb.Equal(want) {
+			t.Fatalf("iter %d (R4=%v pattern %s): merged TDB differs", iter, useR4, pat)
+		}
+		if w := m.Stats().ConsistencyWarnings; w != 0 {
+			t.Fatalf("iter %d: %d consistency warnings on consistent inputs", iter, w)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package engine is the StreamInsight-like mini-DSMS substrate the LMerge
+// evaluation runs on. It executes directed acyclic graphs of stream
+// operators over the insert/adjust/stable element algebra, with elements
+// flowing downstream and fast-forward feedback signals (paper Sec. V-D)
+// flowing upstream.
+//
+// Two execution modes are provided: a synchronous, fully deterministic
+// executor (Inject drives elements depth-first through the graph, used by
+// tests and the repeatable experiments) and a concurrent runtime with one
+// goroutine per operator connected by channels (Run; used by the
+// throughput-oriented experiments and examples).
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lmerge/internal/temporal"
+)
+
+// Operator is one stream operator. Process consumes an element arriving on
+// an input port and emits any number of elements via out. Process is driven
+// by a single goroutine at a time. OnFeedback, however, runs on the
+// downstream consumer's goroutine and may race with Process: implementations
+// must restrict it to race-free work — record the watermark in an atomic and
+// defer state purging to the next Process call (see operators.CountAgg for
+// the canonical pattern).
+type Operator interface {
+	// Name identifies the operator in diagnostics.
+	Name() string
+	// Process handles one element from input port port.
+	Process(port int, e temporal.Element, out *Out)
+	// OnFeedback receives a fast-forward signal from downstream: elements
+	// before t are no longer of interest. It reports whether the signal
+	// should continue to this operator's own inputs; the decision must be a
+	// pure function of the operator's kind (it may be evaluated
+	// concurrently with Process).
+	OnFeedback(t temporal.Time) (propagate bool)
+}
+
+// Sized is implemented by operators that can report their state footprint.
+type Sized interface {
+	SizeBytes() int
+}
+
+// Graph is a DAG of operator nodes.
+type Graph struct {
+	nodes []*Node
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// Node is one operator instance in a graph.
+type Node struct {
+	op         Operator
+	idx        int
+	downstream []edge
+	upstream   []*Node
+	inbox      chan message // used by the concurrent runtime
+	ffPoint    atomic.Int64 // latest feedback time delivered to this node
+}
+
+type edge struct {
+	to   *Node
+	port int
+}
+
+type message struct {
+	port int
+	el   temporal.Element
+}
+
+// Add places an operator in the graph.
+func (g *Graph) Add(op Operator) *Node {
+	n := &Node{op: op, idx: len(g.nodes)}
+	n.ffPoint.Store(int64(temporal.MinTime))
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Connect wires from's output to a new input port of to and returns the
+// port number.
+func (g *Graph) Connect(from, to *Node) int {
+	port := len(to.upstream)
+	to.upstream = append(to.upstream, from)
+	from.downstream = append(from.downstream, edge{to: to, port: port})
+	return port
+}
+
+// Nodes returns the graph's nodes in insertion order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Operator returns the node's operator.
+func (n *Node) Operator() Operator { return n.op }
+
+// Upstream returns the node's input producers in port order.
+func (n *Node) Upstream() []*Node { return n.upstream }
+
+// Name returns the node's operator name.
+func (n *Node) Name() string { return n.op.Name() }
+
+// FFPoint returns the latest fast-forward time this node has received.
+func (n *Node) FFPoint() temporal.Time { return temporal.Time(n.ffPoint.Load()) }
+
+// Out is the emission context handed to Operator.Process. It routes emitted
+// elements to the node's downstream ports and feedback to its upstream.
+type Out struct {
+	node *Node
+	mode dispatchMode
+	// trace, when non-nil, receives every element this node emits (used by
+	// sinks and tests).
+	trace func(temporal.Element)
+}
+
+type dispatchMode uint8
+
+const (
+	dispatchSync dispatchMode = iota
+	dispatchConcurrent
+)
+
+// Emit forwards an element to every downstream consumer.
+func (o *Out) Emit(e temporal.Element) {
+	if o.trace != nil {
+		o.trace(e)
+	}
+	for _, d := range o.node.downstream {
+		switch o.mode {
+		case dispatchSync:
+			d.to.deliverSync(d.port, e, o.mode)
+		case dispatchConcurrent:
+			d.to.inbox <- message{port: d.port, el: e}
+		}
+	}
+}
+
+// Feedback sends a fast-forward signal to the upstream producer feeding
+// input port port. The signal is applied synchronously on the caller's
+// goroutine and propagates while operators approve.
+func (o *Out) Feedback(port int, t temporal.Time) {
+	if port < 0 || port >= len(o.node.upstream) {
+		return
+	}
+	o.node.upstream[port].feedback(t)
+}
+
+// FeedbackAll signals every upstream producer.
+func (o *Out) FeedbackAll(t temporal.Time) {
+	for _, up := range o.node.upstream {
+		up.feedback(t)
+	}
+}
+
+func (n *Node) feedback(t temporal.Time) {
+	// Coalesce: only ever move the fast-forward point forward.
+	for {
+		cur := n.ffPoint.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if n.ffPoint.CompareAndSwap(cur, int64(t)) {
+			break
+		}
+	}
+	if n.op.OnFeedback(t) {
+		for _, up := range n.upstream {
+			up.feedback(t)
+		}
+	}
+}
+
+func (n *Node) deliverSync(port int, e temporal.Element, mode dispatchMode) {
+	out := Out{node: n, mode: mode}
+	n.op.Process(port, e, &out)
+}
+
+// Inject synchronously drives one element into the node (as input port 0)
+// and recursively through everything downstream. This is the deterministic
+// execution mode.
+func (n *Node) Inject(e temporal.Element) {
+	n.deliverSync(0, e, dispatchSync)
+}
+
+// InjectPort is Inject for a specific input port.
+func (n *Node) InjectPort(port int, e temporal.Element) {
+	n.deliverSync(port, e, dispatchSync)
+}
+
+// SendFeedback lets an external consumer (e.g. a driver reading the final
+// sink) initiate a fast-forward signal at this node.
+func (n *Node) SendFeedback(t temporal.Time) { n.feedback(t) }
+
+// String summarises the graph topology.
+func (g *Graph) String() string {
+	s := ""
+	for _, n := range g.nodes {
+		s += fmt.Sprintf("[%d]%s ->", n.idx, n.Name())
+		for _, d := range n.downstream {
+			s += fmt.Sprintf(" [%d]%s:%d", d.to.idx, d.to.Name(), d.port)
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+// passthrough forwards everything and records feedback.
+type passthrough struct {
+	name string
+	fb   atomic.Int64
+	stop bool // stop feedback propagation here
+}
+
+func (p *passthrough) Name() string { return p.name }
+func (p *passthrough) Process(_ int, e temporal.Element, out *Out) {
+	out.Emit(e)
+}
+func (p *passthrough) OnFeedback(t temporal.Time) bool {
+	p.fb.Store(int64(t))
+	return !p.stop
+}
+
+// collector gathers received elements.
+type collector struct {
+	els []temporal.Element
+}
+
+func (c *collector) Name() string { return "collector" }
+func (c *collector) Process(_ int, e temporal.Element, _ *Out) {
+	c.els = append(c.els, e)
+}
+func (c *collector) OnFeedback(temporal.Time) bool { return false }
+
+func TestSyncPipeline(t *testing.T) {
+	g := NewGraph()
+	src := g.Add(&passthrough{name: "src"})
+	mid := g.Add(&passthrough{name: "mid"})
+	sink := &collector{}
+	sn := g.Add(sink)
+	g.Connect(src, mid)
+	g.Connect(mid, sn)
+
+	els := []temporal.Element{
+		temporal.Insert(temporal.P(1), 1, 5),
+		temporal.Stable(3),
+	}
+	for _, e := range els {
+		src.Inject(e)
+	}
+	if len(sink.els) != 2 || sink.els[0] != els[0] || sink.els[1] != els[1] {
+		t.Fatalf("sink got %v", sink.els)
+	}
+}
+
+func TestSyncFanOut(t *testing.T) {
+	g := NewGraph()
+	src := g.Add(&passthrough{name: "src"})
+	a, b := &collector{}, &collector{}
+	g.Connect(src, g.Add(a))
+	g.Connect(src, g.Add(b))
+	src.Inject(temporal.Stable(7))
+	if len(a.els) != 1 || len(b.els) != 1 {
+		t.Fatalf("fan-out failed: %d/%d", len(a.els), len(b.els))
+	}
+}
+
+func TestFeedbackWalk(t *testing.T) {
+	g := NewGraph()
+	srcOp := &passthrough{name: "src"}
+	midOp := &passthrough{name: "mid"}
+	src := g.Add(srcOp)
+	mid := g.Add(midOp)
+	sink := g.Add(&collector{})
+	g.Connect(src, mid)
+	port := g.Connect(mid, sink)
+
+	out := Out{node: sink}
+	out.Feedback(port, 42)
+	if midOp.fb.Load() != 42 || srcOp.fb.Load() != 42 {
+		t.Fatalf("feedback did not propagate: mid=%d src=%d", midOp.fb.Load(), srcOp.fb.Load())
+	}
+	if mid.FFPoint() != 42 || src.FFPoint() != 42 {
+		t.Fatal("node watermarks not updated")
+	}
+	// Coalescing: an older signal is a no-op.
+	out.Feedback(port, 10)
+	if mid.FFPoint() != 42 {
+		t.Fatal("stale feedback regressed the watermark")
+	}
+	// Out-of-range ports are ignored.
+	out.Feedback(99, 50)
+	out.FeedbackAll(60)
+	if mid.FFPoint() != 60 {
+		t.Fatal("FeedbackAll failed")
+	}
+}
+
+func TestFeedbackStopsAtOptOut(t *testing.T) {
+	g := NewGraph()
+	srcOp := &passthrough{name: "src"}
+	blockOp := &passthrough{name: "block", stop: true}
+	src := g.Add(srcOp)
+	block := g.Add(blockOp)
+	g.Connect(src, block)
+	block.SendFeedback(9)
+	if blockOp.fb.Load() != 9 {
+		t.Fatal("blocking operator should still see the signal")
+	}
+	if srcOp.fb.Load() != 0 {
+		t.Fatal("signal should not pass a stopping operator")
+	}
+}
+
+func TestConcurrentRuntimeMatchesSync(t *testing.T) {
+	build := func() (*Graph, *Node, *collector) {
+		g := NewGraph()
+		src := g.Add(&passthrough{name: "src"})
+		mid := g.Add(&passthrough{name: "mid"})
+		sink := &collector{}
+		g.Connect(src, mid)
+		g.Connect(mid, g.Add(sink))
+		return g, src, sink
+	}
+	var els []temporal.Element
+	for i := int64(0); i < 500; i++ {
+		els = append(els, temporal.Insert(temporal.P(i), temporal.Time(i), temporal.Time(i+10)))
+	}
+	els = append(els, temporal.Stable(temporal.Infinity))
+
+	_, srcS, sinkS := build()
+	for _, e := range els {
+		srcS.Inject(e)
+	}
+
+	gC, srcC, sinkC := build()
+	rt := NewRuntime(gC)
+	rt.Start()
+	for _, e := range els {
+		rt.Inject(srcC, e)
+	}
+	rt.Close()
+
+	if len(sinkS.els) != len(sinkC.els) {
+		t.Fatalf("sync %d elements, concurrent %d", len(sinkS.els), len(sinkC.els))
+	}
+	for i := range sinkS.els {
+		if sinkS.els[i] != sinkC.els[i] {
+			t.Fatalf("element %d differs", i)
+		}
+	}
+}
+
+func TestConcurrentMultiInput(t *testing.T) {
+	// Two sources into one two-port collector; per-port FIFO must hold.
+	g := NewGraph()
+	s0 := g.Add(&passthrough{name: "s0"})
+	s1 := g.Add(&passthrough{name: "s1"})
+	sink := &portCollector{}
+	sn := g.Add(sink)
+	g.Connect(s0, sn)
+	g.Connect(s1, sn)
+	rt := NewRuntime(g)
+	rt.Start()
+	for i := int64(0); i < 200; i++ {
+		rt.Inject(s0, temporal.Insert(temporal.P(i), temporal.Time(i), temporal.Infinity))
+		rt.Inject(s1, temporal.Insert(temporal.P(1000+i), temporal.Time(i), temporal.Infinity))
+	}
+	rt.Close()
+	if len(sink.byPort[0]) != 200 || len(sink.byPort[1]) != 200 {
+		t.Fatalf("port counts %d/%d", len(sink.byPort[0]), len(sink.byPort[1]))
+	}
+	for i := 1; i < 200; i++ {
+		if sink.byPort[0][i].Payload.ID < sink.byPort[0][i-1].Payload.ID {
+			t.Fatal("per-port FIFO violated")
+		}
+	}
+}
+
+type portCollector struct {
+	byPort [2][]temporal.Element
+}
+
+func (p *portCollector) Name() string { return "ports" }
+func (p *portCollector) Process(port int, e temporal.Element, _ *Out) {
+	if port >= 0 && port < 2 {
+		p.byPort[port] = append(p.byPort[port], e)
+	}
+}
+func (p *portCollector) OnFeedback(temporal.Time) bool { return false }
+
+func TestGraphString(t *testing.T) {
+	g := NewGraph()
+	a := g.Add(&passthrough{name: "a"})
+	b := g.Add(&passthrough{name: "b"})
+	g.Connect(a, b)
+	if s := g.String(); s == "" {
+		t.Fatal("empty graph description")
+	}
+	if len(g.Nodes()) != 2 || g.Nodes()[0].Name() != "a" {
+		t.Fatal("Nodes accessor wrong")
+	}
+	if g.Nodes()[0].Operator() == nil {
+		t.Fatal("Operator accessor wrong")
+	}
+}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lmerge/internal/temporal"
+)
+
+// Runtime executes a graph concurrently: one goroutine per node, channels
+// between nodes — the natural Go realisation of a push-based DSMS operator
+// graph. Elements flow through buffered channels; feedback bypasses the
+// channels entirely (it is an atomic watermark bump walked upstream), so the
+// upstream flow can never deadlock against the downstream flow. The graph
+// must be acyclic, which also makes the downstream flow deadlock-free.
+type Runtime struct {
+	g         *Graph
+	wg        sync.WaitGroup
+	producers []atomic.Int32
+	started   bool
+}
+
+// inboxDepth is the per-node channel buffer: deep enough to decouple
+// producer/consumer bursts, shallow enough to keep memory bounded.
+const inboxDepth = 1024
+
+// NewRuntime prepares a concurrent runtime for g.
+func NewRuntime(g *Graph) *Runtime {
+	return &Runtime{g: g}
+}
+
+// Start launches one goroutine per node. Feed source nodes with Inject and
+// finish with Close.
+func (r *Runtime) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	r.producers = make([]atomic.Int32, len(r.g.nodes))
+	for _, n := range r.g.nodes {
+		n.inbox = make(chan message, inboxDepth)
+		// Producers: upstream operator goroutines, or the external driver
+		// for source nodes.
+		c := len(n.upstream)
+		if c == 0 {
+			c = 1
+		}
+		r.producers[n.idx].Store(int32(c))
+	}
+	for _, n := range r.g.nodes {
+		r.wg.Add(1)
+		go func(n *Node) {
+			defer r.wg.Done()
+			out := Out{node: n, mode: dispatchConcurrent}
+			for m := range n.inbox {
+				n.op.Process(m.port, m.el, &out)
+			}
+			for _, d := range n.downstream {
+				r.release(d.to)
+			}
+		}(n)
+	}
+}
+
+// release drops one producer reference of node n, closing its inbox when the
+// last producer finishes.
+func (r *Runtime) release(n *Node) {
+	if r.producers[n.idx].Add(-1) == 0 {
+		close(n.inbox)
+	}
+}
+
+// Inject feeds an element into a source node's inbox (port 0). It must not
+// be called after Close.
+func (r *Runtime) Inject(n *Node, e temporal.Element) {
+	n.inbox <- message{port: 0, el: e}
+}
+
+// Close signals end-of-stream at every source node and waits for the whole
+// graph to drain.
+func (r *Runtime) Close() {
+	for _, n := range r.g.nodes {
+		if len(n.upstream) == 0 {
+			r.release(n)
+		}
+	}
+	r.wg.Wait()
+}

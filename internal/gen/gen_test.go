@@ -1,0 +1,223 @@
+package gen
+
+import (
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+func smallCfg() Config {
+	return Config{
+		Events:        300,
+		Seed:          1,
+		EventDuration: 100,
+		MaxGap:        10,
+		Revisions:     0.5,
+		RemoveProb:    0.2,
+		PayloadBytes:  16,
+	}
+}
+
+func TestScriptDeterminism(t *testing.T) {
+	a := NewScript(smallCfg())
+	b := NewScript(smallCfg())
+	if len(a.Histories) != len(b.Histories) {
+		t.Fatal("same seed, different history counts")
+	}
+	for i := range a.Histories {
+		ha, hb := a.Histories[i], b.Histories[i]
+		if ha.P != hb.P || ha.Vs != hb.Vs || ha.Removed != hb.Removed || len(ha.Ves) != len(hb.Ves) {
+			t.Fatalf("history %d differs between identical seeds", i)
+		}
+	}
+	c := smallCfg()
+	c.Seed = 2
+	if NewScript(c).Histories[0].P == a.Histories[0].P {
+		t.Error("different seeds should give different payloads")
+	}
+}
+
+func TestRenderReconstitutesToScriptTDB(t *testing.T) {
+	sc := NewScript(smallCfg())
+	want := sc.TDB()
+	for seed := int64(0); seed < 4; seed++ {
+		for _, split := range []bool{false, true} {
+			s := sc.Render(RenderOptions{Seed: seed, Disorder: 0.3, StableFreq: 0.05, SplitInserts: split})
+			got, err := temporal.Reconstitute(s)
+			if err != nil {
+				t.Fatalf("seed %d split %v: invalid rendering: %v", seed, split, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("seed %d split %v: rendering TDB differs from script TDB", seed, split)
+			}
+			if s.LastStable() != temporal.Infinity {
+				t.Fatalf("rendering should end with stable(∞)")
+			}
+		}
+	}
+}
+
+func TestRenderingsPhysicallyDivergent(t *testing.T) {
+	sc := NewScript(smallCfg())
+	a := sc.Render(RenderOptions{Seed: 1, Disorder: 0.4})
+	b := sc.Render(RenderOptions{Seed: 2, Disorder: 0.4})
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("two seeds produced identical physical streams")
+		}
+	}
+}
+
+func TestRenderEveryPrefixValid(t *testing.T) {
+	// Validity must hold at every prefix, not just the whole stream
+	// (Reconstitute checks incrementally, so a full pass covers this).
+	sc := NewScript(smallCfg())
+	s := sc.Render(RenderOptions{Seed: 9, Disorder: 0.8, StableFreq: 0.1})
+	tdb := temporal.NewTDB()
+	for i, e := range s {
+		if err := tdb.Apply(e); err != nil {
+			t.Fatalf("element %d: %v", i, err)
+		}
+	}
+}
+
+func TestRenderDisorderMeasurable(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Revisions = 0
+	sc := NewScript(cfg)
+	ordered := sc.Render(RenderOptions{Seed: 3, Disorder: 0})
+	disordered := sc.Render(RenderOptions{Seed: 3, Disorder: 0.5})
+	if frac := disorderFraction(ordered); frac > 0.01 {
+		t.Errorf("0%% disorder rendering measured %.2f", frac)
+	}
+	if frac := disorderFraction(disordered); frac < 0.2 {
+		t.Errorf("50%% disorder rendering measured only %.2f", frac)
+	}
+}
+
+// disorderFraction measures the fraction of inserts whose Vs regresses.
+func disorderFraction(s temporal.Stream) float64 {
+	var n, out int
+	last := temporal.MinTime
+	for _, e := range s {
+		if e.Kind != temporal.KindInsert {
+			continue
+		}
+		n++
+		if e.Vs < last {
+			out++
+		}
+		last = temporal.MaxT(last, e.Vs)
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(out) / float64(n)
+}
+
+func TestRenderOrderedKinds(t *testing.T) {
+	cfg := Config{Events: 200, Seed: 5, MaxGap: 5, GroupSize: 3, PayloadBytes: 8}
+	sc := NewScript(cfg)
+	want := sc.TDB()
+
+	det1 := sc.RenderOrdered(OrderedDeterministic, RenderOptions{Seed: 1})
+	det2 := sc.RenderOrdered(OrderedDeterministic, RenderOptions{Seed: 2})
+	shuf := sc.RenderOrdered(OrderedShuffledTies, RenderOptions{Seed: 3})
+
+	for name, s := range map[string]temporal.Stream{"det1": det1, "det2": det2, "shuf": shuf} {
+		got, err := temporal.Reconstitute(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s: TDB differs", name)
+		}
+		// Non-decreasing Vs.
+		last := temporal.MinTime
+		for _, e := range s {
+			if e.Kind == temporal.KindInsert {
+				if e.Vs < last {
+					t.Fatalf("%s: Vs regressed", name)
+				}
+				last = e.Vs
+			}
+		}
+	}
+	// Deterministic renderings agree on insert order regardless of seed.
+	i1 := inserts(det1)
+	i2 := inserts(det2)
+	for i := range i1 {
+		if i1[i] != i2[i] {
+			t.Fatal("deterministic tie order differs across seeds")
+		}
+	}
+}
+
+func inserts(s temporal.Stream) []temporal.Element {
+	var out []temporal.Element
+	for _, e := range s {
+		if e.Kind == temporal.KindInsert {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestRenderOrderedStrict(t *testing.T) {
+	cfg := Config{Events: 200, Seed: 7, UniqueVs: true, MaxGap: 5, PayloadBytes: 8}
+	sc := NewScript(cfg)
+	s := sc.RenderOrdered(OrderedStrict, RenderOptions{Seed: 1, StableFreq: 0.1})
+	last := temporal.MinTime
+	for _, e := range s {
+		if e.Kind == temporal.KindInsert {
+			if e.Vs <= last {
+				t.Fatal("strict rendering has non-increasing Vs")
+			}
+			last = e.Vs
+		}
+	}
+	if got, err := temporal.Reconstitute(s); err != nil || !got.Equal(sc.TDB()) {
+		t.Fatalf("strict rendering invalid or inequivalent: %v", err)
+	}
+}
+
+func TestDupScriptForR4(t *testing.T) {
+	cfg := smallCfg()
+	cfg.DupProb = 0.3
+	sc := NewScript(cfg)
+	dups := 0
+	seen := make(map[temporal.VsPayload]bool)
+	for _, h := range sc.Histories {
+		k := temporal.VsPayload{Vs: h.Vs, Payload: h.P}
+		if seen[k] {
+			dups++
+		}
+		seen[k] = true
+	}
+	if dups == 0 {
+		t.Fatal("DupProb produced no duplicate keys")
+	}
+	s := sc.Render(RenderOptions{Seed: 11, Disorder: 0.3})
+	got, err := temporal.Reconstitute(s)
+	if err != nil {
+		t.Fatalf("dup rendering invalid: %v", err)
+	}
+	if !got.Equal(sc.TDB()) {
+		t.Fatal("dup rendering TDB differs")
+	}
+}
+
+func TestElementsCount(t *testing.T) {
+	sc := NewScript(smallCfg())
+	s := sc.Render(RenderOptions{Seed: 1, NoFinalStable: true})
+	if got := s.Inserts() + s.Adjusts(); got != sc.Elements() {
+		t.Fatalf("rendered %d insert/adjust elements, script says %d", got, sc.Elements())
+	}
+}

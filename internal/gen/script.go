@@ -1,0 +1,208 @@
+// Package gen is the synthetic workload generator, standing in for the
+// commercial test stream generator the paper uses (reference [26], Sec.
+// VI-B). It first draws a logical script — the ground-truth set of event
+// histories — and then renders the script into any number of physically
+// divergent but mutually consistent stream presentations, controlled by the
+// paper's parameters: StableFreq, EventDuration, MaxGap, and Disorder.
+package gen
+
+import (
+	"math/rand"
+	"strings"
+
+	"lmerge/internal/temporal"
+)
+
+// Time granularity: application time is measured in ticks; TicksPerSecond
+// maps the paper's wall-clock parameters (e.g. 20-second MaxGap, 40-second
+// lifetimes) onto tick space.
+const TicksPerSecond = 1000
+
+// Config parameterises script generation. Zero values select the paper's
+// defaults.
+type Config struct {
+	// Events is the number of event histories (paper: 200K–400K elements;
+	// element count ≈ Events × (1 + mean revisions)).
+	Events int
+	// Seed makes the script deterministic.
+	Seed int64
+	// EventDuration is the mean event lifetime in ticks. The paper sets it
+	// so ~10K events are active at once; with MaxGap/2 mean inter-arrival
+	// that corresponds to Duration ≈ 10000·MaxGap/2.
+	EventDuration temporal.Time
+	// MaxGap is the maximum application-time gap between consecutive event
+	// start times (paper default 20 s).
+	MaxGap temporal.Time
+	// Revisions is the probability that a history revises its end time at
+	// least once (each further revision is half as likely, capped by
+	// MaxRevisions).
+	Revisions float64
+	// MaxRevisions caps the adjust chain per history (default 3).
+	MaxRevisions int
+	// RemoveProb is the probability that a revised history is ultimately
+	// cancelled (its final adjust removes the event).
+	RemoveProb float64
+	// PayloadBytes is the size of the payload string (paper: 1000).
+	PayloadBytes int
+	// ValueRange bounds the integer payload field (paper: [0, 400]).
+	ValueRange int64
+	// DupProb is the probability that a history duplicates the (Vs, Payload)
+	// of its predecessor with an independent lifetime — exercising the R4
+	// multiset case. Leave 0 for R0–R3 workloads.
+	DupProb float64
+	// UniqueVs forces strictly increasing Vs values (the R0 property).
+	// Otherwise histories may share start times in groups.
+	UniqueVs bool
+	// GroupSize is the mean number of histories sharing one Vs when UniqueVs
+	// is false (default 1, i.e. sharing only by chance).
+	GroupSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Events == 0 {
+		c.Events = 1000
+	}
+	if c.EventDuration == 0 {
+		c.EventDuration = 10 * TicksPerSecond
+	}
+	if c.MaxGap == 0 {
+		c.MaxGap = 20 * TicksPerSecond
+	}
+	if c.MaxRevisions == 0 {
+		c.MaxRevisions = 3
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 1000
+	}
+	if c.ValueRange == 0 {
+		c.ValueRange = 400
+	}
+	if c.GroupSize == 0 {
+		c.GroupSize = 1
+	}
+	return c
+}
+
+// History is one event's ground truth: its payload, start time, and the
+// chain of end times it passes through. If Removed, the final adjust cancels
+// the event entirely.
+type History struct {
+	P       temporal.Payload
+	Vs      temporal.Time
+	Ves     []temporal.Time // successive end times; Ves[len-1] is final
+	Removed bool
+}
+
+// Final returns the history's final end time and whether the event survives.
+func (h History) Final() (temporal.Time, bool) {
+	if h.Removed {
+		return 0, false
+	}
+	return h.Ves[len(h.Ves)-1], true
+}
+
+// Script is a generated logical workload: the ground truth every rendering
+// reconstitutes to.
+type Script struct {
+	Cfg       Config
+	Histories []History
+}
+
+// NewScript draws a deterministic script from cfg.
+func NewScript(cfg Config) *Script {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sc := &Script{Cfg: cfg, Histories: make([]History, 0, cfg.Events)}
+	vs := temporal.Time(0)
+	var groupLeft int
+	for i := 0; i < cfg.Events; i++ {
+		if cfg.UniqueVs {
+			vs += 1 + temporal.Time(rng.Int63n(int64(cfg.MaxGap)))
+		} else if groupLeft > 0 {
+			groupLeft--
+		} else {
+			vs += temporal.Time(rng.Int63n(int64(cfg.MaxGap) + 1))
+			if cfg.GroupSize > 1 {
+				groupLeft = rng.Intn(2 * cfg.GroupSize)
+			}
+		}
+		h := History{
+			P:  payload(rng, cfg),
+			Vs: vs,
+		}
+		if cfg.DupProb > 0 && i > 0 && rng.Float64() < cfg.DupProb {
+			// Duplicate the previous history's key with its own lifetime.
+			prev := sc.Histories[len(sc.Histories)-1]
+			h.P, h.Vs = prev.P, prev.Vs
+		}
+		dur := 1 + temporal.Time(rng.Int63n(int64(2*cfg.EventDuration)))
+		h.Ves = []temporal.Time{h.Vs + dur}
+		if cfg.Revisions > 0 {
+			p := cfg.Revisions
+			for r := 0; r < cfg.MaxRevisions && rng.Float64() < p; r++ {
+				// Revisions move the end time up or down, never below Vs+1.
+				delta := temporal.Time(rng.Int63n(int64(cfg.EventDuration))) - cfg.EventDuration/2
+				ve := h.Ves[len(h.Ves)-1] + delta
+				if ve <= h.Vs {
+					ve = h.Vs + 1
+				}
+				h.Ves = append(h.Ves, ve)
+				p /= 2
+			}
+			if len(h.Ves) > 1 && rng.Float64() < cfg.RemoveProb {
+				h.Removed = true
+			}
+		}
+		sc.Histories = append(sc.Histories, h)
+	}
+	return sc
+}
+
+// payload draws the two-field payload of Sec. VI-B: an integer in
+// [0, ValueRange] and a PayloadBytes-long string. Under the R2/R3 key
+// assumption the payload must be unique per Vs; the random string provides
+// that uniqueness (the integer field models application data such as the
+// UDF selectivity attribute of Fig. 10).
+func payload(rng *rand.Rand, cfg Config) temporal.Payload {
+	var b strings.Builder
+	b.Grow(cfg.PayloadBytes)
+	const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	for b.Len() < cfg.PayloadBytes {
+		b.WriteByte(letters[rng.Intn(len(letters))])
+	}
+
+	return temporal.Payload{
+		ID:   rng.Int63n(cfg.ValueRange + 1),
+		Data: b.String(),
+	}
+}
+
+// TDB returns the script's final logical TDB.
+func (sc *Script) TDB() *temporal.TDB {
+	t := temporal.NewTDB()
+	for _, h := range sc.Histories {
+		if ve, alive := h.Final(); alive {
+			mustApply(t, temporal.Insert(h.P, h.Vs, ve))
+		}
+	}
+	return t
+}
+
+func mustApply(t *temporal.TDB, e temporal.Element) {
+	if err := t.Apply(e); err != nil {
+		panic(err)
+	}
+}
+
+// Elements returns the total element count of a faithful rendering
+// (inserts plus adjusts, excluding stables).
+func (sc *Script) Elements() int {
+	n := 0
+	for _, h := range sc.Histories {
+		n += len(h.Ves)
+		if h.Removed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"math/rand"
+	"sort"
+
+	"lmerge/internal/temporal"
+)
+
+// TimedElement pairs a stream element with its availability instant, in
+// virtual seconds of system time. The experiments of Figs. 5, 8, and 9 are
+// about delivery timing — lag, burstiness, congestion — which is orthogonal
+// to stream content; these wrappers perturb timing only.
+type TimedElement struct {
+	El temporal.Element
+	At float64
+}
+
+// TimedStream is a stream with per-element availability times, ascending.
+type TimedStream []TimedElement
+
+// Timed spaces the stream's elements uniformly at rate elements/second
+// starting at t=0 (the paper presents streams at e.g. 5000 elements/sec).
+func Timed(s temporal.Stream, rate float64) TimedStream {
+	out := make(TimedStream, len(s))
+	dt := 1.0 / rate
+	for i, e := range s {
+		out[i] = TimedElement{El: e, At: float64(i) * dt}
+	}
+	return out
+}
+
+// WithLag delays every element by lag seconds (the Fig. 5 treatment:
+// "delaying event generation by a fixed amount of time").
+func (ts TimedStream) WithLag(lag float64) TimedStream {
+	out := make(TimedStream, len(ts))
+	for i, te := range ts {
+		out[i] = TimedElement{El: te.El, At: te.At + lag}
+	}
+	return out
+}
+
+// drainFactor is how much faster than the nominal rate a backlog drains
+// once a stall or congestion window ends; the fast drain produces the
+// "compensating spikes in throughput" the paper describes.
+const drainFactor = 8.0
+
+// WithBursts models the Fig. 8 burstiness with a server-queue: with
+// probability prob per element, the delivery path stalls for a duration
+// drawn from a truncated normal N(mean, std); queued elements then drain at
+// drainFactor× the nominal rate — temporary silence followed by a catch-up
+// spike, exactly the "temporary event build-up in queues" of Sec. VI-E-1.
+func (ts TimedStream) WithBursts(seed int64, prob, mean, std float64) TimedStream {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(TimedStream, len(ts))
+	nominalGap := 0.0
+	if len(ts) > 1 {
+		nominalGap = (ts[len(ts)-1].At - ts[0].At) / float64(len(ts)-1)
+	}
+	drainGap := nominalGap / drainFactor
+	busyUntil := 0.0
+	for i, te := range ts {
+		at := te.At
+		if at < busyUntil {
+			at = busyUntil // queued behind the stall, draining fast
+		}
+		if rng.Float64() < prob {
+			d := rng.NormFloat64()*std + mean
+			if d < 0 {
+				d = 0
+			}
+			busyUntil = at + d
+			at = busyUntil
+		}
+		out[i] = TimedElement{El: te.El, At: at}
+		busyUntil = at + drainGap
+	}
+	return out
+}
+
+// Window is a half-open interval of virtual seconds.
+type Window struct{ From, To float64 }
+
+// WithCongestion models the Fig. 9 network congestion with the same
+// server-queue: while the nominal delivery time falls inside a congested
+// window, per-element service stretches by factor; once the window passes,
+// the backlog drains at drainFactor× nominal — "temporary low throughput,
+// followed by a spike in throughput when conditions return back to normal".
+func (ts TimedStream) WithCongestion(windows []Window, factor float64) TimedStream {
+	out := make(TimedStream, len(ts))
+	nominalGap := 0.0
+	if len(ts) > 1 {
+		nominalGap = (ts[len(ts)-1].At - ts[0].At) / float64(len(ts)-1)
+	}
+	drainGap := nominalGap / drainFactor
+	congestedGap := nominalGap * factor
+	busyUntil := 0.0
+	for i, te := range ts {
+		at := te.At
+		if at < busyUntil {
+			at = busyUntil
+		}
+		congested := false
+		for _, w := range windows {
+			if at >= w.From && at < w.To {
+				congested = true
+				break
+			}
+		}
+		out[i] = TimedElement{El: te.El, At: at}
+		if congested {
+			busyUntil = at + congestedGap
+		} else {
+			busyUntil = at + drainGap
+		}
+	}
+	return out
+}
+
+// MergeDelivery interleaves several timed streams into global availability
+// order, tagging each element with its stream index. Ties preserve stream
+// order, making replays deterministic.
+func MergeDelivery(streams []TimedStream) []DeliveryItem {
+	total := 0
+	for _, ts := range streams {
+		total += len(ts)
+	}
+	out := make([]DeliveryItem, 0, total)
+	for s, ts := range streams {
+		for _, te := range ts {
+			out = append(out, DeliveryItem{Stream: s, El: te.El, At: te.At})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// DeliveryItem is one element of a merged delivery schedule.
+type DeliveryItem struct {
+	Stream int
+	El     temporal.Element
+	At     float64
+}

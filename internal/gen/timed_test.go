@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+func mkStream(n int) temporal.Stream {
+	s := make(temporal.Stream, n)
+	for i := range s {
+		s[i] = temporal.Insert(temporal.P(int64(i)), temporal.Time(i), temporal.Time(i+10))
+	}
+	return s
+}
+
+func TestTimedUniformRate(t *testing.T) {
+	ts := Timed(mkStream(100), 50) // 50 ev/s → 2s span
+	if ts[0].At != 0 {
+		t.Fatal("first element should be at t=0")
+	}
+	if got := ts[99].At; got < 1.97 || got > 1.99 {
+		t.Fatalf("last element at %v, want ~1.98", got)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i].At <= ts[i-1].At {
+			t.Fatal("timed stream not ascending")
+		}
+	}
+}
+
+func TestWithLag(t *testing.T) {
+	ts := Timed(mkStream(10), 10).WithLag(5)
+	if ts[0].At != 5 {
+		t.Fatalf("lagged start = %v", ts[0].At)
+	}
+}
+
+func TestWithBurstsMonotoneAndDelaying(t *testing.T) {
+	base := Timed(mkStream(2000), 1000)
+	burst := base.WithBursts(1, 0.01, 2.0, 0.5)
+	delayed := 0
+	for i := range burst {
+		if burst[i].At < base[i].At {
+			t.Fatal("bursts must never make elements earlier")
+		}
+		if burst[i].At > base[i].At {
+			delayed++
+		}
+		if i > 0 && burst[i].At < burst[i-1].At {
+			t.Fatal("burst stream not monotone")
+		}
+	}
+	if delayed == 0 {
+		t.Fatal("no bursts occurred at 1% probability over 2000 elements")
+	}
+	// Determinism.
+	again := base.WithBursts(1, 0.01, 2.0, 0.5)
+	for i := range burst {
+		if burst[i] != again[i] {
+			t.Fatal("bursts not deterministic per seed")
+		}
+	}
+}
+
+func TestWithCongestion(t *testing.T) {
+	base := Timed(mkStream(1000), 100) // 10s nominal span
+	cong := base.WithCongestion([]Window{{From: 2, To: 4}}, 5)
+	// Elements before the window are untouched.
+	if cong[100].At != base[100].At {
+		t.Fatal("pre-window elements should be unaffected")
+	}
+	// Delay builds inside the window...
+	peak := 0.0
+	for i := range cong {
+		if d := cong[i].At - base[i].At; d > peak {
+			peak = d
+		}
+	}
+	if peak < 1 {
+		t.Fatalf("peak congestion delay = %v, want > 1s", peak)
+	}
+	// ...and the backlog drains afterwards: the stream catches up.
+	last := cong[len(cong)-1].At - base[len(base)-1].At
+	if last > 0.5 {
+		t.Fatalf("stream did not catch up after congestion: residual %v", last)
+	}
+	for i := 1; i < len(cong); i++ {
+		if cong[i].At < cong[i-1].At {
+			t.Fatal("congested stream not monotone")
+		}
+	}
+}
+
+func TestMergeDelivery(t *testing.T) {
+	a := Timed(mkStream(10), 10)
+	b := Timed(mkStream(10), 10).WithLag(0.05)
+	merged := MergeDelivery([]TimedStream{a, b})
+	if len(merged) != 20 {
+		t.Fatalf("merged %d items", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].At < merged[i-1].At {
+			t.Fatal("delivery not in availability order")
+		}
+	}
+	if merged[0].Stream != 0 || merged[1].Stream != 1 {
+		t.Fatal("interleave wrong")
+	}
+}

@@ -1,0 +1,228 @@
+// Package ha implements the high-availability application of LMerge (paper
+// Sec. II-1): n replicas of a continuous query run on independent nodes,
+// all feeding one LMerge at the consumer; the merged output keeps flowing as
+// long as any replica is alive, replicas may fail at arbitrary points, and
+// restarted replicas re-attach — possibly re-delivering earlier elements or
+// starting from a later point — without duplicating or losing output.
+package ha
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+// Replica is one query instance: a physical presentation of the logical
+// stream plus delivery state.
+type Replica struct {
+	id     core.StreamID
+	stream temporal.Stream
+	pos    int
+	failed bool
+}
+
+// ID returns the replica's LMerge stream id.
+func (r *Replica) ID() core.StreamID { return r.id }
+
+// Failed reports whether the replica is currently down.
+func (r *Replica) Failed() bool { return r.failed }
+
+// Progress returns how many elements the replica has delivered.
+func (r *Replica) Progress() int { return r.pos }
+
+// Cluster is a set of replicas feeding one LMerge operator.
+type Cluster struct {
+	Script   *gen.Script
+	op       *core.Operator
+	replicas []*Replica
+	output   *temporal.TDB
+	outErr   error
+	elements int64
+	renderFn func(seed int64) temporal.Stream
+	nextSeed int64
+}
+
+// Config parameterises a cluster.
+type Config struct {
+	// Replicas is the initial replica count.
+	Replicas int
+	// Script is the logical workload all replicas compute.
+	Script *gen.Script
+	// Disorder and StableFreq shape each replica's physical presentation.
+	Disorder   float64
+	StableFreq float64
+	// Case selects the merge algorithm (default R3).
+	Case core.Case
+}
+
+// NewCluster builds a cluster with cfg.Replicas live replicas.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.StableFreq == 0 {
+		cfg.StableFreq = 0.02
+	}
+	c := &Cluster{
+		Script: cfg.Script,
+		output: temporal.NewTDB(),
+	}
+	mergeCase := cfg.Case
+	if mergeCase == 0 {
+		mergeCase = core.CaseR3
+	}
+	m := core.New(mergeCase, func(e temporal.Element) {
+		c.elements++
+		if err := c.output.Apply(e); err != nil && c.outErr == nil {
+			c.outErr = fmt.Errorf("ha: invalid merged output: %w", err)
+		}
+	})
+	c.op = core.NewOperator(m)
+	c.renderFn = func(seed int64) temporal.Stream {
+		return cfg.Script.Render(gen.RenderOptions{
+			Seed:       seed,
+			Disorder:   cfg.Disorder,
+			StableFreq: cfg.StableFreq,
+		})
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		c.spawn(temporal.MinTime)
+	}
+	return c
+}
+
+func (c *Cluster) spawn(joinTime temporal.Time) *Replica {
+	c.nextSeed++
+	r := &Replica{
+		id:     c.op.Attach(joinTime),
+		stream: c.renderFn(9000 + c.nextSeed),
+	}
+	c.replicas = append(c.replicas, r)
+	return r
+}
+
+// Replicas returns all replicas ever spawned (including failed ones).
+func (c *Cluster) Replicas() []*Replica { return c.replicas }
+
+// Live returns the number of live replicas.
+func (c *Cluster) Live() int {
+	n := 0
+	for _, r := range c.replicas {
+		if !r.failed {
+			n++
+		}
+	}
+	return n
+}
+
+// Output returns the merged output TDB so far.
+func (c *Cluster) Output() *temporal.TDB { return c.output }
+
+// OutputElements returns how many elements the merge has emitted.
+func (c *Cluster) OutputElements() int64 { return c.elements }
+
+// MaxStable returns the merged output's stable point.
+func (c *Cluster) MaxStable() temporal.Time { return c.op.MaxStable() }
+
+// Err returns the first output-validity error (nil in correct operation).
+func (c *Cluster) Err() error { return c.outErr }
+
+// Step delivers one element from each live replica (replicas progress in
+// lockstep, like equally provisioned nodes). It reports whether any replica
+// still has elements to deliver.
+func (c *Cluster) Step() bool {
+	any := false
+	for _, r := range c.replicas {
+		if r.failed || r.pos >= len(r.stream) {
+			continue
+		}
+		if err := c.op.Process(r.id, r.stream[r.pos]); err != nil {
+			c.outErr = err
+			continue
+		}
+		r.pos++
+		any = true
+	}
+	return any
+}
+
+// StepSkewed delivers burst elements from replica 0 and one from the rest,
+// modelling unequal node speeds.
+func (c *Cluster) StepSkewed(burst int) bool {
+	any := false
+	for i, r := range c.replicas {
+		if r.failed || r.pos >= len(r.stream) {
+			continue
+		}
+		n := 1
+		if i == 0 {
+			n = burst
+		}
+		for k := 0; k < n && r.pos < len(r.stream); k++ {
+			if err := c.op.Process(r.id, r.stream[r.pos]); err != nil {
+				c.outErr = err
+				break
+			}
+			r.pos++
+			any = true
+		}
+	}
+	return any
+}
+
+// Fail marks replica r as failed and detaches it from the merge. Failing
+// the last live replica is rejected (the output could no longer complete).
+func (c *Cluster) Fail(r *Replica) error {
+	if r.failed {
+		return nil
+	}
+	if c.Live() <= 1 {
+		return fmt.Errorf("ha: refusing to fail the last live replica")
+	}
+	r.failed = true
+	c.op.Detach(r.id)
+	return nil
+}
+
+// Restart spins up a fresh replica instance. The new instance re-runs the
+// query from scratch, so it re-delivers earlier elements (the duplication
+// hazard of Sec. I-B-4); it attaches with the current output stable point as
+// its join guarantee.
+func (c *Cluster) Restart() *Replica {
+	return c.spawn(c.MaxStable())
+}
+
+// RunToCompletion drives the cluster until every live replica has delivered
+// its stream, injecting random failures and restarts with the given
+// probabilities per step. It returns an error if the merged output is ever
+// invalid or does not converge to the script's TDB.
+func (c *Cluster) RunToCompletion(seed int64, failProb, restartProb float64) error {
+	rng := rand.New(rand.NewSource(seed))
+	for c.Step() {
+		if rng.Float64() < failProb {
+			live := make([]*Replica, 0, len(c.replicas))
+			for _, r := range c.replicas {
+				if !r.failed {
+					live = append(live, r)
+				}
+			}
+			if len(live) > 1 {
+				_ = c.Fail(live[rng.Intn(len(live))])
+			}
+		}
+		if rng.Float64() < restartProb {
+			c.Restart()
+		}
+	}
+	if c.outErr != nil {
+		return c.outErr
+	}
+	want := c.Script.TDB()
+	if !c.output.Equal(want) {
+		return fmt.Errorf("ha: merged output TDB diverged from script TDB")
+	}
+	if c.MaxStable() != temporal.Infinity {
+		return fmt.Errorf("ha: merged output incomplete (stable=%v)", c.MaxStable())
+	}
+	return nil
+}

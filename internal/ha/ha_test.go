@@ -1,0 +1,147 @@
+package ha
+
+import (
+	"testing"
+
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+func haScript(seed int64) *gen.Script {
+	return gen.NewScript(gen.Config{
+		Events: 250, Seed: seed, EventDuration: 80, MaxGap: 10,
+		Revisions: 0.5, RemoveProb: 0.2, PayloadBytes: 8,
+	})
+}
+
+func TestClusterNoFailures(t *testing.T) {
+	c := NewCluster(Config{Replicas: 3, Script: haScript(1), Disorder: 0.3})
+	if err := c.RunToCompletion(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Live() != 3 {
+		t.Fatalf("live = %d", c.Live())
+	}
+}
+
+func TestClusterNMinus1Failures(t *testing.T) {
+	c := NewCluster(Config{Replicas: 5, Script: haScript(2), Disorder: 0.3})
+	reps := c.Replicas()
+	// Fail 4 of 5 replicas at staggered points.
+	steps := 0
+	for c.Step() {
+		steps++
+		switch steps {
+		case 20:
+			mustFail(t, c, reps[1])
+		case 60:
+			mustFail(t, c, reps[2])
+		case 100:
+			mustFail(t, c, reps[3])
+		case 140:
+			mustFail(t, c, reps[4])
+		}
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if !c.Output().Equal(c.Script.TDB()) {
+		t.Fatal("output diverged after n-1 failures")
+	}
+	if c.MaxStable() != temporal.Infinity {
+		t.Fatal("output incomplete")
+	}
+	if c.Live() != 1 {
+		t.Fatalf("live = %d", c.Live())
+	}
+}
+
+func mustFail(t *testing.T, c *Cluster, r *Replica) {
+	t.Helper()
+	if err := c.Fail(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterRefusesLastReplicaFailure(t *testing.T) {
+	c := NewCluster(Config{Replicas: 2, Script: haScript(3)})
+	reps := c.Replicas()
+	mustFail(t, c, reps[0])
+	if err := c.Fail(reps[1]); err == nil {
+		t.Fatal("failing the last replica should be refused")
+	}
+	if err := c.Fail(reps[0]); err != nil {
+		t.Fatal("re-failing a failed replica is a no-op")
+	}
+}
+
+func TestClusterRestartRedeliversWithoutDuplicates(t *testing.T) {
+	c := NewCluster(Config{Replicas: 2, Script: haScript(4), Disorder: 0.2})
+	reps := c.Replicas()
+	for i := 0; i < 80; i++ {
+		if !c.Step() {
+			break
+		}
+	}
+	mustFail(t, c, reps[1])
+	fresh := c.Restart()
+	if fresh.Failed() {
+		t.Fatal("fresh replica should be live")
+	}
+	for c.Step() {
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if !c.Output().Equal(c.Script.TDB()) {
+		t.Fatal("output diverged after restart redelivery")
+	}
+}
+
+func TestClusterRandomChaos(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		c := NewCluster(Config{Replicas: 4, Script: haScript(10 + seed), Disorder: 0.4})
+		if err := c.RunToCompletion(seed, 0.01, 0.005); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestClusterSkewedDelivery(t *testing.T) {
+	c := NewCluster(Config{Replicas: 3, Script: haScript(20), Disorder: 0.3})
+	for c.StepSkewed(5) {
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if !c.Output().Equal(c.Script.TDB()) {
+		t.Fatal("skewed delivery diverged")
+	}
+}
+
+func TestClusterR4Case(t *testing.T) {
+	sc := gen.NewScript(gen.Config{
+		Events: 200, Seed: 30, EventDuration: 60, MaxGap: 8,
+		Revisions: 0.4, RemoveProb: 0.2, PayloadBytes: 8, DupProb: 0.25,
+	})
+	c := NewCluster(Config{Replicas: 3, Script: sc, Disorder: 0.3, Case: core.CaseR4})
+	if err := c.RunToCompletion(7, 0.01, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaAccessors(t *testing.T) {
+	c := NewCluster(Config{Replicas: 1, Script: haScript(40)})
+	r := c.Replicas()[0]
+	if r.ID() != 0 || r.Progress() != 0 || r.Failed() {
+		t.Fatal("fresh replica state wrong")
+	}
+	c.Step()
+	if r.Progress() != 1 {
+		t.Fatal("progress not tracked")
+	}
+	if c.OutputElements() == 0 {
+		t.Fatal("no output elements counted")
+	}
+}

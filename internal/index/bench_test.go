@@ -1,0 +1,82 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+func BenchmarkTreePut(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int, 1<<16)
+	for i := range keys {
+		keys[i] = rng.Int()
+	}
+	b.ResetTimer()
+	tr := NewTree[int, int](func(a, c int) int { return a - c })
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i&(len(keys)-1)], i)
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	tr := NewTree[int, int](func(a, c int) int { return a - c })
+	for i := 0; i < 1<<14; i++ {
+		tr.Put(i*7, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get((i % (1 << 14)) * 7)
+	}
+}
+
+func BenchmarkTreePutDelete(b *testing.B) {
+	tr := NewTree[int, int](func(a, c int) int { return a - c })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(i&1023, i)
+		if i&1 == 1 {
+			tr.Delete((i - 1) & 1023)
+		}
+	}
+}
+
+func BenchmarkIn2tInsertLookup(b *testing.B) {
+	x := NewIn2t()
+	payload := temporal.Payload{ID: 7, Data: "payload-data-here"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := temporal.Insert(payload, temporal.Time(i&8191), temporal.Time(i&8191)+50)
+		if n, ok := x.SameVsPayload(e); ok {
+			n.SetVe(0, e.Ve)
+		} else {
+			x.AddNode(e).SetVe(0, e.Ve)
+		}
+	}
+}
+
+func BenchmarkIn3tIncrement(b *testing.B) {
+	x := NewIn3t()
+	payload := temporal.Payload{ID: 7, Data: "payload-data-here"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := temporal.Insert(payload, temporal.Time(i&8191), temporal.Time(i&8191)+50)
+		n, ok := x.SameVsPayload(e)
+		if !ok {
+			n = x.AddNode(e)
+		}
+		n.IncrementCount(0, e.Ve)
+	}
+}
+
+func BenchmarkIn2tFindHalfFrozen(b *testing.B) {
+	x := NewIn2t()
+	for i := 0; i < 4096; i++ {
+		x.AddNode(temporal.Insert(temporal.P(int64(i)), temporal.Time(i), temporal.Time(i+100)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.FindHalfFrozen(temporal.Time(i & 4095))
+	}
+}

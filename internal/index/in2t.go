@@ -1,0 +1,114 @@
+package index
+
+import "lmerge/internal/temporal"
+
+// OutputStream is the distinguished hash-table key the paper writes as ∞: it
+// tracks what has been reflected on the LMerge output for a node.
+const OutputStream = -1
+
+// In2t is the two-tier index of paper Figure 1 (left), used by Algorithm R3.
+// The top tier is a red-black tree keyed by (Vs, Payload); each node carries
+// the event (payload stored once, shared across inputs) and a second-tier
+// hash table mapping stream id → current Ve on that stream, plus an
+// OutputStream entry for the Ve most recently reflected on the output.
+type In2t struct {
+	tree *Tree[temporal.VsPayload, *Node2]
+}
+
+// Node2 is one top-tier node of an In2t.
+type Node2 struct {
+	event temporal.Event
+	ve    map[int]temporal.Time
+}
+
+// NewIn2t returns an empty index.
+func NewIn2t() *In2t {
+	return &In2t{tree: NewTree[temporal.VsPayload, *Node2](temporal.VsPayload.Compare)}
+}
+
+// Len returns the number of live (Vs, Payload) nodes.
+func (x *In2t) Len() int { return x.tree.Len() }
+
+// SameVsPayload returns the node for e's (Vs, Payload), if present
+// (Algorithm R3 line 4/12).
+func (x *In2t) SameVsPayload(e temporal.Element) (*Node2, bool) {
+	return x.Get(e.Key())
+}
+
+// Get returns the node for key k, if present.
+func (x *In2t) Get(k temporal.VsPayload) (*Node2, bool) {
+	return x.tree.Get(k)
+}
+
+// AddNode creates a node for e's (Vs, Payload) storing e as the shared event
+// (Algorithm R3 line 7). The caller must have checked the node is absent.
+func (x *In2t) AddNode(e temporal.Element) *Node2 {
+	n := &Node2{
+		event: temporal.Event{Payload: e.Payload, Vs: e.Vs, Ve: e.Ve},
+		ve:    make(map[int]temporal.Time, 4),
+	}
+	x.tree.Put(e.Key(), n)
+	return n
+}
+
+// DeleteNode removes the node for key k (Algorithm R3 line 27).
+func (x *In2t) DeleteNode(k temporal.VsPayload) bool {
+	return x.tree.Delete(k)
+}
+
+// FindHalfFrozen returns, in (Vs, Payload) order, the nodes whose Vs is less
+// than t — the nodes that become half frozen when stable(t) is processed
+// (Algorithm R3 line 17). The slice is a snapshot, so the caller may delete
+// nodes while walking it.
+func (x *In2t) FindHalfFrozen(t temporal.Time) []*Node2 {
+	var out []*Node2
+	x.tree.Ascend(func(k temporal.VsPayload, n *Node2) bool {
+		if k.Vs >= t {
+			return false // keys are Vs-major, so no later node qualifies
+		}
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// Ascend visits all nodes in key order.
+func (x *In2t) Ascend(fn func(*Node2) bool) {
+	x.tree.Ascend(func(_ temporal.VsPayload, n *Node2) bool { return fn(n) })
+}
+
+// SizeBytes approximates the memory footprint: per node, one shared payload
+// plus tree overhead, and 16 bytes per hash entry.
+func (x *In2t) SizeBytes() int {
+	total := 0
+	x.tree.Ascend(func(_ temporal.VsPayload, n *Node2) bool {
+		total += nodeOverhead + n.event.Payload.SizeBytes() + 16*len(n.ve)
+		return true
+	})
+	return total
+}
+
+// nodeOverhead approximates tree-node and header bytes per index node.
+const nodeOverhead = 64
+
+// Event returns the node's shared event (payload, Vs, and first-seen Ve).
+func (n *Node2) Event() temporal.Event { return n.event }
+
+// Key returns the node's (Vs, Payload).
+func (n *Node2) Key() temporal.VsPayload { return n.event.Key() }
+
+// Ve returns the hash-table entry for stream s (Algorithm R3 GetHashEntry).
+func (n *Node2) Ve(s int) (temporal.Time, bool) {
+	ve, ok := n.ve[s]
+	return ve, ok
+}
+
+// SetVe adds or updates the hash-table entry for stream s (AddHashEntry /
+// UpdateHashEntry in Algorithm R3).
+func (n *Node2) SetVe(s int, ve temporal.Time) { n.ve[s] = ve }
+
+// DeleteStream drops stream s's entry, used when an input detaches.
+func (n *Node2) DeleteStream(s int) { delete(n.ve, s) }
+
+// Streams returns the number of hash entries (inputs plus output).
+func (n *Node2) Streams() int { return len(n.ve) }

@@ -1,0 +1,119 @@
+package index
+
+import (
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+func TestIn2tBasic(t *testing.T) {
+	x := NewIn2t()
+	e := temporal.Insert(temporal.P(7), 10, 20)
+	if _, ok := x.SameVsPayload(e); ok {
+		t.Fatal("empty index should have no node")
+	}
+	n := x.AddNode(e)
+	if x.Len() != 1 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	got, ok := x.SameVsPayload(e)
+	if !ok || got != n {
+		t.Fatal("SameVsPayload should find the node")
+	}
+	if n.Event() != temporal.Ev(temporal.P(7), 10, 20) {
+		t.Fatalf("Event = %v", n.Event())
+	}
+	if n.Key() != (temporal.VsPayload{Vs: 10, Payload: temporal.P(7)}) {
+		t.Fatalf("Key = %v", n.Key())
+	}
+
+	n.SetVe(0, 20)
+	n.SetVe(OutputStream, 20)
+	if ve, ok := n.Ve(0); !ok || ve != 20 {
+		t.Fatal("Ve(0) wrong")
+	}
+	if _, ok := n.Ve(1); ok {
+		t.Fatal("Ve(1) should be absent")
+	}
+	n.SetVe(0, 25)
+	if ve, _ := n.Ve(0); ve != 25 {
+		t.Fatal("SetVe should update")
+	}
+	if n.Streams() != 2 {
+		t.Fatalf("Streams = %d", n.Streams())
+	}
+	n.DeleteStream(0)
+	if n.Streams() != 1 {
+		t.Fatal("DeleteStream failed")
+	}
+
+	if !x.DeleteNode(e.Key()) || x.DeleteNode(e.Key()) {
+		t.Fatal("DeleteNode semantics wrong")
+	}
+}
+
+func TestIn2tFindHalfFrozen(t *testing.T) {
+	x := NewIn2t()
+	for _, vs := range []temporal.Time{5, 10, 15, 20} {
+		x.AddNode(temporal.Insert(temporal.P(int64(vs)), vs, vs+100))
+	}
+	// Same Vs, different payloads.
+	x.AddNode(temporal.Insert(temporal.P(99), 10, 200))
+
+	hf := x.FindHalfFrozen(15)
+	if len(hf) != 3 { // Vs ∈ {5, 10, 10}
+		t.Fatalf("FindHalfFrozen(15) = %d nodes, want 3", len(hf))
+	}
+	for i := 1; i < len(hf); i++ {
+		if hf[i-1].Key().Compare(hf[i].Key()) >= 0 {
+			t.Fatal("FindHalfFrozen not in key order")
+		}
+	}
+	if got := x.FindHalfFrozen(5); len(got) != 0 {
+		t.Fatalf("FindHalfFrozen(5) = %d nodes, want 0 (Vs == t is not half frozen)", len(got))
+	}
+	if got := x.FindHalfFrozen(temporal.Infinity); len(got) != 5 {
+		t.Fatalf("FindHalfFrozen(∞) = %d, want 5", len(got))
+	}
+
+	// Deleting snapshot nodes while walking must be safe.
+	for _, n := range x.FindHalfFrozen(temporal.Infinity) {
+		x.DeleteNode(n.Key())
+	}
+	if x.Len() != 0 {
+		t.Fatalf("Len after deletes = %d", x.Len())
+	}
+}
+
+func TestIn2tSizeBytesSharing(t *testing.T) {
+	// The point of in2t (vs per-input copies): payload bytes are counted once
+	// per node regardless of how many streams have entries.
+	big := temporal.Payload{ID: 1, Data: string(make([]byte, 1000))}
+	x := NewIn2t()
+	n := x.AddNode(temporal.Insert(big, 1, 100))
+	base := x.SizeBytes()
+	for s := 0; s < 10; s++ {
+		n.SetVe(s, 100)
+	}
+	grown := x.SizeBytes()
+	if grown-base >= big.SizeBytes() {
+		t.Errorf("per-stream growth %d should be far below payload size %d", grown-base, big.SizeBytes())
+	}
+	if base < big.SizeBytes() {
+		t.Errorf("base size %d should include payload %d", base, big.SizeBytes())
+	}
+}
+
+func TestIn2tAscend(t *testing.T) {
+	x := NewIn2t()
+	x.AddNode(temporal.Insert(temporal.P(1), 3, 10))
+	x.AddNode(temporal.Insert(temporal.P(2), 1, 10))
+	var vss []temporal.Time
+	x.Ascend(func(n *Node2) bool {
+		vss = append(vss, n.Key().Vs)
+		return true
+	})
+	if len(vss) != 2 || vss[0] != 1 || vss[1] != 3 {
+		t.Fatalf("Ascend order = %v", vss)
+	}
+}

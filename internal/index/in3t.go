@@ -1,0 +1,198 @@
+package index
+
+import "lmerge/internal/temporal"
+
+// In3t is the three-tier index of paper Figure 1 (right), used by Algorithm
+// R4. It generalises In2t for the multiset case: since many elements can
+// share (Vs, Payload) with different Ve values (and true duplicates), each
+// second-tier hash entry holds a small red-black tree on Ve whose values are
+// occurrence counts.
+type In3t struct {
+	tree *Tree[temporal.VsPayload, *Node3]
+}
+
+// Node3 is one top-tier node of an In3t.
+type Node3 struct {
+	event temporal.Event
+	ve    map[int]*VeSet
+}
+
+// VeSet is a third-tier index: a multiset of Ve values for one stream,
+// stored as a Ve-ordered tree of counts plus the total.
+type VeSet struct {
+	tree  *Tree[temporal.Time, int]
+	total int
+}
+
+// NewIn3t returns an empty index.
+func NewIn3t() *In3t {
+	return &In3t{tree: NewTree[temporal.VsPayload, *Node3](temporal.VsPayload.Compare)}
+}
+
+// Len returns the number of live (Vs, Payload) nodes.
+func (x *In3t) Len() int { return x.tree.Len() }
+
+// SameVsPayload returns the node for e's (Vs, Payload), if present.
+func (x *In3t) SameVsPayload(e temporal.Element) (*Node3, bool) {
+	return x.Get(e.Key())
+}
+
+// Get returns the node for key k, if present.
+func (x *In3t) Get(k temporal.VsPayload) (*Node3, bool) {
+	return x.tree.Get(k)
+}
+
+// AddNode creates a node for e's (Vs, Payload).
+func (x *In3t) AddNode(e temporal.Element) *Node3 {
+	n := &Node3{
+		event: temporal.Event{Payload: e.Payload, Vs: e.Vs, Ve: e.Ve},
+		ve:    make(map[int]*VeSet, 4),
+	}
+	x.tree.Put(e.Key(), n)
+	return n
+}
+
+// DeleteNode removes the node for key k.
+func (x *In3t) DeleteNode(k temporal.VsPayload) bool {
+	return x.tree.Delete(k)
+}
+
+// FindHalfFrozen returns, in key order, a snapshot of nodes with Vs < t.
+func (x *In3t) FindHalfFrozen(t temporal.Time) []*Node3 {
+	var out []*Node3
+	x.tree.Ascend(func(k temporal.VsPayload, n *Node3) bool {
+		if k.Vs >= t {
+			return false
+		}
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// Ascend visits all nodes in key order.
+func (x *In3t) Ascend(fn func(*Node3) bool) {
+	x.tree.Ascend(func(_ temporal.VsPayload, n *Node3) bool { return fn(n) })
+}
+
+// SizeBytes approximates memory: one shared payload per node plus, per
+// stream entry, tree overhead for each distinct Ve.
+func (x *In3t) SizeBytes() int {
+	total := 0
+	x.tree.Ascend(func(_ temporal.VsPayload, n *Node3) bool {
+		total += nodeOverhead + n.event.Payload.SizeBytes()
+		for _, vs := range n.ve {
+			total += 16 + nodeOverhead/2*vs.tree.Len()
+		}
+		return true
+	})
+	return total
+}
+
+// Event returns the node's shared representative event.
+func (n *Node3) Event() temporal.Event { return n.event }
+
+// Key returns the node's (Vs, Payload).
+func (n *Node3) Key() temporal.VsPayload { return n.event.Key() }
+
+// set returns stream s's VeSet, creating it if asked.
+func (n *Node3) set(s int, create bool) *VeSet {
+	vs, ok := n.ve[s]
+	if !ok && create {
+		vs = &VeSet{tree: NewTree[temporal.Time, int](func(a, b temporal.Time) int {
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		})}
+		n.ve[s] = vs
+	}
+	return vs
+}
+
+// IncrementCount records one more occurrence of ve on stream s.
+func (n *Node3) IncrementCount(s int, ve temporal.Time) {
+	vs := n.set(s, true)
+	c, _ := vs.tree.Get(ve)
+	vs.tree.Put(ve, c+1)
+	vs.total++
+}
+
+// DecrementCount removes one occurrence of ve on stream s, reporting whether
+// an occurrence existed.
+func (n *Node3) DecrementCount(s int, ve temporal.Time) bool {
+	vs := n.set(s, false)
+	if vs == nil {
+		return false
+	}
+	c, ok := vs.tree.Get(ve)
+	if !ok || c == 0 {
+		return false
+	}
+	if c == 1 {
+		vs.tree.Delete(ve)
+	} else {
+		vs.tree.Put(ve, c-1)
+	}
+	vs.total--
+	return true
+}
+
+// Count returns the total number of events for this node on stream s
+// (GetCount in Algorithm R4).
+func (n *Node3) Count(s int) int {
+	if vs := n.set(s, false); vs != nil {
+		return vs.total
+	}
+	return 0
+}
+
+// CountOf returns the number of occurrences of a specific ve on stream s.
+func (n *Node3) CountOf(s int, ve temporal.Time) int {
+	if vs := n.set(s, false); vs != nil {
+		c, _ := vs.tree.Get(ve)
+		return c
+	}
+	return 0
+}
+
+// MaxVe returns the largest Ve on stream s (GetMaxVe in Algorithm R4); ok is
+// false if the stream holds no events for this node.
+func (n *Node3) MaxVe(s int) (temporal.Time, bool) {
+	vs := n.set(s, false)
+	if vs == nil || vs.total == 0 {
+		return 0, false
+	}
+	ve, _, ok := vs.tree.Max()
+	return ve, ok
+}
+
+// AscendVe visits stream s's (Ve, count) pairs in Ve order (FindAllVe in
+// Algorithm R4).
+func (n *Node3) AscendVe(s int, fn func(ve temporal.Time, count int) bool) {
+	if vs := n.set(s, false); vs != nil {
+		vs.tree.Ascend(fn)
+	}
+}
+
+// VeCounts returns a snapshot of stream s's Ve multiset in ascending order.
+func (n *Node3) VeCounts(s int) []VeCount {
+	var out []VeCount
+	n.AscendVe(s, func(ve temporal.Time, c int) bool {
+		out = append(out, VeCount{Ve: ve, Count: c})
+		return true
+	})
+	return out
+}
+
+// VeCount is one (Ve, multiplicity) pair of a VeSet snapshot.
+type VeCount struct {
+	Ve    temporal.Time
+	Count int
+}
+
+// DeleteStream drops stream s's VeSet, used when an input detaches.
+func (n *Node3) DeleteStream(s int) { delete(n.ve, s) }

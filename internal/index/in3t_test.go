@@ -1,0 +1,127 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+func TestIn3tCounts(t *testing.T) {
+	x := NewIn3t()
+	e := temporal.Insert(temporal.P(1), 5, 10)
+	n := x.AddNode(e)
+
+	if n.Count(0) != 0 || n.CountOf(0, 10) != 0 {
+		t.Fatal("fresh node should have zero counts")
+	}
+	n.IncrementCount(0, 10)
+	n.IncrementCount(0, 10)
+	n.IncrementCount(0, 12)
+	if n.Count(0) != 3 {
+		t.Fatalf("Count(0) = %d, want 3", n.Count(0))
+	}
+	if n.CountOf(0, 10) != 2 || n.CountOf(0, 12) != 1 {
+		t.Fatal("per-Ve counts wrong")
+	}
+	if ve, ok := n.MaxVe(0); !ok || ve != 12 {
+		t.Fatalf("MaxVe = %v, %v", ve, ok)
+	}
+	if _, ok := n.MaxVe(1); ok {
+		t.Fatal("MaxVe on absent stream should report absent")
+	}
+
+	if !n.DecrementCount(0, 10) {
+		t.Fatal("DecrementCount should succeed")
+	}
+	if n.CountOf(0, 10) != 1 || n.Count(0) != 2 {
+		t.Fatal("counts after decrement wrong")
+	}
+	if n.DecrementCount(0, 99) {
+		t.Fatal("decrement of absent Ve should fail")
+	}
+	if n.DecrementCount(1, 10) {
+		t.Fatal("decrement on absent stream should fail")
+	}
+
+	// Drain a Ve fully: it should disappear from the tier.
+	n.DecrementCount(0, 10)
+	if n.CountOf(0, 10) != 0 {
+		t.Fatal("drained Ve should have count 0")
+	}
+	vcs := n.VeCounts(0)
+	if len(vcs) != 1 || vcs[0] != (VeCount{Ve: 12, Count: 1}) {
+		t.Fatalf("VeCounts = %v", vcs)
+	}
+}
+
+func TestIn3tAscendVeOrder(t *testing.T) {
+	x := NewIn3t()
+	n := x.AddNode(temporal.Insert(temporal.P(1), 0, 1))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		n.IncrementCount(0, temporal.Time(rng.Intn(50)))
+	}
+	last := temporal.MinTime
+	total := 0
+	n.AscendVe(0, func(ve temporal.Time, c int) bool {
+		if ve <= last {
+			t.Fatal("AscendVe out of order")
+		}
+		last = ve
+		total += c
+		return true
+	})
+	if total != 200 || n.Count(0) != 200 {
+		t.Fatalf("total = %d, Count = %d", total, n.Count(0))
+	}
+}
+
+func TestIn3tFindHalfFrozenAndDelete(t *testing.T) {
+	x := NewIn3t()
+	for vs := temporal.Time(0); vs < 10; vs++ {
+		n := x.AddNode(temporal.Insert(temporal.P(int64(vs)), vs, vs+5))
+		n.IncrementCount(0, vs+5)
+	}
+	hf := x.FindHalfFrozen(4)
+	if len(hf) != 4 {
+		t.Fatalf("FindHalfFrozen(4) = %d, want 4", len(hf))
+	}
+	for _, n := range hf {
+		x.DeleteNode(n.Key())
+	}
+	if x.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", x.Len())
+	}
+}
+
+func TestIn3tDeleteStream(t *testing.T) {
+	x := NewIn3t()
+	n := x.AddNode(temporal.Insert(temporal.P(1), 0, 5))
+	n.IncrementCount(0, 5)
+	n.IncrementCount(1, 5)
+	n.DeleteStream(0)
+	if n.Count(0) != 0 || n.Count(1) != 1 {
+		t.Fatal("DeleteStream should drop only stream 0")
+	}
+}
+
+func TestIn3tSizeBytes(t *testing.T) {
+	x := NewIn3t()
+	if x.SizeBytes() != 0 {
+		t.Fatal("empty index should be size 0")
+	}
+	n := x.AddNode(temporal.Insert(temporal.Payload{ID: 1, Data: "xxxx"}, 0, 5))
+	s1 := x.SizeBytes()
+	n.IncrementCount(0, 5)
+	n.IncrementCount(0, 6)
+	s2 := x.SizeBytes()
+	if s2 <= s1 {
+		t.Fatal("adding Ve entries should grow the size estimate")
+	}
+	var found bool
+	x.Ascend(func(m *Node3) bool { found = m == n; return false })
+	if !found {
+		t.Fatal("Ascend should visit the node")
+	}
+}

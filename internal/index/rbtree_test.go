@@ -1,0 +1,182 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intCmp(a, b int) int { return a - b }
+
+func TestTreeBasic(t *testing.T) {
+	tr := NewTree[int, string](intCmp)
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree")
+	}
+	tr.Put(2, "b")
+	tr.Put(1, "a")
+	tr.Put(3, "c")
+	tr.Put(2, "B") // replace
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if v, ok := tr.Get(2); !ok || v != "B" {
+		t.Fatalf("Get(2) = %q, %v", v, ok)
+	}
+	if k, v, ok := tr.Min(); !ok || k != 1 || v != "a" {
+		t.Fatalf("Min = %d,%q,%v", k, v, ok)
+	}
+	if k, v, ok := tr.Max(); !ok || k != 3 || v != "c" {
+		t.Fatalf("Max = %d,%q,%v", k, v, ok)
+	}
+	if !tr.Delete(2) || tr.Delete(2) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len after delete = %d", tr.Len())
+	}
+	if msg := tr.validate(); msg != "" {
+		t.Fatalf("invariant: %s", msg)
+	}
+}
+
+func TestTreeEmptyMinMax(t *testing.T) {
+	tr := NewTree[int, int](intCmp)
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree should report absent")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Error("Max on empty tree should report absent")
+	}
+}
+
+func TestTreeAscendOrderAndEarlyStop(t *testing.T) {
+	tr := NewTree[int, int](intCmp)
+	perm := rand.New(rand.NewSource(1)).Perm(100)
+	for _, k := range perm {
+		tr.Put(k, k*k)
+	}
+	var keys []int
+	tr.Ascend(func(k, v int) bool {
+		if v != k*k {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		keys = append(keys, k)
+		return true
+	})
+	if !sort.IntsAreSorted(keys) || len(keys) != 100 {
+		t.Fatalf("Ascend order broken (%d keys)", len(keys))
+	}
+	n := 0
+	tr.Ascend(func(k, v int) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	if got := tr.Keys(); len(got) != 100 || got[0] != 0 || got[99] != 99 {
+		t.Fatalf("Keys() wrong: len=%d", len(got))
+	}
+}
+
+// TestTreeRandomizedAgainstMap drives the tree with a random op sequence and
+// checks contents against a reference map and the red-black invariants.
+func TestTreeRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := NewTree[int, int](intCmp)
+	ref := make(map[int]int)
+	for i := 0; i < 20000; i++ {
+		k := rng.Intn(500)
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Int()
+			tr.Put(k, v)
+			ref[k] = v
+		case 2:
+			delTree := tr.Delete(k)
+			_, inRef := ref[k]
+			if delTree != inRef {
+				t.Fatalf("op %d: Delete(%d) = %v, ref has = %v", i, k, delTree, inRef)
+			}
+			delete(ref, k)
+		}
+		if i%997 == 0 {
+			if msg := tr.validate(); msg != "" {
+				t.Fatalf("op %d: invariant: %s", i, msg)
+			}
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got, ok := tr.Get(k); !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v, want %d", k, got, ok, v)
+		}
+	}
+	if msg := tr.validate(); msg != "" {
+		t.Fatalf("final invariant: %s", msg)
+	}
+}
+
+// TestTreeQuickInsertDelete is a testing/quick property: inserting a key set
+// then deleting a subset leaves exactly the difference, with invariants held.
+func TestTreeQuickInsertDelete(t *testing.T) {
+	f := func(ins []int16, del []int16) bool {
+		tr := NewTree[int, bool](intCmp)
+		ref := make(map[int]bool)
+		for _, k := range ins {
+			tr.Put(int(k), true)
+			ref[int(k)] = true
+		}
+		for _, k := range del {
+			tr.Delete(int(k))
+			delete(ref, int(k))
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		if msg := tr.validate(); msg != "" {
+			return false
+		}
+		keys := tr.Keys()
+		if !sort.IntsAreSorted(keys) {
+			return false
+		}
+		for _, k := range keys {
+			if !ref[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeDescendingInsert(t *testing.T) {
+	tr := NewTree[int, int](intCmp)
+	for k := 1000; k > 0; k-- {
+		tr.Put(k, k)
+	}
+	if msg := tr.validate(); msg != "" {
+		t.Fatalf("invariant after descending inserts: %s", msg)
+	}
+	for k := 1; k <= 1000; k += 2 {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tr.Len())
+	}
+	if msg := tr.validate(); msg != "" {
+		t.Fatalf("invariant after deletes: %s", msg)
+	}
+}

@@ -1,0 +1,174 @@
+// Package metrics provides the measurement plumbing of the evaluation:
+// time-bucketed series for the throughput plots (Figs. 8–10), latency
+// tracking for the Sec. VI-D-3 comparison, and distribution summaries.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (time, value) sample of a series.
+type Point struct {
+	T float64
+	V float64
+}
+
+// Series accumulates values into fixed-width time buckets — the shape of the
+// paper's throughput-over-time figures.
+type Series struct {
+	Bucket float64
+	vals   []float64
+}
+
+// NewSeries returns a series with the given bucket width in seconds.
+func NewSeries(bucket float64) *Series {
+	if bucket <= 0 {
+		panic("metrics: bucket width must be positive")
+	}
+	return &Series{Bucket: bucket}
+}
+
+// Add accumulates v into the bucket containing time at (negative times clamp
+// to the first bucket).
+func (s *Series) Add(at, v float64) {
+	i := int(at / s.Bucket)
+	if i < 0 {
+		i = 0
+	}
+	for len(s.vals) <= i {
+		s.vals = append(s.vals, 0)
+	}
+	s.vals[i] += v
+}
+
+// Points returns the bucketed samples; T is the bucket start.
+func (s *Series) Points() []Point {
+	out := make([]Point, len(s.vals))
+	for i, v := range s.vals {
+		out[i] = Point{T: float64(i) * s.Bucket, V: v}
+	}
+	return out
+}
+
+// Rate returns per-second rates (value / bucket width).
+func (s *Series) Rate() []Point {
+	out := s.Points()
+	for i := range out {
+		out[i].V /= s.Bucket
+	}
+	return out
+}
+
+// Len returns the number of buckets.
+func (s *Series) Len() int { return len(s.vals) }
+
+// Values returns the raw bucket values.
+func (s *Series) Values() []float64 { return append([]float64(nil), s.vals...) }
+
+// Summary is a distribution summary.
+type Summary struct {
+	N                int
+	Min, Mean, Max   float64
+	P50, P95, P99    float64
+	Stddev           float64
+	CoefficientOfVar float64 // stddev/mean; the burst-smoothing metric
+}
+
+// Summarize computes a Summary of vals.
+func Summarize(vals []float64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+	varSum := 0.0
+	for _, v := range sorted {
+		d := v - mean
+		varSum += d * d
+	}
+	std := math.Sqrt(varSum / float64(len(sorted)))
+	q := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	s := Summary{
+		N: len(sorted), Min: sorted[0], Max: sorted[len(sorted)-1],
+		Mean: mean, P50: q(0.5), P95: q(0.95), P99: q(0.99), Stddev: std,
+	}
+	if mean != 0 {
+		s.CoefficientOfVar = std / mean
+	}
+	return s
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.1f p50=%.1f mean=%.1f p95=%.1f max=%.1f cv=%.3f",
+		s.N, s.Min, s.P50, s.Mean, s.P95, s.Max, s.CoefficientOfVar)
+}
+
+// Latencies tracks per-element latencies (virtual seconds between an
+// element's availability and its appearance on the output).
+type Latencies struct {
+	vals []float64
+}
+
+// Observe records one latency sample.
+func (l *Latencies) Observe(v float64) { l.vals = append(l.vals, v) }
+
+// Summary summarises the recorded samples.
+func (l *Latencies) Summary() Summary { return Summarize(l.vals) }
+
+// N returns the sample count.
+func (l *Latencies) N() int { return len(l.vals) }
+
+// Sparkline renders a crude ASCII plot of a series, used by cmd/lmbench to
+// show the Fig. 8–10 time series in a terminal.
+func Sparkline(points []Point, width int) string {
+	if len(points) == 0 {
+		return ""
+	}
+	if width <= 0 || width > len(points) {
+		width = len(points)
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	max := 0.0
+	for _, p := range points {
+		if p.V > max {
+			max = p.V
+		}
+	}
+	if max == 0 {
+		return strings.Repeat("▁", width)
+	}
+	var b strings.Builder
+	step := float64(len(points)) / float64(width)
+	for i := 0; i < width; i++ {
+		lo, hi := int(float64(i)*step), int(float64(i+1)*step)
+		if hi > len(points) {
+			hi = len(points)
+		}
+		if lo >= hi {
+			lo = hi - 1
+		}
+		v := 0.0
+		for _, p := range points[lo:hi] {
+			v += p.V
+		}
+		v /= float64(hi - lo)
+		idx := int(v / max * float64(len(levels)-1))
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBucketing(t *testing.T) {
+	s := NewSeries(1.0)
+	s.Add(0.2, 1)
+	s.Add(0.9, 2)
+	s.Add(2.5, 4)
+	s.Add(-1, 8) // clamps to bucket 0
+	pts := s.Points()
+	if len(pts) != 3 {
+		t.Fatalf("buckets = %d", len(pts))
+	}
+	if pts[0].V != 11 || pts[1].V != 0 || pts[2].V != 4 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[2].T != 2.0 {
+		t.Fatalf("bucket start = %v", pts[2].T)
+	}
+	rate := NewSeries(0.5)
+	rate.Add(0.1, 10)
+	if got := rate.Rate()[0].V; got != 20 {
+		t.Fatalf("rate = %v, want 20", got)
+	}
+	if s.Len() != 3 || len(s.Values()) != 3 {
+		t.Fatal("Len/Values wrong")
+	}
+}
+
+func TestSeriesPanicsOnBadBucket(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSeries(0)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+	if math.Abs(s.CoefficientOfVar-math.Sqrt(2)/3) > 1e-9 {
+		t.Fatalf("cv = %v", s.CoefficientOfVar)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	if Summarize([]float64{0, 0}).CoefficientOfVar != 0 {
+		t.Fatal("cv of zero mean should be 0")
+	}
+	if !strings.Contains(s.String(), "p50") {
+		t.Fatal("String missing fields")
+	}
+}
+
+func TestSummarizeQuickInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				// Keep magnitudes bounded so the mean cannot overflow.
+				vals = append(vals, math.Mod(v, 1e6))
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Summarize(vals)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.N == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	var l Latencies
+	for i := 1; i <= 100; i++ {
+		l.Observe(float64(i))
+	}
+	if l.N() != 100 {
+		t.Fatal("N wrong")
+	}
+	if s := l.Summary(); s.P95 != 95 || s.Min != 1 {
+		t.Fatalf("latency summary %+v", s)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 5}, {2, 10}, {3, 5}, {4, 0}}
+	sl := Sparkline(pts, 5)
+	if len([]rune(sl)) != 5 {
+		t.Fatalf("sparkline %q has wrong width", sl)
+	}
+	if Sparkline(nil, 5) != "" {
+		t.Fatal("empty series should render empty")
+	}
+	flat := Sparkline([]Point{{0, 0}, {1, 0}}, 2)
+	if len([]rune(flat)) != 2 {
+		t.Fatalf("flat sparkline %q", flat)
+	}
+	// Downsampling path.
+	many := make([]Point, 100)
+	for i := range many {
+		many[i] = Point{T: float64(i), V: float64(i)}
+	}
+	if got := Sparkline(many, 10); len([]rune(got)) != 10 {
+		t.Fatalf("downsampled width %d", len([]rune(got)))
+	}
+}

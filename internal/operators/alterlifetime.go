@@ -1,0 +1,74 @@
+package operators
+
+import (
+	"lmerge/internal/engine"
+	"lmerge/internal/temporal"
+)
+
+// AlterLifetime rewrites event end times — the canonical generator of adjust
+// elements in query plans (the paper's Fig. 4 sub-query is an aggregate
+// "followed by a lifetime modification"). Two shapes are supported, both of
+// which keep every stream prefix valid:
+//
+//   - Extend(d): Ve ↦ Ve + d for finite Ve (d ≥ 0). Input adjusts map to
+//     output adjusts.
+//   - SetDuration(d): Ve ↦ Vs + d. All end-time revisions collapse, so input
+//     adjusts become no-ops and are dropped (removals still pass).
+type AlterLifetime struct {
+	extend   temporal.Time
+	duration temporal.Time
+	fixed    bool
+}
+
+// Extend returns an AlterLifetime adding d ticks to every finite end time.
+func Extend(d temporal.Time) *AlterLifetime {
+	if d < 0 {
+		panic("operators: Extend requires d >= 0 to preserve stream validity")
+	}
+	return &AlterLifetime{extend: d}
+}
+
+// SetDuration returns an AlterLifetime forcing every lifetime to d ticks.
+func SetDuration(d temporal.Time) *AlterLifetime {
+	if d <= 0 {
+		panic("operators: SetDuration requires d > 0")
+	}
+	return &AlterLifetime{duration: d, fixed: true}
+}
+
+// Name implements engine.Operator.
+func (a *AlterLifetime) Name() string { return "alterlifetime" }
+
+func (a *AlterLifetime) mapVe(vs, ve temporal.Time) temporal.Time {
+	if ve.IsInf() {
+		return ve
+	}
+	if a.fixed {
+		return vs + a.duration
+	}
+	return ve + a.extend
+}
+
+// Process implements engine.Operator.
+func (a *AlterLifetime) Process(_ int, e temporal.Element, out *engine.Out) {
+	switch e.Kind {
+	case temporal.KindInsert:
+		out.Emit(temporal.Insert(e.Payload, e.Vs, a.mapVe(e.Vs, e.Ve)))
+	case temporal.KindAdjust:
+		if e.IsRemoval() {
+			out.Emit(temporal.Adjust(e.Payload, e.Vs, a.mapVe(e.Vs, e.VOld), e.Vs))
+			return
+		}
+		oldVe, newVe := a.mapVe(e.Vs, e.VOld), a.mapVe(e.Vs, e.Ve)
+		if oldVe != newVe {
+			out.Emit(temporal.Adjust(e.Payload, e.Vs, oldVe, newVe))
+		}
+	case temporal.KindStable:
+		// Lifetimes only ever map to later end times, so the input's
+		// stability guarantee carries over unchanged.
+		out.Emit(e)
+	}
+}
+
+// OnFeedback implements engine.Operator.
+func (a *AlterLifetime) OnFeedback(temporal.Time) bool { return true }

@@ -1,0 +1,117 @@
+package operators
+
+import (
+	"lmerge/internal/engine"
+	"lmerge/internal/index"
+	"lmerge/internal/temporal"
+)
+
+// Cleanse is the order-enforcing buffer of Sec. VI-D: it accepts a
+// disordered stream with revisions, holds every event until it is fully
+// frozen, and releases finalized events in (Vs, Payload) order. Its output
+// is insert-only with non-decreasing Vs and deterministic tie order — the
+// R1 profile — which is what the C+LMR1 strategy of Fig. 7 feeds into the
+// simple merger.
+//
+// The cost the paper measures is inherent: every event is buffered until
+// the stable point passes its end time, so memory grows with (event
+// lifetime × arrival rate) and latency with event lifetimes.
+type Cleanse struct {
+	buf       *index.Tree[temporal.VsPayload, temporal.Time] // key → current Ve
+	bytes     int
+	outStable temporal.Time
+	init      bool
+}
+
+// NewCleanse returns an empty Cleanse.
+func NewCleanse() *Cleanse { return &Cleanse{} }
+
+func (c *Cleanse) ensure() {
+	if !c.init {
+		c.buf = index.NewTree[temporal.VsPayload, temporal.Time](temporal.VsPayload.Compare)
+		c.outStable = temporal.MinTime
+		c.init = true
+	}
+}
+
+// Name implements engine.Operator.
+func (c *Cleanse) Name() string { return "cleanse" }
+
+// Process implements engine.Operator.
+func (c *Cleanse) Process(_ int, e temporal.Element, out *engine.Out) {
+	c.ensure()
+	switch e.Kind {
+	case temporal.KindInsert:
+		if _, dup := c.buf.Get(e.Key()); !dup {
+			c.bytes += e.Payload.SizeBytes() + 72
+		}
+		c.buf.Put(e.Key(), e.Ve)
+	case temporal.KindAdjust:
+		if _, ok := c.buf.Get(e.Key()); !ok {
+			return
+		}
+		if e.IsRemoval() {
+			c.buf.Delete(e.Key())
+			c.bytes -= e.Payload.SizeBytes() + 72
+			return
+		}
+		c.buf.Put(e.Key(), e.Ve)
+	case temporal.KindStable:
+		c.release(e.T(), out)
+	}
+}
+
+// release walks buffered events in key order, emitting the maximal prefix
+// whose events are all fully frozen at t. The first still-live event stops
+// the walk: later events cannot be released without breaking output order.
+func (c *Cleanse) release(t temporal.Time, out *engine.Out) {
+	type kv struct {
+		k  temporal.VsPayload
+		ve temporal.Time
+	}
+	var ready []kv
+	held := temporal.Time(0)
+	blocked := false
+	c.buf.Ascend(func(k temporal.VsPayload, ve temporal.Time) bool {
+		if k.Vs >= t {
+			return false // unfrozen region; nothing below can block either
+		}
+		// stable(∞) finalises everything, including never-ending events.
+		if ve >= t && !t.IsInf() {
+			held = k.Vs
+			blocked = true
+			return false
+		}
+		ready = append(ready, kv{k, ve})
+		return true
+	})
+	for _, r := range ready {
+		out.Emit(temporal.Insert(r.k.Payload, r.k.Vs, r.ve))
+		c.buf.Delete(r.k)
+		c.bytes -= r.k.Payload.SizeBytes() + 72
+	}
+	// The output stable point is the release frontier: t if everything
+	// below t went out, else the first held event's start.
+	frontier := t
+	if blocked {
+		frontier = held
+	}
+	if frontier > c.outStable {
+		c.outStable = frontier
+		out.Emit(temporal.Stable(frontier))
+	}
+}
+
+// OnFeedback implements engine.Operator; the buffer is purged lazily via
+// normal release processing, so the signal just propagates.
+func (c *Cleanse) OnFeedback(temporal.Time) bool { return true }
+
+// SizeBytes implements engine.Sized: the buffered-event footprint whose
+// linear growth Fig. 7 plots.
+func (c *Cleanse) SizeBytes() int { return c.bytes }
+
+// Buffered returns the number of events currently held.
+func (c *Cleanse) Buffered() int {
+	c.ensure()
+	return c.buf.Len()
+}

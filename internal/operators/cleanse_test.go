@@ -1,0 +1,110 @@
+package operators
+
+import (
+	"testing"
+
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+func TestCleanseOrdersDisorderedInput(t *testing.T) {
+	sc := gen.NewScript(gen.Config{
+		Events: 300, Seed: 11, EventDuration: 60, MaxGap: 8,
+		Revisions: 0.5, RemoveProb: 0.3, PayloadBytes: 8,
+	})
+	cl := NewCleanse()
+	src, sink := pipe(cl)
+	lastVs := temporal.MinTime
+	sink.OnElement = func(e temporal.Element) {
+		switch e.Kind {
+		case temporal.KindAdjust:
+			t.Fatal("cleanse output must be insert-only")
+		case temporal.KindInsert:
+			if e.Vs < lastVs {
+				t.Fatalf("cleanse output disordered: %v after %v", e.Vs, lastVs)
+			}
+			lastVs = e.Vs
+		}
+	}
+	inject(t, src, sc.Render(gen.RenderOptions{Seed: 3, Disorder: 0.5, StableFreq: 0.05}))
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if !sink.TDB.Equal(sc.TDB()) {
+		t.Fatal("cleanse changed the logical stream")
+	}
+	if cl.Buffered() != 0 || cl.SizeBytes() != 0 {
+		t.Fatalf("cleanse retained %d events / %d bytes after stable(∞)", cl.Buffered(), cl.SizeBytes())
+	}
+}
+
+func TestCleanseHoldsUntilFullyFrozen(t *testing.T) {
+	cl := NewCleanse()
+	src, sink := pipe(cl)
+	src.Inject(temporal.Insert(temporal.P(1), 0, 100)) // long-lived
+	src.Inject(temporal.Insert(temporal.P(2), 5, 10))  // short
+	src.Inject(temporal.Stable(50))
+	// Event 2 is fully frozen but must wait: releasing it before event 1
+	// (smaller Vs, still live) would break output order.
+	if sink.Inserts() != 0 {
+		t.Fatal("cleanse released an event out of order")
+	}
+	if cl.Buffered() != 2 {
+		t.Fatalf("buffered = %d", cl.Buffered())
+	}
+	// Output progress is capped at the blocking event's start.
+	if got := sink.TDB.Stable(); got != 0 {
+		t.Fatalf("output stable = %v, want 0 (blocked event's Vs)", got)
+	}
+	src.Inject(temporal.Stable(101)) // event 1 freezes; both release in order
+	if sink.Inserts() != 2 {
+		t.Fatalf("released %d events, want 2", sink.Inserts())
+	}
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if got := sink.TDB.Stable(); got != 101 {
+		t.Fatalf("output stable = %v, want 101", got)
+	}
+}
+
+func TestCleanseAppliesRevisionsInBuffer(t *testing.T) {
+	cl := NewCleanse()
+	src, sink := pipe(cl)
+	src.Inject(temporal.Insert(temporal.P(1), 0, 10))
+	src.Inject(temporal.Adjust(temporal.P(1), 0, 10, 20))
+	src.Inject(temporal.Insert(temporal.P(2), 1, 5))
+	src.Inject(temporal.Adjust(temporal.P(2), 1, 5, 1)) // cancelled
+	src.Inject(temporal.Stable(temporal.Infinity))
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if sink.TDB.Len() != 1 || sink.TDB.Count(temporal.Ev(temporal.P(1), 0, 20)) != 1 {
+		t.Fatalf("cleanse output %v", sink.TDB)
+	}
+	if sink.Adjusts() != 0 {
+		t.Fatal("revisions must be absorbed in the buffer")
+	}
+}
+
+func TestCleanseMemoryGrowsWithLifetime(t *testing.T) {
+	// The C+LMR1 cost driver of Fig. 7: buffered bytes scale with how long
+	// events stay unfrozen.
+	run := func(lifetime temporal.Time) int {
+		cl := NewCleanse()
+		src, _ := pipe(cl)
+		peak := 0
+		for i := int64(0); i < 200; i++ {
+			src.Inject(temporal.Insert(temporal.P(i), temporal.Time(i), temporal.Time(i)+lifetime))
+			src.Inject(temporal.Stable(temporal.Time(i)))
+			if s := cl.SizeBytes(); s > peak {
+				peak = s
+			}
+		}
+		return peak
+	}
+	short, long := run(5), run(150)
+	if long <= short*2 {
+		t.Fatalf("cleanse memory should grow with lifetime: short=%d long=%d", short, long)
+	}
+}

@@ -1,0 +1,322 @@
+package operators
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"lmerge/internal/engine"
+	"lmerge/internal/temporal"
+)
+
+// CountAgg is an (optionally grouped) tumbling-window count: for every
+// window [w, w+Width) it reports the number of events starting in the
+// window, as an output event with lifetime [w, w+Width) whose payload
+// carries the group and the count.
+//
+// Two execution modes reproduce the conservative/aggressive spectrum of
+// Sec. I:
+//
+//   - Conservative: a window's count is emitted only once the input stable
+//     point passes the window end, so it is final on first emission and the
+//     output carries no adjust elements. Ungrouped, this yields one event
+//     per strictly increasing timestamp (the R0 profile of Sec. IV-G ex. 3);
+//     grouped, several events share a window timestamp in nondeterministic
+//     order (the R2 profile of ex. 5).
+//
+//   - Aggressive: a window's count is published speculatively as soon as the
+//     window frontier passes it; disordered stragglers then force
+//     corrections — a removal plus a re-insert of the new count. The more
+//     input disorder, the more adjusts (the behaviour Fig. 4 sweeps), and
+//     the output profile drops to R3 (ex. 6).
+//
+// Output streams satisfy the (Vs, Payload) key property: at most one count
+// event per (window, group) is live at a time, and the count value is part
+// of the payload.
+type CountAgg struct {
+	// Width is the tumbling-window width in ticks.
+	Width temporal.Time
+	// Group maps a payload to its group; nil means one global group.
+	Group func(temporal.Payload) int64
+	// Aggressive selects speculative emission (see type comment).
+	Aggressive bool
+	// PayloadPad pads output payload data to this many bytes, letting
+	// workloads keep the paper's large payloads through the aggregate.
+	PayloadPad int
+	// Value, when set, turns the count into a sum: each event contributes
+	// Value(payload) instead of 1 (a windowed SUM with the same
+	// conservative/aggressive machinery).
+	Value func(temporal.Payload) int64
+
+	windows   map[temporal.Time]*window
+	inStable  temporal.Time
+	outStable temporal.Time
+	frontier  temporal.Time // aggressive: latest window with an arrival
+
+	// ffWatermark is the fast-forward point from downstream feedback. It is
+	// written by OnFeedback on a foreign goroutine and observed lazily by
+	// Process (ff holds the last value acted upon). Zero means "none yet".
+	ffWatermark atomic.Int64
+	ff          temporal.Time
+	init        bool
+}
+
+type window struct {
+	counts  map[int64]int64 // group → current count
+	emitted map[int64]int64 // group → count value currently on the output
+	closed  bool            // aggressive: speculative publication happened
+}
+
+// NewCount returns an ungrouped count over width-tick tumbling windows.
+func NewCount(width temporal.Time, aggressive bool) *CountAgg {
+	return &CountAgg{Width: width, Aggressive: aggressive}
+}
+
+// NewSum returns a windowed sum of value over width-tick tumbling windows.
+func NewSum(width temporal.Time, aggressive bool, value func(temporal.Payload) int64) *CountAgg {
+	return &CountAgg{Width: width, Aggressive: aggressive, Value: value}
+}
+
+// NewGroupedCount returns a count grouped by payload ID modulo groups (the
+// per-machine process-count pattern of Sec. I).
+func NewGroupedCount(width temporal.Time, groups int64, aggressive bool) *CountAgg {
+	return &CountAgg{
+		Width:      width,
+		Group:      func(p temporal.Payload) int64 { return p.ID % groups },
+		Aggressive: aggressive,
+	}
+}
+
+// Name implements engine.Operator.
+func (c *CountAgg) Name() string {
+	if c.Aggressive {
+		return "count(aggressive)"
+	}
+	return "count(conservative)"
+}
+
+func (c *CountAgg) ensure() {
+	if !c.init {
+		c.windows = make(map[temporal.Time]*window)
+		c.inStable = temporal.MinTime
+		c.outStable = temporal.MinTime
+		c.frontier = temporal.MinTime
+		c.ff = temporal.MinTime
+		c.init = true
+	}
+}
+
+// valueOf returns an event's contribution (1 for counts).
+func (c *CountAgg) valueOf(p temporal.Payload) int64 {
+	if c.Value == nil {
+		return 1
+	}
+	return c.Value(p)
+}
+
+func (c *CountAgg) group(p temporal.Payload) int64 {
+	if c.Group == nil {
+		return 0
+	}
+	return c.Group(p)
+}
+
+func (c *CountAgg) windowOf(t temporal.Time) temporal.Time {
+	w := t / c.Width * c.Width
+	if t < 0 && t%c.Width != 0 {
+		w -= c.Width
+	}
+	return w
+}
+
+func (c *CountAgg) win(w temporal.Time) *window {
+	wd, ok := c.windows[w]
+	if !ok {
+		wd = &window{counts: make(map[int64]int64), emitted: make(map[int64]int64)}
+		c.windows[w] = wd
+	}
+	return wd
+}
+
+// payloadFor renders the (group, count) output payload. The count value is
+// part of the payload, so count corrections are a removal plus an insert and
+// (Vs, Payload) stays a key of every output prefix.
+func (c *CountAgg) payloadFor(group, count int64) temporal.Payload {
+	label := "count"
+	if c.Value != nil {
+		label = "sum"
+	}
+	data := fmt.Sprintf("%s=%d", label, count)
+	if c.PayloadPad > len(data) {
+		pad := make([]byte, c.PayloadPad-len(data))
+		for i := range pad {
+			pad[i] = '.'
+		}
+		data += string(pad)
+	}
+	return temporal.Payload{ID: group, Data: data}
+}
+
+// Process implements engine.Operator.
+func (c *CountAgg) Process(_ int, e temporal.Element, out *engine.Out) {
+	c.ensure()
+	if ff := temporal.Time(c.ffWatermark.Load()); ff > c.ff {
+		c.ff = ff
+		c.purge()
+	}
+	switch e.Kind {
+	case temporal.KindInsert:
+		c.add(e, out)
+	case temporal.KindAdjust:
+		if e.IsRemoval() {
+			c.removeEvent(e, out)
+		}
+		// End-time adjustments do not change counts by start time.
+	case temporal.KindStable:
+		c.stable(e.T(), out)
+	}
+}
+
+func (c *CountAgg) add(e temporal.Element, out *engine.Out) {
+	w := c.windowOf(e.Vs)
+	if w+c.Width <= c.ff {
+		return // window fast-forwarded away by downstream feedback
+	}
+	wd := c.win(w)
+	g := c.group(e.Payload)
+	wd.counts[g] += c.valueOf(e.Payload)
+	if !c.Aggressive {
+		return
+	}
+	switch {
+	case wd.closed:
+		// Straggler into a published window: correct the published count.
+		c.republish(w, wd, g, out)
+	case w > c.frontier:
+		// The frontier advanced: speculatively publish everything behind it.
+		c.closeBefore(w, out)
+		c.frontier = w
+	case w < c.frontier:
+		// A straggler opened a window behind the frontier: publish it now.
+		wd.closed = true
+		for g := range wd.counts {
+			c.republish(w, wd, g, out)
+		}
+	}
+}
+
+func (c *CountAgg) removeEvent(e temporal.Element, out *engine.Out) {
+	w := c.windowOf(e.Vs)
+	wd, ok := c.windows[w]
+	if !ok {
+		return
+	}
+	g := c.group(e.Payload)
+	if wd.counts[g] == 0 {
+		return
+	}
+	wd.counts[g] -= c.valueOf(e.Payload)
+	if c.Aggressive && wd.closed {
+		c.republish(w, wd, g, out)
+	}
+}
+
+// republish brings group g's published count for window w in line with its
+// current count.
+func (c *CountAgg) republish(w temporal.Time, wd *window, g int64, out *engine.Out) {
+	cur := wd.counts[g]
+	old, had := wd.emitted[g]
+	if had && old == cur {
+		return
+	}
+	end := w + c.Width
+	if had {
+		out.Emit(temporal.Adjust(c.payloadFor(g, old), w, end, w)) // remove stale count
+	}
+	if cur != 0 {
+		out.Emit(temporal.Insert(c.payloadFor(g, cur), w, end))
+		wd.emitted[g] = cur
+	} else {
+		delete(wd.emitted, g)
+	}
+}
+
+// closeBefore speculatively publishes every open window strictly before w.
+func (c *CountAgg) closeBefore(w temporal.Time, out *engine.Out) {
+	for start, wd := range c.windows {
+		if start >= w || wd.closed {
+			continue
+		}
+		wd.closed = true
+		for g := range wd.counts {
+			c.republish(start, wd, g, out)
+		}
+	}
+}
+
+// stable finalises windows wholly before t (in window order) and advances
+// the output stable point. The output point is window-aligned so that later
+// corrections for straddling windows remain valid on the output stream.
+func (c *CountAgg) stable(t temporal.Time, out *engine.Out) {
+	if t <= c.inStable {
+		return
+	}
+	c.inStable = t
+	var done []temporal.Time
+	for start := range c.windows {
+		if t.IsInf() || start+c.Width <= t {
+			done = append(done, start)
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
+	for _, start := range done {
+		wd := c.windows[start]
+		for g := range wd.counts {
+			c.republish(start, wd, g, out)
+		}
+		delete(c.windows, start)
+	}
+	outT := c.windowOf(t)
+	if t.IsInf() {
+		outT = temporal.Infinity
+	}
+	if outT > c.outStable {
+		c.outStable = outT
+		out.Emit(temporal.Stable(outT))
+	}
+}
+
+// OnFeedback records the fast-forward watermark; the next Process call
+// purges windows wholly before it without publishing them (Sec. V-D) and
+// drops future stragglers into the purged region. Race-free: only the
+// atomic is touched here.
+func (c *CountAgg) OnFeedback(t temporal.Time) bool {
+	for {
+		cur := c.ffWatermark.Load()
+		if int64(t) <= cur {
+			return true
+		}
+		if c.ffWatermark.CompareAndSwap(cur, int64(t)) {
+			return true
+		}
+	}
+}
+
+// purge drops state made irrelevant by the fast-forward point.
+func (c *CountAgg) purge() {
+	for start := range c.windows {
+		if start+c.Width <= c.ff {
+			delete(c.windows, start)
+		}
+	}
+}
+
+// SizeBytes implements engine.Sized.
+func (c *CountAgg) SizeBytes() int {
+	c.ensure()
+	total := 0
+	for _, wd := range c.windows {
+		total += 48 + 32*(len(wd.counts)+len(wd.emitted))
+	}
+	return total
+}

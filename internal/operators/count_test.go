@@ -1,0 +1,287 @@
+package operators
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+// expectedCounts computes the ground-truth per-window (per-group) counts of
+// a script's surviving events.
+func expectedCounts(sc *gen.Script, width temporal.Time, groups int64) map[temporal.Time]map[int64]int64 {
+	out := make(map[temporal.Time]map[int64]int64)
+	for _, h := range sc.Histories {
+		if h.Removed {
+			continue
+		}
+		w := h.Vs / width * width
+		g := int64(0)
+		if groups > 0 {
+			g = h.P.ID % groups
+		}
+		if out[w] == nil {
+			out[w] = make(map[int64]int64)
+		}
+		out[w][g]++
+	}
+	return out
+}
+
+// countsOf extracts (window, group) → count from an aggregate's output TDB.
+func countsOf(t *testing.T, tdb *temporal.TDB) map[temporal.Time]map[int64]int64 {
+	t.Helper()
+	out := make(map[temporal.Time]map[int64]int64)
+	for _, ev := range tdb.Events() {
+		val := ev.Payload.Data
+		if !strings.HasPrefix(val, "count=") {
+			t.Fatalf("unexpected payload %q", val)
+		}
+		n, err := strconv.ParseInt(strings.TrimRight(val[len("count="):], "."), 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[ev.Vs] == nil {
+			out[ev.Vs] = make(map[int64]int64)
+		}
+		if _, dup := out[ev.Vs][ev.Payload.ID]; dup {
+			t.Fatalf("duplicate live count for window %v group %d", ev.Vs, ev.Payload.ID)
+		}
+		out[ev.Vs][ev.Payload.ID] = n
+	}
+	return out
+}
+
+func equalCounts(a, b map[temporal.Time]map[int64]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for w, ga := range a {
+		gb, ok := b[w]
+		if !ok || len(ga) != len(gb) {
+			return false
+		}
+		for g, c := range ga {
+			if gb[g] != c {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func countScript(seed int64) *gen.Script {
+	return gen.NewScript(gen.Config{
+		Events: 400, Seed: seed, EventDuration: 50, MaxGap: 7,
+		Revisions: 0.3, RemoveProb: 0.3, PayloadBytes: 8,
+	})
+}
+
+func TestCountConservativeOrderedInput(t *testing.T) {
+	sc := countScript(1)
+	const width = 25
+	src, sink := pipe(NewCount(width, false))
+	inject(t, src, sc.RenderOrdered(gen.OrderedDeterministic, gen.RenderOptions{Seed: 1, StableFreq: 0.05}))
+	if sink.Err() != nil {
+		t.Fatalf("conservative count output invalid: %v", sink.Err())
+	}
+	if sink.Adjusts() != 0 {
+		t.Fatalf("conservative count emitted %d adjusts", sink.Adjusts())
+	}
+	want := expectedCounts(sc, width, 0)
+	if got := countsOf(t, sink.TDB); !equalCounts(got, want) {
+		t.Fatalf("counts differ: got %d windows, want %d", len(got), len(want))
+	}
+	if sink.TDB.Stable() != temporal.Infinity {
+		t.Fatal("count did not complete")
+	}
+}
+
+// TestCountOutputStrictlyIncreasingUngrouped checks the R0 profile of
+// Sec. IV-G example 3: ordered input through an ungrouped conservative
+// count yields one insert per strictly increasing timestamp.
+func TestCountOutputStrictlyIncreasingUngrouped(t *testing.T) {
+	sc := countScript(2)
+	src, sink := pipe(NewCount(25, false))
+	last := temporal.MinTime
+	sink.OnElement = func(e temporal.Element) {
+		if e.Kind != temporal.KindInsert {
+			return
+		}
+		if e.Vs <= last {
+			t.Fatalf("count output Vs %v not strictly increasing past %v", e.Vs, last)
+		}
+		last = e.Vs
+	}
+	inject(t, src, sc.RenderOrdered(gen.OrderedDeterministic, gen.RenderOptions{Seed: 2, StableFreq: 0.05}))
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if last == temporal.MinTime {
+		t.Fatal("no output produced")
+	}
+}
+
+func TestCountAggressiveEqualsConservative(t *testing.T) {
+	sc := countScript(3)
+	const width = 25
+	for _, disorder := range []float64{0, 0.3, 0.7} {
+		stream := sc.Render(gen.RenderOptions{Seed: 5, Disorder: disorder, StableFreq: 0.05})
+
+		srcA, sinkA := pipe(NewCount(width, true))
+		inject(t, srcA, stream)
+		if sinkA.Err() != nil {
+			t.Fatalf("disorder %v: aggressive output invalid: %v", disorder, sinkA.Err())
+		}
+		want := expectedCounts(sc, width, 0)
+		if got := countsOf(t, sinkA.TDB); !equalCounts(got, want) {
+			t.Fatalf("disorder %v: aggressive counts differ", disorder)
+		}
+	}
+}
+
+func TestCountAggressiveAdjustsGrowWithDisorder(t *testing.T) {
+	sc := countScript(4)
+	const width = 25
+	adjusts := func(disorder float64) int64 {
+		src, sink := pipe(NewCount(width, true))
+		inject(t, src, sc.Render(gen.RenderOptions{Seed: 7, Disorder: disorder, StableFreq: 0.05}))
+		if sink.Err() != nil {
+			t.Fatal(sink.Err())
+		}
+		return sink.Adjusts()
+	}
+	low, high := adjusts(0.05), adjusts(0.8)
+	if high <= low {
+		t.Fatalf("adjusts did not grow with disorder: %d -> %d", low, high)
+	}
+}
+
+func TestCountTwoCopiesEquivalent(t *testing.T) {
+	// Two aggressive aggregate copies over differently-disordered
+	// renderings must produce logically equivalent outputs — the property
+	// that makes them valid LMerge inputs (Figs. 4 and 7).
+	sc := countScript(5)
+	const width = 25
+	tdbs := make([]*temporal.TDB, 2)
+	for i := range tdbs {
+		src, sink := pipe(NewCount(width, true))
+		inject(t, src, sc.Render(gen.RenderOptions{Seed: int64(50 + i), Disorder: 0.4, StableFreq: 0.05}))
+		if sink.Err() != nil {
+			t.Fatal(sink.Err())
+		}
+		tdbs[i] = sink.TDB
+	}
+	if !tdbs[0].Equal(tdbs[1]) {
+		t.Fatal("aggregate copies diverge logically")
+	}
+}
+
+func TestGroupedCount(t *testing.T) {
+	sc := countScript(6)
+	const width, groups = 25, 5
+	src, sink := pipe(NewGroupedCount(width, groups, false))
+	inject(t, src, sc.RenderOrdered(gen.OrderedDeterministic, gen.RenderOptions{Seed: 9, StableFreq: 0.05}))
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	want := expectedCounts(sc, width, groups)
+	if got := countsOf(t, sink.TDB); !equalCounts(got, want) {
+		t.Fatal("grouped counts differ")
+	}
+}
+
+func TestCountPayloadPad(t *testing.T) {
+	agg := NewCount(10, false)
+	agg.PayloadPad = 100
+	src, sink := pipe(agg)
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(1), 1, 5),
+		temporal.Stable(temporal.Infinity),
+	})
+	for _, ev := range sink.TDB.Events() {
+		if len(ev.Payload.Data) != 100 {
+			t.Fatalf("payload size %d, want 100", len(ev.Payload.Data))
+		}
+	}
+}
+
+func TestCountRemovalsAdjustCounts(t *testing.T) {
+	const width = 10
+	src, sink := pipe(NewCount(width, true))
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(1), 1, 50),
+		temporal.Insert(temporal.P(2), 2, 50),
+		temporal.Insert(temporal.P(3), 15, 50),   // closes window 0 at count 2
+		temporal.Adjust(temporal.P(2), 2, 50, 2), // cancel: count drops to 1
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	got := countsOf(t, sink.TDB)
+	if got[0][0] != 1 || got[10][0] != 1 {
+		t.Fatalf("counts after cancel: %v", got)
+	}
+}
+
+func TestCountSizeBytesAndFeedbackPurge(t *testing.T) {
+	agg := NewCount(10, true)
+	src, _ := pipe(agg)
+	for i := int64(0); i < 100; i++ {
+		src.Inject(temporal.Insert(temporal.P(i), temporal.Time(i), temporal.Time(i+5)))
+	}
+	if agg.SizeBytes() == 0 {
+		t.Fatal("expected live window state")
+	}
+	agg.OnFeedback(1000)
+	// Purge is lazy: the next element triggers it.
+	src.Inject(temporal.Insert(temporal.P(999), 2000, 2005))
+	if got := agg.SizeBytes(); got > 100 {
+		t.Fatalf("windows not purged after feedback: %d bytes", got)
+	}
+}
+
+func TestSumAggregate(t *testing.T) {
+	sum := NewSum(10, false, func(p temporal.Payload) int64 { return p.ID })
+	src, sink := pipe(sum)
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(3), 1, 100),
+		temporal.Insert(temporal.P(4), 2, 100),
+		temporal.Insert(temporal.P(9), 12, 100),
+		temporal.Insert(temporal.P(5), 13, 100),
+		temporal.Adjust(temporal.P(5), 13, 100, 13), // cancelled: sum drops
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	want := map[temporal.Time]string{0: "sum=7", 10: "sum=9"}
+	for _, ev := range sink.TDB.Events() {
+		if want[ev.Vs] != ev.Payload.Data {
+			t.Fatalf("window %v: got %q want %q", ev.Vs, ev.Payload.Data, want[ev.Vs])
+		}
+		delete(want, ev.Vs)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing windows: %v", want)
+	}
+}
+
+func TestSumAggressiveEquivalentCopies(t *testing.T) {
+	sc := countScript(9)
+	tdbs := make([]*temporal.TDB, 2)
+	for i := range tdbs {
+		src, sink := pipe(NewSum(25, true, func(p temporal.Payload) int64 { return p.ID % 7 }))
+		inject(t, src, sc.Render(gen.RenderOptions{Seed: int64(90 + i), Disorder: 0.4, StableFreq: 0.05}))
+		if sink.Err() != nil {
+			t.Fatal(sink.Err())
+		}
+		tdbs[i] = sink.TDB
+	}
+	if !tdbs[0].Equal(tdbs[1]) {
+		t.Fatal("sum copies diverge logically")
+	}
+}

@@ -1,0 +1,202 @@
+package operators
+
+import (
+	"testing"
+
+	"lmerge/internal/core"
+	"lmerge/internal/engine"
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+func TestTopK(t *testing.T) {
+	src, sink := pipe(NewTopK(10, 2))
+	inject(t, src, temporal.Stream{
+		temporal.Insert(pl(5, "a"), 1, 100),
+		temporal.Insert(pl(9, "b"), 2, 100),
+		temporal.Insert(pl(7, "c"), 3, 100),
+		temporal.Insert(pl(1, "d"), 12, 100),
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	// Window 0: top-2 of {5,9,7} = {9,7}; window 10: {1}.
+	if sink.TDB.Count(temporal.Ev(pl(9, "b"), 0, 10)) != 1 ||
+		sink.TDB.Count(temporal.Ev(pl(7, "c"), 0, 10)) != 1 ||
+		sink.TDB.Count(temporal.Ev(pl(1, "d"), 10, 20)) != 1 {
+		t.Fatalf("topk output %v", sink.TDB)
+	}
+	if sink.TDB.Len() != 3 {
+		t.Fatalf("topk emitted %d events", sink.TDB.Len())
+	}
+}
+
+func TestTopKDeterministicRankOrder(t *testing.T) {
+	// Two copies over differently-seeded ordered renderings must emit the
+	// same element sequence — the R1 premise.
+	sc := gen.NewScript(gen.Config{Events: 200, Seed: 3, MaxGap: 4, GroupSize: 2, PayloadBytes: 6})
+	run := func(seed int64) []temporal.Element {
+		var got []temporal.Element
+		src, sink := pipe(NewTopK(20, 3))
+		sink.OnElement = func(e temporal.Element) {
+			if e.Kind == temporal.KindInsert {
+				got = append(got, e)
+			}
+		}
+		inject(t, src, sc.RenderOrdered(gen.OrderedDeterministic, gen.RenderOptions{Seed: seed, StableFreq: 0.1}))
+		return got
+	}
+	a, b := run(1), run(2)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("copy outputs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank order diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// buildReplicatedAggPlans builds n copies of source→count(aggressive) feeding
+// one LMerge, returning source nodes, the lmerge, and the sink.
+func buildReplicatedAggPlans(n int, mk func(core.Emit) core.Merger, lag temporal.Time) (*engine.Graph, []*engine.Node, *LMerge, *Sink) {
+	g := engine.NewGraph()
+	lm := NewLMerge(n, lag, mk)
+	lmNode := g.Add(lm)
+	sink := NewSink()
+	g.Connect(lmNode, g.Add(sink))
+	srcs := make([]*engine.Node, n)
+	for i := 0; i < n; i++ {
+		src := g.Add(NewSource("plan"))
+		agg := g.Add(NewCount(50, true))
+		g.Connect(src, agg)
+		g.Connect(agg, lmNode)
+		srcs[i] = src
+	}
+	return g, srcs, lm, sink
+}
+
+// TestPlanMergePipelineSync runs the Fig. 4/7 topology end to end in the
+// deterministic executor: disordered renderings → aggressive aggregates →
+// LMerge(R3) → sink; the merged result must equal any single plan's result.
+func TestPlanMergePipelineSync(t *testing.T) {
+	sc := gen.NewScript(gen.Config{
+		Events: 400, Seed: 21, EventDuration: 60, MaxGap: 8,
+		Revisions: 0.4, RemoveProb: 0.2, PayloadBytes: 8,
+	})
+	const n = 3
+	_, srcs, lm, sink := buildReplicatedAggPlans(n, func(emit core.Emit) core.Merger {
+		return core.NewR3(emit)
+	}, -1)
+	streams := make([]temporal.Stream, n)
+	for i := range streams {
+		streams[i] = sc.Render(gen.RenderOptions{Seed: int64(30 + i), Disorder: 0.4, StableFreq: 0.05})
+	}
+	for pos := 0; ; pos++ {
+		any := false
+		for i, s := range streams {
+			if pos < len(s) {
+				srcs[i].Inject(s[pos])
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	if sink.Err() != nil {
+		t.Fatalf("merged plan output invalid: %v", sink.Err())
+	}
+	// Reference: a single plan alone.
+	refSrc, refSink := pipe(NewCount(50, true))
+	inject(t, refSrc, streams[0])
+	if !sink.TDB.Equal(refSink.TDB) {
+		t.Fatalf("merged TDB differs from single-plan TDB\n got %v\nwant %v", sink.TDB, refSink.TDB)
+	}
+	if lm.Operator().MaxStable() != temporal.Infinity {
+		t.Fatal("merge did not complete")
+	}
+}
+
+// TestPlanMergePipelineConcurrent runs the same topology on the concurrent
+// runtime.
+func TestPlanMergePipelineConcurrent(t *testing.T) {
+	sc := gen.NewScript(gen.Config{
+		Events: 400, Seed: 23, EventDuration: 60, MaxGap: 8,
+		Revisions: 0.4, RemoveProb: 0.2, PayloadBytes: 8,
+	})
+	const n = 3
+	g, srcs, _, sink := buildReplicatedAggPlans(n, func(emit core.Emit) core.Merger {
+		return core.NewR3(emit)
+	}, -1)
+	rt := engine.NewRuntime(g)
+	rt.Start()
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			for _, e := range sc.Render(gen.RenderOptions{Seed: int64(40 + i), Disorder: 0.4, StableFreq: 0.05}) {
+				rt.Inject(srcs[i], e)
+			}
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	rt.Close()
+	if sink.Err() != nil {
+		t.Fatalf("concurrent merged output invalid: %v", sink.Err())
+	}
+	refSrc, refSink := pipe(NewCount(50, true))
+	inject(t, refSrc, sc.Render(gen.RenderOptions{Seed: 40, Disorder: 0.4, StableFreq: 0.05}))
+	if !sink.TDB.Equal(refSink.TDB) {
+		t.Fatal("concurrent merged TDB differs from single-plan TDB")
+	}
+}
+
+// TestFeedbackReachesUpstream verifies the Sec. V-D loop end to end: a
+// lagging plan's UDF receives the fast-forward point that LMerge derives
+// from the leading plan.
+func TestFeedbackReachesUpstream(t *testing.T) {
+	g := engine.NewGraph()
+	lm := NewLMerge(2, 0, func(emit core.Emit) core.Merger { return core.NewR3(emit) })
+	lmNode := g.Add(lm)
+	sink := NewSink()
+	g.Connect(lmNode, g.Add(sink))
+
+	udfs := make([]*UDF, 2)
+	srcs := make([]*engine.Node, 2)
+	for i := 0; i < 2; i++ {
+		src := g.Add(NewSource("plan"))
+		udfs[i] = NewUDF(func(temporal.Payload) int { return 1 })
+		un := g.Add(udfs[i])
+		g.Connect(src, un)
+		g.Connect(un, lmNode)
+		srcs[i] = src
+	}
+	// Plan 0 races ahead; plan 1 is silent.
+	srcs[0].Inject(temporal.Insert(temporal.P(1), 1, 10))
+	srcs[0].Inject(temporal.Stable(20))
+	// The merge advanced to 20; plan 1 (lagging) must have been signalled.
+	if got := temporal.Time(udfsWatermark(udfs[1])); got != 20 {
+		t.Fatalf("lagging plan watermark = %v, want 20", got)
+	}
+	// Plan 1's stale elements are now skipped at its UDF.
+	srcs[1].Inject(temporal.Insert(temporal.P(1), 1, 10))
+	if udfs[1].Skipped() != 1 {
+		t.Fatalf("Skipped = %d, want 1", udfs[1].Skipped())
+	}
+}
+
+func udfsWatermark(u *UDF) int64 {
+	// Probe via OnFeedback contract: re-sending a smaller value leaves the
+	// watermark unchanged; we read it through Skipped behaviour instead.
+	// For the test we rely on the exported behaviour only.
+	// (The watermark itself is intentionally unexported.)
+	// Trick: binary search would be overkill — reuse Skipped side effect.
+	return int64(u.watermark())
+}
+
+// watermark exposes the fast-forward point to package tests.
+func (u *UDF) watermark() temporal.Time { return temporal.Time(u.ffWatermark.Load()) }

@@ -1,0 +1,241 @@
+package operators
+
+import (
+	"lmerge/internal/engine"
+	"lmerge/internal/temporal"
+)
+
+// Join is a two-input temporal equi-join on the payload ID field: whenever a
+// left and a right event share an ID and their validity intervals overlap,
+// it emits an output event whose lifetime is the intersection. Revisions on
+// either input are translated into revisions of the affected join results —
+// growth can create pairs, shrinkage adjusts or cancels them.
+//
+// Inputs should satisfy the (Vs, Payload) key property so join results are
+// uniquely identified; output order is arrival-driven and therefore
+// physically nondeterministic across copies (the multi-input
+// nondeterminism of Sec. I-3).
+type Join struct {
+	// Combine builds the output payload; the default concatenates the two
+	// payloads' Data under the left ID.
+	Combine func(l, r temporal.Payload) temporal.Payload
+
+	sides     [2]map[int64][]*jevent
+	stables   [2]temporal.Time
+	outStable temporal.Time
+	init      bool
+}
+
+type jevent struct {
+	p      temporal.Payload
+	vs, ve temporal.Time
+	pairs  []*jpair
+}
+
+type jpair struct {
+	p      temporal.Payload
+	vs, ve temporal.Time
+	l, r   *jevent
+}
+
+// NewJoin returns an empty temporal join.
+func NewJoin() *Join { return &Join{} }
+
+// Name implements engine.Operator.
+func (j *Join) Name() string { return "join" }
+
+func (j *Join) ensure() {
+	if !j.init {
+		j.sides[0] = make(map[int64][]*jevent)
+		j.sides[1] = make(map[int64][]*jevent)
+		j.stables[0], j.stables[1] = temporal.MinTime, temporal.MinTime
+		j.outStable = temporal.MinTime
+		j.init = true
+	}
+}
+
+func (j *Join) combine(l, r temporal.Payload) temporal.Payload {
+	if j.Combine != nil {
+		return j.Combine(l, r)
+	}
+	return temporal.Payload{ID: l.ID, Data: l.Data + "⨝" + r.Data}
+}
+
+// Process implements engine.Operator.
+func (j *Join) Process(port int, e temporal.Element, out *engine.Out) {
+	j.ensure()
+	if port != 0 && port != 1 {
+		return
+	}
+	switch e.Kind {
+	case temporal.KindInsert:
+		j.insert(port, e, out)
+	case temporal.KindAdjust:
+		j.adjust(port, e, out)
+	case temporal.KindStable:
+		j.stable(port, e.T(), out)
+	}
+}
+
+func (j *Join) insert(side int, e temporal.Element, out *engine.Out) {
+	ev := &jevent{p: e.Payload, vs: e.Vs, ve: e.Ve}
+	j.sides[side][e.Payload.ID] = append(j.sides[side][e.Payload.ID], ev)
+	for _, other := range j.sides[1-side][e.Payload.ID] {
+		l, r := ev, other
+		if side == 1 {
+			l, r = other, ev
+		}
+		j.tryPair(l, r, out)
+	}
+}
+
+// tryPair creates and emits the join result of l and r if their lifetimes
+// overlap and they are not already paired.
+func (j *Join) tryPair(l, r *jevent, out *engine.Out) {
+	vs := temporal.MaxT(l.vs, r.vs)
+	ve := temporal.MinT(l.ve, r.ve)
+	if ve <= vs {
+		return
+	}
+	for _, p := range l.pairs {
+		if p.r == r && p.l == l {
+			return
+		}
+	}
+	pair := &jpair{p: j.combine(l.p, r.p), vs: vs, ve: ve, l: l, r: r}
+	l.pairs = append(l.pairs, pair)
+	r.pairs = append(r.pairs, pair)
+	out.Emit(temporal.Insert(pair.p, pair.vs, pair.ve))
+}
+
+func (j *Join) adjust(side int, e temporal.Element, out *engine.Out) {
+	evs := j.sides[side][e.Payload.ID]
+	var ev *jevent
+	for _, cand := range evs {
+		if cand.vs == e.Vs && cand.p == e.Payload {
+			ev = cand
+			break
+		}
+	}
+	if ev == nil {
+		return
+	}
+	if e.IsRemoval() {
+		for _, p := range ev.pairs {
+			out.Emit(temporal.Adjust(p.p, p.vs, p.ve, p.vs))
+			p.partner(ev).dropPair(p)
+		}
+		ev.pairs = nil
+		j.dropEvent(side, ev)
+		return
+	}
+	ev.ve = e.Ve
+	// Re-derive existing pairs.
+	kept := ev.pairs[:0]
+	for _, p := range ev.pairs {
+		newVe := temporal.MinT(p.l.ve, p.r.ve)
+		switch {
+		case newVe <= p.vs:
+			out.Emit(temporal.Adjust(p.p, p.vs, p.ve, p.vs))
+			p.partner(ev).dropPair(p)
+		case newVe != p.ve:
+			out.Emit(temporal.Adjust(p.p, p.vs, p.ve, newVe))
+			p.ve = newVe
+			kept = append(kept, p)
+		default:
+			kept = append(kept, p)
+		}
+	}
+	ev.pairs = kept
+	// Growth can create pairs with partners that previously missed overlap.
+	for _, other := range j.sides[1-side][e.Payload.ID] {
+		l, r := ev, other
+		if side == 1 {
+			l, r = other, ev
+		}
+		j.tryPair(l, r, out)
+	}
+}
+
+func (p *jpair) partner(ev *jevent) *jevent {
+	if p.l == ev {
+		return p.r
+	}
+	return p.l
+}
+
+func (ev *jevent) dropPair(p *jpair) {
+	for i, q := range ev.pairs {
+		if q == p {
+			ev.pairs = append(ev.pairs[:i], ev.pairs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (j *Join) dropEvent(side int, ev *jevent) {
+	evs := j.sides[side][ev.p.ID]
+	for i, cand := range evs {
+		if cand == ev {
+			evs = append(evs[:i], evs[i+1:]...)
+			break
+		}
+	}
+	if len(evs) == 0 {
+		delete(j.sides[side], ev.p.ID)
+	} else {
+		j.sides[side][ev.p.ID] = evs
+	}
+}
+
+func (j *Join) stable(side int, t temporal.Time, out *engine.Out) {
+	j.stables[side] = temporal.MaxT(j.stables[side], t)
+	low := temporal.MinT(j.stables[0], j.stables[1])
+	if low <= j.outStable {
+		return
+	}
+	j.outStable = low
+	// Purge events frozen on both sides: no future adjusts (own side) or
+	// new pairings (other side) can involve them.
+	for side, m := range j.sides {
+		for id, evs := range m {
+			kept := evs[:0]
+			for _, ev := range evs {
+				if low.IsInf() || ev.ve < low {
+					// Frozen (or the stream is complete): detach.
+					for _, p := range ev.pairs {
+						p.partner(ev).dropPair(p)
+					}
+					ev.pairs = nil
+					continue
+				}
+				kept = append(kept, ev)
+			}
+			if len(kept) == 0 {
+				delete(m, id)
+			} else {
+				j.sides[side][id] = kept
+			}
+		}
+	}
+	out.Emit(temporal.Stable(low))
+}
+
+// OnFeedback implements engine.Operator; a downstream fast-forward cannot be
+// forwarded verbatim to one input (its elements may still join with the
+// other side's future), so the signal stops here.
+func (j *Join) OnFeedback(temporal.Time) bool { return false }
+
+// SizeBytes implements engine.Sized.
+func (j *Join) SizeBytes() int {
+	j.ensure()
+	total := 0
+	for _, m := range j.sides {
+		for _, evs := range m {
+			for _, ev := range evs {
+				total += ev.p.SizeBytes() + 48 + 64*len(ev.pairs)
+			}
+		}
+	}
+	return total
+}

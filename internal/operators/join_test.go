@@ -1,0 +1,219 @@
+package operators
+
+import (
+	"testing"
+
+	"lmerge/internal/engine"
+	"lmerge/internal/temporal"
+)
+
+// joinPipe builds two sources into a join into a sink.
+func joinPipe() (*engine.Node, *engine.Node, *Sink) {
+	g := engine.NewGraph()
+	l := g.Add(NewSource("l"))
+	r := g.Add(NewSource("r"))
+	j := g.Add(NewJoin())
+	sink := NewSink()
+	g.Connect(l, j)
+	g.Connect(r, j)
+	g.Connect(j, g.Add(sink))
+	return l, r, sink
+}
+
+func pl(id int64, data string) temporal.Payload { return temporal.Payload{ID: id, Data: data} }
+
+func TestJoinBasicOverlap(t *testing.T) {
+	l, r, sink := joinPipe()
+	l.Inject(temporal.Insert(pl(1, "l"), 5, 20))
+	r.Inject(temporal.Insert(pl(1, "r"), 10, 30))
+	r.Inject(temporal.Insert(pl(2, "r2"), 0, 100)) // different key: no pair
+	l.Inject(temporal.Stable(temporal.Infinity))
+	r.Inject(temporal.Stable(temporal.Infinity))
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if sink.TDB.Len() != 1 {
+		t.Fatalf("join produced %v", sink.TDB)
+	}
+	if sink.TDB.Count(temporal.Ev(pl(1, "l⨝r"), 10, 20)) != 1 {
+		t.Fatalf("intersection wrong: %v", sink.TDB)
+	}
+	if sink.TDB.Stable() != temporal.Infinity {
+		t.Fatal("join stable not ∞")
+	}
+}
+
+func TestJoinNoOverlapNoPair(t *testing.T) {
+	l, r, sink := joinPipe()
+	l.Inject(temporal.Insert(pl(1, "l"), 5, 10))
+	r.Inject(temporal.Insert(pl(1, "r"), 10, 20)) // half-open: no overlap
+	l.Inject(temporal.Stable(temporal.Infinity))
+	r.Inject(temporal.Stable(temporal.Infinity))
+	if sink.TDB.Len() != 0 {
+		t.Fatalf("adjacent intervals must not join: %v", sink.TDB)
+	}
+}
+
+func TestJoinGrowthCreatesPair(t *testing.T) {
+	l, r, sink := joinPipe()
+	l.Inject(temporal.Insert(pl(1, "l"), 0, 10))
+	r.Inject(temporal.Insert(pl(1, "r"), 15, 30))
+	if sink.Inserts() != 0 {
+		t.Fatal("premature pair")
+	}
+	// Left grows past the right's start: a pair appears.
+	l.Inject(temporal.Adjust(pl(1, "l"), 0, 10, 40))
+	if sink.TDB.Count(temporal.Ev(pl(1, "l⨝r"), 15, 30)) != 1 {
+		t.Fatalf("growth pair missing: %v", sink.TDB)
+	}
+	// Shrink below the right's start: pair cancelled.
+	l.Inject(temporal.Adjust(pl(1, "l"), 0, 40, 12))
+	if sink.TDB.Len() != 0 {
+		t.Fatalf("shrink should cancel the pair: %v", sink.TDB)
+	}
+	// Regrow: pair reappears.
+	l.Inject(temporal.Adjust(pl(1, "l"), 0, 12, 25))
+	if sink.TDB.Count(temporal.Ev(pl(1, "l⨝r"), 15, 25)) != 1 {
+		t.Fatalf("regrown pair missing: %v", sink.TDB)
+	}
+	l.Inject(temporal.Stable(temporal.Infinity))
+	r.Inject(temporal.Stable(temporal.Infinity))
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+}
+
+func TestJoinShrinkAdjustsPair(t *testing.T) {
+	l, r, sink := joinPipe()
+	l.Inject(temporal.Insert(pl(1, "l"), 0, 30))
+	r.Inject(temporal.Insert(pl(1, "r"), 5, 40))
+	// Pair is [5, 30); shrink left to 20 → pair [5, 20).
+	l.Inject(temporal.Adjust(pl(1, "l"), 0, 30, 20))
+	if sink.TDB.Count(temporal.Ev(pl(1, "l⨝r"), 5, 20)) != 1 {
+		t.Fatalf("pair not adjusted: %v", sink.TDB)
+	}
+	// Shrinking the right below the pair Ve does nothing further if still
+	// above; shrinking to 10 adjusts again.
+	r.Inject(temporal.Adjust(pl(1, "r"), 5, 40, 10))
+	if sink.TDB.Count(temporal.Ev(pl(1, "l⨝r"), 5, 10)) != 1 {
+		t.Fatalf("pair not adjusted from right: %v", sink.TDB)
+	}
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+}
+
+func TestJoinRemovalCancelsPairs(t *testing.T) {
+	l, r, sink := joinPipe()
+	l.Inject(temporal.Insert(pl(1, "l"), 0, 30))
+	r.Inject(temporal.Insert(pl(1, "r1"), 5, 40))
+	r.Inject(temporal.Insert(pl(1, "r2"), 10, 20))
+	if sink.TDB.Len() != 2 {
+		t.Fatalf("expected two pairs: %v", sink.TDB)
+	}
+	l.Inject(temporal.Adjust(pl(1, "l"), 0, 30, 0)) // cancel left event
+	if sink.TDB.Len() != 0 {
+		t.Fatalf("pairs must vanish with their event: %v", sink.TDB)
+	}
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+}
+
+func TestJoinStableIsMin(t *testing.T) {
+	l, r, sink := joinPipe()
+	l.Inject(temporal.Stable(50))
+	if sink.Stables() != 0 {
+		t.Fatal("join must wait for both sides")
+	}
+	r.Inject(temporal.Stable(20))
+	if sink.TDB.Stable() != 20 {
+		t.Fatalf("join stable = %v, want 20", sink.TDB.Stable())
+	}
+	r.Inject(temporal.Stable(70))
+	if sink.TDB.Stable() != 50 {
+		t.Fatalf("join stable = %v, want 50", sink.TDB.Stable())
+	}
+}
+
+func TestJoinPurge(t *testing.T) {
+	lj := NewJoin()
+	src := engine.NewGraph()
+	ln := src.Add(NewSource("l"))
+	rn := src.Add(NewSource("r"))
+	jn := src.Add(lj)
+	sink := NewSink()
+	src.Connect(ln, jn)
+	src.Connect(rn, jn)
+	src.Connect(jn, src.Add(sink))
+
+	for i := int64(0); i < 50; i++ {
+		ln.Inject(temporal.Insert(pl(i, "l"), temporal.Time(i), temporal.Time(i+5)))
+		rn.Inject(temporal.Insert(pl(i, "r"), temporal.Time(i), temporal.Time(i+5)))
+	}
+	if lj.SizeBytes() == 0 {
+		t.Fatal("join should hold state")
+	}
+	ln.Inject(temporal.Stable(1000))
+	rn.Inject(temporal.Stable(1000))
+	if lj.SizeBytes() != 0 {
+		t.Fatalf("join state not purged: %d bytes", lj.SizeBytes())
+	}
+	if sink.TDB.Len() != 50 {
+		t.Fatalf("expected 50 pairs, got %d", sink.TDB.Len())
+	}
+}
+
+// TestJoinAgainstBruteForce cross-checks the incremental join against a
+// brute-force evaluation over the final input TDBs.
+func TestJoinAgainstBruteForce(t *testing.T) {
+	left := temporal.Stream{
+		temporal.Insert(pl(1, "a"), 0, 10),
+		temporal.Insert(pl(2, "b"), 3, 8),
+		temporal.Insert(pl(1, "c"), 12, 20),
+		temporal.Adjust(pl(1, "a"), 0, 10, 15),
+		temporal.Adjust(pl(2, "b"), 3, 8, 3), // removal
+		temporal.Stable(temporal.Infinity),
+	}
+	right := temporal.Stream{
+		temporal.Insert(pl(1, "x"), 5, 14),
+		temporal.Insert(pl(2, "y"), 0, 100),
+		temporal.Adjust(pl(1, "x"), 5, 14, 13),
+		temporal.Stable(temporal.Infinity),
+	}
+	l, r, sink := joinPipe()
+	for i := 0; i < len(left) || i < len(right); i++ {
+		if i < len(left) {
+			l.Inject(left[i])
+		}
+		if i < len(right) {
+			r.Inject(right[i])
+		}
+	}
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+
+	// Brute force over final TDBs.
+	lt := temporal.MustReconstitute(left)
+	rt := temporal.MustReconstitute(right)
+	want := temporal.NewTDB()
+	for _, le := range lt.Events() {
+		for _, re := range rt.Events() {
+			if le.Payload.ID != re.Payload.ID {
+				continue
+			}
+			vs := temporal.MaxT(le.Vs, re.Vs)
+			ve := temporal.MinT(le.Ve, re.Ve)
+			if ve > vs {
+				p := temporal.Payload{ID: le.Payload.ID, Data: le.Payload.Data + "⨝" + re.Payload.Data}
+				if err := want.Apply(temporal.Insert(p, vs, ve)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if !sink.TDB.Equal(want) {
+		t.Fatalf("join = %v, want %v", sink.TDB, want)
+	}
+}

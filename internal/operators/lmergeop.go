@@ -1,0 +1,86 @@
+package operators
+
+import (
+	"lmerge/internal/core"
+	"lmerge/internal/engine"
+	"lmerge/internal/temporal"
+)
+
+// LMerge adapts a core merge operator to the engine: each engine input port
+// is one LMerge input stream, merged output flows downstream, and lagging
+// inputs receive fast-forward feedback through the engine's upstream walk
+// (which reaches the UDFs and aggregates of the slow plan — Sec. V-D).
+type LMerge struct {
+	op  *core.Operator
+	ids []core.StreamID
+
+	// Staging for the current Process call: core mergers emit through
+	// closures, the engine through *Out.
+	pending   []temporal.Element
+	feedbacks []core.Feedback
+	name      string
+}
+
+// NewLMerge builds an engine LMerge with n input ports. mk constructs the
+// merge algorithm around the staged emit callback, e.g.
+//
+//	operators.NewLMerge(3, -1, func(emit core.Emit) core.Merger {
+//	    return core.NewR3(emit)
+//	})
+//
+// Feedback is enabled when lag >= 0 (pass -1 to disable); lag is how far an
+// input's own progress may trail the merged output before it is signalled.
+func NewLMerge(n int, lag temporal.Time, mk func(core.Emit) core.Merger) *LMerge {
+	l := &LMerge{}
+	m := mk(func(e temporal.Element) { l.pending = append(l.pending, e) })
+	l.name = "lmerge(" + m.Case().String() + ")"
+	var opts []core.OperatorOption
+	if lag >= 0 {
+		opts = append(opts, core.WithFeedback(func(f core.Feedback) {
+			l.feedbacks = append(l.feedbacks, f)
+		}, lag))
+	}
+	l.op = core.NewOperator(m, opts...)
+	l.ids = make([]core.StreamID, n)
+	for i := 0; i < n; i++ {
+		l.ids[i] = l.op.Attach(temporal.MinTime)
+	}
+	return l
+}
+
+// Name implements engine.Operator.
+func (l *LMerge) Name() string { return l.name }
+
+// Operator exposes the wrapped core operator (stats, attach/detach).
+func (l *LMerge) Operator() *core.Operator { return l.op }
+
+// Process implements engine.Operator.
+func (l *LMerge) Process(port int, e temporal.Element, out *engine.Out) {
+	if port < 0 || port >= len(l.ids) {
+		return
+	}
+	if err := l.op.Process(l.ids[port], e); err != nil {
+		// Invalid element for the chosen restriction case: surface loudly —
+		// this is a plan-configuration bug, not a data condition.
+		panic(err)
+	}
+	for _, el := range l.pending {
+		out.Emit(el)
+	}
+	l.pending = l.pending[:0]
+	for _, f := range l.feedbacks {
+		for port, id := range l.ids {
+			if id == f.Stream {
+				out.Feedback(port, f.T)
+			}
+		}
+	}
+	l.feedbacks = l.feedbacks[:0]
+}
+
+// OnFeedback implements engine.Operator: a fast-forward from the consumer is
+// relayed to every input.
+func (l *LMerge) OnFeedback(temporal.Time) bool { return true }
+
+// SizeBytes implements engine.Sized.
+func (l *LMerge) SizeBytes() int { return l.op.Merger().SizeBytes() }

@@ -1,0 +1,133 @@
+// Package operators is the operator library of the mini-DSMS: sources,
+// relational operators (filter, project, union, join), windowed aggregates
+// in both conservative and aggressive flavours, the order-enforcing Cleanse
+// operator of Sec. VI-D, cost-modelled UDFs for the plan-switching
+// experiment (Sec. VI-E), and the engine adapter for LMerge itself.
+//
+// All operators speak the insert/adjust/stable element algebra of package
+// temporal and participate in upstream fast-forward feedback.
+package operators
+
+import (
+	"sync/atomic"
+
+	"lmerge/internal/engine"
+	"lmerge/internal/temporal"
+)
+
+// Source is an identity operator marking a stream entry point; drivers
+// inject elements into its node. Its feedback point is observable so a
+// driver can skip elements a downstream LMerge has declared uninteresting.
+type Source struct {
+	name string
+}
+
+// NewSource returns a named source.
+func NewSource(name string) *Source { return &Source{name: name} }
+
+// Name implements engine.Operator.
+func (s *Source) Name() string { return "source:" + s.name }
+
+// Process implements engine.Operator.
+func (s *Source) Process(_ int, e temporal.Element, out *engine.Out) { out.Emit(e) }
+
+// OnFeedback implements engine.Operator; sources terminate the walk.
+func (s *Source) OnFeedback(temporal.Time) bool { return false }
+
+// Filter passes events whose payload satisfies Pred. Because an event's
+// adjusts carry the same payload, filtering is consistent across an event's
+// whole element chain; stables pass through unchanged.
+type Filter struct {
+	Pred func(temporal.Payload) bool
+}
+
+// Name implements engine.Operator.
+func (f *Filter) Name() string { return "filter" }
+
+// Process implements engine.Operator.
+func (f *Filter) Process(_ int, e temporal.Element, out *engine.Out) {
+	if e.Kind == temporal.KindStable || f.Pred(e.Payload) {
+		out.Emit(e)
+	}
+}
+
+// OnFeedback implements engine.Operator.
+func (f *Filter) OnFeedback(temporal.Time) bool { return true }
+
+// Project rewrites payloads with F. F must be a pure function so an event's
+// adjusts keep matching its insert.
+type Project struct {
+	F func(temporal.Payload) temporal.Payload
+}
+
+// Name implements engine.Operator.
+func (p *Project) Name() string { return "project" }
+
+// Process implements engine.Operator.
+func (p *Project) Process(_ int, e temporal.Element, out *engine.Out) {
+	if e.Kind != temporal.KindStable {
+		e.Payload = p.F(e.Payload)
+	}
+	out.Emit(e)
+}
+
+// OnFeedback implements engine.Operator.
+func (p *Project) OnFeedback(temporal.Time) bool { return true }
+
+// Sink terminates a graph, reconstituting the stream it receives and
+// counting elements. OnElement, if set, observes every element (used by the
+// metrics harness). Sink methods other than Process/OnFeedback must not race
+// with a running concurrent graph.
+type Sink struct {
+	TDB       *temporal.TDB
+	OnElement func(temporal.Element)
+
+	inserts, adjusts, stables atomic.Int64
+	applyErr                  error
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink { return &Sink{TDB: temporal.NewTDB()} }
+
+// Name implements engine.Operator.
+func (s *Sink) Name() string { return "sink" }
+
+// Process implements engine.Operator.
+func (s *Sink) Process(_ int, e temporal.Element, out *engine.Out) {
+	switch e.Kind {
+	case temporal.KindInsert:
+		s.inserts.Add(1)
+	case temporal.KindAdjust:
+		s.adjusts.Add(1)
+	case temporal.KindStable:
+		s.stables.Add(1)
+	}
+	if s.TDB != nil {
+		if err := s.TDB.Apply(e); err != nil && s.applyErr == nil {
+			s.applyErr = err
+		}
+	}
+	if s.OnElement != nil {
+		s.OnElement(e)
+	}
+}
+
+// OnFeedback implements engine.Operator.
+func (s *Sink) OnFeedback(temporal.Time) bool { return false }
+
+// Inserts returns the number of insert elements received.
+func (s *Sink) Inserts() int64 { return s.inserts.Load() }
+
+// Adjusts returns the number of adjust elements received (the chattiness
+// metric of Sec. VI-B).
+func (s *Sink) Adjusts() int64 { return s.adjusts.Load() }
+
+// Stables returns the number of stable elements received.
+func (s *Sink) Stables() int64 { return s.stables.Load() }
+
+// Elements returns the total element count received.
+func (s *Sink) Elements() int64 { return s.Inserts() + s.Adjusts() + s.Stables() }
+
+// Err returns the first TDB application error, if the received stream was
+// ever invalid.
+func (s *Sink) Err() error { return s.applyErr }

@@ -1,0 +1,234 @@
+package operators
+
+import (
+	"strings"
+	"testing"
+
+	"lmerge/internal/engine"
+	"lmerge/internal/temporal"
+)
+
+// pipe builds src → op → sink in a fresh graph and returns the injection
+// node and the sink.
+func pipe(op engine.Operator) (*engine.Node, *Sink) {
+	g := engine.NewGraph()
+	src := g.Add(NewSource("in"))
+	mid := g.Add(op)
+	sink := NewSink()
+	g.Connect(src, mid)
+	g.Connect(mid, g.Add(sink))
+	return src, sink
+}
+
+func inject(t *testing.T, src *engine.Node, s temporal.Stream) {
+	t.Helper()
+	for _, e := range s {
+		src.Inject(e)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	src, sink := pipe(&Filter{Pred: func(p temporal.Payload) bool { return p.ID%2 == 0 }})
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(2), 1, 10),
+		temporal.Insert(temporal.P(3), 2, 10),
+		temporal.Adjust(temporal.P(2), 1, 10, 12),
+		temporal.Adjust(temporal.P(3), 2, 10, 12),
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatalf("filtered stream invalid: %v", sink.Err())
+	}
+	if sink.TDB.Len() != 1 || sink.TDB.Count(temporal.Ev(temporal.P(2), 1, 12)) != 1 {
+		t.Fatalf("filter output %v", sink.TDB)
+	}
+	if sink.Stables() != 1 {
+		t.Fatal("stable must pass a filter")
+	}
+}
+
+func TestProject(t *testing.T) {
+	src, sink := pipe(&Project{F: func(p temporal.Payload) temporal.Payload {
+		p.ID *= 10
+		return p
+	}})
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(1), 1, 5),
+		temporal.Adjust(temporal.P(1), 1, 5, 8),
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if sink.TDB.Count(temporal.Ev(temporal.P(10), 1, 8)) != 1 {
+		t.Fatalf("project output %v", sink.TDB)
+	}
+}
+
+func TestUnionStables(t *testing.T) {
+	g := engine.NewGraph()
+	s0 := g.Add(NewSource("a"))
+	s1 := g.Add(NewSource("b"))
+	u := g.Add(NewUnion(2))
+	sink := NewSink()
+	g.Connect(s0, u)
+	g.Connect(s1, u)
+	g.Connect(u, g.Add(sink))
+
+	s0.Inject(temporal.Insert(temporal.P(1), 1, 10))
+	s1.Inject(temporal.Insert(temporal.P(2), 2, 10))
+	s0.Inject(temporal.Stable(50))
+	if sink.Stables() != 0 {
+		t.Fatal("union forwarded a stable before all inputs reached it")
+	}
+	s1.Inject(temporal.Stable(30))
+	if sink.Stables() != 1 {
+		t.Fatal("union should emit min stable")
+	}
+	if sink.TDB.Stable() != 30 {
+		t.Fatalf("union stable = %v, want 30", sink.TDB.Stable())
+	}
+	// Advancing the laggard emits the new minimum; the leader's old stable
+	// is already covered.
+	s1.Inject(temporal.Stable(80))
+	if sink.TDB.Stable() != 50 {
+		t.Fatalf("union stable = %v, want 50", sink.TDB.Stable())
+	}
+	if sink.Inserts() != 2 {
+		t.Fatal("union must pass inserts")
+	}
+}
+
+func TestAlterLifetimeExtend(t *testing.T) {
+	src, sink := pipe(Extend(5))
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(1), 1, 10),
+		temporal.Adjust(temporal.P(1), 1, 10, 20),
+		temporal.Insert(temporal.P(2), 2, temporal.Infinity),
+		temporal.Insert(temporal.P(3), 3, 7),
+		temporal.Adjust(temporal.P(3), 3, 7, 3), // removal
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if sink.TDB.Count(temporal.Ev(temporal.P(1), 1, 25)) != 1 {
+		t.Fatalf("extend output %v", sink.TDB)
+	}
+	if sink.TDB.Count(temporal.Ev(temporal.P(2), 2, temporal.Infinity)) != 1 {
+		t.Fatal("infinite lifetimes must stay infinite")
+	}
+	if sink.TDB.Len() != 2 {
+		t.Fatalf("removal not translated: %v", sink.TDB)
+	}
+}
+
+func TestAlterLifetimeSetDuration(t *testing.T) {
+	src, sink := pipe(SetDuration(100))
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(1), 10, 20),
+		temporal.Adjust(temporal.P(1), 10, 20, 35), // collapses to no-op
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if sink.Adjusts() != 0 {
+		t.Fatal("SetDuration should drop collapsed adjusts")
+	}
+	if sink.TDB.Count(temporal.Ev(temporal.P(1), 10, 110)) != 1 {
+		t.Fatalf("SetDuration output %v", sink.TDB)
+	}
+}
+
+func TestAlterLifetimePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative extend": func() { Extend(-1) },
+		"zero duration":   func() { SetDuration(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSinkCounts(t *testing.T) {
+	src, sink := pipe(&Filter{Pred: func(temporal.Payload) bool { return true }})
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(1), 1, 5),
+		temporal.Adjust(temporal.P(1), 1, 5, 7),
+		temporal.Stable(9),
+	})
+	if sink.Inserts() != 1 || sink.Adjusts() != 1 || sink.Stables() != 1 || sink.Elements() != 3 {
+		t.Fatalf("sink counts wrong: %d/%d/%d", sink.Inserts(), sink.Adjusts(), sink.Stables())
+	}
+}
+
+func TestSourceName(t *testing.T) {
+	s := NewSource("ticker")
+	if !strings.Contains(s.Name(), "ticker") {
+		t.Fatal("source name missing")
+	}
+	if s.OnFeedback(5) {
+		t.Fatal("sources end the feedback walk")
+	}
+}
+
+func TestUDFWorkAndFeedback(t *testing.T) {
+	udf := NewUDF(ExpensiveBelow(200, 50, 1, false))
+	src, sink := pipe(udf)
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(100), 1, 10), // expensive: 50
+		temporal.Insert(temporal.P(300), 2, 10), // cheap: 1
+	})
+	if got := udf.WorkDone(); got != 51 {
+		t.Fatalf("WorkDone = %d, want 51", got)
+	}
+	// Feedback: elements ending before the watermark are skipped entirely.
+	udf.OnFeedback(50)
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(100), 20, 30),     // ve=30 ≤ 50: skipped
+		temporal.Insert(temporal.P(100), 40, 60),     // ve=60 > 50: processed
+		temporal.Adjust(temporal.P(100), 40, 60, 45), // max(60,45) > 50: passes
+		temporal.Adjust(temporal.P(999), 20, 30, 25), // stale adjust: skipped
+		temporal.Stable(temporal.Infinity),
+	})
+	if udf.Skipped() != 2 {
+		t.Fatalf("Skipped = %d, want 2", udf.Skipped())
+	}
+	if got := udf.WorkDone(); got != 101 {
+		t.Fatalf("WorkDone = %d, want 101", got)
+	}
+	if sink.Stables() != 1 {
+		t.Fatal("stables must pass the UDF")
+	}
+	// Inverted cost model.
+	inv := ExpensiveBelow(200, 50, 1, true)
+	if inv(temporal.P(100)) != 1 || inv(temporal.P(300)) != 50 {
+		t.Fatal("inverted cost model wrong")
+	}
+}
+
+func TestUDFPredicate(t *testing.T) {
+	udf := NewUDF(func(temporal.Payload) int { return 0 })
+	udf.Pred = func(p temporal.Payload) bool { return p.ID > 10 }
+	src, sink := pipe(udf)
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(5), 1, 10),
+		temporal.Insert(temporal.P(50), 2, 10),
+		temporal.Adjust(temporal.P(5), 1, 10, 12),
+		temporal.Adjust(temporal.P(50), 2, 10, 12),
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if sink.TDB.Len() != 1 || sink.TDB.Count(temporal.Ev(temporal.P(50), 2, 12)) != 1 {
+		t.Fatalf("UDF selection wrong: %v", sink.TDB)
+	}
+}

@@ -1,0 +1,99 @@
+package operators
+
+import (
+	"fmt"
+
+	"lmerge/internal/engine"
+	"lmerge/internal/props"
+)
+
+// This file connects the running operator graph to the static property
+// framework (paper Sec. IV-G): each concrete operator maps to its property
+// transfer function, so the merge algorithm for a plan's output can be
+// chosen directly from the wired engine graph instead of a hand-maintained
+// plan description.
+
+// PropsOpFor returns the property transfer function of a concrete operator.
+// Sources have no intrinsic transfer function (their properties are
+// declared); ok is false for them and for operators whose output properties
+// cannot be described statically (the LMerge adapter itself).
+func PropsOpFor(op engine.Operator) (props.Op, bool) {
+	switch o := op.(type) {
+	case *Filter:
+		return props.FilterOp{}, true
+	case *Project:
+		// Injectivity of an arbitrary Go function is undecidable here;
+		// assume the worst (key lost).
+		return props.ProjectOp{}, true
+	case *Union:
+		return props.UnionOp{}, true
+	case *AlterLifetime:
+		return props.AlterLifetimeOp{}, true
+	case *CountAgg:
+		return props.AggregateOp{Grouped: o.Group != nil, Aggressive: o.Aggressive}, true
+	case *TopK:
+		return props.AggregateOp{MultiValued: true}, true
+	case *Join:
+		return props.JoinOp{}, true
+	case *Cleanse:
+		return props.CleanseOp{}, true
+	case *Signal:
+		return props.SignalOp{}, true
+	case *UDF:
+		return props.FilterOp{}, true // a selection preserves every property
+	}
+	return nil, false
+}
+
+// DeriveProps walks the graph upstream from n, folding each operator's
+// transfer function over its inputs' properties. declared supplies the
+// properties of source nodes (and may override any interior node, e.g. a
+// stream known to be pre-cleaned).
+func DeriveProps(n *engine.Node, declared map[*engine.Node]props.Properties) (props.Properties, error) {
+	if p, ok := declared[n]; ok {
+		return p, nil
+	}
+	ups := n.Upstream()
+	if _, isSource := n.Operator().(*Source); isSource {
+		if len(ups) == 0 {
+			return props.Properties{}, fmt.Errorf("operators: source %q has no declared properties", n.Name())
+		}
+		// A source with an upstream acts as a passthrough.
+		return DeriveProps(ups[0], declared)
+	}
+	op, ok := PropsOpFor(n.Operator())
+	if !ok {
+		return props.Properties{}, fmt.Errorf("operators: no property transfer function for %q", n.Name())
+	}
+	in := make([]props.Properties, len(ups))
+	for i, u := range ups {
+		p, err := DeriveProps(u, declared)
+		if err != nil {
+			return props.Properties{}, err
+		}
+		in[i] = p
+	}
+	if len(in) == 0 {
+		return props.Properties{}, fmt.Errorf("operators: %q has no inputs and no declaration", n.Name())
+	}
+	return op.Derive(in), nil
+}
+
+// ChooseMergeCase derives the output properties of each plan node feeding an
+// LMerge and returns the algorithm case selected for their meet — the
+// end-to-end version of Sec. IV-G's "how do we choose the right version of
+// LMerge for a given set of input streams and query plan?".
+func ChooseMergeCase(planOutputs []*engine.Node, declared map[*engine.Node]props.Properties) (props.Properties, error) {
+	if len(planOutputs) == 0 {
+		return props.Properties{}, fmt.Errorf("operators: no plan outputs")
+	}
+	var all []props.Properties
+	for _, n := range planOutputs {
+		p, err := DeriveProps(n, declared)
+		if err != nil {
+			return props.Properties{}, err
+		}
+		all = append(all, p)
+	}
+	return props.MeetAll(all...), nil
+}

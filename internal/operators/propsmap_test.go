@@ -1,0 +1,148 @@
+package operators
+
+import (
+	"testing"
+
+	"lmerge/internal/core"
+	"lmerge/internal/engine"
+	"lmerge/internal/props"
+)
+
+func declaredOrdered() props.Properties {
+	return props.Properties{
+		Order: props.NonDecreasing, InsertOnly: true,
+		KeyVsPayload: true, DeterministicTies: true,
+	}
+}
+
+func TestDerivePropsOverGraph(t *testing.T) {
+	g := engine.NewGraph()
+	src := g.Add(NewSource("in"))
+	agg := g.Add(NewGroupedCount(10, 4, false))
+	sink := g.Add(NewSink())
+	g.Connect(src, agg)
+	g.Connect(agg, sink)
+
+	declared := map[*engine.Node]props.Properties{src: declaredOrdered()}
+	p, err := DeriveProps(agg, declared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grouped conservative count over ordered input: the R2 profile.
+	if got := props.Choose(p); got.String() != "R2" {
+		t.Fatalf("derived %v -> %v, want R2", p, got)
+	}
+
+	// Aggressive variant drops to R3.
+	g2 := engine.NewGraph()
+	src2 := g2.Add(NewSource("in"))
+	agg2 := g2.Add(NewGroupedCount(10, 4, true))
+	g2.Connect(src2, agg2)
+	p2, err := DeriveProps(agg2, map[*engine.Node]props.Properties{src2: declaredOrdered()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := props.Choose(p2); got.String() != "R3" {
+		t.Fatalf("aggressive derived %v, want R3", got)
+	}
+}
+
+func TestDerivePropsMultiInput(t *testing.T) {
+	// union(ordered, ordered) → cleanse → count: cleanse restores order, so
+	// the ungrouped conservative count lands on R0.
+	g := engine.NewGraph()
+	a := g.Add(NewSource("a"))
+	b := g.Add(NewSource("b"))
+	u := g.Add(NewUnion(2))
+	cl := g.Add(NewCleanse())
+	agg := g.Add(NewCount(10, false))
+	g.Connect(a, u)
+	g.Connect(b, u)
+	g.Connect(u, cl)
+	g.Connect(cl, agg)
+
+	declared := map[*engine.Node]props.Properties{
+		a: declaredOrdered(),
+		b: declaredOrdered(),
+	}
+	p, err := DeriveProps(agg, declared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := props.Choose(p); got.String() != "R0" {
+		t.Fatalf("derived %v -> %v, want R0", p, got)
+	}
+	// Without the cleanse the count sees union disorder: R3.
+	g3 := engine.NewGraph()
+	a3 := g3.Add(NewSource("a"))
+	b3 := g3.Add(NewSource("b"))
+	u3 := g3.Add(NewUnion(2))
+	agg3 := g3.Add(NewCount(10, false))
+	g3.Connect(a3, u3)
+	g3.Connect(b3, u3)
+	g3.Connect(u3, agg3)
+	p3, err := DeriveProps(agg3, map[*engine.Node]props.Properties{a3: declaredOrdered(), b3: declaredOrdered()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := props.Choose(p3); got.String() != "R3" {
+		t.Fatalf("derived %v, want R3", got)
+	}
+}
+
+func TestDerivePropsErrors(t *testing.T) {
+	g := engine.NewGraph()
+	src := g.Add(NewSource("undeclared"))
+	if _, err := DeriveProps(src, nil); err == nil {
+		t.Error("undeclared source should error")
+	}
+	lm := g.Add(NewLMerge(1, -1, func(emit core.Emit) core.Merger { return core.NewR3(emit) }))
+	g.Connect(src, lm)
+	if _, err := DeriveProps(lm, map[*engine.Node]props.Properties{src: declaredOrdered()}); err == nil {
+		t.Error("LMerge adapter has no transfer function; should error")
+	}
+}
+
+func TestChooseMergeCase(t *testing.T) {
+	// Two replicated plans: one's source is ordered, the other's is not —
+	// the meet governs.
+	g := engine.NewGraph()
+	s1 := g.Add(NewSource("dc1"))
+	a1 := g.Add(NewCount(10, true))
+	g.Connect(s1, a1)
+	s2 := g.Add(NewSource("dc2"))
+	a2 := g.Add(NewCount(10, true))
+	g.Connect(s2, a2)
+
+	declared := map[*engine.Node]props.Properties{
+		s1: declaredOrdered(),
+		s2: {KeyVsPayload: true},
+	}
+	p, err := ChooseMergeCase([]*engine.Node{a1, a2}, declared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := props.Choose(p); got.String() != "R3" {
+		t.Fatalf("meet chose %v, want R3", got)
+	}
+	if _, err := ChooseMergeCase(nil, nil); err == nil {
+		t.Error("empty plan list should error")
+	}
+	if err := signalDerivation(t); err != nil {
+		t.Error(err)
+	}
+}
+
+// signalDerivation checks the Signal transfer function both ways.
+func signalDerivation(t *testing.T) error {
+	t.Helper()
+	ordered := props.SignalOp{}.Derive([]props.Properties{declaredOrdered()})
+	if props.Choose(ordered).String() != "R0" {
+		t.Errorf("signal over ordered input derived %v", ordered)
+	}
+	dis := props.SignalOp{}.Derive([]props.Properties{{KeyVsPayload: true}})
+	if props.Choose(dis).String() != "R3" {
+		t.Errorf("signal over disordered input derived %v", dis)
+	}
+	return nil
+}

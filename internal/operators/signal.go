@@ -1,0 +1,158 @@
+package operators
+
+import (
+	"lmerge/internal/engine"
+	"lmerge/internal/index"
+	"lmerge/internal/temporal"
+)
+
+// Signal converts point samples into last-value intervals: each input
+// event's start is a sample, valid until the next sample's start. It is the
+// canonical "aggregate followed by a lifetime modification" sub-query of the
+// Fig. 4 workload in interval form.
+//
+// A sample is emitted once its successor is known, with its final lifetime —
+// so on ordered input the output carries no adjust elements at all (only the
+// frontier sample is held back). A disordered sample, however, lands inside
+// an interval that was already emitted, forcing exactly one adjust that cuts
+// the predecessor back: the operator's adjust volume equals the number of
+// out-of-order samples, which is what Fig. 4 sweeps.
+//
+// The input must be insert-only with unique sample times; input end times
+// are ignored. Output keys are (sample payload, sample time), so the stream
+// satisfies the R3 key property, and every copy of the query converges to
+// the same TDB — the partition of time by the sample set.
+type Signal struct {
+	points    *index.Tree[temporal.Time, signalPoint]
+	outStable temporal.Time
+	init      bool
+}
+
+type signalPoint struct {
+	p       temporal.Payload
+	ve      temporal.Time // emitted end (meaningful when emitted)
+	emitted bool
+}
+
+// NewSignal returns an empty signal-to-interval converter.
+func NewSignal() *Signal { return &Signal{} }
+
+func timeCmp(a, b temporal.Time) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func (s *Signal) ensure() {
+	if !s.init {
+		s.points = index.NewTree[temporal.Time, signalPoint](timeCmp)
+		s.outStable = temporal.MinTime
+		s.init = true
+	}
+}
+
+// Name implements engine.Operator.
+func (s *Signal) Name() string { return "signal" }
+
+// Process implements engine.Operator.
+func (s *Signal) Process(_ int, e temporal.Element, out *engine.Out) {
+	s.ensure()
+	switch e.Kind {
+	case temporal.KindInsert:
+		s.sample(e, out)
+	case temporal.KindAdjust:
+		// Input end times carry no information for last-value semantics.
+	case temporal.KindStable:
+		s.stable(e.T(), out)
+	}
+}
+
+func (s *Signal) sample(e temporal.Element, out *engine.Out) {
+	if _, dup := s.points.Get(e.Vs); dup {
+		return
+	}
+	succK, succ, hasSucc := s.points.Ceiling(e.Vs + 1)
+	predK, pred, hasPred := s.points.Floor(e.Vs - 1)
+	if !hasSucc {
+		// New frontier sample: held until its successor arrives. The old
+		// frontier's lifetime is now known — emit it.
+		if hasPred && !pred.emitted {
+			pred.emitted = true
+			pred.ve = e.Vs
+			s.points.Put(predK, pred)
+			out.Emit(temporal.Insert(pred.p, predK, e.Vs))
+		}
+		s.points.Put(e.Vs, signalPoint{p: e.Payload})
+		return
+	}
+	// Out-of-order sample landing inside known territory: its own lifetime
+	// is final immediately, and the emitted predecessor must be cut back.
+	s.points.Put(e.Vs, signalPoint{p: e.Payload, ve: succK, emitted: true})
+	out.Emit(temporal.Insert(e.Payload, e.Vs, succK))
+	_ = succ
+	if hasPred && pred.emitted && pred.ve > e.Vs {
+		out.Emit(temporal.Adjust(pred.p, predK, pred.ve, e.Vs))
+		pred.ve = e.Vs
+		s.points.Put(predK, pred)
+	}
+}
+
+func (s *Signal) stable(t temporal.Time, out *engine.Out) {
+	// Emitted points whose interval ends by t are frozen: no future sample
+	// can land inside them.
+	var dead []temporal.Time
+	held := temporal.Time(-1)
+	hasHeld := false
+	s.points.Ascend(func(k temporal.Time, v signalPoint) bool {
+		if !v.emitted {
+			held, hasHeld = k, true
+			return false // the held frontier is the largest point
+		}
+		if v.ve <= t {
+			dead = append(dead, k)
+		}
+		return k < t
+	})
+	for _, k := range dead {
+		s.points.Delete(k)
+	}
+	if t.IsInf() {
+		// End of stream: the frontier lives forever.
+		if hasHeld {
+			v, _ := s.points.Get(held)
+			v.emitted = true
+			v.ve = temporal.Infinity
+			s.points.Put(held, v)
+			out.Emit(temporal.Insert(v.p, held, temporal.Infinity))
+		}
+		s.outStable = temporal.Infinity
+		out.Emit(temporal.Stable(temporal.Infinity))
+		return
+	}
+	frontier := t
+	if hasHeld && held < frontier {
+		frontier = held // the held sample's insert is still to come
+	}
+	if frontier > s.outStable {
+		s.outStable = frontier
+		out.Emit(temporal.Stable(frontier))
+	}
+}
+
+// OnFeedback implements engine.Operator.
+func (s *Signal) OnFeedback(temporal.Time) bool { return true }
+
+// SizeBytes implements engine.Sized.
+func (s *Signal) SizeBytes() int {
+	s.ensure()
+	total := 0
+	s.points.Ascend(func(_ temporal.Time, v signalPoint) bool {
+		total += v.p.SizeBytes() + 72
+		return true
+	})
+	return total
+}

@@ -1,0 +1,164 @@
+package operators
+
+import (
+	"testing"
+
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+func TestSignalOrderedNoAdjusts(t *testing.T) {
+	src, sink := pipe(NewSignal())
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(1), 10, 0),
+		temporal.Insert(temporal.P(2), 20, 0),
+		temporal.Insert(temporal.P(3), 30, 0),
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if sink.Adjusts() != 0 {
+		t.Fatalf("ordered input produced %d adjusts", sink.Adjusts())
+	}
+	want := temporal.MustReconstitute(temporal.Stream{
+		temporal.Insert(temporal.P(1), 10, 20),
+		temporal.Insert(temporal.P(2), 20, 30),
+		temporal.Insert(temporal.P(3), 30, temporal.Infinity),
+	})
+	if !sink.TDB.Equal(want) {
+		t.Fatalf("signal output %v, want %v", sink.TDB, want)
+	}
+}
+
+func TestSignalFrontierHeld(t *testing.T) {
+	src, sink := pipe(NewSignal())
+	src.Inject(temporal.Insert(temporal.P(1), 10, 0))
+	if sink.Inserts() != 0 {
+		t.Fatal("frontier sample must be held until its successor arrives")
+	}
+	src.Inject(temporal.Insert(temporal.P(2), 20, 0))
+	if sink.Inserts() != 1 {
+		t.Fatal("successor arrival should release the predecessor")
+	}
+	if sink.TDB.Count(temporal.Ev(temporal.P(1), 10, 20)) != 1 {
+		t.Fatalf("released interval wrong: %v", sink.TDB)
+	}
+}
+
+func TestSignalStragglerCutsPredecessor(t *testing.T) {
+	src, sink := pipe(NewSignal())
+	src.Inject(temporal.Insert(temporal.P(1), 10, 0))
+	src.Inject(temporal.Insert(temporal.P(3), 30, 0)) // releases [10,30)
+	// Straggler lands inside the emitted interval.
+	src.Inject(temporal.Insert(temporal.P(2), 20, 0))
+	if sink.Adjusts() != 1 {
+		t.Fatalf("straggler should force exactly one adjust, got %d", sink.Adjusts())
+	}
+	src.Inject(temporal.Stable(temporal.Infinity))
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	want := temporal.MustReconstitute(temporal.Stream{
+		temporal.Insert(temporal.P(1), 10, 20),
+		temporal.Insert(temporal.P(2), 20, 30),
+		temporal.Insert(temporal.P(3), 30, temporal.Infinity),
+	})
+	if !sink.TDB.Equal(want) {
+		t.Fatalf("signal output %v, want %v", sink.TDB, want)
+	}
+}
+
+func TestSignalStableHoldback(t *testing.T) {
+	src, sink := pipe(NewSignal())
+	src.Inject(temporal.Insert(temporal.P(1), 10, 0))
+	src.Inject(temporal.Stable(50))
+	// The held frontier caps the output stable at its own start.
+	if got := sink.TDB.Stable(); got != 10 {
+		t.Fatalf("output stable = %v, want 10 (held frontier)", got)
+	}
+	src.Inject(temporal.Insert(temporal.P(2), 60, 0))
+	src.Inject(temporal.Stable(55))
+	if got := sink.TDB.Stable(); got != 55 {
+		t.Fatalf("output stable = %v, want 55", got)
+	}
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+}
+
+func TestSignalAdjustCountEqualsDisorder(t *testing.T) {
+	// The operator's defining property for Fig. 4: adjusts == out-of-order
+	// samples.
+	cfg := gen.Config{Events: 500, Seed: 9, UniqueVs: true, MaxGap: 5, PayloadBytes: 6}
+	sc := gen.NewScript(cfg)
+	for _, disorder := range []float64{0, 0.3, 0.7} {
+		stream := sc.Render(gen.RenderOptions{Seed: 3, Disorder: disorder, StableFreq: 0.02})
+		// Count samples arriving below the running max Vs.
+		late := int64(0)
+		maxVs := temporal.MinTime
+		for _, e := range stream {
+			if e.Kind != temporal.KindInsert {
+				continue
+			}
+			if e.Vs < maxVs {
+				late++
+			}
+			maxVs = temporal.MaxT(maxVs, e.Vs)
+		}
+		src, sink := pipe(NewSignal())
+		inject(t, src, stream)
+		if sink.Err() != nil {
+			t.Fatal(sink.Err())
+		}
+		if sink.Adjusts() != late {
+			t.Fatalf("disorder %v: adjusts = %d, want %d (late samples)", disorder, sink.Adjusts(), late)
+		}
+	}
+}
+
+func TestSignalCopiesEquivalent(t *testing.T) {
+	cfg := gen.Config{Events: 400, Seed: 10, UniqueVs: true, MaxGap: 5, PayloadBytes: 6}
+	sc := gen.NewScript(cfg)
+	tdbs := make([]*temporal.TDB, 2)
+	for i := range tdbs {
+		src, sink := pipe(NewSignal())
+		inject(t, src, sc.Render(gen.RenderOptions{Seed: int64(20 + i), Disorder: 0.5, StableFreq: 0.02}))
+		if sink.Err() != nil {
+			t.Fatal(sink.Err())
+		}
+		tdbs[i] = sink.TDB
+	}
+	if !tdbs[0].Equal(tdbs[1]) {
+		t.Fatal("signal copies over divergent presentations diverge logically")
+	}
+}
+
+func TestSignalStatePurged(t *testing.T) {
+	sig := NewSignal()
+	src, _ := pipe(sig)
+	for i := int64(0); i < 100; i++ {
+		src.Inject(temporal.Insert(temporal.P(i), temporal.Time(10*i), 0))
+	}
+	if sig.SizeBytes() == 0 {
+		t.Fatal("expected live state")
+	}
+	src.Inject(temporal.Stable(temporal.Infinity))
+	if sig.SizeBytes() > 100 {
+		t.Fatalf("state not purged at stable(∞): %d bytes", sig.SizeBytes())
+	}
+}
+
+func TestSignalDuplicateSampleIgnored(t *testing.T) {
+	src, sink := pipe(NewSignal())
+	src.Inject(temporal.Insert(temporal.P(1), 10, 0))
+	src.Inject(temporal.Insert(temporal.P(1), 10, 0)) // replayed
+	src.Inject(temporal.Insert(temporal.P(2), 20, 0))
+	src.Inject(temporal.Stable(temporal.Infinity))
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if sink.TDB.Len() != 2 {
+		t.Fatalf("duplicate sample changed the output: %v", sink.TDB)
+	}
+}

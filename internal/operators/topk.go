@@ -1,0 +1,132 @@
+package operators
+
+import (
+	"sort"
+
+	"lmerge/internal/engine"
+	"lmerge/internal/temporal"
+)
+
+// TopK is a sliding multi-valued aggregate: for every tumbling window it
+// reports the K largest payload IDs among events starting in the window, as
+// K output events sharing the window timestamp, emitted in rank order. On
+// ordered input that order is deterministic across query copies — the R1
+// profile of Sec. IV-G example 4 (duplicate timestamps, deterministic
+// order).
+//
+// TopK is conservative: a window is reported when the input stable point
+// passes its end, so the output is insert-only.
+type TopK struct {
+	// Width is the tumbling-window width in ticks.
+	Width temporal.Time
+	// K is the number of ranked values reported per window.
+	K int
+
+	windows   map[temporal.Time][]temporal.Payload
+	inStable  temporal.Time
+	outStable temporal.Time
+	init      bool
+}
+
+// NewTopK returns a Top-K aggregate over width-tick windows.
+func NewTopK(width temporal.Time, k int) *TopK {
+	return &TopK{Width: width, K: k}
+}
+
+// Name implements engine.Operator.
+func (t *TopK) Name() string { return "topk" }
+
+func (t *TopK) ensure() {
+	if !t.init {
+		t.windows = make(map[temporal.Time][]temporal.Payload)
+		t.inStable = temporal.MinTime
+		t.outStable = temporal.MinTime
+		t.init = true
+	}
+}
+
+func (t *TopK) windowOf(ts temporal.Time) temporal.Time {
+	w := ts / t.Width * t.Width
+	if ts < 0 && ts%t.Width != 0 {
+		w -= t.Width
+	}
+	return w
+}
+
+// Process implements engine.Operator.
+func (t *TopK) Process(_ int, e temporal.Element, out *engine.Out) {
+	t.ensure()
+	switch e.Kind {
+	case temporal.KindInsert:
+		w := t.windowOf(e.Vs)
+		t.windows[w] = append(t.windows[w], e.Payload)
+	case temporal.KindAdjust:
+		if e.IsRemoval() {
+			w := t.windowOf(e.Vs)
+			ps := t.windows[w]
+			for i, p := range ps {
+				if p == e.Payload {
+					t.windows[w] = append(ps[:i], ps[i+1:]...)
+					break
+				}
+			}
+		}
+	case temporal.KindStable:
+		t.stable(e.T(), out)
+	}
+}
+
+func (t *TopK) stable(ts temporal.Time, out *engine.Out) {
+	if ts <= t.inStable {
+		return
+	}
+	t.inStable = ts
+	var done []temporal.Time
+	for start := range t.windows {
+		if ts.IsInf() || start+t.Width <= ts {
+			done = append(done, start)
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
+	for _, start := range done {
+		ps := t.windows[start]
+		// Rank by ID descending, payload data as deterministic tiebreak.
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].ID != ps[j].ID {
+				return ps[i].ID > ps[j].ID
+			}
+			return ps[i].Data < ps[j].Data
+		})
+		k := t.K
+		if k > len(ps) {
+			k = len(ps)
+		}
+		for _, p := range ps[:k] {
+			out.Emit(temporal.Insert(p, start, start+t.Width))
+		}
+		delete(t.windows, start)
+	}
+	outT := t.windowOf(ts)
+	if ts.IsInf() {
+		outT = temporal.Infinity
+	}
+	if outT > t.outStable {
+		t.outStable = outT
+		out.Emit(temporal.Stable(outT))
+	}
+}
+
+// OnFeedback implements engine.Operator.
+func (t *TopK) OnFeedback(temporal.Time) bool { return true }
+
+// SizeBytes implements engine.Sized.
+func (t *TopK) SizeBytes() int {
+	t.ensure()
+	total := 0
+	for _, ps := range t.windows {
+		for _, p := range ps {
+			total += p.SizeBytes() + 16
+		}
+	}
+	return total
+}

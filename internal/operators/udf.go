@@ -1,0 +1,108 @@
+package operators
+
+import (
+	"sync/atomic"
+
+	"lmerge/internal/engine"
+	"lmerge/internal/temporal"
+)
+
+// UDF applies a user-defined selection function with a payload-dependent
+// cost, the workload of the plan-switching experiment (Sec. VI-E-3): UDF0 is
+// expensive for small values of the payload field, UDF1 for large values.
+// Cost is modelled in deterministic work units (a spin loop), so experiments
+// are repeatable; WorkDone exposes the total for throughput accounting.
+//
+// UDF is the operator that profits from fast-forward feedback: once a
+// downstream LMerge declares elements before t uninteresting, the UDF skips
+// both the evaluation work and the emission for elements that end by t —
+// the "avoid unnecessary computations" behaviour of Sec. V-D.
+type UDF struct {
+	// Cost returns the work units charged for evaluating a payload.
+	Cost func(temporal.Payload) int
+	// Pred is the selection itself; nil keeps every event.
+	Pred func(temporal.Payload) bool
+
+	work        atomic.Int64
+	skipped     atomic.Int64
+	ffWatermark atomic.Int64
+	sink        uint64 // spin-loop sink, defeats dead-code elimination
+}
+
+// NewUDF returns a UDF with the given cost model.
+func NewUDF(cost func(temporal.Payload) int) *UDF { return &UDF{Cost: cost} }
+
+// ExpensiveBelow returns the Fig. 10 cost model: expensive when the payload
+// field is below threshold (UDF0), or above it when invert is set (UDF1).
+func ExpensiveBelow(threshold int64, expensive, cheap int, invert bool) func(temporal.Payload) int {
+	return func(p temporal.Payload) int {
+		below := p.ID < threshold
+		if below != invert {
+			return expensive
+		}
+		return cheap
+	}
+}
+
+// Name implements engine.Operator.
+func (u *UDF) Name() string { return "udf" }
+
+// Process implements engine.Operator.
+func (u *UDF) Process(_ int, e temporal.Element, out *engine.Out) {
+	if e.Kind == temporal.KindStable {
+		out.Emit(e)
+		return
+	}
+	ff := temporal.Time(u.ffWatermark.Load())
+	if ff > 0 {
+		// Elements that end by the fast-forward point are no longer of
+		// interest downstream: skip both the work and the emission.
+		end := e.Ve
+		if e.Kind == temporal.KindAdjust {
+			end = temporal.MaxT(e.Ve, e.VOld)
+		}
+		if end <= ff {
+			u.skipped.Add(1)
+			return
+		}
+	}
+	if e.Kind == temporal.KindInsert {
+		u.spin(u.Cost(e.Payload))
+		if u.Pred != nil && !u.Pred(e.Payload) {
+			return
+		}
+	} else if u.Pred != nil && !u.Pred(e.Payload) {
+		return
+	}
+	out.Emit(e)
+}
+
+// spin burns c deterministic work units.
+func (u *UDF) spin(c int) {
+	u.work.Add(int64(c))
+	s := u.sink
+	for i := 0; i < c; i++ {
+		s = s*2862933555777941757 + 3037000493
+	}
+	u.sink = s
+}
+
+// OnFeedback implements engine.Operator: record the fast-forward point and
+// keep propagating so upstream operators can purge too.
+func (u *UDF) OnFeedback(t temporal.Time) bool {
+	for {
+		cur := u.ffWatermark.Load()
+		if int64(t) <= cur {
+			return true
+		}
+		if u.ffWatermark.CompareAndSwap(cur, int64(t)) {
+			return true
+		}
+	}
+}
+
+// WorkDone returns the total work units spent.
+func (u *UDF) WorkDone() int64 { return u.work.Load() }
+
+// Skipped returns the number of elements fast-forwarded past.
+func (u *UDF) Skipped() int64 { return u.skipped.Load() }

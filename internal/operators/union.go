@@ -1,0 +1,51 @@
+package operators
+
+import (
+	"lmerge/internal/engine"
+	"lmerge/internal/temporal"
+)
+
+// Union interleaves its inputs by arrival order, the operator whose output
+// disorder motivates downstream tolerance in Sec. I. Inserts and adjusts
+// pass straight through; a stable may only be forwarded once every input has
+// reached it, so the operator emits the minimum stable point across inputs.
+type Union struct {
+	stables []temporal.Time
+	emitted temporal.Time
+	init    bool
+}
+
+// NewUnion returns a union for n input ports.
+func NewUnion(n int) *Union {
+	s := make([]temporal.Time, n)
+	for i := range s {
+		s[i] = temporal.MinTime
+	}
+	return &Union{stables: s, emitted: temporal.MinTime, init: true}
+}
+
+// Name implements engine.Operator.
+func (u *Union) Name() string { return "union" }
+
+// Process implements engine.Operator.
+func (u *Union) Process(port int, e temporal.Element, out *engine.Out) {
+	if e.Kind != temporal.KindStable {
+		out.Emit(e)
+		return
+	}
+	if port < 0 || port >= len(u.stables) {
+		return
+	}
+	u.stables[port] = temporal.MaxT(u.stables[port], e.T())
+	low := u.stables[0]
+	for _, t := range u.stables[1:] {
+		low = temporal.MinT(low, t)
+	}
+	if low > u.emitted {
+		u.emitted = low
+		out.Emit(temporal.Stable(low))
+	}
+}
+
+// OnFeedback implements engine.Operator.
+func (u *Union) OnFeedback(temporal.Time) bool { return true }

@@ -1,0 +1,206 @@
+package props
+
+// This file implements the static derivation of stream properties over
+// query plans (paper Sec. IV-G): each operator kind has a transfer function
+// from input properties to output properties, and Plan.Properties folds them
+// bottom-up so LMerge can be configured at compile time.
+
+// Op is a plan operator's property transfer function.
+type Op interface {
+	// Derive maps the properties of the operator's inputs to the properties
+	// of its output.
+	Derive(in []Properties) Properties
+	// Name identifies the operator kind in diagnostics.
+	Name() string
+}
+
+// Plan is a query-plan node: an operator applied to input plans. Leaves use
+// SourceOp.
+type Plan struct {
+	Op     Op
+	Inputs []*Plan
+}
+
+// Node builds a plan node.
+func Node(op Op, inputs ...*Plan) *Plan { return &Plan{Op: op, Inputs: inputs} }
+
+// Properties derives the plan output's properties bottom-up.
+func (p *Plan) Properties() Properties {
+	in := make([]Properties, len(p.Inputs))
+	for i, c := range p.Inputs {
+		in[i] = c.Properties()
+	}
+	return p.Op.Derive(in)
+}
+
+// Case returns the LMerge algorithm chosen for this plan's output.
+func (p *Plan) Case() interface{ String() string } { return Choose(p.Properties()) }
+
+// SourceOp is a stream source publishing declared properties (Sec. IV-G
+// example 1: "every input stream publishes properties").
+type SourceOp struct{ Props Properties }
+
+// Derive implements Op.
+func (s SourceOp) Derive([]Properties) Properties { return s.Props }
+
+// Name implements Op.
+func (SourceOp) Name() string { return "source" }
+
+// CleanseOp is the order-enforcing buffer of Sec. VI-D (example 2: "special
+// operators that enforce certain properties"): it holds elements until they
+// are fully frozen and releases them in deterministic timestamp order, so
+// its output is insert-only, non-decreasing, with deterministic ties.
+type CleanseOp struct{}
+
+// Derive implements Op.
+func (CleanseOp) Derive(in []Properties) Properties {
+	p := one(in)
+	return Properties{
+		Order:             NonDecreasing,
+		InsertOnly:        true,
+		KeyVsPayload:      p.KeyVsPayload,
+		DeterministicTies: true,
+	}
+}
+
+// Name implements Op.
+func (CleanseOp) Name() string { return "cleanse" }
+
+// FilterOp drops events by predicate; every property survives.
+type FilterOp struct{}
+
+// Derive implements Op.
+func (FilterOp) Derive(in []Properties) Properties { return one(in) }
+
+// Name implements Op.
+func (FilterOp) Name() string { return "filter" }
+
+// ProjectOp rewrites payloads. Order and insert-onlyness survive; the
+// (Vs, Payload) key survives only if the mapping is injective.
+type ProjectOp struct{ Injective bool }
+
+// Derive implements Op.
+func (o ProjectOp) Derive(in []Properties) Properties {
+	p := one(in)
+	p.KeyVsPayload = p.KeyVsPayload && o.Injective
+	return p
+}
+
+// Name implements Op.
+func (ProjectOp) Name() string { return "project" }
+
+// AlterLifetimeOp rewrites event lifetimes of already-emitted events,
+// introducing adjust elements.
+type AlterLifetimeOp struct{}
+
+// Derive implements Op.
+func (AlterLifetimeOp) Derive(in []Properties) Properties {
+	p := one(in)
+	p.InsertOnly = false
+	return p
+}
+
+// Name implements Op.
+func (AlterLifetimeOp) Name() string { return "alterlifetime" }
+
+// AggregateOp is a windowed aggregate. Its output properties depend on the
+// input's order, on grouping, and on whether it emits a single value or many
+// (Top-k) per window — reproducing Sec. IV-G examples 3–6:
+//
+//	ordered input, ungrouped, single-valued  → R0 (strictly increasing)
+//	ordered input, multi-valued (Top-k)      → R1 (deterministic rank ties)
+//	ordered input, grouped                   → R2 (nondeterministic ties)
+//	disordered input                         → R3 (speculative adjusts)
+type AggregateOp struct {
+	Grouped     bool
+	MultiValued bool
+	// Aggressive aggregates emit early results revised by adjusts even on
+	// ordered input (the latency-reducing variant of Sec. I).
+	Aggressive bool
+}
+
+// Derive implements Op.
+func (o AggregateOp) Derive(in []Properties) Properties {
+	p := one(in)
+	ordered := p.Order >= NonDecreasing && p.InsertOnly
+	if !ordered || o.Aggressive {
+		// Early results must be revised as stragglers arrive.
+		return Properties{Order: Unordered, InsertOnly: false, KeyVsPayload: true}
+	}
+	switch {
+	case o.Grouped:
+		return Properties{Order: NonDecreasing, InsertOnly: true, KeyVsPayload: true}
+	case o.MultiValued:
+		return Properties{Order: NonDecreasing, InsertOnly: true, KeyVsPayload: true, DeterministicTies: true}
+	default:
+		return Properties{Order: StrictlyIncreasing, InsertOnly: true, KeyVsPayload: true, DeterministicTies: true}
+	}
+}
+
+// Name implements Op.
+func (o AggregateOp) Name() string {
+	switch {
+	case o.Grouped:
+		return "aggregate(grouped)"
+	case o.MultiValued:
+		return "topk"
+	default:
+		return "aggregate"
+	}
+}
+
+// SignalOp converts point samples into last-value intervals. On ordered
+// insert-only input the output is strictly ordered and final on emission;
+// disordered input forces cut-back adjusts.
+type SignalOp struct{}
+
+// Derive implements Op.
+func (SignalOp) Derive(in []Properties) Properties {
+	p := one(in)
+	if p.Order >= NonDecreasing && p.InsertOnly {
+		return Properties{Order: StrictlyIncreasing, InsertOnly: true, KeyVsPayload: true, DeterministicTies: true}
+	}
+	return Properties{Order: Unordered, InsertOnly: false, KeyVsPayload: true}
+}
+
+// Name implements Op.
+func (SignalOp) Name() string { return "signal" }
+
+// UnionOp interleaves streams by arrival: ordering and key guarantees are
+// lost (the motivation in Sec. I for tolerating disorder downstream).
+type UnionOp struct{}
+
+// Derive implements Op.
+func (UnionOp) Derive(in []Properties) Properties {
+	insertOnly := true
+	for _, p := range in {
+		insertOnly = insertOnly && p.InsertOnly
+	}
+	return Properties{Order: Unordered, InsertOnly: insertOnly}
+}
+
+// Name implements Op.
+func (UnionOp) Name() string { return "union" }
+
+// JoinOp is a temporal join. Output lifetimes are intersections, revised as
+// inputs revise; key preservation depends on the join predicate.
+type JoinOp struct{ KeyPreserving bool }
+
+// Derive implements Op.
+func (o JoinOp) Derive(in []Properties) Properties {
+	insertOnly := true
+	for _, p := range in {
+		insertOnly = insertOnly && p.InsertOnly
+	}
+	return Properties{Order: Unordered, InsertOnly: insertOnly, KeyVsPayload: o.KeyPreserving}
+}
+
+// Name implements Op.
+func (JoinOp) Name() string { return "join" }
+
+func one(in []Properties) Properties {
+	if len(in) == 0 {
+		return Properties{}
+	}
+	return in[0]
+}

@@ -1,0 +1,108 @@
+package props
+
+import "lmerge/internal/temporal"
+
+// This file implements runtime property measurement (paper Sec. IV-F:
+// "These properties can be measured as statistics during runtime"): given
+// concrete stream prefixes, derive the strongest Properties they satisfy, so
+// the merge algorithm can be chosen without compile-time plan analysis.
+
+// Measure inspects one stream prefix and reports the strongest guarantees it
+// exhibits. DeterministicTies is a cross-stream property and cannot be
+// observed from a single presentation; it is reported true only in the
+// degenerate case where no timestamp ever repeats (strict order).
+func Measure(s temporal.Stream) Properties {
+	p := Properties{
+		Order:        StrictlyIncreasing,
+		InsertOnly:   true,
+		KeyVsPayload: true,
+	}
+	last := temporal.MinTime
+	live := make(map[temporal.VsPayload]int)
+	for _, e := range s {
+		switch e.Kind {
+		case temporal.KindInsert:
+			switch {
+			case e.Vs > last:
+				last = e.Vs
+			case e.Vs == last && p.Order == StrictlyIncreasing:
+				p.Order = NonDecreasing
+			case e.Vs < last:
+				p.Order = Unordered
+			}
+			live[e.Key()]++
+			if live[e.Key()] > 1 {
+				p.KeyVsPayload = false
+			}
+		case temporal.KindAdjust:
+			p.InsertOnly = false
+			if e.IsRemoval() {
+				if live[e.Key()] > 0 {
+					live[e.Key()]--
+				}
+			}
+		}
+	}
+	p.DeterministicTies = p.Order == StrictlyIncreasing
+	return p
+}
+
+// MeasureAll measures several presentations of the same logical stream and
+// returns the guarantees that hold across all of them, including the
+// cross-stream DeterministicTies check: elements sharing a timestamp must
+// appear in the same relative order in every presentation.
+func MeasureAll(streams ...temporal.Stream) Properties {
+	if len(streams) == 0 {
+		return Properties{}
+	}
+	out := Measure(streams[0])
+	for _, s := range streams[1:] {
+		out = Meet(out, Measure(s))
+	}
+	if out.Order == NonDecreasing && out.InsertOnly {
+		out.DeterministicTies = sameTieOrder(streams)
+	}
+	return out
+}
+
+// sameTieOrder reports whether every stream presents same-Vs inserts in the
+// same relative order.
+func sameTieOrder(streams []temporal.Stream) bool {
+	// Reference order from the first stream: position of each payload
+	// within its timestamp group.
+	ref := tieGroups(streams[0])
+	for _, s := range streams[1:] {
+		g := tieGroups(s)
+		if len(g) != len(ref) {
+			return false
+		}
+		for vs, order := range ref {
+			other, ok := g[vs]
+			if !ok || len(other) != len(order) {
+				return false
+			}
+			for i := range order {
+				if order[i] != other[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func tieGroups(s temporal.Stream) map[temporal.Time][]temporal.Payload {
+	out := make(map[temporal.Time][]temporal.Payload)
+	for _, e := range s {
+		if e.Kind == temporal.KindInsert {
+			out[e.Vs] = append(out[e.Vs], e.Payload)
+		}
+	}
+	// Keep only timestamps with actual ties.
+	for vs, ps := range out {
+		if len(ps) < 2 {
+			delete(out, vs)
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package props
+
+import "lmerge/internal/temporal"
+
+// Monitor tracks a stream's properties incrementally — the online form of
+// Sec. IV-F's "these properties can be measured as statistics during
+// runtime". Feed it every element as it arrives; Properties reports the
+// strongest guarantees still unbroken, and a consumer can re-select its
+// merge algorithm when a guarantee is violated mid-stream (e.g. switch from
+// R0 to R3 the moment disorder or a revision first appears).
+//
+// Memory note: the per-key liveness check bounds its state to keys at or
+// above the stream's stable point; fully frozen keys are discarded when
+// stables arrive.
+type Monitor struct {
+	order      Ordering
+	insertOnly bool
+	key        bool
+	lastVs     temporal.Time
+	stable     temporal.Time
+	live       map[temporal.VsPayload]int
+	elements   int64
+	disordered int64
+	adjusts    int64
+	init       bool
+}
+
+// NewMonitor returns a monitor assuming the strongest properties until the
+// stream breaks them.
+func NewMonitor() *Monitor {
+	m := &Monitor{}
+	m.ensure()
+	return m
+}
+
+func (m *Monitor) ensure() {
+	if !m.init {
+		m.order = StrictlyIncreasing
+		m.insertOnly = true
+		m.key = true
+		m.lastVs = temporal.MinTime
+		m.stable = temporal.MinTime
+		m.live = make(map[temporal.VsPayload]int)
+		m.init = true
+	}
+}
+
+// Observe folds one element into the measurement.
+func (m *Monitor) Observe(e temporal.Element) {
+	m.ensure()
+	m.elements++
+	switch e.Kind {
+	case temporal.KindInsert:
+		switch {
+		case e.Vs > m.lastVs:
+			m.lastVs = e.Vs
+		case e.Vs == m.lastVs && m.order == StrictlyIncreasing:
+			m.order = NonDecreasing
+		case e.Vs < m.lastVs:
+			if m.order != Unordered {
+				m.order = Unordered
+			}
+			m.disordered++
+		}
+		m.live[e.Key()]++
+		if m.live[e.Key()] > 1 {
+			m.key = false
+		}
+	case temporal.KindAdjust:
+		m.insertOnly = false
+		m.adjusts++
+		if e.IsRemoval() {
+			if c := m.live[e.Key()]; c > 1 {
+				m.live[e.Key()] = c - 1
+			} else {
+				delete(m.live, e.Key())
+			}
+		}
+	case temporal.KindStable:
+		if t := e.T(); t > m.stable {
+			m.stable = t
+			// Fully frozen keys can never collide again: drop them.
+			for k := range m.live {
+				if k.Vs < t {
+					delete(m.live, k)
+				}
+			}
+		}
+	}
+}
+
+// Properties reports the guarantees still unbroken. DeterministicTies is a
+// cross-stream property; as in Measure, it is true only while no timestamp
+// has repeated.
+func (m *Monitor) Properties() Properties {
+	m.ensure()
+	return Properties{
+		Order:             m.order,
+		InsertOnly:        m.insertOnly,
+		KeyVsPayload:      m.key,
+		DeterministicTies: m.order == StrictlyIncreasing,
+	}
+}
+
+// Elements returns how many elements have been observed.
+func (m *Monitor) Elements() int64 { return m.elements }
+
+// DisorderFraction returns the observed fraction of out-of-order inserts —
+// the runtime statistic the Fig. 4/6 sweeps parameterise.
+func (m *Monitor) DisorderFraction() float64 {
+	if m.elements == 0 {
+		return 0
+	}
+	return float64(m.disordered) / float64(m.elements)
+}
+
+// AdjustFraction returns the observed fraction of adjust elements (the
+// paper quotes its Fig. 7 workload as "36% adjust() elements").
+func (m *Monitor) AdjustFraction() float64 {
+	if m.elements == 0 {
+		return 0
+	}
+	return float64(m.adjusts) / float64(m.elements)
+}

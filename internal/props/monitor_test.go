@@ -1,0 +1,116 @@
+package props
+
+import (
+	"testing"
+
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+func TestMonitorDowngradesOnViolation(t *testing.T) {
+	m := NewMonitor()
+	if got := Choose(m.Properties()); got != core.CaseR0 {
+		t.Fatalf("fresh monitor should assume the strongest case, got %v", got)
+	}
+	m.Observe(temporal.Insert(temporal.P(1), 10, 20))
+	if Choose(m.Properties()) != core.CaseR0 {
+		t.Fatal("single ordered insert keeps R0")
+	}
+	// A tie downgrades strict order.
+	m.Observe(temporal.Insert(temporal.P(2), 10, 20))
+	if p := m.Properties(); p.Order != NonDecreasing || p.DeterministicTies {
+		t.Fatalf("tie should downgrade order: %v", p)
+	}
+	if Choose(m.Properties()) != core.CaseR2 {
+		t.Fatalf("keyed non-decreasing should choose R2, got %v", Choose(m.Properties()))
+	}
+	// A revision kills insert-only.
+	m.Observe(temporal.Adjust(temporal.P(1), 10, 20, 25))
+	if Choose(m.Properties()) != core.CaseR3 {
+		t.Fatalf("adjusting stream should choose R3, got %v", Choose(m.Properties()))
+	}
+	// A duplicate key drops to R4.
+	m.Observe(temporal.Insert(temporal.P(2), 10, 30))
+	if Choose(m.Properties()) != core.CaseR4 {
+		t.Fatalf("duplicate key should choose R4, got %v", Choose(m.Properties()))
+	}
+}
+
+func TestMonitorDisorder(t *testing.T) {
+	m := NewMonitor()
+	m.Observe(temporal.Insert(temporal.P(1), 10, 20))
+	m.Observe(temporal.Insert(temporal.P(2), 5, 20)) // out of order
+	if p := m.Properties(); p.Order != Unordered {
+		t.Fatalf("regression should mark unordered: %v", p)
+	}
+	if m.DisorderFraction() != 0.5 {
+		t.Fatalf("disorder fraction = %v", m.DisorderFraction())
+	}
+}
+
+func TestMonitorMatchesMeasure(t *testing.T) {
+	// Online and offline measurement must agree on every workload shape.
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := gen.Config{
+			Events: 120, Seed: seed, MaxGap: 6, EventDuration: 40, PayloadBytes: 6,
+		}
+		switch seed % 2 {
+		case 0:
+			cfg.UniqueVs = true
+		case 1:
+			cfg.Revisions, cfg.RemoveProb, cfg.DupProb = 0.5, 0.2, 0.2
+		}
+		sc := gen.NewScript(cfg)
+		var s temporal.Stream
+		if cfg.UniqueVs {
+			s = sc.RenderOrdered(gen.OrderedStrict, gen.RenderOptions{Seed: seed})
+		} else {
+			s = sc.Render(gen.RenderOptions{Seed: seed, Disorder: 0.3, StableFreq: 0.05})
+		}
+		m := NewMonitor()
+		for _, e := range s {
+			m.Observe(e)
+		}
+		if m.Properties() != Measure(s) {
+			t.Fatalf("seed %d: online %v != offline %v", seed, m.Properties(), Measure(s))
+		}
+		if m.Elements() != int64(len(s)) {
+			t.Fatalf("seed %d: elements = %d", seed, m.Elements())
+		}
+	}
+}
+
+func TestMonitorStateBounded(t *testing.T) {
+	m := NewMonitor()
+	for i := int64(0); i < 1000; i++ {
+		m.Observe(temporal.Insert(temporal.P(i), temporal.Time(i), temporal.Time(i+5)))
+		if i%100 == 99 {
+			m.Observe(temporal.Stable(temporal.Time(i)))
+		}
+	}
+	if len(m.live) > 200 {
+		t.Fatalf("monitor retains %d live keys; stables should bound it", len(m.live))
+	}
+	if m.AdjustFraction() != 0 {
+		t.Fatal("insert-only stream has adjust fraction 0")
+	}
+}
+
+func TestMonitorAdjustFraction(t *testing.T) {
+	m := NewMonitor()
+	m.Observe(temporal.Insert(temporal.P(1), 1, 5))
+	m.Observe(temporal.Adjust(temporal.P(1), 1, 5, 9))
+	if m.AdjustFraction() != 0.5 {
+		t.Fatalf("adjust fraction = %v", m.AdjustFraction())
+	}
+	// Removal frees the key.
+	m.Observe(temporal.Adjust(temporal.P(1), 1, 9, 1))
+	m.Observe(temporal.Insert(temporal.P(1), 1, 7))
+	if p := m.Properties(); !p.KeyVsPayload {
+		t.Fatal("key reuse after removal should not break the key property")
+	}
+	if NewMonitor().DisorderFraction() != 0 {
+		t.Fatal("empty monitor fractions should be 0")
+	}
+}

@@ -1,0 +1,109 @@
+// Package props implements the compile-time stream property framework of
+// paper Sections III-C and IV-G: properties that a stream satisfies (element
+// ordering, insert-only, key constraints), how operators in a query plan
+// transform them, and how LMerge uses them to pick the cheapest algorithm
+// from the R0–R4 spectrum.
+package props
+
+import (
+	"fmt"
+
+	"lmerge/internal/core"
+)
+
+// Ordering describes the Vs order of a stream's insert elements.
+type Ordering uint8
+
+const (
+	// Unordered streams may present elements in any stable-respecting order.
+	Unordered Ordering = iota
+	// NonDecreasing streams never regress in Vs (ties allowed).
+	NonDecreasing
+	// StrictlyIncreasing streams have unique, increasing Vs values.
+	StrictlyIncreasing
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case NonDecreasing:
+		return "non-decreasing"
+	case StrictlyIncreasing:
+		return "strictly-increasing"
+	}
+	return "unordered"
+}
+
+// Properties is the set of guarantees a stream publishes or that static
+// analysis derives for it.
+type Properties struct {
+	// Order is the Vs ordering of insert elements.
+	Order Ordering
+	// InsertOnly means the stream carries no adjust elements — lifetimes are
+	// final on first presentation.
+	InsertOnly bool
+	// KeyVsPayload means (Vs, Payload) is a key in every prefix TDB: no two
+	// live events share a start time and payload.
+	KeyVsPayload bool
+	// DeterministicTies means elements sharing a Vs appear in the same order
+	// in every presentation of the stream (e.g. Top-k rank order).
+	DeterministicTies bool
+}
+
+// String renders the property set compactly.
+func (p Properties) String() string {
+	return fmt.Sprintf("{order=%v insertOnly=%v key=%v detTies=%v}",
+		p.Order, p.InsertOnly, p.KeyVsPayload, p.DeterministicTies)
+}
+
+// Meet combines the guarantees of two streams feeding the same LMerge: the
+// merge may only rely on what all inputs satisfy.
+func Meet(a, b Properties) Properties {
+	return Properties{
+		Order:             minOrder(a.Order, b.Order),
+		InsertOnly:        a.InsertOnly && b.InsertOnly,
+		KeyVsPayload:      a.KeyVsPayload && b.KeyVsPayload,
+		DeterministicTies: a.DeterministicTies && b.DeterministicTies,
+	}
+}
+
+// MeetAll folds Meet over a non-empty property list.
+func MeetAll(ps ...Properties) Properties {
+	if len(ps) == 0 {
+		return Properties{}
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = Meet(out, p)
+	}
+	return out
+}
+
+func minOrder(a, b Ordering) Ordering {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Choose returns the cheapest LMerge case whose assumptions the properties
+// satisfy (Sec. III-C's restriction spectrum).
+func Choose(p Properties) core.Case {
+	switch {
+	case p.InsertOnly && p.Order == StrictlyIncreasing:
+		return core.CaseR0
+	case p.InsertOnly && p.Order == NonDecreasing && p.DeterministicTies:
+		return core.CaseR1
+	case p.InsertOnly && p.Order == NonDecreasing && p.KeyVsPayload:
+		return core.CaseR2
+	case p.KeyVsPayload:
+		return core.CaseR3
+	default:
+		return core.CaseR4
+	}
+}
+
+// NewMerger builds the merger Choose selects for p.
+func NewMerger(p Properties, emit core.Emit) core.Merger {
+	return core.New(Choose(p), emit)
+}

@@ -1,0 +1,159 @@
+package props
+
+import (
+	"testing"
+
+	"lmerge/internal/core"
+)
+
+func orderedSource() *Plan {
+	return Node(SourceOp{Props: Properties{
+		Order: NonDecreasing, InsertOnly: true, KeyVsPayload: true, DeterministicTies: true,
+	}})
+}
+
+func disorderedSource() *Plan {
+	return Node(SourceOp{Props: Properties{KeyVsPayload: true}})
+}
+
+// TestSecIVGExamples walks the six worked examples of Section IV-G.
+func TestSecIVGExamples(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		want core.Case
+	}{
+		// 1) Merging declared-ordered sources directly.
+		{"declared ordered source", Node(SourceOp{Props: Properties{
+			Order: StrictlyIncreasing, InsertOnly: true, KeyVsPayload: true, DeterministicTies: true,
+		}}), core.CaseR0},
+		// 2) Cleanse enforcing order on a disordered stream.
+		{"cleanse enforces R1", Node(CleanseOp{}, disorderedSource()), core.CaseR1},
+		// 3) In-order stream into windowed count: one event per strictly
+		// increasing timestamp.
+		{"ordered windowed count", Node(AggregateOp{}, orderedSource()), core.CaseR0},
+		// 4) In-order stream into sliding-window Top-k: duplicate timestamps
+		// in deterministic rank order.
+		{"ordered topk", Node(AggregateOp{MultiValued: true}, orderedSource()), core.CaseR1},
+		// 5) Grouped aggregation over an ordered stream: same-Vs order is
+		// nondeterministic across instances.
+		{"ordered grouped count", Node(AggregateOp{Grouped: true}, orderedSource()), core.CaseR2},
+		// 6) Grouped aggregation over a disordered stream.
+		{"disordered grouped count", Node(AggregateOp{Grouped: true}, disorderedSource()), core.CaseR3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Choose(tc.plan.Properties()); got != tc.want {
+				t.Errorf("Choose = %v, want %v (props %v)", got, tc.want, tc.plan.Properties())
+			}
+		})
+	}
+}
+
+func TestChooseFallbacks(t *testing.T) {
+	if got := Choose(Properties{}); got != core.CaseR4 {
+		t.Errorf("no guarantees should choose R4, got %v", got)
+	}
+	if got := Choose(Properties{KeyVsPayload: true}); got != core.CaseR3 {
+		t.Errorf("key only should choose R3, got %v", got)
+	}
+	// Insert-only but unordered is still R3/R4 territory.
+	if got := Choose(Properties{InsertOnly: true, KeyVsPayload: true}); got != core.CaseR3 {
+		t.Errorf("unordered insert-only should choose R3, got %v", got)
+	}
+	if got := Choose(Properties{InsertOnly: true, Order: NonDecreasing}); got != core.CaseR4 {
+		t.Errorf("non-decreasing without key or det ties should choose R4, got %v", got)
+	}
+}
+
+func TestMeet(t *testing.T) {
+	strong := Properties{Order: StrictlyIncreasing, InsertOnly: true, KeyVsPayload: true, DeterministicTies: true}
+	weak := Properties{Order: NonDecreasing, InsertOnly: true, KeyVsPayload: true}
+	got := Meet(strong, weak)
+	if got != weak {
+		t.Errorf("Meet = %v, want %v", got, weak)
+	}
+	if Meet(strong, Properties{}) != (Properties{}) {
+		t.Error("Meet with bottom should be bottom")
+	}
+	if MeetAll(strong, strong, weak) != weak {
+		t.Error("MeetAll wrong")
+	}
+	if MeetAll() != (Properties{}) {
+		t.Error("MeetAll() should be bottom")
+	}
+	if MeetAll(strong) != strong {
+		t.Error("MeetAll single should be identity")
+	}
+}
+
+func TestOperatorTransferFunctions(t *testing.T) {
+	ord := orderedSource().Properties()
+
+	if got := (FilterOp{}).Derive([]Properties{ord}); got != ord {
+		t.Errorf("filter should preserve everything, got %v", got)
+	}
+	if got := (ProjectOp{Injective: true}).Derive([]Properties{ord}); got != ord {
+		t.Errorf("injective project should preserve the key, got %v", got)
+	}
+	if got := (ProjectOp{}).Derive([]Properties{ord}); got.KeyVsPayload {
+		t.Error("non-injective project must drop the key")
+	}
+	if got := (AlterLifetimeOp{}).Derive([]Properties{ord}); got.InsertOnly {
+		t.Error("alterlifetime introduces adjusts")
+	}
+	if got := (UnionOp{}).Derive([]Properties{ord, ord}); got.Order != Unordered || !got.InsertOnly {
+		t.Errorf("union of ordered insert-only = %v", got)
+	}
+	mixed := (UnionOp{}).Derive([]Properties{ord, {Order: NonDecreasing}})
+	if mixed.InsertOnly {
+		t.Error("union with adjusting input is not insert-only")
+	}
+	if got := (JoinOp{}).Derive([]Properties{ord, ord}); got.KeyVsPayload {
+		t.Error("join should not preserve the key by default")
+	}
+	if got := (JoinOp{KeyPreserving: true}).Derive([]Properties{ord, ord}); !got.KeyVsPayload {
+		t.Error("key-preserving join should keep the key")
+	}
+	if got := (AggregateOp{Aggressive: true}).Derive([]Properties{ord}); got.InsertOnly || got.Order != Unordered {
+		t.Errorf("aggressive aggregate must speculate: %v", got)
+	}
+}
+
+func TestPlanComposition(t *testing.T) {
+	// Union of two ordered sources, cleansed, then grouped-aggregated:
+	// Cleanse restores order, so the grouped aggregate lands on R2.
+	plan := Node(AggregateOp{Grouped: true},
+		Node(CleanseOp{},
+			Node(UnionOp{}, orderedSource(), orderedSource())))
+	if got := Choose(plan.Properties()); got != core.CaseR2 {
+		t.Errorf("plan should choose R2, got %v (props %v)", got, plan.Properties())
+	}
+	// Without the cleanse, the aggregate sees disorder: R3.
+	plan2 := Node(AggregateOp{Grouped: true},
+		Node(UnionOp{}, orderedSource(), orderedSource()))
+	if got := Choose(plan2.Properties()); got != core.CaseR3 {
+		t.Errorf("plan without cleanse should choose R3, got %v", got)
+	}
+}
+
+func TestNewMergerDispatch(t *testing.T) {
+	m := NewMerger(Properties{KeyVsPayload: true}, nil)
+	if m.Case() != core.CaseR3 {
+		t.Errorf("NewMerger dispatched %v", m.Case())
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Unordered.String() != "unordered" || StrictlyIncreasing.String() != "strictly-increasing" {
+		t.Error("ordering strings wrong")
+	}
+	for _, op := range []Op{SourceOp{}, CleanseOp{}, FilterOp{}, ProjectOp{}, AlterLifetimeOp{}, AggregateOp{}, AggregateOp{Grouped: true}, AggregateOp{MultiValued: true}, UnionOp{}, JoinOp{}} {
+		if op.Name() == "" {
+			t.Errorf("%T has empty name", op)
+		}
+	}
+	if (Properties{}).String() == "" {
+		t.Error("Properties.String empty")
+	}
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+
+	"lmerge/internal/temporal"
+)
+
+// Publisher is a client-side publisher connection. It listens for the
+// server's fast-forward signals ("FF <t>" lines, Sec. V-D over the wire) in
+// the background; FastForward and ShouldSkip let the replica avoid producing
+// elements the merge no longer needs.
+type Publisher struct {
+	conn net.Conn
+	w    *bufio.Writer
+	id   int
+	ff   atomic.Int64
+}
+
+// Connect dials the server as a publisher with the given join guarantee
+// (use temporal.MinTime for a from-the-start replica).
+func Connect(addr string, joinTime temporal.Time) (*Publisher, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Publisher{conn: conn, w: bufio.NewWriter(conn)}
+	p.ff.Store(int64(temporal.MinTime))
+	fmt.Fprintf(p.w, "HELLO PUB %d\n", int64(joinTime))
+	if err := p.w.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := fmt.Sscanf(line, "OK %d", &p.id); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server refused publisher: %s", strings.TrimSpace(line))
+	}
+	go p.readSignals(r)
+	return p, nil
+}
+
+// readSignals consumes server lines after the handshake: fast-forward
+// watermarks (monotonically coalesced) and errors (which end the stream).
+func (p *Publisher) readSignals(r *bufio.Reader) {
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		var t int64
+		if _, err := fmt.Sscanf(line, "FF %d", &t); err == nil {
+			for {
+				cur := p.ff.Load()
+				if t <= cur || p.ff.CompareAndSwap(cur, t) {
+					break
+				}
+			}
+		}
+	}
+}
+
+// FastForward returns the latest fast-forward point the server signalled
+// (temporal.MinTime if none).
+func (p *Publisher) FastForward() temporal.Time { return temporal.Time(p.ff.Load()) }
+
+// ShouldSkip reports whether e is entirely before the fast-forward point —
+// the merged output no longer needs it, so the replica can drop the element
+// (and the work of producing it) outright.
+func (p *Publisher) ShouldSkip(e temporal.Element) bool {
+	ff := p.FastForward()
+	if ff == temporal.MinTime {
+		return false
+	}
+	switch e.Kind {
+	case temporal.KindInsert:
+		return e.Ve <= ff
+	case temporal.KindAdjust:
+		return temporal.MaxT(e.Ve, e.VOld) <= ff
+	}
+	return false
+}
+
+// ID returns the stream id the server assigned.
+func (p *Publisher) ID() int { return p.id }
+
+// Send publishes one element.
+func (p *Publisher) Send(e temporal.Element) error {
+	line, err := temporal.MarshalElement(e)
+	if err != nil {
+		return err
+	}
+	if _, err := p.w.Write(line); err != nil {
+		return err
+	}
+	return p.w.WriteByte('\n')
+}
+
+// SendStream publishes a whole prefix and flushes.
+func (p *Publisher) SendStream(s temporal.Stream) error {
+	for _, e := range s {
+		if err := p.Send(e); err != nil {
+			return err
+		}
+	}
+	return p.Flush()
+}
+
+// Flush pushes buffered elements to the wire.
+func (p *Publisher) Flush() error { return p.w.Flush() }
+
+// Close flushes and disconnects (the server detaches the stream).
+func (p *Publisher) Close() error {
+	p.w.Flush()
+	return p.conn.Close()
+}
+
+// Subscriber is a client-side subscription to the merged stream.
+type Subscriber struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+}
+
+// Subscribe dials the server as a consumer of the merged stream.
+func Subscribe(addr string) (*Subscriber, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(conn, "HELLO SUB\n"); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), "OK") {
+		conn.Close()
+		return nil, fmt.Errorf("server refused subscription")
+	}
+	return &Subscriber{conn: conn, sc: sc}, nil
+}
+
+// Next returns the next merged element; ok is false when the connection
+// ends.
+func (s *Subscriber) Next() (temporal.Element, bool) {
+	for s.sc.Scan() {
+		line := s.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		e, err := temporal.UnmarshalElement(line)
+		if err != nil {
+			return temporal.Element{}, false
+		}
+		return e, true
+	}
+	return temporal.Element{}, false
+}
+
+// Close disconnects.
+func (s *Subscriber) Close() error { return s.conn.Close() }

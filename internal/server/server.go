@@ -1,0 +1,306 @@
+// Package server exposes a Logical Merge over TCP: replica query instances
+// connect as publishers and push their physical streams as JSON lines;
+// consumers connect as subscribers and receive the single merged stream.
+// This is the deployment shape of the paper's high-availability application
+// (Sec. II-1): n replicas on different machines feeding one LMerge at the
+// consumer side, with publishers free to connect, disconnect, and reconnect
+// mid-run.
+//
+// Wire protocol (line-oriented):
+//
+//	client → server, first line:   HELLO PUB <joinTime>   or   HELLO SUB
+//	server → client, reply:        OK <streamID>          or   OK SUB
+//	publisher lines:               one element per line (temporal wire JSON)
+//	subscriber lines:              merged elements, one per line
+//
+// A publisher's disconnect detaches its stream; the merge keeps flowing
+// while at least one publisher remains.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"lmerge/internal/core"
+	"lmerge/internal/temporal"
+)
+
+// Server is a network-facing LMerge.
+type Server struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	op       *core.Operator
+	backlog  temporal.Stream // full merged history, replayed to late subscribers
+	subs     map[int]chan temporal.Element
+	pubConns map[core.StreamID]net.Conn // for fast-forward signalling
+	nextSub  int
+	pubCount int
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// Options configures a server.
+type Options struct {
+	// Case selects the merge algorithm (default R3).
+	Case core.Case
+	// FeedbackLag, when >= 0, enables fast-forward feedback to lagging
+	// publishers (Sec. V-D over the wire): a publisher whose own progress
+	// trails the merged output by more than this many ticks receives an
+	// "FF <t>" line and may skip elements that end by t. Negative disables.
+	FeedbackLag temporal.Time
+}
+
+// New builds a server merging with the given algorithm case, listening on
+// addr (e.g. "127.0.0.1:0"). Feedback is disabled; use NewWithOptions to
+// enable it.
+func New(addr string, c core.Case) (*Server, error) {
+	return NewWithOptions(addr, Options{Case: c, FeedbackLag: -1})
+}
+
+// NewWithOptions builds a server with explicit options.
+func NewWithOptions(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:       ln,
+		subs:     make(map[int]chan temporal.Element),
+		pubConns: make(map[core.StreamID]net.Conn),
+	}
+	var opOpts []core.OperatorOption
+	if opts.FeedbackLag >= 0 {
+		opOpts = append(opOpts, core.WithFeedback(s.signalFastForward, opts.FeedbackLag))
+	}
+	s.op = core.NewOperator(core.New(opts.Case, s.broadcast), opOpts...)
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// signalFastForward runs under s.mu (merge processing holds the lock).
+func (s *Server) signalFastForward(f core.Feedback) {
+	conn, ok := s.pubConns[f.Stream]
+	if !ok {
+		return
+	}
+	// Best effort; a slow or dead publisher is detached by its own handler.
+	fmt.Fprintf(conn, "FF %d\n", int64(f.T))
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes subscriber channels, and waits for handler
+// goroutines to finish.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for id, ch := range s.subs {
+			close(ch)
+			delete(s.subs, id)
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Stats returns the merge counters (snapshot under the lock).
+func (s *Server) Stats() core.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return *s.op.Merger().Stats()
+}
+
+// MaxStable returns the merged output's stable point.
+func (s *Server) MaxStable() temporal.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.op.MaxStable()
+}
+
+// Publishers returns the number of attached publishers.
+func (s *Server) Publishers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pubCount
+}
+
+// broadcast runs under s.mu (merge processing holds the lock).
+func (s *Server) broadcast(e temporal.Element) {
+	s.backlog = append(s.backlog, e)
+	for id, ch := range s.subs {
+		select {
+		case ch <- e:
+		default:
+			// Slow subscriber: drop it rather than stall the merge.
+			close(ch)
+			delete(s.subs, id)
+		}
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !r.Scan() {
+		return
+	}
+	role, arg, err := parseHello(r.Text())
+	if err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
+		return
+	}
+	switch role {
+	case "PUB":
+		s.servePublisher(conn, r, arg)
+	case "SUB":
+		s.serveSubscriber(conn)
+	}
+}
+
+func parseHello(line string) (role string, joinTime temporal.Time, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "HELLO" {
+		return "", 0, errors.New("expected HELLO PUB <joinTime> or HELLO SUB")
+	}
+	switch fields[1] {
+	case "SUB":
+		return "SUB", 0, nil
+	case "PUB":
+		jt := temporal.MinTime
+		if len(fields) >= 3 {
+			v, perr := strconv.ParseInt(fields[2], 10, 64)
+			if perr != nil {
+				return "", 0, fmt.Errorf("bad join time %q", fields[2])
+			}
+			jt = temporal.Time(v)
+		}
+		return "PUB", jt, nil
+	}
+	return "", 0, fmt.Errorf("unknown role %q", fields[1])
+}
+
+func (s *Server) servePublisher(conn net.Conn, r *bufio.Scanner, joinTime temporal.Time) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	id := s.op.Attach(joinTime)
+	s.pubConns[id] = conn
+	s.pubCount++
+	s.mu.Unlock()
+	fmt.Fprintf(conn, "OK %d\n", id)
+
+	defer func() {
+		s.mu.Lock()
+		s.op.Detach(id)
+		delete(s.pubConns, id)
+		s.pubCount--
+		s.mu.Unlock()
+	}()
+	for r.Scan() {
+		line := r.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		e, err := temporal.UnmarshalElement(line)
+		if err != nil {
+			fmt.Fprintf(conn, "ERR %v\n", err)
+			return
+		}
+		s.mu.Lock()
+		perr := s.op.Process(id, e)
+		s.mu.Unlock()
+		if perr != nil {
+			fmt.Fprintf(conn, "ERR %v\n", perr)
+			return
+		}
+	}
+}
+
+func (s *Server) serveSubscriber(conn net.Conn) {
+	// Register and replay the merged history so far.
+	ch := make(chan temporal.Element, 4096)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	id := s.nextSub
+	s.nextSub++
+	history := append(temporal.Stream(nil), s.backlog...)
+	s.subs[id] = ch
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		if c, ok := s.subs[id]; ok {
+			close(c)
+			delete(s.subs, id)
+		}
+		s.mu.Unlock()
+	}()
+
+	w := bufio.NewWriter(conn)
+	fmt.Fprintf(w, "OK SUB\n")
+	write := func(e temporal.Element) bool {
+		line, err := temporal.MarshalElement(e)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(line); err != nil {
+			return false
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return false
+		}
+		return true
+	}
+	for _, e := range history {
+		if !write(e) {
+			return
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return
+	}
+	for e := range ch {
+		if !write(e) {
+			return
+		}
+		// Flush when the channel drains, batching bursts.
+		if len(ch) == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+	w.Flush()
+}

@@ -1,0 +1,361 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New("127.0.0.1:0", core.CaseR3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func serverScript(seed int64) *gen.Script {
+	return gen.NewScript(gen.Config{
+		Events: 200, Seed: seed, EventDuration: 60, MaxGap: 8,
+		Revisions: 0.4, RemoveProb: 0.2, PayloadBytes: 12,
+	})
+}
+
+// collect drains a subscriber until the merged stream reaches stable(∞) or
+// the timeout hits.
+func collect(t *testing.T, sub *Subscriber) temporal.Stream {
+	t.Helper()
+	var out temporal.Stream
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			e, ok := sub.Next()
+			if !ok {
+				return
+			}
+			out = append(out, e)
+			if e.Kind == temporal.KindStable && e.T() == temporal.Infinity {
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for merged stream completion")
+	}
+	return out
+}
+
+func TestServerMergesTwoPublishers(t *testing.T) {
+	s := newTestServer(t)
+	sc := serverScript(1)
+	want := sc.TDB()
+
+	sub, err := Subscribe(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := Connect(s.Addr(), temporal.MinTime)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer p.Close()
+			stream := sc.Render(gen.RenderOptions{Seed: int64(10 + i), Disorder: 0.3, StableFreq: 0.05})
+			if err := p.SendStream(stream); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	merged := collect(t, sub)
+	wg.Wait()
+
+	got, err := temporal.Reconstitute(merged)
+	if err != nil {
+		t.Fatalf("merged stream invalid: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("merged TDB differs:\n got %v\nwant %v", got, want)
+	}
+	if st := s.Stats(); st.ConsistencyWarnings != 0 {
+		t.Fatalf("consistency warnings: %d", st.ConsistencyWarnings)
+	}
+}
+
+func TestServerPublisherFailover(t *testing.T) {
+	s := newTestServer(t)
+	sc := serverScript(2)
+	want := sc.TDB()
+
+	sub, err := Subscribe(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	full := sc.Render(gen.RenderOptions{Seed: 21, Disorder: 0.2, StableFreq: 0.05})
+	partial := sc.Render(gen.RenderOptions{Seed: 22, Disorder: 0.2, StableFreq: 0.05})
+
+	// Publisher A dies a third of the way through.
+	pa, err := Connect(s.Addr(), temporal.MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range partial[:len(partial)/3] {
+		if err := pa.Send(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pa.Close() // abrupt failure: server detaches the stream
+
+	// Publisher B carries the query to completion.
+	pb, err := Connect(s.Addr(), temporal.MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Close()
+	if err := pb.SendStream(full); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := collect(t, sub)
+	got, err := temporal.Reconstitute(merged)
+	if err != nil {
+		t.Fatalf("merged stream invalid: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("merged TDB differs after failover")
+	}
+}
+
+func TestServerLateSubscriberGetsHistory(t *testing.T) {
+	s := newTestServer(t)
+	sc := serverScript(3)
+
+	p, err := Connect(s.Addr(), temporal.MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	stream := sc.Render(gen.RenderOptions{Seed: 31, Disorder: 0.2, StableFreq: 0.05})
+	if err := p.SendStream(stream); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the server has absorbed everything.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.MaxStable() != temporal.Infinity {
+		if time.Now().After(deadline) {
+			t.Fatal("server did not reach stable(∞)")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A subscriber connecting after the fact still sees the whole merge.
+	sub, err := Subscribe(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	merged := collect(t, sub)
+	got, err := temporal.Reconstitute(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(sc.TDB()) {
+		t.Fatal("late subscriber saw a different TDB")
+	}
+}
+
+func TestServerRejectsBadHello(t *testing.T) {
+	if _, _, err := parseHello("HELLO NOPE"); err == nil {
+		t.Error("unknown role accepted")
+	}
+	if _, _, err := parseHello("GARBAGE"); err == nil {
+		t.Error("garbage hello accepted")
+	}
+	if _, _, err := parseHello("HELLO PUB abc"); err == nil {
+		t.Error("bad join time accepted")
+	}
+	if role, jt, err := parseHello("HELLO PUB 42"); err != nil || role != "PUB" || jt != 42 {
+		t.Errorf("parseHello = %v %v %v", role, jt, err)
+	}
+	if role, _, err := parseHello("HELLO SUB"); err != nil || role != "SUB" {
+		t.Errorf("parseHello SUB failed: %v", err)
+	}
+}
+
+func TestServerPublisherCount(t *testing.T) {
+	s := newTestServer(t)
+	p1, err := Connect(s.Addr(), temporal.MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Connect(s.Addr(), temporal.MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Publishers() != 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := s.Publishers(); got != 2 {
+		t.Fatalf("publishers = %d, want 2", got)
+	}
+	p1.Close()
+	for s.Publishers() != 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := s.Publishers(); got != 1 {
+		t.Fatalf("publishers after close = %d, want 1", got)
+	}
+	p2.Close()
+}
+
+func TestServerNetworkFeedback(t *testing.T) {
+	s, err := NewWithOptions("127.0.0.1:0", Options{Case: core.CaseR3, FeedbackLag: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	fast, err := Connect(s.Addr(), temporal.MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	slow, err := Connect(s.Addr(), temporal.MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+
+	// The fast replica races ahead and advances the merged stable point;
+	// the slow replica must receive the fast-forward watermark.
+	if err := fast.SendStream(temporal.Stream{
+		temporal.Insert(temporal.P(1), 1, 10),
+		temporal.Stable(500),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for slow.FastForward() != 500 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slow publisher never received feedback (ff=%v)", slow.FastForward())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The slow replica can now skip dead work.
+	if !slow.ShouldSkip(temporal.Insert(temporal.P(2), 10, 400)) {
+		t.Error("element ending before the watermark should be skippable")
+	}
+	if slow.ShouldSkip(temporal.Insert(temporal.P(2), 10, 600)) {
+		t.Error("element reaching past the watermark must not be skipped")
+	}
+	if slow.ShouldSkip(temporal.Stable(10)) {
+		t.Error("stables are never skipped")
+	}
+	if !slow.ShouldSkip(temporal.Adjust(temporal.P(2), 10, 300, 200)) {
+		t.Error("stale adjust should be skippable")
+	}
+	if fast.FastForward() != 500 && fast.FastForward() != temporal.MinTime {
+		t.Errorf("fast publisher ff = %v", fast.FastForward())
+	}
+}
+
+func TestServerWireErrors(t *testing.T) {
+	s := newTestServer(t)
+	// Garbage hello over the wire is refused.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "GARBAGE\n")
+	line, _ := bufio.NewReader(conn).ReadString('\n')
+	if !strings.HasPrefix(line, "ERR") {
+		t.Errorf("expected ERR, got %q", line)
+	}
+	conn.Close()
+
+	// A publisher sending a non-JSON line gets an error and is detached.
+	conn2, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn2)
+	fmt.Fprintf(conn2, "HELLO PUB %d\n", int64(temporal.MinTime))
+	if ok, _ := r.ReadString('\n'); !strings.HasPrefix(ok, "OK") {
+		t.Fatalf("handshake failed: %q", ok)
+	}
+	fmt.Fprintf(conn2, "not-json\n")
+	line2, _ := r.ReadString('\n')
+	if !strings.HasPrefix(line2, "ERR") {
+		t.Errorf("expected ERR for bad element, got %q", line2)
+	}
+	conn2.Close()
+
+	// Connecting to a dead address fails cleanly.
+	if _, err := Connect("127.0.0.1:1", temporal.MinTime); err == nil {
+		t.Error("connect to dead address should fail")
+	}
+	if _, err := Subscribe("127.0.0.1:1"); err == nil {
+		t.Error("subscribe to dead address should fail")
+	}
+}
+
+func TestServerClosedRefusesClients(t *testing.T) {
+	s, err := New("127.0.0.1:0", core.CaseR3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	s.Close()
+	if _, err := Connect(addr, temporal.MinTime); err == nil {
+		t.Error("publisher should fail against a closed server")
+	}
+	// Closing twice is safe.
+	s.Close()
+}
+
+func TestSubscriberRejectedHandshake(t *testing.T) {
+	// A raw listener that refuses everything.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(c, "ERR nope\n")
+			c.Close()
+		}
+	}()
+	if _, err := Subscribe(ln.Addr().String()); err == nil {
+		t.Error("subscriber should reject a refused handshake")
+	}
+	if _, err := Connect(ln.Addr().String(), temporal.MinTime); err == nil {
+		t.Error("publisher should reject a refused handshake")
+	}
+}

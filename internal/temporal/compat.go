@@ -1,0 +1,266 @@
+package temporal
+
+import "fmt"
+
+// This file implements the input/output compatibility conditions of paper
+// Section III-D as an executable oracle. Property tests run the oracle after
+// every element an LMerge implementation emits, so the algorithms are
+// continuously validated against the paper's formal criterion rather than
+// only against end-to-end equivalence.
+//
+// Notation: L is the output's stable point, Lm input m's stable point.
+
+// CompatError reports a violated compatibility condition.
+type CompatError struct {
+	Condition string // "C1", "C2", "C3"
+	Detail    string
+}
+
+func (e *CompatError) Error() string {
+	return fmt.Sprintf("compatibility %s violated: %s", e.Condition, e.Detail)
+}
+
+func compatErrf(cond, format string, args ...any) error {
+	return &CompatError{Condition: cond, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CheckCompatR3 verifies that output TDB o is compatible with the mutually
+// consistent input TDBs under the R3 restrictions ((Vs, Payload) a key, all
+// element kinds allowed). It implements conditions C1–C3 of Sec. III-D.
+//
+// Note on C2's half-frozen bullet: the paper's text reads "the event is HF
+// and Lm ≤ L", but the justification it gives ("the output event can be
+// adjusted to match any changes in TDBm") requires the opposite inequality:
+// input m can move the event's end anywhere ≥ Lm, and the output can follow
+// only if L ≤ Lm. We implement L ≤ Lm, which also makes the condition agree
+// with the paper's own simplification ("if L tracks the largest Lm ... their
+// sets of HF events match on p and Vs").
+func CheckCompatR3(o *TDB, inputs []*TDB) error {
+	if len(inputs) == 0 {
+		return nil
+	}
+	l := o.Stable()
+
+	// C1: L must not exceed the maximum input stable point.
+	maxLm := MinTime
+	for _, in := range inputs {
+		maxLm = MaxT(maxLm, in.Stable())
+	}
+	if l > maxLm {
+		return compatErrf("C1", "output stable %v exceeds max input stable %v", l, maxLm)
+	}
+
+	// Index input events by key for the per-key checks.
+	type support struct {
+		ve Time
+		lm Time
+		st FreezeStatus
+	}
+	inputEvents := make(map[VsPayload][]support)
+	for _, in := range inputs {
+		lm := in.Stable()
+		for _, ev := range in.Events() {
+			inputEvents[ev.Key()] = append(inputEvents[ev.Key()], support{ve: ev.Ve, lm: lm, st: ev.Freeze(lm)})
+		}
+	}
+
+	// C2: what the output may contain.
+	seenKey := make(map[VsPayload]bool)
+	for _, ev := range o.Events() {
+		k := ev.Key()
+		if seenKey[k] {
+			return compatErrf("C2", "output has multiple events for key %v", k)
+		}
+		seenKey[k] = true
+		switch ev.Freeze(l) {
+		case Unfrozen:
+			// No constraint: the event can still be removed entirely.
+		case HalfFrozen:
+			ok := false
+			for _, s := range inputEvents[k] {
+				if s.st == HalfFrozen && l <= s.lm {
+					ok = true
+					break
+				}
+				if s.st == FullyFrozen && l <= s.ve {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return compatErrf("C2", "output HF event %v has no supporting input", ev)
+			}
+		case FullyFrozen:
+			ok := false
+			for _, s := range inputEvents[k] {
+				if s.st == FullyFrozen && s.ve == ev.Ve {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return compatErrf("C2", "output FF event %v not FF with same Ve in any input", ev)
+			}
+		}
+	}
+
+	// C3: what the output must contain.
+	for k, supports := range inputEvents {
+		outVe, outPresent := outputEventForKey(o, k)
+		// Case 1: some input holds the event fully frozen.
+		var ffVe Time
+		haveFF := false
+		maxHFLm := MinTime
+		haveHF := false
+		for _, s := range supports {
+			switch s.st {
+			case FullyFrozen:
+				haveFF = true
+				ffVe = s.ve
+			case HalfFrozen:
+				haveHF = true
+				maxHFLm = MaxT(maxHFLm, s.lm)
+			}
+		}
+		switch {
+		case haveFF:
+			switch {
+			case l <= k.Vs:
+				// The event can still be added to the output.
+			case k.Vs < l && l <= ffVe:
+				if !outPresent || FreezeOf(k.Vs, outVe, l) != HalfFrozen {
+					return compatErrf("C3", "input FF event %v/%v not trackable: output lacks HF event", k, ffVe)
+				}
+			default: // ffVe < l
+				if !outPresent || outVe != ffVe {
+					return compatErrf("C3", "input FF event %v/%v missing from output past stable point", k, ffVe)
+				}
+			}
+		case haveHF:
+			switch {
+			case l <= k.Vs:
+				// Still addable.
+			case k.Vs < l && l <= maxHFLm:
+				if !outPresent || FreezeOf(k.Vs, outVe, l) != HalfFrozen {
+					return compatErrf("C3", "input HF event %v not tracked: output lacks HF event", k)
+				}
+			default:
+				// l > maxHFLm: by C1 this can only happen when another input
+				// (without the event) has a larger stable point; then the
+				// event's absence there bounds nothing — but the output can
+				// no longer add the event, so it must already have it.
+				if !outPresent {
+					return compatErrf("C3", "input HF event %v unreachable: output stable %v beyond max holder stable %v", k, l, maxHFLm)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// outputEventForKey returns the Ve of the output's (unique under R3) event
+// for key k.
+func outputEventForKey(o *TDB, k VsPayload) (Time, bool) {
+	for ve := range o.CountsByKey(k) {
+		return ve, true
+	}
+	return 0, false
+}
+
+// CheckStrongR3 verifies the simplified condition of Sec. III-D for the
+// moment when the output stable point L equals the leader input's Lm: the two
+// TDBs have the same set of FF events, and their HF events match on
+// (Vs, Payload).
+func CheckStrongR3(o, leader *TDB) error {
+	l := o.Stable()
+	if ll := leader.Stable(); ll != l {
+		return fmt.Errorf("strong check requires equal stable points, output %v leader %v", l, ll)
+	}
+	outFF := make(map[Event]bool)
+	outHF := make(map[VsPayload]bool)
+	for _, ev := range o.Events() {
+		switch ev.Freeze(l) {
+		case FullyFrozen:
+			outFF[ev] = true
+		case HalfFrozen:
+			outHF[ev.Key()] = true
+		}
+	}
+	inFF := make(map[Event]bool)
+	inHF := make(map[VsPayload]bool)
+	for _, ev := range leader.Events() {
+		switch ev.Freeze(l) {
+		case FullyFrozen:
+			inFF[ev] = true
+		case HalfFrozen:
+			inHF[ev.Key()] = true
+		}
+	}
+	if len(outFF) != len(inFF) {
+		return compatErrf("strong", "FF sets differ in size: output %d leader %d", len(outFF), len(inFF))
+	}
+	for ev := range inFF {
+		if !outFF[ev] {
+			return compatErrf("strong", "leader FF event %v missing from output", ev)
+		}
+	}
+	if len(outHF) != len(inHF) {
+		return compatErrf("strong", "HF key sets differ in size: output %d leader %d", len(outHF), len(inHF))
+	}
+	for k := range inHF {
+		if !outHF[k] {
+			return compatErrf("strong", "leader HF key %v missing from output", k)
+		}
+	}
+	return nil
+}
+
+// CheckStrongR4 verifies the R4 conformance condition from the end of
+// Sec. III-D for the moment when the output's stable point tracks the leader
+// input's: the output must contain all FF events of the leader with equal
+// multiplicity, and an equal number of HF events for each (Vs, Payload).
+func CheckStrongR4(o, leader *TDB) error {
+	l := o.Stable()
+	if ll := leader.Stable(); ll != l {
+		return fmt.Errorf("strong check requires equal stable points, output %v leader %v", l, ll)
+	}
+	ffCount := func(t *TDB) map[Event]int {
+		out := make(map[Event]int)
+		for _, ev := range t.Events() {
+			if ev.Freeze(l) == FullyFrozen {
+				out[ev] = t.Count(ev)
+			}
+		}
+		return out
+	}
+	hfCount := func(t *TDB) map[VsPayload]int {
+		out := make(map[VsPayload]int)
+		for _, ev := range t.Events() {
+			if ev.Freeze(l) == HalfFrozen {
+				out[ev.Key()] += t.Count(ev)
+			}
+		}
+		return out
+	}
+	oFF, iFF := ffCount(o), ffCount(leader)
+	if len(oFF) != len(iFF) {
+		return compatErrf("strongR4", "FF multisets differ in support: output %d leader %d", len(oFF), len(iFF))
+	}
+	for ev, c := range iFF {
+		if oFF[ev] != c {
+			return compatErrf("strongR4", "FF event %v count output %d leader %d", ev, oFF[ev], c)
+		}
+	}
+	oHF, iHF := hfCount(o), hfCount(leader)
+	for k, c := range iHF {
+		if oHF[k] != c {
+			return compatErrf("strongR4", "HF key %v count output %d leader %d", k, oHF[k], c)
+		}
+	}
+	for k, c := range oHF {
+		if iHF[k] != c {
+			return compatErrf("strongR4", "HF key %v count output %d leader %d", k, c, iHF[k])
+		}
+	}
+	return nil
+}

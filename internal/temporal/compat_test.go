@@ -1,0 +1,190 @@
+package temporal
+
+import "testing"
+
+// buildTDB constructs a TDB with the given events and stable point, for the
+// worked examples of Sec. III-D.
+func buildTDB(stable Time, events ...Event) *TDB {
+	t := NewTDB()
+	for _, ev := range events {
+		t.add(ev)
+	}
+	t.stable = stable
+	return t
+}
+
+// secIIIDInputs returns I1 (last:14) and I2 (last:11) from Sec. III-D.
+func secIIIDInputs() []*TDB {
+	i1 := buildTDB(14,
+		Ev(P('A'), 2, 16),
+		Ev(P('B'), 3, 10),
+		Ev(P('C'), 4, 18),
+		Ev(P('D'), 15, 20),
+	)
+	i2 := buildTDB(11,
+		Ev(P('A'), 2, 12),
+		Ev(P('B'), 3, 10),
+		Ev(P('C'), 4, 18),
+		Ev(P('E'), 17, 21),
+	)
+	return []*TDB{i1, i2}
+}
+
+func TestCompatibilityExamples(t *testing.T) {
+	inputs := secIIIDInputs()
+
+	// O1 (last:11): conservative tracking — compatible.
+	o1 := buildTDB(11,
+		Ev(P('A'), 2, Infinity),
+		Ev(P('B'), 3, 10),
+		Ev(P('C'), 4, Infinity),
+	)
+	if err := CheckCompatR3(o1, inputs); err != nil {
+		t.Errorf("O1 should be compatible: %v", err)
+	}
+
+	// O2 (last:14): aggressive, includes unfrozen events — compatible.
+	o2 := buildTDB(14,
+		Ev(P('A'), 2, 16),
+		Ev(P('B'), 3, 10),
+		Ev(P('C'), 4, 18),
+		Ev(P('D'), 15, 20),
+		Ev(P('E'), 17, 21),
+	)
+	if err := CheckCompatR3(o2, inputs); err != nil {
+		t.Errorf("O2 should be compatible: %v", err)
+	}
+
+	// O3 (last:13): incompatible for two reasons (frozen A contradicting I1;
+	// missing B past the stable point).
+	o3 := buildTDB(13,
+		Ev(P('A'), 2, 12),
+		Ev(P('C'), 4, 18),
+		Ev(P('D'), 15, 20),
+	)
+	if err := CheckCompatR3(o3, inputs); err == nil {
+		t.Error("O3 should be incompatible")
+	}
+}
+
+func TestCompatC1(t *testing.T) {
+	inputs := []*TDB{buildTDB(5), buildTDB(8)}
+	if err := CheckCompatR3(buildTDB(9), inputs); err == nil {
+		t.Error("output stable beyond every input should violate C1")
+	}
+	if err := CheckCompatR3(buildTDB(8), inputs); err != nil {
+		t.Errorf("output stable at max input stable is legal: %v", err)
+	}
+}
+
+func TestCompatC2DuplicatedKey(t *testing.T) {
+	in := buildTDB(0, Ev(P(1), 5, 10))
+	out := buildTDB(0, Ev(P(1), 5, 10), Ev(P(1), 5, 12))
+	if err := CheckCompatR3(out, []*TDB{in}); err == nil {
+		t.Error("duplicate key in output should violate C2 under R3")
+	}
+}
+
+func TestCompatC2UnsupportedHF(t *testing.T) {
+	// Output invents an HF event with no input support.
+	in := buildTDB(10, Ev(P(1), 2, 20))
+	out := buildTDB(10, Ev(P(1), 2, 20), Ev(P(2), 3, 15))
+	if err := CheckCompatR3(out, []*TDB{in}); err == nil {
+		t.Error("fabricated HF output event should violate C2")
+	}
+	// Unfrozen fabrications are fine: they can be removed later.
+	out2 := buildTDB(10, Ev(P(1), 2, 20), Ev(P(2), 12, 15))
+	if err := CheckCompatR3(out2, []*TDB{in}); err != nil {
+		t.Errorf("unfrozen extra event places no constraint: %v", err)
+	}
+}
+
+func TestCompatC2FFRequiresExactMatch(t *testing.T) {
+	in := buildTDB(12, Ev(P(1), 2, 8)) // FF in input (8 < 12)
+	// Output froze the event with a different Ve.
+	out := buildTDB(12, Ev(P(1), 2, 9))
+	if err := CheckCompatR3(out, []*TDB{in}); err == nil {
+		t.Error("output FF event with wrong Ve should violate C2/C3")
+	}
+	ok := buildTDB(12, Ev(P(1), 2, 8))
+	if err := CheckCompatR3(ok, []*TDB{in}); err != nil {
+		t.Errorf("matching FF event is compatible: %v", err)
+	}
+}
+
+func TestCompatC3MissingFrozenEvent(t *testing.T) {
+	in := buildTDB(12, Ev(P(1), 2, 8)) // FF
+	out := buildTDB(12)                // lacks it, and can no longer add it
+	if err := CheckCompatR3(out, []*TDB{in}); err == nil {
+		t.Error("missing FF input event past output stable should violate C3")
+	}
+	// If the output has not advanced past Vs, the event can still be added.
+	out2 := buildTDB(2)
+	if err := CheckCompatR3(out2, []*TDB{in}); err != nil {
+		t.Errorf("event still addable before stable reaches Vs: %v", err)
+	}
+}
+
+func TestCompatC3HFTracking(t *testing.T) {
+	in := buildTDB(10, Ev(P(1), 2, 20)) // HF, Lm = 10
+	// Output advanced to 9 (≤ Lm) and holds an HF event: compatible.
+	out := buildTDB(9, Ev(P(1), 2, Infinity))
+	if err := CheckCompatR3(out, []*TDB{in}); err != nil {
+		t.Errorf("HF tracking should be compatible: %v", err)
+	}
+	// Output advanced to 9 without the event: C3 violation (cannot add).
+	out2 := buildTDB(9)
+	if err := CheckCompatR3(out2, []*TDB{in}); err == nil {
+		t.Error("missing HF event past output stable should violate C3")
+	}
+}
+
+func TestStrongR3(t *testing.T) {
+	leader := buildTDB(14,
+		Ev(P('A'), 2, 16),  // HF
+		Ev(P('B'), 3, 10),  // FF
+		Ev(P('D'), 15, 20), // UF
+	)
+	good := buildTDB(14,
+		Ev(P('A'), 2, Infinity), // HF matches on key
+		Ev(P('B'), 3, 10),       // FF matches exactly
+	)
+	if err := CheckStrongR3(good, leader); err != nil {
+		t.Errorf("strong condition should hold: %v", err)
+	}
+	badFF := buildTDB(14,
+		Ev(P('A'), 2, Infinity),
+		Ev(P('B'), 3, 11), // wrong Ve: {B,3,11} is FF but not in leader
+	)
+	if err := CheckStrongR3(badFF, leader); err == nil {
+		t.Error("mismatched FF sets should fail strong condition")
+	}
+	missingHF := buildTDB(14, Ev(P('B'), 3, 10))
+	if err := CheckStrongR3(missingHF, leader); err == nil {
+		t.Error("missing HF key should fail strong condition")
+	}
+	if err := CheckStrongR3(buildTDB(13), leader); err == nil {
+		t.Error("mismatched stable points should error")
+	}
+}
+
+func TestStrongR4Multiplicity(t *testing.T) {
+	leader := buildTDB(14,
+		Ev(P('A'), 2, 10), Ev(P('A'), 2, 10), // FF ×2
+		Ev(P('A'), 2, 16), // HF
+	)
+	good := buildTDB(14, Ev(P('A'), 2, 10), Ev(P('A'), 2, 10), Ev(P('A'), 2, 16))
+	if err := CheckStrongR4(good, leader); err != nil {
+		t.Errorf("matching multiplicities should pass: %v", err)
+	}
+	bad := buildTDB(14, Ev(P('A'), 2, 10), Ev(P('A'), 2, 16))
+	if err := CheckStrongR4(bad, leader); err == nil {
+		t.Error("FF multiplicity mismatch should fail")
+	}
+}
+
+func TestCompatNoInputs(t *testing.T) {
+	if err := CheckCompatR3(buildTDB(5, Ev(P(1), 1, 3)), nil); err != nil {
+		t.Errorf("no inputs imposes no constraints: %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+package temporal
+
+import "fmt"
+
+// Kind discriminates the three element types of the StreamInsight-style
+// physical stream model (paper Example 5).
+type Kind uint8
+
+const (
+	// KindInsert adds event ⟨p, Vs, Ve⟩ to the TDB. Ve may be Infinity.
+	KindInsert Kind = iota
+	// KindAdjust changes event ⟨p, Vs, VOld⟩ to ⟨p, Vs, Ve⟩; if Ve == Vs the
+	// event is removed entirely.
+	KindAdjust
+	// KindStable asserts the TDB before time T is stable: no future insert
+	// with Vs < T, and no future adjust with VOld < T or Ve < T.
+	KindStable
+)
+
+// String returns the element-kind mnemonic used in diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindInsert:
+		return "insert"
+	case KindAdjust:
+		return "adjust"
+	case KindStable:
+		return "stable"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Element is one unit of a physical stream. The meaning of the timestamp
+// fields depends on Kind:
+//
+//	insert: Payload, Vs, Ve           (VOld unused)
+//	adjust: Payload, Vs, VOld → Ve
+//	stable: T = Ve                    (Payload, Vs, VOld unused)
+type Element struct {
+	Kind    Kind
+	Payload Payload
+	Vs      Time
+	VOld    Time
+	Ve      Time
+}
+
+// Insert constructs an insert element for event ⟨p, [vs, ve)⟩.
+func Insert(p Payload, vs, ve Time) Element {
+	return Element{Kind: KindInsert, Payload: p, Vs: vs, Ve: ve}
+}
+
+// Adjust constructs an adjust element that retargets ⟨p, vs, vold⟩ to end at ve.
+func Adjust(p Payload, vs, vold, ve Time) Element {
+	return Element{Kind: KindAdjust, Payload: p, Vs: vs, VOld: vold, Ve: ve}
+}
+
+// Stable constructs a stable (progress/CTI) element for time t.
+func Stable(t Time) Element {
+	return Element{Kind: KindStable, Ve: t}
+}
+
+// T returns the stability timestamp of a stable element.
+func (e Element) T() Time { return e.Ve }
+
+// Key returns the (Vs, Payload) combination of an insert or adjust element.
+func (e Element) Key() VsPayload { return VsPayload{Vs: e.Vs, Payload: e.Payload} }
+
+// IsRemoval reports whether an adjust element deletes its event (Ve == Vs).
+func (e Element) IsRemoval() bool { return e.Kind == KindAdjust && e.Ve == e.Vs }
+
+// SizeBytes approximates the wire/memory footprint of the element.
+func (e Element) SizeBytes() int { return 1 + 3*8 + e.Payload.SizeBytes() }
+
+// String renders the element in the paper's notation, e.g. insert(A, 6, 12).
+func (e Element) String() string {
+	switch e.Kind {
+	case KindInsert:
+		return fmt.Sprintf("insert(%v, %v, %v)", e.Payload, e.Vs, e.Ve)
+	case KindAdjust:
+		return fmt.Sprintf("adjust(%v, %v, %v, %v)", e.Payload, e.Vs, e.VOld, e.Ve)
+	case KindStable:
+		return fmt.Sprintf("stable(%v)", e.Ve)
+	}
+	return fmt.Sprintf("element(kind=%d)", e.Kind)
+}
+
+// Stream is a finite physical-stream prefix: a sequence of elements.
+type Stream []Element
+
+// Clone returns an independent copy of the prefix.
+func (s Stream) Clone() Stream {
+	out := make(Stream, len(s))
+	copy(out, s)
+	return out
+}
+
+// Inserts counts insert elements in the prefix.
+func (s Stream) Inserts() int { return s.count(KindInsert) }
+
+// Adjusts counts adjust elements in the prefix.
+func (s Stream) Adjusts() int { return s.count(KindAdjust) }
+
+// Stables counts stable elements in the prefix.
+func (s Stream) Stables() int { return s.count(KindStable) }
+
+func (s Stream) count(k Kind) int {
+	n := 0
+	for _, e := range s {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// LastStable returns the largest stable timestamp in the prefix, or MinTime
+// if the prefix contains no stable element.
+func (s Stream) LastStable() Time {
+	last := MinTime
+	for _, e := range s {
+		if e.Kind == KindStable && e.Ve > last {
+			last = e.Ve
+		}
+	}
+	return last
+}

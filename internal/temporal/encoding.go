@@ -1,0 +1,102 @@
+package temporal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Wire format: one JSON object per line, e.g.
+//
+//	{"k":"i","id":1,"data":"x","vs":10,"ve":20}
+//	{"k":"a","id":1,"data":"x","vs":10,"vold":20,"ve":25}
+//	{"k":"s","ve":30}
+//
+// Used by cmd/lmgen and cmd/lmcat to pipe streams between processes.
+
+type wireElement struct {
+	K    string `json:"k"`
+	ID   int64  `json:"id,omitempty"`
+	Data string `json:"data,omitempty"`
+	Vs   int64  `json:"vs,omitempty"`
+	VOld int64  `json:"vold,omitempty"`
+	Ve   int64  `json:"ve"`
+}
+
+// MarshalElement encodes one element as a JSON line (without newline).
+func MarshalElement(e Element) ([]byte, error) {
+	w := wireElement{ID: e.Payload.ID, Data: e.Payload.Data, Vs: int64(e.Vs), Ve: int64(e.Ve)}
+	switch e.Kind {
+	case KindInsert:
+		w.K = "i"
+	case KindAdjust:
+		w.K = "a"
+		w.VOld = int64(e.VOld)
+	case KindStable:
+		w = wireElement{K: "s", Ve: int64(e.Ve)}
+	default:
+		return nil, fmt.Errorf("temporal: unknown element kind %d", e.Kind)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalElement decodes one JSON line.
+func UnmarshalElement(data []byte) (Element, error) {
+	var w wireElement
+	if err := json.Unmarshal(data, &w); err != nil {
+		return Element{}, err
+	}
+	p := Payload{ID: w.ID, Data: w.Data}
+	switch w.K {
+	case "i":
+		return Insert(p, Time(w.Vs), Time(w.Ve)), nil
+	case "a":
+		return Adjust(p, Time(w.Vs), Time(w.VOld), Time(w.Ve)), nil
+	case "s":
+		return Stable(Time(w.Ve)), nil
+	}
+	return Element{}, fmt.Errorf("temporal: unknown element kind %q", w.K)
+}
+
+// WriteStream writes the stream as JSON lines.
+func WriteStream(w io.Writer, s Stream) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range s {
+		line, err := MarshalElement(e)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadStream reads JSON lines until EOF.
+func ReadStream(r io.Reader) (Stream, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out Stream
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		e, err := UnmarshalElement(b)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package temporal
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	in := Stream{
+		Insert(Payload{ID: 1, Data: "hello"}, 10, 20),
+		Adjust(Payload{ID: 1, Data: "hello"}, 10, 20, 25),
+		Insert(P(2), 12, Infinity),
+		Adjust(P(2), 12, Infinity, 12), // removal
+		Stable(30),
+		Stable(Infinity),
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("element %d: %v != %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalElement([]byte(`{`)); err == nil {
+		t.Error("bad JSON should error")
+	}
+	if _, err := UnmarshalElement([]byte(`{"k":"z","ve":1}`)); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if _, err := MarshalElement(Element{Kind: Kind(9)}); err == nil {
+		t.Error("unknown kind should fail to marshal")
+	}
+}
+
+func TestReadStreamSkipsBlankLines(t *testing.T) {
+	s, err := ReadStream(bytes.NewBufferString("\n{\"k\":\"s\",\"ve\":5}\n\n"))
+	if err != nil || len(s) != 1 || s[0] != Stable(5) {
+		t.Fatalf("got %v, %v", s, err)
+	}
+}
+
+func TestReadStreamReportsLine(t *testing.T) {
+	_, err := ReadStream(bytes.NewBufferString("{\"k\":\"s\",\"ve\":5}\nnot-json\n"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,70 @@
+package temporal
+
+import "fmt"
+
+// Event is a TDB event: a payload valid over [Vs, Ve).
+type Event struct {
+	Payload Payload
+	Vs      Time
+	Ve      Time
+}
+
+// Ev is shorthand for constructing an event in tests and examples.
+func Ev(p Payload, vs, ve Time) Event { return Event{Payload: p, Vs: vs, Ve: ve} }
+
+// Key returns the event's (Vs, Payload) combination.
+func (ev Event) Key() VsPayload { return VsPayload{Vs: ev.Vs, Payload: ev.Payload} }
+
+// Alive reports whether the event's lifetime covers instant t.
+func (ev Event) Alive(t Time) bool { return ev.Vs <= t && t < ev.Ve }
+
+// String renders the event as ⟨p, [Vs, Ve)⟩.
+func (ev Event) String() string {
+	return fmt.Sprintf("⟨%v, [%v, %v)⟩", ev.Payload, ev.Vs, ev.Ve)
+}
+
+// FreezeStatus classifies an event against a stable point L (paper Sec. III-C):
+// fully frozen events can never change again; half-frozen events are pinned
+// at (Vs, Payload) but their Ve may still move (not below L); unfrozen events
+// may be removed entirely.
+type FreezeStatus uint8
+
+const (
+	// Unfrozen: Vs >= L; the event may still be removed or arbitrarily adjusted.
+	Unfrozen FreezeStatus = iota
+	// HalfFrozen: Vs < L <= Ve; some event ⟨p, Vs, ·⟩ will exist forever, but
+	// its end time may still be adjusted (to any value >= L).
+	HalfFrozen
+	// FullyFrozen: Ve < L; no future adjust can alter the event.
+	FullyFrozen
+)
+
+// String returns UF/HF/FF, the paper's abbreviations.
+func (f FreezeStatus) String() string {
+	switch f {
+	case Unfrozen:
+		return "UF"
+	case HalfFrozen:
+		return "HF"
+	case FullyFrozen:
+		return "FF"
+	}
+	return fmt.Sprintf("freeze(%d)", uint8(f))
+}
+
+// Freeze returns the event's freeze status relative to stable point l.
+func (ev Event) Freeze(l Time) FreezeStatus {
+	return FreezeOf(ev.Vs, ev.Ve, l)
+}
+
+// FreezeOf classifies the interval [vs, ve) against stable point l.
+func FreezeOf(vs, ve, l Time) FreezeStatus {
+	switch {
+	case ve < l:
+		return FullyFrozen
+	case vs < l:
+		return HalfFrozen
+	default:
+		return Unfrozen
+	}
+}

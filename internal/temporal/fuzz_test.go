@@ -1,0 +1,76 @@
+package temporal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalElement: arbitrary bytes must never panic, and anything that
+// decodes must round-trip exactly.
+func FuzzUnmarshalElement(f *testing.F) {
+	seeds := Stream{
+		Insert(Payload{ID: 1, Data: "x"}, 1, 5),
+		Adjust(Payload{ID: -3, Data: ""}, 2, 9, 2),
+		Stable(Infinity),
+		Insert(P(0), 0, 0),
+	}
+	for _, e := range seeds {
+		line, err := MarshalElement(e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(line)
+	}
+	f.Add([]byte(`{"k":"i"`))
+	f.Add([]byte(`{"k":"q","ve":1}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := UnmarshalElement(data)
+		if err != nil {
+			return
+		}
+		line, err := MarshalElement(e)
+		if err != nil {
+			t.Fatalf("decoded element %v failed to re-encode: %v", e, err)
+		}
+		e2, err := UnmarshalElement(line)
+		if err != nil {
+			t.Fatalf("re-encoded element failed to decode: %v", err)
+		}
+		if e != e2 {
+			t.Fatalf("round trip changed element: %v -> %v", e, e2)
+		}
+	})
+}
+
+// FuzzReconstitute: arbitrary element sequences must either reconstitute or
+// be rejected with an error — never panic — and a valid prefix stays valid
+// under Clone/Equal.
+func FuzzReconstitute(f *testing.F) {
+	mk := func(s Stream) []byte {
+		var buf bytes.Buffer
+		if err := WriteStream(&buf, s); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(mk(Stream{Insert(P(1), 1, 5), Adjust(P(1), 1, 5, 9), Stable(Infinity)}))
+	f.Add(mk(Stream{Stable(3), Insert(P(1), 1, 5)}))
+	f.Add(mk(Stream{Adjust(P(9), 0, 0, 0)}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadStream(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		tdb, err := Reconstitute(s)
+		if err != nil {
+			return
+		}
+		if !tdb.Equal(tdb.Clone()) {
+			t.Fatal("TDB not equal to its own clone")
+		}
+		if tdb.Len() < 0 || len(tdb.Events()) > tdb.Len() {
+			t.Fatalf("inconsistent event accounting: %d distinct > %d total", len(tdb.Events()), tdb.Len())
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package temporal
+
+import "fmt"
+
+// This file implements the simple open/close stream representation of paper
+// Example 3 (corresponding to I-Streams/D-Streams in STREAM and Oracle CEP,
+// or positive/negative tuples in Nile) together with Example 4's
+// compatibility criterion. It demonstrates that the Logical Merge theory is
+// model-agnostic: Sec. III applies to any representation that reconstitutes
+// to a TDB.
+
+// OCKind discriminates open and close elements.
+type OCKind uint8
+
+const (
+	// OCOpen starts an event with payload P at time T.
+	OCOpen OCKind = iota
+	// OCClose ends the (unique active) event with payload P at time T.
+	OCClose
+)
+
+// OCElement is an open(p, Vs) or close(p, Ve) element. The model assumes at
+// most one event per payload is active at a time, and (under the Example 4
+// property) at most one close per open.
+type OCElement struct {
+	Kind OCKind
+	P    Payload
+	T    Time
+}
+
+// Open constructs an open(p, t) element.
+func Open(p Payload, t Time) OCElement { return OCElement{Kind: OCOpen, P: p, T: t} }
+
+// Close constructs a close(p, t) element.
+func Close(p Payload, t Time) OCElement { return OCElement{Kind: OCClose, P: p, T: t} }
+
+// String renders the element in the paper's notation.
+func (e OCElement) String() string {
+	if e.Kind == OCOpen {
+		return fmt.Sprintf("open(%v, %v)", e.P, e.T)
+	}
+	return fmt.Sprintf("close(%v, %v)", e.P, e.T)
+}
+
+// OCStream is a finite prefix of open/close elements.
+type OCStream []OCElement
+
+// OCReconstitute interprets a prefix under Example 3 semantics: an open
+// creates an event with Ve = Infinity; a close (or a later close revising an
+// earlier one, as in the paper's W[6]) sets the end time. It returns an
+// error for a close with no matching open or a duplicate open.
+func OCReconstitute(s OCStream) (*TDB, error) {
+	t := NewTDB()
+	openAt := make(map[Payload]Time)
+	closed := make(map[Payload]Time)
+	for i, e := range s {
+		switch e.Kind {
+		case OCOpen:
+			if _, dup := openAt[e.P]; dup {
+				return nil, fmt.Errorf("element %d: duplicate open for %v", i, e.P)
+			}
+			openAt[e.P] = e.T
+		case OCClose:
+			if _, ok := openAt[e.P]; !ok {
+				return nil, fmt.Errorf("element %d: close without open for %v", i, e.P)
+			}
+			// A repeated close revises the previous one (paper's W[6]).
+			closed[e.P] = e.T
+		}
+	}
+	for p, vs := range openAt {
+		ve := Infinity
+		if c, ok := closed[p]; ok {
+			ve = c
+		}
+		t.add(Event{Payload: p, Vs: vs, Ve: ve})
+	}
+	return t, nil
+}
+
+// OCSubset reports whether every element of a appears in b (as a multiset).
+// Under the at-most-one-close property of Example 4, O[j] ⊆ I[k] is exactly
+// the compatibility criterion for the open/close model.
+func OCSubset(a, b OCStream) bool {
+	counts := make(map[OCElement]int, len(b))
+	for _, e := range b {
+		counts[e]++
+	}
+	for _, e := range a {
+		if counts[e] == 0 {
+			return false
+		}
+		counts[e]--
+	}
+	return true
+}
+
+// OCMerger is the Logical Merge for the open/close model of Examples 3–4:
+// with at-most-one-close streams, the output is compatible exactly when it
+// is a sub-multiset of the union of the inputs, so the merger emits each
+// element the first time any input presents it.
+type OCMerger struct {
+	emitted map[OCElement]bool
+	out     OCStream
+}
+
+// NewOCMerger returns an empty open/close merger.
+func NewOCMerger() *OCMerger {
+	return &OCMerger{emitted: make(map[OCElement]bool)}
+}
+
+// Process consumes one element from any input and returns the elements
+// (zero or one) appended to the output.
+func (m *OCMerger) Process(e OCElement) []OCElement {
+	if m.emitted[e] {
+		return nil
+	}
+	m.emitted[e] = true
+	m.out = append(m.out, e)
+	return []OCElement{e}
+}
+
+// Output returns the merged output prefix so far.
+func (m *OCMerger) Output() OCStream { return m.out }

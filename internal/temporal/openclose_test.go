@@ -1,0 +1,105 @@
+package temporal
+
+import "testing"
+
+// The three equivalent prefixes of paper Example 3.
+func example3Prefixes() map[string]OCStream {
+	return map[string]OCStream{
+		"S[5]": {
+			Open(P('A'), 1), Open(P('B'), 2), Open(P('C'), 3),
+			Close(P('A'), 4), Close(P('B'), 5),
+		},
+		"U[5]": {
+			Open(P('A'), 1), Close(P('A'), 4), Open(P('B'), 2),
+			Close(P('B'), 5), Open(P('C'), 3),
+		},
+		"W[6]": {
+			Open(P('B'), 2), Close(P('B'), 6), Open(P('A'), 1),
+			Open(P('C'), 3), Close(P('A'), 4), Close(P('B'), 5),
+		},
+	}
+}
+
+func TestExample3Equivalence(t *testing.T) {
+	want := buildTDB(MinTime,
+		Ev(P('A'), 1, 4),
+		Ev(P('B'), 2, 5),
+		Ev(P('C'), 3, Infinity),
+	)
+	for name, s := range example3Prefixes() {
+		got, err := OCReconstitute(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s reconstitutes to %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestOCReconstituteErrors(t *testing.T) {
+	if _, err := OCReconstitute(OCStream{Close(P('A'), 4)}); err == nil {
+		t.Error("close without open should error")
+	}
+	if _, err := OCReconstitute(OCStream{Open(P('A'), 1), Open(P('A'), 2)}); err == nil {
+		t.Error("duplicate open should error")
+	}
+}
+
+func TestOCSubsetCompatibility(t *testing.T) {
+	// Example 4: with at-most-one-close streams, O[j] ⊆ I[k] is compatibility.
+	in := OCStream{Open(P('A'), 1), Open(P('B'), 2), Close(P('A'), 4)}
+	if !OCSubset(OCStream{Open(P('A'), 1)}, in) {
+		t.Error("prefix subset should hold")
+	}
+	if OCSubset(OCStream{Open(P('C'), 3)}, in) {
+		t.Error("foreign open is not a subset")
+	}
+	if OCSubset(OCStream{Close(P('A'), 5)}, in) {
+		t.Error("close with different time is not a subset")
+	}
+	// Multiset semantics: one occurrence in input supports only one in output.
+	if OCSubset(OCStream{Open(P('A'), 1), Open(P('A'), 1)}, in) {
+		t.Error("duplicate output element needs duplicate input support")
+	}
+}
+
+func TestOCMerger(t *testing.T) {
+	m := NewOCMerger()
+	prefixes := example3Prefixes()
+	s, u := prefixes["S[5]"], prefixes["U[5]"]
+	// Interleave delivery from two equivalent inputs.
+	for i := 0; i < len(s) || i < len(u); i++ {
+		if i < len(s) {
+			m.Process(s[i])
+		}
+		if i < len(u) {
+			m.Process(u[i])
+		}
+	}
+	out := m.Output()
+	// Output must be a sub-multiset of the union and reconstitute to the
+	// same TDB as the inputs.
+	union := append(s.cloneOC(), u...)
+	if !OCSubset(out, union) {
+		t.Error("merged output not a subset of input union")
+	}
+	got, err := OCReconstitute(out)
+	if err != nil {
+		t.Fatalf("merged output invalid: %v", err)
+	}
+	want, _ := OCReconstitute(s)
+	if !got.Equal(want) {
+		t.Errorf("merged output %v, want %v", got, want)
+	}
+	// No duplicates were emitted.
+	if len(out) != 5 {
+		t.Errorf("output has %d elements, want 5", len(out))
+	}
+}
+
+func (s OCStream) cloneOC() OCStream {
+	out := make(OCStream, len(s))
+	copy(out, s)
+	return out
+}

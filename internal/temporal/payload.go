@@ -1,0 +1,68 @@
+package temporal
+
+import "fmt"
+
+// Payload is the relational tuple carried by an event. Following the paper's
+// workload (Section VI-B) a payload has an integer field and a string field;
+// the pair identifies the tuple for matching inserts with adjusts.
+//
+// Payload is a comparable value type so it can key Go maps directly.
+type Payload struct {
+	// ID is the integer field (the generator draws it from [0, 400]).
+	ID int64
+	// Data is the string field (the generator uses 1000-byte strings).
+	Data string
+}
+
+// P is shorthand for constructing a payload with an empty Data field,
+// convenient in tests and examples mirroring the paper's A/B/C payloads.
+func P(id int64) Payload { return Payload{ID: id} }
+
+// Compare orders payloads by (ID, Data); it exists so (Vs, Payload) can key
+// ordered indexes such as the in2t/in3t red-black trees.
+func (p Payload) Compare(q Payload) int {
+	switch {
+	case p.ID < q.ID:
+		return -1
+	case p.ID > q.ID:
+		return 1
+	case p.Data < q.Data:
+		return -1
+	case p.Data > q.Data:
+		return 1
+	}
+	return 0
+}
+
+// SizeBytes approximates the in-memory footprint of the payload, used by the
+// memory-accounting experiments (Figs. 2, 6, 7).
+func (p Payload) SizeBytes() int { return 8 + len(p.Data) }
+
+// String renders small test payloads compactly: ID alone if Data is empty.
+func (p Payload) String() string {
+	if p.Data == "" {
+		return fmt.Sprintf("%d", p.ID)
+	}
+	if len(p.Data) > 8 {
+		return fmt.Sprintf("%d:%s…", p.ID, p.Data[:8])
+	}
+	return fmt.Sprintf("%d:%s", p.ID, p.Data)
+}
+
+// VsPayload is the (Vs, Payload) combination that cases R2 and R3 treat as a
+// key of the TDB, and that the in2t/in3t top tiers index.
+type VsPayload struct {
+	Vs      Time
+	Payload Payload
+}
+
+// Compare orders VsPayload keys by (Vs, ID, Data).
+func (k VsPayload) Compare(o VsPayload) int {
+	switch {
+	case k.Vs < o.Vs:
+		return -1
+	case k.Vs > o.Vs:
+		return 1
+	}
+	return k.Payload.Compare(o.Payload)
+}

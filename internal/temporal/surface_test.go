@@ -1,0 +1,116 @@
+package temporal
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin down the small accessor/rendering surface that the rest of
+// the repository exercises only indirectly.
+
+func TestElementAccessors(t *testing.T) {
+	e := Insert(Payload{ID: 1, Data: "abc"}, 5, 9)
+	if e.Key() != (VsPayload{Vs: 5, Payload: Payload{ID: 1, Data: "abc"}}) {
+		t.Error("Key wrong")
+	}
+	if e.SizeBytes() != 1+24+8+3 {
+		t.Errorf("SizeBytes = %d", e.SizeBytes())
+	}
+	if Stable(7).T() != 7 {
+		t.Error("T wrong")
+	}
+	if Adjust(P(1), 2, 5, 2).IsRemoval() != true || Adjust(P(1), 2, 5, 6).IsRemoval() {
+		t.Error("IsRemoval wrong")
+	}
+	s := Stream{e, Stable(7)}
+	c := s.Clone()
+	c[0] = Stable(1)
+	if s[0] != e {
+		t.Error("Clone not independent")
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	ev := Ev(P(1), 5, 9)
+	if !ev.Alive(5) || !ev.Alive(8) || ev.Alive(9) || ev.Alive(4) {
+		t.Error("Alive wrong at interval edges")
+	}
+	if !strings.Contains(ev.String(), "[5, 9)") {
+		t.Errorf("Event.String = %q", ev.String())
+	}
+	if Unfrozen.String() != "UF" || HalfFrozen.String() != "HF" || FullyFrozen.String() != "FF" {
+		t.Error("FreezeStatus strings wrong")
+	}
+	if !strings.Contains(FreezeStatus(9).String(), "9") {
+		t.Error("out-of-range FreezeStatus should print its number")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInsert.String() != "insert" || KindAdjust.String() != "adjust" || KindStable.String() != "stable" {
+		t.Error("Kind strings wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown Kind should print its number")
+	}
+}
+
+func TestPayloadRendering(t *testing.T) {
+	if P(5).String() != "5" {
+		t.Errorf("P(5) = %q", P(5).String())
+	}
+	if got := (Payload{ID: 1, Data: "ab"}).String(); got != "1:ab" {
+		t.Errorf("short payload = %q", got)
+	}
+	long := Payload{ID: 1, Data: "abcdefghijkl"}
+	if got := long.String(); !strings.HasPrefix(got, "1:abcdefgh") || !strings.HasSuffix(got, "…") {
+		t.Errorf("long payload = %q", got)
+	}
+	if (Payload{ID: 1, Data: "xyz"}).SizeBytes() != 11 {
+		t.Error("Payload.SizeBytes wrong")
+	}
+}
+
+func TestTDBString(t *testing.T) {
+	tdb := NewTDB()
+	mustApply(t, tdb, Insert(P(1), 1, 5))
+	mustApply(t, tdb, Insert(P(1), 1, 5))
+	mustApply(t, tdb, Stable(3))
+	s := tdb.String()
+	if !strings.Contains(s, "×2") || !strings.Contains(s, "stable=3") {
+		t.Errorf("TDB.String = %q", s)
+	}
+}
+
+func TestCompatErrorMessage(t *testing.T) {
+	err := compatErrf("C2", "detail %d", 7)
+	if !strings.Contains(err.Error(), "C2") || !strings.Contains(err.Error(), "detail 7") {
+		t.Errorf("compat error = %q", err)
+	}
+}
+
+func TestOCElementString(t *testing.T) {
+	if got := Open(P('A'), 1).String(); !strings.Contains(got, "open(") {
+		t.Errorf("open string = %q", got)
+	}
+	if got := Close(P('A'), 4).String(); !strings.Contains(got, "close(") {
+		t.Errorf("close string = %q", got)
+	}
+}
+
+func TestEquivalentRejectsInvalid(t *testing.T) {
+	valid := Stream{Insert(P(1), 1, 5)}
+	invalid := Stream{Adjust(P(1), 1, 5, 9)} // adjust without insert
+	if Equivalent(invalid, valid) || Equivalent(valid, invalid) {
+		t.Error("invalid prefixes are equivalent to nothing")
+	}
+}
+
+func TestMustReconstitutePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustReconstitute(Stream{Adjust(P(1), 1, 5, 9)})
+}

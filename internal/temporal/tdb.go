@@ -1,0 +1,240 @@
+package temporal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TDB is a temporal-database instance: a multiset of events together with
+// the stability point implied by the stream prefix that produced it.
+//
+// The zero value is an empty TDB with stability MinTime, ready to use.
+type TDB struct {
+	events map[Event]int // multiset: event → multiplicity
+	stable Time          // largest stable() timestamp applied
+	n      int           // total event count (sum of multiplicities)
+	init   bool
+}
+
+// NewTDB returns an empty TDB.
+func NewTDB() *TDB {
+	t := &TDB{}
+	t.ensure()
+	return t
+}
+
+func (t *TDB) ensure() {
+	if !t.init {
+		t.events = make(map[Event]int)
+		t.stable = MinTime
+		t.init = true
+	}
+}
+
+// Stable returns the largest stable timestamp applied so far (MinTime if none).
+func (t *TDB) Stable() Time { t.ensure(); return t.stable }
+
+// Len returns the number of events counting multiplicity.
+func (t *TDB) Len() int { return t.n }
+
+// Count returns the multiplicity of ev.
+func (t *TDB) Count(ev Event) int { t.ensure(); return t.events[ev] }
+
+// Events returns the distinct events in deterministic (Vs, Payload, Ve) order.
+func (t *TDB) Events() []Event {
+	t.ensure()
+	out := make([]Event, 0, len(t.events))
+	for ev := range t.events {
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if c := a.Key().Compare(b.Key()); c != 0 {
+			return c < 0
+		}
+		return a.Ve < b.Ve
+	})
+	return out
+}
+
+// CountsByKey returns, for the given (Vs, Payload) key, the multiset of Ve
+// values present, as a map Ve → count. Used by the R4 compatibility oracle.
+func (t *TDB) CountsByKey(k VsPayload) map[Time]int {
+	t.ensure()
+	out := make(map[Time]int)
+	for ev, c := range t.events {
+		if ev.Key() == k {
+			out[ev.Ve] = c
+		}
+	}
+	return out
+}
+
+// add inserts one occurrence of ev.
+func (t *TDB) add(ev Event) {
+	t.ensure()
+	t.events[ev]++
+	t.n++
+}
+
+// remove deletes one occurrence of ev, reporting whether it was present.
+func (t *TDB) remove(ev Event) bool {
+	t.ensure()
+	c := t.events[ev]
+	if c == 0 {
+		return false
+	}
+	if c == 1 {
+		delete(t.events, ev)
+	} else {
+		t.events[ev] = c - 1
+	}
+	t.n--
+	return true
+}
+
+// ApplyError describes an element that is invalid against the current TDB,
+// e.g. an adjust with no matching event or an element violating a previously
+// issued stable().
+type ApplyError struct {
+	Element Element
+	Reason  string
+}
+
+func (e *ApplyError) Error() string {
+	return fmt.Sprintf("apply %v: %s", e.Element, e.Reason)
+}
+
+// Apply folds one element into the TDB, enforcing the semantics of
+// Example 5: inserts add events, adjusts retarget (or remove) them, stables
+// advance the stability point. It rejects elements that are ill-formed or
+// that contradict the stability point.
+func (t *TDB) Apply(e Element) error {
+	t.ensure()
+	switch e.Kind {
+	case KindInsert:
+		if e.Ve < e.Vs {
+			return &ApplyError{e, "negative lifetime"}
+		}
+		if e.Vs < t.stable {
+			return &ApplyError{e, fmt.Sprintf("Vs before stable point %v", t.stable)}
+		}
+		if e.Ve == e.Vs {
+			// An empty validity interval contributes nothing to any output;
+			// it is legal but adds no event (mirrors adjust-removal).
+			return nil
+		}
+		t.add(Event{Payload: e.Payload, Vs: e.Vs, Ve: e.Ve})
+		return nil
+	case KindAdjust:
+		if e.Ve < e.Vs {
+			return &ApplyError{e, "negative lifetime"}
+		}
+		if e.VOld < t.stable {
+			return &ApplyError{e, fmt.Sprintf("VOld before stable point %v", t.stable)}
+		}
+		if e.Ve < t.stable {
+			// Covers removals too: removing an event whose start is already
+			// half frozen would contradict the half-frozen guarantee.
+			return &ApplyError{e, fmt.Sprintf("Ve before stable point %v", t.stable)}
+		}
+		old := Event{Payload: e.Payload, Vs: e.Vs, Ve: e.VOld}
+		if !t.remove(old) {
+			return &ApplyError{e, "no matching event"}
+		}
+		if !e.IsRemoval() {
+			t.add(Event{Payload: e.Payload, Vs: e.Vs, Ve: e.Ve})
+		}
+		return nil
+	case KindStable:
+		if e.Ve > t.stable {
+			t.stable = e.Ve
+		}
+		return nil
+	}
+	return &ApplyError{e, "unknown element kind"}
+}
+
+// Clone returns a deep copy of the TDB.
+func (t *TDB) Clone() *TDB {
+	t.ensure()
+	c := NewTDB()
+	for ev, n := range t.events {
+		c.events[ev] = n
+	}
+	c.stable = t.stable
+	c.n = t.n
+	return c
+}
+
+// Equal reports multiset equality of events. Stability points are not part
+// of logical equivalence (two prefixes can describe the same TDB while one
+// has progressed further).
+func (t *TDB) Equal(o *TDB) bool {
+	t.ensure()
+	o.ensure()
+	if t.n != o.n || len(t.events) != len(o.events) {
+		return false
+	}
+	for ev, c := range t.events {
+		if o.events[ev] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the TDB as a sorted table, for test diagnostics.
+func (t *TDB) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TDB(stable=%v){", t.Stable())
+	for i, ev := range t.Events() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%v", ev)
+		if c := t.events[ev]; c > 1 {
+			fmt.Fprintf(&b, "×%d", c)
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Reconstitute is the tdb(S, i) function of Sec. III-A applied to the whole
+// prefix: it folds every element of s into a fresh TDB, returning an error
+// for the first invalid element.
+func Reconstitute(s Stream) (*TDB, error) {
+	t := NewTDB()
+	for i, e := range s {
+		if err := t.Apply(e); err != nil {
+			return nil, fmt.Errorf("element %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// MustReconstitute is Reconstitute for known-valid prefixes; it panics on error.
+func MustReconstitute(s Stream) *TDB {
+	t, err := Reconstitute(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Equivalent reports whether two prefixes reconstitute to equal TDBs
+// (S[i] ≡ U[j] in the paper's notation). An invalid prefix is equivalent to
+// nothing.
+func Equivalent(a, b Stream) bool {
+	ta, err := Reconstitute(a)
+	if err != nil {
+		return false
+	}
+	tb, err := Reconstitute(b)
+	if err != nil {
+		return false
+	}
+	return ta.Equal(tb)
+}

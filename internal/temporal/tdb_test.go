@@ -1,0 +1,252 @@
+package temporal
+
+import (
+	"strings"
+	"testing"
+)
+
+// phy1 and phy2 are the two physical streams of paper Table I, expressed in
+// the insert/adjust/stable algebra of Example 5 (the a/m/f element types of
+// Example 1 map onto insert/adjust/stable one-for-one).
+func phy1() Stream {
+	return Stream{
+		Insert(P('B'), 8, Infinity),
+		Insert(P('A'), 6, 12),
+		Adjust(P('B'), 8, Infinity, 10),
+		Stable(11),
+		Stable(Infinity),
+	}
+}
+
+func phy2() Stream {
+	return Stream{
+		Insert(P('A'), 6, 7),
+		Insert(P('B'), 8, 15),
+		Adjust(P('A'), 6, 7, 12),
+		Adjust(P('B'), 8, 15, 10),
+		Stable(Infinity),
+	}
+}
+
+// tableITDB is the logical TDB of Table I: A over [6,12), B over [8,10).
+func tableITDB(t *testing.T) *TDB {
+	t.Helper()
+	want := NewTDB()
+	want.add(Ev(P('A'), 6, 12))
+	want.add(Ev(P('B'), 8, 10))
+	return want
+}
+
+func TestTableI(t *testing.T) {
+	want := tableITDB(t)
+	for name, s := range map[string]Stream{"Phy1": phy1(), "Phy2": phy2()} {
+		got, err := Reconstitute(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s reconstitutes to %v, want %v", name, got, want)
+		}
+	}
+	if !Equivalent(phy1(), phy2()) {
+		t.Error("Phy1 and Phy2 should be equivalent")
+	}
+}
+
+func TestTableIPrefixesNotAlwaysEquivalent(t *testing.T) {
+	// The paper notes prefixes of Phy1/Phy2 are not always equivalent but are
+	// compatible (can become equivalent). Check a mid-stream pair differs.
+	a := MustReconstitute(phy1()[:2])
+	b := MustReconstitute(phy2()[:2])
+	if a.Equal(b) {
+		t.Error("mid-stream prefixes unexpectedly equivalent")
+	}
+}
+
+func TestInsertAdjustSequenceEquivalence(t *testing.T) {
+	// Paper Example 5: insert(A,6,20), adjust(A,6,20,30), adjust(A,6,30,25)
+	// is equivalent to insert(A,6,25).
+	long := Stream{
+		Insert(P('A'), 6, 20),
+		Adjust(P('A'), 6, 20, 30),
+		Adjust(P('A'), 6, 30, 25),
+	}
+	short := Stream{Insert(P('A'), 6, 25)}
+	if !Equivalent(long, short) {
+		t.Error("adjust chain should collapse to single insert")
+	}
+}
+
+func TestAdjustRemoval(t *testing.T) {
+	s := Stream{
+		Insert(P(1), 5, 10),
+		Adjust(P(1), 5, 10, 5), // Ve == Vs removes the event
+	}
+	tdb := MustReconstitute(s)
+	if tdb.Len() != 0 {
+		t.Errorf("removal left %d events: %v", tdb.Len(), tdb)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		stream Stream
+		substr string
+	}{
+		{"negative lifetime", Stream{Insert(P(1), 10, 5)}, "negative lifetime"},
+		{"insert before stable", Stream{Stable(10), Insert(P(1), 5, 20)}, "before stable"},
+		{"adjust missing event", Stream{Adjust(P(1), 5, 10, 20)}, "no matching event"},
+		{"adjust VOld before stable", Stream{Insert(P(1), 5, 8), Stable(10), Adjust(P(1), 5, 8, 12)}, "before stable"},
+		{"adjust Ve before stable", Stream{Insert(P(1), 5, 20), Stable(10), Adjust(P(1), 5, 20, 7)}, "before stable"},
+		{"removal of half-frozen", Stream{Insert(P(1), 5, 20), Stable(10), Adjust(P(1), 5, 20, 5)}, "before stable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Reconstitute(tc.stream)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.substr) {
+				t.Errorf("error %q does not contain %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+func TestApplyLegalAfterStable(t *testing.T) {
+	// Adjusting an event's end from beyond the stable point to exactly the
+	// stable point is legal (Ve == stable is not < stable).
+	s := Stream{
+		Insert(P(1), 5, 20),
+		Stable(10),
+		Adjust(P(1), 5, 20, 10),
+	}
+	if _, err := Reconstitute(s); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestDuplicateEventsMultiset(t *testing.T) {
+	s := Stream{
+		Insert(P(1), 5, 10),
+		Insert(P(1), 5, 10),
+		Insert(P(1), 5, 10),
+	}
+	tdb := MustReconstitute(s)
+	if got := tdb.Count(Ev(P(1), 5, 10)); got != 3 {
+		t.Errorf("multiplicity = %d, want 3", got)
+	}
+	// Adjusting removes exactly one occurrence.
+	if err := tdb.Apply(Adjust(P(1), 5, 10, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tdb.Count(Ev(P(1), 5, 10)); got != 2 {
+		t.Errorf("after adjust, old multiplicity = %d, want 2", got)
+	}
+	if got := tdb.Count(Ev(P(1), 5, 12)); got != 1 {
+		t.Errorf("after adjust, new multiplicity = %d, want 1", got)
+	}
+}
+
+func TestStableMonotone(t *testing.T) {
+	tdb := NewTDB()
+	mustApply(t, tdb, Stable(10))
+	mustApply(t, tdb, Stable(5)) // non-increasing stables are ignored, not errors
+	if tdb.Stable() != 10 {
+		t.Errorf("stable = %v, want 10", tdb.Stable())
+	}
+}
+
+func mustApply(t *testing.T, tdb *TDB, e Element) {
+	t.Helper()
+	if err := tdb.Apply(e); err != nil {
+		t.Fatalf("apply %v: %v", e, err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewTDB()
+	mustApply(t, a, Insert(P(1), 1, 5))
+	b := a.Clone()
+	mustApply(t, b, Insert(P(2), 2, 6))
+	if a.Len() != 1 || b.Len() != 2 {
+		t.Errorf("clone not independent: a=%d b=%d", a.Len(), b.Len())
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone should equal original")
+	}
+}
+
+func TestFreezeStatus(t *testing.T) {
+	cases := []struct {
+		vs, ve, l Time
+		want      FreezeStatus
+	}{
+		{2, 16, 14, HalfFrozen},  // paper I1: A
+		{3, 10, 14, FullyFrozen}, // paper I1: B
+		{15, 20, 14, Unfrozen},   // paper I1: D
+		{2, 12, 11, HalfFrozen},  // paper I2: A
+		{17, 21, 11, Unfrozen},   // paper I2: E
+		{5, 5, 6, FullyFrozen},   // empty interval fully before stable
+		{5, 10, 10, HalfFrozen},  // Ve == L is half frozen (Ve < L required for FF)
+		{5, 10, 5, Unfrozen},     // Vs == L is unfrozen (Vs < L required for HF)
+		{5, Infinity, 100, HalfFrozen},
+	}
+	for _, tc := range cases {
+		if got := FreezeOf(tc.vs, tc.ve, tc.l); got != tc.want {
+			t.Errorf("FreezeOf(%v,%v,%v) = %v, want %v", tc.vs, tc.ve, tc.l, got, tc.want)
+		}
+	}
+}
+
+func TestStreamCounters(t *testing.T) {
+	s := phy1()
+	if s.Inserts() != 2 || s.Adjusts() != 1 || s.Stables() != 2 {
+		t.Errorf("counts = %d/%d/%d, want 2/1/2", s.Inserts(), s.Adjusts(), s.Stables())
+	}
+	if s.LastStable() != Infinity {
+		t.Errorf("LastStable = %v, want ∞", s.LastStable())
+	}
+	if (Stream{}).LastStable() != MinTime {
+		t.Error("empty stream LastStable should be MinTime")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if !Infinity.IsInf() || Time(5).IsInf() {
+		t.Error("IsInf misclassifies")
+	}
+	if Infinity.String() != "∞" || Time(7).String() != "7" {
+		t.Error("Time.String misrenders")
+	}
+	if MinT(3, 4) != 3 || MaxT(3, 4) != 4 {
+		t.Error("MinT/MaxT wrong")
+	}
+}
+
+func TestElementString(t *testing.T) {
+	if got := Insert(P('A'), 6, 12).String(); got != "insert(65, 6, 12)" {
+		t.Errorf("insert string = %q", got)
+	}
+	if got := Stable(Infinity).String(); got != "stable(∞)" {
+		t.Errorf("stable string = %q", got)
+	}
+	if got := Adjust(P(1), 2, 3, 4).String(); got != "adjust(1, 2, 3, 4)" {
+		t.Errorf("adjust string = %q", got)
+	}
+}
+
+func TestPayloadCompare(t *testing.T) {
+	a := Payload{ID: 1, Data: "x"}
+	b := Payload{ID: 1, Data: "y"}
+	c := Payload{ID: 2, Data: "a"}
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 || b.Compare(c) >= 0 {
+		t.Error("payload ordering wrong")
+	}
+	k1 := VsPayload{Vs: 1, Payload: a}
+	k2 := VsPayload{Vs: 2, Payload: a}
+	if k1.Compare(k2) >= 0 || k2.Compare(k1) <= 0 || k1.Compare(k1) != 0 {
+		t.Error("VsPayload ordering wrong")
+	}
+}

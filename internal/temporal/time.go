@@ -1,0 +1,55 @@
+// Package temporal defines the stream and temporal-database (TDB) model that
+// underpins Logical Merge, following the interval-based model of
+// Chandramouli, Maier, and Goldstein, "Physically Independent Stream
+// Merging" (ICDE 2012), Section III.
+//
+// A logical stream is viewed as a temporal database: a multiset of events,
+// each a payload with a half-open validity interval [Vs, Ve). A physical
+// stream is a sequence of elements (insert, adjust, stable) whose finite
+// prefixes reconstitute to TDB instances. Many physical streams reconstitute
+// to the same TDB; LMerge consumes several such streams and emits one more.
+package temporal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is an application timestamp in abstract ticks. Experiments in this
+// repository run entirely in virtual time so that results are deterministic.
+type Time int64
+
+// Infinity is the Ve of an event whose end is not yet known. It is a valid
+// adjust target and compares greater than every finite Time.
+const Infinity Time = math.MaxInt64
+
+// MinTime is the smallest representable Time; it predates every element and
+// serves as the initial value of "maximum seen so far" trackers.
+const MinTime Time = math.MinInt64
+
+// IsInf reports whether t is the distinguished +∞ timestamp.
+func (t Time) IsInf() bool { return t == Infinity }
+
+// String renders finite times as integers and Infinity as "∞".
+func (t Time) String() string {
+	if t.IsInf() {
+		return "∞"
+	}
+	return fmt.Sprintf("%d", int64(t))
+}
+
+// MinT returns the smaller of a and b.
+func MinT(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxT returns the larger of a and b.
+func MaxT(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+// Package lmerge is the public API of this repository: a Go implementation
+// of Physically Independent Stream Merging (Chandramouli, Maier, Goldstein,
+// ICDE 2012) — the Logical Merge (LMerge) operator family together with the
+// temporal stream model and mini-DSMS substrate it runs on.
+//
+// A logical stream is a temporal database (TDB): a multiset of events, each
+// a payload valid over [Vs, Ve). A physical stream is a sequence of insert,
+// adjust, and stable elements reconstituting to a TDB. LMerge consumes
+// several physically divergent but mutually consistent presentations of one
+// logical stream — replicas that differ in order, timing, revisions, and
+// gaps — and emits a single stream compatible with all of them.
+//
+// Quick start:
+//
+//	out := temporal.NewTDB()
+//	m := lmerge.NewR3(func(e lmerge.Element) { _ = out.Apply(e) })
+//	m.Attach(0)
+//	m.Attach(1)
+//	m.Process(0, lmerge.Insert(lmerge.P(1), 10, 20))
+//	m.Process(1, lmerge.Insert(lmerge.P(1), 10, 25)) // divergent copy
+//	m.Process(0, lmerge.Stable(lmerge.Infinity))
+//
+// Pick the cheapest algorithm for the streams you have with the property
+// framework (Choose / NewMergerFor), wrap mergers in an Operator for dynamic
+// attach/detach and fast-forward feedback, and see examples/ for complete
+// programs: quickstart, high availability, dynamic plan switching with
+// feedback, and the data-center monitoring scenario.
+package lmerge
+
+import (
+	"lmerge/internal/core"
+	"lmerge/internal/props"
+	"lmerge/internal/temporal"
+)
+
+// Stream model (package internal/temporal).
+type (
+	// Time is an application timestamp in ticks; Infinity marks open ends.
+	Time = temporal.Time
+	// Payload is the event tuple: an integer field plus a string field.
+	Payload = temporal.Payload
+	// Event is a TDB event: a payload valid over [Vs, Ve).
+	Event = temporal.Event
+	// Element is one physical-stream element (insert, adjust, or stable).
+	Element = temporal.Element
+	// Stream is a finite physical-stream prefix.
+	Stream = temporal.Stream
+	// TDB is a temporal-database instance: the logical view of a stream.
+	TDB = temporal.TDB
+	// FreezeStatus classifies events against a stable point (UF/HF/FF).
+	FreezeStatus = temporal.FreezeStatus
+)
+
+// Time constants.
+const (
+	// Infinity is the open event end time.
+	Infinity = temporal.Infinity
+	// MinTime precedes every element.
+	MinTime = temporal.MinTime
+)
+
+// Element kinds.
+const (
+	KindInsert = temporal.KindInsert
+	KindAdjust = temporal.KindAdjust
+	KindStable = temporal.KindStable
+)
+
+// Element constructors and model helpers.
+var (
+	// Insert builds an insert element adding event ⟨p, [vs, ve)⟩.
+	Insert = temporal.Insert
+	// Adjust builds an adjust element retargeting ⟨p, vs, vold⟩ to end at ve.
+	Adjust = temporal.Adjust
+	// Stable builds a stable (progress) element for time t.
+	Stable = temporal.Stable
+	// P builds a payload with only the integer field set.
+	P = temporal.P
+	// NewTDB returns an empty temporal database.
+	NewTDB = temporal.NewTDB
+	// Reconstitute folds a stream prefix into a TDB (the paper's tdb(S, i)).
+	Reconstitute = temporal.Reconstitute
+	// MustTDB reconstitutes a known-valid prefix, panicking on error.
+	MustTDB = temporal.MustReconstitute
+	// Equivalent reports whether two prefixes describe the same TDB.
+	Equivalent = temporal.Equivalent
+	// CheckCompatR3 is the executable Sec. III-D compatibility oracle.
+	CheckCompatR3 = temporal.CheckCompatR3
+)
+
+// The LMerge operator family (package internal/core).
+type (
+	// Merger is a Logical Merge algorithm (one of the R0–R4 cases).
+	Merger = core.Merger
+	// Case names a point in the paper's restriction spectrum.
+	Case = core.Case
+	// Emit receives merged output elements.
+	Emit = core.Emit
+	// StreamID identifies one merge input.
+	StreamID = core.StreamID
+	// Stats carries a merger's traffic counters.
+	Stats = core.Stats
+	// R3Options selects the output policies of the R3 merger.
+	R3Options = core.R3Options
+	// InsertPolicy controls when a key first reaches the output.
+	InsertPolicy = core.InsertPolicy
+	// AdjustPolicy controls revision propagation (lazy or eager).
+	AdjustPolicy = core.AdjustPolicy
+	// FollowPolicy optionally ties the output to the leading input.
+	FollowPolicy = core.FollowPolicy
+	// Operator wraps a Merger with dynamic attach/detach and feedback.
+	Operator = core.Operator
+	// OperatorOption configures an Operator.
+	OperatorOption = core.OperatorOption
+	// Feedback is the fast-forward signal sent to lagging inputs.
+	Feedback = core.Feedback
+)
+
+// Restriction cases (Sec. III-C).
+const (
+	CaseR0 = core.CaseR0
+	CaseR1 = core.CaseR1
+	CaseR2 = core.CaseR2
+	CaseR3 = core.CaseR3
+	CaseR4 = core.CaseR4
+)
+
+// Output policies (Sec. V-A).
+const (
+	InsertFirstWins   = core.InsertFirstWins
+	InsertQuorum      = core.InsertQuorum
+	InsertHalfFrozen  = core.InsertHalfFrozen
+	InsertFullyFrozen = core.InsertFullyFrozen
+	AdjustLazy        = core.AdjustLazy
+	AdjustEager       = core.AdjustEager
+	FollowNone        = core.FollowNone
+	FollowLeader      = core.FollowLeader
+)
+
+// Merger constructors.
+var (
+	// New builds the merger for a restriction case.
+	New = core.New
+	// NewR0 merges strictly-ordered, insert-only streams in O(1) state.
+	NewR0 = core.NewR0
+	// NewR1 additionally handles duplicate timestamps in deterministic order.
+	NewR1 = core.NewR1
+	// NewR2 handles nondeterministic same-timestamp order under a key.
+	NewR2 = core.NewR2
+	// NewR2Dup additionally tolerates duplicate (Vs, Payload) events.
+	NewR2Dup = core.NewR2Dup
+	// NewR3 is the general keyed merger over the in2t index (LMR3+).
+	NewR3 = core.NewR3
+	// NewR3Naive is the LMR3- baseline with unshared per-input indexes.
+	NewR3Naive = core.NewR3Naive
+	// NewR4 is the fully general multiset merger over the in3t index.
+	NewR4 = core.NewR4
+	// NewOperator wraps a merger for dynamic inputs and feedback.
+	NewOperator = core.NewOperator
+	// WithFeedback enables fast-forward signals to lagging inputs.
+	WithFeedback = core.WithFeedback
+)
+
+// Stream property framework (package internal/props).
+type (
+	// Properties is the guarantee set a stream publishes or derives.
+	Properties = props.Properties
+	// Ordering describes insert ordering by Vs.
+	Ordering = props.Ordering
+	// Plan is a query-plan node for static property derivation.
+	Plan = props.Plan
+	// Monitor measures a stream's properties incrementally at runtime.
+	Monitor = props.Monitor
+)
+
+// Orderings.
+const (
+	Unordered          = props.Unordered
+	NonDecreasing      = props.NonDecreasing
+	StrictlyIncreasing = props.StrictlyIncreasing
+)
+
+// Property helpers.
+var (
+	// Choose picks the cheapest merge case the properties allow.
+	Choose = props.Choose
+	// NewMergerFor builds the merger Choose selects.
+	NewMergerFor = props.NewMerger
+	// MeetAll combines the guarantees of several merge inputs.
+	MeetAll = props.MeetAll
+	// Measure derives the strongest guarantees one stream prefix exhibits.
+	Measure = props.Measure
+	// MeasureAll measures several presentations together, including the
+	// cross-stream deterministic-tie-order check.
+	MeasureAll = props.MeasureAll
+	// NewMonitor starts an online property measurement.
+	NewMonitor = props.NewMonitor
+)
