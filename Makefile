@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 cover:
 	$(GO) test -cover ./...

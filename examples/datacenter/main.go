@@ -14,6 +14,7 @@ package main
 
 import (
 	"fmt"
+	"sync"
 
 	"lmerge"
 	"lmerge/internal/core"
@@ -73,13 +74,20 @@ func main() {
 		script.Render(gen.RenderOptions{Seed: 1, Disorder: 0.25, StableFreq: 0.02, SplitInserts: true}),
 		script.Render(gen.RenderOptions{Seed: 2, Disorder: 0.45, StableFreq: 0.02, SplitInserts: true}),
 	}
-	for i := 0; i < len(feeds[0]) || i < len(feeds[1]); i++ {
-		for dc := 0; dc < 2; dc++ {
-			if i < len(feeds[dc]) {
-				srcs[dc].Inject(feeds[dc][i])
-			}
-		}
+	// Each data center's feed arrives on its own connection: one goroutine
+	// per source, delivering in batches through the concurrent runtime.
+	rt := engine.NewRuntime(g)
+	rt.Start()
+	var wg sync.WaitGroup
+	for dc := 0; dc < 2; dc++ {
+		wg.Add(1)
+		go func(dc int) {
+			defer wg.Done()
+			rt.InjectBatch(srcs[dc], feeds[dc])
+		}(dc)
 	}
+	wg.Wait()
+	rt.Close()
 	if sink.Err() != nil {
 		fmt.Printf("ERROR: merged output invalid: %v\n", sink.Err())
 		return

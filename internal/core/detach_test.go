@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+func feedOne(t *testing.T, m Merger, s StreamID, e temporal.Element) {
+	t.Helper()
+	if err := m.Process(s, e); err != nil {
+		t.Fatalf("process %v on stream %d: %v", e, s, err)
+	}
+}
+
+// TestR4DetachReclaimsState attaches a third input under load, lets it
+// contribute events no other input carries, and checks that Detach both
+// withdraws those events from the output and deletes their index nodes
+// instead of leaking them (they would otherwise survive until — or past —
+// the next stable sweep).
+func TestR4DetachReclaimsState(t *testing.T) {
+	rec := newRecorder(t)
+	m := NewR4(rec.emit)
+	m.Attach(0)
+	m.Attach(1)
+	for i := 0; i < 20; i++ {
+		e := temporal.Insert(temporal.P(int64(i)), temporal.Time(100+i), temporal.Infinity)
+		feedOne(t, m, 0, e)
+		feedOne(t, m, 1, e)
+	}
+	baseline := m.Live()
+	m.Attach(2)
+	for i := 0; i < 15; i++ {
+		feedOne(t, m, 2, temporal.Insert(temporal.P(int64(100+i)), temporal.Time(150+i), temporal.Infinity))
+	}
+	if m.Live() != baseline+15 {
+		t.Fatalf("Live() = %d with joiner attached, want %d", m.Live(), baseline+15)
+	}
+	m.Detach(2)
+	if m.Live() != baseline {
+		t.Fatalf("Live() = %d after detach, want baseline %d", m.Live(), baseline)
+	}
+	feedOne(t, m, 0, temporal.Stable(temporal.Infinity))
+	if m.Live() != baseline {
+		t.Fatalf("Live() = %d after next stable, want baseline %d", m.Live(), baseline)
+	}
+	// The joiner's withdrawn events must be gone from the output TDB.
+	var want temporal.Stream
+	for i := 0; i < 20; i++ {
+		want = append(want, temporal.Insert(temporal.P(int64(i)), temporal.Time(100+i), temporal.Infinity))
+	}
+	if !rec.tdb.Equal(temporal.MustReconstitute(want)) {
+		t.Errorf("output TDB after detach = %v, want %v", rec.tdb, temporal.MustReconstitute(want))
+	}
+	if m.Stats().ConsistencyWarnings != 0 {
+		t.Errorf("detach raised %d consistency warnings", m.Stats().ConsistencyWarnings)
+	}
+}
+
+// TestR4DetachHalfFrozen covers the one case Detach cannot settle on its
+// own: a node whose only voucher leaves after the node's start became half
+// frozen. The output event can no longer be withdrawn, but the node itself
+// must still be retired by the next stable sweep.
+func TestR4DetachHalfFrozen(t *testing.T) {
+	rec := newRecorder(t)
+	m := NewR4(rec.emit)
+	m.Attach(0)
+	m.Attach(1)
+	shared := temporal.Insert(temporal.P(1), 10, temporal.Infinity)
+	feedOne(t, m, 0, shared)
+	feedOne(t, m, 1, shared)
+	// Stream 1 alone carries X, then vouches past it, half-freezing it.
+	feedOne(t, m, 1, temporal.Insert(temporal.P(2), 30, temporal.Infinity))
+	feedOne(t, m, 1, temporal.Stable(50))
+	m.Detach(1)
+	if m.Live() != 2 {
+		t.Fatalf("Live() = %d right after detach, want 2 (half-frozen node must survive)", m.Live())
+	}
+	feedOne(t, m, 0, temporal.Stable(100))
+	if m.Live() != 1 {
+		t.Fatalf("Live() = %d after next stable, want 1", m.Live())
+	}
+}
+
+// TestR3DetachReclaimsState is the R3 counterpart of
+// TestR4DetachReclaimsState.
+func TestR3DetachReclaimsState(t *testing.T) {
+	rec := newRecorder(t)
+	m := NewR3(rec.emit)
+	m.Attach(0)
+	m.Attach(1)
+	for i := 0; i < 20; i++ {
+		e := temporal.Insert(temporal.P(int64(i)), temporal.Time(100+i), temporal.Infinity)
+		feedOne(t, m, 0, e)
+		feedOne(t, m, 1, e)
+	}
+	baseline := m.Live()
+	m.Attach(2)
+	for i := 0; i < 15; i++ {
+		feedOne(t, m, 2, temporal.Insert(temporal.P(int64(100+i)), temporal.Time(150+i), temporal.Infinity))
+	}
+	if m.Live() != baseline+15 {
+		t.Fatalf("Live() = %d with joiner attached, want %d", m.Live(), baseline+15)
+	}
+	m.Detach(2)
+	if m.Live() != baseline {
+		t.Fatalf("Live() = %d after detach, want baseline %d", m.Live(), baseline)
+	}
+	feedOne(t, m, 0, temporal.Stable(temporal.Infinity))
+	var want temporal.Stream
+	for i := 0; i < 20; i++ {
+		want = append(want, temporal.Insert(temporal.P(int64(i)), temporal.Time(100+i), temporal.Infinity))
+	}
+	if !rec.tdb.Equal(temporal.MustReconstitute(want)) {
+		t.Errorf("output TDB after detach = %v, want %v", rec.tdb, temporal.MustReconstitute(want))
+	}
+	if m.Stats().ConsistencyWarnings != 0 {
+		t.Errorf("detach raised %d consistency warnings", m.Stats().ConsistencyWarnings)
+	}
+}

@@ -122,6 +122,26 @@ func (o *Operator) Process(id StreamID, e temporal.Element) error {
 	if !ok {
 		return fmt.Errorf("lmerge: element from unattached stream %d", id)
 	}
+	return o.process(st, id, e)
+}
+
+// ProcessBatch feeds a run of elements from input id through the merge,
+// equivalent to calling Process on each element in order but resolving the
+// input once for the whole run.
+func (o *Operator) ProcessBatch(id StreamID, els []temporal.Element) error {
+	st, ok := o.inputs[id]
+	if !ok {
+		return fmt.Errorf("lmerge: batch from unattached stream %d", id)
+	}
+	for _, e := range els {
+		if err := o.process(st, id, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *Operator) process(st *inputState, id StreamID, e temporal.Element) error {
 	if st.leaving {
 		return nil
 	}

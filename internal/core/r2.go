@@ -14,9 +14,13 @@ import "lmerge/internal/temporal"
 type R2 struct {
 	base
 	maxVs temporal.Time
-	// seen[p][stream] counts stream's copies of payload p at maxVs; the
-	// OutputStream entry counts copies already forwarded.
-	seen       map[temporal.Payload]map[StreamID]int
+	// seen[p] counts copies of payload p at maxVs: index 0 is the output
+	// (copies already forwarded), index s+1 is input stream s. The count
+	// slices are recycled through free across Vs epochs, so steady-state
+	// processing allocates nothing.
+	seen       map[temporal.Payload][]int
+	free       [][]int
+	width      int // count-slice length: max stream id seen + 2
 	bytes      int // payload bytes held in seen
 	duplicates bool
 }
@@ -26,8 +30,27 @@ func NewR2(emit Emit) *R2 {
 	return &R2{
 		base:  newBase(emit),
 		maxVs: temporal.MinTime,
-		seen:  make(map[temporal.Payload]map[StreamID]int),
+		seen:  make(map[temporal.Payload][]int),
+		width: 2,
 	}
+}
+
+// grabCounts returns a zeroed count slice of at least n entries, reusing a
+// recycled one when available.
+func (m *R2) grabCounts(n int) []int {
+	if n < m.width {
+		n = m.width
+	}
+	m.width = n
+	if k := len(m.free); k > 0 {
+		c := m.free[k-1]
+		m.free = m.free[:k-1]
+		if len(c) >= n {
+			clear(c)
+			return c
+		}
+	}
+	return make([]int, n)
 }
 
 // NewR2Dup returns an R2 merger that additionally tolerates duplicate
@@ -57,31 +80,39 @@ func (m *R2) Process(s StreamID, e temporal.Element) error {
 			return nil
 		}
 		if e.Vs > m.maxVs {
+			for _, c := range m.seen {
+				m.free = append(m.free, c)
+			}
 			clear(m.seen)
 			m.bytes = 0
 			m.maxVs = e.Vs
 		}
 		counts, tracked := m.seen[e.Payload]
 		if !tracked {
-			counts = make(map[StreamID]int, 4)
+			counts = m.grabCounts(s + 2)
 			m.seen[e.Payload] = counts
 			m.bytes += e.Payload.SizeBytes()
+		} else if len(counts) < s+2 {
+			grown := make([]int, max(s+2, m.width))
+			copy(grown, counts)
+			counts = grown
+			m.seen[e.Payload] = counts
+			m.width = len(counts)
 		}
-		counts[s]++
-		const outKey StreamID = -1
+		counts[s+1]++
 		if m.duplicates {
 			// Multiset relaxation: forward while some input's multiplicity
 			// exceeds what the output carries.
-			if counts[s] > counts[outKey] {
-				counts[outKey]++
+			if counts[s+1] > counts[0] {
+				counts[0]++
 				m.outInsert(e.Payload, e.Vs, e.Ve)
 			} else {
 				m.stats.Dropped++
 			}
 			return nil
 		}
-		if counts[outKey] == 0 {
-			counts[outKey] = 1
+		if counts[0] == 0 {
+			counts[0] = 1
 			m.outInsert(e.Payload, e.Vs, e.Ve)
 		} else {
 			m.stats.Dropped++

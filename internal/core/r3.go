@@ -24,6 +24,17 @@ type R3 struct {
 	// leader is the input that most recently advanced the output stable
 	// point (meaningful under FollowLeader; -1 before any stable).
 	leader StreamID
+	// hf and scan are scratch buffers reused across stable sweeps (and hf
+	// across detaches), keeping the steady-state sweep allocation-free.
+	hf   []*index.Node2
+	scan []r3scan
+}
+
+// r3scan is one half-frozen node's first-pass result within a stable sweep.
+type r3scan struct {
+	f      *index.Node2
+	inVe   temporal.Time
+	pinned bool
 }
 
 // NewR3 returns an R3 merger writing its output to emit. At most one
@@ -51,13 +62,32 @@ func (m *R3) SizeBytes() int { return m.index.SizeBytes() }
 // Live returns the number of live (Vs, Payload) nodes (the paper's w).
 func (m *R3) Live() int { return m.index.Len() }
 
-// Detach unregisters stream s and drops its second-tier entries.
+// Detach unregisters stream s, drops its second-tier entries, and retires
+// nodes left with no vouching input: their output events (when present and
+// still adjustable) are withdrawn, since no remaining input will vouch for
+// them at freeze time, and the nodes are deleted rather than leaked.
 func (m *R3) Detach(s StreamID) {
 	m.base.Detach(s)
+	m.hf = m.hf[:0]
 	m.index.Ascend(func(n *index.Node2) bool {
 		n.DeleteStream(s)
+		if n.Vouchers() == 0 {
+			m.hf = append(m.hf, n)
+		}
 		return true
 	})
+	for _, f := range m.hf {
+		k := f.Key()
+		if outVe, has := f.Ve(index.OutputStream); has {
+			if k.Vs < m.maxStable {
+				// The output event is already half frozen and cannot be
+				// withdrawn; the next stable sweep settles and retires it.
+				continue
+			}
+			m.outAdjust(k.Payload, k.Vs, outVe, k.Vs)
+		}
+		m.index.DeleteNode(k)
+	}
 }
 
 // Process implements Merger.
@@ -178,15 +208,10 @@ func (m *R3) stable(s StreamID, t temporal.Time) {
 	// First pass: reconcile every node becoming half or fully frozen, and
 	// find how far the output stable point may advance (InsertFullyFrozen
 	// holds it back to the earliest still-unemitted node).
-	type scanned struct {
-		f      *index.Node2
-		inVe   temporal.Time
-		pinned bool
-	}
-	hf := m.index.FindHalfFrozen(t)
-	results := make([]scanned, 0, len(hf))
+	m.hf = m.index.FindHalfFrozenInto(t, m.hf)
+	m.scan = m.scan[:0]
 	holdback := t
-	for _, f := range hf {
+	for _, f := range m.hf {
 		inVe, has := f.Ve(s)
 		if !has {
 			// Stream s, which is about to vouch for everything before t,
@@ -194,7 +219,7 @@ func (m *R3) stable(s StreamID, t temporal.Time) {
 			inVe = f.Key().Vs
 		}
 		pinned := m.reconcile(f, inVe, t)
-		results = append(results, scanned{f, inVe, pinned})
+		m.scan = append(m.scan, r3scan{f, inVe, pinned})
 		if m.opts.Insert == InsertFullyFrozen && inVe >= t {
 			// Still half frozen per the vouching stream and not yet final:
 			// its eventual insert must stay legal, so the output stable
@@ -210,7 +235,7 @@ func (m *R3) stable(s StreamID, t temporal.Time) {
 	// stable point actually seals. A node whose Vs stays at or above the
 	// held-back stable point must survive: a lagging stream could otherwise
 	// re-create it and the output would emit the event twice.
-	for _, r := range results {
+	for _, r := range m.scan {
 		if r.inVe < t && !r.pinned && r.f.Key().Vs < holdback {
 			m.index.DeleteNode(r.f.Key())
 		}

@@ -16,6 +16,16 @@ type R3Naive struct {
 	base
 	inputs map[StreamID]*naiveIndex
 	output *naiveIndex
+	// Scratch buffers reused across stable sweeps, keeping the steady-state
+	// sweep allocation-free.
+	frozen, orphans []naiveKV
+	dead            []temporal.VsPayload
+}
+
+// naiveKV is one (key, Ve) snapshot entry of a stable sweep.
+type naiveKV struct {
+	k  temporal.VsPayload
+	ve temporal.Time
 }
 
 // naiveIndex is one per-stream event index with duplicated payload storage.
@@ -139,19 +149,15 @@ func (m *R3Naive) stable(s StreamID, t temporal.Time) {
 		return
 	}
 	// Walk stream s's entries becoming half or fully frozen.
-	type kv struct {
-		k  temporal.VsPayload
-		ve temporal.Time
-	}
-	var frozen []kv
+	m.frozen = m.frozen[:0]
 	in.tree.Ascend(func(k temporal.VsPayload, ve temporal.Time) bool {
 		if k.Vs >= t {
 			return false
 		}
-		frozen = append(frozen, kv{k, ve})
+		m.frozen = append(m.frozen, naiveKV{k, ve})
 		return true
 	})
-	for _, f := range frozen {
+	for _, f := range m.frozen {
 		outVe, has := m.output.tree.Get(f.k)
 		if !has {
 			if f.k.Vs < m.maxStable {
@@ -182,17 +188,17 @@ func (m *R3Naive) stable(s StreamID, t temporal.Time) {
 	}
 	// Output keys below t that stream s does not vouch for are removed
 	// (Sec. V-C missing-element semantics).
-	var orphans []kv
+	m.orphans = m.orphans[:0]
 	m.output.tree.Ascend(func(k temporal.VsPayload, ve temporal.Time) bool {
 		if k.Vs >= t {
 			return false
 		}
 		if _, vouched := in.tree.Get(k); !vouched {
-			orphans = append(orphans, kv{k, ve})
+			m.orphans = append(m.orphans, naiveKV{k, ve})
 		}
 		return true
 	})
-	for _, o := range orphans {
+	for _, o := range m.orphans {
 		if o.k.Vs < m.maxStable {
 			m.stats.ConsistencyWarnings++
 			continue
@@ -207,17 +213,17 @@ func (m *R3Naive) stable(s StreamID, t temporal.Time) {
 // prune drops stream entries that are fully frozen at the stream's own
 // stable point.
 func (m *R3Naive) prune(in *naiveIndex, t temporal.Time) {
-	var dead []temporal.VsPayload
+	m.dead = m.dead[:0]
 	in.tree.Ascend(func(k temporal.VsPayload, ve temporal.Time) bool {
 		if k.Vs >= t {
 			return false
 		}
 		if ve < t {
-			dead = append(dead, k)
+			m.dead = append(m.dead, k)
 		}
 		return true
 	})
-	for _, k := range dead {
+	for _, k := range m.dead {
 		in.del(k)
 	}
 }

@@ -21,6 +21,22 @@ import (
 type R4 struct {
 	base
 	index *index.In3t
+	// Scratch buffers reused across stable sweeps and detaches; steady-state
+	// sweeps allocate nothing. diff holds out−in per Ve in ascending Ve order
+	// (replacing a per-call map, which also made adjust emission order depend
+	// on map iteration); the four pools partition it by sign and region.
+	hf            []*index.Node3
+	inVes, outVes []index.VeCount
+	diff          []veDelta
+	defFF, surFF  []veDelta
+	surLive       []veDelta
+	defLive       []veDelta
+}
+
+// veDelta is one (Ve, count delta) pair of a per-node output−input diff.
+type veDelta struct {
+	ve temporal.Time
+	d  int
 }
 
 // NewR4 returns an R4 merger writing its output to emit.
@@ -37,13 +53,42 @@ func (m *R4) SizeBytes() int { return m.index.SizeBytes() }
 // Live returns the number of live (Vs, Payload) nodes.
 func (m *R4) Live() int { return m.index.Len() }
 
-// Detach unregisters stream s and drops its third-tier multisets.
+// Detach unregisters stream s, drops its third-tier multisets, and retires
+// nodes left with no vouching input: their output occurrences (when still
+// adjustable) are withdrawn, since no remaining input will vouch for them at
+// freeze time, and the nodes are deleted rather than leaked.
 func (m *R4) Detach(s StreamID) {
 	m.base.Detach(s)
+	m.hf = m.hf[:0]
 	m.index.Ascend(func(n *index.Node3) bool {
 		n.DeleteStream(s)
+		if n.Vouchers() == 0 {
+			m.hf = append(m.hf, n)
+		}
 		return true
 	})
+	for _, f := range m.hf {
+		k := f.Key()
+		if f.Count(index.OutputStream) > 0 {
+			if k.Vs < m.maxStable {
+				// The output occurrences are already half frozen and cannot
+				// be withdrawn; the next stable sweep settles and retires the
+				// node.
+				continue
+			}
+			m.outVes = m.outVes[:0]
+			f.AscendVe(index.OutputStream, func(ve temporal.Time, c int) bool {
+				m.outVes = append(m.outVes, index.VeCount{Ve: ve, Count: c})
+				return true
+			})
+			for _, vc := range m.outVes {
+				for i := 0; i < vc.Count; i++ {
+					m.outAdjust(k.Payload, k.Vs, vc.Ve, k.Vs)
+				}
+			}
+		}
+		m.index.DeleteNode(k)
+	}
 }
 
 // Process implements Merger.
@@ -109,7 +154,8 @@ func (m *R4) stable(s StreamID, t temporal.Time) {
 		m.stats.Dropped++
 		return
 	}
-	for _, f := range m.index.FindHalfFrozen(t) {
+	m.hf = m.index.FindHalfFrozenInto(t, m.hf)
+	for _, f := range m.hf {
 		m.adjustOutputCount(f, s)
 		m.adjustOutput(f, s, t)
 		if maxVe, ok := f.MaxVe(s); !ok || maxVe < t {
@@ -122,6 +168,48 @@ func (m *R4) stable(s StreamID, t temporal.Time) {
 	m.outStable(t)
 }
 
+// veDiff fills m.diff with the output−input occurrence-count delta per Ve
+// for node f against vouching input s, restricted to the live region
+// [maxStable, ∞) and in ascending Ve order. It returns the two live totals.
+// The result lives in reusable scratch and is invalidated by the next call.
+func (m *R4) veDiff(f *index.Node3, s StreamID) (totalIn, totalOut int) {
+	m.inVes = m.inVes[:0]
+	f.AscendVe(s, func(ve temporal.Time, c int) bool {
+		if ve >= m.maxStable {
+			m.inVes = append(m.inVes, index.VeCount{Ve: ve, Count: c})
+			totalIn += c
+		}
+		return true
+	})
+	m.outVes = m.outVes[:0]
+	f.AscendVe(index.OutputStream, func(ve temporal.Time, c int) bool {
+		if ve >= m.maxStable {
+			m.outVes = append(m.outVes, index.VeCount{Ve: ve, Count: c})
+			totalOut += c
+		}
+		return true
+	})
+	m.diff = m.diff[:0]
+	i, j := 0, 0
+	for i < len(m.inVes) || j < len(m.outVes) {
+		switch {
+		case j == len(m.outVes) || (i < len(m.inVes) && m.inVes[i].Ve < m.outVes[j].Ve):
+			m.diff = append(m.diff, veDelta{m.inVes[i].Ve, -m.inVes[i].Count})
+			i++
+		case i == len(m.inVes) || m.outVes[j].Ve < m.inVes[i].Ve:
+			m.diff = append(m.diff, veDelta{m.outVes[j].Ve, m.outVes[j].Count})
+			j++
+		default:
+			if d := m.outVes[j].Count - m.inVes[i].Count; d != 0 {
+				m.diff = append(m.diff, veDelta{m.inVes[i].Ve, d})
+			}
+			i++
+			j++
+		}
+	}
+	return totalIn, totalOut
+}
+
 // adjustOutputCount makes the output hold exactly as many events for f's
 // (Vs, Payload) as vouching input s does, aligning per-Ve counts where it
 // can (AdjustOutputCount of Sec. IV-E). Only occurrences with Ve at or above
@@ -129,22 +217,7 @@ func (m *R4) stable(s StreamID, t temporal.Time) {
 // previous stables and can no longer differ.
 func (m *R4) adjustOutputCount(f *index.Node3, s StreamID) {
 	k := f.Key()
-	totalIn, totalOut := 0, 0
-	diff := make(map[temporal.Time]int) // out - in, per Ve, within the live region
-	f.AscendVe(s, func(ve temporal.Time, c int) bool {
-		if ve >= m.maxStable {
-			totalIn += c
-			diff[ve] -= c
-		}
-		return true
-	})
-	f.AscendVe(index.OutputStream, func(ve temporal.Time, c int) bool {
-		if ve >= m.maxStable {
-			totalOut += c
-			diff[ve] += c
-		}
-		return true
-	})
+	totalIn, totalOut := m.veDiff(f, s)
 	switch {
 	case totalOut > totalIn:
 		// Remove surplus output events, taking them from over-represented
@@ -156,10 +229,11 @@ func (m *R4) adjustOutputCount(f *index.Node3, s StreamID) {
 			m.stats.ConsistencyWarnings++
 			return
 		}
-		for ve, d := range diff {
-			for ; d > 0 && need > 0; d, need = d-1, need-1 {
-				m.outAdjust(k.Payload, k.Vs, ve, k.Vs)
-				f.DecrementCount(index.OutputStream, ve)
+		for idx := range m.diff {
+			for ; m.diff[idx].d > 0 && need > 0; need-- {
+				m.diff[idx].d--
+				m.outAdjust(k.Payload, k.Vs, m.diff[idx].ve, k.Vs)
+				f.DecrementCount(index.OutputStream, m.diff[idx].ve)
 			}
 		}
 	case totalIn > totalOut:
@@ -168,13 +242,28 @@ func (m *R4) adjustOutputCount(f *index.Node3, s StreamID) {
 			m.stats.ConsistencyWarnings++
 			return
 		}
-		for ve, d := range diff {
-			for ; d < 0 && need > 0; d, need = d+1, need-1 {
-				m.outInsert(k.Payload, k.Vs, ve)
-				f.IncrementCount(index.OutputStream, ve)
+		for idx := range m.diff {
+			for ; m.diff[idx].d < 0 && need > 0; need-- {
+				m.diff[idx].d++
+				m.outInsert(k.Payload, k.Vs, m.diff[idx].ve)
+				f.IncrementCount(index.OutputStream, m.diff[idx].ve)
 			}
 		}
 	}
+}
+
+// takeDelta consumes one occurrence from the pool, advancing *cur past
+// exhausted entries; ok is false once the pool is empty. Pools store
+// positive counts regardless of which side of the diff they came from.
+func takeDelta(pool []veDelta, cur *int) (temporal.Time, bool) {
+	for *cur < len(pool) {
+		if pool[*cur].d > 0 {
+			pool[*cur].d--
+			return pool[*cur].ve, true
+		}
+		*cur++
+	}
+	return 0, false
 }
 
 // adjustOutput retargets output events so that, for every Ve becoming fully
@@ -185,38 +274,22 @@ func (m *R4) adjustOutputCount(f *index.Node3, s StreamID) {
 // values (or Infinity as a last resort).
 func (m *R4) adjustOutput(f *index.Node3, s StreamID, t temporal.Time) {
 	k := f.Key()
-	// Per-Ve imbalance within the live region [maxStable, ∞).
-	type imb struct {
-		ve temporal.Time
-		n  int
-	}
-	var deficitFF, surplusFF, surplusLive, deficitLive []imb
-	diff := make(map[temporal.Time]int)
-	f.AscendVe(s, func(ve temporal.Time, c int) bool {
-		if ve >= m.maxStable {
-			diff[ve] -= c
-		}
-		return true
-	})
-	f.AscendVe(index.OutputStream, func(ve temporal.Time, c int) bool {
-		if ve >= m.maxStable {
-			diff[ve] += c
-		}
-		return true
-	})
-	for ve, d := range diff {
+	m.veDiff(f, s)
+	m.defFF, m.surFF = m.defFF[:0], m.surFF[:0]
+	m.surLive, m.defLive = m.surLive[:0], m.defLive[:0]
+	for _, dd := range m.diff {
 		switch {
-		case d < 0 && ve < t:
-			deficitFF = append(deficitFF, imb{ve, -d})
-		case d > 0 && ve < t:
-			surplusFF = append(surplusFF, imb{ve, d})
-		case d > 0:
-			surplusLive = append(surplusLive, imb{ve, d})
-		case d < 0:
-			deficitLive = append(deficitLive, imb{ve, -d})
+		case dd.d < 0 && dd.ve < t:
+			m.defFF = append(m.defFF, veDelta{dd.ve, -dd.d})
+		case dd.d > 0 && dd.ve < t:
+			m.surFF = append(m.surFF, veDelta{dd.ve, dd.d})
+		case dd.d > 0:
+			m.surLive = append(m.surLive, veDelta{dd.ve, dd.d})
+		default:
+			m.defLive = append(m.defLive, veDelta{dd.ve, -dd.d})
 		}
 	}
-	if len(deficitFF) == 0 && len(surplusFF) == 0 {
+	if len(m.defFF) == 0 && len(m.surFF) == 0 {
 		return
 	}
 	move := func(from, to temporal.Time) {
@@ -224,28 +297,15 @@ func (m *R4) adjustOutput(f *index.Node3, s StreamID, t temporal.Time) {
 		f.DecrementCount(index.OutputStream, from)
 		f.IncrementCount(index.OutputStream, to)
 	}
-	take := func(pool *[]imb) (temporal.Time, bool) {
-		for len(*pool) > 0 {
-			head := &(*pool)[0]
-			if head.n > 0 {
-				head.n--
-				if head.n == 0 {
-					*pool = (*pool)[1:]
-				}
-				return head.ve, true
-			}
-			*pool = (*pool)[1:]
-		}
-		return 0, false
-	}
+	var surFFCur, surLiveCur, defLiveCur int
 	// Fill frozen deficits from frozen surplus first, then live surplus.
-	for _, d := range deficitFF {
-		for i := 0; i < d.n; i++ {
-			if src, ok := take(&surplusFF); ok {
+	for _, d := range m.defFF {
+		for i := 0; i < d.d; i++ {
+			if src, ok := takeDelta(m.surFF, &surFFCur); ok {
 				move(src, d.ve)
 				continue
 			}
-			if src, ok := take(&surplusLive); ok {
+			if src, ok := takeDelta(m.surLive, &surLiveCur); ok {
 				move(src, d.ve)
 				continue
 			}
@@ -255,11 +315,11 @@ func (m *R4) adjustOutput(f *index.Node3, s StreamID, t temporal.Time) {
 	}
 	// Push leftover frozen surplus out of the frozen region.
 	for {
-		src, ok := take(&surplusFF)
+		src, ok := takeDelta(m.surFF, &surFFCur)
 		if !ok {
 			break
 		}
-		if dst, ok := take(&deficitLive); ok {
+		if dst, ok := takeDelta(m.defLive, &defLiveCur); ok {
 			move(src, dst)
 			continue
 		}

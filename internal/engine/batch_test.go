@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"lmerge/internal/temporal"
+)
+
+// runBatched drives els through a fresh src→mid→sink pipeline under a
+// Runtime configured with the given batch size, returning the sink's output.
+func runBatched(t *testing.T, els []temporal.Element, batch int, inject func(*Runtime, *Node)) []temporal.Element {
+	t.Helper()
+	g := NewGraph()
+	src := g.Add(&passthrough{name: "src"})
+	mid := g.Add(&passthrough{name: "mid"})
+	sink := &collector{}
+	g.Connect(src, mid)
+	g.Connect(mid, g.Add(sink))
+	rt := NewRuntime(g, WithBatchSize(batch))
+	rt.Start()
+	inject(rt, src)
+	rt.Close()
+	return sink.els
+}
+
+// TestBatchedDispatchMatchesSync checks that batched dispatch is purely a
+// transport optimisation: for every batch size (including 1, the
+// per-element protocol) and for both Inject and InjectBatch, the output is
+// element-for-element identical to the synchronous executor's.
+func TestBatchedDispatchMatchesSync(t *testing.T) {
+	var els []temporal.Element
+	for i := int64(0); i < 500; i++ {
+		els = append(els, temporal.Insert(temporal.P(i), temporal.Time(i), temporal.Time(i+10)))
+		if i%50 == 49 {
+			els = append(els, temporal.Stable(temporal.Time(i-5)))
+		}
+	}
+	els = append(els, temporal.Stable(temporal.Infinity))
+
+	// Sync reference.
+	g := NewGraph()
+	src := g.Add(&passthrough{name: "src"})
+	mid := g.Add(&passthrough{name: "mid"})
+	sink := &collector{}
+	g.Connect(src, mid)
+	g.Connect(mid, g.Add(sink))
+	for _, e := range els {
+		src.Inject(e)
+	}
+	want := sink.els
+
+	perElement := func(rt *Runtime, n *Node) {
+		for _, e := range els {
+			rt.Inject(n, e)
+		}
+	}
+	bulk := func(rt *Runtime, n *Node) { rt.InjectBatch(n, els) }
+
+	for _, batch := range []int{1, 2, 64, 1024} {
+		for name, inject := range map[string]func(*Runtime, *Node){"Inject": perElement, "InjectBatch": bulk} {
+			got := runBatched(t, els, batch, inject)
+			if len(got) != len(want) {
+				t.Fatalf("batch=%d %s: got %d elements, want %d", batch, name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("batch=%d %s: element %d = %v, want %v", batch, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// chanCollector hands every element it receives to a channel, so a test can
+// observe delivery while the runtime is still running.
+type chanCollector struct {
+	ch chan temporal.Element
+}
+
+func (c *chanCollector) Name() string { return "chan-collector" }
+func (c *chanCollector) Process(_ int, e temporal.Element, _ *Out) {
+	c.ch <- e
+}
+func (c *chanCollector) OnFeedback(temporal.Time) bool { return false }
+
+// TestStableFlushesBatch verifies the liveness rule: a stable element (the
+// stream's punctuation) must not sit in a half-full dispatch buffer while
+// the producing goroutine blocks for more input. With a huge batch size and
+// the runtime still open, the stable — and the insert queued before it —
+// must reach the sink anyway.
+func TestStableFlushesBatch(t *testing.T) {
+	g := NewGraph()
+	src := g.Add(&passthrough{name: "src"})
+	sink := &chanCollector{ch: make(chan temporal.Element, 8)}
+	g.Connect(src, g.Add(sink))
+	rt := NewRuntime(g, WithBatchSize(1<<20))
+	rt.Start()
+	defer rt.Close()
+	rt.Inject(src, temporal.Insert(temporal.P(1), 1, 10))
+	rt.Inject(src, temporal.Stable(5))
+	timeout := time.After(5 * time.Second)
+	var got []temporal.Element
+	for len(got) < 2 {
+		select {
+		case e := <-sink.ch:
+			got = append(got, e)
+		case <-timeout:
+			t.Fatalf("stable held back in dispatch buffer; sink got only %v", got)
+		}
+	}
+	if got[1].Kind != temporal.KindStable {
+		t.Fatalf("sink got %v, want insert then stable", got)
+	}
+}

@@ -57,8 +57,8 @@ type Node struct {
 	idx        int
 	downstream []edge
 	upstream   []*Node
-	inbox      chan message // used by the concurrent runtime
-	ffPoint    atomic.Int64 // latest feedback time delivered to this node
+	inbox      chan []message // used by the concurrent runtime (batched)
+	ffPoint    atomic.Int64   // latest feedback time delivered to this node
 }
 
 type edge struct {
@@ -105,9 +105,22 @@ func (n *Node) FFPoint() temporal.Time { return temporal.Time(n.ffPoint.Load()) 
 
 // Out is the emission context handed to Operator.Process. It routes emitted
 // elements to the node's downstream ports and feedback to its upstream.
+//
+// In the concurrent runtime, emissions are not sent one channel operation at
+// a time: Out accumulates a pending batch per downstream edge and flushes it
+// when it reaches the runtime's batch size, when a stable element is emitted
+// (stables are punctuation — holding one back would stall downstream
+// progress and feedback, Sec. III), and when the node finishes draining an
+// incoming batch. The synchronous executor is untouched by batching: it
+// delivers depth-first, element by element, fully deterministically.
 type Out struct {
 	node *Node
 	mode dispatchMode
+	// batch is the concurrent dispatch batch size (<=1 sends per element).
+	batch int
+	// bufs holds the pending outgoing batch per downstream edge
+	// (concurrent mode only).
+	bufs [][]message
 	// trace, when non-nil, receives every element this node emits (used by
 	// sinks and tests).
 	trace func(temporal.Element)
@@ -125,13 +138,36 @@ func (o *Out) Emit(e temporal.Element) {
 	if o.trace != nil {
 		o.trace(e)
 	}
-	for _, d := range o.node.downstream {
-		switch o.mode {
-		case dispatchSync:
+	switch o.mode {
+	case dispatchSync:
+		for _, d := range o.node.downstream {
 			d.to.deliverSync(d.port, e, o.mode)
-		case dispatchConcurrent:
-			d.to.inbox <- message{port: d.port, el: e}
 		}
+	case dispatchConcurrent:
+		for i, d := range o.node.downstream {
+			o.bufs[i] = append(o.bufs[i], message{port: d.port, el: e})
+			if len(o.bufs[i]) >= o.batch || e.Kind == temporal.KindStable {
+				o.flushEdge(i)
+			}
+		}
+	}
+}
+
+// flushEdge sends edge i's pending batch downstream.
+func (o *Out) flushEdge(i int) {
+	if len(o.bufs[i]) == 0 {
+		return
+	}
+	o.node.downstream[i].to.inbox <- o.bufs[i]
+	o.bufs[i] = getBatch()
+}
+
+// flushAll drains every pending outgoing batch. The runtime calls it after a
+// node finishes an incoming batch, so no emission is held back while the
+// node blocks on its next receive.
+func (o *Out) flushAll() {
+	for i := range o.bufs {
+		o.flushEdge(i)
 	}
 }
 

@@ -9,28 +9,73 @@ import (
 
 // Runtime executes a graph concurrently: one goroutine per node, channels
 // between nodes — the natural Go realisation of a push-based DSMS operator
-// graph. Elements flow through buffered channels; feedback bypasses the
-// channels entirely (it is an atomic watermark bump walked upstream), so the
-// upstream flow can never deadlock against the downstream flow. The graph
-// must be acyclic, which also makes the downstream flow deadlock-free.
+// graph. Elements flow through buffered channels in batches (see Out);
+// feedback bypasses the channels entirely (it is an atomic watermark bump
+// walked upstream), so the upstream flow can never deadlock against the
+// downstream flow. The graph must be acyclic, which also makes the
+// downstream flow deadlock-free.
 type Runtime struct {
 	g         *Graph
 	wg        sync.WaitGroup
 	producers []atomic.Int32
+	batch     int
 	started   bool
 }
 
-// inboxDepth is the per-node channel buffer: deep enough to decouple
-// producer/consumer bursts, shallow enough to keep memory bounded.
-const inboxDepth = 1024
+// DefaultBatchSize is the dispatch batch size used unless WithBatchSize
+// overrides it: large enough to amortise channel synchronisation to a small
+// fraction of an element's processing cost, small enough that a batch stays
+// within a few cache lines of element headers.
+const DefaultBatchSize = 64
 
-// NewRuntime prepares a concurrent runtime for g.
-func NewRuntime(g *Graph) *Runtime {
-	return &Runtime{g: g}
+// inboxDepth is the per-node channel buffer in batches: deep enough to
+// decouple producer/consumer bursts, shallow enough to keep memory bounded
+// (worst case inboxDepth × batch element headers per edge).
+const inboxDepth = 256
+
+// RuntimeOption configures a Runtime.
+type RuntimeOption func(*Runtime)
+
+// WithBatchSize sets the dispatch batch size. n <= 1 sends every element as
+// its own batch (the pre-batching protocol, kept for latency-sensitive or
+// comparison runs); n == 0 keeps the default.
+func WithBatchSize(n int) RuntimeOption {
+	return func(r *Runtime) {
+		if n > 0 {
+			r.batch = n
+		}
+	}
 }
 
-// Start launches one goroutine per node. Feed source nodes with Inject and
-// finish with Close.
+// NewRuntime prepares a concurrent runtime for g.
+func NewRuntime(g *Graph, opts ...RuntimeOption) *Runtime {
+	r := &Runtime{g: g, batch: DefaultBatchSize}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// batchPool recycles message batches between consumers (which drain them)
+// and producers (which fill them), keeping steady-state dispatch
+// allocation-free. Stored as *[]message so Put does not allocate a header.
+var batchPool = sync.Pool{
+	New: func() any {
+		s := make([]message, 0, DefaultBatchSize)
+		return &s
+	},
+}
+
+func getBatch() []message {
+	return (*batchPool.Get().(*[]message))[:0]
+}
+
+func putBatch(b []message) {
+	batchPool.Put(&b)
+}
+
+// Start launches one goroutine per node. Feed source nodes with Inject or
+// InjectBatch and finish with Close.
 func (r *Runtime) Start() {
 	if r.started {
 		return
@@ -38,7 +83,7 @@ func (r *Runtime) Start() {
 	r.started = true
 	r.producers = make([]atomic.Int32, len(r.g.nodes))
 	for _, n := range r.g.nodes {
-		n.inbox = make(chan message, inboxDepth)
+		n.inbox = make(chan []message, inboxDepth)
 		// Producers: upstream operator goroutines, or the external driver
 		// for source nodes.
 		c := len(n.upstream)
@@ -51,10 +96,21 @@ func (r *Runtime) Start() {
 		r.wg.Add(1)
 		go func(n *Node) {
 			defer r.wg.Done()
-			out := Out{node: n, mode: dispatchConcurrent}
-			for m := range n.inbox {
-				n.op.Process(m.port, m.el, &out)
+			out := Out{node: n, mode: dispatchConcurrent, batch: r.batch}
+			out.bufs = make([][]message, len(n.downstream))
+			for i := range out.bufs {
+				out.bufs[i] = getBatch()
 			}
+			for batch := range n.inbox {
+				for _, m := range batch {
+					n.op.Process(m.port, m.el, &out)
+				}
+				putBatch(batch)
+				// Flush before blocking on the next receive: emissions must
+				// not be held hostage to future input.
+				out.flushAll()
+			}
+			out.flushAll()
 			for _, d := range n.downstream {
 				r.release(d.to)
 			}
@@ -70,10 +126,32 @@ func (r *Runtime) release(n *Node) {
 	}
 }
 
-// Inject feeds an element into a source node's inbox (port 0). It must not
-// be called after Close.
+// Inject feeds one element into a source node's inbox (port 0) as a
+// single-element batch. It must not be called after Close. Bulk drivers
+// should prefer InjectBatch, which amortises channel synchronisation.
 func (r *Runtime) Inject(n *Node, e temporal.Element) {
-	n.inbox <- message{port: 0, el: e}
+	b := getBatch()
+	b = append(b, message{port: 0, el: e})
+	n.inbox <- b
+}
+
+// InjectBatch feeds a run of elements into a source node's inbox (port 0),
+// chunked at the runtime's batch size. The whole slice is handed off before
+// returning — nothing is held back awaiting further input.
+func (r *Runtime) InjectBatch(n *Node, els []temporal.Element) {
+	chunk := r.batch
+	if chunk < 1 {
+		chunk = 1
+	}
+	for len(els) > 0 {
+		k := min(len(els), chunk)
+		b := getBatch()
+		for _, e := range els[:k] {
+			b = append(b, message{port: 0, el: e})
+		}
+		n.inbox <- b
+		els = els[k:]
+	}
 }
 
 // Close signals end-of-stream at every source node and waits for the whole

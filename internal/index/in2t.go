@@ -18,7 +18,96 @@ type In2t struct {
 // Node2 is one top-tier node of an In2t.
 type Node2 struct {
 	event temporal.Event
-	ve    map[int]temporal.Time
+	ve    veTable
+}
+
+// veInline is the number of (stream, Ve) entries a node stores inline before
+// spilling to a map. Paper runs use 2–3 inputs plus the output entry, so the
+// inline array covers the common case with zero allocation and a scan that
+// beats map hashing at these sizes.
+const veInline = 8
+
+// veEntry is one (stream id, current Ve) pair.
+type veEntry struct {
+	s  int
+	ve temporal.Time
+}
+
+// veTable maps stream id → current Ve. Entries live in a small array sorted
+// by stream id; once a node accumulates more than veInline entries they
+// spill to an ordinary map (and stay there — spilling is rare and one-way).
+type veTable struct {
+	n     int
+	small [veInline]veEntry
+	spill map[int]temporal.Time
+}
+
+func (t *veTable) get(s int) (temporal.Time, bool) {
+	if t.spill != nil {
+		ve, ok := t.spill[s]
+		return ve, ok
+	}
+	for i := 0; i < t.n; i++ {
+		if t.small[i].s == s {
+			return t.small[i].ve, true
+		}
+		if t.small[i].s > s {
+			break
+		}
+	}
+	return 0, false
+}
+
+func (t *veTable) put(s int, ve temporal.Time) {
+	if t.spill != nil {
+		t.spill[s] = ve
+		return
+	}
+	i := 0
+	for ; i < t.n; i++ {
+		if t.small[i].s == s {
+			t.small[i].ve = ve
+			return
+		}
+		if t.small[i].s > s {
+			break
+		}
+	}
+	if t.n == veInline {
+		t.spill = make(map[int]temporal.Time, veInline+1)
+		for _, e := range t.small[:t.n] {
+			t.spill[e.s] = e.ve
+		}
+		t.spill[s] = ve
+		return
+	}
+	copy(t.small[i+1:t.n+1], t.small[i:t.n])
+	t.small[i] = veEntry{s: s, ve: ve}
+	t.n++
+}
+
+func (t *veTable) del(s int) {
+	if t.spill != nil {
+		delete(t.spill, s)
+		return
+	}
+	for i := 0; i < t.n; i++ {
+		if t.small[i].s == s {
+			copy(t.small[i:t.n-1], t.small[i+1:t.n])
+			t.n--
+			return
+		}
+		if t.small[i].s > s {
+			return
+		}
+	}
+}
+
+func (t *veTable) len() int {
+	if t.spill != nil {
+		return len(t.spill)
+	}
+	return t.n
 }
 
 // NewIn2t returns an empty index.
@@ -43,10 +132,7 @@ func (x *In2t) Get(k temporal.VsPayload) (*Node2, bool) {
 // AddNode creates a node for e's (Vs, Payload) storing e as the shared event
 // (Algorithm R3 line 7). The caller must have checked the node is absent.
 func (x *In2t) AddNode(e temporal.Element) *Node2 {
-	n := &Node2{
-		event: temporal.Event{Payload: e.Payload, Vs: e.Vs, Ve: e.Ve},
-		ve:    make(map[int]temporal.Time, 4),
-	}
+	n := &Node2{event: temporal.Event{Payload: e.Payload, Vs: e.Vs, Ve: e.Ve}}
 	x.tree.Put(e.Key(), n)
 	return n
 }
@@ -61,15 +147,22 @@ func (x *In2t) DeleteNode(k temporal.VsPayload) bool {
 // (Algorithm R3 line 17). The slice is a snapshot, so the caller may delete
 // nodes while walking it.
 func (x *In2t) FindHalfFrozen(t temporal.Time) []*Node2 {
-	var out []*Node2
+	return x.FindHalfFrozenInto(t, nil)
+}
+
+// FindHalfFrozenInto is FindHalfFrozen appending into buf (reset to length
+// zero first), letting stable sweeps reuse one scratch slice instead of
+// allocating per stable.
+func (x *In2t) FindHalfFrozenInto(t temporal.Time, buf []*Node2) []*Node2 {
+	buf = buf[:0]
 	x.tree.Ascend(func(k temporal.VsPayload, n *Node2) bool {
 		if k.Vs >= t {
 			return false // keys are Vs-major, so no later node qualifies
 		}
-		out = append(out, n)
+		buf = append(buf, n)
 		return true
 	})
-	return out
+	return buf
 }
 
 // Ascend visits all nodes in key order.
@@ -82,7 +175,7 @@ func (x *In2t) Ascend(fn func(*Node2) bool) {
 func (x *In2t) SizeBytes() int {
 	total := 0
 	x.tree.Ascend(func(_ temporal.VsPayload, n *Node2) bool {
-		total += nodeOverhead + n.event.Payload.SizeBytes() + 16*len(n.ve)
+		total += nodeOverhead + n.event.Payload.SizeBytes() + 16*n.ve.len()
 		return true
 	})
 	return total
@@ -98,17 +191,24 @@ func (n *Node2) Event() temporal.Event { return n.event }
 func (n *Node2) Key() temporal.VsPayload { return n.event.Key() }
 
 // Ve returns the hash-table entry for stream s (Algorithm R3 GetHashEntry).
-func (n *Node2) Ve(s int) (temporal.Time, bool) {
-	ve, ok := n.ve[s]
-	return ve, ok
-}
+func (n *Node2) Ve(s int) (temporal.Time, bool) { return n.ve.get(s) }
 
 // SetVe adds or updates the hash-table entry for stream s (AddHashEntry /
 // UpdateHashEntry in Algorithm R3).
-func (n *Node2) SetVe(s int, ve temporal.Time) { n.ve[s] = ve }
+func (n *Node2) SetVe(s int, ve temporal.Time) { n.ve.put(s, ve) }
 
 // DeleteStream drops stream s's entry, used when an input detaches.
-func (n *Node2) DeleteStream(s int) { delete(n.ve, s) }
+func (n *Node2) DeleteStream(s int) { n.ve.del(s) }
 
-// Streams returns the number of hash entries (inputs plus output).
-func (n *Node2) Streams() int { return len(n.ve) }
+// Streams returns the number of entries (inputs plus output).
+func (n *Node2) Streams() int { return n.ve.len() }
+
+// Vouchers returns the number of input-stream entries (OutputStream
+// excluded) the node still holds.
+func (n *Node2) Vouchers() int {
+	c := n.ve.len()
+	if _, ok := n.ve.get(OutputStream); ok {
+		c--
+	}
+	return c
+}

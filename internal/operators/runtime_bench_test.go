@@ -1,0 +1,76 @@
+package operators
+
+import (
+	"fmt"
+	"testing"
+
+	"lmerge/internal/core"
+	"lmerge/internal/engine"
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+// runtimeBenchStreams renders n identical ordered copies for a runtime
+// throughput run (the Fig. 3 shape: copies of one query's output).
+func runtimeBenchStreams(n, events int) []temporal.Stream {
+	sc := gen.NewScript(gen.Config{
+		Events: events, Seed: 91, UniqueVs: true, MaxGap: 4, PayloadBytes: 32,
+	})
+	one := sc.RenderOrdered(gen.OrderedStrict, gen.RenderOptions{Seed: 9, StableFreq: 0.01})
+	streams := make([]temporal.Stream, n)
+	for i := range streams {
+		streams[i] = one
+	}
+	return streams
+}
+
+// buildMergeFanIn wires n sources straight into one LMerge feeding a sink.
+func buildMergeFanIn(n int) (*engine.Graph, []*engine.Node, *Sink) {
+	g := engine.NewGraph()
+	lm := NewLMerge(n, -1, func(emit core.Emit) core.Merger { return core.NewR3(emit) })
+	lmNode := g.Add(lm)
+	sink := NewSink()
+	sink.TDB = nil // throughput run: skip reconstitution
+	g.Connect(lmNode, g.Add(sink))
+	srcs := make([]*engine.Node, n)
+	for i := 0; i < n; i++ {
+		srcs[i] = g.Add(NewSource(fmt.Sprintf("in%d", i)))
+		g.Connect(srcs[i], lmNode)
+	}
+	return g, srcs, sink
+}
+
+// benchRuntimeMerge measures elements/sec through a source→LMerge→sink graph
+// on the concurrent Runtime, with one injecting goroutine per input. batch
+// selects the runtime's dispatch batch size (1 = per-element sends).
+func benchRuntimeMerge(b *testing.B, inputs, batch int) {
+	streams := runtimeBenchStreams(inputs, 20000)
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, srcs, _ := buildMergeFanIn(inputs)
+		rt := engine.NewRuntime(g, engine.WithBatchSize(batch))
+		rt.Start()
+		done := make(chan struct{})
+		for s := range streams {
+			go func(s int) {
+				rt.InjectBatch(srcs[s], streams[s])
+				done <- struct{}{}
+			}(s)
+		}
+		for range streams {
+			<-done
+		}
+		rt.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total*b.N), "ns/element")
+}
+
+func BenchmarkRuntimeMerge2In(b *testing.B)          { benchRuntimeMerge(b, 2, 0) }
+func BenchmarkRuntimeMerge4In(b *testing.B)          { benchRuntimeMerge(b, 4, 0) }
+func BenchmarkRuntimeMerge2InUnbatched(b *testing.B) { benchRuntimeMerge(b, 2, 1) }
+func BenchmarkRuntimeMerge4InUnbatched(b *testing.B) { benchRuntimeMerge(b, 4, 1) }

@@ -19,6 +19,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -166,14 +167,14 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	r := bufio.NewScanner(conn)
-	r.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	if !r.Scan() {
+	r := bufio.NewReaderSize(conn, 64*1024)
+	hello, err := readLine(r)
+	if err != nil && len(hello) == 0 {
 		return
 	}
-	role, arg, err := parseHello(r.Text())
-	if err != nil {
-		fmt.Fprintf(conn, "ERR %v\n", err)
+	role, arg, perr := parseHello(string(hello))
+	if perr != nil {
+		fmt.Fprintf(conn, "ERR %v\n", perr)
 		return
 	}
 	switch role {
@@ -182,6 +183,21 @@ func (s *Server) handle(conn net.Conn) {
 	case "SUB":
 		s.serveSubscriber(conn)
 	}
+}
+
+// readLine reads one newline-terminated line, tolerating lines longer than
+// the reader's buffer. The returned slice is valid only until the next read.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		long := append([]byte(nil), line...)
+		for err == bufio.ErrBufferFull {
+			line, err = r.ReadSlice('\n')
+			long = append(long, line...)
+		}
+		line = long
+	}
+	return bytes.TrimRight(line, "\r\n"), err
 }
 
 func parseHello(line string) (role string, joinTime temporal.Time, err error) {
@@ -206,7 +222,14 @@ func parseHello(line string) (role string, joinTime temporal.Time, err error) {
 	return "", 0, fmt.Errorf("unknown role %q", fields[1])
 }
 
-func (s *Server) servePublisher(conn net.Conn, r *bufio.Scanner, joinTime temporal.Time) {
+// pubBatchSize is how many parsed elements a publisher handler accumulates
+// before pushing them through the merge under one lock acquisition. The
+// batch is also flushed at stable elements (punctuation must propagate — it
+// drives subscriber progress and feedback) and whenever the connection has
+// no more buffered input, so a trickling publisher sees per-element latency.
+const pubBatchSize = 64
+
+func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime temporal.Time) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -218,28 +241,45 @@ func (s *Server) servePublisher(conn net.Conn, r *bufio.Scanner, joinTime tempor
 	s.mu.Unlock()
 	fmt.Fprintf(conn, "OK %d\n", id)
 
+	pending := make(temporal.Stream, 0, pubBatchSize)
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		s.mu.Lock()
+		err := s.op.ProcessBatch(id, pending)
+		s.mu.Unlock()
+		pending = pending[:0]
+		return err
+	}
 	defer func() {
+		// Anything parsed before the disconnect is part of the stream and
+		// must be merged before the detach releases the publisher's state.
+		flush()
 		s.mu.Lock()
 		s.op.Detach(id)
 		delete(s.pubConns, id)
 		s.pubCount--
 		s.mu.Unlock()
 	}()
-	for r.Scan() {
-		line := r.Bytes()
-		if len(line) == 0 {
-			continue
+	for {
+		line, rerr := readLine(r)
+		if len(line) > 0 {
+			e, err := temporal.UnmarshalElement(line)
+			if err != nil {
+				flush()
+				fmt.Fprintf(conn, "ERR %v\n", err)
+				return
+			}
+			pending = append(pending, e)
+			if len(pending) >= pubBatchSize || e.Kind == temporal.KindStable || r.Buffered() == 0 {
+				if perr := flush(); perr != nil {
+					fmt.Fprintf(conn, "ERR %v\n", perr)
+					return
+				}
+			}
 		}
-		e, err := temporal.UnmarshalElement(line)
-		if err != nil {
-			fmt.Fprintf(conn, "ERR %v\n", err)
-			return
-		}
-		s.mu.Lock()
-		perr := s.op.Process(id, e)
-		s.mu.Unlock()
-		if perr != nil {
-			fmt.Fprintf(conn, "ERR %v\n", perr)
+		if rerr != nil {
 			return
 		}
 	}
