@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz experiments clean
+.PHONY: all check build vet test race cover bench chaos fuzz experiments clean
 
 all: build vet test
+
+# Everything CI cares about: compile, vet, full tests, race on the
+# concurrent packages, and the seeded chaos soak.
+check: build vet test race chaos
 
 build:
 	$(GO) build ./...
@@ -23,6 +27,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Seeded end-to-end fault drill: chaos soak + failover-latency measurement
+# (see DESIGN.md §6 and the failover section of EXPERIMENTS.md).
+chaos:
+	$(GO) test -race -v -run 'TestChaosSoak|TestFailoverLatency' ./internal/chaos/
 
 # Short fuzz sessions over the wire codec and reconstitution.
 fuzz:

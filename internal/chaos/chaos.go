@@ -1,0 +1,204 @@
+// Package chaos is a deterministic, seeded fault injector for the
+// fault-tolerance layer (paper Sec. II-1: the high-availability application
+// must keep the merged output flowing while replicas crash, lag, restart,
+// and re-deliver). It perturbs streams and network connections with the
+// physical divergence real engines exhibit — duplication, reordering beyond
+// the declared disorder bound, stragglers, crashes mid-frame, and corrupt
+// frames — while every decision is drawn from one seeded generator, so any
+// failing scenario replays exactly from its seed.
+//
+// Two fault surfaces are covered:
+//
+//   - Stream faults (Perturb): a semantics-preserving re-presentation of a
+//     physical stream. Elements are duplicated and reordered across keys
+//     within stable-bounded windows; per-key element order and stable
+//     boundaries are preserved, so the result is a valid physical stream
+//     reconstituting to the same TDB — physically divergent, logically
+//     equivalent (the paper's core premise).
+//
+//   - Connection faults (WrapConn/Dialer): a net.Conn wrapper that crashes
+//     the connection, truncates a write mid-frame, corrupts a frame into
+//     unparseable bytes, or delays writes (stragglers). These model the
+//     failures the server's supervision and the clients' reconnect loops
+//     must absorb.
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"lmerge/internal/temporal"
+)
+
+// Config parameterises an Injector. All probabilities are in [0, 1]; zero
+// disables the corresponding fault.
+type Config struct {
+	// Seed drives every random decision; the same seed replays the same
+	// fault schedule.
+	Seed int64
+
+	// DupProb is the per-element probability of re-delivering the element
+	// immediately after itself (the re-attach duplication hazard of
+	// Sec. I-B-4, compressed in time).
+	DupProb float64
+	// ShuffleProb is the per-window probability of reordering a
+	// stable-bounded window across keys (disorder beyond whatever bound the
+	// renderer declared).
+	ShuffleProb float64
+
+	// CrashProb is the per-write probability of killing the connection
+	// before any bytes leave.
+	CrashProb float64
+	// TruncateProb is the per-write probability of writing a prefix of the
+	// frame and then killing the connection (a crash mid-frame).
+	TruncateProb float64
+	// CorruptProb is the per-write probability of replacing the frame's
+	// bytes with unparseable garbage (newlines preserved, so the receiver
+	// sees a garbage line, not a concatenation of frames).
+	CorruptProb float64
+	// DelayProb/MaxDelay inject a straggler stall before a write.
+	DelayProb float64
+	MaxDelay  time.Duration
+}
+
+// Stats counts the faults an injector has actually fired.
+type Stats struct {
+	Dups, Shuffles            int64
+	Crashes, Truncates        int64
+	Corrupts, Delays          int64
+	BytesWritten, BytesMauled int64
+}
+
+// Injector draws faults from one seeded source. Safe for concurrent use;
+// note that concurrency makes the interleaving of draws scheduling-dependent,
+// so for strict reproducibility give each concurrent client its own Fork.
+type Injector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New builds an injector for cfg.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Fork derives an independent injector with the same fault configuration and
+// a seed mixed from the parent's seed and i. Give one fork to each concurrent
+// publisher so their fault schedules are individually reproducible.
+func (in *Injector) Fork(i int64) *Injector {
+	cfg := in.cfg
+	cfg.Seed = in.cfg.Seed*1_000_003 + i
+	return New(cfg)
+}
+
+// Stats returns a snapshot of the fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// chance draws one biased coin under the injector's lock.
+func (in *Injector) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	ok := in.rng.Float64() < p
+	in.mu.Unlock()
+	return ok
+}
+
+// Perturb returns a physically divergent re-presentation of s: elements may
+// be duplicated and windows between stable elements reordered across keys.
+// Per-key element order (an adjust chain must follow its insert) and stable
+// positions are preserved, so the output is a valid physical stream for the
+// same logical TDB. s is not modified.
+func (in *Injector) Perturb(s temporal.Stream) temporal.Stream {
+	out := make(temporal.Stream, 0, len(s)+len(s)/8)
+	win := make(temporal.Stream, 0, 64)
+	for _, e := range s {
+		if e.Kind == temporal.KindStable {
+			out = in.flushWindow(out, win)
+			win = win[:0]
+			out = append(out, e)
+			continue
+		}
+		win = append(win, e)
+		if in.chance(in.cfg.DupProb) {
+			win = append(win, e)
+			in.mu.Lock()
+			in.stats.Dups++
+			in.mu.Unlock()
+		}
+	}
+	return in.flushWindow(out, win)
+}
+
+// flushWindow appends one stable-bounded window to out, shuffling it across
+// keys with probability ShuffleProb.
+func (in *Injector) flushWindow(out, win temporal.Stream) temporal.Stream {
+	if len(win) > 1 && in.chance(in.cfg.ShuffleProb) {
+		in.mu.Lock()
+		win = shuffleKeepKeyOrder(in.rng, win)
+		in.stats.Shuffles++
+		in.mu.Unlock()
+	}
+	return append(out, win...)
+}
+
+// shuffleKeepKeyOrder reorders win arbitrarily across keys while keeping each
+// key's elements in their original relative order: a random permutation
+// assigns target positions, then each key's elements refill that key's
+// positions in ascending order. Returns a new slice.
+func shuffleKeepKeyOrder(rng *rand.Rand, win temporal.Stream) temporal.Stream {
+	n := len(win)
+	perm := rng.Perm(n)
+	// Group the permuted positions by key, in each key's original element
+	// order; sort each group so earlier elements land earlier.
+	targets := make(map[temporal.VsPayload][]int, n)
+	for i, e := range win {
+		targets[e.Key()] = append(targets[e.Key()], perm[i])
+	}
+	for _, ts := range targets {
+		// Insertion sort: groups are small (revision chains per key).
+		for i := 1; i < len(ts); i++ {
+			for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+				ts[j], ts[j-1] = ts[j-1], ts[j]
+			}
+		}
+	}
+	res := make(temporal.Stream, n)
+	used := make(map[temporal.VsPayload]int, len(targets))
+	for _, e := range win {
+		k := e.Key()
+		res[targets[k][used[k]]] = e
+		used[k]++
+	}
+	return res
+}
+
+// CrashPoints returns k sorted element indices in [0, total) at which a
+// publisher's connection should be killed — a deterministic crash schedule
+// for driving restart scenarios.
+func (in *Injector) CrashPoints(total, k int) []int {
+	if total <= 0 || k <= 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	pts := make([]int, 0, k)
+	for _, p := range in.rng.Perm(total)[:min(k, total)] {
+		pts = append(pts, p)
+	}
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j] < pts[j-1]; j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	return pts
+}

@@ -1,0 +1,234 @@
+package chaos
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+func chaosScript(seed int64) *gen.Script {
+	return gen.NewScript(gen.Config{
+		Events: 300, Seed: seed, EventDuration: 60, MaxGap: 8,
+		Revisions: 0.5, RemoveProb: 0.2, PayloadBytes: 10,
+	})
+}
+
+func TestPerturbDeterministic(t *testing.T) {
+	sc := chaosScript(1)
+	s := sc.Render(gen.RenderOptions{Seed: 11, Disorder: 0.2, StableFreq: 0.05})
+	cfg := Config{Seed: 42, DupProb: 0.1, ShuffleProb: 0.5}
+	a := New(cfg).Perturb(s)
+	b := New(cfg).Perturb(s)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different perturbations")
+	}
+	cfg.Seed = 43
+	c := New(cfg).Perturb(s)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical perturbations (suspicious)")
+	}
+	if st := New(cfg).Fork(1).Stats(); st != (Stats{}) {
+		t.Fatal("fresh fork has non-zero stats")
+	}
+}
+
+func TestPerturbPreservesStructure(t *testing.T) {
+	sc := chaosScript(2)
+	s := sc.Render(gen.RenderOptions{Seed: 21, Disorder: 0.3, StableFreq: 0.05})
+	in := New(Config{Seed: 7, DupProb: 0.15, ShuffleProb: 1})
+	p := in.Perturb(s)
+	if st := in.Stats(); st.Dups == 0 || st.Shuffles == 0 {
+		t.Fatalf("faults did not fire: %+v", st)
+	}
+	if len(p) <= len(s) {
+		t.Fatalf("duplication did not grow the stream: %d <= %d", len(p), len(s))
+	}
+	// Stable elements keep their relative sequence (windows never cross).
+	var sa, sb []temporal.Time
+	for _, e := range s {
+		if e.Kind == temporal.KindStable {
+			sa = append(sa, e.T())
+		}
+	}
+	for _, e := range p {
+		if e.Kind == temporal.KindStable {
+			sb = append(sb, e.T())
+		}
+	}
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatal("stable sequence changed under perturbation")
+	}
+	// Per-key element order is preserved (dropping duplicate repeats).
+	orig := map[temporal.VsPayload][]temporal.Element{}
+	for _, e := range s {
+		if e.Kind != temporal.KindStable {
+			orig[e.Key()] = append(orig[e.Key()], e)
+		}
+	}
+	got := map[temporal.VsPayload][]temporal.Element{}
+	for _, e := range p {
+		if e.Kind == temporal.KindStable {
+			continue
+		}
+		k := e.Key()
+		if n := len(got[k]); n > 0 && got[k][n-1] == e {
+			continue // immediate duplicate re-delivery
+		}
+		got[k] = append(got[k], e)
+	}
+	for k, want := range orig {
+		if !reflect.DeepEqual(got[k], want) {
+			t.Fatalf("per-key order broken for %v:\n got %v\nwant %v", k, got[k], want)
+		}
+	}
+}
+
+// TestPerturbPreservesMerge is the semantic contract: a perturbed stream is
+// still a valid physical presentation of the same logical TDB, so merging it
+// (alone, and alongside the pristine rendering) reconstitutes the script.
+func TestPerturbPreservesMerge(t *testing.T) {
+	sc := chaosScript(3)
+	want := sc.TDB()
+	clean := sc.Render(gen.RenderOptions{Seed: 31, Disorder: 0.3, StableFreq: 0.05})
+	dirty := New(Config{Seed: 99, DupProb: 0.2, ShuffleProb: 0.8}).Perturb(
+		sc.Render(gen.RenderOptions{Seed: 32, Disorder: 0.4, StableFreq: 0.03}))
+
+	var out temporal.Stream
+	m := core.New(core.CaseR3, func(e temporal.Element) { out = append(out, e) })
+	op := core.NewOperator(m)
+	a := op.Attach(temporal.MinTime)
+	b := op.Attach(temporal.MinTime)
+	streams := []temporal.Stream{dirty, clean}
+	ids := []core.StreamID{a, b}
+	pos := []int{0, 0}
+	for pos[0] < len(streams[0]) || pos[1] < len(streams[1]) {
+		for i := range streams {
+			if pos[i] < len(streams[i]) {
+				if err := op.Process(ids[i], streams[i][pos[i]]); err != nil {
+					t.Fatal(err)
+				}
+				pos[i]++
+			}
+		}
+	}
+	got, err := temporal.Reconstitute(out)
+	if err != nil {
+		t.Fatalf("merged output invalid: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("merged TDB diverged under perturbation")
+	}
+	if w := m.Stats().ConsistencyWarnings; w != 0 {
+		t.Fatalf("perturbation triggered %d consistency warnings", w)
+	}
+}
+
+func TestCrashPoints(t *testing.T) {
+	in := New(Config{Seed: 5})
+	pts := in.CrashPoints(100, 3)
+	if len(pts) != 3 {
+		t.Fatalf("want 3 points, got %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i] <= pts[i-1] {
+			t.Fatalf("points not strictly sorted: %v", pts)
+		}
+	}
+	if !reflect.DeepEqual(pts, New(Config{Seed: 5}).CrashPoints(100, 3)) {
+		t.Fatal("crash schedule not reproducible")
+	}
+	if New(Config{Seed: 5}).CrashPoints(0, 3) != nil {
+		t.Fatal("empty range should have no crash points")
+	}
+}
+
+// pipeRead drains one side of a pipe into a buffer.
+func pipeRead(t *testing.T, c net.Conn, buf *bytes.Buffer, done chan<- struct{}) {
+	t.Helper()
+	go func() {
+		defer close(done)
+		b := make([]byte, 4096)
+		for {
+			n, err := c.Read(b)
+			buf.Write(b[:n])
+			if err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func TestConnFaults(t *testing.T) {
+	frame := []byte("{\"k\":\"s\",\"ve\":10}\n")
+
+	t.Run("corrupt", func(t *testing.T) {
+		a, b := net.Pipe()
+		var buf bytes.Buffer
+		done := make(chan struct{})
+		pipeRead(t, b, &buf, done)
+		in := New(Config{Seed: 1, CorruptProb: 1})
+		c := in.WrapConn(a)
+		if _, err := c.Write(frame); err != nil {
+			t.Fatalf("corrupt write should report success: %v", err)
+		}
+		c.Close()
+		<-done
+		got := buf.Bytes()
+		if !bytes.HasSuffix(got, []byte("\n")) {
+			t.Fatal("corruption lost the newline")
+		}
+		if bytes.Contains(got, []byte("\"k\"")) {
+			t.Fatalf("frame not corrupted: %q", got)
+		}
+		if st := in.Stats(); st.Corrupts != 1 || st.BytesMauled == 0 {
+			t.Fatalf("stats wrong: %+v", st)
+		}
+	})
+
+	t.Run("crash", func(t *testing.T) {
+		a, b := net.Pipe()
+		var buf bytes.Buffer
+		done := make(chan struct{})
+		pipeRead(t, b, &buf, done)
+		in := New(Config{Seed: 1, CrashProb: 1})
+		c := in.WrapConn(a)
+		if _, err := c.Write(frame); err == nil {
+			t.Fatal("crash write should fail")
+		}
+		if _, err := c.Write(frame); err == nil {
+			t.Fatal("writes after crash should fail")
+		}
+		<-done
+		if buf.Len() != 0 {
+			t.Fatalf("crash leaked %d bytes", buf.Len())
+		}
+		if st := in.Stats(); st.Crashes != 1 {
+			t.Fatalf("stats wrong: %+v", st)
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		a, b := net.Pipe()
+		var buf bytes.Buffer
+		done := make(chan struct{})
+		pipeRead(t, b, &buf, done)
+		in := New(Config{Seed: 1, TruncateProb: 1})
+		c := in.WrapConn(a)
+		n, err := c.Write(frame)
+		if err == nil {
+			t.Fatal("truncated write should fail")
+		}
+		<-done
+		if buf.Len() != n || n == 0 || n >= len(frame) {
+			t.Fatalf("truncation wrote %d bytes, reader saw %d (frame %d)", n, buf.Len(), len(frame))
+		}
+		if st := in.Stats(); st.Truncates != 1 {
+			t.Fatalf("stats wrong: %+v", st)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks a connection failure introduced by the injector. Clients
+// treat it like any transport error: reconnect with backoff.
+var ErrInjected = errors.New("chaos: injected connection fault")
+
+// Conn wraps a net.Conn with write-path fault injection. Read passes
+// through untouched (the peer's faults arrive as whatever the wire carries).
+// After a crash or truncation fault the underlying connection is closed and
+// every subsequent operation fails.
+type Conn struct {
+	net.Conn
+	in   *Injector
+	dead atomic.Bool
+}
+
+// WrapConn wraps c with the injector's write faults.
+func (in *Injector) WrapConn(c net.Conn) *Conn { return &Conn{Conn: c, in: in} }
+
+// Dialer returns a dial function (matching server.DialFunc) whose
+// connections carry the injector's faults.
+func (in *Injector) Dialer() func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return in.WrapConn(c), nil
+	}
+}
+
+// Kill force-closes the connection, simulating an abrupt process death.
+func (c *Conn) Kill() {
+	c.dead.Store(true)
+	c.Conn.Close()
+}
+
+// Write applies at most one fault per call: crash (nothing leaves),
+// truncation (a prefix leaves, then the connection dies), corruption (a
+// garbled frame leaves and the call reports success — detection is the
+// receiver's job), or delay (a straggler stall before an intact write).
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, fmt.Errorf("%w: connection already crashed", ErrInjected)
+	}
+	in := c.in
+	in.mu.Lock()
+	cfg, rng := in.cfg, in.rng
+	var delay time.Duration
+	kind := faultNone
+	switch f := rng.Float64(); {
+	case f < cfg.CrashProb:
+		kind = faultCrash
+		in.stats.Crashes++
+	case f < cfg.CrashProb+cfg.TruncateProb:
+		kind = faultTruncate
+		in.stats.Truncates++
+	case f < cfg.CrashProb+cfg.TruncateProb+cfg.CorruptProb:
+		kind = faultCorrupt
+		in.stats.Corrupts++
+		in.stats.BytesMauled += int64(len(b))
+	case f < cfg.CrashProb+cfg.TruncateProb+cfg.CorruptProb+cfg.DelayProb:
+		kind = faultDelay
+		in.stats.Delays++
+		if cfg.MaxDelay > 0 {
+			delay = time.Duration(rng.Int63n(int64(cfg.MaxDelay)))
+		}
+	}
+	in.stats.BytesWritten += int64(len(b))
+	in.mu.Unlock()
+
+	switch kind {
+	case faultCrash:
+		c.Kill()
+		return 0, fmt.Errorf("%w: crash before write", ErrInjected)
+	case faultTruncate:
+		n := len(b) / 2
+		if n > 0 {
+			c.Conn.Write(b[:n])
+		}
+		c.Kill()
+		return n, fmt.Errorf("%w: truncated write (%d of %d bytes)", ErrInjected, n, len(b))
+	case faultCorrupt:
+		// The frame still "succeeds" from the sender's point of view; the
+		// receiver must detect the garbage and drop the connection.
+		return c.Conn.Write(corrupt(b))
+	case faultDelay:
+		time.Sleep(delay)
+	}
+	return c.Conn.Write(b)
+}
+
+type faultKind uint8
+
+const (
+	faultNone faultKind = iota
+	faultCrash
+	faultTruncate
+	faultCorrupt
+	faultDelay
+)
+
+// corrupt garbles every byte except newlines, preserving the line structure
+// of the protocol so the receiver sees garbage lines rather than merged
+// frames. '#' can never begin valid JSON, so detection is guaranteed.
+func corrupt(b []byte) []byte {
+	g := make([]byte, len(b))
+	for i, x := range b {
+		if x == '\n' {
+			g[i] = '\n'
+		} else {
+			g[i] = '#'
+		}
+	}
+	return g
+}

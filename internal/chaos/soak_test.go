@@ -1,0 +1,287 @@
+package chaos_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lmerge/internal/chaos"
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/server"
+	"lmerge/internal/temporal"
+)
+
+func soakScript(seed int64) *gen.Script {
+	return gen.NewScript(gen.Config{
+		Events: 400, Seed: seed, EventDuration: 60, MaxGap: 8,
+		Revisions: 0.4, RemoveProb: 0.2, PayloadBytes: 12,
+	})
+}
+
+// drain consumes the merged stream until stable(∞) or the deadline.
+func drain(t *testing.T, sub *server.Subscriber, timeout time.Duration) temporal.Stream {
+	t.Helper()
+	var out temporal.Stream
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			e, ok := sub.Next()
+			if !ok {
+				return
+			}
+			out = append(out, e)
+			if e.Kind == temporal.KindStable && e.T() == temporal.Infinity {
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		t.Fatal("timed out waiting for merged stream completion")
+	}
+	return out
+}
+
+// TestChaosSoak is the end-to-end fault drill: several replicas deliver
+// physically divergent, chaos-perturbed presentations of one logical script
+// over connections that crash, truncate, and corrupt frames under a seeded
+// injector, while a straggler replica trails far enough behind to trip the
+// supervisor. The merged output must still be logically equivalent to the
+// script — no duplicates, no losses, no consistency warnings — with every
+// killed publisher re-attaching and catching up via fast-forward feedback.
+func TestChaosSoak(t *testing.T) {
+	s, err := server.NewWithOptions("127.0.0.1:0", server.Options{
+		Case:           core.CaseR3,
+		FeedbackLag:    0,
+		StragglerLag:   200,
+		StragglerGrace: 25 * time.Millisecond,
+		SuperviseEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sc := soakScript(7)
+	want := sc.TDB()
+	sub, err := server.Subscribe(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	inj := chaos.New(chaos.Config{
+		Seed:    4242,
+		DupProb: 0.05,
+		// ShuffleProb reorders within stable-bounded windows during Perturb.
+		ShuffleProb:  0.3,
+		CrashProb:    0.08,
+		TruncateProb: 0.04,
+		CorruptProb:  0.04,
+	})
+
+	const publishers = 3
+	var wg sync.WaitGroup
+	reports := make([]server.DeliveryReport, publishers+1)
+	errs := make([]error, publishers+1)
+	forks := make([]*chaos.Injector, publishers)
+	for i := range forks {
+		forks[i] = inj.Fork(int64(i))
+	}
+	for i := 0; i < publishers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fork := forks[i]
+			stream := fork.Perturb(sc.Render(gen.RenderOptions{
+				Seed: int64(100 + i), Disorder: 0.3, StableFreq: 0.05,
+			}))
+			rp := server.NewResilientPublisher(s.Addr(), server.ResilientOptions{
+				Dial:        fork.Dialer(),
+				Seed:        int64(200 + i),
+				MaxAttempts: 100,
+				Backoff:     server.Backoff{Initial: time.Millisecond, Max: 10 * time.Millisecond},
+				// Pace healthy replicas so the merge is in flight long enough
+				// for the supervisor to observe the straggler lagging it.
+				Throttle: func(temporal.Element) { time.Sleep(100 * time.Microsecond) },
+			})
+			reports[i], errs[i] = rp.Deliver(stream)
+		}(i)
+	}
+	// The straggler: fault-free transport but pathologically slow delivery.
+	// The supervisor must force-detach it rather than let its state and
+	// feedback drag behind the quorum; after the detach it reconnects,
+	// fast-forwards past everything already merged, and still completes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stream := sc.Render(gen.RenderOptions{Seed: 300, Disorder: 0.2, StableFreq: 0.05})
+		rp := server.NewResilientPublisher(s.Addr(), server.ResilientOptions{
+			Seed:        301,
+			MaxAttempts: 100,
+			Backoff:     server.Backoff{Initial: time.Millisecond, Max: 10 * time.Millisecond},
+			Throttle:    func(temporal.Element) { time.Sleep(2 * time.Millisecond) },
+		})
+		reports[publishers], errs[publishers] = rp.Deliver(stream)
+	}()
+
+	merged := drain(t, sub, 60*time.Second)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("publisher %d failed: %v (report %+v)", i, err, reports[i])
+		}
+	}
+	got, err := temporal.Reconstitute(merged)
+	if err != nil {
+		t.Fatalf("merged stream invalid: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("merged TDB diverged from the script under chaos")
+	}
+	if st := s.Stats(); st.ConsistencyWarnings != 0 {
+		t.Fatalf("chaos run raised %d consistency warnings", st.ConsistencyWarnings)
+	}
+
+	var ist chaos.Stats
+	for _, f := range forks {
+		st := f.Stats()
+		ist.Dups += st.Dups
+		ist.Shuffles += st.Shuffles
+		ist.Crashes += st.Crashes
+		ist.Truncates += st.Truncates
+		ist.Corrupts += st.Corrupts
+		ist.Delays += st.Delays
+		ist.BytesWritten += st.BytesWritten
+		ist.BytesMauled += st.BytesMauled
+	}
+	if ist.Crashes+ist.Truncates+ist.Corrupts == 0 {
+		t.Fatalf("no connection faults fired — soak is vacuous (stats %+v)", ist)
+	}
+	if ist.Dups == 0 || ist.Shuffles == 0 {
+		t.Fatalf("no stream perturbations fired — soak is vacuous (stats %+v)", ist)
+	}
+	totalConnects, totalSkipped := 0, int64(0)
+	for _, r := range reports[:publishers] {
+		totalConnects += r.Connects
+		totalSkipped += r.Skipped
+	}
+	if totalConnects <= publishers {
+		t.Errorf("no publisher ever re-attached (connects=%d); faults fired but never mid-stream", totalConnects)
+	}
+	if totalSkipped == 0 {
+		t.Error("re-attaching publishers never skipped dead work; fast-forward catch-up untested")
+	}
+	if s.StragglersDetached() == 0 {
+		t.Error("the straggler was never force-detached")
+	}
+	if reports[publishers].Detaches == 0 {
+		t.Errorf("straggler never observed its DETACH notice (report %+v)", reports[publishers])
+	}
+	t.Logf("soak: faults=%+v", ist)
+	for i, r := range reports {
+		t.Logf("publisher %d: %+v", i, r)
+	}
+}
+
+// TestFailoverLatency measures the recovery path costs that EXPERIMENTS.md
+// records: how quickly an abrupt publisher death is detached, how quickly a
+// silent (half-open) death is caught by the read deadline, and how much dead
+// work a re-attaching replica skips via the fast-forward rule during
+// catch-up.
+func TestFailoverLatency(t *testing.T) {
+	s, err := server.NewWithOptions("127.0.0.1:0", server.Options{
+		Case: core.CaseR3, FeedbackLag: 0, ReadTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sc := soakScript(8)
+	stream := sc.Render(gen.RenderOptions{Seed: 80, Disorder: 0.2, StableFreq: 0.05})
+
+	waitPubs := func(want int) time.Duration {
+		start := time.Now()
+		deadline := start.Add(5 * time.Second)
+		for s.Publishers() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("publishers = %d, want %d", s.Publishers(), want)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		return time.Since(start)
+	}
+
+	// Phase 1: abrupt death (connection reset) one third into the stream.
+	p1, err := server.Connect(s.Addr(), temporal.MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitPubs(1)
+	cut := len(stream) / 3
+	for _, e := range stream[:cut] {
+		if err := p1.Send(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Let the server absorb the prefix so the handshake stable point seen by
+	// the restarted replica is meaningful.
+	absorb := time.Now().Add(5 * time.Second)
+	for s.MaxStable() == temporal.MinTime {
+		if time.Now().After(absorb) {
+			t.Fatal("server never advanced its stable point on the prefix")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	stableAtKill := s.MaxStable()
+	p1.Close()
+	abruptDetach := waitPubs(0)
+
+	// Phase 2: silent death — a publisher that stops sending without FIN is
+	// caught by the read deadline.
+	p2, err := server.Connect(s.Addr(), temporal.MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	waitPubs(1)
+	// No explicit kill: p2 simply never sends. ReadTimeout trips.
+	silentDetach := waitPubs(0)
+
+	// Phase 3: restart — the replica re-runs from scratch and catches up,
+	// skipping everything the handshake stable point already covers.
+	rp := server.NewResilientPublisher(s.Addr(), server.ResilientOptions{Seed: 81})
+	restartStart := time.Now()
+	report, err := rp.Deliver(stream)
+	catchUp := time.Since(restartStart)
+	if err != nil {
+		t.Fatalf("re-attach delivery failed: %v", err)
+	}
+	if report.Skipped == 0 && stableAtKill != temporal.MinTime {
+		t.Errorf("re-attached replica skipped nothing (report %+v, stable at kill %d)",
+			report, int64(stableAtKill))
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.MaxStable() != temporal.Infinity {
+		if time.Now().After(deadline) {
+			t.Fatal("merge did not complete after failover")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.ConsistencyWarnings != 0 {
+		t.Fatalf("failover raised %d consistency warnings", st.ConsistencyWarnings)
+	}
+	t.Logf("abrupt-death detach latency: %v", abruptDetach)
+	t.Logf("silent-death detach latency: %v (read deadline 50ms)", silentDetach)
+	t.Logf("re-attach catch-up: %v, sent=%d skipped=%d (stable at kill %d)",
+		catchUp, report.Sent, report.Skipped, int64(stableAtKill))
+}

@@ -118,3 +118,43 @@ func TestR3DetachReclaimsState(t *testing.T) {
 		t.Errorf("detach raised %d consistency warnings", m.Stats().ConsistencyWarnings)
 	}
 }
+
+// TestReattachSkipsFrozenBoundary is the crash/re-attach corner that chaos
+// testing flushed out: an event frozen with Ve exactly at the stable point
+// survives the sweep that froze it (retirement is strict: inVe < t), so it is
+// still indexed when its stream detaches. A replacement stream that catches
+// up via fast-forward legitimately skips the event (Ve <= ff, Sec. V-D); when
+// it later raises a stable, its missing entry must read as agreement with the
+// settled output — not as a withdrawal claim for a half-frozen event, which
+// would pin the node and flag a false consistency warning on every
+// subsequent sweep.
+func TestReattachSkipsFrozenBoundary(t *testing.T) {
+	rec := newRecorder(t)
+	m := NewR3(rec.emit)
+	// Stream 0 delivers an event ending exactly at its stable point, then
+	// crashes.
+	feedOne(t, m, 0, temporal.Insert(temporal.P(1), 5, 10))
+	feedOne(t, m, 0, temporal.Stable(10))
+	m.Detach(0)
+	if m.Live() != 1 {
+		t.Fatalf("Live() = %d after boundary detach, want the frozen node kept", m.Live())
+	}
+	// Stream 1 re-attaches fast-forwarded to 10: it skips the frozen event
+	// and presents only later times.
+	feedOne(t, m, 1, temporal.Insert(temporal.P(2), 12, 18))
+	feedOne(t, m, 1, temporal.Stable(20))
+	feedOne(t, m, 1, temporal.Stable(temporal.Infinity))
+	if w := m.Stats().ConsistencyWarnings; w != 0 {
+		t.Errorf("re-attach raised %d consistency warnings", w)
+	}
+	if m.Live() != 0 {
+		t.Errorf("Live() = %d after final stable, frozen-boundary node leaked", m.Live())
+	}
+	want := temporal.Stream{
+		temporal.Insert(temporal.P(1), 5, 10),
+		temporal.Insert(temporal.P(2), 12, 18),
+	}
+	if !rec.tdb.Equal(temporal.MustReconstitute(want)) {
+		t.Errorf("output TDB = %v, want %v", rec.tdb, temporal.MustReconstitute(want))
+	}
+}

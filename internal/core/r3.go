@@ -215,8 +215,16 @@ func (m *R3) stable(s StreamID, t temporal.Time) {
 		inVe, has := f.Ve(s)
 		if !has {
 			// Stream s, which is about to vouch for everything before t,
-			// never produced this event: treat it as absent (Sec. V-C).
+			// never produced this event: treat it as absent (Sec. V-C) —
+			// unless the output event is already fully frozen. A frozen event
+			// is immutable, so a stream that never presented it (it attached
+			// after the freeze and fast-forwarded past it, Sec. V-D) has
+			// nothing left to vouch; treating it as agreeing with the settled
+			// output retires the node instead of flagging a false withdrawal.
 			inVe = f.Key().Vs
+			if outVe, emitted := f.Ve(index.OutputStream); emitted && outVe <= m.maxStable {
+				inVe = outVe
+			}
 		}
 		pinned := m.reconcile(f, inVe, t)
 		m.scan = append(m.scan, r3scan{f, inVe, pinned})

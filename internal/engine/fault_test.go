@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+// bomb forwards elements until it sees the trigger payload, then panics.
+type bomb struct {
+	trigger int64
+}
+
+func (b *bomb) Name() string { return "bomb" }
+func (b *bomb) Process(_ int, e temporal.Element, out *Out) {
+	if e.Kind == temporal.KindInsert && e.Payload.ID == b.trigger {
+		panic("simulated operator fault")
+	}
+	out.Emit(e)
+}
+func (b *bomb) OnFeedback(temporal.Time) bool { return false }
+
+func TestRuntimeRecoversOperatorPanic(t *testing.T) {
+	// src fans out to a faulty branch (bomb → sink) and a healthy branch
+	// (side). The bomb's panic must surface as an error from Close, not kill
+	// the process, and must not stop the healthy branch from draining fully.
+	g := NewGraph()
+	src := g.Add(&passthrough{name: "src"})
+	boom := g.Add(&bomb{trigger: 50})
+	sink := &collector{}
+	side := &collector{}
+	g.Connect(src, boom)
+	g.Connect(boom, g.Add(sink))
+	g.Connect(src, g.Add(side))
+
+	// Batch size 1 makes the faulty branch deterministic: every element
+	// before the trigger is flushed downstream before the panic fires.
+	rt := NewRuntime(g, WithBatchSize(1))
+	rt.Start()
+	const total = 100
+	for i := int64(0); i < total; i++ {
+		rt.Inject(src, temporal.Insert(temporal.P(i), temporal.Time(i), temporal.Infinity))
+	}
+	if rt.Err() != nil && !strings.Contains(rt.Err().Error(), "bomb") {
+		t.Fatalf("unexpected early error: %v", rt.Err())
+	}
+	err := rt.Close()
+	if err == nil {
+		t.Fatal("Close returned nil after an operator panic")
+	}
+	if !strings.Contains(err.Error(), `node "bomb" panicked`) ||
+		!strings.Contains(err.Error(), "simulated operator fault") {
+		t.Fatalf("error does not identify the failed node: %v", err)
+	}
+	if rt.Err() == nil {
+		t.Fatal("Err() lost the recorded failure")
+	}
+	if len(side.els) != total {
+		t.Fatalf("healthy branch drained %d of %d elements", len(side.els), total)
+	}
+	if len(sink.els) != 50 {
+		t.Fatalf("faulty branch forwarded %d elements, want the 50 pre-panic ones", len(sink.els))
+	}
+}
+
+func TestRuntimeCloseNilWhenHealthy(t *testing.T) {
+	g := NewGraph()
+	src := g.Add(&passthrough{name: "src"})
+	sink := &collector{}
+	g.Connect(src, g.Add(sink))
+	rt := NewRuntime(g)
+	rt.Start()
+	rt.Inject(src, temporal.Stable(temporal.Infinity))
+	if err := rt.Close(); err != nil {
+		t.Fatalf("healthy graph reported %v", err)
+	}
+	if len(sink.els) != 1 {
+		t.Fatal("element lost")
+	}
+}

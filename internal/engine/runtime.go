@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -14,12 +15,22 @@ import (
 // walked upstream), so the upstream flow can never deadlock against the
 // downstream flow. The graph must be acyclic, which also makes the
 // downstream flow deadlock-free.
+//
+// The runtime survives faulty operators: a panic inside Process is recovered
+// on the node's goroutine and surfaced as an error (Err, and the return
+// value of Close) instead of killing the process. The failed node stops
+// processing but keeps draining its inbox and releases its downstream
+// consumers, so the rest of the graph drains deterministically and Close
+// always returns.
 type Runtime struct {
 	g         *Graph
 	wg        sync.WaitGroup
 	producers []atomic.Int32
 	batch     int
 	started   bool
+
+	errMu sync.Mutex
+	err   error // first node failure (panic recovered in Process)
 }
 
 // DefaultBatchSize is the dispatch batch size used unless WithBatchSize
@@ -101,13 +112,15 @@ func (r *Runtime) Start() {
 			for i := range out.bufs {
 				out.bufs[i] = getBatch()
 			}
+			failed := false
 			for batch := range n.inbox {
-				for _, m := range batch {
-					n.op.Process(m.port, m.el, &out)
+				if !failed {
+					failed = r.processBatch(n, batch, &out) != nil
 				}
 				putBatch(batch)
 				// Flush before blocking on the next receive: emissions must
-				// not be held hostage to future input.
+				// not be held hostage to future input. A failed node still
+				// flushes what it emitted before the panic, then only drains.
 				out.flushAll()
 			}
 			out.flushAll()
@@ -116,6 +129,38 @@ func (r *Runtime) Start() {
 			}
 		}(n)
 	}
+}
+
+// processBatch drives one inbox batch through the node's operator,
+// converting a Process panic into a recorded error. The rest of the
+// panicking batch is dropped; the node then drains without processing.
+func (r *Runtime) processBatch(n *Node, batch []message, out *Out) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("engine: node %q panicked: %v", n.Name(), p)
+			r.recordErr(err)
+		}
+	}()
+	for _, m := range batch {
+		n.op.Process(m.port, m.el, out)
+	}
+	return nil
+}
+
+func (r *Runtime) recordErr(err error) {
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+}
+
+// Err returns the first node failure recovered by the runtime (nil while
+// healthy). It may be called at any time.
+func (r *Runtime) Err() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.err
 }
 
 // release drops one producer reference of node n, closing its inbox when the
@@ -155,12 +200,16 @@ func (r *Runtime) InjectBatch(n *Node, els []temporal.Element) {
 }
 
 // Close signals end-of-stream at every source node and waits for the whole
-// graph to drain.
-func (r *Runtime) Close() {
+// graph to drain: every injected element has either been fully processed or
+// discarded by a failed node by the time Close returns. The drain is
+// deterministic — node goroutines exit only after their inboxes are closed
+// and empty. Close returns the first node failure, if any (see Err).
+func (r *Runtime) Close() error {
 	for _, n := range r.g.nodes {
 		if len(n.upstream) == 0 {
 			r.release(n)
 		}
 	}
 	r.wg.Wait()
+	return r.Err()
 }

@@ -33,10 +33,15 @@ func (r *Replica) Failed() bool { return r.failed }
 // Progress returns how many elements the replica has delivered.
 func (r *Replica) Progress() int { return r.pos }
 
-// Cluster is a set of replicas feeding one LMerge operator.
+// Cluster is a set of replicas feeding one LMerge operator. All randomness —
+// replica presentation seeds and failure/restart schedules — is drawn from
+// one explicit *rand.Rand owned by the cluster and seeded from Config.Seed,
+// so every run is reproducible from its configuration and free of the data
+// races that the shared global math/rand source would invite.
 type Cluster struct {
 	Script   *gen.Script
 	op       *core.Operator
+	rng      *rand.Rand
 	replicas []*Replica
 	output   *temporal.TDB
 	outErr   error
@@ -56,6 +61,9 @@ type Config struct {
 	StableFreq float64
 	// Case selects the merge algorithm (default R3).
 	Case core.Case
+	// Seed drives the cluster's failure/restart schedule (RunToCompletion)
+	// and any other random decisions; equal seeds replay equal schedules.
+	Seed int64
 }
 
 // NewCluster builds a cluster with cfg.Replicas live replicas.
@@ -66,6 +74,7 @@ func NewCluster(cfg Config) *Cluster {
 	c := &Cluster{
 		Script: cfg.Script,
 		output: temporal.NewTDB(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
 	mergeCase := cfg.Case
 	if mergeCase == 0 {
@@ -194,12 +203,13 @@ func (c *Cluster) Restart() *Replica {
 
 // RunToCompletion drives the cluster until every live replica has delivered
 // its stream, injecting random failures and restarts with the given
-// probabilities per step. It returns an error if the merged output is ever
-// invalid or does not converge to the script's TDB.
-func (c *Cluster) RunToCompletion(seed int64, failProb, restartProb float64) error {
-	rng := rand.New(rand.NewSource(seed))
+// probabilities per step. The schedule is drawn from the cluster's seeded
+// generator (Config.Seed), so a failing run replays exactly. It returns an
+// error if the merged output is ever invalid or does not converge to the
+// script's TDB.
+func (c *Cluster) RunToCompletion(failProb, restartProb float64) error {
 	for c.Step() {
-		if rng.Float64() < failProb {
+		if c.rng.Float64() < failProb {
 			live := make([]*Replica, 0, len(c.replicas))
 			for _, r := range c.replicas {
 				if !r.failed {
@@ -207,10 +217,10 @@ func (c *Cluster) RunToCompletion(seed int64, failProb, restartProb float64) err
 				}
 			}
 			if len(live) > 1 {
-				_ = c.Fail(live[rng.Intn(len(live))])
+				_ = c.Fail(live[c.rng.Intn(len(live))])
 			}
 		}
-		if rng.Float64() < restartProb {
+		if c.rng.Float64() < restartProb {
 			c.Restart()
 		}
 	}

@@ -16,8 +16,8 @@ func haScript(seed int64) *gen.Script {
 }
 
 func TestClusterNoFailures(t *testing.T) {
-	c := NewCluster(Config{Replicas: 3, Script: haScript(1), Disorder: 0.3})
-	if err := c.RunToCompletion(1, 0, 0); err != nil {
+	c := NewCluster(Config{Replicas: 3, Script: haScript(1), Disorder: 0.3, Seed: 1})
+	if err := c.RunToCompletion(0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if c.Live() != 3 {
@@ -101,8 +101,8 @@ func TestClusterRestartRedeliversWithoutDuplicates(t *testing.T) {
 
 func TestClusterRandomChaos(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
-		c := NewCluster(Config{Replicas: 4, Script: haScript(10 + seed), Disorder: 0.4})
-		if err := c.RunToCompletion(seed, 0.01, 0.005); err != nil {
+		c := NewCluster(Config{Replicas: 4, Script: haScript(10 + seed), Disorder: 0.4, Seed: seed})
+		if err := c.RunToCompletion(0.01, 0.005); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 	}
@@ -125,8 +125,8 @@ func TestClusterR4Case(t *testing.T) {
 		Events: 200, Seed: 30, EventDuration: 60, MaxGap: 8,
 		Revisions: 0.4, RemoveProb: 0.2, PayloadBytes: 8, DupProb: 0.25,
 	})
-	c := NewCluster(Config{Replicas: 3, Script: sc, Disorder: 0.3, Case: core.CaseR4})
-	if err := c.RunToCompletion(7, 0.01, 0); err != nil {
+	c := NewCluster(Config{Replicas: 3, Script: sc, Disorder: 0.3, Case: core.CaseR4, Seed: 7})
+	if err := c.RunToCompletion(0.01, 0); err != nil {
 		t.Fatal(err)
 	}
 }

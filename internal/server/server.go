@@ -8,13 +8,29 @@
 //
 // Wire protocol (line-oriented):
 //
-//	client → server, first line:   HELLO PUB <joinTime>   or   HELLO SUB
-//	server → client, reply:        OK <streamID>          or   OK SUB
+//	client → server, first line:   HELLO PUB <joinTime>   or   HELLO SUB [FROM <n>]
+//	server → client, reply:        OK <streamID> <stable> or   OK SUB
 //	publisher lines:               one element per line (temporal wire JSON)
+//	server → publisher:            FF <t> fast-forward signals, DETACH <why>,
+//	                               ACK once the stream's stable(∞) is merged
 //	subscriber lines:              merged elements, one per line
 //
 // A publisher's disconnect detaches its stream; the merge keeps flowing
-// while at least one publisher remains.
+// while at least one publisher remains. The <stable> field of the publisher
+// handshake is the merged output's current stable point: a reconnecting
+// replica may skip every element whose relevance ends at or before it (the
+// fast-forward rule of Sec. V-D), which is how re-attach catch-up stays
+// cheap. "HELLO SUB FROM <n>" resumes a subscription positionally after the
+// first n elements of the merged history.
+//
+// Fault handling (see DESIGN.md §6): the server supervises publishers with
+// per-connection read deadlines and per-publisher progress watermarks; a
+// publisher whose watermark trails the merged stable point by more than the
+// straggler threshold is force-detached (a "DETACH straggler" line, then the
+// connection closes) so state and feedback never accumulate behind a dead or
+// lagging replica. Subscribers are fed through per-subscriber buffered
+// queues: a slow consumer is disconnected when its queue overflows and can
+// resume with FROM, while delivery to everyone else is never stalled.
 package server
 
 import (
@@ -26,6 +42,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"lmerge/internal/core"
 	"lmerge/internal/temporal"
@@ -33,17 +50,46 @@ import (
 
 // Server is a network-facing LMerge.
 type Server struct {
-	ln net.Listener
+	ln   net.Listener
+	opts Options
 
 	mu       sync.Mutex
 	op       *core.Operator
 	backlog  temporal.Stream // full merged history, replayed to late subscribers
-	subs     map[int]chan temporal.Element
-	pubConns map[core.StreamID]net.Conn // for fast-forward signalling
+	subs     map[int]*subQueue
+	pubs     map[core.StreamID]*pubState // liveness + feedback routing
 	nextSub  int
 	pubCount int
 	closed   bool
+	detached int64 // stragglers force-detached by the supervisor
+	done     chan struct{}
 	wg       sync.WaitGroup
+}
+
+// pubState is the server-side view of one attached publisher.
+type pubState struct {
+	conn net.Conn
+	// wmu serialises control-line writes (FF signals from the merge path,
+	// DETACH from the supervisor) so concurrent writers cannot interleave
+	// partial lines on the wire.
+	wmu sync.Mutex
+	// watermark is the largest stable timestamp this publisher has delivered
+	// (its own progress, updated under Server.mu).
+	watermark  temporal.Time
+	attachedAt time.Time
+}
+
+// ctrlWriteTimeout bounds control-line writes (FF, DETACH) so a publisher
+// with a full socket buffer can never stall the merge or the supervisor.
+const ctrlWriteTimeout = time.Second
+
+// writeCtrl writes one control line with a bounded deadline.
+func (ps *pubState) writeCtrl(format string, args ...any) {
+	ps.wmu.Lock()
+	defer ps.wmu.Unlock()
+	ps.conn.SetWriteDeadline(time.Now().Add(ctrlWriteTimeout))
+	fmt.Fprintf(ps.conn, format, args...)
+	ps.conn.SetWriteDeadline(time.Time{})
 }
 
 // Options configures a server.
@@ -55,11 +101,46 @@ type Options struct {
 	// trails the merged output by more than this many ticks receives an
 	// "FF <t>" line and may skip elements that end by t. Negative disables.
 	FeedbackLag temporal.Time
+
+	// StragglerLag, when > 0, enables the straggler policy: a publisher
+	// whose progress watermark trails the merged output's stable point by
+	// more than this many ticks is force-detached so the merge degrades
+	// gracefully instead of dragging dead state (and, under the deferred
+	// insert policies, a stalled stable point) behind it. The last remaining
+	// publisher is never detached.
+	StragglerLag temporal.Time
+	// StragglerGrace is how long a freshly attached publisher is exempt from
+	// the straggler policy — room for a re-attaching replica to catch up
+	// (default 500ms).
+	StragglerGrace time.Duration
+	// SuperviseEvery is the supervision sweep period (default 25ms).
+	SuperviseEvery time.Duration
+	// ReadTimeout, when > 0, bounds each read from a publisher connection. A
+	// publisher that goes silent past the deadline — the half-open TCP
+	// signature of a crashed host — is detached. Zero disables.
+	ReadTimeout time.Duration
+	// SubscriberBuffer is the per-subscriber queue capacity in elements; a
+	// subscriber whose queue overflows is disconnected (it can resume with
+	// HELLO SUB FROM <n>). Default 32768.
+	SubscriberBuffer int
+}
+
+func (o Options) withDefaults() Options {
+	if o.StragglerGrace <= 0 {
+		o.StragglerGrace = 500 * time.Millisecond
+	}
+	if o.SuperviseEvery <= 0 {
+		o.SuperviseEvery = 25 * time.Millisecond
+	}
+	if o.SubscriberBuffer <= 0 {
+		o.SubscriberBuffer = 32768
+	}
+	return o
 }
 
 // New builds a server merging with the given algorithm case, listening on
-// addr (e.g. "127.0.0.1:0"). Feedback is disabled; use NewWithOptions to
-// enable it.
+// addr (e.g. "127.0.0.1:0"). Feedback and the straggler policy are disabled;
+// use NewWithOptions to enable them.
 func New(addr string, c core.Case) (*Server, error) {
 	return NewWithOptions(addr, Options{Case: c, FeedbackLag: -1})
 }
@@ -71,9 +152,11 @@ func NewWithOptions(addr string, opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		ln:       ln,
-		subs:     make(map[int]chan temporal.Element),
-		pubConns: make(map[core.StreamID]net.Conn),
+		ln:   ln,
+		opts: opts.withDefaults(),
+		subs: make(map[int]*subQueue),
+		pubs: make(map[core.StreamID]*pubState),
+		done: make(chan struct{}),
 	}
 	var opOpts []core.OperatorOption
 	if opts.FeedbackLag >= 0 {
@@ -82,32 +165,43 @@ func NewWithOptions(addr string, opts Options) (*Server, error) {
 	s.op = core.NewOperator(core.New(opts.Case, s.broadcast), opOpts...)
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if s.opts.StragglerLag > 0 {
+		s.wg.Add(1)
+		go s.supervise()
+	}
 	return s, nil
 }
 
-// signalFastForward runs under s.mu (merge processing holds the lock).
+// signalFastForward runs under s.mu (merge processing holds the lock). The
+// write is bounded by ctrlWriteTimeout, so a blocked publisher socket cannot
+// stall the merge.
 func (s *Server) signalFastForward(f core.Feedback) {
-	conn, ok := s.pubConns[f.Stream]
+	ps, ok := s.pubs[f.Stream]
 	if !ok {
 		return
 	}
 	// Best effort; a slow or dead publisher is detached by its own handler.
-	fmt.Fprintf(conn, "FF %d\n", int64(f.T))
+	ps.writeCtrl("FF %d\n", int64(f.T))
 }
 
 // Addr returns the listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting, closes subscriber channels, and waits for handler
+// Close stops accepting, closes subscriber queues, and waits for handler
 // goroutines to finish.
 func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		for id, ch := range s.subs {
-			close(ch)
+		close(s.done)
+		for id, q := range s.subs {
+			q.close()
 			delete(s.subs, id)
+		}
+		// Wake publisher handlers blocked in a read.
+		for _, ps := range s.pubs {
+			ps.conn.Close()
 		}
 	}
 	s.mu.Unlock()
@@ -136,15 +230,75 @@ func (s *Server) Publishers() int {
 	return s.pubCount
 }
 
-// broadcast runs under s.mu (merge processing holds the lock).
+// StragglersDetached returns how many publishers the supervisor has
+// force-detached for lagging behind the merged stable point.
+func (s *Server) StragglersDetached() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.detached
+}
+
+// supervise periodically detaches stragglers: publishers whose progress
+// watermark trails the merged output stable point by more than StragglerLag.
+func (s *Server) supervise() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.opts.SuperviseEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+			s.sweepStragglers()
+		}
+	}
+}
+
+func (s *Server) sweepStragglers() {
+	var victims []*pubState
+	s.mu.Lock()
+	stable := s.op.MaxStable()
+	if !s.closed && s.pubCount > 1 && stable != temporal.MinTime && !stable.IsInf() {
+		spare := s.pubCount - 1 // never detach the last publisher
+		for _, ps := range s.pubs {
+			if len(victims) >= spare {
+				break
+			}
+			if time.Since(ps.attachedAt) < s.opts.StragglerGrace {
+				continue
+			}
+			if lagsBehind(ps.watermark, stable, s.opts.StragglerLag) {
+				victims = append(victims, ps)
+			}
+		}
+		s.detached += int64(len(victims))
+	}
+	s.mu.Unlock()
+	for _, ps := range victims {
+		// Notify, then close: the handler's read fails and its cleanup path
+		// performs the actual Detach.
+		ps.writeCtrl("DETACH straggler\n")
+		ps.conn.Close()
+	}
+}
+
+// lagsBehind reports whether watermark wm trails stable by more than lag,
+// using unsigned subtraction so wm = MinTime cannot overflow.
+func lagsBehind(wm, stable, lag temporal.Time) bool {
+	if wm >= stable {
+		return false
+	}
+	return uint64(int64(stable))-uint64(int64(wm)) > uint64(int64(lag))
+}
+
+// broadcast runs under s.mu (merge processing holds the lock). Each
+// subscriber has its own bounded queue, so one slow or blocked consumer can
+// neither stall the merge nor delay delivery to the others; on overflow the
+// subscriber is dropped (it may resume positionally with FROM).
 func (s *Server) broadcast(e temporal.Element) {
 	s.backlog = append(s.backlog, e)
-	for id, ch := range s.subs {
-		select {
-		case ch <- e:
-		default:
-			// Slow subscriber: drop it rather than stall the merge.
-			close(ch)
+	for id, q := range s.subs {
+		if !q.push(e) {
 			delete(s.subs, id)
 		}
 	}
@@ -168,20 +322,24 @@ func (s *Server) acceptLoop() {
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReaderSize(conn, 64*1024)
-	hello, err := readLine(r)
-	if err != nil && len(hello) == 0 {
+	if d := s.opts.ReadTimeout; d > 0 {
+		conn.SetReadDeadline(time.Now().Add(d))
+	}
+	line, err := readLine(r)
+	if err != nil && len(line) == 0 {
 		return
 	}
-	role, arg, perr := parseHello(string(hello))
+	h, perr := parseHello(string(line))
 	if perr != nil {
 		fmt.Fprintf(conn, "ERR %v\n", perr)
 		return
 	}
-	switch role {
+	switch h.role {
 	case "PUB":
-		s.servePublisher(conn, r, arg)
+		s.servePublisher(conn, r, h.joinTime)
 	case "SUB":
-		s.serveSubscriber(conn)
+		conn.SetReadDeadline(time.Time{}) // subscribers are write-driven
+		s.serveSubscriber(conn, h.resumeFrom)
 	}
 }
 
@@ -200,26 +358,45 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 	return bytes.TrimRight(line, "\r\n"), err
 }
 
-func parseHello(line string) (role string, joinTime temporal.Time, err error) {
+// hello is a parsed handshake line.
+type hello struct {
+	role       string
+	joinTime   temporal.Time // PUB: the stream's join guarantee
+	resumeFrom int           // SUB: replay the merged history after this many elements
+}
+
+func parseHello(line string) (hello, error) {
 	fields := strings.Fields(line)
 	if len(fields) < 2 || fields[0] != "HELLO" {
-		return "", 0, errors.New("expected HELLO PUB <joinTime> or HELLO SUB")
+		return hello{}, errors.New("expected HELLO PUB <joinTime> or HELLO SUB [FROM <n>]")
 	}
 	switch fields[1] {
 	case "SUB":
-		return "SUB", 0, nil
+		h := hello{role: "SUB"}
+		if len(fields) == 2 {
+			return h, nil
+		}
+		if len(fields) != 4 || fields[2] != "FROM" {
+			return hello{}, errors.New("expected HELLO SUB [FROM <n>]")
+		}
+		n, err := strconv.Atoi(fields[3])
+		if err != nil || n < 0 {
+			return hello{}, fmt.Errorf("bad resume position %q", fields[3])
+		}
+		h.resumeFrom = n
+		return h, nil
 	case "PUB":
 		jt := temporal.MinTime
 		if len(fields) >= 3 {
 			v, perr := strconv.ParseInt(fields[2], 10, 64)
 			if perr != nil {
-				return "", 0, fmt.Errorf("bad join time %q", fields[2])
+				return hello{}, fmt.Errorf("bad join time %q", fields[2])
 			}
 			jt = temporal.Time(v)
 		}
-		return "PUB", jt, nil
+		return hello{role: "PUB", joinTime: jt}, nil
 	}
-	return "", 0, fmt.Errorf("unknown role %q", fields[1])
+	return hello{}, fmt.Errorf("unknown role %q", fields[1])
 }
 
 // pubBatchSize is how many parsed elements a publisher handler accumulates
@@ -230,26 +407,49 @@ func parseHello(line string) (role string, joinTime temporal.Time, err error) {
 const pubBatchSize = 64
 
 func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime temporal.Time) {
+	ps := &pubState{conn: conn, watermark: temporal.MinTime, attachedAt: time.Now()}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
 	id := s.op.Attach(joinTime)
-	s.pubConns[id] = conn
+	s.pubs[id] = ps
 	s.pubCount++
+	stable := s.op.MaxStable()
+	// A fresh attach is, by definition, caught up with everything the output
+	// already covers (it will fast-forward past it); its progress watermark
+	// starts at the current stable point so the supervisor only measures lag
+	// the publisher actually accrues from here on.
+	ps.watermark = stable
 	s.mu.Unlock()
-	fmt.Fprintf(conn, "OK %d\n", id)
+	// The handshake reply carries the merged stable point: a reconnecting
+	// replica seeds its fast-forward watermark from it and skips everything
+	// the output no longer needs (cheap catch-up, Sec. V-D).
+	ps.writeCtrl("OK %d %d\n", id, int64(stable))
 
 	pending := make(temporal.Stream, 0, pubBatchSize)
 	flush := func() error {
 		if len(pending) == 0 {
 			return nil
 		}
+		wm := temporal.MinTime
+		for _, e := range pending {
+			if e.Kind == temporal.KindStable {
+				wm = temporal.MaxT(wm, e.T())
+			}
+		}
 		s.mu.Lock()
 		err := s.op.ProcessBatch(id, pending)
+		ps.watermark = temporal.MaxT(ps.watermark, wm)
 		s.mu.Unlock()
 		pending = pending[:0]
+		if err == nil && wm == temporal.Infinity {
+			// The stream's own stable(∞) is merged: acknowledge end-of-stream
+			// so the publisher can distinguish a completed delivery from one
+			// whose tail was silently lost in transit.
+			ps.writeCtrl("ACK\n")
+		}
 		return err
 	}
 	defer func() {
@@ -258,23 +458,26 @@ func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime tempora
 		flush()
 		s.mu.Lock()
 		s.op.Detach(id)
-		delete(s.pubConns, id)
+		delete(s.pubs, id)
 		s.pubCount--
 		s.mu.Unlock()
 	}()
 	for {
+		if d := s.opts.ReadTimeout; d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		}
 		line, rerr := readLine(r)
 		if len(line) > 0 {
 			e, err := temporal.UnmarshalElement(line)
 			if err != nil {
 				flush()
-				fmt.Fprintf(conn, "ERR %v\n", err)
+				ps.writeCtrl("ERR %v\n", err)
 				return
 			}
 			pending = append(pending, e)
 			if len(pending) >= pubBatchSize || e.Kind == temporal.KindStable || r.Buffered() == 0 {
 				if perr := flush(); perr != nil {
-					fmt.Fprintf(conn, "ERR %v\n", perr)
+					ps.writeCtrl("ERR %v\n", perr)
 					return
 				}
 			}
@@ -285,9 +488,10 @@ func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime tempora
 	}
 }
 
-func (s *Server) serveSubscriber(conn net.Conn) {
-	// Register and replay the merged history so far.
-	ch := make(chan temporal.Element, 4096)
+func (s *Server) serveSubscriber(conn net.Conn, resumeFrom int) {
+	// Register and replay the merged history (past the resume position, for
+	// a reconnecting subscriber that already holds a prefix).
+	q := newSubQueue(s.opts.SubscriberBuffer)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -295,14 +499,17 @@ func (s *Server) serveSubscriber(conn net.Conn) {
 	}
 	id := s.nextSub
 	s.nextSub++
-	history := append(temporal.Stream(nil), s.backlog...)
-	s.subs[id] = ch
+	if resumeFrom > len(s.backlog) {
+		resumeFrom = len(s.backlog)
+	}
+	history := append(temporal.Stream(nil), s.backlog[resumeFrom:]...)
+	s.subs[id] = q
 	s.mu.Unlock()
 
 	defer func() {
 		s.mu.Lock()
-		if c, ok := s.subs[id]; ok {
-			close(c)
+		if qq, ok := s.subs[id]; ok {
+			qq.close()
 			delete(s.subs, id)
 		}
 		s.mu.Unlock()
@@ -331,16 +538,21 @@ func (s *Server) serveSubscriber(conn net.Conn) {
 	if err := w.Flush(); err != nil {
 		return
 	}
-	for e := range ch {
-		if !write(e) {
-			return
+	var scratch []temporal.Element
+	for {
+		batch, ok := q.pop(scratch)
+		if !ok {
+			break
 		}
-		// Flush when the channel drains, batching bursts.
-		if len(ch) == 0 {
-			if err := w.Flush(); err != nil {
+		for _, e := range batch {
+			if !write(e) {
 				return
 			}
 		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		scratch = batch[:0]
 	}
 	w.Flush()
 }

@@ -186,19 +186,19 @@ func TestServerLateSubscriberGetsHistory(t *testing.T) {
 }
 
 func TestServerRejectsBadHello(t *testing.T) {
-	if _, _, err := parseHello("HELLO NOPE"); err == nil {
+	if _, err := parseHello("HELLO NOPE"); err == nil {
 		t.Error("unknown role accepted")
 	}
-	if _, _, err := parseHello("GARBAGE"); err == nil {
+	if _, err := parseHello("GARBAGE"); err == nil {
 		t.Error("garbage hello accepted")
 	}
-	if _, _, err := parseHello("HELLO PUB abc"); err == nil {
+	if _, err := parseHello("HELLO PUB abc"); err == nil {
 		t.Error("bad join time accepted")
 	}
-	if role, jt, err := parseHello("HELLO PUB 42"); err != nil || role != "PUB" || jt != 42 {
-		t.Errorf("parseHello = %v %v %v", role, jt, err)
+	if h, err := parseHello("HELLO PUB 42"); err != nil || h.role != "PUB" || h.joinTime != 42 {
+		t.Errorf("parseHello = %+v %v", h, err)
 	}
-	if role, _, err := parseHello("HELLO SUB"); err != nil || role != "SUB" {
+	if h, err := parseHello("HELLO SUB"); err != nil || h.role != "SUB" {
 		t.Errorf("parseHello SUB failed: %v", err)
 	}
 }

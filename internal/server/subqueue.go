@@ -1,0 +1,75 @@
+package server
+
+import (
+	"sync"
+
+	"lmerge/internal/temporal"
+)
+
+// subQueue is a per-subscriber bounded element queue between the merge path
+// (which must never block) and the subscriber's writer goroutine (which may
+// be arbitrarily slow). push is non-blocking: when the queue is full the
+// subscriber is marked overflowed and closed — the disconnect-on-overflow
+// policy — while other subscribers are untouched. pop hands the whole
+// pending batch to the writer in one swap, recycling the writer's previous
+// buffer to keep the steady state allocation-free.
+type subQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []temporal.Element
+	max  int
+	// closed stops the queue (server shutdown, subscriber gone, overflow);
+	// overflowed records that the close was the overflow policy.
+	closed     bool
+	overflowed bool
+}
+
+func newSubQueue(max int) *subQueue {
+	q := &subQueue{max: max}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends one element; it reports false when the queue is closed or
+// just overflowed (the caller should drop the subscriber).
+func (q *subQueue) push(e temporal.Element) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	if len(q.buf) >= q.max {
+		q.overflowed = true
+		q.closed = true
+		q.cond.Broadcast()
+		return false
+	}
+	q.buf = append(q.buf, e)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until elements are pending or the queue closes, then returns
+// the whole pending batch. reuse becomes the queue's next write buffer. ok
+// is false once the queue is closed and drained.
+func (q *subQueue) pop(reuse []temporal.Element) ([]temporal.Element, bool) {
+	q.mu.Lock()
+	for len(q.buf) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	batch := q.buf
+	q.buf = reuse[:0]
+	q.mu.Unlock()
+	if len(batch) == 0 {
+		return nil, false
+	}
+	return batch, true
+}
+
+// close wakes the writer and stops accepting elements.
+func (q *subQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
