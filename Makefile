@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench chaos fuzz experiments clean
+.PHONY: all check build vet test race cover bench chaos fuzz experiments diffcheck diffcheck-race clean
 
 all: build vet test
 
 # Everything CI cares about: compile, vet, full tests, race on the
-# concurrent packages, and the seeded chaos soak.
-check: build vet test race chaos
+# concurrent packages, the seeded chaos soak, and a race-enabled
+# differential sweep over the trimmed config grid.
+check: build vet test race chaos diffcheck-race
 
 build:
 	$(GO) build ./...
@@ -37,6 +38,16 @@ chaos:
 fuzz:
 	$(GO) test ./internal/temporal/ -fuzz FuzzUnmarshalElement -fuzztime 30s
 	$(GO) test ./internal/temporal/ -fuzz FuzzReconstitute -fuzztime 30s
+
+# Differential correctness sweep: every algorithm × executor × pipeline
+# against the brute-force oracle (see DESIGN.md §7). Any divergence is a bug;
+# failures print a minimized ready-to-paste regression test.
+diffcheck:
+	$(GO) run ./cmd/lmcheck -seeds 500
+
+# Short race-enabled sweep over the trimmed grid, part of `make check`.
+diffcheck-race:
+	$(GO) run -race ./cmd/lmcheck -seeds 25 -quick
 
 # Regenerate every paper figure/table at paper scale (see EXPERIMENTS.md).
 experiments:

@@ -1,0 +1,113 @@
+// Command lmcheck runs the differential correctness harness: it sweeps seeded
+// divergent presentations through every LMerge configuration axis (algorithm,
+// execution mode, downstream pipeline, delivery order) and reports any
+// configuration whose output is not equivalent to the brute-force reference
+// oracle. Under the paper's compatibility theorems any divergence is a bug.
+//
+// Usage:
+//
+//	lmcheck                     # 500 seeds through the full grid
+//	lmcheck -seeds 50 -quick    # trimmed grid, e.g. under -race
+//	lmcheck -seed 123 -v        # re-check one seed, print every divergence
+//	lmcheck -corpus dir         # also write minimized fuzz seeds for failures
+//
+// On divergence, each failing seed is shrunk by the delta-debugging minimizer
+// and a ready-to-paste Go regression test is printed. Exit status is 1 when
+// any divergence was found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lmerge/internal/diffcheck"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 500, "number of seeds to sweep")
+	seed := flag.Int64("seed", 0, "check exactly this one seed (overrides -seeds/-start)")
+	start := flag.Int64("start", 1, "first seed")
+	streams := flag.Int("streams", 3, "divergent presentations per merge")
+	events := flag.Int("events", 60, "event histories per script")
+	quick := flag.Bool("quick", false, "trimmed grid: one representative config per axis value")
+	parallel := flag.Int("parallel", 0, "seeds checked concurrently (0 = min(GOMAXPROCS, 8))")
+	maxReport := flag.Int("maxreport", 20, "max divergences collected in the report")
+	noMinimize := flag.Bool("nominimize", false, "skip minimization of failing seeds")
+	corpus := flag.String("corpus", "", "directory to write fuzz seed files for minimized failures")
+	verbose := flag.Bool("v", false, "print every collected divergence, not just the first per seed")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "lmcheck: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	opt := diffcheck.Options{
+		Seeds:     *seeds,
+		StartSeed: *start,
+		Streams:   *streams,
+		Events:    *events,
+		Quick:     *quick,
+		Parallel:  *parallel,
+		MaxReport: *maxReport,
+	}
+	if *seed != 0 {
+		opt.Seeds = 1
+		opt.StartSeed = *seed
+	}
+
+	t0 := time.Now()
+	rep := diffcheck.Run(opt)
+	elapsed := time.Since(t0).Round(time.Millisecond)
+	fmt.Printf("lmcheck: %d seeds, %d configuration runs in %v\n", rep.SeedsRun, rep.Runs, elapsed)
+	if len(rep.Divergences) == 0 {
+		fmt.Println("lmcheck: no divergences")
+		return
+	}
+
+	fmt.Printf("lmcheck: %d seeds failed, %d divergences collected\n", rep.FailedSeeds, len(rep.Divergences))
+	seen := map[int64]bool{}
+	n := 0
+	for _, d := range rep.Divergences {
+		if *verbose || !seen[d.Seed] {
+			fmt.Printf("  %v\n", d)
+		}
+		if seen[d.Seed] {
+			continue
+		}
+		seen[d.Seed] = true
+		if *noMinimize {
+			continue
+		}
+		fmt.Printf("lmcheck: minimizing seed %d ...\n", d.Seed)
+		m := diffcheck.Minimize(d, opt)
+		fmt.Printf("lmcheck: minimized to %d elements across %d streams (%d histories)\n",
+			m.Elements, len(m.Streams), m.Histories)
+		n++
+		fmt.Println(m.GoTest(fmt.Sprintf("Lmcheck%d", n)))
+		if *corpus != "" {
+			if err := writeCorpus(*corpus, n, m); err != nil {
+				fmt.Fprintf(os.Stderr, "lmcheck: %v\n", err)
+			}
+		}
+	}
+	os.Exit(1)
+}
+
+// writeCorpus writes one go-fuzz seed file per minimized stream, in the
+// format `go test fuzz v1` expects under testdata/fuzz/<FuzzName>/.
+func writeCorpus(dir string, n int, m *diffcheck.Minimized) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, entry := range m.FuzzCorpus() {
+		name := filepath.Join(dir, fmt.Sprintf("lmcheck-%d-stream-%d", n, i))
+		if err := os.WriteFile(name, []byte(entry), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("lmcheck: wrote %s\n", name)
+	}
+	return nil
+}

@@ -240,11 +240,17 @@ func (m *R3) stable(s StreamID, t temporal.Time) {
 		}
 	}
 	// Second pass: retire fully frozen nodes — but only those the advanced
-	// stable point actually seals. A node whose Vs stays at or above the
-	// held-back stable point must survive: a lagging stream could otherwise
-	// re-create it and the output would emit the event twice.
+	// OUTPUT stable point actually seals (inVe < holdback). Under the
+	// fully-frozen holdback the input stable t can run ahead of the output
+	// stable point: a node emitted at this sweep may still be live relative
+	// to the output (its Ve at or above the held-back stable point), and
+	// deleting it would silently drop it from checkpoints (Snapshot) even
+	// though a restarted query still needs it. Such nodes survive until a
+	// later sweep's output stable passes their end time. Since Vs <= Ve,
+	// inVe < holdback also guarantees a lagging stream cannot re-create the
+	// node (its Vs is sealed too), so the output never emits an event twice.
 	for _, r := range m.scan {
-		if r.inVe < t && !r.pinned && r.f.Key().Vs < holdback {
+		if r.inVe < t && !r.pinned && r.inVe < holdback {
 			m.index.DeleteNode(r.f.Key())
 		}
 	}

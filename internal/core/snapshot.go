@@ -26,7 +26,11 @@ type Snapshotter interface {
 func (m *R3) Snapshot() temporal.Stream {
 	var out temporal.Stream
 	m.index.Ascend(func(n *index.Node2) bool {
-		if ve, has := n.Ve(index.OutputStream); has {
+		// Skip output events already fully frozen at the output stable point:
+		// the index may retain them briefly (holdback policies, detach) for
+		// dedup of lagging inputs, but they contribute nothing after the
+		// closing stable and would make the snapshot an invalid stream.
+		if ve, has := n.Ve(index.OutputStream); has && ve >= m.maxStable {
 			k := n.Key()
 			out = append(out, temporal.Insert(k.Payload, k.Vs, ve))
 		}
@@ -45,6 +49,13 @@ func (m *R4) Snapshot() temporal.Stream {
 	m.index.Ascend(func(n *index.Node3) bool {
 		k := n.Key()
 		n.AscendVe(index.OutputStream, func(ve temporal.Time, count int) bool {
+			// A live node's Ve multiset can still hold occurrences that froze
+			// at an earlier stable sweep (the node survives because a later
+			// occurrence of the same key is live). Those are immutable history,
+			// not live state: a restarted query must not see them again.
+			if ve < m.maxStable {
+				return true
+			}
 			for i := 0; i < count; i++ {
 				out = append(out, temporal.Insert(k.Payload, k.Vs, ve))
 			}

@@ -1,0 +1,195 @@
+package diffcheck
+
+import (
+	"fmt"
+
+	"lmerge/internal/core"
+)
+
+// Algo names one merge algorithm + policy point on the differential grid.
+type Algo uint8
+
+// The algorithm axis: the five restriction cases, the naive baseline, the R2
+// multiset relaxation, and the R3 output-policy variants of Sec. V-A.
+const (
+	AlgoR0 Algo = iota
+	AlgoR1
+	AlgoR2
+	AlgoR2Dup
+	AlgoR3
+	AlgoR3Eager
+	AlgoR3HalfFrozen
+	AlgoR3FullyFrozen
+	AlgoR3Quorum2
+	AlgoR3Leader
+	AlgoR3Naive
+	AlgoR4
+	algoCount // sentinel
+)
+
+// String names the algorithm.
+func (a Algo) String() string {
+	switch a {
+	case AlgoR0:
+		return "R0"
+	case AlgoR1:
+		return "R1"
+	case AlgoR2:
+		return "R2"
+	case AlgoR2Dup:
+		return "R2dup"
+	case AlgoR3:
+		return "R3"
+	case AlgoR3Eager:
+		return "R3/eager"
+	case AlgoR3HalfFrozen:
+		return "R3/half-frozen"
+	case AlgoR3FullyFrozen:
+		return "R3/fully-frozen"
+	case AlgoR3Quorum2:
+		return "R3/quorum2"
+	case AlgoR3Leader:
+		return "R3/leader"
+	case AlgoR3Naive:
+		return "R3naive"
+	case AlgoR4:
+		return "R4"
+	}
+	return fmt.Sprintf("Algo(%d)", uint8(a))
+}
+
+// NewMerger constructs the algorithm's merger with output callback emit.
+func (a Algo) NewMerger(emit core.Emit) core.Merger {
+	switch a {
+	case AlgoR0:
+		return core.NewR0(emit)
+	case AlgoR1:
+		return core.NewR1(emit)
+	case AlgoR2:
+		return core.NewR2(emit)
+	case AlgoR2Dup:
+		return core.NewR2Dup(emit)
+	case AlgoR3:
+		return core.NewR3(emit)
+	case AlgoR3Eager:
+		return core.NewR3(emit, core.R3Options{Adjust: core.AdjustEager})
+	case AlgoR3HalfFrozen:
+		return core.NewR3(emit, core.R3Options{Insert: core.InsertHalfFrozen})
+	case AlgoR3FullyFrozen:
+		return core.NewR3(emit, core.R3Options{Insert: core.InsertFullyFrozen})
+	case AlgoR3Quorum2:
+		return core.NewR3(emit, core.R3Options{Insert: core.InsertQuorum, Quorum: 2})
+	case AlgoR3Leader:
+		return core.NewR3(emit, core.R3Options{Follow: core.FollowLeader})
+	case AlgoR3Naive:
+		return core.NewR3Naive(emit)
+	case AlgoR4:
+		return core.NewR4(emit)
+	}
+	panic(fmt.Sprintf("diffcheck: unknown algorithm %d", uint8(a)))
+}
+
+// Exec selects the execution substrate a configuration runs on.
+type Exec uint8
+
+const (
+	// ExecDirect drives the core merger with direct Process calls in a
+	// deterministic interleaving — no engine involved.
+	ExecDirect Exec = iota
+	// ExecSync drives an engine graph through the synchronous depth-first
+	// executor (deterministic).
+	ExecSync
+	// ExecRuntime drives the same graph through the concurrent runtime with
+	// the default dispatch batch size (one goroutine per stream, one per
+	// node, nondeterministic interleaving).
+	ExecRuntime
+	// ExecRuntimeUnbatched is ExecRuntime with batch size 1 (the pre-batching
+	// element-at-a-time channel protocol).
+	ExecRuntimeUnbatched
+	execCount // sentinel
+)
+
+// String names the execution mode.
+func (x Exec) String() string {
+	switch x {
+	case ExecDirect:
+		return "direct"
+	case ExecSync:
+		return "sync"
+	case ExecRuntime:
+		return "runtime"
+	case ExecRuntimeUnbatched:
+		return "runtime/unbatched"
+	}
+	return fmt.Sprintf("Exec(%d)", uint8(x))
+}
+
+// Pipeline selects the downstream operator plan appended to the merge.
+type Pipeline uint8
+
+const (
+	// PipeNone compares the raw merge output against the oracle.
+	PipeNone Pipeline = iota
+	// PipeUnion splits every presentation into two halves re-interleaved by a
+	// per-input Union ahead of the merge (union→lmerge), exercising the
+	// union's min-stable logic inside the differential loop. Output is still
+	// oracle-comparable.
+	PipeUnion
+	// PipeCount appends a conservative tumbling-window count downstream of
+	// the merge (lmerge→count); outputs are compared pairwise across
+	// configurations.
+	PipeCount
+	// PipeCountAggressive appends the speculative count, whose corrections
+	// exercise removal/re-insert handling downstream of every algorithm.
+	PipeCountAggressive
+	// PipeTopK appends the Top-K ranked aggregate (lmerge→topk).
+	PipeTopK
+	pipelineCount // sentinel
+)
+
+// String names the pipeline.
+func (p Pipeline) String() string {
+	switch p {
+	case PipeNone:
+		return "none"
+	case PipeUnion:
+		return "union"
+	case PipeCount:
+		return "count"
+	case PipeCountAggressive:
+		return "count/aggr"
+	case PipeTopK:
+		return "topk"
+	}
+	return fmt.Sprintf("Pipeline(%d)", uint8(p))
+}
+
+// Config is one cell of the differential grid.
+type Config struct {
+	Algo     Algo
+	Exec     Exec
+	Pipeline Pipeline
+	// Order is the deterministic delivery interleaving for ExecDirect and
+	// ExecSync: "roundrobin", "sequential", or "random" (seed-driven).
+	// Ignored by the concurrent runtimes, whose interleaving is scheduling.
+	Order string
+}
+
+// String renders the cell compactly for reports.
+func (c Config) String() string {
+	s := fmt.Sprintf("%v/%v", c.Algo, c.Exec)
+	if c.Pipeline != PipeNone {
+		s += "/" + c.Pipeline.String()
+	}
+	if c.Order != "" && (c.Exec == ExecDirect || c.Exec == ExecSync) {
+		s += "/" + c.Order
+	}
+	return s
+}
+
+// oracleComparable reports whether the configuration's output stream should
+// reconstitute to the oracle TDB itself (true for raw merges and the
+// union-fronted merge; aggregate pipelines are compared pairwise instead).
+func (c Config) oracleComparable() bool {
+	return c.Pipeline == PipeNone || c.Pipeline == PipeUnion
+}

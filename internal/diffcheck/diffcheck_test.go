@@ -1,0 +1,216 @@
+package diffcheck
+
+import (
+	"testing"
+
+	"lmerge/internal/core"
+	"lmerge/internal/temporal"
+)
+
+// TestOracleMatchesTDB cross-validates the two independent element-semantics
+// implementations — the brute-force oracle and temporal.TDB — over every
+// generated presentation of every workload class. Any disagreement means one
+// of the harness's own yardsticks is wrong.
+func TestOracleMatchesTDB(t *testing.T) {
+	for class := ClassStrict; class < classCount; class++ {
+		for seed := int64(1); seed <= 5; seed++ {
+			w := buildWorkload(class, seed, 3, 40)
+			for i, s := range w.streams {
+				o := NewOracle()
+				tdb := temporal.NewTDB()
+				for j, e := range s {
+					oErr := o.Apply(e)
+					tErr := tdb.Apply(e)
+					if (oErr == nil) != (tErr == nil) {
+						t.Fatalf("class=%v seed=%d stream=%d element %d %v: oracle err=%v, TDB err=%v",
+							class, seed, i, j, e, oErr, tErr)
+					}
+					if oErr != nil {
+						t.Fatalf("class=%v seed=%d stream=%d: generated presentation invalid at %d: %v",
+							class, seed, i, j, oErr)
+					}
+				}
+				if got, want := tdbEvents(tdb), o.Events(); !eventsEqual(got, want) {
+					t.Errorf("class=%v seed=%d stream=%d: TDB %s != oracle %s",
+						class, seed, i, describeEvents(got), describeEvents(want))
+				}
+				if tdb.Stable() != o.Stable() {
+					t.Errorf("class=%v seed=%d stream=%d: TDB stable %v != oracle stable %v",
+						class, seed, i, tdb.Stable(), o.Stable())
+				}
+			}
+		}
+	}
+}
+
+// TestOracleRejectsInvalid exercises the oracle's validity checks: the same
+// element-level rules temporal.TDB enforces.
+func TestOracleRejectsInvalid(t *testing.T) {
+	p := temporal.P(1)
+	cases := []struct {
+		name string
+		pre  temporal.Stream
+		bad  temporal.Element
+	}{
+		{"negative lifetime insert", nil, temporal.Insert(p, 10, 5)},
+		{"insert before stable", temporal.Stream{temporal.Stable(20)}, temporal.Insert(p, 10, 30)},
+		{"adjust negative lifetime", temporal.Stream{temporal.Insert(p, 10, 30)}, temporal.Adjust(p, 10, 30, 5)},
+		{"adjust VOld below stable", temporal.Stream{temporal.Insert(p, 10, 30), temporal.Stable(40)}, temporal.Adjust(p, 10, 30, 50)},
+		{"adjust matches nothing", temporal.Stream{temporal.Insert(p, 10, 30)}, temporal.Adjust(p, 10, 25, 35)},
+	}
+	for _, tc := range cases {
+		o := NewOracle()
+		if err := o.Replay(tc.pre); err != nil {
+			t.Fatalf("%s: prefix rejected: %v", tc.name, err)
+		}
+		if err := o.Apply(tc.bad); err == nil {
+			t.Errorf("%s: oracle accepted %v", tc.name, tc.bad)
+		}
+	}
+}
+
+// TestOraclePartition checks Frozen/Live split the multiset exactly and that
+// an empty-interval insert contributes nothing.
+func TestOraclePartition(t *testing.T) {
+	o := NewOracle()
+	s := temporal.Stream{
+		temporal.Insert(temporal.P(1), 0, 10),
+		temporal.Insert(temporal.P(2), 5, 50),
+		temporal.Insert(temporal.P(3), 7, 7), // empty interval: no event
+		temporal.Insert(temporal.P(2), 5, 50),
+		temporal.Stable(20),
+	}
+	if err := o.Replay(s); err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != 3 {
+		t.Fatalf("Len=%d, want 3 (duplicate counted, empty interval skipped)", o.Len())
+	}
+	frozen, live := o.Frozen(20), o.Live(20)
+	if len(frozen) != 1 || frozen[0].Payload != temporal.P(1) {
+		t.Errorf("Frozen(20)=%s, want just payload 1", describeEvents(frozen))
+	}
+	if len(live) != 2 {
+		t.Errorf("Live(20)=%s, want payload 2 twice", describeEvents(live))
+	}
+	if got := len(o.Frozen(temporal.Infinity)); got != 3 {
+		t.Errorf("Frozen(∞) has %d events, want all 3", got)
+	}
+}
+
+// TestRunCleanSweep runs a small quick-grid sweep and expects zero
+// divergences: the merge algorithms agree with the oracle on every class.
+func TestRunCleanSweep(t *testing.T) {
+	opt := Options{Seeds: 3, Quick: true}
+	if testing.Short() {
+		opt.Seeds = 1
+	}
+	rep := Run(opt)
+	if len(rep.Divergences) != 0 {
+		for _, d := range rep.Divergences {
+			t.Errorf("%v", d)
+		}
+	}
+	if rep.SeedsRun != opt.Seeds {
+		t.Errorf("SeedsRun=%d, want %d", rep.SeedsRun, opt.Seeds)
+	}
+	if rep.Runs == 0 {
+		t.Error("no configurations were run")
+	}
+}
+
+// TestFullGridSeed runs one seed through the full (non-quick) grid, covering
+// every algorithm × executor × pipeline cell including the concurrent runtime.
+func TestFullGridSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid is slow")
+	}
+	for _, d := range CheckSeed(7, Options{}) {
+		t.Errorf("%v", d)
+	}
+}
+
+// brokenR3 wraps a merger and silently drops every 5th adjust — a planted
+// bug used to prove the harness actually detects output corruption.
+type brokenR3 struct {
+	core.Merger
+	n int
+}
+
+func (b *brokenR3) Process(s core.StreamID, e temporal.Element) error {
+	if e.Kind == temporal.KindAdjust {
+		b.n++
+		if b.n%5 == 0 {
+			return nil
+		}
+	}
+	return b.Merger.Process(s, e)
+}
+
+// mutateR3 is the Options.Mutate hook planting brokenR3 under AlgoR3 only.
+func mutateR3(cfg Config, m core.Merger) core.Merger {
+	if cfg.Algo == AlgoR3 {
+		return &brokenR3{Merger: m}
+	}
+	return m
+}
+
+// TestPlantedBugDetected proves sensitivity: a merger that drops adjusts must
+// produce divergences, and only in the sabotaged configurations.
+func TestPlantedBugDetected(t *testing.T) {
+	divs := CheckSeed(1, Options{Mutate: mutateR3})
+	if len(divs) == 0 {
+		t.Fatal("harness missed the planted bug")
+	}
+	for _, d := range divs {
+		if d.Config.Algo != AlgoR3 {
+			t.Errorf("divergence leaked outside the sabotaged algorithm: %v", d)
+		}
+	}
+}
+
+// TestDeliveryOrders checks every delivery order is a complete interleaving:
+// each stream's elements all appear, in per-stream order.
+func TestDeliveryOrders(t *testing.T) {
+	lens := []int{5, 3, 8}
+	for _, name := range []string{"roundrobin", "sequential", "random"} {
+		order := deliveryOrder(name, lens, 42)
+		counts := make([]int, len(lens))
+		total := 0
+		for _, s := range order {
+			counts[s]++
+			total++
+		}
+		for i, n := range counts {
+			if n != lens[i] {
+				t.Errorf("%s: stream %d delivered %d elements, want %d", name, i, n, lens[i])
+			}
+		}
+		if total != 16 {
+			t.Errorf("%s: %d total deliveries, want 16", name, total)
+		}
+	}
+}
+
+// TestGridEligibility checks workload classes only pair with algorithms whose
+// input restrictions they satisfy — a mismatch would report spurious
+// "divergences" that are really contract violations.
+func TestGridEligibility(t *testing.T) {
+	for class := ClassStrict; class < classCount; class++ {
+		for _, cfg := range grid(class, false) {
+			ok := false
+			for _, a := range class.algos() {
+				if a == cfg.Algo {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("class %v grid contains ineligible algorithm %v", class, cfg.Algo)
+			}
+		}
+	}
+	if got := len(ClassMultiset.algos()); got != 1 {
+		t.Errorf("multiset class admits %d algorithms, want R4 only", got)
+	}
+}

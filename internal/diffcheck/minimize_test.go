@@ -1,0 +1,161 @@
+package diffcheck
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+// TestDdmin checks the delta-debugging core: reduction to a 1-minimal subset,
+// and the no-op cases.
+func TestDdmin(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	fails := func(cand []int) bool {
+		has3, has7 := false, false
+		for _, v := range cand {
+			has3 = has3 || v == 3
+			has7 = has7 || v == 7
+		}
+		return has3 && has7
+	}
+	got := ddmin(items, fails)
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("ddmin = %v, want [3 7]", got)
+	}
+
+	if got := ddmin(items, func([]int) bool { return false }); len(got) != len(items) {
+		t.Errorf("ddmin on a healthy input shrank it to %v", got)
+	}
+	if got := ddmin(nil, func([]int) bool { return true }); len(got) != 0 {
+		t.Errorf("ddmin(nil) = %v", got)
+	}
+}
+
+// TestStableSurgery checks the element-level stable-thinning helpers preserve
+// every non-stable element and exactly the kept stables.
+func TestStableSurgery(t *testing.T) {
+	p := temporal.P(9)
+	s := temporal.Stream{
+		temporal.Insert(p, 0, 10),
+		temporal.Stable(5),
+		temporal.Insert(p, 6, 20),
+		temporal.Stable(8),
+		temporal.Stable(9),
+	}
+	idx := stableIndexes(s)
+	if len(idx) != 3 || idx[0] != 1 || idx[1] != 3 || idx[2] != 4 {
+		t.Fatalf("stableIndexes = %v", idx)
+	}
+	thin := withOnlyStables(s, []int{3})
+	if len(thin) != 3 || thin[0].Kind != temporal.KindInsert ||
+		thin[1].Kind != temporal.KindInsert || thin[2].T() != 8 {
+		t.Errorf("withOnlyStables = %v", thin)
+	}
+}
+
+// TestDetailKind checks failure-mode classification keys on the invariant
+// violated, not the timestamps in the message.
+func TestDetailKind(t *testing.T) {
+	a := detailKind("snapshot at stable(164) diverges from live output state: got {} want {x}")
+	b := detailKind("snapshot at stable(8) diverges from live output state: got {} want {y}")
+	if a != b {
+		t.Errorf("same failure mode classified differently: %q vs %q", a, b)
+	}
+	if detailKind("output stable point stalled at 164") == a {
+		t.Error("stalled stable classified as a snapshot failure")
+	}
+}
+
+// TestMinimizePlantedBug runs the whole pipeline end to end on the planted
+// adjust-dropping bug: find a divergence, shrink it, and check the minimized
+// streams still reproduce it while being materially smaller.
+func TestMinimizePlantedBug(t *testing.T) {
+	opt := Options{Mutate: mutateR3}
+	divs := CheckSeed(1, opt)
+	var target *Divergence
+	for i := range divs {
+		if divs[i].Config.Algo == AlgoR3 && divs[i].Config.Exec == ExecDirect {
+			target = &divs[i]
+			break
+		}
+	}
+	if target == nil {
+		t.Fatalf("no deterministic divergence among %d", len(divs))
+	}
+
+	m := Minimize(*target, opt)
+	full := buildWorkload(target.Class, target.Seed, 3, 60)
+	fullElements := 0
+	for _, s := range full.streams {
+		fullElements += len(s)
+	}
+	if m.Elements >= fullElements {
+		t.Errorf("minimizer did not shrink: %d elements vs %d in the full workload",
+			m.Elements, fullElements)
+	}
+	if got := replay(target.Config, target.Seed, m.Streams, opt); len(got) == 0 {
+		t.Error("minimized streams no longer reproduce the divergence")
+	}
+	if kind := detailKind(m.Divergence.Detail); kind != detailKind(target.Detail) {
+		t.Errorf("minimization changed the failure mode: %q -> %q",
+			detailKind(target.Detail), kind)
+	}
+
+	// The healthy merger must pass the minimized streams: the generated
+	// regression test asserts zero divergences after the bug is fixed.
+	if got := Replay(target.Config, target.Seed, m.Streams); len(got) != 0 {
+		t.Errorf("minimized streams fail without the planted bug: %v", got)
+	}
+
+	src := m.GoTest("PlantedAdjustDrop")
+	for _, want := range []string{
+		"func TestRegressPlantedAdjustDrop(t *testing.T)",
+		"temporal.Insert(",
+		"Replay(cfg, 1, streams)",
+		"AlgoR3",
+		"ExecDirect",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("GoTest output missing %q:\n%s", want, src)
+		}
+	}
+}
+
+// TestFuzzCorpusRoundTrip checks corpus entries are valid go-fuzz seed files
+// whose embedded bytes decode back to the minimized streams.
+func TestFuzzCorpusRoundTrip(t *testing.T) {
+	streams := []temporal.Stream{{
+		temporal.Insert(temporal.Payload{ID: 3, Data: "ab"}, 1, temporal.Infinity),
+		temporal.Adjust(temporal.Payload{ID: 3, Data: "ab"}, 1, temporal.Infinity, 9),
+		temporal.Stable(temporal.Infinity),
+	}}
+	m := &Minimized{Streams: streams}
+	corpus := m.FuzzCorpus()
+	if len(corpus) != 1 {
+		t.Fatalf("%d corpus entries, want 1", len(corpus))
+	}
+	entry := corpus[0]
+	if !strings.HasPrefix(entry, "go test fuzz v1\n[]byte(") {
+		t.Fatalf("bad corpus header: %q", entry)
+	}
+	quoted := strings.TrimSuffix(strings.TrimPrefix(entry, "go test fuzz v1\n[]byte("), ")\n")
+	raw, err := strconv.Unquote(quoted)
+	if err != nil {
+		t.Fatalf("corpus payload is not a Go quoted string: %v", err)
+	}
+	back, err := temporal.ReadStream(bytes.NewReader([]byte(raw)))
+	if err != nil {
+		t.Fatalf("corpus payload does not decode as a stream: %v", err)
+	}
+	if len(back) != len(streams[0]) {
+		t.Fatalf("round trip lost elements: %d -> %d", len(streams[0]), len(back))
+	}
+	for i := range back {
+		if back[i] != streams[0][i] {
+			t.Errorf("element %d changed in round trip: %v -> %v", i, streams[0][i], back[i])
+		}
+	}
+}

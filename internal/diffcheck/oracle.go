@@ -1,0 +1,237 @@
+// Package diffcheck is the differential correctness harness: it replays
+// seeded divergent presentations of one logical script through every LMerge
+// configuration axis — algorithm (R0–R4, the naive baseline, and the policy
+// variants), execution mode (direct merger calls, the synchronous engine
+// executor, the concurrent runtime batched and unbatched), and downstream
+// operator pipelines — and asserts that every configuration reconstitutes to
+// the same temporal database as a brute-force reference oracle, at every
+// output stable point and at end-of-stream.
+//
+// The paper's Sec. III–V invariant makes the harness sound: every LMerge
+// output is compatible with the canonical logical script, so ANY pairwise
+// divergence between two configurations, or between a configuration and the
+// oracle, is by definition a bug. Failures are shrunk by a seeded
+// delta-debugging minimizer (see minimize.go) into a ready-to-paste Go
+// regression test.
+package diffcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"lmerge/internal/temporal"
+)
+
+// Oracle is the deliberately naive reference semantics: it replays an element
+// sequence into a final TDB by brute force. It shares no code with
+// internal/core — no indexes, no freelists, no per-stream bookkeeping, just a
+// flat event slice scanned linearly — so a bug in the optimised mergers
+// cannot hide inside the oracle too.
+type Oracle struct {
+	events []temporal.Event // multiset, unordered; linear scans only
+	stable temporal.Time
+	primed bool
+}
+
+// NewOracle returns an empty oracle TDB.
+func NewOracle() *Oracle {
+	return &Oracle{stable: temporal.MinTime, primed: true}
+}
+
+func (o *Oracle) ensure() {
+	if !o.primed {
+		o.stable = temporal.MinTime
+		o.primed = true
+	}
+}
+
+// Stable returns the largest stable timestamp applied.
+func (o *Oracle) Stable() temporal.Time { o.ensure(); return o.stable }
+
+// Len returns the event count, counting multiplicity.
+func (o *Oracle) Len() int { return len(o.events) }
+
+// Apply folds one element into the oracle state, enforcing the same element
+// semantics as temporal.TDB.Apply (Example 5 of the paper) with straight-line
+// code: inserts append, adjusts linearly search and retarget (or delete),
+// stables advance the stability point.
+func (o *Oracle) Apply(e temporal.Element) error {
+	o.ensure()
+	switch e.Kind {
+	case temporal.KindInsert:
+		if e.Ve < e.Vs {
+			return fmt.Errorf("oracle: insert %v has negative lifetime", e)
+		}
+		if e.Vs < o.stable {
+			return fmt.Errorf("oracle: insert %v starts before stable point %v", e, o.stable)
+		}
+		if e.Ve == e.Vs {
+			return nil // empty validity interval: contributes no event
+		}
+		o.events = append(o.events, temporal.Event{Payload: e.Payload, Vs: e.Vs, Ve: e.Ve})
+		return nil
+	case temporal.KindAdjust:
+		if e.Ve < e.Vs {
+			return fmt.Errorf("oracle: adjust %v has negative lifetime", e)
+		}
+		if e.VOld < o.stable || e.Ve < o.stable {
+			return fmt.Errorf("oracle: adjust %v references time before stable point %v", e, o.stable)
+		}
+		for i := range o.events {
+			ev := o.events[i]
+			if ev.Payload == e.Payload && ev.Vs == e.Vs && ev.Ve == e.VOld {
+				if e.IsRemoval() {
+					o.events[i] = o.events[len(o.events)-1]
+					o.events = o.events[:len(o.events)-1]
+				} else {
+					o.events[i].Ve = e.Ve
+				}
+				return nil
+			}
+		}
+		return fmt.Errorf("oracle: adjust %v matches no event", e)
+	case temporal.KindStable:
+		if t := e.T(); t > o.stable {
+			o.stable = t
+		}
+		return nil
+	}
+	return fmt.Errorf("oracle: unknown element kind %v", e.Kind)
+}
+
+// Replay folds a whole prefix, returning the position of the first invalid
+// element.
+func (o *Oracle) Replay(s temporal.Stream) error {
+	for i, e := range s {
+		if err := o.Apply(e); err != nil {
+			return fmt.Errorf("element %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// OracleOf replays a known-valid presentation into a fresh oracle.
+func OracleOf(s temporal.Stream) (*Oracle, error) {
+	o := NewOracle()
+	if err := o.Replay(s); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Events returns the multiset in canonical (Vs, Payload, Ve) order.
+func (o *Oracle) Events() []temporal.Event {
+	out := append([]temporal.Event(nil), o.events...)
+	sortEvents(out)
+	return out
+}
+
+// Frozen returns the canonically ordered sub-multiset of events fully frozen
+// at stable point t (Ve < t): the part of the TDB no later element may touch.
+func (o *Oracle) Frozen(t temporal.Time) []temporal.Event {
+	var out []temporal.Event
+	for _, ev := range o.events {
+		if ev.Ve < t {
+			out = append(out, ev)
+		}
+	}
+	sortEvents(out)
+	return out
+}
+
+// Live returns the canonically ordered sub-multiset of events still alive at
+// stable point t (Ve >= t): what a snapshot taken at t must reconstitute.
+func (o *Oracle) Live(t temporal.Time) []temporal.Event {
+	var out []temporal.Event
+	for _, ev := range o.events {
+		if ev.Ve >= t {
+			out = append(out, ev)
+		}
+	}
+	sortEvents(out)
+	return out
+}
+
+// sortEvents orders events by (Vs, Payload, Ve) so multisets compare as
+// slices.
+func sortEvents(evs []temporal.Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if c := a.Key().Compare(b.Key()); c != 0 {
+			return c < 0
+		}
+		return a.Ve < b.Ve
+	})
+}
+
+// eventsEqual compares two canonically ordered multisets.
+func eventsEqual(a, b []temporal.Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tdbEvents expands a TDB into the canonical ordered multiset.
+func tdbEvents(t *temporal.TDB) []temporal.Event {
+	var out []temporal.Event
+	for _, ev := range t.Events() {
+		for i := 0; i < t.Count(ev); i++ {
+			out = append(out, ev)
+		}
+	}
+	sortEvents(out)
+	return out
+}
+
+// tdbFrozen expands the Ve < t sub-multiset of a TDB.
+func tdbFrozen(t *temporal.TDB, at temporal.Time) []temporal.Event {
+	var out []temporal.Event
+	for _, ev := range t.Events() {
+		if ev.Ve < at {
+			for i := 0; i < t.Count(ev); i++ {
+				out = append(out, ev)
+			}
+		}
+	}
+	sortEvents(out)
+	return out
+}
+
+// tdbLive expands the Ve >= t sub-multiset of a TDB.
+func tdbLive(t *temporal.TDB, at temporal.Time) []temporal.Event {
+	var out []temporal.Event
+	for _, ev := range t.Events() {
+		if ev.Ve >= at {
+			for i := 0; i < t.Count(ev); i++ {
+				out = append(out, ev)
+			}
+		}
+	}
+	sortEvents(out)
+	return out
+}
+
+// describeEvents renders a short diff-friendly form of a multiset for
+// divergence reports.
+func describeEvents(evs []temporal.Event) string {
+	if len(evs) == 0 {
+		return "{}"
+	}
+	s := "{"
+	for i, ev := range evs {
+		if i > 0 {
+			s += ", "
+		}
+		s += ev.String()
+		if i == 7 && len(evs) > 8 {
+			return s + fmt.Sprintf(", … %d more}", len(evs)-8)
+		}
+	}
+	return s + "}"
+}

@@ -1,0 +1,82 @@
+package diffcheck
+
+// Regression tests produced by the seeded minimizer (Minimize(...).GoTest)
+// for divergences the differential harness surfaced — and this PR fixed — in
+// internal/core. Each test embeds the minimized presentations literally, so
+// it stays meaningful even if the generator or seeds change.
+
+import (
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+// TestRegressFullyFrozenSnapshotHoldback pins a divergence found by the
+// differential harness (seed 1, class strict, config
+// R3/fully-frozen/direct/sequential):
+//
+//	snapshot at stable(164) diverges from live output state:
+//	got {} want {⟨99:4s57DG, [159, 171)⟩, ⟨198:v1qTVF, [160, 175)⟩}
+//
+// Under the fully-frozen insert policy the input stable point runs ahead of
+// the held-back output stable point; the sweep used the input point to retire
+// nodes, deleting events still live on the output, so checkpoints lost them.
+func TestRegressFullyFrozenSnapshotHoldback(t *testing.T) {
+	streams := []temporal.Stream{
+		{
+			temporal.Insert(temporal.Payload{ID: 99, Data: "4s57DG"}, 159, 171),
+			temporal.Insert(temporal.Payload{ID: 198, Data: "v1qTVF"}, 160, 175),
+			temporal.Insert(temporal.Payload{ID: 211, Data: "TxyIJw"}, 164, 209),
+			temporal.Insert(temporal.Payload{ID: 218, Data: "gooX11"}, 172, 283),
+			temporal.Insert(temporal.Payload{ID: 269, Data: "ic6v2U"}, 174, 245),
+			temporal.Insert(temporal.Payload{ID: 292, Data: "F21sc0"}, 180, 265),
+			temporal.Insert(temporal.Payload{ID: 114, Data: "U2VJLW"}, 185, 276),
+			temporal.Stable(188),
+			temporal.Insert(temporal.Payload{ID: 75, Data: "N6JMZY"}, 188, 303),
+			temporal.Stable(temporal.Infinity),
+		},
+	}
+	cfg := Config{Algo: AlgoR3FullyFrozen, Exec: ExecDirect, Pipeline: PipeNone, Order: "sequential"}
+	for _, d := range Replay(cfg, 1, streams) {
+		t.Errorf("%v", d)
+	}
+}
+
+// TestRegressR4SnapshotFrozenOccurrence pins a divergence found by the
+// differential harness (seed 1, class multiset, config R4/direct/random):
+//
+//	snapshot at stable(249) diverges from live output state:
+//	got {⟨91:hP5TNJ, [232, 243)⟩, ⟨91:hP5TNJ, [232, 249)⟩}
+//	want {⟨91:hP5TNJ, [232, 249)⟩}
+//
+// A live multiset node's Ve tier retains occurrences that froze at an earlier
+// stable sweep (the node survives because a sibling occurrence is live); R4's
+// snapshot emitted those frozen occurrences as if they were live state.
+func TestRegressR4SnapshotFrozenOccurrence(t *testing.T) {
+	streams := []temporal.Stream{
+		{
+			temporal.Insert(temporal.Payload{ID: 91, Data: "hP5TNJ"}, 232, 243),
+			temporal.Insert(temporal.Payload{ID: 91, Data: "hP5TNJ"}, 232, 249),
+			temporal.Adjust(temporal.Payload{ID: 91, Data: "hP5TNJ"}, 232, 249, 273),
+			temporal.Stable(temporal.Infinity),
+		},
+		{
+			temporal.Insert(temporal.Payload{ID: 91, Data: "hP5TNJ"}, 232, temporal.Infinity),
+			temporal.Insert(temporal.Payload{ID: 91, Data: "hP5TNJ"}, 232, temporal.Infinity),
+			temporal.Adjust(temporal.Payload{ID: 91, Data: "hP5TNJ"}, 232, temporal.Infinity, 249),
+			temporal.Adjust(temporal.Payload{ID: 91, Data: "hP5TNJ"}, 232, temporal.Infinity, 243),
+			temporal.Adjust(temporal.Payload{ID: 91, Data: "hP5TNJ"}, 232, 249, 273),
+			temporal.Stable(temporal.Infinity),
+		},
+		{
+			temporal.Insert(temporal.Payload{ID: 91, Data: "hP5TNJ"}, 232, 249),
+			temporal.Insert(temporal.Payload{ID: 91, Data: "hP5TNJ"}, 232, 243),
+			temporal.Stable(249),
+			temporal.Adjust(temporal.Payload{ID: 91, Data: "hP5TNJ"}, 232, 249, 273),
+		},
+	}
+	cfg := Config{Algo: AlgoR4, Exec: ExecDirect, Pipeline: PipeNone, Order: "random"}
+	for _, d := range Replay(cfg, 1, streams) {
+		t.Errorf("%v", d)
+	}
+}

@@ -1,0 +1,154 @@
+package diffcheck
+
+import (
+	"fmt"
+
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+// Class names one workload shape on the differential grid. Each class is the
+// richest stream family every algorithm in its column can legally consume, so
+// divergence within a class is always a bug, never a restriction mismatch.
+type Class uint8
+
+const (
+	// ClassStrict: strictly increasing Vs, insert-only — the R0 contract.
+	// Presentations differ only in stable placement. All algorithms eligible.
+	ClassStrict Class = iota
+	// ClassDet: non-decreasing Vs with tie groups delivered in deterministic
+	// (payload) order — the R1 contract. R1..R4 eligible.
+	ClassDet
+	// ClassTies: non-decreasing Vs with tie groups shuffled differently per
+	// presentation — the R2 contract. R2..R4 eligible.
+	ClassTies
+	// ClassGeneral: disorder, revisions, removals, split inserts — the R3
+	// contract ((Vs, Payload) still a key). R3 variants, R3Naive, R4 eligible.
+	ClassGeneral
+	// ClassMultiset: ClassGeneral plus duplicate (Vs, Payload) keys — the R4
+	// contract. R4 only.
+	ClassMultiset
+	classCount // sentinel
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassStrict:
+		return "strict"
+	case ClassDet:
+		return "det"
+	case ClassTies:
+		return "ties"
+	case ClassGeneral:
+		return "general"
+	case ClassMultiset:
+		return "multiset"
+	case classCount:
+		return "replay" // explicit-stream replays carry no workload class
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// algos returns the algorithms legally consuming this class's streams.
+func (c Class) algos() []Algo {
+	switch c {
+	case ClassStrict:
+		return []Algo{AlgoR0, AlgoR1, AlgoR2, AlgoR2Dup, AlgoR3, AlgoR3Eager,
+			AlgoR3HalfFrozen, AlgoR3FullyFrozen, AlgoR3Quorum2, AlgoR3Leader,
+			AlgoR3Naive, AlgoR4}
+	case ClassDet:
+		return []Algo{AlgoR1, AlgoR2, AlgoR2Dup, AlgoR3, AlgoR3Naive, AlgoR4}
+	case ClassTies:
+		return []Algo{AlgoR2, AlgoR2Dup, AlgoR3, AlgoR3Leader, AlgoR3Naive, AlgoR4}
+	case ClassGeneral:
+		return []Algo{AlgoR3, AlgoR3Eager, AlgoR3HalfFrozen, AlgoR3FullyFrozen,
+			AlgoR3Quorum2, AlgoR3Leader, AlgoR3Naive, AlgoR4}
+	case ClassMultiset:
+		return []Algo{AlgoR4}
+	}
+	return nil
+}
+
+// workload is one seeded script plus its physically divergent presentations.
+type workload struct {
+	class   Class
+	seed    int64
+	script  *gen.Script
+	streams []temporal.Stream
+}
+
+// buildWorkload draws the class's script and renders nStreams mutually
+// consistent presentations of it. Every knob is derived from the seed, so a
+// workload is fully reproducible from (class, seed, nStreams, events).
+func buildWorkload(class Class, seed int64, nStreams, events int) *workload {
+	sc := gen.NewScript(scriptConfig(class, seed, events))
+	w := &workload{class: class, seed: seed, script: sc}
+	w.streams = renderStreams(sc, class, renderPlan(class, seed, nStreams))
+	return w
+}
+
+// scriptConfig returns the generator configuration buildWorkload uses, so the
+// minimizer can rebuild the exact script behind a failing seed.
+func scriptConfig(class Class, seed int64, events int) gen.Config {
+	w := gen.Config{
+		Events:        events,
+		Seed:          seed*int64(classCount) + int64(class),
+		EventDuration: 60,
+		MaxGap:        9,
+		PayloadBytes:  6,
+	}
+	switch class {
+	case ClassStrict:
+		w.UniqueVs = true
+	case ClassDet, ClassTies:
+		w.GroupSize = 3
+	case ClassGeneral:
+		w.Revisions = 0.5
+		w.RemoveProb = 0.25
+	case ClassMultiset:
+		w.Revisions = 0.5
+		w.RemoveProb = 0.25
+		w.DupProb = 0.3
+	}
+	return w
+}
+
+// renderPlan derives each presentation's rendering options from the seed.
+// StableEvery guarantees mid-stream stable points so intermediate-surface
+// checks always have cut points to compare at. The plan is exposed separately
+// from the rendering so the minimizer can perturb it (zero the disorder, undo
+// insert splitting) while hunting for a simpler failing presentation.
+func renderPlan(class Class, seed int64, nStreams int) []gen.RenderOptions {
+	plan := make([]gen.RenderOptions, nStreams)
+	for i := range plan {
+		plan[i] = gen.RenderOptions{
+			Seed:        seed*101 + int64(i) + 1,
+			StableFreq:  0.06,
+			StableEvery: 7 + i, // divergent stable cadence per presentation
+		}
+		if class == ClassGeneral || class == ClassMultiset {
+			plan[i].Disorder = []float64{0.3, 0.1, 0.5}[i%3]
+			plan[i].SplitInserts = i%2 == 1
+		}
+	}
+	return plan
+}
+
+// renderStreams renders one divergent presentation of sc per plan entry.
+func renderStreams(sc *gen.Script, class Class, plan []gen.RenderOptions) []temporal.Stream {
+	streams := make([]temporal.Stream, len(plan))
+	for i, o := range plan {
+		switch class {
+		case ClassStrict:
+			streams[i] = sc.RenderOrdered(gen.OrderedStrict, o)
+		case ClassDet:
+			streams[i] = sc.RenderOrdered(gen.OrderedDeterministic, o)
+		case ClassTies:
+			streams[i] = sc.RenderOrdered(gen.OrderedShuffledTies, o)
+		default: // ClassGeneral, ClassMultiset
+			streams[i] = sc.Render(o)
+		}
+	}
+	return streams
+}

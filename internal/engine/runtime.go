@@ -184,6 +184,22 @@ func (r *Runtime) Inject(n *Node, e temporal.Element) {
 // chunked at the runtime's batch size. The whole slice is handed off before
 // returning — nothing is held back awaiting further input.
 func (r *Runtime) InjectBatch(n *Node, els []temporal.Element) {
+	r.InjectBatchPort(n, 0, els)
+}
+
+// InjectPort feeds one element into a source node's inbox tagged for the
+// given input port, letting an external driver feed a multi-port node (e.g. a
+// union) directly. Per-port element order is preserved when each port is fed
+// from a single goroutine; distinct goroutines may feed distinct ports of the
+// same node concurrently.
+func (r *Runtime) InjectPort(n *Node, port int, e temporal.Element) {
+	b := getBatch()
+	b = append(b, message{port: port, el: e})
+	n.inbox <- b
+}
+
+// InjectBatchPort is InjectBatch for a specific input port.
+func (r *Runtime) InjectBatchPort(n *Node, port int, els []temporal.Element) {
 	chunk := r.batch
 	if chunk < 1 {
 		chunk = 1
@@ -192,7 +208,7 @@ func (r *Runtime) InjectBatch(n *Node, els []temporal.Element) {
 		k := min(len(els), chunk)
 		b := getBatch()
 		for _, e := range els[:k] {
-			b = append(b, message{port: 0, el: e})
+			b = append(b, message{port: port, el: e})
 		}
 		n.inbox <- b
 		els = els[k:]

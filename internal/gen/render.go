@@ -27,6 +27,12 @@ type RenderOptions struct {
 	// any given element (paper default 1%). At least one insert separates
 	// consecutive stables by construction.
 	StableFreq float64
+	// StableEvery, when positive, additionally forces a stable element after
+	// every StableEvery-th element (at the largest timestamp the remaining
+	// suffix allows). Deterministic mid-stream stable points let differential
+	// drivers compare intermediate TDB surfaces at known cut points instead of
+	// relying on StableFreq's coin flips.
+	StableEvery int
 	// SplitInserts renders each event as insert(p, Vs, ∞) followed by an
 	// adjust to its first end time, as sources that do not know event ends a
 	// priori do (the process-monitoring pattern of Sec. I).
@@ -128,7 +134,8 @@ func (sc *Script) Render(o RenderOptions) temporal.Stream {
 		if el.Kind == temporal.KindInsert {
 			sinceInsert = true
 		}
-		if sinceInsert && rng.Float64() < o.StableFreq {
+		forced := o.StableEvery > 0 && (i+1)%o.StableEvery == 0
+		if (forced || sinceInsert && rng.Float64() < o.StableFreq) {
 			if t := suffixMin[i+1]; t > lastStable && !t.IsInf() {
 				out = append(out, temporal.Stable(t))
 				lastStable = t
@@ -216,7 +223,8 @@ func (sc *Script) RenderOrdered(kind OrderedKind, o RenderOptions) temporal.Stre
 	for i, h := range hs {
 		out = append(out, temporal.Insert(h.P, h.Vs, h.Ves[0]))
 		sinceInsert = true
-		if sinceInsert && rng.Float64() < o.StableFreq && i+1 < len(hs) {
+		forced := o.StableEvery > 0 && (i+1)%o.StableEvery == 0
+		if (forced || sinceInsert && rng.Float64() < o.StableFreq) && i+1 < len(hs) {
 			if t := hs[i+1].Vs; t > lastStable {
 				out = append(out, temporal.Stable(t))
 				lastStable = t

@@ -96,8 +96,17 @@ func Summarize(vals []float64) Summary {
 	}
 	std := math.Sqrt(varSum / float64(len(sorted)))
 	q := func(p float64) float64 {
-		i := int(p * float64(len(sorted)-1))
-		return sorted[i]
+		// Linear interpolation between the closest order statistics
+		// (Hyndman–Fan type 7, the default in R and NumPy). Truncating to a
+		// single order statistic biases small samples low: the p99 of 10
+		// samples would just be the 9th value, identical to p89.
+		r := p * float64(len(sorted)-1)
+		lo := int(r)
+		if lo >= len(sorted)-1 {
+			return sorted[len(sorted)-1]
+		}
+		frac := r - float64(lo)
+		return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 	}
 	s := Summary{
 		N: len(sorted), Min: sorted[0], Max: sorted[len(sorted)-1],

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refQuantile is an independent straight-line implementation of the type-7
+// (linear interpolation) quantile over an explicitly sorted copy — the
+// reference Summarize is differentially tested against.
+func refQuantile(vals []float64, p float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	r := p * float64(n-1)
+	lo := math.Floor(r)
+	hi := math.Ceil(r)
+	if int(hi) >= n {
+		return sorted[n-1]
+	}
+	w := r - lo
+	return (1-w)*sorted[int(lo)] + w*sorted[int(hi)]
+}
+
+func TestSummarizeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []func() float64{
+		func() float64 { return rng.Float64() * 1000 },       // uniform
+		func() float64 { return rng.NormFloat64()*50 + 200 }, // gaussian
+		func() float64 { return rng.ExpFloat64() * 10 },      // heavy right tail
+		func() float64 { return float64(rng.Intn(3)) },       // many duplicates
+	}
+	for si, shape := range shapes {
+		for _, n := range []int{1, 2, 3, 4, 5, 10, 99, 100, 1000} {
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = shape()
+			}
+			s := Summarize(vals)
+			for _, c := range []struct {
+				name string
+				got  float64
+				p    float64
+			}{
+				{"P50", s.P50, 0.5},
+				{"P95", s.P95, 0.95},
+				{"P99", s.P99, 0.99},
+			} {
+				want := refQuantile(vals, c.p)
+				if math.Abs(c.got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+					t.Errorf("shape %d n=%d: %s = %v, reference %v", si, n, c.name, c.got, want)
+				}
+			}
+			if s.Min != refQuantile(vals, 0) || s.Max != refQuantile(vals, 1) {
+				t.Errorf("shape %d n=%d: min/max disagree with 0th/100th quantile", si, n)
+			}
+		}
+	}
+}
+
+// TestQuantileSingleSample pins the degenerate edges: with one sample every
+// quantile is that sample; with two, the median is their midpoint.
+func TestQuantileSingleSample(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.Min != 42 || s.P50 != 42 || s.P95 != 42 || s.P99 != 42 || s.Max != 42 || s.Mean != 42 {
+		t.Fatalf("single-sample summary %+v", s)
+	}
+	if s.Stddev != 0 || s.CoefficientOfVar != 0 {
+		t.Fatalf("single sample has spread: %+v", s)
+	}
+
+	s = Summarize([]float64{10, 20})
+	if s.P50 != 15 {
+		t.Errorf("median of {10,20} = %v, want 15 (interpolated)", s.P50)
+	}
+	if math.Abs(s.P95-19.5) > 1e-9 {
+		t.Errorf("p95 of {10,20} = %v, want 19.5", s.P95)
+	}
+	if s.Max != 20 || s.Min != 10 {
+		t.Errorf("min/max %+v", s)
+	}
+}
+
+// TestQuantileInterpolation pins known interpolated values so a silent
+// regression to nearest-rank truncation fails loudly.
+func TestQuantileInterpolation(t *testing.T) {
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = float64(i + 1) // 1..10
+	}
+	s := Summarize(vals)
+	if math.Abs(s.P50-5.5) > 1e-9 {
+		t.Errorf("P50 = %v, want 5.5", s.P50)
+	}
+	if math.Abs(s.P95-9.55) > 1e-9 {
+		t.Errorf("P95 = %v, want 9.55", s.P95)
+	}
+	if math.Abs(s.P99-9.91) > 1e-9 {
+		t.Errorf("P99 = %v, want 9.91 (nearest-rank would collapse it to 9)", s.P99)
+	}
+	// Order must not matter.
+	perm := []float64{7, 2, 9, 1, 10, 4, 3, 8, 6, 5}
+	if p := Summarize(perm); p.P95 != s.P95 || p.P50 != s.P50 {
+		t.Error("summary depends on input order")
+	}
+}

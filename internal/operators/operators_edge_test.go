@@ -1,0 +1,237 @@
+package operators
+
+import (
+	"testing"
+
+	"lmerge/internal/engine"
+	"lmerge/internal/temporal"
+)
+
+// TestTopKNegativeWindows pins windowOf's floor semantics for negative
+// timestamps: Go integer division truncates toward zero, so a naive
+// ts/width*width would lump [-10, 10) into one window and misalign every
+// window boundary below zero.
+func TestTopKNegativeWindows(t *testing.T) {
+	tk := NewTopK(10, 5)
+	cases := []struct{ ts, want temporal.Time }{
+		{-25, -30}, {-20, -20}, {-11, -20}, {-10, -10}, {-1, -10},
+		{0, 0}, {9, 0}, {10, 10},
+	}
+	for _, c := range cases {
+		if got := tk.windowOf(c.ts); got != c.want {
+			t.Errorf("windowOf(%d) = %d, want %d", c.ts, got, c.want)
+		}
+	}
+
+	src, sink := pipe(NewTopK(10, 2))
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(1), -5, 40),
+		temporal.Insert(temporal.P(2), -5, 40),
+		temporal.Insert(temporal.P(3), -1, 40),
+		temporal.Insert(temporal.P(4), 0, 40),
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	// Window [-10, 0) holds payloads 1..3, ranked 3, 2; window [0, 10) holds 4.
+	for _, ev := range []temporal.Event{
+		temporal.Ev(temporal.P(3), -10, 0),
+		temporal.Ev(temporal.P(2), -10, 0),
+		temporal.Ev(temporal.P(4), 0, 10),
+	} {
+		if sink.TDB.Count(ev) != 1 {
+			t.Errorf("missing %v in %v", ev, sink.TDB)
+		}
+	}
+	if sink.TDB.Count(temporal.Ev(temporal.P(1), -10, 0)) != 0 {
+		t.Errorf("rank 3 leaked into top-2 output: %v", sink.TDB)
+	}
+}
+
+// TestTopKRemoval checks a withdrawal retracts its payload from the pending
+// window before the window is reported.
+func TestTopKRemoval(t *testing.T) {
+	src, sink := pipe(NewTopK(10, 3))
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(7), 1, 30),
+		temporal.Insert(temporal.P(8), 2, 30),
+		temporal.Adjust(temporal.P(8), 2, 30, 2), // withdraw payload 8
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if sink.TDB.Count(temporal.Ev(temporal.P(8), 0, 10)) != 0 {
+		t.Errorf("withdrawn payload reported: %v", sink.TDB)
+	}
+	if sink.TDB.Count(temporal.Ev(temporal.P(7), 0, 10)) != 1 {
+		t.Errorf("surviving payload missing: %v", sink.TDB)
+	}
+}
+
+// TestTopKStableRegression checks regressive and duplicate stables are
+// absorbed: the output stable point must be monotone.
+func TestTopKStableRegression(t *testing.T) {
+	src, sink := pipe(NewTopK(10, 3))
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(1), 1, 30),
+		temporal.Stable(20),
+		temporal.Stable(20),
+		temporal.Stable(15),
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if got := sink.Stables(); got != 2 {
+		t.Errorf("%d stables emitted, want 2 (20 then ∞)", got)
+	}
+}
+
+// TestUnionStableEdgeCases checks the min-across-inputs stable rule under
+// duplicate, regressive, and out-of-range deliveries.
+func TestUnionStableEdgeCases(t *testing.T) {
+	g := engine.NewGraph()
+	s0 := g.Add(NewSource("a"))
+	s1 := g.Add(NewSource("b"))
+	u := NewUnion(2)
+	un := g.Add(u)
+	sink := NewSink()
+	g.Connect(s0, un)
+	g.Connect(s1, un)
+	g.Connect(un, g.Add(sink))
+
+	s0.Inject(temporal.Stable(30))
+	if sink.Stables() != 0 {
+		t.Fatal("stable forwarded before all inputs reached it")
+	}
+	s1.Inject(temporal.Stable(30))
+	if sink.Stables() != 1 {
+		t.Fatal("stable(30) not forwarded once both inputs reached it")
+	}
+	s1.Inject(temporal.Stable(30)) // duplicate: min unchanged
+	s0.Inject(temporal.Stable(10)) // regression: MaxT keeps 30
+	if sink.Stables() != 1 {
+		t.Errorf("%d stables after duplicate+regression, want still 1", sink.Stables())
+	}
+	// An out-of-range port must be ignored, not panic or corrupt state.
+	var out engine.Out
+	u.Process(5, temporal.Stable(99), &out)
+	u.Process(-1, temporal.Stable(99), &out)
+	s0.Inject(temporal.Stable(40))
+	s1.Inject(temporal.Stable(35))
+	if sink.Stables() != 2 {
+		t.Errorf("%d stables, want 2 (30 then 35)", sink.Stables())
+	}
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+}
+
+// TestUDFAdjustFastForward checks the fast-forward skip logic on revisions:
+// an adjust is dead only when BOTH its old and new end times are at or below
+// the watermark — dropping an adjust whose VOld is old but whose Ve extends
+// past the watermark would lose a live revision.
+func TestUDFAdjustFastForward(t *testing.T) {
+	u := NewUDF(func(temporal.Payload) int { return 1 })
+	src, sink := pipe(u)
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(1), 0, 10),
+		temporal.Insert(temporal.P(2), 0, 10),
+	})
+	u.OnFeedback(50)
+	inject(t, src, temporal.Stream{
+		temporal.Adjust(temporal.P(1), 0, 10, 100), // extends past watermark: must pass
+		temporal.Adjust(temporal.P(2), 0, 10, 0),   // withdrawal fully below: skippable
+		temporal.Insert(temporal.P(3), 60, 200),    // live insert: must pass
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if sink.TDB.Count(temporal.Ev(temporal.P(1), 0, 100)) != 1 {
+		t.Errorf("live-extending adjust was fast-forwarded away: %v", sink.TDB)
+	}
+	if sink.TDB.Count(temporal.Ev(temporal.P(3), 60, 200)) != 1 {
+		t.Errorf("live insert missing: %v", sink.TDB)
+	}
+	if u.Skipped() == 0 {
+		t.Error("dead withdrawal was not skipped")
+	}
+}
+
+// TestUDFPredicateOnAdjusts checks revisions of filtered-out payloads are
+// dropped too: passing them through would adjust events the output never
+// inserted.
+func TestUDFPredicateOnAdjusts(t *testing.T) {
+	u := NewUDF(func(temporal.Payload) int { return 0 })
+	u.Pred = func(p temporal.Payload) bool { return p.ID%2 == 0 }
+	src, sink := pipe(u)
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(2), 1, 10),
+		temporal.Insert(temporal.P(3), 1, 10),
+		temporal.Adjust(temporal.P(3), 1, 10, 20), // filtered payload: must drop
+		temporal.Adjust(temporal.P(2), 1, 10, 20),
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatalf("adjust of a filtered payload leaked: %v", sink.Err())
+	}
+	if sink.TDB.Count(temporal.Ev(temporal.P(2), 1, 20)) != 1 || sink.TDB.Len() != 1 {
+		t.Errorf("udf output %v", sink.TDB)
+	}
+}
+
+// TestAlterLifetimeWithdrawals checks removals stay removals under both
+// shapes: the retraction must target the REWRITTEN end time the downstream
+// actually saw, and SetDuration must not collapse it like an ordinary adjust.
+func TestAlterLifetimeWithdrawals(t *testing.T) {
+	src, sink := pipe(Extend(5))
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(1), 0, 10),
+		temporal.Adjust(temporal.P(1), 0, 10, 0), // withdraw
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatalf("extend withdrawal invalid downstream: %v", sink.Err())
+	}
+	if sink.TDB.Len() != 0 {
+		t.Errorf("withdrawn event survived Extend: %v", sink.TDB)
+	}
+
+	src, sink = pipe(SetDuration(7))
+	inject(t, src, temporal.Stream{
+		temporal.Insert(temporal.P(1), 0, 10),
+		temporal.Adjust(temporal.P(1), 0, 10, 30), // collapses: Ve is Vs+7 either way
+		temporal.Adjust(temporal.P(1), 0, 30, 0),  // withdraw: must pass
+		temporal.Stable(temporal.Infinity),
+	})
+	if sink.Err() != nil {
+		t.Fatalf("setduration withdrawal invalid downstream: %v", sink.Err())
+	}
+	if sink.TDB.Len() != 0 {
+		t.Errorf("withdrawn event survived SetDuration: %v", sink.TDB)
+	}
+	if sink.Adjusts() != 1 {
+		t.Errorf("%d adjusts emitted, want 1 (the withdrawal only)", sink.Adjusts())
+	}
+}
+
+// TestAlterLifetimeInfinite checks never-ending events pass through both
+// shapes untouched — there is no finite end time to rewrite.
+func TestAlterLifetimeInfinite(t *testing.T) {
+	for _, op := range []*AlterLifetime{Extend(5), SetDuration(7)} {
+		src, sink := pipe(op)
+		inject(t, src, temporal.Stream{
+			temporal.Insert(temporal.P(1), 0, temporal.Infinity),
+			temporal.Stable(temporal.Infinity),
+		})
+		if sink.Err() != nil {
+			t.Fatal(sink.Err())
+		}
+		if sink.TDB.Count(temporal.Ev(temporal.P(1), 0, temporal.Infinity)) != 1 {
+			t.Errorf("%s: infinite event rewritten: %v", op.Name(), sink.TDB)
+		}
+	}
+}
