@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench chaos fuzz experiments diffcheck diffcheck-race clean
+.PHONY: all check build vet test race cover bench chaos partition-soak fuzz experiments scale diffcheck diffcheck-race clean
 
 all: build vet test
 
 # Everything CI cares about: compile, vet, full tests, race on the
-# concurrent packages, the seeded chaos soak, and a race-enabled
-# differential sweep over the trimmed config grid.
-check: build vet test race chaos diffcheck-race
+# concurrent packages, the seeded chaos soaks (single-instance and
+# partitioned), and a race-enabled differential sweep over the trimmed
+# config grid.
+check: build vet test race chaos partition-soak diffcheck-race
 
 build:
 	$(GO) build ./...
@@ -34,6 +35,12 @@ bench:
 chaos:
 	$(GO) test -race -v -run 'TestChaosSoak|TestFailoverLatency' ./internal/chaos/
 
+# Race-enabled randomized soak of the partitioned execution subsystem:
+# chaotic attach/detach/feedback over the Sharded pool, checked against
+# the script oracle (see DESIGN.md §8).
+partition-soak:
+	$(GO) test -race -v -run TestPartitionedChaosSoak ./internal/partition/
+
 # Short fuzz sessions over the wire codec and reconstitution.
 fuzz:
 	$(GO) test ./internal/temporal/ -fuzz FuzzUnmarshalElement -fuzztime 30s
@@ -52,6 +59,11 @@ diffcheck-race:
 # Regenerate every paper figure/table at paper scale (see EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/lmbench
+
+# Keyed scale-out curve: throughput vs partition count, uniform and
+# hot-key-skewed (see EXPERIMENTS.md "Scaling" and BENCH_PR4.json).
+scale:
+	$(GO) run ./cmd/lmbench -exp scale -events 100000 -payload 64
 
 clean:
 	$(GO) clean ./...

@@ -85,3 +85,49 @@ func TestFacadeEquivalence(t *testing.T) {
 		t.Fatalf("self-compatibility: %v", err)
 	}
 }
+
+// TestFacadePartitioned exercises the keyed scale-out wrapper through the
+// public facade: the partitioned merger is a drop-in Merger.
+func TestFacadePartitioned(t *testing.T) {
+	out := NewTDB()
+	m := NewPartitioned(CaseR3, 3, func(e Element) {
+		if err := out.Apply(e); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	})
+	m.Attach(0)
+	m.Attach(1)
+	// Keys 1 and 2 hash to (generally) different partitions; the reunified
+	// output must still cover both and complete.
+	mustOK(t, m.Process(0, Insert(P(1), 10, 20)))
+	mustOK(t, m.Process(1, Insert(P(1), 10, 25))) // divergent copy
+	mustOK(t, m.Process(0, Insert(P(2), 12, 30)))
+	mustOK(t, m.Process(1, Insert(P(2), 12, 30)))
+	mustOK(t, m.Process(0, Stable(Infinity)))
+	mustOK(t, m.Process(1, Stable(Infinity)))
+	if out.Stable() != Infinity {
+		t.Fatal("partitioned output did not complete")
+	}
+	if out.Len() != 2 {
+		t.Fatalf("partitioned output has %d events, want 2", out.Len())
+	}
+	if m.MaxStable() != Infinity {
+		t.Fatalf("MaxStable = %v, want ∞", m.MaxStable())
+	}
+
+	// A custom routing key funnels everything to one partition and must not
+	// change the merged result.
+	single := NewTDB()
+	m2 := NewPartitioned(CaseR3, 3, func(e Element) {
+		if err := single.Apply(e); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	}, WithPartitionKey(PartitionKeyFunc(func(Payload) uint64 { return 0 })))
+	m2.Attach(0)
+	mustOK(t, m2.Process(0, Insert(P(1), 10, 20)))
+	mustOK(t, m2.Process(0, Insert(P(2), 12, 30)))
+	mustOK(t, m2.Process(0, Stable(Infinity)))
+	if single.Len() != 2 || single.Stable() != Infinity {
+		t.Fatalf("single-partition routing output %v", single)
+	}
+}

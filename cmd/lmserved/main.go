@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lmserved serve -addr 127.0.0.1:7171 -case R3
+//	lmserved serve -addr 127.0.0.1:7171 -case R3 [-partitions 4]
 //	lmgen -events 1000 -render-seed 1 | lmserved pub -addr 127.0.0.1:7171
 //	lmgen -events 1000 -render-seed 2 | lmserved pub -addr 127.0.0.1:7171
 //	lmserved sub -addr 127.0.0.1:7171 > merged.jsonl
@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"lmerge/internal/core"
+	"lmerge/internal/metrics"
 	"lmerge/internal/server"
 	"lmerge/internal/temporal"
 )
@@ -49,24 +50,42 @@ func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7171", "listen address")
 	caseName := fs.String("case", "R3", "merge algorithm: R0, R1, R2, R3, R4")
+	parts := fs.Int("partitions", 1, "keyed scale-out: merge partitions sharding ingestion by payload hash (1 = single merger)")
 	fs.Parse(args)
 
 	c, err := parseCase(*caseName)
 	if err != nil {
 		fatal(err)
 	}
-	s, err := server.New(*addr, c)
+	s, err := server.NewWithOptions(*addr, server.Options{
+		Case: c, FeedbackLag: -1, Partitions: *parts,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "lmserved: merging (%s) on %s — ctrl-c to stop\n", c, s.Addr())
+	if *parts > 1 {
+		fmt.Fprintf(os.Stderr, "lmserved: merging (%s, %d partitions) on %s — ctrl-c to stop\n", c, *parts, s.Addr())
+	} else {
+		fmt.Fprintf(os.Stderr, "lmserved: merging (%s) on %s — ctrl-c to stop\n", c, s.Addr())
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	st := s.Stats()
+	ps := s.PartitionStats()
 	s.Close()
 	fmt.Fprintf(os.Stderr, "lmserved: done — in=%d out=%d dropped=%d warnings=%d\n",
 		st.InElements(), st.OutElements(), st.Dropped, st.ConsistencyWarnings)
+	if len(ps) > 0 {
+		load := make([]float64, len(ps))
+		for i, p := range ps {
+			load[i] = float64(p.Processed)
+			fmt.Fprintf(os.Stderr, "lmserved: partition %d — processed=%d queue=%d stable=%d lag=%d\n",
+				i, p.Processed, p.QueueDepth, int64(p.Stable), int64(p.Lag))
+		}
+		fmt.Fprintf(os.Stderr, "lmserved: partition load %v imbalance=%.2f\n",
+			metrics.Summarize(load), metrics.Imbalance(load))
+	}
 }
 
 func publish(args []string) {

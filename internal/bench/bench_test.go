@@ -159,7 +159,7 @@ func TestTableIVShape(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	reg := Experiments()
-	if len(reg) != 13 {
+	if len(reg) != 14 {
 		t.Fatalf("registry has %d experiments", len(reg))
 	}
 	for id, fn := range reg {
@@ -172,5 +172,20 @@ func TestExperimentsRegistry(t *testing.T) {
 	s := tbl.String()
 	if !strings.Contains(s, "LM+Feedback") || !strings.Contains(s, "note:") {
 		t.Errorf("table rendering incomplete:\n%s", s)
+	}
+}
+
+func TestScalePartitionsShape(t *testing.T) {
+	r := ScalePartitions(Scale{Events: 1500, PayloadBytes: 16})
+	if len(r.Partitions) != 4 || len(r.Table.Rows) != 4 {
+		t.Fatalf("scale curve has %d points", len(r.Partitions))
+	}
+	for i := range r.Partitions {
+		if r.UniformTput[i] <= 0 || r.SkewTput[i] <= 0 {
+			t.Fatalf("non-positive throughput at %d partitions", r.Partitions[i])
+		}
+		if r.SkewImbalance[i] < 1 {
+			t.Fatalf("imbalance %f < 1 at %d partitions", r.SkewImbalance[i], r.Partitions[i])
+		}
 	}
 }

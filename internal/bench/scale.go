@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/metrics"
+	"lmerge/internal/partition"
+	"lmerge/internal/temporal"
+)
+
+// ScalePartitionsResult carries the keyed scale-out curve: merge throughput
+// as the partition count grows, on a uniform and a hot-key-skewed keyed
+// workload (PR-4 acceptance experiment; see EXPERIMENTS.md "Scaling").
+type ScalePartitionsResult struct {
+	Partitions []int
+	// UniformTput / SkewTput are input elements per wall-clock second.
+	UniformTput []float64
+	SkewTput    []float64
+	// SkewImbalance is max/mean of per-partition processed counts on the
+	// skewed workload (metrics.Imbalance; 1 = perfectly even).
+	SkewImbalance []float64
+	Table         *Table
+}
+
+// scaleStreams renders the keyed R3 workload: four divergent replica
+// presentations of one script, with the payload-ID key drawn uniformly or
+// power-law-skewed (gen.Config.KeySkew).
+func scaleStreams(scale Scale, skew float64) []temporal.Stream {
+	sc := gen.NewScript(gen.Config{
+		Events:        scale.Events,
+		Seed:          77,
+		PayloadBytes:  scale.PayloadBytes,
+		MaxGap:        2 * gen.TicksPerSecond,
+		EventDuration: 10 * gen.TicksPerSecond,
+		Revisions:     0.4,
+		RemoveProb:    0.15,
+		KeySkew:       skew,
+	})
+	return disorderedWorkload(sc, 4, 0.3, 0.02)
+}
+
+// runShardedMerge drives the streams through a partition.Sharded pool, one
+// publisher goroutine per stream (the lmserved ingestion shape), and times
+// the run until the reunified output reaches stable(∞).
+func runShardedMerge(parts int, streams []temporal.Stream) (tput, imbalance float64) {
+	var elems int64
+	for _, s := range streams {
+		elems += int64(len(s))
+	}
+	pool := partition.NewSharded(parts, func(e core.Emit) core.Merger {
+		return core.NewR3(e)
+	}, nil)
+	ids := make([]core.StreamID, len(streams))
+	for i := range ids {
+		ids[i] = pool.Attach(temporal.MinTime)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range streams {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			const batch = 256
+			for lo := 0; lo < len(streams[i]); lo += batch {
+				hi := min(lo+batch, len(streams[i]))
+				if err := pool.ProcessBatch(ids[i], streams[i][lo:hi]); err != nil {
+					panic(fmt.Sprintf("bench: sharded merge: %v", err))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Publishers have enqueued everything; wait for the workers to drain
+	// (every stream ends with stable(∞), so the reunified frontier reaching
+	// ∞ means all merge work is done).
+	for !pool.MaxStable().IsInf() {
+		time.Sleep(100 * time.Microsecond)
+	}
+	wall := time.Since(start).Seconds()
+	load := make([]float64, 0, parts)
+	for _, p := range pool.PartitionStats() {
+		load = append(load, float64(p.Processed))
+	}
+	if err := pool.Close(); err != nil {
+		panic(fmt.Sprintf("bench: sharded merge close: %v", err))
+	}
+	return float64(elems) / wall, metrics.Imbalance(load)
+}
+
+// ScalePartitions measures merge throughput against the partition count on
+// the keyed R3 workload, uniform and hot-key-skewed. Expected shape on a
+// multicore machine: near-linear speedup while partitions ≤ cores on the
+// uniform workload, with skew capping the gain at roughly the imbalance
+// ratio. On fewer cores than partitions the curve flattens at the core
+// count — the table records GOMAXPROCS so the result is interpretable.
+func ScalePartitions(scale Scale) ScalePartitionsResult {
+	res := ScalePartitionsResult{
+		Table: &Table{
+			ID:      "scale",
+			Title:   "Throughput vs merge partitions (keyed R3, 4 replicas)",
+			Columns: []string{"partitions", "uniform", "speedup", "skewed (KeySkew=2)", "speedup", "imbalance"},
+		},
+	}
+	uniform := scaleStreams(scale, 0)
+	skewed := scaleStreams(scale, 2)
+	var baseU, baseS float64
+	for _, parts := range []int{1, 2, 4, 8} {
+		ut, _ := runShardedMerge(parts, uniform)
+		st, imb := runShardedMerge(parts, skewed)
+		if parts == 1 {
+			baseU, baseS = ut, st
+		}
+		res.Partitions = append(res.Partitions, parts)
+		res.UniformTput = append(res.UniformTput, ut)
+		res.SkewTput = append(res.SkewTput, st)
+		res.SkewImbalance = append(res.SkewImbalance, imb)
+		res.Table.AddRow(fmt.Sprintf("%d", parts),
+			fmtTput(ut), fmt.Sprintf("%.2fx", ut/baseU),
+			fmtTput(st), fmt.Sprintf("%.2fx", st/baseS),
+			fmt.Sprintf("%.2f", imb))
+	}
+	res.Table.Note("GOMAXPROCS=%d NumCPU=%d — parallel speedup requires cores >= partitions",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	res.Table.Note("paper shape: partitioned LMerge scales until cores or key skew bind")
+	return res
+}

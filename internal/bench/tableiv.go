@@ -108,6 +108,7 @@ func Experiments() map[string]func(Scale) *Table {
 		"fig9":               func(s Scale) *Table { return Fig9Congestion(s).Table },
 		"fig10":              func(s Scale) *Table { return Fig10PlanSwitch(s).Table },
 		"tableiv":            func(s Scale) *Table { return TableIVScaling(s).Table },
+		"scale":              func(s Scale) *Table { return ScalePartitions(s).Table },
 		"ablation-policies":  func(s Scale) *Table { return AblationPolicies(s).Table },
 		"ablation-feedback":  func(s Scale) *Table { return AblationFeedbackLag(s).Table },
 		"ablation-jumpstart": func(s Scale) *Table { return AblationJumpstart(s).Table },

@@ -76,7 +76,22 @@ func (o *Operator) MaxStable() temporal.Time { return o.m.MaxStable() }
 // events the other inputs carry.
 func (o *Operator) Attach(joinTime temporal.Time) StreamID {
 	id := o.next
-	o.next++
+	o.AttachAt(id, joinTime)
+	return id
+}
+
+// AttachAt registers a new input stream under a caller-chosen id, so several
+// operator instances can mirror one logical set of inputs (the partitioned
+// execution layer attaches each publisher under the same id on every
+// partition). Attaching an id that is already registered is a no-op; ids
+// handed out by Attach afterwards never collide with ids reserved here.
+func (o *Operator) AttachAt(id StreamID, joinTime temporal.Time) {
+	if _, ok := o.inputs[id]; ok {
+		return
+	}
+	if id >= o.next {
+		o.next = id + 1
+	}
 	st := &inputState{
 		joinTime:     joinTime,
 		lastStable:   temporal.MinTime,
@@ -85,7 +100,6 @@ func (o *Operator) Attach(joinTime temporal.Time) StreamID {
 	st.joined = joinTime <= o.m.MaxStable() || joinTime == temporal.MinTime
 	o.inputs[id] = st
 	o.m.Attach(id)
-	return id
 }
 
 // Detach marks input id as leaving; its subsequent elements are ignored and

@@ -4,7 +4,13 @@ import (
 	"fmt"
 
 	"lmerge/internal/core"
+	"lmerge/internal/partition"
 )
+
+// diffPartitions is the partition count of the partitioned executor axes —
+// small enough to keep the grid cheap, large enough that routing, stable
+// broadcast, and frontier reunification all carry real traffic.
+const diffPartitions = 3
 
 // Algo names one merge algorithm + policy point on the differential grid.
 type Algo uint8
@@ -89,6 +95,15 @@ func (a Algo) NewMerger(emit core.Emit) core.Merger {
 	panic(fmt.Sprintf("diffcheck: unknown algorithm %d", uint8(a)))
 }
 
+// NewPartitionedMerger constructs the algorithm behind the keyed scale-out
+// wrapper: parts independent instances fed by payload-hash routing with
+// stables broadcast, reunified at the minimum partition frontier. The wrapper
+// satisfies core.Merger, so the differential harness drives it exactly like
+// the single-instance mergers.
+func (a Algo) NewPartitionedMerger(parts int, emit core.Emit) core.Merger {
+	return partition.NewWith(parts, func(e core.Emit) core.Merger { return a.NewMerger(e) }, emit)
+}
+
 // Exec selects the execution substrate a configuration runs on.
 type Exec uint8
 
@@ -106,8 +121,21 @@ const (
 	// ExecRuntimeUnbatched is ExecRuntime with batch size 1 (the pre-batching
 	// element-at-a-time channel protocol).
 	ExecRuntimeUnbatched
+	// ExecPartitioned drives the keyed-partitioned merger (diffPartitions
+	// sub-mergers behind hash routing and frontier reunification) with direct
+	// Process calls in a deterministic interleaving — the scale-out subsystem
+	// in its synchronous core.Merger form, subject to the same oracle and
+	// snapshot checks as ExecDirect.
+	ExecPartitioned
+	// ExecPartitionedRT drives the partitioned engine topology (per-stream
+	// splitters → per-partition lmerge nodes → reunify) through the
+	// concurrent runtime, one worker goroutine per node.
+	ExecPartitionedRT
 	execCount // sentinel
 )
+
+// partitioned reports whether the exec mode runs the keyed scale-out path.
+func (x Exec) partitioned() bool { return x == ExecPartitioned || x == ExecPartitionedRT }
 
 // String names the execution mode.
 func (x Exec) String() string {
@@ -120,6 +148,10 @@ func (x Exec) String() string {
 		return "runtime"
 	case ExecRuntimeUnbatched:
 		return "runtime/unbatched"
+	case ExecPartitioned:
+		return fmt.Sprintf("partitioned-%d", diffPartitions)
+	case ExecPartitionedRT:
+		return fmt.Sprintf("partitioned-%d/rt", diffPartitions)
 	}
 	return fmt.Sprintf("Exec(%d)", uint8(x))
 }
@@ -169,8 +201,9 @@ type Config struct {
 	Algo     Algo
 	Exec     Exec
 	Pipeline Pipeline
-	// Order is the deterministic delivery interleaving for ExecDirect and
-	// ExecSync: "roundrobin", "sequential", or "random" (seed-driven).
+	// Order is the deterministic delivery interleaving for ExecDirect,
+	// ExecPartitioned, and ExecSync: "roundrobin", "sequential", or "random"
+	// (seed-driven).
 	// Ignored by the concurrent runtimes, whose interleaving is scheduling.
 	Order string
 }
@@ -181,7 +214,7 @@ func (c Config) String() string {
 	if c.Pipeline != PipeNone {
 		s += "/" + c.Pipeline.String()
 	}
-	if c.Order != "" && (c.Exec == ExecDirect || c.Exec == ExecSync) {
+	if c.Order != "" && (c.Exec == ExecDirect || c.Exec == ExecSync || c.Exec == ExecPartitioned) {
 		s += "/" + c.Order
 	}
 	return s

@@ -10,6 +10,7 @@ import (
 	"lmerge/internal/core"
 	"lmerge/internal/engine"
 	"lmerge/internal/operators"
+	"lmerge/internal/partition"
 	"lmerge/internal/temporal"
 )
 
@@ -60,8 +61,9 @@ type Options struct {
 	// min(GOMAXPROCS, 8)). The report is deterministic regardless: results
 	// are folded in seed order.
 	Parallel int
-	// Mutate, when set, wraps every ExecDirect merger — the test hook that
-	// lets the harness verify it can catch (and minimize) a planted bug.
+	// Mutate, when set, wraps every direct-execution merger (ExecDirect and
+	// ExecPartitioned) — the test hook that lets the harness verify it can
+	// catch (and minimize) a planted bug.
 	Mutate func(Config, core.Merger) core.Merger
 }
 
@@ -246,6 +248,14 @@ func grid(class Class, quick bool) []Config {
 	}
 	for _, a := range algos {
 		for x := Exec(0); x < execCount; x++ {
+			// The fully-frozen insert policy holds its output stable back to
+			// the earliest unemitted event — a data-dependent holdback that
+			// makes per-partition stables diverge, so no single global stable
+			// point can caption the union snapshot. It is the one documented
+			// partitioned exclusion (see internal/partition).
+			if a == AlgoR3FullyFrozen && x.partitioned() {
+				continue
+			}
 			// Rotate the deterministic delivery order so every (algo, order)
 			// pair appears across the grid without cubing its size.
 			cfgs = append(cfgs, Config{Algo: a, Exec: x, Order: orders[(int(a)+int(x))%len(orders)]})
@@ -255,7 +265,7 @@ func grid(class Class, quick bool) []Config {
 	pipeAlgos := intersectAlgos(algos, []Algo{AlgoR1, AlgoR2, AlgoR3, AlgoR3Naive, AlgoR4})
 	for _, p := range []Pipeline{PipeUnion, PipeCount, PipeCountAggressive, PipeTopK} {
 		for _, a := range pipeAlgos {
-			for _, x := range []Exec{ExecSync, ExecRuntime} {
+			for _, x := range []Exec{ExecSync, ExecRuntime, ExecPartitionedRT} {
 				cfgs = append(cfgs, Config{Algo: a, Exec: x, Pipeline: p, Order: "roundrobin"})
 			}
 		}
@@ -287,18 +297,25 @@ type result struct {
 // runConfig executes one grid cell over the workload's streams.
 func runConfig(cfg Config, w *workload, opt Options) result {
 	switch cfg.Exec {
-	case ExecDirect:
+	case ExecDirect, ExecPartitioned:
 		return runDirect(cfg, w, opt)
 	default:
 		return runEngine(cfg, w, opt)
 	}
 }
 
-// runDirect drives the bare merger with Process calls in a deterministic
-// interleaving, checkpointing via Snapshot at every output stable advance.
+// runDirect drives the bare merger — or, for ExecPartitioned, the keyed
+// partition wrapper — with Process calls in a deterministic interleaving,
+// checkpointing via Snapshot at every output stable advance.
 func runDirect(cfg Config, w *workload, opt Options) result {
 	var out temporal.Stream
-	m := cfg.Algo.NewMerger(func(e temporal.Element) { out = append(out, e) })
+	emit := func(e temporal.Element) { out = append(out, e) }
+	var m core.Merger
+	if cfg.Exec == ExecPartitioned {
+		m = cfg.Algo.NewPartitionedMerger(diffPartitions, emit)
+	} else {
+		m = cfg.Algo.NewMerger(emit)
+	}
 	if opt.Mutate != nil {
 		m = opt.Mutate(cfg, m)
 	}
@@ -378,28 +395,79 @@ func buildGraph(cfg Config, n int) (g *engine.Graph, lm *operators.LMerge, lmNod
 			unions = append(unions, u)
 		}
 	}
-	tail := lmNode
-	switch cfg.Pipeline {
-	case PipeCount:
-		tail = g.Add(operators.NewCount(pipeWidth, false))
-		g.Connect(lmNode, tail)
-	case PipeCountAggressive:
-		tail = g.Add(operators.NewCount(pipeWidth, true))
-		g.Connect(lmNode, tail)
-	case PipeTopK:
-		tail = g.Add(operators.NewTopK(pipeWidth, pipeK))
-		g.Connect(lmNode, tail)
-	}
-	sink = &sinkOp{}
-	g.Connect(tail, g.Add(sink))
+	sink = attachTail(g, cfg, lmNode)
 	return g, lm, lmNode, unions, sink
 }
 
+// buildPartGraph assembles the partitioned variant of buildGraph: sources →
+// [union] → per-stream splitter → per-partition lmerge → reunify →
+// [aggregate] → sink. Injection targets are the splitter nodes (port 0).
+func buildPartGraph(cfg Config, n int) (g *engine.Graph, topo *partition.Topology, unions []*engine.Node, sink *sinkOp) {
+	g = engine.NewGraph()
+	topo = partition.Build(g, n, diffPartitions, -1,
+		func(emit core.Emit) core.Merger { return cfg.Algo.NewMerger(emit) })
+	if cfg.Pipeline == PipeUnion {
+		for i := 0; i < n; i++ {
+			u := g.Add(operators.NewUnion(2))
+			g.Connect(u, topo.Inputs[i])
+			unions = append(unions, u)
+		}
+	}
+	sink = attachTail(g, cfg, topo.Output)
+	return g, topo, unions, sink
+}
+
+// attachTail appends cfg's aggregate stage (if any) and the collecting sink
+// behind tail, returning the sink.
+func attachTail(g *engine.Graph, cfg Config, tail *engine.Node) *sinkOp {
+	switch cfg.Pipeline {
+	case PipeCount:
+		next := g.Add(operators.NewCount(pipeWidth, false))
+		g.Connect(tail, next)
+		tail = next
+	case PipeCountAggressive:
+		next := g.Add(operators.NewCount(pipeWidth, true))
+		g.Connect(tail, next)
+		tail = next
+	case PipeTopK:
+		next := g.Add(operators.NewTopK(pipeWidth, pipeK))
+		g.Connect(tail, next)
+		tail = next
+	}
+	sink := &sinkOp{}
+	g.Connect(tail, g.Add(sink))
+	return sink
+}
+
 // runEngine drives the graph through the synchronous executor or the
-// concurrent runtime (batched or element-at-a-time).
+// concurrent runtime (batched, element-at-a-time, or partitioned).
 func runEngine(cfg Config, w *workload, opt Options) result {
 	n := len(w.streams)
-	g, lm, lmNode, unions, sink := buildGraph(cfg, n)
+	var (
+		g      *engine.Graph
+		unions []*engine.Node
+		sink   *sinkOp
+		inj    func(s int) (*engine.Node, int) // injection target when unions == nil
+		warnfn func() int64
+	)
+	if cfg.Exec == ExecPartitionedRT {
+		var topo *partition.Topology
+		g, topo, unions, sink = buildPartGraph(cfg, n)
+		inj = func(s int) (*engine.Node, int) { return topo.Inputs[s], 0 }
+		warnfn = func() int64 {
+			var total int64
+			for _, lm := range topo.Mergers {
+				total += lm.Operator().Merger().Stats().ConsistencyWarnings
+			}
+			return total
+		}
+	} else {
+		var lm *operators.LMerge
+		var lmNode *engine.Node
+		g, lm, lmNode, unions, sink = buildGraph(cfg, n)
+		inj = func(s int) (*engine.Node, int) { return lmNode, s }
+		warnfn = func() int64 { return lm.Operator().Merger().Stats().ConsistencyWarnings }
+	}
 	var res result
 	if cfg.Exec == ExecSync {
 		pos := make([]int, n)
@@ -416,7 +484,8 @@ func runEngine(cfg Config, w *workload, opt Options) result {
 					split[s]++
 				}
 			} else {
-				lmNode.InjectPort(s, e)
+				node, p := inj(s)
+				node.InjectPort(p, e)
 			}
 		}
 	} else {
@@ -443,7 +512,8 @@ func runEngine(cfg Config, w *workload, opt Options) result {
 						}
 					}
 				} else {
-					r.InjectBatchPort(lmNode, i, w.streams[i])
+					node, p := inj(i)
+					r.InjectBatchPort(node, p, w.streams[i])
 				}
 			}(i)
 		}
@@ -454,7 +524,7 @@ func runEngine(cfg Config, w *workload, opt Options) result {
 		}
 	}
 	res.out = sink.els
-	res.warnings = lm.Operator().Merger().Stats().ConsistencyWarnings
+	res.warnings = warnfn()
 	return res
 }
 

@@ -153,6 +153,31 @@ func (o *Out) Emit(e temporal.Element) {
 	}
 }
 
+// EmitTo forwards an element to exactly one downstream consumer, addressed
+// by downstream-edge index (the order Connect was called on this node). It is
+// the routed-dispatch primitive partitioned execution builds on: a splitter
+// node keeps per-partition edges and steers each element to the edge its key
+// hashes to, while Emit remains the broadcast path (stable elements must be
+// broadcast — a routed stable would stall every other partition's progress).
+func (o *Out) EmitTo(i int, e temporal.Element) {
+	if i < 0 || i >= len(o.node.downstream) {
+		return
+	}
+	if o.trace != nil {
+		o.trace(e)
+	}
+	switch o.mode {
+	case dispatchSync:
+		d := o.node.downstream[i]
+		d.to.deliverSync(d.port, e, o.mode)
+	case dispatchConcurrent:
+		o.bufs[i] = append(o.bufs[i], message{port: o.node.downstream[i].port, el: e})
+		if len(o.bufs[i]) >= o.batch || e.Kind == temporal.KindStable {
+			o.flushEdge(i)
+		}
+	}
+}
+
 // flushEdge sends edge i's pending batch downstream.
 func (o *Out) flushEdge(i int) {
 	if len(o.bufs[i]) == 0 {

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+// lifecycleGraph builds a trivial src -> sink graph for runtime lifecycle
+// tests (the sink is concurrent-safe because only the src goroutine feeds it).
+func lifecycleGraph() (*Graph, *Node) {
+	g := NewGraph()
+	src := g.Add(&passthrough{name: "src"})
+	g.Connect(src, g.Add(&collector{}))
+	return g, src
+}
+
+func TestRuntimeDoubleStart(t *testing.T) {
+	g, _ := lifecycleGraph()
+	r := NewRuntime(g)
+	if err := r.Start(); err != nil {
+		t.Fatalf("first Start: %v", err)
+	}
+	if err := r.Start(); !errors.Is(err, ErrAlreadyStarted) {
+		t.Fatalf("second Start = %v, want ErrAlreadyStarted", err)
+	}
+	// The first Start's graph must remain functional and drain cleanly.
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close after rejected restart: %v", err)
+	}
+}
+
+func TestRuntimeInjectBeforeStart(t *testing.T) {
+	g, src := lifecycleGraph()
+	r := NewRuntime(g)
+	if err := r.Inject(src, temporal.Stable(1)); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("Inject before Start = %v, want ErrNotStarted", err)
+	}
+}
+
+func TestRuntimeInjectAfterClose(t *testing.T) {
+	g, src := lifecycleGraph()
+	r := NewRuntime(g)
+	if err := r.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := r.Inject(src, temporal.Stable(1)); err != nil {
+		t.Fatalf("Inject while running: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := r.Inject(src, temporal.Stable(2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Inject after Close = %v, want ErrClosed", err)
+	}
+	if err := r.InjectBatch(src, []temporal.Element{temporal.Stable(3)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("InjectBatch after Close = %v, want ErrClosed", err)
+	}
+	// The misuse is also recorded so drivers that drop the return value
+	// still see it at the next Close / Err.
+	if err := r.Err(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Err after misuse = %v, want ErrClosed", err)
+	}
+	if err := r.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double Close = %v, want recorded ErrClosed", err)
+	}
+}
+
+func TestRuntimeCloseBeforeStart(t *testing.T) {
+	g, _ := lifecycleGraph()
+	r := NewRuntime(g)
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close before Start = %v, want nil no-op", err)
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -28,10 +29,22 @@ type Runtime struct {
 	producers []atomic.Int32
 	batch     int
 	started   bool
+	closing   atomic.Bool // set by Close before inboxes start closing
 
 	errMu sync.Mutex
 	err   error // first node failure (panic recovered in Process)
 }
+
+// Lifecycle misuse errors. They are returned (and recorded, see Err) instead
+// of letting the misuse surface as a panic on a closed or nil channel.
+var (
+	// ErrAlreadyStarted reports a second Start on the same Runtime.
+	ErrAlreadyStarted = errors.New("engine: runtime already started")
+	// ErrNotStarted reports an injection before Start.
+	ErrNotStarted = errors.New("engine: inject before Start")
+	// ErrClosed reports an injection after Close began.
+	ErrClosed = errors.New("engine: inject after Close")
+)
 
 // DefaultBatchSize is the dispatch batch size used unless WithBatchSize
 // overrides it: large enough to amortise channel synchronisation to a small
@@ -86,10 +99,11 @@ func putBatch(b []message) {
 }
 
 // Start launches one goroutine per node. Feed source nodes with Inject or
-// InjectBatch and finish with Close.
-func (r *Runtime) Start() {
+// InjectBatch and finish with Close. A second Start is rejected with
+// ErrAlreadyStarted (the running graph is untouched).
+func (r *Runtime) Start() error {
 	if r.started {
-		return
+		return ErrAlreadyStarted
 	}
 	r.started = true
 	r.producers = make([]atomic.Int32, len(r.g.nodes))
@@ -129,6 +143,22 @@ func (r *Runtime) Start() {
 			}
 		}(n)
 	}
+	return nil
+}
+
+// checkInject validates that the runtime can accept external input right now.
+// Both misuse modes are recorded so they surface through Err/Close even when
+// the caller discards the return value.
+func (r *Runtime) checkInject() error {
+	if !r.started {
+		r.recordErr(ErrNotStarted)
+		return ErrNotStarted
+	}
+	if r.closing.Load() {
+		r.recordErr(ErrClosed)
+		return ErrClosed
+	}
+	return nil
 }
 
 // processBatch drives one inbox batch through the node's operator,
@@ -172,19 +202,19 @@ func (r *Runtime) release(n *Node) {
 }
 
 // Inject feeds one element into a source node's inbox (port 0) as a
-// single-element batch. It must not be called after Close. Bulk drivers
-// should prefer InjectBatch, which amortises channel synchronisation.
-func (r *Runtime) Inject(n *Node, e temporal.Element) {
-	b := getBatch()
-	b = append(b, message{port: 0, el: e})
-	n.inbox <- b
+// single-element batch. Injecting before Start or after Close returns (and
+// records, see Err) a lifecycle error instead of panicking; the element is
+// dropped. Bulk drivers should prefer InjectBatch, which amortises channel
+// synchronisation.
+func (r *Runtime) Inject(n *Node, e temporal.Element) error {
+	return r.InjectPort(n, 0, e)
 }
 
 // InjectBatch feeds a run of elements into a source node's inbox (port 0),
 // chunked at the runtime's batch size. The whole slice is handed off before
 // returning — nothing is held back awaiting further input.
-func (r *Runtime) InjectBatch(n *Node, els []temporal.Element) {
-	r.InjectBatchPort(n, 0, els)
+func (r *Runtime) InjectBatch(n *Node, els []temporal.Element) error {
+	return r.InjectBatchPort(n, 0, els)
 }
 
 // InjectPort feeds one element into a source node's inbox tagged for the
@@ -192,14 +222,21 @@ func (r *Runtime) InjectBatch(n *Node, els []temporal.Element) {
 // union) directly. Per-port element order is preserved when each port is fed
 // from a single goroutine; distinct goroutines may feed distinct ports of the
 // same node concurrently.
-func (r *Runtime) InjectPort(n *Node, port int, e temporal.Element) {
+func (r *Runtime) InjectPort(n *Node, port int, e temporal.Element) error {
+	if err := r.checkInject(); err != nil {
+		return err
+	}
 	b := getBatch()
 	b = append(b, message{port: port, el: e})
 	n.inbox <- b
+	return nil
 }
 
 // InjectBatchPort is InjectBatch for a specific input port.
-func (r *Runtime) InjectBatchPort(n *Node, port int, els []temporal.Element) {
+func (r *Runtime) InjectBatchPort(n *Node, port int, els []temporal.Element) error {
+	if err := r.checkInject(); err != nil {
+		return err
+	}
 	chunk := r.batch
 	if chunk < 1 {
 		chunk = 1
@@ -213,6 +250,7 @@ func (r *Runtime) InjectBatchPort(n *Node, port int, els []temporal.Element) {
 		n.inbox <- b
 		els = els[k:]
 	}
+	return nil
 }
 
 // Close signals end-of-stream at every source node and waits for the whole
@@ -220,7 +258,12 @@ func (r *Runtime) InjectBatchPort(n *Node, port int, els []temporal.Element) {
 // discarded by a failed node by the time Close returns. The drain is
 // deterministic — node goroutines exit only after their inboxes are closed
 // and empty. Close returns the first node failure, if any (see Err).
+// Closing an unstarted runtime, or closing twice, is a no-op beyond
+// returning Err.
 func (r *Runtime) Close() error {
+	if !r.started || r.closing.Swap(true) {
+		return r.Err()
+	}
 	for _, n := range r.g.nodes {
 		if len(n.upstream) == 0 {
 			r.release(n)

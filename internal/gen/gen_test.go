@@ -221,3 +221,54 @@ func TestElementsCount(t *testing.T) {
 		t.Fatalf("rendered %d insert/adjust elements, script says %d", got, sc.Elements())
 	}
 }
+
+func TestKeySkewConcentratesIDs(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Events = 4000
+	cfg.ValueRange = 400
+	lowHalf := func(skew float64) float64 {
+		c := cfg
+		c.KeySkew = skew
+		low := 0
+		sc := NewScript(c)
+		for _, h := range sc.Histories {
+			if h.P.ID <= c.ValueRange/2 {
+				low++
+			}
+		}
+		return float64(low) / float64(len(sc.Histories))
+	}
+	uniform := lowHalf(0)
+	if uniform < 0.45 || uniform > 0.55 {
+		t.Fatalf("uniform draw: %.2f in low half, want ~0.5", uniform)
+	}
+	skewed := lowHalf(1)
+	if skewed < 0.70 {
+		t.Fatalf("KeySkew=1: %.2f in low half, want >= 0.70", skewed)
+	}
+	hot := lowHalf(3)
+	if hot <= skewed {
+		t.Fatalf("KeySkew=3 (%.2f) should concentrate more than KeySkew=1 (%.2f)", hot, skewed)
+	}
+	// Skewed IDs must stay within the configured range.
+	c := cfg
+	c.KeySkew = 5
+	for _, h := range NewScript(c).Histories {
+		if h.P.ID < 0 || h.P.ID > c.ValueRange {
+			t.Fatalf("ID %d outside [0, %d]", h.P.ID, c.ValueRange)
+		}
+	}
+}
+
+func TestKeySkewKeepsRenderingsConsistent(t *testing.T) {
+	cfg := smallCfg()
+	cfg.KeySkew = 2
+	sc := NewScript(cfg)
+	want := sc.TDB()
+	for seed := int64(0); seed < 3; seed++ {
+		got := temporal.MustReconstitute(sc.Render(RenderOptions{Seed: seed, Disorder: 0.3}))
+		if !got.Equal(want) {
+			t.Fatalf("skewed rendering %d inconsistent with script TDB", seed)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package gen
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 
@@ -50,6 +51,13 @@ type Config struct {
 	// of its predecessor with an independent lifetime — exercising the R4
 	// multiset case. Leave 0 for R0–R3 workloads.
 	DupProb float64
+	// KeySkew biases the integer payload field towards low values with a
+	// power-law draw, producing Zipf-ish hot keys: 0 keeps the uniform draw,
+	// and larger values concentrate more of the workload on fewer IDs
+	// (KeySkew=1 sends ~75% of events to the lowest half of the range,
+	// KeySkew=3 ~94%). Keyed partition benchmarks use it to exercise
+	// imbalance rather than uniform hashing.
+	KeySkew float64
 	// UniqueVs forces strictly increasing Vs values (the R0 property).
 	// Otherwise histories may share start times in groups.
 	UniqueVs bool
@@ -172,9 +180,25 @@ func payload(rng *rand.Rand, cfg Config) temporal.Payload {
 	}
 
 	return temporal.Payload{
-		ID:   rng.Int63n(cfg.ValueRange + 1),
+		ID:   drawID(rng, cfg),
 		Data: b.String(),
 	}
+}
+
+// drawID draws the integer field: uniform over [0, ValueRange] by default,
+// or power-law-skewed towards low IDs when KeySkew > 0. The draw maps a
+// uniform u to range·u^(1+skew), so the density near zero grows with skew —
+// a cheap stand-in for a Zipf hot-key distribution that stays deterministic
+// and O(1) per draw.
+func drawID(rng *rand.Rand, cfg Config) int64 {
+	if cfg.KeySkew <= 0 {
+		return rng.Int63n(cfg.ValueRange + 1)
+	}
+	id := int64(float64(cfg.ValueRange+1) * math.Pow(rng.Float64(), 1+cfg.KeySkew))
+	if id > cfg.ValueRange {
+		id = cfg.ValueRange
+	}
+	return id
 }
 
 // TDB returns the script's final logical TDB.

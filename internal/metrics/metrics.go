@@ -124,6 +124,30 @@ func (s Summary) String() string {
 		s.N, s.Min, s.P50, s.Mean, s.P95, s.Max, s.CoefficientOfVar)
 }
 
+// Imbalance is the load-imbalance ratio of a per-partition gauge set:
+// max/mean, the standard skew figure of partitioned stream processing. 1
+// means perfectly even load; P means the hottest partition carries P× its
+// fair share (an upper bound on the speedup lost to skew). It returns 0 for
+// an empty or all-zero gauge set and composes with Summarize — feed it the
+// same per-partition values (Summarize(vals) for the distribution,
+// Imbalance(vals) for the headline ratio).
+func Imbalance(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum, max := 0.0, math.Inf(-1)
+	for _, v := range vals {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(vals)))
+}
+
 // Latencies tracks per-element latencies (virtual seconds between an
 // element's availability and its appearance on the output).
 type Latencies struct {

@@ -121,3 +121,27 @@ func TestSparkline(t *testing.T) {
 		t.Fatalf("downsampled width %d", len([]rune(got)))
 	}
 }
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		vals []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0, 0, 0}, 0},
+		{[]float64{5, 5, 5, 5}, 1},
+		{[]float64{30, 10, 20}, 1.5},
+		{[]float64{100, 0, 0, 0}, 4},
+	}
+	for _, c := range cases {
+		if got := Imbalance(c.vals); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Imbalance(%v) = %v, want %v", c.vals, got, c.want)
+		}
+	}
+	// Composes with Summarize: same input vector, max/mean consistency.
+	vals := []float64{4, 8, 2, 6}
+	s := Summarize(vals)
+	if got, want := Imbalance(vals), s.Max/s.Mean; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Imbalance = %v, Summarize max/mean = %v", got, want)
+	}
+}

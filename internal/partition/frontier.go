@@ -1,0 +1,80 @@
+package partition
+
+import "lmerge/internal/temporal"
+
+// frontier tracks the per-partition stable watermark and answers the global
+// (minimum) stable point in O(1), updating in O(log N). It is an indexed
+// binary min-heap: heap holds partition ids ordered by their watermark, pos
+// maps a partition id back to its heap slot so an update can sift in place.
+// Watermarks only ever increase (stable points are monotone), so an update
+// only ever sifts down.
+type frontier struct {
+	val  []temporal.Time // partition -> current watermark
+	heap []int           // min-heap of partition ids by val
+	pos  []int           // partition -> index in heap
+	max  temporal.Time   // leading partition's watermark (for lag metrics)
+}
+
+func newFrontier(n int) *frontier {
+	f := &frontier{
+		val:  make([]temporal.Time, n),
+		heap: make([]int, n),
+		pos:  make([]int, n),
+		max:  temporal.MinTime,
+	}
+	for i := 0; i < n; i++ {
+		f.val[i] = temporal.MinTime
+		f.heap[i] = i
+		f.pos[i] = i
+	}
+	return f
+}
+
+// Update raises partition p's watermark to t, reporting whether it moved.
+// Regressions (t at or below the current watermark) are ignored: stable
+// points never retreat.
+func (f *frontier) Update(p int, t temporal.Time) bool {
+	if t <= f.val[p] {
+		return false
+	}
+	f.val[p] = t
+	f.max = temporal.MaxT(f.max, t)
+	f.siftDown(f.pos[p])
+	return true
+}
+
+// Min returns the global stable point: the slowest partition's watermark.
+func (f *frontier) Min() temporal.Time { return f.val[f.heap[0]] }
+
+// Max returns the leading partition's watermark.
+func (f *frontier) Max() temporal.Time { return f.max }
+
+// Value returns partition p's watermark.
+func (f *frontier) Value(p int) temporal.Time { return f.val[p] }
+
+func (f *frontier) less(i, j int) bool { return f.val[f.heap[i]] < f.val[f.heap[j]] }
+
+func (f *frontier) swap(i, j int) {
+	f.heap[i], f.heap[j] = f.heap[j], f.heap[i]
+	f.pos[f.heap[i]] = i
+	f.pos[f.heap[j]] = j
+}
+
+func (f *frontier) siftDown(i int) {
+	n := len(f.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && f.less(l, small) {
+			small = l
+		}
+		if r < n && f.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		f.swap(i, small)
+		i = small
+	}
+}

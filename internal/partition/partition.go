@@ -1,0 +1,281 @@
+// Package partition is the keyed scale-out layer over Logical Merge.
+//
+// LMerge is defined per logical stream and the element algebra (paper
+// Sec. III) is key-agnostic, so a keyed stream splits into independent
+// logical substreams — one per payload key — each mergeable in isolation.
+// This package exploits that: physical streams are hash-partitioned by
+// payload key, one full LMerge instance runs per partition, and the
+// partition outputs are reunified into a single stream.
+//
+// Three rules make the composition semantics-preserving (in the spirit of
+// DBSP's composability result):
+//
+//   - Routing: insert and adjust elements go to partition
+//     hash(Payload) % N. All elements of one (Vs, Payload) key — including
+//     revisions and duplicates from other input streams — land on the same
+//     partition, so each partition merges mutually consistent presentations
+//     of its key-filtered slice of the TDB.
+//   - Stable broadcast: stable elements are progress assertions about the
+//     whole stream, so they go to every partition. A partition that receives
+//     no events still advances its stable point and never holds the global
+//     frontier back.
+//   - Min-frontier reunification: the reunified output forwards partition
+//     inserts/adjusts as they come and emits as its own stable point the
+//     minimum across per-partition stable frontiers (tracked in a
+//     low-watermark heap, O(log N) per update). Forwarded elements stay
+//     legal against the reunified stable point because each partition's
+//     frontier is at least the global minimum.
+//
+// The reunified stream reconstitutes to the same TDB as the unpartitioned
+// merge at every output stable point (proven continuously by the diffcheck
+// harness's partitioned executor axes). It does not preserve global Vs
+// ordering across keys — partition outputs interleave — so the composition
+// targets the keyed cases: what comes out is an R3-class stream even when
+// the per-partition algorithm is R0–R2.
+//
+// One policy is excluded from snapshot-capable composition: R3 with
+// InsertFullyFrozen holds each partition's stable point back to its own
+// earliest unemitted key, so per-partition stable frontiers diverge and a
+// partition may retire (and drop from its snapshot) events that are still
+// live relative to the smaller global stable point. Stream-level equivalence
+// still holds; the union snapshot does not.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"lmerge/internal/core"
+	"lmerge/internal/temporal"
+)
+
+// KeyFunc maps a payload to the hash that routes it to a partition.
+type KeyFunc func(temporal.Payload) uint64
+
+// DefaultKey hashes the payload's integer field with a splitmix64 finaliser.
+// Keying on ID alone is deliberately coarser than the (Vs, Payload) TDB key:
+// co-locating every payload with the same ID is sufficient for correctness
+// (all presentations of one key meet in one partition) and lets skewed ID
+// distributions produce the partition imbalance the benchmarks study.
+func DefaultKey(p temporal.Payload) uint64 {
+	return mix64(uint64(p.ID))
+}
+
+// mix64 is the splitmix64 finaliser: a cheap bijective scrambler so that
+// adjacent IDs spread across partitions instead of striping.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Option configures a partitioned merger or topology.
+type Option func(*options)
+
+type options struct {
+	key KeyFunc
+}
+
+func applyOptions(opts []Option) options {
+	o := options{key: DefaultKey}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithKeyFunc overrides the payload→hash routing function.
+func WithKeyFunc(fn KeyFunc) Option {
+	return func(o *options) {
+		if fn != nil {
+			o.key = fn
+		}
+	}
+}
+
+// merger is the synchronous partitioned merger: N sub-mergers behind the
+// standard core.Merger interface. It is the deterministic form of the
+// subsystem — used directly by the public API wrapper and the differential
+// harness — while splitter.go provides the same composition as engine
+// operators for concurrent execution.
+type merger struct {
+	subs  []core.Merger
+	emit  core.Emit
+	key   KeyFunc
+	front *frontier
+
+	stats     core.Stats
+	maxStable temporal.Time
+}
+
+// New builds a partitioned merger running one case-c merger per partition.
+func New(c core.Case, parts int, emit core.Emit, opts ...Option) core.Merger {
+	return NewWith(parts, func(e core.Emit) core.Merger { return core.New(c, e) }, emit, opts...)
+}
+
+// NewWith builds a partitioned merger with mk constructing each partition's
+// algorithm around its partition-local emit callback. The result implements
+// core.Snapshotter exactly when every sub-merger does (see Snapshot).
+func NewWith(parts int, mk func(core.Emit) core.Merger, emit core.Emit, opts ...Option) core.Merger {
+	if parts < 1 {
+		parts = 1
+	}
+	o := applyOptions(opts)
+	if emit == nil {
+		emit = func(temporal.Element) {}
+	}
+	m := &merger{
+		emit:      emit,
+		key:       o.key,
+		front:     newFrontier(parts),
+		maxStable: temporal.MinTime,
+	}
+	m.subs = make([]core.Merger, parts)
+	snaps := true
+	for p := range m.subs {
+		m.subs[p] = mk(m.partEmit(p))
+		if _, ok := m.subs[p].(core.Snapshotter); !ok {
+			snaps = false
+		}
+	}
+	if snaps {
+		return &snapshotMerger{m}
+	}
+	return m
+}
+
+// partEmit is partition p's output callback: inserts and adjusts are
+// forwarded immediately (they are legal against the reunified stable point
+// because partition p's frontier is at least the global minimum), while
+// partition stables only feed the frontier — the merger's own stable point
+// is the frontier minimum.
+func (m *merger) partEmit(p int) core.Emit {
+	return func(e temporal.Element) {
+		switch e.Kind {
+		case temporal.KindStable:
+			if m.front.Update(p, e.T()) {
+				if min := m.front.Min(); min > m.maxStable {
+					m.maxStable = min
+					m.stats.OutStables++
+					m.emit(temporal.Stable(min))
+				}
+			}
+		case temporal.KindInsert:
+			m.stats.OutInserts++
+			m.emit(e)
+		case temporal.KindAdjust:
+			m.stats.OutAdjusts++
+			m.emit(e)
+		}
+	}
+}
+
+// Case reports the sub-mergers' restriction case.
+func (m *merger) Case() core.Case { return m.subs[0].Case() }
+
+// Partitions returns the partition count.
+func (m *merger) Partitions() int { return len(m.subs) }
+
+// Process implements core.Merger: stables are broadcast to every partition,
+// inserts and adjusts are routed by key hash.
+func (m *merger) Process(s core.StreamID, e temporal.Element) error {
+	switch e.Kind {
+	case temporal.KindStable:
+		m.stats.InStables++
+		for _, sub := range m.subs {
+			if err := sub.Process(s, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	case temporal.KindInsert:
+		m.stats.InInserts++
+	case temporal.KindAdjust:
+		m.stats.InAdjusts++
+	default:
+		return fmt.Errorf("partition: unsupported element %v", e)
+	}
+	return m.subs[m.route(e.Payload)].Process(s, e)
+}
+
+func (m *merger) route(p temporal.Payload) int {
+	return int(m.key(p) % uint64(len(m.subs)))
+}
+
+// Attach fans the registration out to every partition.
+func (m *merger) Attach(s core.StreamID) {
+	for _, sub := range m.subs {
+		sub.Attach(s)
+	}
+}
+
+// Detach fans the removal out to every partition.
+func (m *merger) Detach(s core.StreamID) {
+	for _, sub := range m.subs {
+		sub.Detach(s)
+	}
+}
+
+// MaxStable returns the reunified stable point (the frontier minimum).
+func (m *merger) MaxStable() temporal.Time { return m.maxStable }
+
+// SizeBytes sums the partition footprints.
+func (m *merger) SizeBytes() int {
+	n := 0
+	for _, sub := range m.subs {
+		n += sub.SizeBytes()
+	}
+	return n
+}
+
+// Stats returns the reunified traffic counters. Input and output counts are
+// maintained by the wrapper itself (a broadcast stable counts once);
+// Dropped and ConsistencyWarnings are refreshed from the partitions on each
+// call.
+func (m *merger) Stats() *core.Stats {
+	var dropped, warns int64
+	for _, sub := range m.subs {
+		st := sub.Stats()
+		dropped += st.Dropped
+		warns += st.ConsistencyWarnings
+	}
+	m.stats.Dropped = dropped
+	m.stats.ConsistencyWarnings = warns
+	return &m.stats
+}
+
+// snapshotMerger is the snapshot-capable face of merger, returned only when
+// every partition algorithm implements core.Snapshotter. Keeping it a
+// distinct type means a partitioned R0–R2 does not falsely advertise
+// snapshot support.
+type snapshotMerger struct {
+	*merger
+}
+
+// Snapshot unions the per-partition snapshots: every partition's live output
+// events, re-sorted to the canonical (Vs, Payload) snapshot order and closed
+// by the reunified stable point. Partition key-disjointness makes the union
+// exact — no event can appear in two partition snapshots.
+func (m *snapshotMerger) Snapshot() temporal.Stream {
+	var out temporal.Stream
+	for _, sub := range m.subs {
+		for _, e := range sub.(core.Snapshotter).Snapshot() {
+			if e.Kind == temporal.KindInsert {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if c := out[i].Key().Compare(out[j].Key()); c != 0 {
+			return c < 0
+		}
+		return out[i].Ve < out[j].Ve
+	})
+	if m.maxStable != temporal.MinTime {
+		out = append(out, temporal.Stable(m.maxStable))
+	}
+	return out
+}

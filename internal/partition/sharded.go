@@ -1,0 +1,402 @@
+package partition
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"lmerge/internal/core"
+	"lmerge/internal/temporal"
+)
+
+// ErrShardedClosed reports an operation on a closed Sharded pool.
+var ErrShardedClosed = errors.New("partition: sharded pool closed")
+
+// Sharded is the concurrent form of the partitioned merge: one worker
+// goroutine per partition, each owning a full core.Operator (dynamic
+// attach/detach, feedback) over its slice of the key space. Callers route
+// whole publisher batches in; inserts/adjusts are steered to their key's
+// worker, stables are broadcast to every worker, and worker outputs are
+// reunified under a single emit mutex with the min-frontier rule.
+//
+// It is the ingestion backend behind lmserved's -partitions flag: publisher
+// handlers enqueue and return, per-partition merge work proceeds in parallel,
+// and only the (cheap) reunified emission is serialised.
+//
+// Ordering contract: Attach/Detach/ProcessBatch for one publisher must be
+// issued from one goroutine (the server's per-connection handler), which
+// with per-worker FIFO queues preserves the per-stream element order each
+// partition observes. Different publishers interleave freely.
+type Sharded struct {
+	workers []*shardWorker
+	key     KeyFunc
+	emit    core.Emit
+
+	// emitMu serialises reunified emission; front/outStats are owned by it.
+	emitMu    sync.Mutex
+	front     *frontier
+	maxStable atomic.Int64
+
+	// Reunified traffic counters (see Stats).
+	inIns, inAdj, inStb    atomic.Int64
+	outIns, outAdj, outStb atomic.Int64
+
+	idMu   sync.Mutex
+	nextID core.StreamID
+
+	// fb receives reunified fast-forward signals: the minimum of the
+	// per-worker signals for a stream, since a publisher can only skip
+	// elements no partition needs.
+	fb     core.FeedbackFunc
+	ffMu   sync.Mutex
+	ffSeen map[core.StreamID][]temporal.Time
+	ffSent map[core.StreamID]temporal.Time
+
+	errMu  sync.Mutex
+	err    error
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+type shardWorker struct {
+	idx       int
+	ch        chan shardCmd
+	op        *core.Operator
+	processed atomic.Int64
+}
+
+type shardCmdKind uint8
+
+const (
+	cmdBatch shardCmdKind = iota
+	cmdAttach
+	cmdDetach
+	cmdStats
+)
+
+type shardCmd struct {
+	kind     shardCmdKind
+	id       core.StreamID
+	els      []temporal.Element // owned by the command
+	joinTime temporal.Time
+	reply    chan core.Stats
+}
+
+// shardQueueDepth is the per-worker command queue capacity: deep enough to
+// decouple publisher bursts from merge work, bounded so memory stays
+// proportional to partitions, not load.
+const shardQueueDepth = 1024
+
+// ShardedOption configures a Sharded pool.
+type ShardedOption func(*shardedConfig)
+
+type shardedConfig struct {
+	key KeyFunc
+	fb  core.FeedbackFunc
+	lag temporal.Time
+}
+
+// ShardKeyFunc overrides the payload→hash routing function.
+func ShardKeyFunc(fn KeyFunc) ShardedOption {
+	return func(c *shardedConfig) {
+		if fn != nil {
+			c.key = fn
+		}
+	}
+}
+
+// ShardFeedback enables reunified fast-forward feedback: fn receives a
+// signal for a stream once every worker has signalled it, carrying the
+// minimum time across workers. fn runs on worker goroutines and must be
+// safe for concurrent use.
+func ShardFeedback(fn core.FeedbackFunc, lag temporal.Time) ShardedOption {
+	return func(c *shardedConfig) {
+		c.fb = fn
+		c.lag = lag
+	}
+}
+
+// NewSharded starts a pool of parts workers, each merging with an algorithm
+// built by mk around the worker's partition-local emit. emit receives the
+// reunified output; it runs under the pool's emit mutex (never concurrently
+// with itself).
+func NewSharded(parts int, mk func(core.Emit) core.Merger, emit core.Emit, opts ...ShardedOption) *Sharded {
+	if parts < 1 {
+		parts = 1
+	}
+	cfg := shardedConfig{key: DefaultKey, lag: -1}
+	for _, fn := range opts {
+		fn(&cfg)
+	}
+	if emit == nil {
+		emit = func(temporal.Element) {}
+	}
+	s := &Sharded{
+		workers: make([]*shardWorker, parts),
+		key:     cfg.key,
+		emit:    emit,
+		front:   newFrontier(parts),
+		fb:      cfg.fb,
+		ffSeen:  make(map[core.StreamID][]temporal.Time),
+		ffSent:  make(map[core.StreamID]temporal.Time),
+	}
+	s.maxStable.Store(int64(temporal.MinTime))
+	for p := range s.workers {
+		w := &shardWorker{idx: p, ch: make(chan shardCmd, shardQueueDepth)}
+		var opOpts []core.OperatorOption
+		if cfg.fb != nil && cfg.lag >= 0 {
+			opOpts = append(opOpts, core.WithFeedback(func(f core.Feedback) {
+				s.onWorkerFeedback(w.idx, f)
+			}, cfg.lag))
+		}
+		w.op = core.NewOperator(mk(s.workerEmit(p)), opOpts...)
+		s.workers[p] = w
+		s.wg.Add(1)
+		go s.run(w)
+	}
+	return s
+}
+
+// Partitions returns the worker count.
+func (s *Sharded) Partitions() int { return len(s.workers) }
+
+func (s *Sharded) run(w *shardWorker) {
+	defer s.wg.Done()
+	for cmd := range w.ch {
+		switch cmd.kind {
+		case cmdBatch:
+			if err := w.op.ProcessBatch(cmd.id, cmd.els); err != nil {
+				s.recordErr(err)
+			}
+			w.processed.Add(int64(len(cmd.els)))
+		case cmdAttach:
+			w.op.AttachAt(cmd.id, cmd.joinTime)
+		case cmdDetach:
+			w.op.Detach(cmd.id)
+		case cmdStats:
+			cmd.reply <- *w.op.Merger().Stats()
+		}
+	}
+}
+
+// workerEmit is worker p's output callback, running on p's goroutine during
+// merge processing. Reunification is serialised by emitMu; the forwarded
+// elements stay legal against the reunified stable point because worker p's
+// frontier entry (updated only here, in p's own emission order) never runs
+// ahead of elements p emitted earlier, and the frontier minimum never runs
+// ahead of any entry.
+func (s *Sharded) workerEmit(p int) core.Emit {
+	return func(e temporal.Element) {
+		s.emitMu.Lock()
+		defer s.emitMu.Unlock()
+		switch e.Kind {
+		case temporal.KindStable:
+			if s.front.Update(p, e.T()) {
+				if min := s.front.Min(); min > temporal.Time(s.maxStable.Load()) {
+					s.maxStable.Store(int64(min))
+					s.outStb.Add(1)
+					s.emit(temporal.Stable(min))
+				}
+			}
+		case temporal.KindInsert:
+			s.outIns.Add(1)
+			s.emit(e)
+		case temporal.KindAdjust:
+			s.outAdj.Add(1)
+			s.emit(e)
+		}
+	}
+}
+
+// onWorkerFeedback folds per-worker fast-forward signals into one reunified
+// signal per stream: the minimum across workers, forwarded only when it
+// advances.
+func (s *Sharded) onWorkerFeedback(p int, f core.Feedback) {
+	s.ffMu.Lock()
+	seen, ok := s.ffSeen[f.Stream]
+	if !ok {
+		seen = make([]temporal.Time, len(s.workers))
+		for i := range seen {
+			seen[i] = temporal.MinTime
+		}
+		s.ffSeen[f.Stream] = seen
+	}
+	seen[p] = temporal.MaxT(seen[p], f.T)
+	min := seen[0]
+	for _, t := range seen[1:] {
+		min = temporal.MinT(min, t)
+	}
+	advanced := false
+	sent, sentOK := s.ffSent[f.Stream]
+	if min != temporal.MinTime && (!sentOK || min > sent) {
+		s.ffSent[f.Stream] = min
+		advanced = true
+	}
+	s.ffMu.Unlock()
+	if advanced {
+		s.fb(core.Feedback{Stream: f.Stream, T: min})
+	}
+}
+
+// Attach registers a publisher under a fresh id, mirrored across every
+// worker. The id is valid for ProcessBatch as soon as Attach returns:
+// per-worker queues are FIFO, so the attach command precedes any batch the
+// caller enqueues afterwards.
+func (s *Sharded) Attach(joinTime temporal.Time) core.StreamID {
+	s.idMu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.idMu.Unlock()
+	for _, w := range s.workers {
+		w.ch <- shardCmd{kind: cmdAttach, id: id, joinTime: joinTime}
+	}
+	return id
+}
+
+// Detach unregisters publisher id on every worker.
+func (s *Sharded) Detach(id core.StreamID) {
+	if s.closed.Load() {
+		return
+	}
+	for _, w := range s.workers {
+		w.ch <- shardCmd{kind: cmdDetach, id: id}
+	}
+	s.ffMu.Lock()
+	delete(s.ffSeen, id)
+	delete(s.ffSent, id)
+	s.ffMu.Unlock()
+}
+
+// ProcessBatch routes one publisher batch: inserts/adjusts to their key's
+// worker, stables to every worker, preserving the batch's element order
+// within each partition's sub-batch. It returns the pool's recorded error
+// state — merge errors are asynchronous, surfacing on a later call (or at
+// Close) rather than the one that enqueued the faulty element.
+func (s *Sharded) ProcessBatch(id core.StreamID, els []temporal.Element) error {
+	if s.closed.Load() {
+		return ErrShardedClosed
+	}
+	parts := make([][]temporal.Element, len(s.workers))
+	for _, e := range els {
+		switch e.Kind {
+		case temporal.KindStable:
+			s.inStb.Add(1)
+			for p := range parts {
+				parts[p] = append(parts[p], e)
+			}
+		case temporal.KindInsert:
+			s.inIns.Add(1)
+			p := int(s.key(e.Payload) % uint64(len(s.workers)))
+			parts[p] = append(parts[p], e)
+		case temporal.KindAdjust:
+			s.inAdj.Add(1)
+			p := int(s.key(e.Payload) % uint64(len(s.workers)))
+			parts[p] = append(parts[p], e)
+		}
+	}
+	for p, sub := range parts {
+		if len(sub) > 0 {
+			s.workers[p].ch <- shardCmd{kind: cmdBatch, id: id, els: sub}
+		}
+	}
+	return s.Err()
+}
+
+// MaxStable returns the reunified stable point.
+func (s *Sharded) MaxStable() temporal.Time {
+	return temporal.Time(s.maxStable.Load())
+}
+
+// Err returns the first asynchronous merge error, if any.
+func (s *Sharded) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+func (s *Sharded) recordErr(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+// Stats returns the reunified traffic counters: input/output traffic as the
+// reunified stream saw it (a broadcast stable counts once), Dropped and
+// ConsistencyWarnings summed over the workers. The worker sums are gathered
+// through the queues, so the caller briefly waits behind in-flight batches.
+func (s *Sharded) Stats() core.Stats {
+	st := core.Stats{
+		InInserts:  s.inIns.Load(),
+		InAdjusts:  s.inAdj.Load(),
+		InStables:  s.inStb.Load(),
+		OutInserts: s.outIns.Load(),
+		OutAdjusts: s.outAdj.Load(),
+		OutStables: s.outStb.Load(),
+	}
+	for _, ws := range s.workerStats() {
+		st.Dropped += ws.Dropped
+		st.ConsistencyWarnings += ws.ConsistencyWarnings
+	}
+	return st
+}
+
+// workerStats fetches each worker's merger counters via its queue.
+func (s *Sharded) workerStats() []core.Stats {
+	out := make([]core.Stats, len(s.workers))
+	if s.closed.Load() {
+		return out
+	}
+	reply := make(chan core.Stats, 1)
+	for p, w := range s.workers {
+		w.ch <- shardCmd{kind: cmdStats, reply: reply}
+		out[p] = <-reply
+	}
+	return out
+}
+
+// PartitionStat is one worker's load gauge set (see metrics wiring in
+// lmserved).
+type PartitionStat struct {
+	// QueueDepth is the number of commands waiting in the worker's queue.
+	QueueDepth int
+	// Processed is the number of elements the worker has merged.
+	Processed int64
+	// Stable is the worker's stable frontier.
+	Stable temporal.Time
+	// Lag is how far the worker's frontier trails the leading partition's.
+	Lag temporal.Time
+}
+
+// PartitionStats samples every worker's gauges without stopping the pool.
+func (s *Sharded) PartitionStats() []PartitionStat {
+	out := make([]PartitionStat, len(s.workers))
+	s.emitMu.Lock()
+	lead := s.front.Max()
+	for p := range out {
+		out[p].Stable = s.front.Value(p)
+		if lead != temporal.MinTime && out[p].Stable != temporal.MinTime && !lead.IsInf() {
+			out[p].Lag = lead - out[p].Stable
+		}
+	}
+	s.emitMu.Unlock()
+	for p, w := range s.workers {
+		out[p].QueueDepth = len(w.ch)
+		out[p].Processed = w.processed.Load()
+	}
+	return out
+}
+
+// Close drains and stops the workers. No Attach/Detach/ProcessBatch may be
+// in flight or issued afterwards (the server closes publisher handlers
+// first). Close returns the pool's recorded error state.
+func (s *Sharded) Close() error {
+	if !s.closed.Swap(true) {
+		for _, w := range s.workers {
+			close(w.ch)
+		}
+		s.wg.Wait()
+	}
+	return s.Err()
+}

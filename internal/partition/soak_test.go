@@ -1,0 +1,129 @@
+package partition
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lmerge/internal/chaos"
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+)
+
+// TestPartitionedChaosSoak is the race-enabled partitioned soak of the PR-4
+// CI gate (`make partition-soak`): chaos-perturbed publishers drive a
+// Sharded pool concurrently — duplicated and window-shuffled presentations,
+// one publisher crashing mid-run — and the reunified output must be a valid
+// stream reconstituting to the exact script TDB, with the fan-in feedback
+// path exercised along the way.
+func TestPartitionedChaosSoak(t *testing.T) {
+	events := 1200
+	if testing.Short() {
+		events = 200
+	}
+	sc := gen.NewScript(gen.Config{
+		Events:       events,
+		Seed:         99,
+		Revisions:    0.35,
+		RemoveProb:   0.15,
+		PayloadBytes: 8,
+		ValueRange:   60,
+	})
+	inj := chaos.New(chaos.Config{Seed: 5, DupProb: 0.05, ShuffleProb: 0.5})
+	const pubs = 4
+	streams := make([]temporal.Stream, pubs)
+	for i := range streams {
+		r := sc.Render(gen.RenderOptions{Seed: int64(200 + i), Disorder: 0.3, StableEvery: 9 + i})
+		streams[i] = inj.Fork(int64(i)).Perturb(r)
+	}
+
+	var (
+		outMu sync.Mutex
+		out   temporal.Stream
+	)
+	tdb := temporal.NewTDB()
+	var applyErr error
+	var feedbacks atomic.Int64
+	pool := NewSharded(3, func(emit core.Emit) core.Merger {
+		return core.NewR3(emit)
+	}, func(e temporal.Element) {
+		// Runs under the pool's emit mutex; the extra lock makes the
+		// ordering contract explicit for the race detector.
+		outMu.Lock()
+		out = append(out, e)
+		if err := tdb.Apply(e); err != nil && applyErr == nil {
+			applyErr = err
+		}
+		outMu.Unlock()
+	}, ShardFeedback(func(core.Feedback) { feedbacks.Add(1) }, 0))
+
+	// Attach everyone before any element flows (as the server does at
+	// connect time): feedback to laggards requires the laggards to exist.
+	ids := make([]core.StreamID, pubs)
+	for i := range ids {
+		ids[i] = pool.Attach(temporal.MinTime)
+	}
+	var wg sync.WaitGroup
+	for i := range streams {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := ids[i]
+			els := streams[i]
+			crashAt := len(els)
+			if i == pubs-1 {
+				crashAt = len(els) / 2 // one replica dies mid-run
+			}
+			const batch = 64
+			for lo := 0; lo < crashAt; lo += batch {
+				hi := min(lo+batch, crashAt)
+				if err := pool.ProcessBatch(id, els[lo:hi]); err != nil {
+					t.Errorf("publisher %d: %v", i, err)
+					return
+				}
+			}
+			if crashAt < len(els) {
+				pool.Detach(id)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Sample the gauges while the pool is live.
+	ps := pool.PartitionStats()
+	if len(ps) != 3 {
+		t.Fatalf("PartitionStats len = %d", len(ps))
+	}
+	var processed int64
+	for _, p := range ps {
+		processed += p.Processed
+	}
+	if processed == 0 {
+		t.Fatal("no elements processed")
+	}
+	st := pool.Stats()
+	if st.InInserts == 0 || st.OutStables == 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+
+	if err := pool.Close(); err != nil {
+		t.Fatalf("pool error: %v", err)
+	}
+	if applyErr != nil {
+		t.Fatalf("reunified output is not a valid stream: %v", applyErr)
+	}
+	if pool.MaxStable() != temporal.Infinity {
+		t.Fatalf("reunified stable = %v, want ∞ (three full publishers remained)", pool.MaxStable())
+	}
+	if !tdb.Equal(sc.TDB()) {
+		t.Fatalf("reunified TDB diverges from script TDB (%d vs %d events)",
+			tdb.Len(), sc.TDB().Len())
+	}
+	if feedbacks.Load() == 0 {
+		t.Fatal("fan-in feedback never fired")
+	}
+	if err := pool.ProcessBatch(0, temporal.Stream{temporal.Stable(1)}); err != ErrShardedClosed {
+		t.Fatalf("ProcessBatch after Close = %v, want ErrShardedClosed", err)
+	}
+}

@@ -1,0 +1,149 @@
+package partition
+
+import (
+	"fmt"
+
+	"lmerge/internal/core"
+	"lmerge/internal/engine"
+	"lmerge/internal/operators"
+	"lmerge/internal/temporal"
+)
+
+// Splitter is the engine-operator form of the router: one splitter sits on
+// each physical input stream and steers inserts/adjusts to the downstream
+// edge their key hashes to (engine.Out.EmitTo), while stable elements are
+// broadcast to every edge so idle partitions keep making progress. Its
+// downstream edges must be connected in partition order — edge p is
+// partition p — which Build does.
+type Splitter struct {
+	parts int
+	key   KeyFunc
+	name  string
+}
+
+// NewSplitter builds a splitter routing across parts partitions.
+func NewSplitter(parts int, opts ...Option) *Splitter {
+	if parts < 1 {
+		parts = 1
+	}
+	o := applyOptions(opts)
+	return &Splitter{parts: parts, key: o.key, name: fmt.Sprintf("split(%d)", parts)}
+}
+
+// Name implements engine.Operator.
+func (sp *Splitter) Name() string { return sp.name }
+
+// Process implements engine.Operator.
+func (sp *Splitter) Process(_ int, e temporal.Element, out *engine.Out) {
+	if e.Kind == temporal.KindStable {
+		out.Emit(e)
+		return
+	}
+	out.EmitTo(int(sp.key(e.Payload)%uint64(sp.parts)), e)
+}
+
+// OnFeedback implements engine.Operator: fast-forward signals pass through
+// to the stream's producer.
+func (sp *Splitter) OnFeedback(temporal.Time) bool { return true }
+
+// Reunify is the engine-operator form of the frontier merge: input port p
+// carries partition p's merged output. Inserts and adjusts are forwarded as
+// they arrive; partition stables feed the low-watermark heap and the
+// frontier minimum is emitted as the global stable point whenever it
+// advances. Forwarded elements stay legal against the emitted stable point:
+// per-edge FIFO delivery means partition p's frontier entry never runs ahead
+// of the elements p emitted before raising it, and the minimum never runs
+// ahead of any entry.
+type Reunify struct {
+	front     *frontier
+	maxStable temporal.Time
+	name      string
+}
+
+// NewReunify builds a reunifier over parts partitions.
+func NewReunify(parts int) *Reunify {
+	if parts < 1 {
+		parts = 1
+	}
+	return &Reunify{
+		front:     newFrontier(parts),
+		maxStable: temporal.MinTime,
+		name:      fmt.Sprintf("reunify(%d)", parts),
+	}
+}
+
+// Name implements engine.Operator.
+func (ru *Reunify) Name() string { return ru.name }
+
+// Process implements engine.Operator.
+func (ru *Reunify) Process(port int, e temporal.Element, out *engine.Out) {
+	if e.Kind != temporal.KindStable {
+		out.Emit(e)
+		return
+	}
+	if ru.front.Update(port, e.T()) {
+		if min := ru.front.Min(); min > ru.maxStable {
+			ru.maxStable = min
+			out.Emit(temporal.Stable(min))
+		}
+	}
+}
+
+// MaxStable returns the reunified stable point emitted so far.
+func (ru *Reunify) MaxStable() temporal.Time { return ru.maxStable }
+
+// OnFeedback implements engine.Operator: a consumer fast-forward walks
+// through to every partition pipeline.
+func (ru *Reunify) OnFeedback(temporal.Time) bool { return true }
+
+// Topology is a partitioned LMerge graph fragment built by Build.
+type Topology struct {
+	// Inputs holds one splitter node per physical input stream; inject
+	// stream s's elements into Inputs[s].
+	Inputs []*engine.Node
+	// Mergers holds partition p's LMerge operator at index p (for stats).
+	Mergers []*operators.LMerge
+	// Output is the reunify node; connect consumers downstream of it.
+	Output *engine.Node
+}
+
+// Build wires a partitioned LMerge into g: streams splitter source nodes,
+// parts per-partition LMerge operators (each merging all streams, built by
+// mk around its partition-local emit, with fast-forward feedback enabled
+// when lag >= 0), and one reunify node. Each partition's merger runs on its
+// own runtime worker goroutine under engine.NewRuntime — that is the
+// scale-out: per-partition merge work proceeds in parallel, serialised only
+// at the (cheap) reunify stage.
+func Build(g *engine.Graph, streams, parts int, lag temporal.Time, mk func(core.Emit) core.Merger, opts ...Option) *Topology {
+	if streams < 1 {
+		streams = 1
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	t := &Topology{
+		Inputs:  make([]*engine.Node, streams),
+		Mergers: make([]*operators.LMerge, parts),
+	}
+	lmNodes := make([]*engine.Node, parts)
+	for p := range lmNodes {
+		t.Mergers[p] = operators.NewLMerge(streams, lag, mk)
+		lmNodes[p] = g.Add(t.Mergers[p])
+	}
+	for s := range t.Inputs {
+		t.Inputs[s] = g.Add(NewSplitter(parts, opts...))
+		// Connect in partition order: splitter edge p is partition p, and
+		// because stream s connects to every partition before stream s+1
+		// does, partition p's input port s is stream s.
+		for p := range lmNodes {
+			g.Connect(t.Inputs[s], lmNodes[p])
+		}
+	}
+	ru := g.Add(NewReunify(parts))
+	for p := range lmNodes {
+		// Reunify input port p is partition p.
+		g.Connect(lmNodes[p], ru)
+	}
+	t.Output = ru
+	return t
+}

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"lmerge/internal/core"
+	"lmerge/internal/partition"
 	"lmerge/internal/temporal"
 )
 
@@ -52,18 +53,27 @@ import (
 type Server struct {
 	ln   net.Listener
 	opts Options
+	be   backend // internally synchronised; called outside the server locks
 
+	// mu guards publisher state and the closed flag.
 	mu       sync.Mutex
-	op       *core.Operator
-	backlog  temporal.Stream // full merged history, replayed to late subscribers
-	subs     map[int]*subQueue
 	pubs     map[core.StreamID]*pubState // liveness + feedback routing
-	nextSub  int
 	pubCount int
 	closed   bool
 	detached int64 // stragglers force-detached by the supervisor
-	done     chan struct{}
-	wg       sync.WaitGroup
+
+	// outMu guards the merged-output side: the backlog and subscriber
+	// queues. The backend's emit path takes it (from merge processing or,
+	// partitioned, from worker goroutines), so it is never held across a
+	// backend call.
+	outMu      sync.Mutex
+	backlog    temporal.Stream // full merged history, replayed to late subscribers
+	subs       map[int]*subQueue
+	nextSub    int
+	subsClosed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
 }
 
 // pubState is the server-side view of one attached publisher.
@@ -123,6 +133,12 @@ type Options struct {
 	// subscriber whose queue overflows is disconnected (it can resume with
 	// HELLO SUB FROM <n>). Default 32768.
 	SubscriberBuffer int
+	// Partitions, when > 1, selects the keyed scale-out backend: a
+	// partition.Sharded pool of that many merger instances, each on its own
+	// worker goroutine, fed by payload-hash routing with stables broadcast
+	// and outputs reunified at the minimum partition frontier (DESIGN.md
+	// §8). 0 or 1 selects the classic single-merger backend.
+	Partitions int
 }
 
 func (o Options) withDefaults() Options {
@@ -158,11 +174,23 @@ func NewWithOptions(addr string, opts Options) (*Server, error) {
 		pubs: make(map[core.StreamID]*pubState),
 		done: make(chan struct{}),
 	}
-	var opOpts []core.OperatorOption
+	var fb core.FeedbackFunc
+	lag := temporal.Time(-1)
 	if opts.FeedbackLag >= 0 {
-		opOpts = append(opOpts, core.WithFeedback(s.signalFastForward, opts.FeedbackLag))
+		fb = s.signalFastForward
+		lag = opts.FeedbackLag
 	}
-	s.op = core.NewOperator(core.New(opts.Case, s.broadcast), opOpts...)
+	if opts.Partitions > 1 {
+		var shOpts []partition.ShardedOption
+		if fb != nil {
+			shOpts = append(shOpts, partition.ShardFeedback(fb, lag))
+		}
+		s.be = partition.NewSharded(opts.Partitions, func(emit core.Emit) core.Merger {
+			return core.New(opts.Case, emit)
+		}, s.broadcast, shOpts...)
+	} else {
+		s.be = newSingleBackend(opts.Case, s.broadcast, fb, lag)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if s.opts.StragglerLag > 0 {
@@ -172,11 +200,14 @@ func NewWithOptions(addr string, opts Options) (*Server, error) {
 	return s, nil
 }
 
-// signalFastForward runs under s.mu (merge processing holds the lock). The
-// write is bounded by ctrlWriteTimeout, so a blocked publisher socket cannot
-// stall the merge.
+// signalFastForward runs inside the backend's merge path (single-backend
+// processing, or a partitioned worker goroutine); it takes s.mu only for the
+// publisher lookup. The write is bounded by ctrlWriteTimeout, so a blocked
+// publisher socket cannot stall the merge.
 func (s *Server) signalFastForward(f core.Feedback) {
+	s.mu.Lock()
 	ps, ok := s.pubs[f.Stream]
+	s.mu.Unlock()
 	if !ok {
 		return
 	}
@@ -187,40 +218,55 @@ func (s *Server) signalFastForward(f core.Feedback) {
 // Addr returns the listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting, closes subscriber queues, and waits for handler
-// goroutines to finish.
+// Close stops accepting, closes subscriber queues, waits for handler
+// goroutines to finish, and shuts the merge backend down.
 func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
 		close(s.done)
-		for id, q := range s.subs {
-			q.close()
-			delete(s.subs, id)
-		}
 		// Wake publisher handlers blocked in a read.
 		for _, ps := range s.pubs {
 			ps.conn.Close()
 		}
 	}
 	s.mu.Unlock()
+	s.outMu.Lock()
+	s.subsClosed = true
+	for id, q := range s.subs {
+		q.close()
+		delete(s.subs, id)
+	}
+	s.outMu.Unlock()
 	s.wg.Wait()
+	// Handlers have flushed and detached; the backend can drain and stop.
+	if berr := s.be.Close(); err == nil {
+		err = berr
+	}
 	return err
 }
 
-// Stats returns the merge counters (snapshot under the lock).
-func (s *Server) Stats() core.Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return *s.op.Merger().Stats()
-}
+// Stats returns the merge counters.
+func (s *Server) Stats() core.Stats { return s.be.Stats() }
 
 // MaxStable returns the merged output's stable point.
-func (s *Server) MaxStable() temporal.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.op.MaxStable()
+func (s *Server) MaxStable() temporal.Time { return s.be.MaxStable() }
+
+// Partitions returns the number of merge partitions (1 for the single
+// backend).
+func (s *Server) Partitions() int {
+	if sh, ok := s.be.(*partition.Sharded); ok {
+		return sh.Partitions()
+	}
+	return 1
+}
+
+// PartitionStats returns per-partition load gauges (queue depth, elements
+// processed, stable frontier, frontier lag behind the leading partition), or
+// nil when the server runs the single-merger backend.
+func (s *Server) PartitionStats() []partition.PartitionStat {
+	return s.be.PartitionStats()
 }
 
 // Publishers returns the number of attached publishers.
@@ -256,8 +302,8 @@ func (s *Server) supervise() {
 
 func (s *Server) sweepStragglers() {
 	var victims []*pubState
+	stable := s.be.MaxStable() // atomic: safe to read before taking s.mu
 	s.mu.Lock()
-	stable := s.op.MaxStable()
 	if !s.closed && s.pubCount > 1 && stable != temporal.MinTime && !stable.IsInf() {
 		spare := s.pubCount - 1 // never detach the last publisher
 		for _, ps := range s.pubs {
@@ -291,17 +337,21 @@ func lagsBehind(wm, stable, lag temporal.Time) bool {
 	return uint64(int64(stable))-uint64(int64(wm)) > uint64(int64(lag))
 }
 
-// broadcast runs under s.mu (merge processing holds the lock). Each
-// subscriber has its own bounded queue, so one slow or blocked consumer can
-// neither stall the merge nor delay delivery to the others; on overflow the
-// subscriber is dropped (it may resume positionally with FROM).
+// broadcast is the backend's emit callback. It runs inside the backend's own
+// emission serialisation (the single backend's lock, or the sharded pool's
+// emit mutex) and takes outMu for the subscriber state. Each subscriber has
+// its own bounded queue, so one slow or blocked consumer can neither stall
+// the merge nor delay delivery to the others; on overflow the subscriber is
+// dropped (it may resume positionally with FROM).
 func (s *Server) broadcast(e temporal.Element) {
+	s.outMu.Lock()
 	s.backlog = append(s.backlog, e)
 	for id, q := range s.subs {
 		if !q.push(e) {
 			delete(s.subs, id)
 		}
 	}
+	s.outMu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -413,10 +463,19 @@ func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime tempora
 		s.mu.Unlock()
 		return
 	}
-	id := s.op.Attach(joinTime)
+	s.mu.Unlock()
+	// Attach outside s.mu: the backend serialises internally and (sharded)
+	// may block on worker queues.
+	id := s.be.Attach(joinTime)
+	stable := s.be.MaxStable()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.be.Detach(id)
+		return
+	}
 	s.pubs[id] = ps
 	s.pubCount++
-	stable := s.op.MaxStable()
 	// A fresh attach is, by definition, caught up with everything the output
 	// already covers (it will fast-forward past it); its progress watermark
 	// starts at the current stable point so the supervisor only measures lag
@@ -439,8 +498,8 @@ func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime tempora
 				wm = temporal.MaxT(wm, e.T())
 			}
 		}
+		err := s.be.ProcessBatch(id, pending)
 		s.mu.Lock()
-		err := s.op.ProcessBatch(id, pending)
 		ps.watermark = temporal.MaxT(ps.watermark, wm)
 		s.mu.Unlock()
 		pending = pending[:0]
@@ -456,8 +515,8 @@ func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime tempora
 		// Anything parsed before the disconnect is part of the stream and
 		// must be merged before the detach releases the publisher's state.
 		flush()
+		s.be.Detach(id)
 		s.mu.Lock()
-		s.op.Detach(id)
 		delete(s.pubs, id)
 		s.pubCount--
 		s.mu.Unlock()
@@ -492,9 +551,9 @@ func (s *Server) serveSubscriber(conn net.Conn, resumeFrom int) {
 	// Register and replay the merged history (past the resume position, for
 	// a reconnecting subscriber that already holds a prefix).
 	q := newSubQueue(s.opts.SubscriberBuffer)
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	s.outMu.Lock()
+	if s.subsClosed {
+		s.outMu.Unlock()
 		return
 	}
 	id := s.nextSub
@@ -504,15 +563,15 @@ func (s *Server) serveSubscriber(conn net.Conn, resumeFrom int) {
 	}
 	history := append(temporal.Stream(nil), s.backlog[resumeFrom:]...)
 	s.subs[id] = q
-	s.mu.Unlock()
+	s.outMu.Unlock()
 
 	defer func() {
-		s.mu.Lock()
+		s.outMu.Lock()
 		if qq, ok := s.subs[id]; ok {
 			qq.close()
 			delete(s.subs, id)
 		}
-		s.mu.Unlock()
+		s.outMu.Unlock()
 	}()
 
 	w := bufio.NewWriter(conn)

@@ -359,3 +359,123 @@ func TestSubscriberRejectedHandshake(t *testing.T) {
 		t.Error("publisher should reject a refused handshake")
 	}
 }
+
+func TestServerPartitionedBackend(t *testing.T) {
+	s, err := NewWithOptions("127.0.0.1:0", Options{
+		Case: core.CaseR3, FeedbackLag: -1, Partitions: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Partitions(); got != 3 {
+		t.Fatalf("Partitions() = %d, want 3", got)
+	}
+	sc := serverScript(7)
+	want := sc.TDB()
+
+	sub, err := Subscribe(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := Connect(s.Addr(), temporal.MinTime)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer p.Close()
+			stream := sc.Render(gen.RenderOptions{Seed: int64(30 + i), Disorder: 0.3, StableFreq: 0.05})
+			if err := p.SendStream(stream); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	merged := collect(t, sub)
+	wg.Wait()
+
+	got, err := temporal.Reconstitute(merged)
+	if err != nil {
+		t.Fatalf("merged stream invalid: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("partitioned merged TDB differs:\n got %v\nwant %v", got, want)
+	}
+	if s.MaxStable() != temporal.Infinity {
+		t.Fatalf("merged stable = %v, want ∞", s.MaxStable())
+	}
+	ps := s.PartitionStats()
+	if len(ps) != 3 {
+		t.Fatalf("PartitionStats len = %d, want 3", len(ps))
+	}
+	var processed int64
+	for _, p := range ps {
+		processed += p.Processed
+		if p.Stable != temporal.Infinity {
+			t.Fatalf("partition stable = %v, want ∞", p.Stable)
+		}
+	}
+	if processed == 0 {
+		t.Fatal("no elements reached the partition workers")
+	}
+	if st := s.Stats(); st.ConsistencyWarnings != 0 || st.InInserts == 0 {
+		t.Fatalf("implausible partitioned stats: %+v", st)
+	}
+}
+
+func TestServerPartitionedFeedbackAndFailover(t *testing.T) {
+	s, err := NewWithOptions("127.0.0.1:0", Options{
+		Case: core.CaseR3, FeedbackLag: 0, Partitions: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sc := serverScript(8)
+	want := sc.TDB()
+
+	sub, err := Subscribe(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Publisher 0 dies halfway; publishers 1..2 deliver in full. The merge
+	// must still complete to the script TDB on the survivors.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := Connect(s.Addr(), temporal.MinTime)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer p.Close()
+			stream := sc.Render(gen.RenderOptions{Seed: int64(40 + i), Disorder: 0.3, StableFreq: 0.05})
+			if i == 0 {
+				stream = stream[:len(stream)/2]
+			}
+			if err := p.SendStream(stream); err != nil && i != 0 {
+				t.Error(err)
+			}
+		}(i)
+	}
+	merged := collect(t, sub)
+	wg.Wait()
+
+	got, err := temporal.Reconstitute(merged)
+	if err != nil {
+		t.Fatalf("merged stream invalid: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("partitioned failover TDB differs:\n got %v\nwant %v", got, want)
+	}
+}

@@ -29,6 +29,7 @@ package lmerge
 
 import (
 	"lmerge/internal/core"
+	"lmerge/internal/partition"
 	"lmerge/internal/props"
 	"lmerge/internal/temporal"
 )
@@ -159,6 +160,26 @@ var (
 	NewOperator = core.NewOperator
 	// WithFeedback enables fast-forward signals to lagging inputs.
 	WithFeedback = core.WithFeedback
+)
+
+// Keyed scale-out (package internal/partition): partition the merge by
+// payload key across independent instances, broadcast stables so idle
+// partitions keep progressing, and reunify output stables at the minimum
+// partition frontier. The result is itself a Merger, so it drops in anywhere
+// a single-instance merger does.
+type (
+	// PartitionOption configures a partitioned merger.
+	PartitionOption = partition.Option
+	// PartitionKeyFunc maps a payload to its routing hash.
+	PartitionKeyFunc = partition.KeyFunc
+)
+
+var (
+	// NewPartitioned builds a keyed-partitioned merger: parts instances of
+	// the case's algorithm behind hash routing and frontier reunification.
+	NewPartitioned = partition.New
+	// WithPartitionKey overrides the payload→hash routing function.
+	WithPartitionKey = partition.WithKeyFunc
 )
 
 // Stream property framework (package internal/props).
