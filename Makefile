@@ -10,7 +10,7 @@ all: build vet test
 # concurrent packages, the seeded chaos soaks (single-instance and
 # partitioned), and a race-enabled differential sweep over the trimmed
 # config grid.
-check: build vet test race chaos partition-soak diffcheck-race
+check: build vet test race cover chaos partition-soak diffcheck-race
 
 build:
 	$(GO) build ./...
@@ -24,8 +24,20 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# Coverage with enforced floors on the merge kernel and the telemetry layer:
+# the packages where a silent coverage regression would hurt the most.
+COVER_FLOOR_CORE ?= 85
+COVER_FLOOR_OBS  ?= 85
 cover:
 	$(GO) test -cover ./...
+	@$(GO) test -coverprofile=/tmp/lmerge-core.cover ./internal/core/ > /dev/null
+	@$(GO) test -coverprofile=/tmp/lmerge-obs.cover ./internal/obs/ > /dev/null
+	@$(GO) tool cover -func=/tmp/lmerge-core.cover | awk -v floor=$(COVER_FLOOR_CORE) \
+		'/^total:/ { sub(/%/, "", $$3); if ($$3+0 < floor) { printf "FAIL: internal/core coverage %s%% below floor %d%%\n", $$3, floor; exit 1 } \
+		else printf "internal/core coverage %s%% (floor %d%%)\n", $$3, floor }'
+	@$(GO) tool cover -func=/tmp/lmerge-obs.cover | awk -v floor=$(COVER_FLOOR_OBS) \
+		'/^total:/ { sub(/%/, "", $$3); if ($$3+0 < floor) { printf "FAIL: internal/obs coverage %s%% below floor %d%%\n", $$3, floor; exit 1 } \
+		else printf "internal/obs coverage %s%% (floor %d%%)\n", $$3, floor }'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -41,10 +53,12 @@ chaos:
 partition-soak:
 	$(GO) test -race -v -run TestPartitionedChaosSoak ./internal/partition/
 
-# Short fuzz sessions over the wire codec and reconstitution.
+# Short fuzz sessions over the wire codec, reconstitution, and the server
+# handshake/frame parser.
 fuzz:
 	$(GO) test ./internal/temporal/ -fuzz FuzzUnmarshalElement -fuzztime 30s
 	$(GO) test ./internal/temporal/ -fuzz FuzzReconstitute -fuzztime 30s
+	$(GO) test ./internal/server/ -run FuzzParseFrame -fuzz FuzzParseFrame -fuzztime 30s
 
 # Differential correctness sweep: every algorithm × executor × pipeline
 # against the brute-force oracle (see DESIGN.md §7). Any divergence is a bug;

@@ -86,6 +86,46 @@ func TestFacadeEquivalence(t *testing.T) {
 	}
 }
 
+// TestFacadeObserver attaches telemetry through the public facade: every
+// merger is Observable, the snapshot reconciles with Stats, and the operator
+// option wires the same node.
+func TestFacadeObserver(t *testing.T) {
+	reg := NewObserverRegistry()
+	tel := reg.Node("merge")
+	var m Merger = NewR3(func(Element) {})
+	m.(Observable).Observe(tel)
+	m.Attach(0)
+	m.Attach(1)
+	mustOK(t, m.Process(0, Insert(P(1), 10, 20)))
+	mustOK(t, m.Process(1, Insert(P(1), 10, 25)))
+	mustOK(t, m.Process(0, Stable(30)))
+	mustOK(t, m.Process(0, Stable(Infinity)))
+	snap := tel.Snapshot()
+	st := m.Stats()
+	if snap.InInserts != st.InInserts || snap.OutStables != st.OutStables {
+		t.Fatalf("telemetry %+v diverges from stats %+v", snap, st)
+	}
+	if snap.Leadership.Leader != 0 {
+		t.Fatalf("leader = %d, want stream 0", snap.Leadership.Leader)
+	}
+	if snap.Freshness.Samples == 0 {
+		t.Fatal("no freshness samples recorded")
+	}
+
+	var ops []Telemetry
+	op := NewOperator(NewR3(nil), WithObserver(reg.Node("op")))
+	a := op.Attach(MinTime)
+	mustOK(t, op.Process(a, Insert(P(2), 1, 5)))
+	mustOK(t, op.Process(a, Stable(Infinity)))
+	ops = reg.Snapshot()
+	if len(ops) != 2 {
+		t.Fatalf("registry has %d nodes, want 2", len(ops))
+	}
+	if reg.Trace().Len() == 0 {
+		t.Fatal("shared trace recorded nothing")
+	}
+}
+
 // TestFacadePartitioned exercises the keyed scale-out wrapper through the
 // public facade: the partitioned merger is a drop-in Merger.
 func TestFacadePartitioned(t *testing.T) {

@@ -15,9 +15,12 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"lmerge/internal/core"
 	"lmerge/internal/metrics"
@@ -51,6 +54,8 @@ func serve(args []string) {
 	addr := fs.String("addr", "127.0.0.1:7171", "listen address")
 	caseName := fs.String("case", "R3", "merge algorithm: R0, R1, R2, R3, R4")
 	parts := fs.Int("partitions", 1, "keyed scale-out: merge partitions sharding ingestion by payload hash (1 = single merger)")
+	httpAddr := fs.String("http", "", "serve /metrics and /debug/trace on this address (e.g. 127.0.0.1:7172; empty disables)")
+	statsEvery := fs.Duration("stats-every", 0, "log a telemetry line for each merge node at this period (0 disables)")
 	fs.Parse(args)
 
 	c, err := parseCase(*caseName)
@@ -68,14 +73,49 @@ func serve(args []string) {
 	} else {
 		fmt.Fprintf(os.Stderr, "lmserved: merging (%s) on %s — ctrl-c to stop\n", c, s.Addr())
 	}
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, s.MetricsHandler())
+		fmt.Fprintf(os.Stderr, "lmserved: metrics on http://%s/metrics, trace on /debug/trace\n", ln.Addr())
+	}
+	stopLog := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopLog:
+					return
+				case <-tick.C:
+					for _, snap := range s.Telemetry() {
+						fmt.Fprintf(os.Stderr, "lmserved: %s\n", snap)
+					}
+				}
+			}
+		}()
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	close(stopLog)
 	st := s.Stats()
 	ps := s.PartitionStats()
+	snaps := s.Telemetry()
 	s.Close()
 	fmt.Fprintf(os.Stderr, "lmserved: done — in=%d out=%d dropped=%d warnings=%d\n",
 		st.InElements(), st.OutElements(), st.Dropped, st.ConsistencyWarnings)
+	for _, snap := range snaps {
+		if snap.Name == "merge" {
+			fmt.Fprintf(os.Stderr, "lmserved: freshness lag p50=%.0f p95=%.0f max=%d — leader stream %d (%d switches)\n",
+				snap.Freshness.P50, snap.Freshness.P95, snap.Freshness.Max,
+				snap.Leadership.Leader, snap.Leadership.Switches)
+		}
+	}
 	if len(ps) > 0 {
 		load := make([]float64, len(ps))
 		for i, p := range ps {

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+)
+
+// FreshnessResult carries the freshness-under-lag measurements: how stale
+// the merged output's stable frontier is relative to the freshest input, as
+// one input falls progressively behind.
+type FreshnessResult struct {
+	LagSeconds []float64
+	// P50/P95/Max freshness lag of the merged output, in ticks (stream
+	// time): output stable point vs the maximum input stable frontier at
+	// emission.
+	P50, P95, Max []float64
+	// LeaderSwitches counts output-leadership changes per run; LaggardShare
+	// is the lagging stream's fraction of output stable advances.
+	LeaderSwitches []int64
+	LaggardShare   []float64
+	Throughput     []float64
+	Table          *Table
+}
+
+// FreshnessUnderLag measures the paper's availability claim (Sec. II, VI-B)
+// through the telemetry layer: with three mutually consistent inputs and one
+// lagging by 0–5 seconds, the merged output should stay as fresh as the
+// *freshest* input — the leadership monitor shows the leading streams
+// carrying the output while the laggard's contribution collapses, and the
+// output freshness quantiles stay near zero instead of tracking the laggard.
+func FreshnessUnderLag(scale Scale) FreshnessResult {
+	sc := gen.NewScript(gen.Config{
+		Events:        scale.Events,
+		Seed:          61,
+		PayloadBytes:  scale.PayloadBytes,
+		MaxGap:        2 * gen.TicksPerSecond,
+		EventDuration: 40 * gen.TicksPerSecond,
+		Revisions:     0.3,
+		RemoveProb:    0.1,
+	})
+	res := FreshnessResult{
+		LagSeconds: []float64{0, 1, 2, 5},
+		Table: &Table{
+			ID:      "freshness",
+			Title:   "Merged-output freshness, one of three inputs lagging",
+			Columns: []string{"lag", "p50", "p95", "max", "leader switches", "laggard share", "tput"},
+		},
+	}
+	const rate = 5000.0
+	base := make([]temporal.Stream, 3)
+	for i := range base {
+		base[i] = sc.Render(gen.RenderOptions{Seed: int64(6100 + i), Disorder: 0.2, StableFreq: 0.01})
+	}
+	for _, lagSec := range res.LagSeconds {
+		timed := make([]gen.TimedStream, 3)
+		for i := range base {
+			ts := gen.Timed(base[i], rate)
+			if i == 0 {
+				ts = ts.WithLag(lagSec)
+			}
+			timed[i] = ts
+		}
+		r, snap := runScheduleObserved(gen.MergeDelivery(timed), func(e core.Emit) core.Merger {
+			return core.NewR3(e)
+		})
+		var total, laggard int64
+		for s, c := range snap.Leadership.Contribution {
+			total += c
+			if s == 0 {
+				laggard = c
+			}
+		}
+		share := 0.0
+		if total > 0 {
+			share = float64(laggard) / float64(total)
+		}
+		res.P50 = append(res.P50, snap.Freshness.P50)
+		res.P95 = append(res.P95, snap.Freshness.P95)
+		res.Max = append(res.Max, float64(snap.Freshness.Max))
+		res.LeaderSwitches = append(res.LeaderSwitches, snap.Leadership.Switches)
+		res.LaggardShare = append(res.LaggardShare, share)
+		res.Throughput = append(res.Throughput, r.Throughput())
+		res.Table.AddRow(fmt.Sprintf("%.0fs", lagSec),
+			fmt.Sprintf("%.0f", snap.Freshness.P50),
+			fmt.Sprintf("%.0f", snap.Freshness.P95),
+			fmt.Sprintf("%d", snap.Freshness.Max),
+			fmt.Sprintf("%d", snap.Leadership.Switches),
+			fmt.Sprintf("%.0f%%", share*100),
+			fmtTput(r.Throughput()))
+	}
+	res.Table.Note("paper shape: merged freshness tracks the freshest input (flat quantiles) while the laggard's leadership share collapses with lag")
+	return res
+}
+
+// runScheduleObserved is runSchedule with a telemetry node attached,
+// returning the run measurements and the node's final snapshot.
+func runScheduleObserved(items []gen.DeliveryItem, mk func(core.Emit) core.Merger) (runResult, obs.Snapshot) {
+	n := obs.NewNode("bench")
+	res := runScheduleWith(items, mk, n)
+	return res, n.Snapshot()
+}
+
+// runScheduleWith feeds a delivery schedule through a fresh merger observed
+// by tel (nil for unobserved).
+func runScheduleWith(items []gen.DeliveryItem, mk func(core.Emit) core.Merger, tel *obs.Node) runResult {
+	var res runResult
+	m := mk(func(e temporal.Element) {
+		res.OutElements++
+		if e.Kind == temporal.KindAdjust {
+			res.OutAdjusts++
+		}
+	})
+	if tel != nil {
+		if ob, ok := m.(core.Observable); ok {
+			ob.Observe(tel)
+		}
+	}
+	maxStream := 0
+	for _, it := range items {
+		if it.Stream > maxStream {
+			maxStream = it.Stream
+		}
+	}
+	for s := 0; s <= maxStream; s++ {
+		m.Attach(s)
+	}
+	start := time.Now()
+	for _, it := range items {
+		if err := m.Process(it.Stream, it.El); err != nil {
+			panic(fmt.Sprintf("bench: schedule element rejected: %v", err))
+		}
+	}
+	res.Wall = time.Since(start)
+	res.Stats = *m.Stats()
+	res.PeakBytes = m.SizeBytes()
+	return res
+}

@@ -92,6 +92,7 @@ func All(scale Scale) []*Table {
 		Fig9Congestion(scale).Table,
 		Fig10PlanSwitch(scale).Table,
 		TableIVScaling(scale).Table,
+		FreshnessUnderLag(scale).Table,
 	}
 }
 
@@ -112,5 +113,6 @@ func Experiments() map[string]func(Scale) *Table {
 		"ablation-policies":  func(s Scale) *Table { return AblationPolicies(s).Table },
 		"ablation-feedback":  func(s Scale) *Table { return AblationFeedbackLag(s).Table },
 		"ablation-jumpstart": func(s Scale) *Table { return AblationJumpstart(s).Table },
+		"freshness":          func(s Scale) *Table { return FreshnessUnderLag(s).Table },
 	}
 }

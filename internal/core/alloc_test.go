@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"lmerge/internal/obs"
 	"lmerge/internal/temporal"
 )
 
@@ -68,6 +69,41 @@ func TestProcessAllocs(t *testing.T) {
 				t.Errorf("%s: %.2f allocs/element at steady state, budget %.2f", c.name, perElement, c.budget)
 			}
 			t.Logf("%s: %.2f allocs/element (budget %.2f)", c.name, perElement, c.budget)
+		})
+	}
+}
+
+// TestProcessAllocsObserved repeats the steady-state budgets with a telemetry
+// node attached: instrumentation must not add a single allocation per element
+// to any algorithm's hot path, or observers would be unusable in production.
+func TestProcessAllocsObserved(t *testing.T) {
+	discard := func(temporal.Element) {}
+	cases := []struct {
+		name   string
+		m      Merger
+		budget float64
+	}{
+		{"R0", NewR0(discard), 0},
+		{"R1", NewR1(discard), 0},
+		{"R2", NewR2(discard), 0},
+		{"R2Dup", NewR2Dup(discard), 0},
+		{"R3", NewR3(discard), 1.3},
+		{"R3Naive", NewR3Naive(discard), 2},
+		{"R4", NewR4(discard), 1.3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			c.m.(Observable).Observe(reg.Node(c.name))
+			round, elements := allocRound(t, c.m)
+			for i := 0; i < 50; i++ {
+				round()
+			}
+			perElement := testing.AllocsPerRun(20, round) / float64(elements)
+			if perElement > c.budget {
+				t.Errorf("%s observed: %.2f allocs/element at steady state, budget %.2f", c.name, perElement, c.budget)
+			}
+			t.Logf("%s observed: %.2f allocs/element (budget %.2f)", c.name, perElement, c.budget)
 		})
 	}
 }

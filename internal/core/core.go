@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 
+	"lmerge/internal/obs"
 	"lmerge/internal/temporal"
 )
 
@@ -117,23 +118,47 @@ func (s *Stats) OutElements() int64 { return s.OutInserts + s.OutAdjusts + s.Out
 // InElements returns the total number of input elements.
 func (s *Stats) InElements() int64 { return s.InInserts + s.InAdjusts + s.InStables }
 
+// Observable is implemented by mergers (and wrappers) that can report their
+// traffic into a telemetry node. Every merger in this package implements it;
+// attaching an observer adds a handful of atomic operations per element and
+// no allocation (see internal/obs and the alloc guards in alloc_test.go).
+type Observable interface {
+	// Observe routes the implementation's telemetry into n. A nil n detaches
+	// the observer. Not safe to call concurrently with Process.
+	Observe(n *obs.Node)
+}
+
 // base carries the state and output plumbing shared by all mergers.
 type base struct {
 	emit      Emit
 	stats     Stats
 	maxStable temporal.Time
 	attached  map[StreamID]bool
+	// tel is the optional telemetry node (nil-safe: every obs call on a nil
+	// node is a no-op, so the uninstrumented hot path pays one branch).
+	tel *obs.Node
+	// raiser is the input whose element is currently being processed when
+	// that element is a stable — the stream that leads if the output stable
+	// point advances (-1 before any stable).
+	raiser StreamID
 }
 
 func newBase(emit Emit) base {
 	if emit == nil {
 		emit = func(temporal.Element) {}
 	}
-	return base{emit: emit, maxStable: temporal.MinTime, attached: make(map[StreamID]bool)}
+	return base{emit: emit, maxStable: temporal.MinTime, attached: make(map[StreamID]bool), raiser: -1}
 }
 
-func (b *base) Stats() *Stats              { return &b.stats }
-func (b *base) MaxStable() temporal.Time   { return b.maxStable }
+func (b *base) Stats() *Stats            { return &b.stats }
+func (b *base) MaxStable() temporal.Time { return b.maxStable }
+
+// Observe implements Observable.
+func (b *base) Observe(n *obs.Node) { b.tel = n }
+
+// Telemetry returns the attached telemetry node (nil when unobserved).
+func (b *base) Telemetry() *obs.Node { return b.tel }
+
 func (b *base) Attach(s StreamID)          { b.attached[s] = true }
 func (b *base) Detach(s StreamID)          { delete(b.attached, s) }
 func (b *base) isAttached(s StreamID) bool { return b.attached[s] }
@@ -144,20 +169,35 @@ func (b *base) noteAttached(s StreamID) { b.attached[s] = true }
 
 func (b *base) outInsert(p temporal.Payload, vs, ve temporal.Time) {
 	b.stats.OutInserts++
+	b.tel.OutInsert()
 	b.emit(temporal.Insert(p, vs, ve))
 }
 
 func (b *base) outAdjust(p temporal.Payload, vs, vold, ve temporal.Time) {
 	b.stats.OutAdjusts++
+	b.tel.OutAdjust(ve == vs)
 	b.emit(temporal.Adjust(p, vs, vold, ve))
 }
 
 func (b *base) outStable(t temporal.Time) {
 	b.stats.OutStables++
+	b.tel.OutStable(b.raiser, t)
 	b.emit(temporal.Stable(t))
 }
 
-func (b *base) countIn(e temporal.Element) {
+// drop counts an input element absorbed without output effect.
+func (b *base) drop() {
+	b.stats.Dropped++
+	b.tel.Dropped()
+}
+
+// warn counts a skipped mutual-consistency violation at stream time t.
+func (b *base) warn(t temporal.Time) {
+	b.stats.ConsistencyWarnings++
+	b.tel.Warning(b.raiser, t)
+}
+
+func (b *base) countIn(s StreamID, e temporal.Element) {
 	switch e.Kind {
 	case temporal.KindInsert:
 		b.stats.InInserts++
@@ -165,7 +205,9 @@ func (b *base) countIn(e temporal.Element) {
 		b.stats.InAdjusts++
 	case temporal.KindStable:
 		b.stats.InStables++
+		b.raiser = s
 	}
+	b.tel.In(s, e.Kind, e.Ve)
 }
 
 // errUnsupported reports an element kind a restricted merger cannot accept.

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+)
+
+// driveObserved feeds a divergent two-stream workload through m and returns
+// the observer node. Stream 1 trails stream 0 and raises the final stable.
+func driveObserved(t *testing.T, m Merger) *obs.Node {
+	t.Helper()
+	reg := obs.NewRegistry()
+	n := reg.Node("merge")
+	m.(Observable).Observe(n)
+	m.Attach(0)
+	m.Attach(1)
+	for i := 0; i < 32; i++ {
+		v := temporal.Time(1 + i)
+		e := temporal.Insert(temporal.P(int64(i)), v, v+10)
+		if err := m.Process(0, e); err != nil {
+			t.Fatalf("stream 0 rejected %v: %v", e, err)
+		}
+		if err := m.Process(1, e); err != nil {
+			t.Fatalf("stream 1 rejected %v: %v", e, err)
+		}
+		if i%8 == 7 {
+			if err := m.Process(0, temporal.Stable(v)); err != nil {
+				t.Fatalf("stable rejected: %v", err)
+			}
+		}
+	}
+	if err := m.Process(1, temporal.Stable(50)); err != nil {
+		t.Fatalf("final stable rejected: %v", err)
+	}
+	return n
+}
+
+// TestObserverMirrorsStats proves, for every algorithm, that the telemetry
+// counters reconcile exactly with the merger's own Stats — the observer is a
+// second, concurrently-readable set of books over the same traffic.
+func TestObserverMirrorsStats(t *testing.T) {
+	discard := func(temporal.Element) {}
+	cases := []struct {
+		name string
+		m    Merger
+	}{
+		{"R0", NewR0(discard)},
+		{"R1", NewR1(discard)},
+		{"R2", NewR2(discard)},
+		{"R2Dup", NewR2Dup(discard)},
+		{"R3", NewR3(discard)},
+		{"R3Naive", NewR3Naive(discard)},
+		{"R4", NewR4(discard)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := driveObserved(t, c.m)
+			st := *c.m.Stats()
+			s := n.Snapshot()
+			if s.InInserts != st.InInserts || s.InAdjusts != st.InAdjusts || s.InStables != st.InStables {
+				t.Errorf("input counters diverge: obs=%+v stats=%+v", s, st)
+			}
+			if s.OutInserts != st.OutInserts || s.OutAdjusts != st.OutAdjusts || s.OutStables != st.OutStables {
+				t.Errorf("output counters diverge: obs=%+v stats=%+v", s, st)
+			}
+			if s.Dropped != st.Dropped || s.Warnings != st.ConsistencyWarnings {
+				t.Errorf("drop/warning counters diverge: obs=%+v stats=%+v", s, st)
+			}
+			if got := temporal.Time(s.OutFrontier); got != c.m.MaxStable() {
+				t.Errorf("output frontier %d != MaxStable %d", got, c.m.MaxStable())
+			}
+			if s.InFrontier != 50 {
+				t.Errorf("input frontier: got %d want 50", s.InFrontier)
+			}
+			// Stream 1 raised the last output stable: it leads.
+			if s.Leadership.Leader != 1 {
+				t.Errorf("leader: got %d want 1", s.Leadership.Leader)
+			}
+			if s.Leadership.Switches < 1 {
+				t.Errorf("expected at least one leadership switch, got %d", s.Leadership.Switches)
+			}
+			if s.Freshness.Samples == 0 {
+				t.Error("no freshness samples recorded")
+			}
+			if s.Freshness.Min < 0 {
+				t.Errorf("negative freshness lag: %+v", s.Freshness)
+			}
+		})
+	}
+}
+
+// TestObserverWithdrawals proves withdrawal accounting: an event one stream
+// inserted but the stable-raising stream never carried is withdrawn (Sec.
+// V-C absent treatment) and counted.
+func TestObserverWithdrawals(t *testing.T) {
+	var out temporal.Stream
+	m := NewR3(func(e temporal.Element) { out = append(out, e) })
+	n := obs.NewNode("merge")
+	m.Observe(n)
+	m.Attach(0)
+	m.Attach(1)
+	if err := m.Process(0, temporal.Insert(temporal.P(7), 5, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Process(1, temporal.Stable(20)); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Snapshot()
+	if s.Withdrawals != 1 {
+		t.Fatalf("withdrawals: got %d want 1 (output %v)", s.Withdrawals, out)
+	}
+	if s.OutAdjusts != 1 {
+		t.Fatalf("out adjusts: got %d want 1", s.OutAdjusts)
+	}
+}
+
+// TestOperatorObserver proves the operator-level contributions: feedback
+// signal counts, attach/detach trace events, and the live-state gauge.
+func TestOperatorObserver(t *testing.T) {
+	reg := obs.NewRegistry()
+	n := reg.Node("op")
+	var signals []Feedback
+	o := NewOperator(NewR3(nil),
+		WithFeedback(func(f Feedback) { signals = append(signals, f) }, 0),
+		WithObserver(n))
+	a := o.Attach(temporal.MinTime)
+	b := o.Attach(temporal.MinTime)
+	for i := 0; i < 8; i++ {
+		v := temporal.Time(1 + i)
+		if err := o.Process(a, temporal.Insert(temporal.P(int64(i)), v, v+5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stream a raises a stable; b has made no progress → fast-forward signal.
+	if err := o.Process(a, temporal.Stable(4)); err != nil {
+		t.Fatal(err)
+	}
+	if len(signals) == 0 {
+		t.Fatal("expected a fast-forward signal to the lagging input")
+	}
+	s := n.Snapshot()
+	if s.FFSignals != int64(len(signals)) {
+		t.Fatalf("ff signals: obs=%d actual=%d", s.FFSignals, len(signals))
+	}
+	if s.LiveNodes == 0 {
+		t.Fatal("live-nodes gauge not updated on stable advance")
+	}
+	o.Detach(b)
+	var attaches, detaches, ffs int
+	for _, e := range reg.Trace().Events() {
+		switch e.Kind {
+		case obs.EventAttach:
+			attaches++
+		case obs.EventDetach:
+			detaches++
+		case obs.EventFastForward:
+			ffs++
+		}
+	}
+	if attaches != 2 || detaches != 1 {
+		t.Fatalf("trace events: attaches=%d detaches=%d", attaches, detaches)
+	}
+	if ffs != len(signals) {
+		t.Fatalf("trace ff events: got %d want %d", ffs, len(signals))
+	}
+}
+
+// TestObservableDetach proves Observe(nil) detaches cleanly mid-run.
+func TestObservableDetach(t *testing.T) {
+	m := NewR2(nil)
+	n := obs.NewNode("merge")
+	m.Observe(n)
+	m.Attach(0)
+	if err := m.Process(0, temporal.Insert(temporal.P(1), 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(nil)
+	if err := m.Process(0, temporal.Insert(temporal.P(2), 2, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Snapshot().InInserts; got != 1 {
+		t.Fatalf("counters advanced after detach: %d", got)
+	}
+	if m.Telemetry() != nil {
+		t.Fatal("telemetry accessor should be nil after detach")
+	}
+}

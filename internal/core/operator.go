@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"lmerge/internal/obs"
 	"lmerge/internal/temporal"
 )
 
@@ -29,6 +30,12 @@ type Operator struct {
 	// feedbackLag is how far an input's own progress may trail the output
 	// stable point before a fast-forward signal is sent; 0 signals eagerly.
 	feedbackLag temporal.Time
+	// tel is the optional telemetry node, shared with the wrapped merger
+	// (see Observe): the operator contributes the feedback-signal counter,
+	// attach/detach trace events, and the live-state gauge.
+	tel *obs.Node
+	// live caches whether the merger reports a live-node count.
+	live interface{ Live() int }
 }
 
 type inputState struct {
@@ -51,6 +58,14 @@ func WithFeedback(fn FeedbackFunc, lag temporal.Time) OperatorOption {
 	}
 }
 
+// WithObserver attaches telemetry node n: the wrapped merger reports its
+// traffic, freshness, and leadership into n, and the operator adds
+// fast-forward signal counts, attach/detach trace events, and the live
+// index-node gauge. Zero allocation on the merge hot path.
+func WithObserver(n *obs.Node) OperatorOption {
+	return func(o *Operator) { o.Observe(n) }
+}
+
 // NewOperator wraps merger m.
 func NewOperator(m Merger, opts ...OperatorOption) *Operator {
 	o := &Operator{m: m, inputs: make(map[StreamID]*inputState)}
@@ -62,6 +77,20 @@ func NewOperator(m Merger, opts ...OperatorOption) *Operator {
 
 // Merger returns the wrapped merge algorithm (for stats and sizing).
 func (o *Operator) Merger() Merger { return o.m }
+
+// Observe implements Observable: the node is shared with the wrapped merger.
+func (o *Operator) Observe(n *obs.Node) {
+	o.tel = n
+	if ob, ok := o.m.(Observable); ok {
+		ob.Observe(n)
+	}
+	if lv, ok := o.m.(interface{ Live() int }); ok {
+		o.live = lv
+	}
+}
+
+// Telemetry returns the operator's telemetry node (nil when unobserved).
+func (o *Operator) Telemetry() *obs.Node { return o.tel }
 
 // MaxStable returns the output's stable point.
 func (o *Operator) MaxStable() temporal.Time { return o.m.MaxStable() }
@@ -100,6 +129,7 @@ func (o *Operator) AttachAt(id StreamID, joinTime temporal.Time) {
 	st.joined = joinTime <= o.m.MaxStable() || joinTime == temporal.MinTime
 	o.inputs[id] = st
 	o.m.Attach(id)
+	o.tel.Attached(id, joinTime)
 }
 
 // Detach marks input id as leaving; its subsequent elements are ignored and
@@ -111,6 +141,7 @@ func (o *Operator) Detach(id StreamID) {
 	}
 	st.leaving = true
 	o.m.Detach(id)
+	o.tel.Detached(id)
 }
 
 // Joined reports whether input id is a full member (see Attach).
@@ -182,6 +213,9 @@ func (o *Operator) process(st *inputState, id StreamID, e temporal.Element) erro
 // onStableAdvance promotes pending joiners and emits fast-forward feedback
 // to inputs lagging behind the new output stable point.
 func (o *Operator) onStableAdvance(t temporal.Time) {
+	if o.tel != nil && o.live != nil {
+		o.tel.SetLive(o.live.Live())
+	}
 	for id, st := range o.inputs {
 		if st.leaving {
 			continue
@@ -194,6 +228,7 @@ func (o *Operator) onStableAdvance(t temporal.Time) {
 		}
 		if st.lastStable < t-o.feedbackLag && st.lastFeedback < t {
 			st.lastFeedback = t
+			o.tel.FF(id, t)
 			o.feedback(Feedback{Stream: id, T: t})
 		}
 	}

@@ -25,14 +25,14 @@ func (m *R0) SizeBytes() int { return 16 }
 // Process implements Merger.
 func (m *R0) Process(s StreamID, e temporal.Element) error {
 	m.noteAttached(s)
-	m.countIn(e)
+	m.countIn(s, e)
 	switch e.Kind {
 	case temporal.KindInsert:
 		if e.Vs > m.maxVs {
 			m.maxVs = e.Vs
 			m.outInsert(e.Payload, e.Vs, e.Ve)
 		} else {
-			m.stats.Dropped++
+			m.drop()
 		}
 		return nil
 	case temporal.KindStable:
@@ -40,7 +40,7 @@ func (m *R0) Process(s StreamID, e temporal.Element) error {
 			m.maxStable = t
 			m.outStable(t)
 		} else {
-			m.stats.Dropped++
+			m.drop()
 		}
 		return nil
 	default:

@@ -47,11 +47,11 @@ func (m *R1) Detach(s StreamID) {
 // Process implements Merger.
 func (m *R1) Process(s StreamID, e temporal.Element) error {
 	m.noteAttached(s)
-	m.countIn(e)
+	m.countIn(s, e)
 	switch e.Kind {
 	case temporal.KindInsert:
 		if e.Vs < m.maxVs {
-			m.stats.Dropped++
+			m.drop()
 			return nil
 		}
 		if e.Vs > m.maxVs {
@@ -69,7 +69,7 @@ func (m *R1) Process(s StreamID, e temporal.Element) error {
 		if m.sameVsCount[s] == maxCount {
 			m.outInsert(e.Payload, e.Vs, e.Ve)
 		} else {
-			m.stats.Dropped++
+			m.drop()
 		}
 		m.sameVsCount[s]++
 		return nil
@@ -78,7 +78,7 @@ func (m *R1) Process(s StreamID, e temporal.Element) error {
 			m.maxStable = t
 			m.outStable(t)
 		} else {
-			m.stats.Dropped++
+			m.drop()
 		}
 		return nil
 	default:

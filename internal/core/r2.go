@@ -72,11 +72,11 @@ func (m *R2) SizeBytes() int { return 16 + m.bytes + 16*len(m.seen) }
 // Process implements Merger.
 func (m *R2) Process(s StreamID, e temporal.Element) error {
 	m.noteAttached(s)
-	m.countIn(e)
+	m.countIn(s, e)
 	switch e.Kind {
 	case temporal.KindInsert:
 		if e.Vs < m.maxVs {
-			m.stats.Dropped++
+			m.drop()
 			return nil
 		}
 		if e.Vs > m.maxVs {
@@ -107,7 +107,7 @@ func (m *R2) Process(s StreamID, e temporal.Element) error {
 				counts[0]++
 				m.outInsert(e.Payload, e.Vs, e.Ve)
 			} else {
-				m.stats.Dropped++
+				m.drop()
 			}
 			return nil
 		}
@@ -115,7 +115,7 @@ func (m *R2) Process(s StreamID, e temporal.Element) error {
 			counts[0] = 1
 			m.outInsert(e.Payload, e.Vs, e.Ve)
 		} else {
-			m.stats.Dropped++
+			m.drop()
 		}
 		return nil
 	case temporal.KindStable:
@@ -123,7 +123,7 @@ func (m *R2) Process(s StreamID, e temporal.Element) error {
 			m.maxStable = t
 			m.outStable(t)
 		} else {
-			m.stats.Dropped++
+			m.drop()
 		}
 		return nil
 	default:

@@ -93,7 +93,7 @@ func (m *R3) Detach(s StreamID) {
 // Process implements Merger.
 func (m *R3) Process(s StreamID, e temporal.Element) error {
 	m.noteAttached(s)
-	m.countIn(e)
+	m.countIn(s, e)
 	switch e.Kind {
 	case temporal.KindInsert:
 		m.insert(s, e)
@@ -114,7 +114,7 @@ func (m *R3) insert(s StreamID, e temporal.Element) {
 		if e.Vs < m.maxStable {
 			// The node existed and was removed once fully frozen; this is a
 			// late duplicate from a slow stream.
-			m.stats.Dropped++
+			m.drop()
 			return
 		}
 		f = m.index.AddNode(e)
@@ -171,7 +171,7 @@ func (m *R3) adjust(s StreamID, e temporal.Element) {
 		// Adjust for an event we never tracked: either its node was already
 		// fully frozen (slow stream) or the key precedes this merger's
 		// attachment; both are absorbed.
-		m.stats.Dropped++
+		m.drop()
 		return
 	}
 	f.SetVe(s, e.Ve)
@@ -201,7 +201,7 @@ func (m *R3) eagerAdjust(f *index.Node2, ve temporal.Time) {
 
 func (m *R3) stable(s StreamID, t temporal.Time) {
 	if t <= m.maxStable {
-		m.stats.Dropped++
+		m.drop()
 		return
 	}
 	m.leader = s // this input now vouches furthest: it leads
@@ -301,14 +301,14 @@ func (m *R3) reconcile(f *index.Node2, inVe, t temporal.Time) (pinned bool) {
 	if inVe < m.maxStable && inVe != k.Vs {
 		// Only possible if the inputs were not mutually consistent; an
 		// adjust below the output stable point would be invalid, so skip.
-		m.stats.ConsistencyWarnings++
+		m.warn(inVe)
 		return true
 	}
 	if inVe == k.Vs && k.Vs < m.maxStable {
 		// Removal of an already half-frozen output event: likewise only
 		// possible with inconsistent inputs (a faulty stream vouching past
 		// an event it never carried).
-		m.stats.ConsistencyWarnings++
+		m.warn(k.Vs)
 		return true
 	}
 	m.outAdjust(k.Payload, k.Vs, outVe, inVe)

@@ -103,13 +103,13 @@ func (m *R3Naive) input(s StreamID) *naiveIndex {
 // Process implements Merger.
 func (m *R3Naive) Process(s StreamID, e temporal.Element) error {
 	m.noteAttached(s)
-	m.countIn(e)
+	m.countIn(s, e)
 	switch e.Kind {
 	case temporal.KindInsert:
 		k := e.Key()
 		if e.Vs < m.maxStable {
 			if _, tracked := m.output.tree.Get(k); !tracked {
-				m.stats.Dropped++
+				m.drop()
 				return nil
 			}
 		}
@@ -123,7 +123,7 @@ func (m *R3Naive) Process(s StreamID, e temporal.Element) error {
 		k := e.Key()
 		in := m.input(s)
 		if _, had := in.tree.Get(k); !had {
-			m.stats.Dropped++
+			m.drop()
 			return nil
 		}
 		if e.IsRemoval() {
@@ -145,7 +145,7 @@ func (m *R3Naive) stable(s StreamID, t temporal.Time) {
 		// A lagging stream's stable still lets us drop its fully frozen
 		// entries, bounding the laggard's index.
 		m.prune(in, t)
-		m.stats.Dropped++
+		m.drop()
 		return
 	}
 	// Walk stream s's entries becoming half or fully frozen.
@@ -175,7 +175,7 @@ func (m *R3Naive) stable(s StreamID, t temporal.Time) {
 		}
 		if f.ve != outVe && (f.ve < t || outVe < t) {
 			if f.ve < m.maxStable {
-				m.stats.ConsistencyWarnings++
+				m.warn(f.ve)
 			} else {
 				m.outAdjust(f.k.Payload, f.k.Vs, outVe, f.ve)
 				m.output.put(f.k, f.ve)
@@ -200,7 +200,7 @@ func (m *R3Naive) stable(s StreamID, t temporal.Time) {
 	})
 	for _, o := range m.orphans {
 		if o.k.Vs < m.maxStable {
-			m.stats.ConsistencyWarnings++
+			m.warn(o.k.Vs)
 			continue
 		}
 		m.outAdjust(o.k.Payload, o.k.Vs, o.ve, o.k.Vs)

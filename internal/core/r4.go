@@ -94,7 +94,7 @@ func (m *R4) Detach(s StreamID) {
 // Process implements Merger.
 func (m *R4) Process(s StreamID, e temporal.Element) error {
 	m.noteAttached(s)
-	m.countIn(e)
+	m.countIn(s, e)
 	switch e.Kind {
 	case temporal.KindInsert:
 		m.insert(s, e)
@@ -111,13 +111,13 @@ func (m *R4) Process(s StreamID, e temporal.Element) error {
 
 func (m *R4) insert(s StreamID, e temporal.Element) {
 	if e.Ve == e.Vs {
-		m.stats.Dropped++ // empty validity interval contributes nothing
+		m.drop() // empty validity interval contributes nothing
 		return
 	}
 	f, ok := m.index.SameVsPayload(e)
 	if !ok {
 		if e.Vs < m.maxStable {
-			m.stats.Dropped++
+			m.drop()
 			return
 		}
 		f = m.index.AddNode(e)
@@ -134,14 +134,14 @@ func (m *R4) insert(s StreamID, e temporal.Element) {
 func (m *R4) adjust(s StreamID, e temporal.Element) {
 	f, ok := m.index.SameVsPayload(e)
 	if !ok {
-		m.stats.Dropped++
+		m.drop()
 		return
 	}
 	if !f.DecrementCount(s, e.VOld) {
 		// The stream adjusted an occurrence it never produced here; with
 		// mutually consistent inputs this only happens for occurrences
 		// already retired as fully frozen.
-		m.stats.Dropped++
+		m.drop()
 		return
 	}
 	if !e.IsRemoval() {
@@ -151,7 +151,7 @@ func (m *R4) adjust(s StreamID, e temporal.Element) {
 
 func (m *R4) stable(s StreamID, t temporal.Time) {
 	if t <= m.maxStable {
-		m.stats.Dropped++
+		m.drop()
 		return
 	}
 	m.hf = m.index.FindHalfFrozenInto(t, m.hf)
@@ -226,7 +226,7 @@ func (m *R4) adjustOutputCount(f *index.Node3, s StreamID) {
 		if k.Vs < m.maxStable {
 			// Removal would delete a half-frozen output event — impossible
 			// with mutually consistent inputs.
-			m.stats.ConsistencyWarnings++
+			m.warn(k.Vs)
 			return
 		}
 		for idx := range m.diff {
@@ -239,7 +239,7 @@ func (m *R4) adjustOutputCount(f *index.Node3, s StreamID) {
 	case totalIn > totalOut:
 		need := totalIn - totalOut
 		if k.Vs < m.maxStable {
-			m.stats.ConsistencyWarnings++
+			m.warn(k.Vs)
 			return
 		}
 		for idx := range m.diff {
@@ -310,7 +310,7 @@ func (m *R4) adjustOutput(f *index.Node3, s StreamID, t temporal.Time) {
 				continue
 			}
 			// Totals should have been equalised by adjustOutputCount.
-			m.stats.ConsistencyWarnings++
+			m.warn(k.Vs)
 		}
 	}
 	// Push leftover frozen surplus out of the frozen region.
@@ -323,7 +323,7 @@ func (m *R4) adjustOutput(f *index.Node3, s StreamID, t temporal.Time) {
 			move(src, dst)
 			continue
 		}
-		m.stats.ConsistencyWarnings++
+		m.warn(k.Vs)
 		move(src, temporal.Infinity)
 	}
 }

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"testing"
+
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+)
+
+// passOp forwards every data element downstream: the minimal data-plane
+// operator, so the measurement isolates the dispatch path itself.
+type passOp struct{ n int }
+
+func (p *passOp) Name() string { return "pass" }
+func (p *passOp) Process(port int, e temporal.Element, out *Out) {
+	p.n++
+	out.Emit(e)
+}
+func (p *passOp) OnFeedback(temporal.Time) bool { return true }
+
+// runtimeBatchAllocs measures allocations per processBatch call on the
+// concurrent worker body (the exact code the runtime goroutines run),
+// with the flush threshold kept above the batch size so emissions stay in
+// the pending buffer — channel traffic would measure the scheduler, not
+// the dispatch path.
+func runtimeBatchAllocs(t *testing.T, instrument bool) float64 {
+	t.Helper()
+	g := NewGraph()
+	src := g.Add(&passOp{})
+	g.Connect(src, g.Add(&passOp{}))
+	if instrument {
+		g.Instrument(obs.NewRegistry())
+	}
+	r := NewRuntime(g)
+	batch := []message{
+		{port: 0, el: temporal.Insert(temporal.P(1), 10, 20)},
+		{port: 0, el: temporal.Insert(temporal.P(2), 11, 21)},
+		{port: 0, el: temporal.Insert(temporal.P(3), 12, 22)},
+	}
+	out := Out{node: src, mode: dispatchConcurrent, batch: len(batch) + 1}
+	out.bufs = make([][]message, len(src.downstream))
+	for i := range out.bufs {
+		out.bufs[i] = make([]message, 0, len(batch))
+	}
+	return testing.AllocsPerRun(200, func() {
+		if err := r.processBatch(src, batch, &out); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out.bufs {
+			out.bufs[i] = out.bufs[i][:0]
+		}
+	})
+}
+
+// TestRuntimeBatchAllocsObserved is the runtime-path twin of the core
+// alloc guards (TestProcessAllocs/TestProcessAllocsObserved): the concurrent
+// worker body must stay allocation-free per batch, and instrumenting the
+// graph must not add a single allocation to it.
+func TestRuntimeBatchAllocsObserved(t *testing.T) {
+	if bare := runtimeBatchAllocs(t, false); bare != 0 {
+		t.Errorf("uninstrumented runtime batch path allocates %.2f/op", bare)
+	}
+	if observed := runtimeBatchAllocs(t, true); observed != 0 {
+		t.Errorf("instrumented runtime batch path allocates %.2f/op", observed)
+	}
+}

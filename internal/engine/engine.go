@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"lmerge/internal/obs"
 	"lmerge/internal/temporal"
 )
 
@@ -59,6 +60,15 @@ type Node struct {
 	upstream   []*Node
 	inbox      chan []message // used by the concurrent runtime (batched)
 	ffPoint    atomic.Int64   // latest feedback time delivered to this node
+	// tel is the node's optional telemetry (see Graph.Instrument). Nil-safe:
+	// the uninstrumented executor pays one branch per touch point.
+	tel *obs.Node
+	// syncOut is the reusable emission context for the synchronous executor.
+	// A sync Out is stateless (no batch buffers), and the sync executor is
+	// single-threaded per subgraph (Process itself is not goroutine-safe), so
+	// one context per node suffices — without it, every delivery would heap-
+	// allocate an Out because it escapes through the Operator interface.
+	syncOut Out
 }
 
 type edge struct {
@@ -91,6 +101,21 @@ func (g *Graph) Connect(from, to *Node) int {
 // Nodes returns the graph's nodes in insertion order.
 func (g *Graph) Nodes() []*Node { return g.nodes }
 
+// Instrument registers one telemetry node per graph node in reg (named
+// "opname#idx") and forwards it to operators that implement Observe (e.g.
+// LMerge routes it into its core merger, so merge-level counters, freshness,
+// and leadership land on the same telemetry node as the engine's edge
+// counters). Call before Start/Inject; instrumenting mid-flight races with
+// delivery.
+func (g *Graph) Instrument(reg *obs.Registry) {
+	for _, n := range g.nodes {
+		n.tel = reg.Node(fmt.Sprintf("%s#%d", n.Name(), n.idx))
+		if ob, ok := n.op.(interface{ Observe(*obs.Node) }); ok {
+			ob.Observe(n.tel)
+		}
+	}
+}
+
 // Operator returns the node's operator.
 func (n *Node) Operator() Operator { return n.op }
 
@@ -102,6 +127,9 @@ func (n *Node) Name() string { return n.op.Name() }
 
 // FFPoint returns the latest fast-forward time this node has received.
 func (n *Node) FFPoint() temporal.Time { return temporal.Time(n.ffPoint.Load()) }
+
+// Telemetry returns the node's telemetry (nil before Graph.Instrument).
+func (n *Node) Telemetry() *obs.Node { return n.tel }
 
 // Out is the emission context handed to Operator.Process. It routes emitted
 // elements to the node's downstream ports and feedback to its upstream.
@@ -135,6 +163,7 @@ const (
 
 // Emit forwards an element to every downstream consumer.
 func (o *Out) Emit(e temporal.Element) {
+	o.node.tel.EdgeOut()
 	if o.trace != nil {
 		o.trace(e)
 	}
@@ -163,6 +192,7 @@ func (o *Out) EmitTo(i int, e temporal.Element) {
 	if i < 0 || i >= len(o.node.downstream) {
 		return
 	}
+	o.node.tel.EdgeOut()
 	if o.trace != nil {
 		o.trace(e)
 	}
@@ -224,6 +254,10 @@ func (n *Node) feedback(t temporal.Time) {
 			break
 		}
 	}
+	// Stream -1 marks a signal received by this node, distinguishing it in
+	// counters and trace from signals an LMerge operator emits to a numbered
+	// input stream.
+	n.tel.FF(-1, t)
 	if n.op.OnFeedback(t) {
 		for _, up := range n.upstream {
 			up.feedback(t)
@@ -232,8 +266,11 @@ func (n *Node) feedback(t temporal.Time) {
 }
 
 func (n *Node) deliverSync(port int, e temporal.Element, mode dispatchMode) {
-	out := Out{node: n, mode: mode}
-	n.op.Process(port, e, &out)
+	n.tel.EdgeIn()
+	if n.syncOut.node == nil {
+		n.syncOut = Out{node: n, mode: mode}
+	}
+	n.op.Process(port, e, &n.syncOut)
 }
 
 // Inject synchronously drives one element into the node (as input port 0)

@@ -169,9 +169,13 @@ func (r *Runtime) processBatch(n *Node, batch []message, out *Out) (err error) {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("engine: node %q panicked: %v", n.Name(), p)
 			r.recordErr(err)
+			// Aux carries the size of the batch the panic abandoned, so the
+			// trace shows how much input the failed node discarded.
+			n.tel.Fault(int64(len(batch)))
 		}
 	}()
 	for _, m := range batch {
+		n.tel.EdgeIn()
 		n.op.Process(m.port, m.el, out)
 	}
 	return nil

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// noNaN fails if any summary field is NaN or (other than where documented)
+// infinite — degenerate gauge sets must degrade to zeros, not poison
+// downstream arithmetic or JSON encoding.
+func noNaN(t *testing.T, name string, s Summary) {
+	t.Helper()
+	fields := map[string]float64{
+		"Min": s.Min, "Mean": s.Mean, "Max": s.Max,
+		"P50": s.P50, "P95": s.P95, "P99": s.P99,
+		"Stddev": s.Stddev, "CoefficientOfVar": s.CoefficientOfVar,
+	}
+	for f, v := range fields {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s: Summary.%s = %v", name, f, v)
+		}
+	}
+}
+
+// TestSummarizeEdgeCases tables the degenerate inputs the telemetry layer can
+// produce: no samples yet, one sample, all-zero gauges, identical values, and
+// negative values. None may yield NaN/Inf or panic.
+func TestSummarizeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+		want Summary
+	}{
+		{"empty", nil, Summary{}},
+		{"empty slice", []float64{}, Summary{}},
+		{"single", []float64{7}, Summary{N: 1, Min: 7, Mean: 7, Max: 7, P50: 7, P95: 7, P99: 7}},
+		{"single zero", []float64{0}, Summary{N: 1}},
+		{"all zero", []float64{0, 0, 0, 0}, Summary{N: 4}},
+		{"identical", []float64{3, 3, 3}, Summary{N: 3, Min: 3, Mean: 3, Max: 3, P50: 3, P95: 3, P99: 3}},
+		{"negative", []float64{-2, -2}, Summary{N: 2, Min: -2, Mean: -2, Max: -2, P50: -2, P95: -2, P99: -2}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Summarize(c.vals)
+			noNaN(t, c.name, got)
+			if got != c.want {
+				t.Errorf("Summarize(%v) = %+v, want %+v", c.vals, got, c.want)
+			}
+		})
+	}
+	// Zero-mean but nonzero spread: stddev is real, CV must stay defined (0).
+	got := Summarize([]float64{-1, 1})
+	noNaN(t, "zero mean", got)
+	if got.CoefficientOfVar != 0 {
+		t.Errorf("zero-mean CV = %v, want 0", got.CoefficientOfVar)
+	}
+	if got.Stddev != 1 {
+		t.Errorf("zero-mean stddev = %v, want 1", got.Stddev)
+	}
+}
+
+// TestImbalanceEdgeCases tables the degenerate per-partition gauge sets: zero
+// partitions, one partition, idle pools, and skew extremes. The ratio must
+// stay finite and non-negative.
+func TestImbalanceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+		want float64
+	}{
+		{"zero partitions", nil, 0},
+		{"zero partitions slice", []float64{}, 0},
+		{"single partition", []float64{42}, 1},
+		{"single idle partition", []float64{0}, 0},
+		{"all idle", []float64{0, 0, 0}, 0},
+		{"even", []float64{5, 5, 5, 5}, 1},
+		{"one hot of four", []float64{8, 0, 0, 0}, 4},
+		{"mild skew", []float64{3, 1}, 1.5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Imbalance(c.vals)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("Imbalance(%v) = %v", c.vals, got)
+			}
+			if got != c.want {
+				t.Errorf("Imbalance(%v) = %v, want %v", c.vals, got, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+// TestHotPathAllocs pins the telemetry hot path at zero allocations: a node
+// that has reached steady state (leadership cells grown, ring in place) must
+// record traffic with atomics only, so observers can stay attached to
+// production mergers without perturbing them.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	n := r.Node("merge")
+	// Warm up: grow leadership cells for both streams.
+	n.OutStable(0, 1)
+	n.OutStable(1, 2)
+	v := temporal.Time(2)
+	allocs := testing.AllocsPerRun(200, func() {
+		v++
+		n.In(0, temporal.KindInsert, 0)
+		n.In(1, temporal.KindAdjust, 0)
+		n.In(0, temporal.KindStable, v)
+		n.OutInsert()
+		n.OutAdjust(true)
+		n.OutStable(0, v) // same leader: no switch, no trace event
+		n.Dropped()
+		n.EdgeIn()
+		n.EdgeOut()
+		n.FF(0, v)
+		n.SetLive(3)
+	})
+	if allocs != 0 {
+		t.Fatalf("telemetry hot path allocates: %.1f allocs/op", allocs)
+	}
+}
+
+// TestTraceRecordAllocs pins trace recording (cold-ish path: leadership
+// switches, warnings) at zero allocations so even chatty switch phases
+// cannot produce garbage.
+func TestTraceRecordAllocs(t *testing.T) {
+	tr := NewTrace(64)
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.Record(Event{Kind: EventLeaderSwitch, Node: "merge", Stream: 1, T: 5})
+	})
+	if allocs != 0 {
+		t.Fatalf("trace recording allocates: %.1f allocs/op", allocs)
+	}
+}

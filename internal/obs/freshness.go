@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync/atomic"
+
+	"lmerge/internal/metrics"
+)
+
+// freshnessWindow is the number of lag samples the tracker retains: large
+// enough for stable quantiles, small enough that a snapshot copy is cheap.
+const freshnessWindow = 512
+
+// Freshness tracks output freshness: how far the output stable frontier lags
+// the maximum input frontier, sampled at every output stable advance. It is
+// the running form of the paper's Sec. VI freshness/lag observable — how
+// closely the merged output tracks the *leading* physical input.
+//
+// Samples live in a fixed ring written lock-free by the (single) merge
+// goroutine; readers summarise a racy-but-bounded copy. Zero allocation per
+// observation.
+type Freshness struct {
+	cursor atomic.Int64 // total samples ever observed
+	last   atomic.Int64
+	max    atomic.Int64
+	ring   [freshnessWindow]atomic.Int64
+}
+
+// Observe records one lag sample (ticks the output trails the leading
+// input). Negative samples are clamped by the caller; Observe stores what it
+// is given.
+func (f *Freshness) Observe(lag int64) {
+	if f == nil {
+		return
+	}
+	// Claim a slot, then fill it. Readers may see a slot one sample stale —
+	// acceptable for a telemetry histogram, and every access is atomic.
+	i := f.cursor.Add(1) - 1
+	f.ring[i%freshnessWindow].Store(lag)
+	f.last.Store(lag)
+	atomicMax(&f.max, lag)
+}
+
+// N returns the total number of samples observed.
+func (f *Freshness) N() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.cursor.Load()
+}
+
+// Last returns the most recent lag sample.
+func (f *Freshness) Last() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.last.Load()
+}
+
+// FreshnessSnapshot summarises the retained lag samples. Quantiles are over
+// the sliding window (the last freshnessWindow samples); Max is over the
+// node's whole lifetime.
+type FreshnessSnapshot struct {
+	Samples int64   `json:"samples"`
+	Last    int64   `json:"last"`
+	Min     float64 `json:"min"`
+	P50     float64 `json:"p50"`
+	P95     float64 `json:"p95"`
+	P99     float64 `json:"p99"`
+	Mean    float64 `json:"mean"`
+	Max     int64   `json:"max"`
+}
+
+// Snapshot summarises the ring through metrics.Summarize (type-7
+// interpolated quantiles, shared with the offline experiment plumbing).
+func (f *Freshness) Snapshot() FreshnessSnapshot {
+	if f == nil {
+		return FreshnessSnapshot{}
+	}
+	n := f.cursor.Load()
+	if n == 0 {
+		return FreshnessSnapshot{}
+	}
+	k := n
+	if k > freshnessWindow {
+		k = freshnessWindow
+	}
+	vals := make([]float64, k)
+	for i := int64(0); i < k; i++ {
+		vals[i] = float64(f.ring[i].Load())
+	}
+	s := metrics.Summarize(vals)
+	return FreshnessSnapshot{
+		Samples: n,
+		Last:    f.last.Load(),
+		Min:     s.Min,
+		P50:     s.P50,
+		P95:     s.P95,
+		P99:     s.P99,
+		Mean:    s.Mean,
+		Max:     f.max.Load(),
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// MetricsPage is the JSON document served at /metrics: optional
+// service-level gauges plus every node's snapshot.
+type MetricsPage struct {
+	Service map[string]any `json:"service,omitempty"`
+	Nodes   []Snapshot     `json:"nodes"`
+}
+
+// Handler serves the registry over HTTP in the expvar style — plain JSON,
+// no dependencies:
+//
+//	GET /metrics        per-node counters, freshness quantiles, leadership
+//	GET /debug/trace    the retained event trace (add ?format=text for lines)
+//
+// extra, when non-nil, is invoked per /metrics request to contribute
+// service-level gauges (publisher counts, partition imbalance, ...). It must
+// be safe for concurrent use.
+func Handler(r *Registry, extra func() map[string]any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		page := MetricsPage{Nodes: r.Snapshot()}
+		if extra != nil {
+			page.Service = extra()
+		}
+		writeJSON(w, page)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			r.Trace().Dump(w)
+			return
+		}
+		writeJSON(w, r.Trace().Events())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// SortedServiceKeys returns extra-gauge keys in stable order, for log lines
+// that render the service map deterministically.
+func SortedServiceKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+func TestHandlerMetricsAndTrace(t *testing.T) {
+	r := NewRegistry()
+	n := r.Node("merge")
+	n.In(0, temporal.KindStable, 10)
+	n.OutInsert()
+	n.OutStable(0, 8)
+	n.Attached(1, temporal.MinTime)
+
+	srv := httptest.NewServer(Handler(r, func() map[string]any {
+		return map[string]any{"publishers": 2}
+	}))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	var page MetricsPage
+	if err := json.Unmarshal([]byte(get("/metrics")), &page); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if len(page.Nodes) != 1 || page.Nodes[0].Name != "merge" {
+		t.Fatalf("metrics missing node: %+v", page)
+	}
+	if page.Nodes[0].OutInserts != 1 || page.Nodes[0].Freshness.Samples != 1 {
+		t.Fatalf("metrics counters wrong: %+v", page.Nodes[0])
+	}
+	if page.Service["publishers"].(float64) != 2 {
+		t.Fatalf("service gauges missing: %+v", page.Service)
+	}
+
+	var evs []Event
+	if err := json.Unmarshal([]byte(get("/debug/trace")), &evs); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(evs) != 1 || evs[0].KindS != "attach" {
+		t.Fatalf("trace missing attach event: %+v", evs)
+	}
+	if text := get("/debug/trace?format=text"); !strings.Contains(text, "attach") {
+		t.Fatalf("text trace missing event:\n%s", text)
+	}
+}
+
+func TestSortedServiceKeys(t *testing.T) {
+	keys := SortedServiceKeys(map[string]any{"b": 1, "a": 2, "c": 3})
+	if strings.Join(keys, ",") != "a,b,c" {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+	if len(SortedServiceKeys(nil)) != 0 {
+		t.Fatal("nil map should give no keys")
+	}
+}

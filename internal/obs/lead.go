@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Leadership monitors which input stream the merge is following: the stream
+// whose stable element most recently advanced the output stable point is the
+// current leader (it vouches furthest; the output rides it). The monitor
+// keeps the current leader, a monotone switch count, and each source's
+// contribution (how many output stable advances it drove) — the running form
+// of the paper's Fig. 8–10 concerns, where LMerge's value is precisely that
+// the output follows whichever replica is healthy at each instant.
+//
+// The hot path (lead) is lock-free: per-source cells live in a copy-on-write
+// slice grown only when a new maximum stream id appears (an attach-time
+// event, never steady state), so recording a stable advance is two atomic
+// loads and two atomic adds.
+type Leadership struct {
+	leader   atomic.Int64 // current leading stream id; -1 before any stable
+	switches atomic.Int64 // leader changes (monotone)
+	advances atomic.Int64 // total output stable advances recorded
+
+	// cells[s] counts stable advances driven by stream s. The slice is
+	// copy-on-write: readers and the hot path Load it; growth copies the
+	// *pointers*, preserving counter identity.
+	cells atomic.Pointer[[]*atomic.Int64]
+	grow  sync.Mutex
+}
+
+func (l *Leadership) init() {
+	l.leader.Store(-1)
+	empty := []*atomic.Int64{}
+	l.cells.Store(&empty)
+}
+
+// load returns the current cell slice, tolerating an uninitialised monitor.
+func (l *Leadership) load() []*atomic.Int64 {
+	if p := l.cells.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// lead records that stream s advanced the output stable point, returning
+// whether this was a leadership switch.
+func (l *Leadership) lead(s int) (switched bool) {
+	l.advances.Add(1)
+	cells := l.load()
+	if s >= len(cells) {
+		cells = l.growTo(s)
+	}
+	cells[s].Add(1)
+	prev := l.leader.Swap(int64(s))
+	if prev != int64(s) {
+		if prev >= 0 {
+			l.switches.Add(1)
+		}
+		return prev >= 0
+	}
+	return false
+}
+
+// growTo extends the cell slice to cover stream id s and returns the new
+// slice. Rare (new maximum stream id), so a mutex and an allocation are
+// fine here.
+func (l *Leadership) growTo(s int) []*atomic.Int64 {
+	l.grow.Lock()
+	defer l.grow.Unlock()
+	cells := l.load()
+	if s < len(cells) {
+		return cells
+	}
+	grown := make([]*atomic.Int64, s+1)
+	copy(grown, cells)
+	for i := len(cells); i < len(grown); i++ {
+		grown[i] = new(atomic.Int64)
+	}
+	l.cells.Store(&grown)
+	return grown
+}
+
+// Leader returns the current leading stream id (-1 before any stable).
+func (l *Leadership) Leader() int {
+	if l == nil {
+		return -1
+	}
+	return int(l.leader.Load())
+}
+
+// Switches returns the monotone leadership switch count.
+func (l *Leadership) Switches() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.switches.Load()
+}
+
+// Contribution returns how many output stable advances stream s drove.
+func (l *Leadership) Contribution(s int) int64 {
+	if l == nil || s < 0 {
+		return 0
+	}
+	cells := l.load()
+	if s >= len(cells) {
+		return 0
+	}
+	return cells[s].Load()
+}
+
+// LeadershipSnapshot is the reporting copy of a Leadership monitor.
+type LeadershipSnapshot struct {
+	// Leader is the current leading stream id (-1 before any stable).
+	Leader int `json:"leader"`
+	// Switches counts leadership changes (monotone over the node's life).
+	Switches int64 `json:"switches"`
+	// Advances counts all recorded output stable advances.
+	Advances int64 `json:"advances"`
+	// Contribution[s] is the share of stable advances stream s drove.
+	Contribution []int64 `json:"contribution"`
+}
+
+// Snapshot copies the monitor's state.
+func (l *Leadership) Snapshot() LeadershipSnapshot {
+	if l == nil {
+		return LeadershipSnapshot{Leader: -1}
+	}
+	cells := l.load()
+	contrib := make([]int64, len(cells))
+	for i, c := range cells {
+		contrib[i] = c.Load()
+	}
+	return LeadershipSnapshot{
+		Leader:       int(l.leader.Load()),
+		Switches:     l.switches.Load(),
+		Advances:     l.advances.Load(),
+		Contribution: contrib,
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+func TestNodeCounters(t *testing.T) {
+	r := NewRegistry()
+	n := r.Node("merge")
+	n.In(0, temporal.KindInsert, 0)
+	n.In(0, temporal.KindAdjust, 0)
+	n.In(1, temporal.KindStable, 10)
+	n.In(0, temporal.KindStable, 5) // behind: frontier must not regress
+	n.OutInsert()
+	n.OutAdjust(false)
+	n.OutAdjust(true) // withdrawal
+	n.OutStable(1, 8)
+	n.Dropped()
+	n.Warning(0, 3)
+	n.FF(1, 8)
+	n.EdgeIn()
+	n.EdgeOut()
+	n.SetLive(7)
+	n.SetStateBytes(1024)
+
+	s := n.Snapshot()
+	if s.InInserts != 1 || s.InAdjusts != 1 || s.InStables != 2 {
+		t.Fatalf("input counters wrong: %+v", s)
+	}
+	if s.OutInserts != 1 || s.OutAdjusts != 2 || s.OutStables != 1 {
+		t.Fatalf("output counters wrong: %+v", s)
+	}
+	if s.Withdrawals != 1 || s.Dropped != 1 || s.Warnings != 1 || s.FFSignals != 1 {
+		t.Fatalf("derived counters wrong: %+v", s)
+	}
+	if s.InFrontier != 10 {
+		t.Fatalf("input frontier regressed: got %d want 10", s.InFrontier)
+	}
+	if s.OutFrontier != 8 {
+		t.Fatalf("output frontier: got %d want 8", s.OutFrontier)
+	}
+	if s.LiveNodes != 7 || s.StateBytes != 1024 {
+		t.Fatalf("gauges wrong: %+v", s)
+	}
+	if s.InElements() != 4 || s.OutElements() != 4 {
+		t.Fatalf("element totals wrong: in=%d out=%d", s.InElements(), s.OutElements())
+	}
+	if s.Freshness.Samples != 1 || s.Freshness.Last != 2 { // 10 - 8
+		t.Fatalf("freshness sample wrong: %+v", s.Freshness)
+	}
+	if s.Leadership.Leader != 1 || s.Leadership.Advances != 1 {
+		t.Fatalf("leadership wrong: %+v", s.Leadership)
+	}
+	if !strings.Contains(s.String(), "merge") {
+		t.Fatalf("snapshot string lost the node name: %s", s)
+	}
+}
+
+func TestNilNodeIsSafe(t *testing.T) {
+	var n *Node
+	n.In(0, temporal.KindInsert, 0)
+	n.OutInsert()
+	n.OutAdjust(true)
+	n.OutStable(0, 1)
+	n.Dropped()
+	n.Warning(0, 0)
+	n.FF(0, 0)
+	n.EdgeIn()
+	n.EdgeOut()
+	n.SetLive(1)
+	n.SetStateBytes(1)
+	n.Attached(0, 0)
+	n.Detached(0)
+	n.Fault(0)
+	if n.Name() != "" || n.Trace() != nil {
+		t.Fatal("nil node accessors should return zero values")
+	}
+	if s := n.Snapshot(); s.Name != "" || s.InElements() != 0 || s.OutElements() != 0 {
+		t.Fatalf("nil snapshot should be zero: %+v", s)
+	}
+	if n.Leadership().Leader() != -1 {
+		t.Fatal("nil leadership should report no leader")
+	}
+	if n.Freshness().Snapshot() != (FreshnessSnapshot{}) {
+		t.Fatal("nil freshness should be empty")
+	}
+	if n.InFrontier() != temporal.MinTime || n.OutFrontier() != temporal.MinTime {
+		t.Fatal("nil frontiers should be MinTime")
+	}
+}
+
+func TestFreshnessLagClampAndInfSkip(t *testing.T) {
+	n := NewNode("m")
+	// No input frontier yet: an output stable must not record a bogus sample.
+	n.OutStable(0, 5)
+	if got := n.Snapshot().Freshness.Samples; got != 0 {
+		t.Fatalf("sample recorded before any input frontier: %d", got)
+	}
+	n.In(0, temporal.KindStable, 4)
+	n.OutStable(0, 9) // output ahead of frontier: clamp to 0, never negative
+	fs := n.Snapshot().Freshness
+	if fs.Samples != 1 || fs.Last != 0 {
+		t.Fatalf("expected clamped zero-lag sample: %+v", fs)
+	}
+	n.In(0, temporal.KindStable, temporal.Infinity)
+	n.OutStable(0, temporal.Infinity) // the ∞ punctuation is not a lag sample
+	if got := n.Snapshot().Freshness.Samples; got != 1 {
+		t.Fatalf("stable(inf) should not add a lag sample: %d", got)
+	}
+}
+
+func TestFreshnessWindowQuantiles(t *testing.T) {
+	var f Freshness
+	for i := 0; i < freshnessWindow*2; i++ {
+		f.Observe(int64(i))
+	}
+	s := f.Snapshot()
+	if s.Samples != freshnessWindow*2 {
+		t.Fatalf("sample count: %d", s.Samples)
+	}
+	if s.Max != freshnessWindow*2-1 {
+		t.Fatalf("lifetime max: %d", s.Max)
+	}
+	// Window holds the last freshnessWindow values [512, 1023].
+	if s.Min < freshnessWindow {
+		t.Fatalf("window should have slid past old samples: min=%v", s.Min)
+	}
+	if s.P50 < s.Min || s.P50 > float64(s.Max) || s.P95 < s.P50 {
+		t.Fatalf("quantiles out of order: %+v", s)
+	}
+	if f.Last() != freshnessWindow*2-1 || f.N() != freshnessWindow*2 {
+		t.Fatalf("last/N wrong: %d %d", f.Last(), f.N())
+	}
+}
+
+func TestLeadershipSwitchesMonotoneAndContribution(t *testing.T) {
+	n := NewNode("m")
+	l := n.Leadership()
+	if l.Leader() != -1 {
+		t.Fatal("fresh monitor should have no leader")
+	}
+	seq := []int{0, 0, 1, 1, 0, 2, 2, 2}
+	prev := int64(0)
+	for _, s := range seq {
+		n.OutStable(s, 1)
+		if sw := l.Switches(); sw < prev {
+			t.Fatalf("switch count regressed: %d -> %d", prev, sw)
+		} else {
+			prev = sw
+		}
+	}
+	// 0->1, 1->0, 0->2: three switches (the first leader is not a switch).
+	if l.Switches() != 3 {
+		t.Fatalf("switches: got %d want 3", l.Switches())
+	}
+	if l.Leader() != 2 {
+		t.Fatalf("leader: got %d want 2", l.Leader())
+	}
+	if l.Contribution(0) != 3 || l.Contribution(1) != 2 || l.Contribution(2) != 3 {
+		t.Fatalf("contributions wrong: %v", l.Snapshot().Contribution)
+	}
+	if l.Contribution(-1) != 0 || l.Contribution(99) != 0 {
+		t.Fatal("out-of-range contributions should be zero")
+	}
+	snap := l.Snapshot()
+	if snap.Advances != int64(len(seq)) || len(snap.Contribution) != 3 {
+		t.Fatalf("snapshot wrong: %+v", snap)
+	}
+}
+
+func TestLeadershipConcurrent(t *testing.T) {
+	n := NewNode("m")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				n.OutStable(w%3, temporal.Time(i))
+				n.Leadership().Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	l := n.Leadership()
+	total := l.Contribution(0) + l.Contribution(1) + l.Contribution(2)
+	if total != workers*per {
+		t.Fatalf("lost contributions: got %d want %d", total, workers*per)
+	}
+	if adv := l.Snapshot().Advances; adv != workers*per {
+		t.Fatalf("lost advances: got %d want %d", adv, workers*per)
+	}
+}
+
+func TestRegistryNodeIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Node("x")
+	b := r.Node("x")
+	if a != b {
+		t.Fatal("same name must return the same node")
+	}
+	c := r.Node("y")
+	if c == a {
+		t.Fatal("distinct names must return distinct nodes")
+	}
+	nodes := r.Nodes()
+	if len(nodes) != 2 || nodes[0] != a || nodes[1] != c {
+		t.Fatalf("registration order lost: %v", nodes)
+	}
+	snaps := r.Snapshot()
+	if len(snaps) != 2 || snaps[0].Name != "x" || snaps[1].Name != "y" {
+		t.Fatalf("snapshot order wrong: %+v", snaps)
+	}
+	if a.Trace() != r.Trace() || c.Trace() != r.Trace() {
+		t.Fatal("registry nodes must share the registry trace")
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"lmerge/internal/temporal"
+)
+
+// DefaultTraceCapacity is the trace ring size a Registry allocates.
+const DefaultTraceCapacity = 4096
+
+// EventKind classifies a trace event.
+type EventKind uint8
+
+// Trace event kinds. The trace records *significant* events — topology
+// changes, leadership switches, anomalies, faults — never per-element
+// traffic, so recording stays off the merge hot path.
+const (
+	EventAttach EventKind = iota
+	EventDetach
+	EventLeaderSwitch
+	EventWarning
+	EventFastForward
+	EventFault
+	EventStraggler
+	EventSubscriberDrop
+	EventNote
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventAttach:
+		return "attach"
+	case EventDetach:
+		return "detach"
+	case EventLeaderSwitch:
+		return "leader-switch"
+	case EventWarning:
+		return "consistency-warning"
+	case EventFastForward:
+		return "fast-forward"
+	case EventFault:
+		return "fault"
+	case EventStraggler:
+		return "straggler-detach"
+	case EventSubscriberDrop:
+		return "subscriber-drop"
+	case EventNote:
+		return "note"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one trace entry. Node and Stream locate it; T is the stream-time
+// coordinate (when meaningful), Aux an event-specific detail; Wall and Seq
+// are filled by the trace at record time.
+type Event struct {
+	Seq    uint64        `json:"seq"`
+	Wall   int64         `json:"wall_ns"` // wall clock, UnixNano
+	Kind   EventKind     `json:"-"`
+	KindS  string        `json:"kind"`
+	Node   string        `json:"node"`
+	Stream int           `json:"stream"`
+	T      temporal.Time `json:"t"`
+	Aux    int64         `json:"aux,omitempty"`
+}
+
+// String renders the event as one line.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s %s node=%s stream=%d t=%d aux=%d",
+		e.Seq, time.Unix(0, e.Wall).UTC().Format("15:04:05.000"),
+		e.Kind, e.Node, e.Stream, int64(e.T), e.Aux)
+}
+
+// Trace is a bounded ring buffer of events, retained for post-mortem dumps
+// after a panic or chaos fault. Recording takes a mutex — events are rare
+// (attaches, leader switches, faults), never per-element — and allocates
+// nothing: the ring is pre-sized and Event is a value.
+type Trace struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever recorded
+}
+
+// NewTrace returns a trace retaining the last capacity events.
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+// Record appends one event, stamping sequence and wall clock.
+func (t *Trace) Record(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.Seq = t.next
+	e.Wall = time.Now().UnixNano()
+	t.buf[t.next%uint64(len(t.buf))] = e
+	t.next++
+	t.mu.Unlock()
+}
+
+// Note records a free-form marker event (cold path; the note is carried in
+// the Node field).
+func (t *Trace) Note(note string) {
+	t.Record(Event{Kind: EventNote, Node: note, Stream: -1})
+}
+
+// Len returns the total number of events ever recorded.
+func (t *Trace) Len() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Events returns the retained events, oldest first.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	cap64 := uint64(len(t.buf))
+	start := uint64(0)
+	if n > cap64 {
+		start = n - cap64
+	}
+	out := make([]Event, 0, n-start)
+	for i := start; i < n; i++ {
+		ev := t.buf[i%cap64]
+		ev.KindS = ev.Kind.String()
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Dump writes the retained events to w, oldest first — the post-mortem
+// format used on panic/fault paths and by /debug/trace?format=text.
+func (t *Trace) Dump(w io.Writer) {
+	for _, e := range t.Events() {
+		fmt.Fprintln(w, e.String())
+	}
+}

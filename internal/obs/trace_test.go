@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+func TestTraceRingWraps(t *testing.T) {
+	tr := NewTrace(8)
+	for i := 0; i < 20; i++ {
+		tr.Record(Event{Kind: EventNote, Stream: i})
+	}
+	if tr.Len() != 20 {
+		t.Fatalf("recorded count: %d", tr.Len())
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained count: %d want 8", len(evs))
+	}
+	// Oldest retained is seq 12, newest 19, in order.
+	for i, e := range evs {
+		if e.Seq != uint64(12+i) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, 12+i)
+		}
+		if e.KindS != "note" {
+			t.Fatalf("kind string not filled: %+v", e)
+		}
+	}
+}
+
+func TestTraceNilAndTinyCapacity(t *testing.T) {
+	var tr *Trace
+	tr.Record(Event{Kind: EventFault}) // must not panic
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil trace should be empty")
+	}
+	tiny := NewTrace(0) // clamps to 1
+	tiny.Record(Event{Kind: EventAttach})
+	tiny.Record(Event{Kind: EventDetach})
+	evs := tiny.Events()
+	if len(evs) != 1 || evs[0].Kind != EventDetach {
+		t.Fatalf("capacity-1 trace should keep only the newest: %+v", evs)
+	}
+}
+
+func TestTraceDumpAndEventString(t *testing.T) {
+	tr := NewTrace(16)
+	tr.Record(Event{Kind: EventLeaderSwitch, Node: "merge", Stream: 2, T: temporal.Time(42)})
+	tr.Note("chaos round 3")
+	var b strings.Builder
+	tr.Dump(&b)
+	out := b.String()
+	if !strings.Contains(out, "leader-switch") || !strings.Contains(out, "node=merge") {
+		t.Fatalf("dump missing event detail:\n%s", out)
+	}
+	if !strings.Contains(out, "chaos round 3") {
+		t.Fatalf("dump missing note:\n%s", out)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{
+		EventAttach, EventDetach, EventLeaderSwitch, EventWarning,
+		EventFastForward, EventFault, EventStraggler, EventSubscriberDrop, EventNote,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "event(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(EventKind(99).String(), "event(") {
+		t.Fatal("unknown kind should fall back to numeric form")
+	}
+}

@@ -3,6 +3,7 @@ package operators
 import (
 	"lmerge/internal/core"
 	"lmerge/internal/engine"
+	"lmerge/internal/obs"
 	"lmerge/internal/temporal"
 )
 
@@ -53,6 +54,11 @@ func (l *LMerge) Name() string { return l.name }
 
 // Operator exposes the wrapped core operator (stats, attach/detach).
 func (l *LMerge) Operator() *core.Operator { return l.op }
+
+// Observe routes telemetry into n (see engine.Graph.Instrument): the core
+// merger's traffic, freshness, and leadership counters share the engine
+// node's telemetry.
+func (l *LMerge) Observe(n *obs.Node) { l.op.Observe(n) }
 
 // Process implements engine.Operator.
 func (l *LMerge) Process(port int, e temporal.Element, out *engine.Out) {

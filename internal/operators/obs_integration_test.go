@@ -1,0 +1,197 @@
+package operators
+
+import (
+	"fmt"
+	"testing"
+
+	"lmerge/internal/core"
+	"lmerge/internal/engine"
+	"lmerge/internal/gen"
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+)
+
+// findSnap returns the snapshot whose name starts with prefix, failing the
+// test when absent.
+func findSnap(t *testing.T, snaps []obs.Snapshot, prefix string) obs.Snapshot {
+	t.Helper()
+	for _, s := range snaps {
+		if len(s.Name) >= len(prefix) && s.Name[:len(prefix)] == prefix {
+			return s
+		}
+	}
+	t.Fatalf("no telemetry node with prefix %q in %d snapshots", prefix, len(snaps))
+	return obs.Snapshot{}
+}
+
+// TestGraphInstrumentSync drives the replicated-plan topology through the
+// deterministic executor with telemetry attached and checks that the engine
+// edge counters, the merge-level counters, freshness, and leadership all
+// land on the LMerge node's telemetry.
+func TestGraphInstrumentSync(t *testing.T) {
+	sc := gen.NewScript(gen.Config{Events: 200, Seed: 77, EventDuration: 40, MaxGap: 6, PayloadBytes: 8})
+	const n = 2
+	g, srcs, _, sink := buildReplicatedAggPlans(n, func(emit core.Emit) core.Merger {
+		return core.NewR3(emit)
+	}, -1)
+	reg := obs.NewRegistry()
+	g.Instrument(reg)
+	for i, src := range srcs {
+		for _, e := range sc.RenderOrdered(gen.OrderedDeterministic, gen.RenderOptions{Seed: int64(i + 1), StableFreq: 0.1}) {
+			src.Inject(e)
+		}
+	}
+	if sink.Err() != nil {
+		t.Fatalf("merged output invalid: %v", sink.Err())
+	}
+	snaps := reg.Snapshot()
+	if len(snaps) != len(g.Nodes()) {
+		t.Fatalf("expected one telemetry node per graph node: %d vs %d", len(snaps), len(g.Nodes()))
+	}
+	lm := findSnap(t, snaps, "lmerge(")
+	if lm.EdgeIn == 0 || lm.EdgeOut == 0 {
+		t.Fatalf("lmerge edge counters empty: %+v", lm)
+	}
+	if lm.InElements() == 0 || lm.OutElements() == 0 {
+		t.Fatalf("lmerge merge counters empty: %+v", lm)
+	}
+	// Engine edges and merge traffic describe the same flow: every element
+	// arriving on an engine port is fed to the merger.
+	if lm.EdgeIn != lm.InElements() {
+		t.Fatalf("edge-in %d != merge input elements %d", lm.EdgeIn, lm.InElements())
+	}
+	if lm.Leadership.Leader < 0 {
+		t.Fatalf("no leader recorded: %+v", lm.Leadership)
+	}
+	if lm.Freshness.Samples == 0 || lm.Freshness.Min < 0 {
+		t.Fatalf("freshness not sampled or negative: %+v", lm.Freshness)
+	}
+	// The sink sits on the lmerge's only downstream edge: its engine input
+	// count equals the lmerge's emission count.
+	sk := findSnap(t, snaps, "sink")
+	if sk.EdgeIn != lm.EdgeOut {
+		t.Fatalf("sink saw %d elements, lmerge emitted %d", sk.EdgeIn, lm.EdgeOut)
+	}
+}
+
+// TestGraphInstrumentConcurrent repeats the check on the concurrent runtime
+// and additionally proves a recovered operator panic lands in the trace as a
+// fault event.
+func TestGraphInstrumentConcurrent(t *testing.T) {
+	sc := gen.NewScript(gen.Config{Events: 200, Seed: 78, EventDuration: 40, MaxGap: 6, PayloadBytes: 8})
+	const n = 2
+	g, srcs, _, sink := buildReplicatedAggPlans(n, func(emit core.Emit) core.Merger {
+		return core.NewR3(emit)
+	}, -1)
+	reg := obs.NewRegistry()
+	g.Instrument(reg)
+	rt := engine.NewRuntime(g)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			rt.InjectBatch(srcs[i], sc.RenderOrdered(gen.OrderedDeterministic, gen.RenderOptions{Seed: int64(i + 1), StableFreq: 0.1}))
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Err() != nil {
+		t.Fatalf("merged output invalid: %v", sink.Err())
+	}
+	lm := findSnap(t, reg.Snapshot(), "lmerge(")
+	if lm.EdgeIn != lm.InElements() {
+		t.Fatalf("edge-in %d != merge input elements %d", lm.EdgeIn, lm.InElements())
+	}
+	if lm.Freshness.Samples == 0 {
+		t.Fatalf("freshness not sampled: %+v", lm.Freshness)
+	}
+}
+
+// panicOp fails on its first element.
+type panicOp struct{}
+
+func (panicOp) Name() string { return "bomb" }
+func (panicOp) Process(int, temporal.Element, *engine.Out) {
+	panic("boom")
+}
+func (panicOp) OnFeedback(temporal.Time) bool { return false }
+
+func TestRuntimeFaultTraced(t *testing.T) {
+	g := engine.NewGraph()
+	src := g.Add(NewSource("in"))
+	bomb := g.Add(panicOp{})
+	g.Connect(src, bomb)
+	reg := obs.NewRegistry()
+	g.Instrument(reg)
+	rt := engine.NewRuntime(g)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rt.Inject(src, temporal.Insert(temporal.P(1), 1, 5))
+	if err := rt.Close(); err == nil {
+		t.Fatal("expected the node failure to surface from Close")
+	}
+	var faults int
+	for _, e := range reg.Trace().Events() {
+		if e.Kind == obs.EventFault {
+			faults++
+			if e.Node != fmt.Sprintf("bomb#%d", 1) {
+				t.Fatalf("fault attributed to wrong node: %+v", e)
+			}
+		}
+	}
+	if faults != 1 {
+		t.Fatalf("fault events: got %d want 1", faults)
+	}
+}
+
+// nullSink discards everything (so alloc measurements see only the engine +
+// merge path, not TDB bookkeeping).
+type nullSink struct{}
+
+func (nullSink) Name() string                               { return "null" }
+func (nullSink) Process(int, temporal.Element, *engine.Out) {}
+func (nullSink) OnFeedback(temporal.Time) bool              { return false }
+
+// TestSyncExecutorAllocsObserved is the runtime-path twin of the core alloc
+// guards: the deterministic executor driving an instrumented LMerge(R2) node
+// must stay allocation-free per element at steady state — the engine's Out
+// staging, the merge hot path, and the telemetry together.
+func TestSyncExecutorAllocsObserved(t *testing.T) {
+	g := engine.NewGraph()
+	lm := NewLMerge(2, -1, func(emit core.Emit) core.Merger { return core.NewR2(emit) })
+	lmNode := g.Add(lm)
+	g.Connect(lmNode, g.Add(nullSink{}))
+	reg := obs.NewRegistry()
+	g.Instrument(reg)
+	v := temporal.Time(0)
+	const perRound = 64
+	round := func() {
+		for i := 0; i < perRound; i++ {
+			v++
+			e := temporal.Insert(temporal.P(int64(i&3)), v, v+16)
+			lmNode.InjectPort(0, e)
+			lmNode.InjectPort(1, e)
+			if i&15 == 15 {
+				lmNode.InjectPort(0, temporal.Stable(v-8))
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		round()
+	}
+	perElement := testing.AllocsPerRun(20, round) / float64(perRound*2+4)
+	if perElement > 0 {
+		t.Errorf("instrumented sync executor allocates %.2f allocs/element", perElement)
+	}
+	if s := lmNode.Telemetry().Snapshot(); s.InElements() == 0 || s.EdgeIn == 0 {
+		t.Fatalf("telemetry did not record the run: %+v", s)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"sort"
 
 	"lmerge/internal/core"
+	"lmerge/internal/obs"
 	"lmerge/internal/temporal"
 )
 
@@ -109,6 +110,11 @@ type merger struct {
 
 	stats     core.Stats
 	maxStable temporal.Time
+	// tel observes the reunified stream (nil-safe). The "stream" fed to the
+	// leadership monitor on output stables is the binding partition index —
+	// the partition whose frontier update raised the reunified minimum — so
+	// leadership here answers "which partition gates the frontier".
+	tel *obs.Node
 }
 
 // New builds a partitioned merger running one case-c merger per partition.
@@ -160,18 +166,29 @@ func (m *merger) partEmit(p int) core.Emit {
 				if min := m.front.Min(); min > m.maxStable {
 					m.maxStable = min
 					m.stats.OutStables++
+					m.tel.OutStable(p, min)
 					m.emit(temporal.Stable(min))
 				}
 			}
 		case temporal.KindInsert:
 			m.stats.OutInserts++
+			m.tel.OutInsert()
 			m.emit(e)
 		case temporal.KindAdjust:
 			m.stats.OutAdjusts++
+			m.tel.OutAdjust(e.Ve == e.Vs)
 			m.emit(e)
 		}
 	}
 }
+
+// Observe implements core.Observable at the reunified level: the wrapper's
+// own input/output counters feed n, not the per-partition sub-mergers (which
+// would double count broadcast stables).
+func (m *merger) Observe(n *obs.Node) { m.tel = n }
+
+// Telemetry returns the attached telemetry node (nil when unobserved).
+func (m *merger) Telemetry() *obs.Node { return m.tel }
 
 // Case reports the sub-mergers' restriction case.
 func (m *merger) Case() core.Case { return m.subs[0].Case() }
@@ -185,6 +202,7 @@ func (m *merger) Process(s core.StreamID, e temporal.Element) error {
 	switch e.Kind {
 	case temporal.KindStable:
 		m.stats.InStables++
+		m.tel.In(s, e.Kind, e.Ve)
 		for _, sub := range m.subs {
 			if err := sub.Process(s, e); err != nil {
 				return err
@@ -198,6 +216,7 @@ func (m *merger) Process(s core.StreamID, e temporal.Element) error {
 	default:
 		return fmt.Errorf("partition: unsupported element %v", e)
 	}
+	m.tel.In(s, e.Kind, e.Ve)
 	return m.subs[m.route(e.Payload)].Process(s, e)
 }
 

@@ -2,10 +2,12 @@ package partition
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"lmerge/internal/core"
+	"lmerge/internal/obs"
 	"lmerge/internal/temporal"
 )
 
@@ -52,6 +54,11 @@ type Sharded struct {
 	ffSeen map[core.StreamID][]temporal.Time
 	ffSent map[core.StreamID]temporal.Time
 
+	// tel observes the reunified stream (nil-safe): inputs as routed, outputs
+	// under emitMu, with the binding partition index as the leadership stream
+	// on stable advances (see ShardObserve).
+	tel *obs.Node
+
 	errMu  sync.Mutex
 	err    error
 	closed atomic.Bool
@@ -72,14 +79,16 @@ const (
 	cmdAttach
 	cmdDetach
 	cmdStats
+	cmdSize
 )
 
 type shardCmd struct {
-	kind     shardCmdKind
-	id       core.StreamID
-	els      []temporal.Element // owned by the command
-	joinTime temporal.Time
-	reply    chan core.Stats
+	kind      shardCmdKind
+	id        core.StreamID
+	els       []temporal.Element // owned by the command
+	joinTime  temporal.Time
+	reply     chan core.Stats
+	sizeReply chan int
 }
 
 // shardQueueDepth is the per-worker command queue capacity: deep enough to
@@ -91,9 +100,11 @@ const shardQueueDepth = 1024
 type ShardedOption func(*shardedConfig)
 
 type shardedConfig struct {
-	key KeyFunc
-	fb  core.FeedbackFunc
-	lag temporal.Time
+	key     KeyFunc
+	fb      core.FeedbackFunc
+	lag     temporal.Time
+	reg     *obs.Registry
+	obsName string
 }
 
 // ShardKeyFunc overrides the payload→hash routing function.
@@ -102,6 +113,20 @@ func ShardKeyFunc(fn KeyFunc) ShardedOption {
 		if fn != nil {
 			c.key = fn
 		}
+	}
+}
+
+// ShardObserve registers the pool with telemetry registry reg: a reunify
+// node named name carries the pool's input/output counters, freshness, and
+// partition-leadership monitor (the "stream" on an output stable is the
+// partition index whose frontier update raised the reunified minimum — the
+// partition gating freshness), and each worker's core operator reports into
+// its own node named "name/partP". Attach before any traffic; the option
+// only takes effect at construction.
+func ShardObserve(reg *obs.Registry, name string) ShardedOption {
+	return func(c *shardedConfig) {
+		c.reg = reg
+		c.obsName = name
 	}
 }
 
@@ -141,6 +166,9 @@ func NewSharded(parts int, mk func(core.Emit) core.Merger, emit core.Emit, opts 
 		ffSent:  make(map[core.StreamID]temporal.Time),
 	}
 	s.maxStable.Store(int64(temporal.MinTime))
+	if cfg.reg != nil {
+		s.tel = cfg.reg.Node(cfg.obsName)
+	}
 	for p := range s.workers {
 		w := &shardWorker{idx: p, ch: make(chan shardCmd, shardQueueDepth)}
 		var opOpts []core.OperatorOption
@@ -148,6 +176,9 @@ func NewSharded(parts int, mk func(core.Emit) core.Merger, emit core.Emit, opts 
 			opOpts = append(opOpts, core.WithFeedback(func(f core.Feedback) {
 				s.onWorkerFeedback(w.idx, f)
 			}, cfg.lag))
+		}
+		if cfg.reg != nil {
+			opOpts = append(opOpts, core.WithObserver(cfg.reg.Node(fmt.Sprintf("%s/part%d", cfg.obsName, p))))
 		}
 		w.op = core.NewOperator(mk(s.workerEmit(p)), opOpts...)
 		s.workers[p] = w
@@ -175,6 +206,8 @@ func (s *Sharded) run(w *shardWorker) {
 			w.op.Detach(cmd.id)
 		case cmdStats:
 			cmd.reply <- *w.op.Merger().Stats()
+		case cmdSize:
+			cmd.sizeReply <- w.op.Merger().SizeBytes()
 		}
 	}
 }
@@ -195,14 +228,17 @@ func (s *Sharded) workerEmit(p int) core.Emit {
 				if min := s.front.Min(); min > temporal.Time(s.maxStable.Load()) {
 					s.maxStable.Store(int64(min))
 					s.outStb.Add(1)
+					s.tel.OutStable(p, min)
 					s.emit(temporal.Stable(min))
 				}
 			}
 		case temporal.KindInsert:
 			s.outIns.Add(1)
+			s.tel.OutInsert()
 			s.emit(e)
 		case temporal.KindAdjust:
 			s.outAdj.Add(1)
+			s.tel.OutAdjust(e.Ve == e.Vs)
 			s.emit(e)
 		}
 	}
@@ -234,6 +270,7 @@ func (s *Sharded) onWorkerFeedback(p int, f core.Feedback) {
 	}
 	s.ffMu.Unlock()
 	if advanced {
+		s.tel.FF(f.Stream, min)
 		s.fb(core.Feedback{Stream: f.Stream, T: min})
 	}
 }
@@ -250,6 +287,7 @@ func (s *Sharded) Attach(joinTime temporal.Time) core.StreamID {
 	for _, w := range s.workers {
 		w.ch <- shardCmd{kind: cmdAttach, id: id, joinTime: joinTime}
 	}
+	s.tel.Attached(id, joinTime)
 	return id
 }
 
@@ -265,6 +303,7 @@ func (s *Sharded) Detach(id core.StreamID) {
 	delete(s.ffSeen, id)
 	delete(s.ffSent, id)
 	s.ffMu.Unlock()
+	s.tel.Detached(id)
 }
 
 // ProcessBatch routes one publisher batch: inserts/adjusts to their key's
@@ -278,6 +317,7 @@ func (s *Sharded) ProcessBatch(id core.StreamID, els []temporal.Element) error {
 	}
 	parts := make([][]temporal.Element, len(s.workers))
 	for _, e := range els {
+		s.tel.In(id, e.Kind, e.Ve)
 		switch e.Kind {
 		case temporal.KindStable:
 			s.inStb.Add(1)
@@ -320,6 +360,7 @@ func (s *Sharded) recordErr(err error) {
 		s.err = err
 	}
 	s.errMu.Unlock()
+	s.tel.Fault(0)
 }
 
 // Stats returns the reunified traffic counters: input/output traffic as the
@@ -340,6 +381,24 @@ func (s *Sharded) Stats() core.Stats {
 		st.ConsistencyWarnings += ws.ConsistencyWarnings
 	}
 	return st
+}
+
+// SizeBytes sums the workers' merge-state footprints, gathered through the
+// queues (sizing walks each partition's index, so this is a cold-path call —
+// stats queries and periodic logs — never per element). It also refreshes
+// the pool telemetry node's state gauge when one is attached.
+func (s *Sharded) SizeBytes() int {
+	if s.closed.Load() {
+		return 0
+	}
+	total := 0
+	reply := make(chan int, 1)
+	for _, w := range s.workers {
+		w.ch <- shardCmd{kind: cmdSize, sizeReply: reply}
+		total += <-reply
+	}
+	s.tel.SetStateBytes(total)
+	return total
 }
 
 // workerStats fetches each worker's merger counters via its queue.

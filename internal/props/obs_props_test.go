@@ -1,0 +1,192 @@
+// These tests live in the external test package: they drive the diffcheck
+// oracle, which itself imports props for plan dispatch.
+package props_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lmerge/internal/core"
+	"lmerge/internal/diffcheck"
+	"lmerge/internal/gen"
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+)
+
+// obsSweepCase is one seeded configuration of the observability property
+// sweep: a script, the renderings each merge case may legally consume, and
+// the cases to drive.
+type obsSweepCase struct {
+	name    string
+	streams []temporal.Stream
+	tdb     *temporal.TDB
+	cases   []core.Case
+}
+
+func obsSweep(seed int64) []obsSweepCase {
+	general := gen.NewScript(gen.Config{
+		Events: 300, Seed: seed, MaxGap: 6, EventDuration: 30,
+		Revisions: 0.3, RemoveProb: 0.15,
+	})
+	var divergent []temporal.Stream
+	for i := 0; i < 3; i++ {
+		divergent = append(divergent, general.Render(gen.RenderOptions{
+			Seed: seed*10 + int64(i), Disorder: 0.4, StableFreq: 0.05,
+		}))
+	}
+	ordered := gen.NewScript(gen.Config{
+		Events: 300, Seed: seed + 1000, MaxGap: 6, EventDuration: 30, UniqueVs: true,
+	})
+	var strict []temporal.Stream
+	for i := 0; i < 3; i++ {
+		strict = append(strict, ordered.RenderOrdered(gen.OrderedStrict, gen.RenderOptions{
+			Seed: seed*10 + int64(i), StableFreq: 0.05,
+		}))
+	}
+	return []obsSweepCase{
+		{"general", divergent, general.TDB(), []core.Case{core.CaseR3, core.CaseR4}},
+		{"ordered", strict, ordered.TDB(), []core.Case{core.CaseR1, core.CaseR2}},
+	}
+}
+
+// TestObservabilityInvariants sweeps seeded divergent presentations through
+// instrumented mergers and asserts the telemetry invariants: freshness lag is
+// never negative, the leadership switch count is monotone over the run and
+// its contributions reconcile with the advance count, and the node's counter
+// totals reconcile both with the traffic the test itself counted and with the
+// diffcheck oracle's view of the merged output.
+func TestObservabilityInvariants(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		for _, sw := range obsSweep(70 + seed) {
+			for _, c := range sw.cases {
+				t.Run(fmt.Sprintf("seed%d/%s/%v", seed, sw.name, c), func(t *testing.T) {
+					checkObsInvariants(t, sw, c)
+				})
+			}
+		}
+	}
+}
+
+func checkObsInvariants(t *testing.T, sw obsSweepCase, c core.Case) {
+	t.Helper()
+	var out temporal.Stream
+	var outIns, outAdj, outStb, withdrawals int64
+	m := core.New(c, func(e temporal.Element) {
+		out = append(out, e)
+		switch e.Kind {
+		case temporal.KindInsert:
+			outIns++
+		case temporal.KindAdjust:
+			outAdj++
+			if e.Ve == e.Vs {
+				withdrawals++
+			}
+		case temporal.KindStable:
+			outStb++
+		}
+	})
+	tel := obs.NewNode("props")
+	m.(core.Observable).Observe(tel)
+	for s := range sw.streams {
+		m.Attach(s)
+	}
+
+	var inIns, inAdj, inStb int64
+	prevSwitches := int64(0)
+	fed := 0
+	feed := func(s int, e temporal.Element) {
+		if err := m.Process(s, e); err != nil {
+			t.Fatalf("stream %d rejected %v: %v", s, e, err)
+		}
+		switch e.Kind {
+		case temporal.KindInsert:
+			inIns++
+		case temporal.KindAdjust:
+			inAdj++
+		case temporal.KindStable:
+			inStb++
+		}
+		fed++
+		if fed%64 == 0 {
+			snap := tel.Snapshot()
+			// Leadership switches are monotone over the node's life.
+			if snap.Leadership.Switches < prevSwitches {
+				t.Fatalf("switch count went backwards: %d -> %d", prevSwitches, snap.Leadership.Switches)
+			}
+			prevSwitches = snap.Leadership.Switches
+			// Freshness lag is non-negative at every point of the run.
+			if snap.Freshness.Samples > 0 && (snap.Freshness.Min < 0 || snap.Freshness.Last < 0) {
+				t.Fatalf("negative freshness lag mid-run: %+v", snap.Freshness)
+			}
+		}
+	}
+	// Round-robin interleave: each presentation stays in its own order.
+	for i := 0; ; i++ {
+		any := false
+		for s, st := range sw.streams {
+			if i < len(st) {
+				feed(s, st[i])
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+	}
+
+	snap := tel.Snapshot()
+	// Counter totals reconcile with the traffic the test counted.
+	if snap.InInserts != inIns || snap.InAdjusts != inAdj || snap.InStables != inStb {
+		t.Errorf("input counters (%d,%d,%d) != fed (%d,%d,%d)",
+			snap.InInserts, snap.InAdjusts, snap.InStables, inIns, inAdj, inStb)
+	}
+	if snap.OutInserts != outIns || snap.OutAdjusts != outAdj || snap.OutStables != outStb {
+		t.Errorf("output counters (%d,%d,%d) != emitted (%d,%d,%d)",
+			snap.OutInserts, snap.OutAdjusts, snap.OutStables, outIns, outAdj, outStb)
+	}
+	if snap.Withdrawals != withdrawals {
+		t.Errorf("withdrawals %d != emitted removals %d", snap.Withdrawals, withdrawals)
+	}
+	// Freshness: non-negative and ordered quantiles.
+	f := snap.Freshness
+	if f.Samples == 0 {
+		t.Error("no freshness samples after a complete merge")
+	}
+	if f.Min < 0 || f.P50 < f.Min || f.P95 < f.P50 || float64(f.Max) < f.P95 {
+		t.Errorf("freshness quantiles malformed: %+v", f)
+	}
+	// Leadership: monotone close-out, contributions reconcile with advances,
+	// and the leader names a real input.
+	l := snap.Leadership
+	if l.Switches < prevSwitches {
+		t.Errorf("switch count went backwards at close: %d -> %d", prevSwitches, l.Switches)
+	}
+	if l.Advances != snap.OutStables {
+		t.Errorf("leadership advances %d != output stables %d", l.Advances, snap.OutStables)
+	}
+	var contrib int64
+	for _, n := range l.Contribution {
+		contrib += n
+	}
+	if contrib != l.Advances {
+		t.Errorf("contributions %d do not sum to advances %d", contrib, l.Advances)
+	}
+	if l.Leader < 0 || l.Leader >= len(sw.streams) {
+		t.Errorf("leader %d is not an attached stream", l.Leader)
+	}
+	// The merged output reconciles with the diffcheck oracle: it replays
+	// cleanly and reconstitutes the canonical script TDB.
+	o := diffcheck.NewOracle()
+	if err := o.Replay(out); err != nil {
+		t.Fatalf("oracle rejected merged output: %v", err)
+	}
+	if o.Stable() != temporal.Infinity {
+		t.Errorf("merged output never completed: stable %v", o.Stable())
+	}
+	if o.Len() != sw.tdb.Len() {
+		t.Errorf("oracle holds %d events, canonical TDB %d", o.Len(), sw.tdb.Len())
+	}
+	if snap.OutFrontier != int64(temporal.Infinity) {
+		t.Errorf("telemetry output frontier %d, want stable(inf)", snap.OutFrontier)
+	}
+}

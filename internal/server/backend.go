@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"lmerge/internal/core"
+	"lmerge/internal/obs"
 	"lmerge/internal/partition"
 	"lmerge/internal/temporal"
 )
@@ -26,6 +27,10 @@ type backend interface {
 	// PartitionStats returns per-partition load gauges; nil for the single
 	// backend.
 	PartitionStats() []partition.PartitionStat
+	// SizeBytes estimates the merge state footprint. It walks the merge
+	// index (and, partitioned, round-trips the worker queues), so callers
+	// keep it on cold paths: stats queries and periodic logs.
+	SizeBytes() int
 	Close() error
 }
 
@@ -38,7 +43,7 @@ type singleBackend struct {
 	maxStable atomic.Int64
 }
 
-func newSingleBackend(c core.Case, emit core.Emit, fb core.FeedbackFunc, lag temporal.Time) *singleBackend {
+func newSingleBackend(c core.Case, emit core.Emit, fb core.FeedbackFunc, lag temporal.Time, tel *obs.Node) *singleBackend {
 	b := &singleBackend{}
 	b.maxStable.Store(int64(temporal.MinTime))
 	wrapped := func(e temporal.Element) {
@@ -50,6 +55,9 @@ func newSingleBackend(c core.Case, emit core.Emit, fb core.FeedbackFunc, lag tem
 	var opOpts []core.OperatorOption
 	if fb != nil {
 		opOpts = append(opOpts, core.WithFeedback(fb, lag))
+	}
+	if tel != nil {
+		opOpts = append(opOpts, core.WithObserver(tel))
 	}
 	b.op = core.NewOperator(core.New(c, wrapped), opOpts...)
 	return b
@@ -84,5 +92,11 @@ func (b *singleBackend) Stats() core.Stats {
 }
 
 func (b *singleBackend) PartitionStats() []partition.PartitionStat { return nil }
+
+func (b *singleBackend) SizeBytes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.op.Merger().SizeBytes()
+}
 
 func (b *singleBackend) Close() error { return nil }

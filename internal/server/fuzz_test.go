@@ -1,0 +1,91 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+// corruptLine mirrors the chaos harness's corruption shape: a window of the
+// line is overwritten with '#' bytes, preserving line framing.
+func corruptLine(line string, at, n int) string {
+	b := []byte(line)
+	for i := at; i < at+n && i < len(b); i++ {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+// FuzzParseFrame feeds arbitrary bytes through the server's wire-protocol
+// frame parser: readLine framing followed by the handshake grammar. Invariants:
+// never panic, never accept a malformed hello, and every accepted hello
+// re-renders to a canonical line that parses back to the same value.
+func FuzzParseFrame(f *testing.F) {
+	valid := []string{
+		"HELLO PUB 42",
+		"HELLO PUB -9223372036854775808",
+		"HELLO PUB",
+		"HELLO SUB",
+		"HELLO SUB FROM 0",
+		"HELLO SUB FROM 917",
+	}
+	for _, line := range valid {
+		f.Add([]byte(line + "\n"))
+		// Chaos-style corruption of valid handshakes.
+		f.Add([]byte(corruptLine(line, 2, 3) + "\n"))
+		f.Add([]byte(corruptLine(line, 6, 8) + "\n"))
+	}
+	f.Add([]byte("HELLO SUB FROM -3\n"))
+	f.Add([]byte("HELLO PUB 1e5\n"))
+	f.Add([]byte("hello sub\n"))
+	f.Add([]byte("\r\n"))
+	f.Add([]byte(strings.Repeat("HELLO PUB ", 50) + "\n")) // > readLine buffer
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A tiny bufio buffer forces the ErrBufferFull reassembly path.
+		r := bufio.NewReaderSize(bytes.NewReader(data), 16)
+		line, _ := readLine(r)
+		if bytes.IndexByte(line, '\n') >= 0 || bytes.HasSuffix(line, []byte("\r")) {
+			t.Fatalf("readLine leaked framing bytes: %q", line)
+		}
+		h, err := parseHello(string(line))
+		if err != nil {
+			return
+		}
+		switch h.role {
+		case "PUB":
+			if h.resumeFrom != 0 {
+				t.Fatalf("publisher hello carries resume position: %+v", h)
+			}
+		case "SUB":
+			if h.resumeFrom < 0 {
+				t.Fatalf("negative resume position accepted: %+v", h)
+			}
+			if h.joinTime != 0 && h.joinTime != temporal.MinTime {
+				t.Fatalf("subscriber hello carries join time: %+v", h)
+			}
+		default:
+			t.Fatalf("parseHello accepted unknown role: %+v", h)
+		}
+		// Canonical re-render must round-trip to the same hello.
+		var canon string
+		if h.role == "PUB" {
+			canon = fmt.Sprintf("HELLO PUB %d", int64(h.joinTime))
+		} else {
+			canon = fmt.Sprintf("HELLO SUB FROM %d", h.resumeFrom)
+		}
+		h2, err := parseHello(canon)
+		if err != nil {
+			t.Fatalf("canonical hello %q rejected: %v", canon, err)
+		}
+		if h.role != h2.role || h2.resumeFrom != h.resumeFrom {
+			t.Fatalf("round trip changed hello: %+v -> %+v", h, h2)
+		}
+		if h.role == "PUB" && h2.joinTime != h.joinTime {
+			t.Fatalf("round trip changed join time: %+v -> %+v", h, h2)
+		}
+	})
+}

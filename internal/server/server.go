@@ -39,12 +39,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"lmerge/internal/core"
+	"lmerge/internal/obs"
 	"lmerge/internal/partition"
 	"lmerge/internal/temporal"
 )
@@ -54,6 +56,14 @@ type Server struct {
 	ln   net.Listener
 	opts Options
 	be   backend // internally synchronised; called outside the server locks
+
+	// reg is the server's telemetry registry (always created): the merge
+	// backend reports into the node named "merge" (plus "merge/partN" worker
+	// nodes when partitioned), and server-level faults — straggler detaches,
+	// subscriber queue overflows — land in the shared event trace. Surfaced
+	// over HTTP by MetricsHandler.
+	reg *obs.Registry
+	tel *obs.Node // the "merge" node (shared with the backend)
 
 	// mu guards publisher state and the closed flag.
 	mu       sync.Mutex
@@ -173,7 +183,9 @@ func NewWithOptions(addr string, opts Options) (*Server, error) {
 		subs: make(map[int]*subQueue),
 		pubs: make(map[core.StreamID]*pubState),
 		done: make(chan struct{}),
+		reg:  obs.NewRegistry(),
 	}
+	s.tel = s.reg.Node("merge")
 	var fb core.FeedbackFunc
 	lag := temporal.Time(-1)
 	if opts.FeedbackLag >= 0 {
@@ -181,7 +193,7 @@ func NewWithOptions(addr string, opts Options) (*Server, error) {
 		lag = opts.FeedbackLag
 	}
 	if opts.Partitions > 1 {
-		var shOpts []partition.ShardedOption
+		shOpts := []partition.ShardedOption{partition.ShardObserve(s.reg, "merge")}
 		if fb != nil {
 			shOpts = append(shOpts, partition.ShardFeedback(fb, lag))
 		}
@@ -189,7 +201,7 @@ func NewWithOptions(addr string, opts Options) (*Server, error) {
 			return core.New(opts.Case, emit)
 		}, s.broadcast, shOpts...)
 	} else {
-		s.be = newSingleBackend(opts.Case, s.broadcast, fb, lag)
+		s.be = newSingleBackend(opts.Case, s.broadcast, fb, lag, s.tel)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -284,6 +296,59 @@ func (s *Server) StragglersDetached() int64 {
 	return s.detached
 }
 
+// Subscribers returns the number of connected subscribers.
+func (s *Server) Subscribers() int {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	return len(s.subs)
+}
+
+// Observability returns the server's telemetry registry: the "merge" node
+// carries the merge counters, freshness quantiles, and input-leadership
+// stats (plus "merge/partN" nodes when partitioned), and the shared trace
+// records attach/detach, leadership switches, straggler detaches, and
+// subscriber drops.
+func (s *Server) Observability() *obs.Registry { return s.reg }
+
+// Telemetry returns a point-in-time snapshot of every telemetry node,
+// refreshing the merge node's state-size gauge first (an index walk — cold
+// path only).
+func (s *Server) Telemetry() []obs.Snapshot {
+	s.tel.SetStateBytes(s.be.SizeBytes())
+	return s.reg.Snapshot()
+}
+
+// MetricsHandler returns an HTTP handler serving "/metrics" (JSON: service
+// gauges plus one entry per telemetry node with counters, freshness
+// quantiles, and leadership stats) and "/debug/trace" (the bounded event
+// trace; "?format=text" for the line-oriented dump).
+func (s *Server) MetricsHandler() http.Handler {
+	return obs.Handler(s.reg, func() map[string]any {
+		sb := s.be.SizeBytes()
+		s.tel.SetStateBytes(sb)
+		svc := map[string]any{
+			"publishers":           s.Publishers(),
+			"subscribers":          s.Subscribers(),
+			"max_stable":           int64(s.be.MaxStable()),
+			"stragglers_detached":  s.StragglersDetached(),
+			"partitions":           s.Partitions(),
+			"merge_state_bytes":    sb,
+			"subscriber_backlog":   s.backlogLen(),
+			"straggler_supervised": s.opts.StragglerLag > 0,
+		}
+		if ps := s.be.PartitionStats(); ps != nil {
+			svc["partition_stats"] = ps
+		}
+		return svc
+	})
+}
+
+func (s *Server) backlogLen() int {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	return len(s.backlog)
+}
+
 // supervise periodically detaches stragglers: publishers whose progress
 // watermark trails the merged output stable point by more than StragglerLag.
 func (s *Server) supervise() {
@@ -301,12 +366,17 @@ func (s *Server) supervise() {
 }
 
 func (s *Server) sweepStragglers() {
-	var victims []*pubState
+	type victim struct {
+		id core.StreamID
+		ps *pubState
+		wm temporal.Time
+	}
+	var victims []victim
 	stable := s.be.MaxStable() // atomic: safe to read before taking s.mu
 	s.mu.Lock()
 	if !s.closed && s.pubCount > 1 && stable != temporal.MinTime && !stable.IsInf() {
 		spare := s.pubCount - 1 // never detach the last publisher
-		for _, ps := range s.pubs {
+		for id, ps := range s.pubs {
 			if len(victims) >= spare {
 				break
 			}
@@ -314,17 +384,21 @@ func (s *Server) sweepStragglers() {
 				continue
 			}
 			if lagsBehind(ps.watermark, stable, s.opts.StragglerLag) {
-				victims = append(victims, ps)
+				victims = append(victims, victim{id: id, ps: ps, wm: ps.watermark})
 			}
 		}
 		s.detached += int64(len(victims))
 	}
 	s.mu.Unlock()
-	for _, ps := range victims {
+	for _, v := range victims {
 		// Notify, then close: the handler's read fails and its cleanup path
 		// performs the actual Detach.
-		ps.writeCtrl("DETACH straggler\n")
-		ps.conn.Close()
+		s.reg.Trace().Record(obs.Event{
+			Kind: obs.EventStraggler, Node: "server", Stream: v.id,
+			T: v.wm, Aux: int64(stable),
+		})
+		v.ps.writeCtrl("DETACH straggler\n")
+		v.ps.conn.Close()
 	}
 }
 
@@ -344,14 +418,19 @@ func lagsBehind(wm, stable, lag temporal.Time) bool {
 // the merge nor delay delivery to the others; on overflow the subscriber is
 // dropped (it may resume positionally with FROM).
 func (s *Server) broadcast(e temporal.Element) {
+	var dropped []int
 	s.outMu.Lock()
 	s.backlog = append(s.backlog, e)
 	for id, q := range s.subs {
 		if !q.push(e) {
 			delete(s.subs, id)
+			dropped = append(dropped, id)
 		}
 	}
 	s.outMu.Unlock()
+	for _, id := range dropped {
+		s.reg.Trace().Record(obs.Event{Kind: obs.EventSubscriberDrop, Node: "server", Stream: id})
+	}
 }
 
 func (s *Server) acceptLoop() {

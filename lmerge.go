@@ -29,6 +29,7 @@ package lmerge
 
 import (
 	"lmerge/internal/core"
+	"lmerge/internal/obs"
 	"lmerge/internal/partition"
 	"lmerge/internal/props"
 	"lmerge/internal/temporal"
@@ -180,6 +181,38 @@ var (
 	NewPartitioned = partition.New
 	// WithPartitionKey overrides the payload→hash routing function.
 	WithPartitionKey = partition.WithKeyFunc
+)
+
+// Observability (package internal/obs): zero-overhead-when-off telemetry for
+// mergers, operators, and partitioned pools. Attach an Observer to any merger
+// that implements Observable (all of them do) and read back live counters,
+// output-freshness quantiles, input-leadership history, and a bounded event
+// trace. A Registry names nodes and shares one trace; obs.Handler (used by
+// lmserved) serves a registry over HTTP.
+type (
+	// Observer is a per-node telemetry sink; nil is a valid no-op observer.
+	Observer = obs.Node
+	// ObserverRegistry names observers and shares one event trace.
+	ObserverRegistry = obs.Registry
+	// Telemetry is a point-in-time copy of one observer's measurements.
+	Telemetry = obs.Snapshot
+	// TraceEvent is one entry in an observer's bounded event trace.
+	TraceEvent = obs.Event
+	// Observable is implemented by every merger in this package: Observe
+	// attaches (or, with nil, detaches) a telemetry node.
+	Observable = core.Observable
+)
+
+var (
+	// NewObserver builds a standalone telemetry node.
+	NewObserver = obs.NewNode
+	// NewObserverRegistry builds a registry with a shared trace.
+	NewObserverRegistry = obs.NewRegistry
+	// WithObserver attaches a telemetry node to an Operator's merger.
+	WithObserver = core.WithObserver
+	// MetricsHandler serves a registry's snapshots and trace over HTTP
+	// (/metrics and /debug/trace, as used by lmserved).
+	MetricsHandler = obs.Handler
 )
 
 // Stream property framework (package internal/props).
