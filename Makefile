@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench chaos partition-soak fuzz experiments scale diffcheck diffcheck-race clean
+.PHONY: all check build vet test race cover bench chaos partition-soak rebalance-soak fuzz experiments scale bench-compare diffcheck diffcheck-race clean
 
 all: build vet test
 
 # Everything CI cares about: compile, vet, full tests, race on the
 # concurrent packages, the seeded chaos soaks (single-instance and
-# partitioned), and a race-enabled differential sweep over the trimmed
-# config grid.
-check: build vet test race cover chaos partition-soak diffcheck-race
+# partitioned), the adaptive-repartitioning soak, and a race-enabled
+# differential sweep over the trimmed config grid.
+check: build vet test race cover chaos partition-soak rebalance-soak diffcheck-race
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,12 @@ chaos:
 partition-soak:
 	$(GO) test -race -v -run TestPartitionedChaosSoak ./internal/partition/
 
+# Race-enabled soak of the live key-range migration machinery: concurrent
+# publishers vs forced slot migrations, plus the adaptive hot-slot
+# controller at an aggressive cadence (see DESIGN.md §11).
+rebalance-soak:
+	$(GO) test -race -v -run 'TestShardedMigrateMidStream|TestRebalanceSoak' ./internal/partition/
+
 # Short fuzz sessions over the wire codec, reconstitution, and the server
 # handshake/frame parser.
 fuzz:
@@ -78,6 +84,11 @@ experiments:
 # hot-key-skewed (see EXPERIMENTS.md "Scaling" and BENCH_PR4.json).
 scale:
 	$(GO) run ./cmd/lmbench -exp scale -events 100000 -payload 64
+
+# Gate the partitioned path's per-element cost against the recorded PR-4
+# baseline: >10% ns/element growth on any multi-partition point fails.
+bench-compare:
+	$(GO) run ./cmd/lmbenchcmp -old BENCH_PR4.json -new BENCH_PR6.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,139 @@
+// Command lmbenchcmp compares two recorded benchmark result files
+// (BENCH_*.json) on the keyed scale-out experiment and fails when the newer
+// run regresses per-element cost in the partitioned path.
+//
+// Usage:
+//
+//	lmbenchcmp -old BENCH_PR4.json -new BENCH_PR6.json [-tolerance 0.10]
+//
+// Both files must carry a "throughput_vs_partitions" section whose workload
+// curves ("uniform", "skewed_keyskew2") map partition counts to {"tput": N}
+// in input elements per wall-clock second. Throughputs are converted to
+// nanoseconds per element and every common (curve, partitions) point is
+// compared; a multi-partition point whose ns/element grew by more than the
+// tolerance fails the run (exit 1). Single-partition points are reported but
+// advisory — the partitioned path is what the gate protects.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+type point struct {
+	Tput float64 `json:"tput"`
+}
+
+type benchFile struct {
+	TVP map[string]json.RawMessage `json:"throughput_vs_partitions"`
+}
+
+// curves are the throughput_vs_partitions keys that hold partition→tput
+// maps; everything else in the section (workload, units, notes, ...) is
+// descriptive.
+var curves = []string{"uniform", "skewed_keyskew2"}
+
+func loadCurves(path string) (map[string]map[int]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if bf.TVP == nil {
+		return nil, fmt.Errorf("%s: no throughput_vs_partitions section", path)
+	}
+	out := make(map[string]map[int]float64)
+	for _, c := range curves {
+		msg, ok := bf.TVP[c]
+		if !ok {
+			continue
+		}
+		var pts map[string]point
+		if err := json.Unmarshal(msg, &pts); err != nil {
+			return nil, fmt.Errorf("%s: curve %q: %v", path, c, err)
+		}
+		m := make(map[int]float64, len(pts))
+		for k, p := range pts {
+			parts, err := strconv.Atoi(k)
+			if err != nil || p.Tput <= 0 {
+				return nil, fmt.Errorf("%s: curve %q: bad point %q", path, c, k)
+			}
+			m[parts] = p.Tput
+		}
+		out[c] = m
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no recognised curves in throughput_vs_partitions", path)
+	}
+	return out, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_PR4.json", "baseline benchmark results file")
+	newPath := flag.String("new", "BENCH_PR6.json", "candidate benchmark results file")
+	tol := flag.Float64("tolerance", 0.10, "maximum allowed ns/element growth on multi-partition points")
+	flag.Parse()
+
+	oldC, err := loadCurves(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmbenchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	newC, err := loadCurves(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmbenchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-18s %10s %12s %12s %9s  %s\n", "curve", "partitions", "old ns/el", "new ns/el", "delta", "gate")
+	failed := 0
+	compared := 0
+	for _, c := range curves {
+		om, nm := oldC[c], newC[c]
+		if om == nil || nm == nil {
+			continue
+		}
+		var parts []int
+		for p := range om {
+			if _, ok := nm[p]; ok {
+				parts = append(parts, p)
+			}
+		}
+		sort.Ints(parts)
+		for _, p := range parts {
+			oldNs := 1e9 / om[p]
+			newNs := 1e9 / nm[p]
+			delta := newNs/oldNs - 1
+			gate := "ok"
+			switch {
+			case p == 1:
+				gate = "advisory"
+				if delta > *tol {
+					gate = "advisory (regressed)"
+				}
+			case delta > *tol:
+				gate = fmt.Sprintf("FAIL (> %.0f%%)", *tol*100)
+				failed++
+			}
+			compared++
+			fmt.Printf("%-18s %10d %12.1f %12.1f %+8.1f%%  %s\n", c, p, oldNs, newNs, delta*100, gate)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "lmbenchcmp: no comparable points between the two files")
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "lmbenchcmp: %d partitioned point(s) regressed ns/element beyond %.0f%% (%s -> %s)\n",
+			failed, *tol*100, *oldPath, *newPath)
+		os.Exit(1)
+	}
+	fmt.Printf("no partitioned ns/element regression beyond %.0f%% (%s -> %s)\n", *tol*100, *oldPath, *newPath)
+}

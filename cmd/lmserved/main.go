@@ -24,6 +24,7 @@ import (
 
 	"lmerge/internal/core"
 	"lmerge/internal/metrics"
+	"lmerge/internal/partition"
 	"lmerge/internal/server"
 	"lmerge/internal/temporal"
 )
@@ -54,6 +55,7 @@ func serve(args []string) {
 	addr := fs.String("addr", "127.0.0.1:7171", "listen address")
 	caseName := fs.String("case", "R3", "merge algorithm: R0, R1, R2, R3, R4")
 	parts := fs.Int("partitions", 1, "keyed scale-out: merge partitions sharding ingestion by payload hash (1 = single merger)")
+	rebalance := fs.Bool("rebalance", false, "adaptive hot-key repartitioning: live-migrate routing slots between partition workers under skew (needs -partitions > 1)")
 	httpAddr := fs.String("http", "", "serve /metrics and /debug/trace on this address (e.g. 127.0.0.1:7172; empty disables)")
 	statsEvery := fs.Duration("stats-every", 0, "log a telemetry line for each merge node at this period (0 disables)")
 	fs.Parse(args)
@@ -62,14 +64,23 @@ func serve(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	s, err := server.NewWithOptions(*addr, server.Options{
-		Case: c, FeedbackLag: -1, Partitions: *parts,
-	})
+	opts := server.Options{Case: c, FeedbackLag: -1, Partitions: *parts}
+	if *rebalance {
+		if *parts <= 1 {
+			fatal(fmt.Errorf("-rebalance needs -partitions > 1"))
+		}
+		opts.Rebalance = &partition.RebalanceConfig{}
+	}
+	s, err := server.NewWithOptions(*addr, opts)
 	if err != nil {
 		fatal(err)
 	}
 	if *parts > 1 {
-		fmt.Fprintf(os.Stderr, "lmserved: merging (%s, %d partitions) on %s — ctrl-c to stop\n", c, *parts, s.Addr())
+		mode := ""
+		if *rebalance {
+			mode = ", adaptive rebalancing"
+		}
+		fmt.Fprintf(os.Stderr, "lmserved: merging (%s, %d partitions%s) on %s — ctrl-c to stop\n", c, *parts, mode, s.Addr())
 	} else {
 		fmt.Fprintf(os.Stderr, "lmserved: merging (%s) on %s — ctrl-c to stop\n", c, s.Addr())
 	}

@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkShardedMerge times the partition.Sharded pool end to end on the
+// uniform keyed R3 workload (the ScalePartitions shape at Go-benchmark
+// precision): one full merge of the pre-rendered streams per iteration,
+// reported as ns per input element.
+func BenchmarkShardedMerge(b *testing.B) {
+	streams := scaleStreams(Scale{Events: 20000, PayloadBytes: 64}, 0)
+	var elems int64
+	for _, s := range streams {
+		elems += int64(len(s))
+	}
+	for _, parts := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runShardedMerge(parts, streams, false)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*elems), "ns/el")
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"lmerge/internal/core"
 	"lmerge/internal/partition"
+	"lmerge/internal/temporal"
 )
 
 // diffPartitions is the partition count of the partitioned executor axes —
@@ -104,6 +105,14 @@ func (a Algo) NewPartitionedMerger(parts int, emit core.Emit) core.Merger {
 	return partition.NewWith(parts, func(e core.Emit) core.Merger { return a.NewMerger(e) }, emit)
 }
 
+// handoffCapable reports whether the algorithm's merger supports live state
+// handoff (core.Handoff) — the eligibility gate for the migration-forcing
+// ExecPartitionedRebal axis.
+func (a Algo) handoffCapable() bool {
+	h, ok := a.NewMerger(func(temporal.Element) {}).(core.Handoff)
+	return ok && h.HandoffCapable()
+}
+
 // Exec selects the execution substrate a configuration runs on.
 type Exec uint8
 
@@ -131,11 +140,19 @@ const (
 	// splitters → per-partition lmerge nodes → reunify) through the
 	// concurrent runtime, one worker goroutine per node.
 	ExecPartitionedRT
+	// ExecPartitionedRebal is ExecPartitioned with deterministic key-range
+	// migrations forced between deliveries: every few elements a routing slot
+	// is transplanted to another partition through the live handoff protocol
+	// (core.Handoff), so the oracle, snapshot, and frozen-surface checks all
+	// run against a merger whose key→partition assignment churns mid-stream.
+	ExecPartitionedRebal
 	execCount // sentinel
 )
 
 // partitioned reports whether the exec mode runs the keyed scale-out path.
-func (x Exec) partitioned() bool { return x == ExecPartitioned || x == ExecPartitionedRT }
+func (x Exec) partitioned() bool {
+	return x == ExecPartitioned || x == ExecPartitionedRT || x == ExecPartitionedRebal
+}
 
 // String names the execution mode.
 func (x Exec) String() string {
@@ -152,6 +169,8 @@ func (x Exec) String() string {
 		return fmt.Sprintf("partitioned-%d", diffPartitions)
 	case ExecPartitionedRT:
 		return fmt.Sprintf("partitioned-%d/rt", diffPartitions)
+	case ExecPartitionedRebal:
+		return fmt.Sprintf("partitioned-%d/rebal", diffPartitions)
 	}
 	return fmt.Sprintf("Exec(%d)", uint8(x))
 }
@@ -202,8 +221,8 @@ type Config struct {
 	Exec     Exec
 	Pipeline Pipeline
 	// Order is the deterministic delivery interleaving for ExecDirect,
-	// ExecPartitioned, and ExecSync: "roundrobin", "sequential", or "random"
-	// (seed-driven).
+	// ExecPartitioned, ExecPartitionedRebal, and ExecSync: "roundrobin",
+	// "sequential", or "random" (seed-driven).
 	// Ignored by the concurrent runtimes, whose interleaving is scheduling.
 	Order string
 }
@@ -214,7 +233,8 @@ func (c Config) String() string {
 	if c.Pipeline != PipeNone {
 		s += "/" + c.Pipeline.String()
 	}
-	if c.Order != "" && (c.Exec == ExecDirect || c.Exec == ExecSync || c.Exec == ExecPartitioned) {
+	if c.Order != "" && (c.Exec == ExecDirect || c.Exec == ExecSync ||
+		c.Exec == ExecPartitioned || c.Exec == ExecPartitionedRebal) {
 		s += "/" + c.Order
 	}
 	return s

@@ -238,6 +238,9 @@ func grid(class Class, quick bool) []Config {
 		// algorithm everywhere, full exec coverage, one aggregate pipeline.
 		a := algos[len(algos)-1]
 		for x := Exec(0); x < execCount; x++ {
+			if x == ExecPartitionedRebal && !a.handoffCapable() {
+				continue
+			}
 			cfgs = append(cfgs, Config{Algo: a, Exec: x, Order: orders[int(x)%len(orders)]})
 		}
 		cfgs = append(cfgs,
@@ -254,6 +257,11 @@ func grid(class Class, quick bool) []Config {
 			// point can caption the union snapshot. It is the one documented
 			// partitioned exclusion (see internal/partition).
 			if a == AlgoR3FullyFrozen && x.partitioned() {
+				continue
+			}
+			// The migration axis needs live handoff support; algorithms
+			// without it would silently degenerate to plain ExecPartitioned.
+			if x == ExecPartitionedRebal && !a.handoffCapable() {
 				continue
 			}
 			// Rotate the deterministic delivery order so every (algo, order)
@@ -297,24 +305,36 @@ type result struct {
 // runConfig executes one grid cell over the workload's streams.
 func runConfig(cfg Config, w *workload, opt Options) result {
 	switch cfg.Exec {
-	case ExecDirect, ExecPartitioned:
+	case ExecDirect, ExecPartitioned, ExecPartitionedRebal:
 		return runDirect(cfg, w, opt)
 	default:
 		return runEngine(cfg, w, opt)
 	}
 }
 
-// runDirect drives the bare merger — or, for ExecPartitioned, the keyed
+// runDirect drives the bare merger — or, for the partitioned execs, the keyed
 // partition wrapper — with Process calls in a deterministic interleaving,
 // checkpointing via Snapshot at every output stable advance.
+// ExecPartitionedRebal additionally forces a slot migration every few
+// deliveries, so the same oracle/snapshot checks cover the live key-range
+// handoff protocol.
 func runDirect(cfg Config, w *workload, opt Options) result {
 	var out temporal.Stream
 	emit := func(e temporal.Element) { out = append(out, e) }
 	var m core.Merger
-	if cfg.Exec == ExecPartitioned {
+	if cfg.Exec == ExecPartitioned || cfg.Exec == ExecPartitionedRebal {
 		m = cfg.Algo.NewPartitionedMerger(diffPartitions, emit)
 	} else {
 		m = cfg.Algo.NewMerger(emit)
+	}
+	var reb partition.Rebalancer
+	var res result
+	if cfg.Exec == ExecPartitionedRebal {
+		var ok bool
+		if reb, ok = m.(partition.Rebalancer); !ok {
+			res.err = fmt.Errorf("partitioned merger does not implement partition.Rebalancer")
+			return res
+		}
 	}
 	if opt.Mutate != nil {
 		m = opt.Mutate(cfg, m)
@@ -322,18 +342,30 @@ func runDirect(cfg Config, w *workload, opt Options) result {
 	for i := range w.streams {
 		m.Attach(i)
 	}
-	var res result
 	prefix := temporal.NewTDB() // output prefix TDB, for snapshot equivalence
 	applied := 0
 	prevStable := temporal.MinTime
 	sn, canSnap := m.(core.Snapshotter)
 	pos := make([]int, len(w.streams))
+	step := 0
 	for _, s := range deliveryOrder(cfg.Order, streamLens(w.streams), w.seed) {
 		e := w.streams[s][pos[s]]
 		pos[s]++
 		if err := m.Process(s, e); err != nil {
 			res.err = fmt.Errorf("process %v from stream %d: %v", e, s, err)
 			return res
+		}
+		step++
+		if reb != nil && step%4 == 0 {
+			// Deterministic slot sweep: (seed, step)-derived so every seed
+			// exercises a different migration schedule.
+			slot := int(uint64(w.seed*13+int64(step)*7) % partition.Slots)
+			to := int(uint64(w.seed+int64(step/4)) % diffPartitions)
+			reb.MigrateSlot(slot, to)
+			if got := reb.SlotOwner(slot); got != to {
+				res.err = fmt.Errorf("step %d: SlotOwner(%d) = %d after migrate to %d", step, slot, got, to)
+				return res
+			}
 		}
 		for ; applied < len(out); applied++ {
 			// Invalid emissions are reported by foldAndCheck; keep folding so

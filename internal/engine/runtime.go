@@ -128,6 +128,11 @@ func (r *Runtime) Start() error {
 			}
 			failed := false
 			for batch := range n.inbox {
+				// Inbox backlog in batches, sampled per dispatch: the same
+				// pending-work gauge the partition workers export, so a
+				// backed-up node is visible on /metrics before it stalls
+				// its producers.
+				n.tel.SetQueueDepth(len(n.inbox))
 				if !failed {
 					failed = r.processBatch(n, batch, &out) != nil
 				}

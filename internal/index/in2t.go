@@ -142,6 +142,13 @@ func (x *In2t) DeleteNode(k temporal.VsPayload) bool {
 	return x.tree.Delete(k)
 }
 
+// PutNode installs an existing node under its own key, transplanting it from
+// another In2t with every per-stream entry intact (the state-handoff path of
+// partition rebalancing). The caller must ensure the key is absent.
+func (x *In2t) PutNode(n *Node2) {
+	x.tree.Put(n.Key(), n)
+}
+
 // FindHalfFrozen returns, in (Vs, Payload) order, the nodes whose Vs is less
 // than t — the nodes that become half frozen when stable(t) is processed
 // (Algorithm R3 line 17). The slice is a snapshot, so the caller may delete

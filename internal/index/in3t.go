@@ -206,6 +206,13 @@ func (x *In3t) DeleteNode(k temporal.VsPayload) bool {
 	return x.tree.Delete(k)
 }
 
+// PutNode installs an existing node under its own key, transplanting it from
+// another In3t with every per-stream multiset intact (the state-handoff path
+// of partition rebalancing). The caller must ensure the key is absent.
+func (x *In3t) PutNode(n *Node3) {
+	x.tree.Put(n.Key(), n)
+}
+
 // FindHalfFrozen returns, in key order, a snapshot of nodes with Vs < t.
 func (x *In3t) FindHalfFrozen(t temporal.Time) []*Node3 {
 	return x.FindHalfFrozenInto(t, nil)

@@ -62,6 +62,13 @@ type Node struct {
 	// index).
 	inFrontier, outFrontier atomic.Int64
 	liveNodes, stateBytes   atomic.Int64
+	// queueDepth is the pending-work gauge for nodes with an ingress queue
+	// (partition workers: elements waiting in their rings; engine nodes:
+	// mailbox backlog). Sampled by cold-path collectors.
+	queueDepth atomic.Int64
+	// migrations counts key-range migrations this node participated in as
+	// the donor (see EventMigrate for the traced detail).
+	migrations atomic.Int64
 
 	fresh Freshness
 	lead  Leadership
@@ -112,6 +119,45 @@ func (n *Node) In(s int, k temporal.Kind, t temporal.Time) {
 	case temporal.KindStable:
 		n.inStables.Add(1)
 		atomicMax(&n.inFrontier, int64(t))
+	}
+}
+
+// InBulk records a routed batch's input traffic in one shot: ins inserts,
+// adjs adjusts, stbs stables, with maxStable the batch's largest stable
+// timestamp (MinTime when the batch carried no stable). It is the batched
+// form of In for callers that count per batch instead of per element.
+func (n *Node) InBulk(ins, adjs, stbs int64, maxStable temporal.Time) {
+	if n == nil {
+		return
+	}
+	if ins != 0 {
+		n.inInserts.Add(ins)
+	}
+	if adjs != 0 {
+		n.inAdjusts.Add(adjs)
+	}
+	if stbs != 0 {
+		n.inStables.Add(stbs)
+		atomicMax(&n.inFrontier, int64(maxStable))
+	}
+}
+
+// OutBulk records a staged emission batch's insert/adjust traffic in one
+// shot: ins inserts and adjs adjusts, of which withdrawals removed their event
+// entirely. Stable advances are not bulked — they carry freshness and
+// leadership sampling, so callers report them individually via OutStable.
+func (n *Node) OutBulk(ins, adjs, withdrawals int64) {
+	if n == nil {
+		return
+	}
+	if ins != 0 {
+		n.outInserts.Add(ins)
+	}
+	if adjs != 0 {
+		n.outAdjusts.Add(adjs)
+	}
+	if withdrawals != 0 {
+		n.withdrawals.Add(withdrawals)
 	}
 }
 
@@ -231,6 +277,28 @@ func (n *Node) SetStateBytes(b int) {
 	n.stateBytes.Store(int64(b))
 }
 
+// SetQueueDepth updates the pending-work gauge (elements waiting in this
+// node's ingress queue). Sampled by cold-path collectors, never per element.
+func (n *Node) SetQueueDepth(d int) {
+	if n == nil {
+		return
+	}
+	n.queueDepth.Store(int64(d))
+}
+
+// Migrated records one key-range migration with this node as the donor and
+// traces it: from/to are the donor and recipient partition indices, t the
+// donor's stable point at extraction, moved the number of live keys moved.
+func (n *Node) Migrated(from, to int, t temporal.Time, moved int) {
+	if n == nil {
+		return
+	}
+	n.migrations.Add(1)
+	if n.trace != nil {
+		n.trace.Record(Event{Kind: EventMigrate, Node: n.name, Stream: from, T: t, Aux: int64(to)<<32 | int64(moved)&0xffffffff})
+	}
+}
+
 // Attached traces a stream attach on this node.
 func (n *Node) Attached(s int, joinTime temporal.Time) {
 	if n == nil || n.trace == nil {
@@ -326,6 +394,8 @@ type Snapshot struct {
 	OutFrontier int64 `json:"out_frontier"`
 	LiveNodes   int64 `json:"live_nodes"`
 	StateBytes  int64 `json:"state_bytes"`
+	QueueDepth  int64 `json:"queue_depth,omitempty"`
+	Migrations  int64 `json:"migrations,omitempty"`
 
 	Freshness  FreshnessSnapshot  `json:"freshness"`
 	Leadership LeadershipSnapshot `json:"leadership"`
@@ -360,6 +430,8 @@ func (n *Node) Snapshot() Snapshot {
 		OutFrontier: n.outFrontier.Load(),
 		LiveNodes:   n.liveNodes.Load(),
 		StateBytes:  n.stateBytes.Load(),
+		QueueDepth:  n.queueDepth.Load(),
+		Migrations:  n.migrations.Load(),
 		Freshness:   n.fresh.Snapshot(),
 		Leadership:  n.lead.Snapshot(),
 	}

@@ -28,6 +28,10 @@ const (
 	EventStraggler
 	EventSubscriberDrop
 	EventNote
+	// EventMigrate records one key-range (slot) migration between partition
+	// workers: Stream carries the donor partition, Aux the recipient, T the
+	// donor's stable point at extraction time.
+	EventMigrate
 )
 
 // String names the event kind.
@@ -51,6 +55,8 @@ func (k EventKind) String() string {
 		return "subscriber-drop"
 	case EventNote:
 		return "note"
+	case EventMigrate:
+		return "migrate"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }

@@ -1,0 +1,83 @@
+package partition_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/obs"
+	"lmerge/internal/partition"
+	"lmerge/internal/temporal"
+)
+
+// TestDetachDrainBarrier pins Detach's drain contract: once every publisher
+// has detached, every routed element has been merged and the per-partition
+// telemetry counters reconcile exactly with the pool's routing counters.
+// The server's metrics quiescence signal ("all publishers detached") and the
+// observability layer's routing-conservation invariant both rest on this.
+// Regression: with deep SPSC rings, a detach that merely enqueued could
+// return while whole sub-batches of a slow publisher were still queued — the
+// reunified stable legitimately reaches ∞ off the faster publisher alone
+// (one physically independent input vouches for the whole TDB), so waiting
+// on the output frontier is NOT a drain barrier; Detach must provide one.
+func TestDetachDrainBarrier(t *testing.T) {
+	sc := gen.NewScript(gen.Config{Events: 32, Seed: 5, PayloadBytes: 8, MaxGap: 100, EventDuration: 500, Revisions: 0.3, RemoveProb: 0.1})
+	var streams []temporal.Stream
+	for i := 0; i < 2; i++ {
+		st := sc.Render(gen.RenderOptions{Seed: int64(10 + i), Disorder: 0.3, StableFreq: 0.05})
+		streams = append(streams, append(st, temporal.Stable(temporal.Infinity)))
+	}
+	for iter := 0; iter < 200; iter++ {
+		reg := obs.NewRegistry()
+		pool := partition.NewSharded(4, func(e core.Emit) core.Merger { return core.NewR3(e) }, nil,
+			partition.ShardObserve(reg, "merge"))
+		ids := make([]core.StreamID, len(streams))
+		for i := range streams {
+			ids[i] = pool.Attach(temporal.MinTime)
+		}
+		var wg sync.WaitGroup
+		for i := range streams {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for lo := 0; lo < len(streams[i]); lo += 7 {
+					hi := min(lo+7, len(streams[i]))
+					pool.ProcessBatch(ids[i], streams[i][lo:hi])
+				}
+				pool.Detach(ids[i])
+			}(i)
+		}
+		wg.Wait()
+		// Every publisher has detached: counters must be final NOW, with no
+		// settling sleep — that is the contract under test.
+		var workerIn int64
+		for _, n := range reg.Nodes() {
+			if s := n.Snapshot(); s.Name != "merge" {
+				workerIn += s.InInserts + s.InAdjusts
+			}
+		}
+		var merge obs.Snapshot
+		for _, s := range reg.Snapshot() {
+			if s.Name == "merge" {
+				merge = s
+			}
+		}
+		if routed := merge.InInserts + merge.InAdjusts; workerIn != routed {
+			t.Fatalf("iter %d: workers saw %d inserts/adjusts, pool routed %d\nstats: %+v",
+				iter, workerIn, routed, pool.PartitionStats())
+		}
+		// The reunified frontier reaches ∞ promptly after drain (the final
+		// emission flush may trail the counter barrier by one drain pass).
+		for spins := 0; !pool.MaxStable().IsInf(); spins++ {
+			if spins > 1_000_000 {
+				t.Fatalf("iter %d: reunified stable %v never reached ∞ after drain", iter, pool.MaxStable())
+			}
+			runtime.Gosched()
+		}
+		if err := pool.Close(); err != nil {
+			t.Fatalf("iter %d: close: %v", iter, err)
+		}
+	}
+}

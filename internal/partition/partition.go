@@ -10,11 +10,14 @@
 // Three rules make the composition semantics-preserving (in the spirit of
 // DBSP's composability result):
 //
-//   - Routing: insert and adjust elements go to partition
-//     hash(Payload) % N. All elements of one (Vs, Payload) key — including
-//     revisions and duplicates from other input streams — land on the same
-//     partition, so each partition merges mutually consistent presentations
-//     of its key-filtered slice of the TDB.
+//   - Routing: insert and adjust elements go to the partition owning their
+//     key's routing slot (slot = hash(Payload) mod Slots; a slot-ownership
+//     table maps slots to partitions, initially round-robin). All elements of
+//     one (Vs, Payload) key — including revisions and duplicates from other
+//     input streams — land on the same partition, so each partition merges
+//     mutually consistent presentations of its key-filtered slice of the TDB.
+//     Slot ownership can move between partitions live (see Rebalancer and
+//     DESIGN.md §11); at any instant each key still has exactly one owner.
 //   - Stable broadcast: stable elements are progress assertions about the
 //     whole stream, so they go to every partition. A partition that receives
 //     no events still advances its stable point and never holds the global
@@ -52,6 +55,20 @@ import (
 
 // KeyFunc maps a payload to the hash that routes it to a partition.
 type KeyFunc func(temporal.Payload) uint64
+
+// Rebalancer is implemented by partitioned mergers that can move key-range
+// (routing-slot) ownership between partitions live, transplanting per-key
+// merge state through core.Handoff — the paper's jumpstart/cutover machinery
+// applied internally. The differential harness uses it to force migrations
+// mid-stream; the sharded pool's adaptive controller uses the same slot
+// granularity asynchronously.
+type Rebalancer interface {
+	// MigrateSlot moves routing slot `slot` to partition `to`, reporting
+	// whether a migration happened.
+	MigrateSlot(slot, to int) bool
+	// SlotOwner returns the partition currently owning a routing slot.
+	SlotOwner(slot int) int
+}
 
 // DefaultKey hashes the payload's integer field with a splitmix64 finaliser.
 // Keying on ID alone is deliberately coarser than the (Vs, Payload) TDB key:
@@ -106,6 +123,7 @@ type merger struct {
 	subs  []core.Merger
 	emit  core.Emit
 	key   KeyFunc
+	table *routeTable
 	front *frontier
 
 	stats     core.Stats
@@ -136,6 +154,7 @@ func NewWith(parts int, mk func(core.Emit) core.Merger, emit core.Emit, opts ...
 	m := &merger{
 		emit:      emit,
 		key:       o.key,
+		table:     newRouteTable(parts),
 		front:     newFrontier(parts),
 		maxStable: temporal.MinTime,
 	}
@@ -221,7 +240,47 @@ func (m *merger) Process(s core.StreamID, e temporal.Element) error {
 }
 
 func (m *merger) route(p temporal.Payload) int {
-	return int(m.key(p) % uint64(len(m.subs)))
+	return m.table.route(m.key(p))
+}
+
+// SlotOwner implements Rebalancer: the partition currently owning slot.
+func (m *merger) SlotOwner(slot int) int { return int(m.table.owner[slot]) }
+
+// MigrateSlot implements Rebalancer: it moves ownership of one routing slot
+// to partition `to`, transplanting the donor's live state for the slot's
+// keys through the core.Handoff surface. It reports whether a migration
+// happened; it is a no-op when the slot already lives on `to`, when either
+// side does not support handoff, or when the clocks cannot be ordered
+// (recipient ahead of donor — impossible here, where every partition sees
+// every stable synchronously, but checked for defence in depth).
+//
+// The synchronous merger has no in-flight elements, so the routing flip and
+// the state transplant are one atomic step from the caller's perspective.
+func (m *merger) MigrateSlot(slot, to int) bool {
+	if slot < 0 || slot >= Slots || to < 0 || to >= len(m.subs) {
+		return false
+	}
+	from := int(m.table.owner[slot])
+	if from == to {
+		return false
+	}
+	donor, ok := m.subs[from].(core.Handoff)
+	if !ok || !donor.HandoffCapable() {
+		return false
+	}
+	recipient, ok := m.subs[to].(core.Handoff)
+	if !ok || !recipient.HandoffCapable() {
+		return false
+	}
+	if m.subs[to].MaxStable() > m.subs[from].MaxStable() {
+		return false
+	}
+	st := donor.ExtractKeys(slotMatcher(m.key, slot))
+	m.table = m.table.clone()
+	m.table.owner[slot] = int32(to)
+	recipient.InstallKeys(st)
+	m.tel.Migrated(from, to, st.Clock, st.Keys)
+	return true
 }
 
 // Attach fans the registration out to every partition.

@@ -1,0 +1,76 @@
+package partition
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"lmerge/internal/core"
+	"lmerge/internal/temporal"
+)
+
+// ringKind discriminates the entries a publisher pushes through its rings.
+type ringKind uint8
+
+const (
+	// ringBatch carries one routed sub-batch of elements for the worker.
+	ringBatch ringKind = iota
+	// ringDetach unregisters the publisher; per the ordering contract it is
+	// the last entry, and the worker drops the ring after consuming it.
+	// (Attach is NOT a ring entry: rings only order one publisher's traffic
+	// against itself, but an attach must be ordered against *every* other
+	// publisher's traffic — a worker that merged some stream's stable before
+	// consuming a ring-borne attach would emit output stables that the new
+	// stream's queued data later violates. Attach therefore runs as a
+	// synchronous control-lane round trip; see Sharded.Attach.)
+	ringDetach
+)
+
+// ringEntry is one slot of an spscRing. The els buffer is owned by the slot
+// and reused across laps: the producer copies its routed sub-batch in, the
+// consumer processes it in place before advancing, so the steady state moves
+// elements with zero allocation.
+type ringEntry struct {
+	kind ringKind
+	id   core.StreamID
+	els  []temporal.Element
+}
+
+// ringDepth is the per-(publisher, worker) ring capacity in entries (must be
+// a power of two). Each publisher batch contributes at most one entry per
+// worker, so this decouples a publisher burst from merge work while keeping
+// memory proportional to publishers × partitions, not load.
+const ringDepth = 128
+
+// spscRing is a bounded single-producer single-consumer ring buffer: the
+// lock-free lane between one publisher handler and one partition worker.
+// The producer writes a slot then publishes it by advancing tail; the
+// consumer processes a slot then releases it by advancing head. With exactly
+// one goroutine on each side, the two atomic cursors are the entire
+// synchronisation protocol — no mutex, no channel, no allocation per entry.
+type spscRing struct {
+	slots [ringDepth]ringEntry
+	// head is the next slot the consumer will read; written only by the
+	// consumer. tail is the next slot the producer will write; written only
+	// by the producer. tail-head is the backlog.
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// pending returns the entry backlog (approximate from a third party; exact
+// from either endpoint).
+func (r *spscRing) pending() int { return int(r.tail.Load() - r.head.Load()) }
+
+// push appends one entry, copying els into the slot-owned buffer. It blocks
+// (spinning with Gosched) while the ring is full — backpressure onto the
+// publisher, exactly like the bounded channel it replaces.
+func (r *spscRing) push(kind ringKind, id core.StreamID, els []temporal.Element) {
+	t := r.tail.Load()
+	for r.head.Load()+ringDepth == t {
+		runtime.Gosched()
+	}
+	s := &r.slots[t%ringDepth]
+	s.kind = kind
+	s.id = id
+	s.els = append(s.els[:0], els...)
+	r.tail.Store(t + 1)
+}

@@ -1,0 +1,59 @@
+package partition
+
+import "lmerge/internal/temporal"
+
+// Slots is the routing-table granularity: the key space is divided into this
+// many slots, each owned by one partition. Routing is two-step — slot =
+// hash(key) mod Slots, partition = owner[slot] — so rebalancing moves whole
+// slots between partitions instead of re-hashing, and an in-flight element's
+// destination is fully determined by the table version (epoch) its router
+// read. 64 slots keeps the table in one cache line while still giving an
+// 8-partition pool 8 slots per worker to shed.
+const Slots = 64
+
+// routeTable is one immutable version of the slot-ownership map. Mutation is
+// copy-on-write: rebalancing installs a successor table with a bumped epoch,
+// so concurrent routers see either the old or the new map, never a mix.
+type routeTable struct {
+	epoch int64
+	owner [Slots]int32
+}
+
+// newRouteTable maps slots round-robin across parts partitions — the static
+// assignment equivalent to the classic hash mod parts routing.
+func newRouteTable(parts int) *routeTable {
+	t := &routeTable{}
+	for i := range t.owner {
+		t.owner[i] = int32(i % parts)
+	}
+	return t
+}
+
+// clone returns a successor table with the epoch advanced.
+func (t *routeTable) clone() *routeTable {
+	c := *t
+	c.epoch++
+	return &c
+}
+
+// slotOf maps a key hash to its routing slot.
+func slotOf(hash uint64) int { return int(hash % Slots) }
+
+// route returns the partition owning the key hash under this table.
+func (t *routeTable) route(hash uint64) int { return int(t.owner[slotOf(hash)]) }
+
+// slotMatcher returns a payload predicate selecting exactly the keys of one
+// routing slot — the extraction filter of a slot migration.
+func slotMatcher(key KeyFunc, slot int) func(temporal.Payload) bool {
+	return func(p temporal.Payload) bool { return slotOf(key(p)) == slot }
+}
+
+// slotsMatcher is slotMatcher over a slot set: the extraction filter of a
+// batched migration moving several slots to one recipient in one handoff.
+func slotsMatcher(key KeyFunc, slots []int) func(temporal.Payload) bool {
+	var in [Slots]bool
+	for _, s := range slots {
+		in[s] = true
+	}
+	return func(p temporal.Payload) bool { return in[slotOf(key(p))] }
+}

@@ -3,6 +3,7 @@ package partition
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -16,25 +17,47 @@ var ErrShardedClosed = errors.New("partition: sharded pool closed")
 
 // Sharded is the concurrent form of the partitioned merge: one worker
 // goroutine per partition, each owning a full core.Operator (dynamic
-// attach/detach, feedback) over its slice of the key space. Callers route
-// whole publisher batches in; inserts/adjusts are steered to their key's
-// worker, stables are broadcast to every worker, and worker outputs are
-// reunified under a single emit mutex with the min-frontier rule.
+// attach/detach, feedback) over its slice of the key space.
+//
+// The data plane is lock-light. Each publisher handler routes its own batch
+// caller-side against the copy-on-write slot table (router.go) and enqueues
+// per-worker sub-batches on dedicated SPSC rings — one ring per (publisher,
+// worker) pair — so the hot path crosses no mutex and no channel. Workers
+// drain their rings batch-wise, stage their merge output locally, and flush
+// it under a single emitMu acquisition per drain; the emit mutex guards only
+// the frontier advance, never merge work. Stable elements are coalesced
+// caller-side into one batched frontier update per worker per batch (legal:
+// delaying a progress assertion only weakens it, and the batch's own elements
+// were already constrained by it upstream).
+//
+// Slot ownership can move between workers live — adaptively via the
+// ShardRebalance controller or deterministically via MigrateSlot — using
+// snapshot-style state handoff (core.Handoff; the paper's jumpstart/cutover
+// machinery applied internally, see DESIGN.md §11 for the drain/cutover state
+// machine).
 //
 // It is the ingestion backend behind lmserved's -partitions flag: publisher
 // handlers enqueue and return, per-partition merge work proceeds in parallel,
 // and only the (cheap) reunified emission is serialised.
 //
 // Ordering contract: Attach/Detach/ProcessBatch for one publisher must be
-// issued from one goroutine (the server's per-connection handler), which
-// with per-worker FIFO queues preserves the per-stream element order each
-// partition observes. Different publishers interleave freely.
+// issued from one goroutine (the server's per-connection handler) — that is
+// what makes the rings single-producer. Different publishers interleave
+// freely. Stats/SizeBytes/PartitionStats/MigrateSlot are cold-path calls from
+// any goroutine, but not concurrently with Close.
 type Sharded struct {
 	workers []*shardWorker
 	key     KeyFunc
 	emit    core.Emit
 
-	// emitMu serialises reunified emission; front/outStats are owned by it.
+	// table is the current routing epoch. routeMu's read side spans one
+	// batch's route+enqueue so that a migration's write side (flip + ring-tail
+	// snapshot) observes either all or none of a batch's pushes — the drain
+	// barrier's soundness depends on that atomicity, see rebalance.go.
+	table   atomic.Pointer[routeTable]
+	routeMu sync.RWMutex
+
+	// emitMu serialises reunified emission; front is owned by it.
 	emitMu    sync.Mutex
 	front     *frontier
 	maxStable atomic.Int64
@@ -43,8 +66,10 @@ type Sharded struct {
 	inIns, inAdj, inStb    atomic.Int64
 	outIns, outAdj, outStb atomic.Int64
 
-	idMu   sync.Mutex
+	// pubMu guards the publisher table; nextID under it.
+	pubMu  sync.RWMutex
 	nextID core.StreamID
+	pubs   map[core.StreamID]*shardPub
 
 	// fb receives reunified fast-forward signals: the minimum of the
 	// per-worker signals for a stream, since a publisher can only skip
@@ -59,52 +84,123 @@ type Sharded struct {
 	// on stable advances (see ShardObserve).
 	tel *obs.Node
 
-	errMu  sync.Mutex
-	err    error
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	// slotLoad counts elements routed per slot since start — the rebalance
+	// controller differences consecutive samples into window loads. Updated
+	// per batch (publisher-local counts flushed once), only while a
+	// controller is attached.
+	slotLoad [Slots]atomic.Int64
+
+	// migMu serialises migrations (adaptive controller and manual
+	// MigrateSlot); prepReply is the reusable recipient-clock reply lane.
+	migMu     sync.Mutex
+	prepReply chan temporal.Time
+	handoff   bool // workers' algorithm supports core.Handoff
+	reb       *rebalancer
+
+	// coldMu serialises cold-path worker queries; statsReply/sizeReply are
+	// their reusable reply lanes (allocated once, not per call).
+	coldMu     sync.Mutex
+	statsReply chan core.Stats
+	sizeReply  chan int
+
+	manualMigs atomic.Int64 // completed MigrateSlot calls
+
+	errMu   sync.Mutex
+	err     error
+	closing atomic.Bool // Close entered (idempotency guard)
+	closed  atomic.Bool // pool refuses traffic; workers drain out
+	wg      sync.WaitGroup
+}
+
+// shardPub is one publisher's enqueue state: its per-worker rings plus
+// routing scratch reused across batches. Touched only from the publisher's
+// own goroutine (ordering contract).
+type shardPub struct {
+	rings []*spscRing
+	parts [][]temporal.Element // per-worker sub-batch scratch
+	slots []int32              // per-element slot scratch (-1 = stable)
+
+	// Per-slot counts flushed to Sharded.slotLoad once per batch.
+	slotCount [Slots]int64
+	touched   []int
+}
+
+// heldEntry is one ring entry copied aside while its worker is frozen as a
+// migration recipient; replayed in order at install.
+type heldEntry struct {
+	kind ringKind
+	id   core.StreamID
+	els  []temporal.Element
 }
 
 type shardWorker struct {
-	idx       int
-	ch        chan shardCmd
-	op        *core.Operator
+	idx int
+	op  *core.Operator
+
+	// rings is the worker's current ring list (copy-on-write: Attach appends,
+	// the worker itself unlinks a ring after consuming its detach entry;
+	// ringMu serialises the rewrites, readers load atomically).
+	rings  atomic.Pointer[[]*spscRing]
+	ringMu sync.Mutex
+
+	// ctl carries cold-path queries and migration protocol steps; the worker
+	// polls it ahead of ring work so control never queues behind data.
+	ctl chan ctlMsg
+
+	// parked/wake implement the hybrid wait: the worker spins briefly, then
+	// publishes parked=true, re-checks for work, and blocks on wake.
+	// Producers CAS parked false and post one token after pushing.
+	parked atomic.Bool
+	wake   chan struct{}
+
 	processed atomic.Int64
+	tel       *obs.Node
+
+	// Worker-goroutine-local state (no locking).
+	out     []temporal.Element // staged emissions, flushed per drain
+	held    []heldEntry        // ring entries set aside while stalled
+	stalled bool               // frozen as migration recipient
+	mig     *migration         // pending migration with this worker as donor
 }
 
-type shardCmdKind uint8
+type ctlKind uint8
 
 const (
-	cmdBatch shardCmdKind = iota
-	cmdAttach
-	cmdDetach
-	cmdStats
-	cmdSize
+	ctlStats ctlKind = iota
+	ctlSize
+	ctlAttach
+	ctlPrepare
+	ctlMigrate
+	ctlInstall
 )
 
-type shardCmd struct {
-	kind      shardCmdKind
-	id        core.StreamID
-	els       []temporal.Element // owned by the command
-	joinTime  temporal.Time
-	reply     chan core.Stats
-	sizeReply chan int
+type ctlMsg struct {
+	kind       ctlKind
+	statsReply chan core.Stats
+	sizeReply  chan int
+	id         core.StreamID // ctlAttach: stream to register
+	joinTime   temporal.Time // ctlAttach: its join point
+	ack        chan struct{} // ctlAttach: completion barrier
+	prepReply  chan temporal.Time
+	mig        *migration
+	st         core.HandoffState
 }
 
-// shardQueueDepth is the per-worker command queue capacity: deep enough to
-// decouple publisher bursts from merge work, bounded so memory stays
-// proportional to partitions, not load.
-const shardQueueDepth = 1024
+// workerSpin is how many empty scan passes a worker burns (yielding between
+// them) before parking on its wake channel. Low enough that an idle pool
+// sleeps, high enough that a loaded pool never touches the futex path.
+const workerSpin = 64
 
 // ShardedOption configures a Sharded pool.
 type ShardedOption func(*shardedConfig)
 
 type shardedConfig struct {
-	key     KeyFunc
-	fb      core.FeedbackFunc
-	lag     temporal.Time
-	reg     *obs.Registry
-	obsName string
+	key       KeyFunc
+	fb        core.FeedbackFunc
+	lag       temporal.Time
+	reg       *obs.Registry
+	obsName   string
+	rebalance *RebalanceConfig
 }
 
 // ShardKeyFunc overrides the payload→hash routing function.
@@ -157,20 +253,25 @@ func NewSharded(parts int, mk func(core.Emit) core.Merger, emit core.Emit, opts 
 		emit = func(temporal.Element) {}
 	}
 	s := &Sharded{
-		workers: make([]*shardWorker, parts),
-		key:     cfg.key,
-		emit:    emit,
-		front:   newFrontier(parts),
-		fb:      cfg.fb,
-		ffSeen:  make(map[core.StreamID][]temporal.Time),
-		ffSent:  make(map[core.StreamID]temporal.Time),
+		workers:    make([]*shardWorker, parts),
+		key:        cfg.key,
+		emit:       emit,
+		front:      newFrontier(parts),
+		pubs:       make(map[core.StreamID]*shardPub),
+		fb:         cfg.fb,
+		ffSeen:     make(map[core.StreamID][]temporal.Time),
+		ffSent:     make(map[core.StreamID]temporal.Time),
+		prepReply:  make(chan temporal.Time, 1),
+		statsReply: make(chan core.Stats, 1),
+		sizeReply:  make(chan int, 1),
 	}
+	s.table.Store(newRouteTable(parts))
 	s.maxStable.Store(int64(temporal.MinTime))
 	if cfg.reg != nil {
 		s.tel = cfg.reg.Node(cfg.obsName)
 	}
 	for p := range s.workers {
-		w := &shardWorker{idx: p, ch: make(chan shardCmd, shardQueueDepth)}
+		w := &shardWorker{idx: p, ctl: make(chan ctlMsg, 4), wake: make(chan struct{}, 1)}
 		var opOpts []core.OperatorOption
 		if cfg.fb != nil && cfg.lag >= 0 {
 			opOpts = append(opOpts, core.WithFeedback(func(f core.Feedback) {
@@ -178,12 +279,24 @@ func NewSharded(parts int, mk func(core.Emit) core.Merger, emit core.Emit, opts 
 			}, cfg.lag))
 		}
 		if cfg.reg != nil {
-			opOpts = append(opOpts, core.WithObserver(cfg.reg.Node(fmt.Sprintf("%s/part%d", cfg.obsName, p))))
+			w.tel = cfg.reg.Node(fmt.Sprintf("%s/part%d", cfg.obsName, p))
+			opOpts = append(opOpts, core.WithObserver(w.tel))
 		}
-		w.op = core.NewOperator(mk(s.workerEmit(p)), opOpts...)
+		w.op = core.NewOperator(mk(s.workerEmit(w)), opOpts...)
 		s.workers[p] = w
+	}
+	if h, ok := s.workers[0].op.Merger().(core.Handoff); ok && h.HandoffCapable() {
+		s.handoff = true
+	}
+	if cfg.rebalance != nil && s.handoff && parts > 1 {
+		s.reb = newRebalancer(s, *cfg.rebalance)
+	}
+	for _, w := range s.workers {
 		s.wg.Add(1)
 		go s.run(w)
+	}
+	if s.reb != nil {
+		go s.reb.run()
 	}
 	return s
 }
@@ -191,57 +304,222 @@ func NewSharded(parts int, mk func(core.Emit) core.Merger, emit core.Emit, opts 
 // Partitions returns the worker count.
 func (s *Sharded) Partitions() int { return len(s.workers) }
 
+// run is the worker loop: control first, then a drain pass over the rings,
+// then the migration barrier check, then spin/park.
 func (s *Sharded) run(w *shardWorker) {
 	defer s.wg.Done()
-	for cmd := range w.ch {
-		switch cmd.kind {
-		case cmdBatch:
-			if err := w.op.ProcessBatch(cmd.id, cmd.els); err != nil {
-				s.recordErr(err)
+	idle := 0
+	for {
+		did := false
+		for {
+			select {
+			case m := <-w.ctl:
+				s.handleCtl(w, m)
+				did = true
+				continue
+			default:
 			}
-			w.processed.Add(int64(len(cmd.els)))
-		case cmdAttach:
-			w.op.AttachAt(cmd.id, cmd.joinTime)
-		case cmdDetach:
-			w.op.Detach(cmd.id)
-		case cmdStats:
-			cmd.reply <- *w.op.Merger().Stats()
-		case cmdSize:
-			cmd.sizeReply <- w.op.Merger().SizeBytes()
+			break
 		}
+		for _, r := range w.ringList() {
+			if s.drainRing(w, r) {
+				did = true
+			}
+		}
+		if w.mig != nil && w.barrierMet() {
+			s.completeMigration(w)
+			did = true
+		}
+		if did {
+			idle = 0
+			continue
+		}
+		if s.closed.Load() && !w.stalled && w.mig == nil && len(w.ctl) == 0 {
+			return
+		}
+		idle++
+		if idle < workerSpin {
+			runtime.Gosched()
+			continue
+		}
+		w.parked.Store(true)
+		if w.workReady() || s.closed.Load() {
+			w.parked.Store(false)
+			idle = 0
+			continue
+		}
+		select {
+		case <-w.wake:
+		case m := <-w.ctl:
+			s.handleCtl(w, m)
+		}
+		w.parked.Store(false)
+		idle = 0
 	}
 }
 
-// workerEmit is worker p's output callback, running on p's goroutine during
-// merge processing. Reunification is serialised by emitMu; the forwarded
-// elements stay legal against the reunified stable point because worker p's
-// frontier entry (updated only here, in p's own emission order) never runs
-// ahead of elements p emitted earlier, and the frontier minimum never runs
-// ahead of any entry.
-func (s *Sharded) workerEmit(p int) core.Emit {
-	return func(e temporal.Element) {
-		s.emitMu.Lock()
-		defer s.emitMu.Unlock()
-		switch e.Kind {
-		case temporal.KindStable:
-			if s.front.Update(p, e.T()) {
-				if min := s.front.Min(); min > temporal.Time(s.maxStable.Load()) {
-					s.maxStable.Store(int64(min))
-					s.outStb.Add(1)
-					s.tel.OutStable(p, min)
-					s.emit(temporal.Stable(min))
-				}
+// drainQuantum bounds how many entries one drain pass takes from one ring,
+// so a backlogged publisher's stream is interleaved with its peers' instead
+// of being merged to completion first — the cross-publisher interleaving the
+// fast-forward feedback path (and freshness fairness generally) depends on.
+const drainQuantum = 4
+
+// drainRing consumes up to drainQuantum entries of the ring's backlog. A
+// stalled worker (migration recipient) still consumes — entries are copied
+// to the holding queue so producers never block against a frozen partition —
+// but merges nothing, so its clock stays pinned until install.
+func (s *Sharded) drainRing(w *shardWorker, r *spscRing) bool {
+	h := r.head.Load()
+	t := r.tail.Load()
+	if h == t {
+		return false
+	}
+	if t-h > drainQuantum {
+		t = h + drainQuantum
+	}
+	var n int64
+	for ; h != t; h++ {
+		e := &r.slots[h%ringDepth]
+		if w.stalled {
+			w.held = append(w.held, heldEntry{
+				kind: e.kind,
+				id:   e.id,
+				els:  append([]temporal.Element(nil), e.els...),
+			})
+			if e.kind == ringDetach {
+				w.dropRing(r)
 			}
-		case temporal.KindInsert:
-			s.outIns.Add(1)
-			s.tel.OutInsert()
-			s.emit(e)
-		case temporal.KindAdjust:
-			s.outAdj.Add(1)
-			s.tel.OutAdjust(e.Ve == e.Vs)
-			s.emit(e)
+			r.head.Store(h + 1)
+			continue
+		}
+		switch e.kind {
+		case ringBatch:
+			if err := w.op.ProcessBatch(e.id, e.els); err != nil {
+				s.recordErr(err)
+			}
+			n += int64(len(e.els))
+		case ringDetach:
+			w.op.Detach(e.id)
+			w.dropRing(r)
+		}
+		r.head.Store(h + 1)
+	}
+	if n != 0 {
+		w.processed.Add(n)
+	}
+	s.flushEmit(w)
+	return true
+}
+
+func (s *Sharded) handleCtl(w *shardWorker, m ctlMsg) {
+	switch m.kind {
+	case ctlStats:
+		m.statsReply <- *w.op.Merger().Stats()
+	case ctlSize:
+		m.sizeReply <- w.op.Merger().SizeBytes()
+	case ctlAttach:
+		// Runs on the control lane, not the rings: an attach must be ordered
+		// against every publisher's traffic (a worker that merges some other
+		// stream's stable first would emit output stables the new stream's
+		// queued data then violates), and Attach returning only after every
+		// worker acked is what provides that ordering — the new publisher
+		// cannot enqueue data anywhere until then, and no worker can reach a
+		// frontier that ignores it afterwards. Registering is legal even while
+		// stalled: AttachAt mutates only the merger's stream table.
+		w.op.AttachAt(m.id, m.joinTime)
+		m.ack <- struct{}{}
+	case ctlPrepare:
+		// Freeze as migration recipient: report the pinned clock. From here
+		// until ctlInstall, drainRing diverts everything to the holding queue.
+		w.stalled = true
+		m.prepReply <- w.op.Merger().MaxStable()
+	case ctlMigrate:
+		// This worker is the donor; extraction happens at the drain barrier
+		// (see barrierMet / completeMigration in the main loop).
+		w.mig = m.mig
+	case ctlInstall:
+		if h, ok := w.op.Merger().(core.Handoff); ok {
+			h.InstallKeys(m.st)
+		}
+		w.stalled = false
+		s.replayHeld(w)
+	}
+}
+
+// replayHeld runs the holding queue through normal processing after install.
+func (s *Sharded) replayHeld(w *shardWorker) {
+	held := w.held
+	var n int64
+	for i := range held {
+		e := &held[i]
+		switch e.kind {
+		case ringBatch:
+			if err := w.op.ProcessBatch(e.id, e.els); err != nil {
+				s.recordErr(err)
+			}
+			n += int64(len(e.els))
+		case ringDetach:
+			w.op.Detach(e.id)
 		}
 	}
+	if n != 0 {
+		w.processed.Add(n)
+	}
+	w.held = held[:0]
+	s.flushEmit(w)
+}
+
+// workerEmit is worker w's output callback, running on w's goroutine during
+// merge processing. Emissions are staged locally and flushed once per drain
+// pass (flushEmit), so the emit mutex is taken per batch, not per element.
+func (s *Sharded) workerEmit(w *shardWorker) core.Emit {
+	return func(e temporal.Element) {
+		w.out = append(w.out, e)
+	}
+}
+
+// flushEmit publishes worker w's staged output. Counters are folded outside
+// the lock; emitMu guards only the frontier advance and the downstream emit.
+// The forwarded elements stay legal against the reunified stable point
+// because worker w's frontier entry (updated only here, in w's own emission
+// order) never runs ahead of elements w staged earlier, and the frontier
+// minimum never runs ahead of any entry.
+func (s *Sharded) flushEmit(w *shardWorker) {
+	if len(w.out) == 0 {
+		return
+	}
+	var ins, adj, wd int64
+	for _, e := range w.out {
+		switch e.Kind {
+		case temporal.KindInsert:
+			ins++
+		case temporal.KindAdjust:
+			adj++
+			if e.Ve == e.Vs {
+				wd++
+			}
+		}
+	}
+	s.outIns.Add(ins)
+	s.outAdj.Add(adj)
+	s.tel.OutBulk(ins, adj, wd)
+	s.emitMu.Lock()
+	for _, e := range w.out {
+		if e.Kind != temporal.KindStable {
+			s.emit(e)
+			continue
+		}
+		if s.front.Update(w.idx, e.T()) {
+			if min := s.front.Min(); min > temporal.Time(s.maxStable.Load()) {
+				s.maxStable.Store(int64(min))
+				s.outStb.Add(1)
+				s.tel.OutStable(w.idx, min)
+				s.emit(temporal.Stable(min))
+			}
+		}
+	}
+	s.emitMu.Unlock()
+	w.out = w.out[:0]
 }
 
 // onWorkerFeedback folds per-worker fast-forward signals into one reunified
@@ -276,28 +554,69 @@ func (s *Sharded) onWorkerFeedback(p int, f core.Feedback) {
 }
 
 // Attach registers a publisher under a fresh id, mirrored across every
-// worker. The id is valid for ProcessBatch as soon as Attach returns:
-// per-worker queues are FIFO, so the attach command precedes any batch the
-// caller enqueues afterwards.
+// worker. The registration is a synchronous control-lane round trip per
+// worker — NOT a ring entry — because rings only order one publisher's
+// traffic against itself, while an attach must be ordered against every
+// other publisher's traffic: Attach returns only once every worker's merger
+// knows the stream, so no worker frontier computed after this call can
+// ignore it, and the publisher cannot have enqueued data before it.
 func (s *Sharded) Attach(joinTime temporal.Time) core.StreamID {
-	s.idMu.Lock()
+	nw := len(s.workers)
+	pub := &shardPub{
+		rings: make([]*spscRing, nw),
+		parts: make([][]temporal.Element, nw),
+	}
+	for p := range pub.rings {
+		pub.rings[p] = &spscRing{}
+	}
+	s.pubMu.Lock()
 	id := s.nextID
 	s.nextID++
-	s.idMu.Unlock()
-	for _, w := range s.workers {
-		w.ch <- shardCmd{kind: cmdAttach, id: id, joinTime: joinTime}
+	s.pubs[id] = pub
+	s.pubMu.Unlock()
+	ack := make(chan struct{}, 1)
+	for p, w := range s.workers {
+		w.addRing(pub.rings[p])
+		w.ctl <- ctlMsg{kind: ctlAttach, id: id, joinTime: joinTime, ack: ack}
+		w.wakeUp()
+		<-ack
 	}
 	s.tel.Attached(id, joinTime)
 	return id
 }
 
-// Detach unregisters publisher id on every worker.
+// Detach unregisters publisher id on every worker and returns only once the
+// publisher's stream is fully consumed: each worker unlinks the publisher's
+// ring once it consumes the detach entry (the ring's last, per the ordering
+// contract), and Detach waits for that on every ring. The drain barrier is
+// what makes the server's quiescence signal ("every publisher detached")
+// meaningful — once it holds, every routed element has been merged and every
+// per-partition counter is final, which the observability layer's routing-
+// conservation invariant (and its tests) depend on. Blocking here is fine:
+// Detach is connection teardown, the one moment a publisher handler has
+// nothing left to pipeline. A ring's entries can outlive this wait only
+// inside a migration recipient's holding queue, which its in-flight
+// migration replays before completing.
 func (s *Sharded) Detach(id core.StreamID) {
 	if s.closed.Load() {
 		return
 	}
-	for _, w := range s.workers {
-		w.ch <- shardCmd{kind: cmdDetach, id: id}
+	s.pubMu.Lock()
+	pub := s.pubs[id]
+	delete(s.pubs, id)
+	s.pubMu.Unlock()
+	if pub == nil {
+		return
+	}
+	for p, w := range s.workers {
+		pub.rings[p].push(ringDetach, id, nil)
+		w.wakeUp()
+	}
+	for p, w := range s.workers {
+		for pub.rings[p].pending() > 0 {
+			w.wakeUp()
+			runtime.Gosched()
+		}
 	}
 	s.ffMu.Lock()
 	delete(s.ffSeen, id)
@@ -306,8 +625,9 @@ func (s *Sharded) Detach(id core.StreamID) {
 	s.tel.Detached(id)
 }
 
-// ProcessBatch routes one publisher batch: inserts/adjusts to their key's
-// worker, stables to every worker, preserving the batch's element order
+// ProcessBatch routes one publisher batch caller-side: inserts/adjusts to
+// their slot's worker, stables coalesced into one batched frontier update
+// appended to every worker's sub-batch, preserving the batch's element order
 // within each partition's sub-batch. It returns the pool's recorded error
 // state — merge errors are asynchronous, surfacing on a later call (or at
 // Close) rather than the one that enqueued the faulty element.
@@ -315,28 +635,84 @@ func (s *Sharded) ProcessBatch(id core.StreamID, els []temporal.Element) error {
 	if s.closed.Load() {
 		return ErrShardedClosed
 	}
-	parts := make([][]temporal.Element, len(s.workers))
+	s.pubMu.RLock()
+	pub := s.pubs[id]
+	s.pubMu.RUnlock()
+	if pub == nil {
+		return s.Err()
+	}
+	nw := len(s.workers)
+	for p := 0; p < nw; p++ {
+		pub.parts[p] = pub.parts[p][:0]
+	}
+	pub.slots = pub.slots[:0]
+
+	// Pass 1 (no locks): hash, count, and remember each element's slot.
+	var ins, adj, stb int64
+	maxStb := temporal.MinTime
+	track := s.reb != nil
 	for _, e := range els {
-		s.tel.In(id, e.Kind, e.Ve)
-		switch e.Kind {
-		case temporal.KindStable:
-			s.inStb.Add(1)
-			for p := range parts {
-				parts[p] = append(parts[p], e)
+		if e.Kind == temporal.KindStable {
+			stb++
+			if t := e.T(); t > maxStb {
+				maxStb = t
 			}
-		case temporal.KindInsert:
-			s.inIns.Add(1)
-			p := int(s.key(e.Payload) % uint64(len(s.workers)))
-			parts[p] = append(parts[p], e)
-		case temporal.KindAdjust:
-			s.inAdj.Add(1)
-			p := int(s.key(e.Payload) % uint64(len(s.workers)))
-			parts[p] = append(parts[p], e)
+			pub.slots = append(pub.slots, -1)
+			continue
+		}
+		if e.Kind == temporal.KindInsert {
+			ins++
+		} else {
+			adj++
+		}
+		slot := slotOf(s.key(e.Payload))
+		pub.slots = append(pub.slots, int32(slot))
+		if track {
+			if pub.slotCount[slot] == 0 {
+				pub.touched = append(pub.touched, slot)
+			}
+			pub.slotCount[slot]++
 		}
 	}
-	for p, sub := range parts {
-		if len(sub) > 0 {
-			s.workers[p].ch <- shardCmd{kind: cmdBatch, id: id, els: sub}
+	s.inIns.Add(ins)
+	s.inAdj.Add(adj)
+	s.inStb.Add(stb)
+	s.tel.InBulk(ins, adj, stb, maxStb)
+	if track {
+		for _, sl := range pub.touched {
+			s.slotLoad[sl].Add(pub.slotCount[sl])
+			pub.slotCount[sl] = 0
+		}
+		pub.touched = pub.touched[:0]
+	}
+
+	// Pass 2 (under the route read-lock): resolve owners against one table
+	// version and enqueue. Keeping the pushes inside the read section is what
+	// makes a migration's tail snapshot a sound drain barrier: the write side
+	// cannot interleave with a half-pushed batch.
+	s.routeMu.RLock()
+	table := s.table.Load()
+	for i, e := range els {
+		if sl := pub.slots[i]; sl >= 0 {
+			p := table.owner[sl]
+			pub.parts[p] = append(pub.parts[p], e)
+		}
+	}
+	if stb > 0 {
+		stable := temporal.Stable(maxStb)
+		for p := 0; p < nw; p++ {
+			pub.parts[p] = append(pub.parts[p], stable)
+		}
+	}
+	for p := 0; p < nw; p++ {
+		if len(pub.parts[p]) > 0 {
+			pub.rings[p].push(ringBatch, id, pub.parts[p])
+		}
+	}
+	s.routeMu.RUnlock()
+	for p := 0; p < nw; p++ {
+		if len(pub.parts[p]) > 0 {
+			s.workers[p].wakeUp()
 		}
 	}
 	return s.Err()
@@ -366,7 +742,8 @@ func (s *Sharded) recordErr(err error) {
 // Stats returns the reunified traffic counters: input/output traffic as the
 // reunified stream saw it (a broadcast stable counts once), Dropped and
 // ConsistencyWarnings summed over the workers. The worker sums are gathered
-// through the queues, so the caller briefly waits behind in-flight batches.
+// through the control lanes, so the caller briefly waits behind in-flight
+// batches.
 func (s *Sharded) Stats() core.Stats {
 	st := core.Stats{
 		InInserts:  s.inIns.Load(),
@@ -384,33 +761,39 @@ func (s *Sharded) Stats() core.Stats {
 }
 
 // SizeBytes sums the workers' merge-state footprints, gathered through the
-// queues (sizing walks each partition's index, so this is a cold-path call —
-// stats queries and periodic logs — never per element). It also refreshes
-// the pool telemetry node's state gauge when one is attached.
+// control lanes on a reusable reply channel (sizing walks each partition's
+// index, so this is a cold-path call — stats queries and periodic logs —
+// never per element). It also refreshes the pool telemetry node's state
+// gauge when one is attached.
 func (s *Sharded) SizeBytes() int {
 	if s.closed.Load() {
 		return 0
 	}
+	s.coldMu.Lock()
 	total := 0
-	reply := make(chan int, 1)
 	for _, w := range s.workers {
-		w.ch <- shardCmd{kind: cmdSize, sizeReply: reply}
-		total += <-reply
+		w.ctl <- ctlMsg{kind: ctlSize, sizeReply: s.sizeReply}
+		w.wakeUp()
+		total += <-s.sizeReply
 	}
+	s.coldMu.Unlock()
 	s.tel.SetStateBytes(total)
 	return total
 }
 
-// workerStats fetches each worker's merger counters via its queue.
+// workerStats fetches each worker's merger counters via its control lane,
+// reusing the pool's reply channel across workers and calls.
 func (s *Sharded) workerStats() []core.Stats {
 	out := make([]core.Stats, len(s.workers))
 	if s.closed.Load() {
 		return out
 	}
-	reply := make(chan core.Stats, 1)
+	s.coldMu.Lock()
+	defer s.coldMu.Unlock()
 	for p, w := range s.workers {
-		w.ch <- shardCmd{kind: cmdStats, reply: reply}
-		out[p] = <-reply
+		w.ctl <- ctlMsg{kind: ctlStats, statsReply: s.statsReply}
+		w.wakeUp()
+		out[p] = <-s.statsReply
 	}
 	return out
 }
@@ -418,7 +801,8 @@ func (s *Sharded) workerStats() []core.Stats {
 // PartitionStat is one worker's load gauge set (see metrics wiring in
 // lmserved).
 type PartitionStat struct {
-	// QueueDepth is the number of commands waiting in the worker's queue.
+	// QueueDepth is the number of entries pending across the worker's ingress
+	// rings.
 	QueueDepth int
 	// Processed is the number of elements the worker has merged.
 	Processed int64
@@ -428,7 +812,8 @@ type PartitionStat struct {
 	Lag temporal.Time
 }
 
-// PartitionStats samples every worker's gauges without stopping the pool.
+// PartitionStats samples every worker's gauges without stopping the pool,
+// refreshing each worker's telemetry queue-depth gauge along the way.
 func (s *Sharded) PartitionStats() []PartitionStat {
 	out := make([]PartitionStat, len(s.workers))
 	s.emitMu.Lock()
@@ -441,21 +826,140 @@ func (s *Sharded) PartitionStats() []PartitionStat {
 	}
 	s.emitMu.Unlock()
 	for p, w := range s.workers {
-		out[p].QueueDepth = len(w.ch)
+		depth := 0
+		for _, r := range w.ringList() {
+			depth += r.pending()
+		}
+		out[p].QueueDepth = depth
 		out[p].Processed = w.processed.Load()
+		w.tel.SetQueueDepth(depth)
 	}
 	return out
+}
+
+// SlotOwner implements Rebalancer: the worker currently owning a routing
+// slot.
+func (s *Sharded) SlotOwner(slot int) int {
+	return int(s.table.Load().owner[slot])
+}
+
+// SlotLoads returns the cumulative routed-element count per routing slot.
+// The counters are the adaptive controller's load signal and are maintained
+// only while one is attached (ShardRebalance); without one they read zero.
+// Combined with SlotOwner they give the offered-load balance of the current
+// slot assignment — the quantity the controller flattens — independent of
+// which worker goroutines the OS scheduler happened to run.
+func (s *Sharded) SlotLoads() (out [Slots]int64) {
+	for i := range out {
+		out[i] = s.slotLoad[i].Load()
+	}
+	return out
+}
+
+// MigrateSlot implements Rebalancer: it moves ownership of one routing slot
+// to worker `to` through the live migration protocol (rebalance.go),
+// blocking until the state transplant has been handed to the recipient. It
+// reports whether a migration happened; it is a no-op when the slot already
+// lives on `to`, when the workers' algorithm does not support handoff, or on
+// a closed pool. Cold path — not for concurrent use with Close.
+func (s *Sharded) MigrateSlot(slot, to int) bool {
+	if s.closed.Load() || slot < 0 || slot >= Slots || to < 0 || to >= len(s.workers) || !s.handoff {
+		return false
+	}
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	from := int(s.table.Load().owner[slot])
+	if from == to {
+		return false
+	}
+	s.migrateLocked(from, []slotMove{{slot: slot, to: to}})
+	s.manualMigs.Add(1)
+	return true
+}
+
+// Migrations returns the number of completed slot migrations.
+func (s *Sharded) Migrations() int64 {
+	if s.reb == nil {
+		return s.manualMigs.Load()
+	}
+	return s.reb.migrations.Load() + s.manualMigs.Load()
 }
 
 // Close drains and stops the workers. No Attach/Detach/ProcessBatch may be
 // in flight or issued afterwards (the server closes publisher handlers
 // first). Close returns the pool's recorded error state.
 func (s *Sharded) Close() error {
-	if !s.closed.Swap(true) {
+	if !s.closing.Swap(true) {
+		// Stop the rebalance controller before marking the pool closed: an
+		// in-flight migration completes against live workers, and no new one
+		// starts against exiting ones.
+		if s.reb != nil {
+			s.reb.stop()
+		}
+		s.closed.Store(true)
 		for _, w := range s.workers {
-			close(w.ch)
+			w.wakeUp()
 		}
 		s.wg.Wait()
 	}
 	return s.Err()
+}
+
+// --- shardWorker helpers ---
+
+func (w *shardWorker) ringList() []*spscRing {
+	if p := w.rings.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (w *shardWorker) addRing(r *spscRing) {
+	w.ringMu.Lock()
+	cur := w.ringList()
+	next := make([]*spscRing, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, r)
+	w.rings.Store(&next)
+	w.ringMu.Unlock()
+}
+
+func (w *shardWorker) dropRing(r *spscRing) {
+	w.ringMu.Lock()
+	cur := w.ringList()
+	next := make([]*spscRing, 0, len(cur))
+	for _, x := range cur {
+		if x != r {
+			next = append(next, x)
+		}
+	}
+	w.rings.Store(&next)
+	w.ringMu.Unlock()
+}
+
+// wakeUp unparks the worker if it is (about to be) blocked. The CAS hands
+// exactly one producer the duty of posting the token; a stale token only
+// causes a spurious scan.
+func (w *shardWorker) wakeUp() {
+	if w.parked.Load() && w.parked.CompareAndSwap(true, false) {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// workReady reports whether any ring or the control lane has pending work;
+// the worker re-checks it between publishing parked=true and blocking, which
+// with the producers' push-then-check-parked order makes the park race-free.
+func (w *shardWorker) workReady() bool {
+	if len(w.ctl) > 0 {
+		return true
+	}
+	for _, r := range w.ringList() {
+		if r.pending() > 0 {
+			return true
+		}
+	}
+	return false
 }

@@ -18,16 +18,19 @@ import (
 type Splitter struct {
 	parts int
 	key   KeyFunc
+	table *routeTable
 	name  string
 }
 
-// NewSplitter builds a splitter routing across parts partitions.
+// NewSplitter builds a splitter routing across parts partitions. Routing is
+// slot-based (see router.go) and entirely splitter-local: each splitter owns
+// its table copy, so per-stream routing shares no state and takes no locks.
 func NewSplitter(parts int, opts ...Option) *Splitter {
 	if parts < 1 {
 		parts = 1
 	}
 	o := applyOptions(opts)
-	return &Splitter{parts: parts, key: o.key, name: fmt.Sprintf("split(%d)", parts)}
+	return &Splitter{parts: parts, key: o.key, table: newRouteTable(parts), name: fmt.Sprintf("split(%d)", parts)}
 }
 
 // Name implements engine.Operator.
@@ -39,7 +42,7 @@ func (sp *Splitter) Process(_ int, e temporal.Element, out *engine.Out) {
 		out.Emit(e)
 		return
 	}
-	out.EmitTo(int(sp.key(e.Payload)%uint64(sp.parts)), e)
+	out.EmitTo(sp.table.route(sp.key(e.Payload)), e)
 }
 
 // OnFeedback implements engine.Operator: fast-forward signals pass through

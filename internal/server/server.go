@@ -149,6 +149,11 @@ type Options struct {
 	// and outputs reunified at the minimum partition frontier (DESIGN.md
 	// §8). 0 or 1 selects the classic single-merger backend.
 	Partitions int
+	// Rebalance, when non-nil and Partitions > 1, turns on adaptive hot-key
+	// repartitioning: the pool samples per-slot routed load and live-migrates
+	// routing slots between partition workers when one runs hot (DESIGN.md
+	// §11). Zero-valued fields take the partition.RebalanceConfig defaults.
+	Rebalance *partition.RebalanceConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -196,6 +201,9 @@ func NewWithOptions(addr string, opts Options) (*Server, error) {
 		shOpts := []partition.ShardedOption{partition.ShardObserve(s.reg, "merge")}
 		if fb != nil {
 			shOpts = append(shOpts, partition.ShardFeedback(fb, lag))
+		}
+		if opts.Rebalance != nil {
+			shOpts = append(shOpts, partition.ShardRebalance(*opts.Rebalance))
 		}
 		s.be = partition.NewSharded(opts.Partitions, func(emit core.Emit) core.Merger {
 			return core.New(opts.Case, emit)

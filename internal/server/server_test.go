@@ -11,6 +11,7 @@ import (
 
 	"lmerge/internal/core"
 	"lmerge/internal/gen"
+	"lmerge/internal/partition"
 	"lmerge/internal/temporal"
 )
 
@@ -426,6 +427,67 @@ func TestServerPartitionedBackend(t *testing.T) {
 	}
 	if st := s.Stats(); st.ConsistencyWarnings != 0 || st.InInserts == 0 {
 		t.Fatalf("implausible partitioned stats: %+v", st)
+	}
+}
+
+// TestServerRebalancingBackend runs the partitioned backend with the adaptive
+// repartitioning controller on (Options.Rebalance) under a hot-key workload:
+// the merged output must still reconstitute to the script TDB regardless of
+// whether (and how often) the controller moved slots mid-stream.
+func TestServerRebalancingBackend(t *testing.T) {
+	s, err := NewWithOptions("127.0.0.1:0", Options{
+		Case: core.CaseR3, FeedbackLag: -1, Partitions: 3,
+		Rebalance: &partition.RebalanceConfig{
+			Interval:  time.Millisecond,
+			Threshold: 1.05,
+			MinSample: 64,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sc := gen.NewScript(gen.Config{
+		Events: 400, Seed: 19, EventDuration: 60, MaxGap: 8,
+		Revisions: 0.4, RemoveProb: 0.2, PayloadBytes: 12, KeySkew: 2,
+	})
+	want := sc.TDB()
+
+	sub, err := Subscribe(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := Connect(s.Addr(), temporal.MinTime)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer p.Close()
+			stream := sc.Render(gen.RenderOptions{Seed: int64(90 + i), Disorder: 0.3, StableFreq: 0.05})
+			if err := p.SendStream(stream); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	merged := collect(t, sub)
+	wg.Wait()
+
+	got, err := temporal.Reconstitute(merged)
+	if err != nil {
+		t.Fatalf("merged stream invalid: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("rebalanced merged TDB differs:\n got %v\nwant %v", got, want)
+	}
+	if s.MaxStable() != temporal.Infinity {
+		t.Fatalf("merged stable = %v, want ∞", s.MaxStable())
 	}
 }
 
