@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench chaos partition-soak rebalance-soak fuzz experiments scale bench-compare diffcheck diffcheck-race clean
+.PHONY: all check build vet test race cover bench chaos partition-soak rebalance-soak crash-soak fuzz experiments scale bench-compare diffcheck diffcheck-race clean
 
 all: build vet test
 
 # Everything CI cares about: compile, vet, full tests, race on the
 # concurrent packages, the seeded chaos soaks (single-instance and
-# partitioned), the adaptive-repartitioning soak, and a race-enabled
-# differential sweep over the trimmed config grid.
-check: build vet test race cover chaos partition-soak rebalance-soak diffcheck-race
+# partitioned), the adaptive-repartitioning soak, the crash/recover soak,
+# and a race-enabled differential sweep over the trimmed config grid.
+check: build vet test race cover chaos partition-soak rebalance-soak crash-soak diffcheck-race
 
 build:
 	$(GO) build ./...
@@ -59,12 +59,21 @@ partition-soak:
 rebalance-soak:
 	$(GO) test -race -v -run 'TestShardedMigrateMidStream|TestRebalanceSoak' ./internal/partition/
 
-# Short fuzz sessions over the wire codec, reconstitution, and the server
-# handshake/frame parser.
+# Race-enabled seeded crash/recover loop: kill -9 images (torn WAL tails,
+# corrupted checkpoints) across backend shapes, each recovery checked
+# against the no-crash oracle, plus the kill -9 e2e against a real child
+# process (see DESIGN.md §12).
+crash-soak:
+	$(GO) test -race -v -run 'TestCrashSoak|TestCrashRestart' ./internal/server/
+	$(GO) test -race -v -run TestKill9 ./cmd/lmserved/
+
+# Short fuzz sessions over the wire codec, reconstitution, the server
+# handshake/frame parser, and the WAL record decoder.
 fuzz:
 	$(GO) test ./internal/temporal/ -fuzz FuzzUnmarshalElement -fuzztime 30s
 	$(GO) test ./internal/temporal/ -fuzz FuzzReconstitute -fuzztime 30s
 	$(GO) test ./internal/server/ -run FuzzParseFrame -fuzz FuzzParseFrame -fuzztime 30s
+	$(GO) test ./internal/durable/ -run FuzzWALDecode -fuzz FuzzWALDecode -fuzztime 30s
 
 # Differential correctness sweep: every algorithm × executor × pipeline
 # against the brute-force oracle (see DESIGN.md §7). Any divergence is a bug;

@@ -58,13 +58,17 @@ func serve(args []string) {
 	rebalance := fs.Bool("rebalance", false, "adaptive hot-key repartitioning: live-migrate routing slots between partition workers under skew (needs -partitions > 1)")
 	httpAddr := fs.String("http", "", "serve /metrics and /debug/trace on this address (e.g. 127.0.0.1:7172; empty disables)")
 	statsEvery := fs.Duration("stats-every", 0, "log a telemetry line for each merge node at this period (0 disables)")
+	dataDir := fs.String("data-dir", "", "durable merge state: WAL + checkpoints under this directory; restart jumpstarts from the latest checkpoint and replays the WAL tail (empty disables)")
+	ckptEvery := fs.Duration("checkpoint-every", 0, "checkpoint period when -data-dir is set (0 = server default)")
+	fsync := fs.Bool("fsync", false, "fsync every WAL append (survives power loss, not just process death)")
 	fs.Parse(args)
 
 	c, err := parseCase(*caseName)
 	if err != nil {
 		fatal(err)
 	}
-	opts := server.Options{Case: c, FeedbackLag: -1, Partitions: *parts}
+	opts := server.Options{Case: c, FeedbackLag: -1, Partitions: *parts,
+		DataDir: *dataDir, CheckpointEvery: *ckptEvery, Fsync: *fsync}
 	if *rebalance {
 		if *parts <= 1 {
 			fatal(fmt.Errorf("-rebalance needs -partitions > 1"))
@@ -74,6 +78,15 @@ func serve(args []string) {
 	s, err := server.NewWithOptions(*addr, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if *dataDir != "" {
+		d := s.Durability()
+		if d.Recoveries > 0 {
+			fmt.Fprintf(os.Stderr, "lmserved: recovered from %s — replayed %d WAL records (%d torn bytes discarded) in %.1fms, stable=%d\n",
+				*dataDir, d.ReplayedRecords, d.TornBytes, float64(d.RecoveryLastNS)/1e6, int64(s.MaxStable()))
+		} else {
+			fmt.Fprintf(os.Stderr, "lmserved: durable state in %s (fsync=%v)\n", *dataDir, *fsync)
+		}
 	}
 	if *parts > 1 {
 		mode := ""

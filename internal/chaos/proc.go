@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// Proc is a real child process under chaos control — the durability tier's
+// crash surface. Unlike the connection faults above, which model network
+// failure, killing a process with SIGKILL gives it no chance to flush, close,
+// or checkpoint: whatever the WAL and checkpoint files hold at that instant
+// is what recovery gets, torn final record included.
+type Proc struct {
+	cmd  *exec.Cmd
+	done chan error
+}
+
+// StartProc launches name with args, wiring stderr through (the server logs
+// its recovery line there) and discarding stdout.
+func StartProc(name string, args ...string) (*Proc, error) {
+	cmd := exec.Command(name, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &Proc{cmd: cmd, done: make(chan error, 1)}
+	go func() { p.done <- cmd.Wait() }()
+	return p, nil
+}
+
+// Kill9 delivers SIGKILL — the uncatchable crash — and reaps the child. The
+// process gets no signal handler, no deferred close, no final fsync.
+func (p *Proc) Kill9() error {
+	if err := p.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		return err
+	}
+	<-p.done // reap; the error is the expected "signal: killed"
+	return nil
+}
+
+// Stop delivers SIGINT (the clean-shutdown path) and waits up to timeout
+// before escalating to SIGKILL.
+func (p *Proc) Stop(timeout time.Duration) error {
+	_ = p.cmd.Process.Signal(os.Interrupt)
+	select {
+	case err := <-p.done:
+		return err
+	case <-time.After(timeout):
+		return p.Kill9()
+	}
+}
+
+// Alive reports whether the child has not yet been reaped.
+func (p *Proc) Alive() bool {
+	select {
+	case err := <-p.done:
+		p.done <- err
+		return false
+	default:
+		return true
+	}
+}
+
+// WaitTCP polls addr until a TCP connection succeeds or the deadline passes —
+// the readiness probe for a freshly started (or restarted) server child.
+func WaitTCP(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: %s not accepting connections after %v: %w", addr, timeout, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// FreePort reserves an ephemeral TCP port and releases it, returning the
+// address for a child process to bind. The small window between release and
+// rebind is racy in principle; in the single-machine test harness it is
+// reliable, and the same address must survive a kill/restart cycle anyway.
+func FreePort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}

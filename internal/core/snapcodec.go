@@ -1,0 +1,188 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"lmerge/internal/temporal"
+)
+
+// Binary stream codec: the serialization behind the durability layer
+// (internal/durable). A merger's Snapshot() stream — and any other physical
+// stream prefix, such as a publisher batch or the merged-output backlog — is
+// encoded as a compact, self-delimiting byte run suitable for embedding in a
+// checksummed WAL record or checkpoint section.
+//
+// The format is deliberately simpler than the JSON wire codec
+// (temporal/encoding.go): it is never read by humans or non-Go peers, only
+// written and re-read by the same binary, so it favours density and decode
+// speed. Each element is:
+//
+//	kind     uvarint (0 insert, 1 adjust, 2 stable)
+//	stable:  T        varint
+//	insert:  Vs, Ve   varint ×2, then payload
+//	adjust:  Vs, VOld, Ve varint ×3, then payload
+//	payload: ID varint, len(Data) uvarint, Data bytes
+//
+// Timestamps use signed varints (MinTime and Infinity are single large
+// values, interior times are small in the experiment workloads), so a typical
+// element is a handful of bytes instead of the ~70 of its JSON form.
+
+// ErrCodecTruncated reports an element run that ends mid-element: the byte
+// slice is shorter than its own structure claims. Callers treating the run as
+// a WAL payload distinguish it from ErrCodecCorrupt only for diagnostics —
+// both mean "not a valid encoded stream".
+var ErrCodecTruncated = errors.New("core: encoded stream truncated")
+
+// ErrCodecCorrupt reports bytes that cannot be a valid encoded stream (bad
+// kind tag, negative length, varint overflow).
+var ErrCodecCorrupt = errors.New("core: encoded stream corrupt")
+
+// AppendStream appends the binary encoding of s to buf and returns the
+// extended slice. The element count is NOT part of the encoding: a decoded
+// run ends exactly at the end of the input, which lets record framing (length
+// prefix + checksum) own the boundary.
+func AppendStream(buf []byte, s temporal.Stream) []byte {
+	for _, e := range s {
+		buf = AppendElement(buf, e)
+	}
+	return buf
+}
+
+// AppendElement appends one element's binary encoding to buf.
+func AppendElement(buf []byte, e temporal.Element) []byte {
+	buf = binary.AppendUvarint(buf, uint64(e.Kind))
+	switch e.Kind {
+	case temporal.KindStable:
+		buf = binary.AppendVarint(buf, int64(e.Ve))
+	case temporal.KindInsert:
+		buf = binary.AppendVarint(buf, int64(e.Vs))
+		buf = binary.AppendVarint(buf, int64(e.Ve))
+		buf = appendPayload(buf, e.Payload)
+	case temporal.KindAdjust:
+		buf = binary.AppendVarint(buf, int64(e.Vs))
+		buf = binary.AppendVarint(buf, int64(e.VOld))
+		buf = binary.AppendVarint(buf, int64(e.Ve))
+		buf = appendPayload(buf, e.Payload)
+	default:
+		// Unknown kinds cannot be represented; encode as a stable(MinTime)
+		// no-op so the stream stays decodable. The merge never produces them.
+		buf = binary.AppendUvarint(buf, uint64(temporal.KindStable))
+		buf = binary.AppendVarint(buf, int64(temporal.MinTime))
+	}
+	return buf
+}
+
+func appendPayload(buf []byte, p temporal.Payload) []byte {
+	buf = binary.AppendVarint(buf, p.ID)
+	buf = binary.AppendUvarint(buf, uint64(len(p.Data)))
+	return append(buf, p.Data...)
+}
+
+// DecodeStream decodes a full binary element run, which must end exactly at
+// the end of data. It is the inverse of AppendStream.
+func DecodeStream(data []byte) (temporal.Stream, error) {
+	var out temporal.Stream
+	for len(data) > 0 {
+		e, n, err := DecodeElement(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		data = data[n:]
+	}
+	return out, nil
+}
+
+// DecodeElement decodes one element from the head of data, returning the
+// element and the number of bytes consumed.
+func DecodeElement(data []byte) (temporal.Element, int, error) {
+	var e temporal.Element
+	k, off, err := getUvarint(data, 0)
+	if err != nil {
+		return e, 0, err
+	}
+	if k > uint64(temporal.KindStable) {
+		return e, 0, fmt.Errorf("%w: element kind %d", ErrCodecCorrupt, k)
+	}
+	e.Kind = temporal.Kind(k)
+	var v int64
+	switch e.Kind {
+	case temporal.KindStable:
+		if v, off, err = getVarint(data, off); err != nil {
+			return e, 0, err
+		}
+		e.Ve = temporal.Time(v)
+	case temporal.KindInsert:
+		if v, off, err = getVarint(data, off); err != nil {
+			return e, 0, err
+		}
+		e.Vs = temporal.Time(v)
+		if v, off, err = getVarint(data, off); err != nil {
+			return e, 0, err
+		}
+		e.Ve = temporal.Time(v)
+		if e.Payload, off, err = getPayload(data, off); err != nil {
+			return e, 0, err
+		}
+	case temporal.KindAdjust:
+		if v, off, err = getVarint(data, off); err != nil {
+			return e, 0, err
+		}
+		e.Vs = temporal.Time(v)
+		if v, off, err = getVarint(data, off); err != nil {
+			return e, 0, err
+		}
+		e.VOld = temporal.Time(v)
+		if v, off, err = getVarint(data, off); err != nil {
+			return e, 0, err
+		}
+		e.Ve = temporal.Time(v)
+		if e.Payload, off, err = getPayload(data, off); err != nil {
+			return e, 0, err
+		}
+	}
+	return e, off, nil
+}
+
+func getPayload(data []byte, off int) (temporal.Payload, int, error) {
+	var p temporal.Payload
+	id, off, err := getVarint(data, off)
+	if err != nil {
+		return p, 0, err
+	}
+	p.ID = id
+	n, off, err := getUvarint(data, off)
+	if err != nil {
+		return p, 0, err
+	}
+	if n > uint64(len(data)-off) {
+		return p, 0, fmt.Errorf("%w: payload data length %d exceeds %d remaining bytes",
+			ErrCodecTruncated, n, len(data)-off)
+	}
+	p.Data = string(data[off : off+int(n)])
+	return p, off + int(n), nil
+}
+
+func getVarint(data []byte, off int) (int64, int, error) {
+	v, n := binary.Varint(data[off:])
+	if n > 0 {
+		return v, off + n, nil
+	}
+	if n == 0 {
+		return 0, 0, ErrCodecTruncated
+	}
+	return 0, 0, fmt.Errorf("%w: varint overflow", ErrCodecCorrupt)
+}
+
+func getUvarint(data []byte, off int) (uint64, int, error) {
+	v, n := binary.Uvarint(data[off:])
+	if n > 0 {
+		return v, off + n, nil
+	}
+	if n == 0 {
+		return 0, 0, ErrCodecTruncated
+	}
+	return 0, 0, fmt.Errorf("%w: uvarint overflow", ErrCodecCorrupt)
+}

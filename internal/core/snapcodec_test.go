@@ -1,0 +1,76 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+func codecSample() temporal.Stream {
+	return temporal.Stream{
+		temporal.Insert(temporal.Payload{ID: 1, Data: "alpha"}, 0, 10),
+		temporal.Insert(temporal.Payload{ID: -7, Data: ""}, temporal.MinTime, temporal.Infinity),
+		temporal.Adjust(temporal.Payload{ID: 1, Data: "alpha"}, 0, 10, 4),
+		temporal.Stable(4),
+		temporal.Stable(temporal.Infinity),
+	}
+}
+
+func TestStreamCodecRoundTrip(t *testing.T) {
+	want := codecSample()
+	data := AppendStream(nil, want)
+	got, err := DecodeStream(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d elements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("element %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if s, err := DecodeStream(nil); err != nil || len(s) != 0 {
+		t.Errorf("empty run: %v %v", s, err)
+	}
+}
+
+func TestStreamCodecTruncation(t *testing.T) {
+	data := AppendStream(nil, codecSample())
+	// Element boundaries are the only clean cut points; every other prefix
+	// must fail with a truncation/corruption error, never panic.
+	boundaries := map[int]bool{0: true, len(data): true}
+	off := 0
+	for off < len(data) {
+		_, n, err := DecodeElement(data[off:])
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		off += n
+		boundaries[off] = true
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		_, err := DecodeStream(data[:cut])
+		if boundaries[cut] {
+			if err != nil {
+				t.Errorf("cut %d (boundary): unexpected error %v", cut, err)
+			}
+		} else if err == nil {
+			t.Errorf("cut %d: want error", cut)
+		}
+	}
+}
+
+func TestStreamCodecCorruptKind(t *testing.T) {
+	data := []byte{9} // kind 9 does not exist
+	if _, _, err := DecodeElement(data); !errors.Is(err, ErrCodecCorrupt) {
+		t.Errorf("bad kind: err = %v, want ErrCodecCorrupt", err)
+	}
+	// Payload length running past the buffer is truncation.
+	ins := AppendElement(nil, temporal.Insert(temporal.Payload{ID: 1, Data: "abcdef"}, 0, 1))
+	if _, _, err := DecodeElement(ins[:len(ins)-3]); !errors.Is(err, ErrCodecTruncated) {
+		t.Errorf("short payload: err = %v, want ErrCodecTruncated", err)
+	}
+}

@@ -113,6 +113,14 @@ func (a Algo) handoffCapable() bool {
 	return ok && h.HandoffCapable()
 }
 
+// snapshotCapable reports whether the algorithm's merger can checkpoint
+// (core.Snapshotter) — the eligibility gate for the crash-recovery axis,
+// matching the server's -data-dir gate.
+func (a Algo) snapshotCapable() bool {
+	_, ok := a.NewMerger(func(temporal.Element) {}).(core.Snapshotter)
+	return ok
+}
+
 // Exec selects the execution substrate a configuration runs on.
 type Exec uint8
 
@@ -146,6 +154,14 @@ const (
 	// (core.Handoff), so the oracle, snapshot, and frozen-surface checks all
 	// run against a merger whose key→partition assignment churns mid-stream.
 	ExecPartitionedRebal
+	// ExecCrashRecover crashes the merger mid-sweep and rebuilds it through
+	// the durability tier's own machinery: emissions are framed as WAL RecEmit
+	// records (with a seed-derived torn tail that checksum truncation must
+	// absorb), the snapshot is round-tripped through the checkpoint codec, and
+	// the fresh merger is jumpstarted from snapshot + WAL tail before the full
+	// streams are redelivered — the in-process twin of the server's kill -9
+	// recovery, subject to the same oracle and frozen-surface checks.
+	ExecCrashRecover
 	execCount // sentinel
 )
 
@@ -171,6 +187,8 @@ func (x Exec) String() string {
 		return fmt.Sprintf("partitioned-%d/rt", diffPartitions)
 	case ExecPartitionedRebal:
 		return fmt.Sprintf("partitioned-%d/rebal", diffPartitions)
+	case ExecCrashRecover:
+		return "crash-recover"
 	}
 	return fmt.Sprintf("Exec(%d)", uint8(x))
 }
@@ -234,7 +252,8 @@ func (c Config) String() string {
 		s += "/" + c.Pipeline.String()
 	}
 	if c.Order != "" && (c.Exec == ExecDirect || c.Exec == ExecSync ||
-		c.Exec == ExecPartitioned || c.Exec == ExecPartitionedRebal) {
+		c.Exec == ExecPartitioned || c.Exec == ExecPartitionedRebal ||
+		c.Exec == ExecCrashRecover) {
 		s += "/" + c.Order
 	}
 	return s

@@ -1,0 +1,185 @@
+package diffcheck
+
+import (
+	"fmt"
+
+	"lmerge/internal/core"
+	"lmerge/internal/durable"
+	"lmerge/internal/temporal"
+)
+
+// runCrashRecover is the differential twin of the server's kill -9 recovery
+// (internal/server/durability.go): it runs the merger to a mid-sweep crash
+// point while maintaining the durable picture a crash would leave — the last
+// checkpoint (snapshot round-tripped through the stream codec, backlog
+// position, stable point) and a WAL of every emission framed as RecEmit — then
+// throws the merger away and rebuilds a fresh one from that picture alone:
+//
+//  1. checksum-truncate the WAL (a seed-derived tear mutilates the tail; the
+//     lost suffix is recovered by redelivery, exactly as a real torn record
+//     would be),
+//  2. restored backlog = checkpoint backlog ++ EmitTail of the WAL,
+//  3. jumpstart: feed a ghost seed stream — the fold of the restored backlog
+//     (live events as inserts plus the fold's stable; the same reconciled
+//     Snapshot form the server's recovery seeds) — with emissions suppressed
+//     (the backlog already holds them),
+//  4. detach the ghost (withdrawal churn) and redeliver every input stream in
+//     full, duplicates absorbed.
+//
+// The output offered to the oracle/frozen-surface checks is restored backlog
+// ++ live post-recovery emissions: byte-for-byte what a subscriber reading
+// FROM 0 across the crash would see.
+func runCrashRecover(cfg Config, w *workload, opt Options) result {
+	var res result
+
+	// Phase 1: run to the crash point, maintaining checkpoint + WAL.
+	var out temporal.Stream
+	m1 := cfg.Algo.NewMerger(func(e temporal.Element) { out = append(out, e) })
+	if opt.Mutate != nil {
+		m1 = opt.Mutate(cfg, m1)
+	}
+	sn1, ok := m1.(core.Snapshotter)
+	if !ok {
+		res.err = fmt.Errorf("merger is not a core.Snapshotter; grid gate failed")
+		return res
+	}
+	for i := range w.streams {
+		m1.Attach(i)
+	}
+	order := deliveryOrder(cfg.Order, streamLens(w.streams), w.seed)
+	crashAt := len(order) / 2
+	ckptCut := crashAt / 2 // stop checkpointing here, so a WAL tail accrues
+	pos := make([]int, len(w.streams))
+	var wal []byte
+	walLen := uint64(0)
+	var ckptSnap []byte // snapshot through the checkpoint stream codec
+	var ckptBacklog temporal.Stream
+	ckptStable := temporal.MinTime
+	haveCkpt := false
+	prevStable := temporal.MinTime
+	for step, s := range order[:crashAt] {
+		e := w.streams[s][pos[s]]
+		pos[s]++
+		if err := m1.Process(s, e); err != nil {
+			res.err = fmt.Errorf("pre-crash process %v from stream %d: %v", e, s, err)
+			return res
+		}
+		// Write-ahead: frame every new emission before "delivering" it.
+		for int(walLen) < len(out) {
+			wal = durable.AppendRecord(wal, durable.Record{
+				Kind: durable.RecEmit, Seq: walLen, Els: out[walLen : walLen+1]})
+			walLen++
+		}
+		if step < ckptCut && m1.MaxStable() > prevStable {
+			prevStable = m1.MaxStable()
+			ckptSnap = core.AppendStream(nil, sn1.Snapshot())
+			ckptBacklog = append(temporal.Stream(nil), out...)
+			ckptStable = prevStable
+			haveCkpt = true
+		}
+	}
+
+	// Crash. Tear the WAL tail (seed-derived, possibly zero bytes) and let
+	// checksum truncation decide what survived.
+	tear := int(uint64(w.seed*7+int64(crashAt)) % 6)
+	if tear > len(wal) {
+		tear = len(wal)
+	}
+	recs, _ := durable.DecodeAll(wal[:len(wal)-tear])
+	restored := append(temporal.Stream(nil), ckptBacklog...)
+	restored = append(restored, durable.EmitTail(recs, uint64(len(ckptBacklog)))...)
+
+	// Phase 2: rebuild. Emissions during the ghost seed are suppressed — the
+	// restored backlog already represents them.
+	var out2 temporal.Stream
+	suppress := true
+	m2 := cfg.Algo.NewMerger(func(e temporal.Element) {
+		if !suppress {
+			out2 = append(out2, e)
+		}
+	})
+	if opt.Mutate != nil {
+		m2 = opt.Mutate(cfg, m2)
+	}
+	// One ghost replica carries the whole seed — mirroring the server, which
+	// feeds the recovered snapshot + tail through a single ghost attach. (Two
+	// ghosts would double-withdraw co-owned events at detach; confirmation
+	// policies that would need a second replica are excluded from this axis.)
+	seedID := len(w.streams)
+	m2.Attach(seedID)
+	feed := func(e temporal.Element) bool {
+		if err := m2.Process(seedID, e); err != nil {
+			res.err = fmt.Errorf("seed replay rejected %v: %v", e, err)
+			return false
+		}
+		return true
+	}
+	if haveCkpt {
+		// The snapshot is not the seed (the fold below covers it), but its
+		// codec round-trip must reproduce a valid stream whose TDB matches
+		// the checkpoint backlog's live region — the on-disk checkpoint
+		// invariant, checked here under crash conditions.
+		snap, err := core.DecodeStream(ckptSnap)
+		if err != nil {
+			res.err = fmt.Errorf("checkpoint snapshot codec round-trip: %v", err)
+			return res
+		}
+		snapTDB, err := temporal.Reconstitute(snap)
+		if err != nil {
+			res.err = fmt.Errorf("checkpoint snapshot invalid after codec round-trip: %v", err)
+			return res
+		}
+		ckptTDB, err := temporal.Reconstitute(ckptBacklog)
+		if err != nil {
+			res.err = fmt.Errorf("checkpoint backlog invalid: %v", err)
+			return res
+		}
+		if got, want := tdbEvents(snapTDB), tdbLive(ckptTDB, ckptStable); !eventsEqual(got, want) {
+			res.divs = append(res.divs, Divergence{Seed: w.seed, Class: w.class, Config: cfg,
+				Against: "self", Detail: fmt.Sprintf(
+					"checkpoint snapshot diverges from backlog live region at stable(%v): got %s want %s",
+					ckptStable, describeEvents(got), describeEvents(want))})
+		}
+	}
+	// Seed the fresh merger with the FOLD of the restored backlog — one
+	// insert per still-live event at its current interval, closed by the
+	// fold's stable point (the paper's checkpoint form). Raw-replaying the
+	// backlog would be unsound: under the lazy adjust policy a re-consumed
+	// output stream leaves the merger's output state unreconciled until the
+	// next stable — and the record carrying that stable may be exactly what
+	// the crash tore off, leaving later withdrawals citing stale intervals.
+	fold, err := temporal.Reconstitute(restored)
+	if err != nil {
+		res.err = fmt.Errorf("restored backlog invalid: %v", err)
+		return res
+	}
+	st := fold.Stable()
+	for _, ev := range tdbLive(fold, st) {
+		if !feed(temporal.Insert(ev.Payload, ev.Vs, ev.Ve)) {
+			return res
+		}
+	}
+	if st != temporal.MinTime && !feed(temporal.Stable(st)) {
+		return res
+	}
+	suppress = false
+	m2.Detach(seedID)
+
+	// Redeliver every stream in full from the top — resilient-publisher
+	// semantics; the merger absorbs the already-merged prefix as duplicates.
+	for i := range w.streams {
+		m2.Attach(i)
+	}
+	pos2 := make([]int, len(w.streams))
+	for _, s := range deliveryOrder(cfg.Order, streamLens(w.streams), w.seed) {
+		e := w.streams[s][pos2[s]]
+		pos2[s]++
+		if err := m2.Process(s, e); err != nil {
+			res.err = fmt.Errorf("post-crash process %v from stream %d: %v", e, s, err)
+			return res
+		}
+	}
+	res.out = append(restored, out2...)
+	res.warnings = m1.Stats().ConsistencyWarnings + m2.Stats().ConsistencyWarnings
+	return res
+}

@@ -241,6 +241,9 @@ func grid(class Class, quick bool) []Config {
 			if x == ExecPartitionedRebal && !a.handoffCapable() {
 				continue
 			}
+			if x == ExecCrashRecover && !a.snapshotCapable() {
+				continue
+			}
 			cfgs = append(cfgs, Config{Algo: a, Exec: x, Order: orders[int(x)%len(orders)]})
 		}
 		cfgs = append(cfgs,
@@ -262,6 +265,19 @@ func grid(class Class, quick bool) []Config {
 			// The migration axis needs live handoff support; algorithms
 			// without it would silently degenerate to plain ExecPartitioned.
 			if x == ExecPartitionedRebal && !a.handoffCapable() {
+				continue
+			}
+			// The crash axis needs a checkpointable merger, like -data-dir.
+			// Deferred-emission insert policies (frozen, quorum) are
+			// additionally excluded, echoing the fully-frozen partitioned
+			// exclusion: they hold inserts back behind a freshness/confirmation
+			// threshold, so emitted-ness is extra state the backlog + snapshot
+			// pair cannot restore — a jumpstarted merger either re-emits what
+			// the backlog already shows or orphans later adjusts. The durable
+			// server has the same boundary: -data-dir hosts only the default
+			// immediate-emission mergers core.New constructs.
+			if x == ExecCrashRecover && (!a.snapshotCapable() ||
+				a == AlgoR3HalfFrozen || a == AlgoR3FullyFrozen || a == AlgoR3Quorum2) {
 				continue
 			}
 			// Rotate the deterministic delivery order so every (algo, order)
@@ -307,6 +323,8 @@ func runConfig(cfg Config, w *workload, opt Options) result {
 	switch cfg.Exec {
 	case ExecDirect, ExecPartitioned, ExecPartitionedRebal:
 		return runDirect(cfg, w, opt)
+	case ExecCrashRecover:
+		return runCrashRecover(cfg, w, opt)
 	default:
 		return runEngine(cfg, w, opt)
 	}

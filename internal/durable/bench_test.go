@@ -1,0 +1,64 @@
+package durable
+
+import (
+	"testing"
+
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+)
+
+// benchElement is a representative merged-output emission: a 12-byte payload
+// insert, the dominant record shape on the hot WAL path.
+var benchElement = temporal.Insert(temporal.Payload{ID: 7, Data: "bench-payload"}, 100, 160)
+
+func benchAppend(b *testing.B, fsync bool) {
+	dir := b.TempDir()
+	log, err := CreateLog(dir, 1, fsync, &obs.Durability{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	els := [1]temporal.Element{benchElement}
+	r := Record{Kind: RecEmit, Els: els[:]}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Seq = uint64(i)
+		if err := log.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppend is the per-emission durability overhead with the OS page
+// cache absorbing writes (the default -data-dir mode).
+func BenchmarkWALAppend(b *testing.B) { benchAppend(b, false) }
+
+// BenchmarkWALAppendFsync is the per-emission overhead with -fsync: one
+// fdatasync-equivalent per record, the power-loss-safe mode.
+func BenchmarkWALAppendFsync(b *testing.B) { benchAppend(b, true) }
+
+// BenchmarkCheckpointWrite measures one full checkpoint commit (encode,
+// write, fsync, atomic rename) at a moderate state size: 1000 backlog
+// elements and a 500-event snapshot.
+func BenchmarkCheckpointWrite(b *testing.B) {
+	dir := b.TempDir()
+	c := &Checkpoint{Stable: 100}
+	var snap temporal.Stream
+	for i := 0; i < 500; i++ {
+		snap = append(snap, temporal.Insert(temporal.Payload{ID: int64(i), Data: "snapshot-event"}, temporal.Time(100+i), temporal.Time(200+i)))
+	}
+	c.Snapshots = []temporal.Stream{snap}
+	for i := 0; i < 1000; i++ {
+		c.Backlog = append(c.Backlog, temporal.Insert(temporal.Payload{ID: int64(i), Data: "backlog-event"}, temporal.Time(i), temporal.Time(i+60)))
+	}
+	tel := &obs.Durability{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Gen = uint64(i + 1)
+		if err := WriteCheckpoint(dir, c, tel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

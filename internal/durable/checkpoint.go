@@ -1,0 +1,355 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"lmerge/internal/core"
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+)
+
+// Checkpoint is one durable cut of the merge service's state, taken while
+// ingestion is quiesced so every section describes the same instant:
+//
+//   - Stable: the merged output's stable point at the cut (recovery must not
+//     let the frontier regress below it).
+//   - Backlog: the full merged-output history. Subscribers resume
+//     positionally (HELLO SUB FROM <n>) against backlog indexes, so the
+//     history must survive a restart for those positions to stay meaningful.
+//   - Snapshots: each merger's Snapshot() stream — one entry for the single
+//     backend, one per partition for the sharded backend. The snapshot is the
+//     compressed equivalent of the backlog's net effect; recovery feeds it
+//     (plus the WAL's emission tail) as the seed stream of the paper's
+//     jumpstart.
+//   - RouteEpoch/RouteOwner: the sharded routing table version at the cut,
+//     reinstalled before replay so every key lands back on the partition
+//     whose snapshot carries its state.
+type Checkpoint struct {
+	Gen        uint64
+	Stable     temporal.Time
+	Backlog    temporal.Stream
+	Snapshots  []temporal.Stream
+	RouteEpoch int64
+	RouteOwner []int32 // nil for the single backend
+}
+
+// Checkpoint file layout: magic, version, then a CRC-framed body. The body is
+// varint-structured like WAL payloads. The file is written to a .tmp sibling,
+// fsynced, and renamed into place, so a crash mid-write leaves either the old
+// generation set or the new — never a half checkpoint under the real name.
+var ckptMagic = [4]byte{'l', 'm', 'c', 'k'}
+
+const ckptVersion = 1
+
+func encodeCheckpoint(c *Checkpoint) []byte {
+	buf := append([]byte(nil), ckptMagic[:]...)
+	buf = binary.AppendUvarint(buf, ckptVersion)
+	body := binary.AppendUvarint(nil, c.Gen)
+	body = binary.AppendVarint(body, int64(c.Stable))
+	body = binary.AppendVarint(body, c.RouteEpoch)
+	body = binary.AppendUvarint(body, uint64(len(c.RouteOwner)))
+	for _, o := range c.RouteOwner {
+		body = binary.AppendVarint(body, int64(o))
+	}
+	enc := func(s temporal.Stream) {
+		run := core.AppendStream(nil, s)
+		body = binary.AppendUvarint(body, uint64(len(run)))
+		body = append(body, run...)
+	}
+	body = binary.AppendUvarint(body, uint64(len(c.Snapshots)))
+	for _, s := range c.Snapshots {
+		enc(s)
+	}
+	enc(c.Backlog)
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	return append(buf, body...)
+}
+
+// DecodeCheckpoint parses a checkpoint image, validating magic, version, and
+// body checksum.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	fail := func(what string) (*Checkpoint, error) {
+		return nil, fmt.Errorf("%w: checkpoint %s", ErrRecordCorrupt, what)
+	}
+	if len(data) < len(ckptMagic) || string(data[:4]) != string(ckptMagic[:]) {
+		return fail("magic")
+	}
+	off := len(ckptMagic)
+	ver, n := binary.Uvarint(data[off:])
+	if n <= 0 || ver != ckptVersion {
+		return fail("version")
+	}
+	off += n
+	blen, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return fail("body length")
+	}
+	off += n
+	if off+4 > len(data) {
+		return fail("checksum frame")
+	}
+	crc := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	if uint64(len(data)-off) < blen {
+		return fail("body truncated")
+	}
+	body := data[off : off+int(blen)]
+	if crc32.ChecksumIEEE(body) != crc {
+		return fail("checksum")
+	}
+	c := &Checkpoint{}
+	p := 0
+	uv := func(what string) (uint64, bool) {
+		v, n := binary.Uvarint(body[p:])
+		if n <= 0 {
+			return 0, false
+		}
+		p += n
+		return v, true
+	}
+	sv := func(what string) (int64, bool) {
+		v, n := binary.Varint(body[p:])
+		if n <= 0 {
+			return 0, false
+		}
+		p += n
+		return v, true
+	}
+	var ok bool
+	if c.Gen, ok = uv("gen"); !ok {
+		return fail("gen")
+	}
+	st, ok := sv("stable")
+	if !ok {
+		return fail("stable")
+	}
+	c.Stable = temporal.Time(st)
+	if c.RouteEpoch, ok = sv("route epoch"); !ok {
+		return fail("route epoch")
+	}
+	nOwner, ok := uv("route owners")
+	if !ok || nOwner > 1<<16 {
+		return fail("route owners")
+	}
+	if nOwner > 0 {
+		c.RouteOwner = make([]int32, nOwner)
+		for i := range c.RouteOwner {
+			o, ok := sv("route owner")
+			if !ok {
+				return fail("route owner")
+			}
+			c.RouteOwner[i] = int32(o)
+		}
+	}
+	dec := func(what string) (temporal.Stream, bool) {
+		rlen, ok := uv(what)
+		if !ok || rlen > uint64(len(body)-p) {
+			return nil, false
+		}
+		s, err := core.DecodeStream(body[p : p+int(rlen)])
+		if err != nil {
+			return nil, false
+		}
+		p += int(rlen)
+		return s, true
+	}
+	nSnap, ok := uv("snapshot count")
+	if !ok || nSnap > 1<<16 {
+		return fail("snapshot count")
+	}
+	c.Snapshots = make([]temporal.Stream, nSnap)
+	for i := range c.Snapshots {
+		if c.Snapshots[i], ok = dec("snapshot"); !ok {
+			return fail("snapshot")
+		}
+	}
+	if c.Backlog, ok = dec("backlog"); !ok {
+		return fail("backlog")
+	}
+	if p != len(body) {
+		return fail("trailer")
+	}
+	return c, nil
+}
+
+// WriteCheckpoint durably writes c as dir's generation-c.Gen checkpoint:
+// encode, write to a temp sibling, fsync, rename. The rename is the commit
+// point — recovery never sees a partial checkpoint under the real name.
+func WriteCheckpoint(dir string, c *Checkpoint, tel *obs.Durability) error {
+	data := encodeCheckpoint(c)
+	final := CheckpointPath(dir, c.Gen)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	tel.Checkpointed(int64(len(data)))
+	return nil
+}
+
+// RecoveryState is everything Load gathers from a data directory: the newest
+// valid checkpoint (nil when the directory holds none), the decoded WAL
+// records of every generation the checkpoint does not cover (ascending,
+// concatenated), how many torn tail bytes checksum truncation discarded, and
+// the next free generation number.
+type RecoveryState struct {
+	Checkpoint *Checkpoint
+	Records    []Record
+	TornBytes  int
+	NextGen    uint64
+}
+
+// Load scans dir and assembles the recovery state. Corrupt or partial
+// checkpoints are skipped (newest valid wins; a .tmp never qualifies); WAL
+// generations at or above the chosen checkpoint's generation are decoded with
+// checksum truncation. A directory with no usable state yields a zero-value
+// RecoveryState with NextGen past anything present.
+func Load(dir string) (*RecoveryState, error) {
+	wals, ckpts, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := &RecoveryState{NextGen: 1}
+	bump := func(g uint64) {
+		if g >= st.NextGen {
+			st.NextGen = g + 1
+		}
+	}
+	for _, g := range wals {
+		bump(g)
+	}
+	for _, g := range ckpts {
+		bump(g)
+	}
+	// Newest valid checkpoint wins; invalid ones (partial write that still
+	// got renamed, disk corruption) fall back to the previous generation,
+	// whose WAL generations are retained exactly for this case.
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(CheckpointPath(dir, ckpts[i]))
+		if err != nil {
+			continue
+		}
+		c, err := DecodeCheckpoint(data)
+		if err != nil {
+			continue
+		}
+		st.Checkpoint = c
+		break
+	}
+	var from uint64
+	if st.Checkpoint != nil {
+		from = st.Checkpoint.Gen
+	}
+	for _, g := range wals {
+		if g < from {
+			continue
+		}
+		recs, torn, err := ReadLog(WALPath(dir, g))
+		if err != nil {
+			return nil, err
+		}
+		st.Records = append(st.Records, recs...)
+		st.TornBytes += torn
+	}
+	return st, nil
+}
+
+// Prune deletes checkpoints older than the newest `keep` generations and WAL
+// generations older than the oldest retained checkpoint. Keeping more than
+// one checkpoint generation is what lets Load fall back when the newest file
+// turns out invalid.
+func Prune(dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	wals, ckpts, err := scanDir(dir)
+	if err != nil {
+		return err
+	}
+	if len(ckpts) <= keep {
+		return nil
+	}
+	cut := ckpts[len(ckpts)-keep]
+	var firstErr error
+	rm := func(path string) {
+		if err := os.Remove(path); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, g := range ckpts[:len(ckpts)-keep] {
+		rm(CheckpointPath(dir, g))
+	}
+	for _, g := range wals {
+		if g < cut {
+			rm(WALPath(dir, g))
+		}
+	}
+	return firstErr
+}
+
+// EmitTail extracts the merged-output continuation from a record sequence:
+// every RecEmit element whose backlog index is at or past from, in log order.
+// Records the checkpoint already covers (Seq+len <= from) are skipped;
+// partial overlaps contribute only their uncovered suffix.
+func EmitTail(recs []Record, from uint64) temporal.Stream {
+	var out temporal.Stream
+	next := from
+	for _, r := range recs {
+		if r.Kind != RecEmit {
+			continue
+		}
+		end := r.Seq + uint64(len(r.Els))
+		if end <= next {
+			continue
+		}
+		start := 0
+		if r.Seq < next {
+			start = int(next - r.Seq)
+		}
+		out = append(out, r.Els[start:]...)
+		next = end
+	}
+	return out
+}
+
+// RemoveAll wipes a data directory's durability files (tests and tooling).
+func RemoveAll(dir string) error {
+	wals, ckpts, err := scanDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, g := range wals {
+		os.Remove(WALPath(dir, g))
+	}
+	for _, g := range ckpts {
+		os.Remove(CheckpointPath(dir, g))
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.lmck.tmp"))
+	for _, t := range tmps {
+		os.Remove(t)
+	}
+	return nil
+}

@@ -1,0 +1,347 @@
+// Package durable is the persistence tier of the merge service: a
+// write-ahead log of publisher traffic and merged-output emissions, plus
+// periodic checkpoints of the merger's Snapshot() stream, from which a
+// restarted lmserved jumpstarts (the paper's checkpoint/catch-up machinery of
+// Sec. II-4/5, made crash-durable).
+//
+// Layout of a data directory:
+//
+//	wal-<gen>.lmwal    append-only record log for generation <gen>
+//	ckpt-<gen>.lmck    checkpoint opening generation <gen> (atomic rename)
+//
+// A checkpoint with generation g captures everything up to an exact cut (the
+// server quiesces ingestion around it), so recovery is: load the newest valid
+// checkpoint, then replay every WAL generation >= its own, tolerating a torn
+// final record by checksum truncation. Each WAL generation is self-contained:
+// it re-logs an attach record for every publisher live at rotation, so replay
+// never needs an older generation for attach context. Replaying a generation
+// that a checkpoint already covers is safe — the merge absorbs re-delivered
+// elements as duplicates (the paper's re-attach semantics), which is the same
+// idempotency the resilient clients lean on.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"lmerge/internal/core"
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+)
+
+// RecordKind discriminates WAL records.
+type RecordKind uint8
+
+const (
+	// RecAttach registers a publisher stream: ID and its join guarantee.
+	// Rotation re-logs one for every live publisher, so each generation
+	// replays standalone.
+	RecAttach RecordKind = iota + 1
+	// RecBatch is one publisher batch, logged before the merge processes it
+	// (and before the end-of-stream ACK can be sent).
+	RecBatch
+	// RecDetach is a clean publisher detach.
+	RecDetach
+	// RecEmit is a run of merged-output emissions, logged before they are
+	// delivered to any subscriber; Seq is the backlog index of the first
+	// element, so recovery can splice the tail onto a checkpointed backlog
+	// without double-counting.
+	RecEmit
+)
+
+// String names the record kind.
+func (k RecordKind) String() string {
+	switch k {
+	case RecAttach:
+		return "attach"
+	case RecBatch:
+		return "batch"
+	case RecDetach:
+		return "detach"
+	case RecEmit:
+		return "emit"
+	}
+	return fmt.Sprintf("record(%d)", uint8(k))
+}
+
+// Record is one decoded WAL record.
+type Record struct {
+	Kind     RecordKind
+	ID       int64         // RecAttach/RecBatch/RecDetach: stream id
+	JoinTime temporal.Time // RecAttach: join guarantee
+	Seq      uint64        // RecEmit: backlog index of Els[0]
+	Els      temporal.Stream
+}
+
+// Record framing on disk:
+//
+//	length   uint32 LE — byte length of payload
+//	crc      uint32 LE — IEEE CRC-32 of payload
+//	payload  encoded record body (kind uvarint, header varints, element run)
+//
+// A record whose length field runs past the end of the file, or whose CRC
+// does not match, marks the torn tail: everything before it is the valid
+// prefix, everything from it on is discarded (checksum truncation).
+const recordHeader = 8
+
+// maxRecordLen caps a record's claimed payload length. A torn length field
+// can claim up to 4 GiB; refusing anything implausibly large keeps the
+// truncation scan from attempting giant allocations on garbage.
+const maxRecordLen = 1 << 30
+
+// ErrRecordTruncated reports a record cut short by a crash (torn tail).
+var ErrRecordTruncated = errors.New("durable: truncated record")
+
+// ErrRecordCorrupt reports a record whose checksum or structure is invalid.
+var ErrRecordCorrupt = errors.New("durable: corrupt record")
+
+// AppendRecord appends the framed encoding of r to buf.
+func AppendRecord(buf []byte, r Record) []byte {
+	base := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc placeholders
+	buf = binary.AppendUvarint(buf, uint64(r.Kind))
+	switch r.Kind {
+	case RecAttach:
+		buf = binary.AppendVarint(buf, r.ID)
+		buf = binary.AppendVarint(buf, int64(r.JoinTime))
+	case RecBatch:
+		buf = binary.AppendVarint(buf, r.ID)
+		buf = core.AppendStream(buf, r.Els)
+	case RecDetach:
+		buf = binary.AppendVarint(buf, r.ID)
+	case RecEmit:
+		buf = binary.AppendUvarint(buf, r.Seq)
+		buf = core.AppendStream(buf, r.Els)
+	}
+	payload := buf[base+recordHeader:]
+	binary.LittleEndian.PutUint32(buf[base:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[base+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// DecodeRecord decodes one framed record from the head of data, returning the
+// record and the total bytes consumed (header + payload). It returns
+// ErrRecordTruncated when data ends before the record does and
+// ErrRecordCorrupt when the checksum or the payload structure is invalid —
+// the two conditions checksum truncation treats identically.
+func DecodeRecord(data []byte) (Record, int, error) {
+	var r Record
+	if len(data) < recordHeader {
+		return r, 0, ErrRecordTruncated
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if n > maxRecordLen {
+		return r, 0, fmt.Errorf("%w: record length %d", ErrRecordCorrupt, n)
+	}
+	if uint32(len(data)-recordHeader) < n {
+		return r, 0, ErrRecordTruncated
+	}
+	payload := data[recordHeader : recordHeader+int(n)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[4:]) {
+		return r, 0, fmt.Errorf("%w: checksum mismatch", ErrRecordCorrupt)
+	}
+	if err := decodePayload(payload, &r); err != nil {
+		return r, 0, err
+	}
+	return r, recordHeader + int(n), nil
+}
+
+func decodePayload(payload []byte, r *Record) error {
+	k, off := binary.Uvarint(payload)
+	if off <= 0 {
+		return fmt.Errorf("%w: bad kind varint", ErrRecordCorrupt)
+	}
+	r.Kind = RecordKind(k)
+	fail := func(what string) error {
+		return fmt.Errorf("%w: bad %s", ErrRecordCorrupt, what)
+	}
+	readVarint := func(what string) (int64, error) {
+		v, n := binary.Varint(payload[off:])
+		if n <= 0 {
+			return 0, fail(what)
+		}
+		off += n
+		return v, nil
+	}
+	var err error
+	switch r.Kind {
+	case RecAttach:
+		if r.ID, err = readVarint("attach id"); err != nil {
+			return err
+		}
+		jt, err := readVarint("attach join time")
+		if err != nil {
+			return err
+		}
+		r.JoinTime = temporal.Time(jt)
+		if off != len(payload) {
+			return fail("attach trailer")
+		}
+	case RecDetach:
+		if r.ID, err = readVarint("detach id"); err != nil {
+			return err
+		}
+		if off != len(payload) {
+			return fail("detach trailer")
+		}
+	case RecBatch:
+		if r.ID, err = readVarint("batch id"); err != nil {
+			return err
+		}
+		if r.Els, err = core.DecodeStream(payload[off:]); err != nil {
+			return fmt.Errorf("%w: batch elements: %v", ErrRecordCorrupt, err)
+		}
+	case RecEmit:
+		seq, n := binary.Uvarint(payload[off:])
+		if n <= 0 {
+			return fail("emit seq")
+		}
+		off += n
+		r.Seq = seq
+		if r.Els, err = core.DecodeStream(payload[off:]); err != nil {
+			return fmt.Errorf("%w: emit elements: %v", ErrRecordCorrupt, err)
+		}
+	default:
+		return fmt.Errorf("%w: record kind %d", ErrRecordCorrupt, k)
+	}
+	return nil
+}
+
+// DecodeAll decodes a WAL image front to back, stopping at the first torn or
+// corrupt record (checksum truncation). It returns the valid record prefix
+// and the number of bytes it covers; the remainder of data is the discarded
+// tail. It never returns an error — a WAL that decodes to zero records is
+// simply empty.
+func DecodeAll(data []byte) (recs []Record, valid int) {
+	for valid < len(data) {
+		r, n, err := DecodeRecord(data[valid:])
+		if err != nil {
+			return recs, valid
+		}
+		recs = append(recs, r)
+		valid += n
+	}
+	return recs, valid
+}
+
+// Log is one open WAL generation: an append-only file of framed records.
+// Appends are serialised internally, so publisher handlers and the merge
+// emission path can log concurrently.
+type Log struct {
+	mu    sync.Mutex
+	f     *os.File
+	buf   []byte // reusable encode scratch
+	fsync bool
+	path  string
+	tel   *obs.Durability
+}
+
+// CreateLog creates (truncating) the WAL file for generation gen in dir.
+// When fsync is set, every append is followed by an fsync before returning —
+// the power-failure-durable mode; without it appends are plain writes, which
+// still survive a process kill (the page cache is not lost with the process).
+func CreateLog(dir string, gen uint64, fsync bool, tel *obs.Durability) (*Log, error) {
+	path := WALPath(dir, gen)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{f: f, fsync: fsync, path: path, tel: tel}, nil
+}
+
+// Path returns the log file's path.
+func (l *Log) Path() string { return l.path }
+
+// Append frames, writes, and (in fsync mode) syncs one record.
+func (l *Log) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = AppendRecord(l.buf[:0], r)
+	if _, err := l.f.Write(l.buf); err != nil {
+		return err
+	}
+	l.tel.WALAppended(int64(len(l.buf)))
+	if l.fsync {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		l.tel.Fsynced()
+	}
+	return nil
+}
+
+// Close syncs (always — a closing log should be complete on disk) and closes
+// the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// ReadLog reads and decodes a WAL file with checksum truncation. A missing
+// file is an empty log. torn reports how many tail bytes were discarded.
+func ReadLog(path string) (recs []Record, torn int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	recs, valid := DecodeAll(data)
+	return recs, len(data) - valid, nil
+}
+
+// WALPath returns dir's WAL file path for generation gen.
+func WALPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%06d.lmwal", gen))
+}
+
+// CheckpointPath returns dir's checkpoint file path for generation gen.
+func CheckpointPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%06d.lmck", gen))
+}
+
+// scanDir lists the generations present in dir, sorted ascending.
+func scanDir(dir string) (wals, ckpts []uint64, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	parse := func(name, prefix, suffix string) (uint64, bool) {
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			return 0, false
+		}
+		g, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 10, 64)
+		return g, err == nil
+	}
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		if g, ok := parse(ent.Name(), "wal-", ".lmwal"); ok {
+			wals = append(wals, g)
+		} else if g, ok := parse(ent.Name(), "ckpt-", ".lmck"); ok {
+			ckpts = append(ckpts, g)
+		}
+	}
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] < ckpts[j] })
+	return wals, ckpts, nil
+}

@@ -1,0 +1,364 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: RecAttach, ID: 3, JoinTime: temporal.MinTime},
+		{Kind: RecBatch, ID: 3, Els: temporal.Stream{
+			temporal.Insert(temporal.Payload{ID: 1, Data: "a"}, 0, 10),
+			temporal.Adjust(temporal.Payload{ID: 1, Data: "a"}, 0, 10, 7),
+			temporal.Stable(5),
+		}},
+		{Kind: RecEmit, Seq: 42, Els: temporal.Stream{
+			temporal.Insert(temporal.Payload{ID: 2, Data: ""}, 1, temporal.Infinity),
+		}},
+		{Kind: RecDetach, ID: 3},
+		{Kind: RecBatch, ID: 9, Els: nil}, // empty batch stays decodable
+	}
+}
+
+func encodeAll(recs []Record) []byte {
+	var buf []byte
+	for _, r := range recs {
+		buf = AppendRecord(buf, r)
+	}
+	return buf
+}
+
+func recordsEqual(a, b Record) bool {
+	if a.Kind != b.Kind || a.ID != b.ID || a.JoinTime != b.JoinTime || a.Seq != b.Seq {
+		return false
+	}
+	if len(a.Els) != len(b.Els) {
+		return false
+	}
+	for i := range a.Els {
+		if a.Els[i] != b.Els[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	want := sampleRecords()
+	data := encodeAll(want)
+	got, valid := DecodeAll(data)
+	if valid != len(data) {
+		t.Fatalf("valid = %d, want %d (no torn tail)", valid, len(data))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !recordsEqual(got[i], want[i]) {
+			t.Errorf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestChecksumTruncationTornTail(t *testing.T) {
+	recs := sampleRecords()
+	data := encodeAll(recs)
+	// Every proper prefix cut inside the last record must decode to exactly
+	// the earlier records, discarding the torn tail.
+	prefix := encodeAll(recs[:len(recs)-1])
+	for cut := len(prefix) + 1; cut < len(data); cut++ {
+		got, valid := DecodeAll(data[:cut])
+		if len(got) != len(recs)-1 {
+			t.Fatalf("cut %d: decoded %d records, want %d", cut, len(got), len(recs)-1)
+		}
+		if valid != len(prefix) {
+			t.Fatalf("cut %d: valid = %d, want %d", cut, valid, len(prefix))
+		}
+	}
+}
+
+func TestChecksumTruncationCorruptTail(t *testing.T) {
+	recs := sampleRecords()
+	data := encodeAll(recs)
+	prefix := len(encodeAll(recs[:len(recs)-1]))
+	// Flip one byte inside the final record (chaos '#'-style corruption):
+	// everything before it must survive, the tail must be discarded.
+	for off := prefix; off < len(data); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= '#'
+		got, valid := DecodeAll(mut)
+		if len(got) != len(recs)-1 || valid != prefix {
+			t.Fatalf("corrupt byte %d: decoded %d records valid %d, want %d/%d",
+				off, len(got), valid, len(recs)-1, prefix)
+		}
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	if _, _, err := DecodeRecord(nil); err != ErrRecordTruncated {
+		t.Errorf("empty: err = %v, want ErrRecordTruncated", err)
+	}
+	// Implausible length field (torn length bytes) is corrupt, not a huge
+	// allocation attempt.
+	big := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	if _, _, err := DecodeRecord(big); err == nil {
+		t.Error("oversized length: want error")
+	}
+}
+
+func TestLogAppendReadBack(t *testing.T) {
+	dir := t.TempDir()
+	tel := &obs.Durability{}
+	log, err := CreateLog(dir, 1, false, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	for _, r := range want {
+		if err := log.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, torn, err := ReadLog(WALPath(dir, 1))
+	if err != nil || torn != 0 {
+		t.Fatalf("ReadLog: torn=%d err=%v", torn, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	snap := tel.Snapshot()
+	if snap.WALRecords != int64(len(want)) || snap.WALBytes == 0 {
+		t.Errorf("telemetry: %+v", snap)
+	}
+	// Missing file reads as an empty log.
+	if recs, torn, err := ReadLog(WALPath(dir, 99)); err != nil || len(recs) != 0 || torn != 0 {
+		t.Errorf("missing log: recs=%d torn=%d err=%v", len(recs), torn, err)
+	}
+}
+
+func TestLogFsyncMode(t *testing.T) {
+	dir := t.TempDir()
+	tel := &obs.Durability{}
+	log, err := CreateLog(dir, 1, true, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := log.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.Close()
+	if got := tel.Snapshot().Fsyncs; got != int64(len(sampleRecords())) {
+		t.Errorf("fsyncs = %d, want %d", got, len(sampleRecords()))
+	}
+}
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Gen:    7,
+		Stable: 123,
+		Backlog: temporal.Stream{
+			temporal.Insert(temporal.Payload{ID: 4, Data: "x"}, 0, temporal.Infinity),
+			temporal.Stable(123),
+		},
+		Snapshots: []temporal.Stream{
+			{temporal.Insert(temporal.Payload{ID: 4, Data: "x"}, 0, temporal.Infinity), temporal.Stable(123)},
+			nil, // an idle partition snapshots empty
+		},
+		RouteEpoch: 9,
+		RouteOwner: []int32{0, 1, 0, 1},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleCheckpoint()
+	if err := WriteCheckpoint(dir, want, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(CheckpointPath(dir, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Gen != want.Gen || got.Stable != want.Stable || got.RouteEpoch != want.RouteEpoch {
+		t.Errorf("header: got %+v", got)
+	}
+	if !reflect.DeepEqual(got.RouteOwner, want.RouteOwner) {
+		t.Errorf("route owner: got %v want %v", got.RouteOwner, want.RouteOwner)
+	}
+	if len(got.Snapshots) != 2 || len(got.Snapshots[0]) != 2 || len(got.Snapshots[1]) != 0 {
+		t.Errorf("snapshots: got %v", got.Snapshots)
+	}
+	if len(got.Backlog) != len(want.Backlog) {
+		t.Errorf("backlog: got %v", got.Backlog)
+	}
+	// No .tmp residue after a successful commit.
+	if _, err := os.Stat(CheckpointPath(dir, 7) + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("tmp file left behind: %v", err)
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, sampleCheckpoint(), nil); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(CheckpointPath(dir, 7))
+	for _, cut := range []int{0, 3, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeCheckpoint(data[:cut]); err == nil {
+			t.Errorf("truncated at %d: want error", cut)
+		}
+	}
+	mut := append([]byte(nil), data...)
+	mut[len(mut)-1] ^= '#'
+	if _, err := DecodeCheckpoint(mut); err == nil {
+		t.Error("corrupt body: want error")
+	}
+}
+
+func TestLoadFallsBackPastInvalidCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	good := sampleCheckpoint()
+	good.Gen = 2
+	if err := WriteCheckpoint(dir, good, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A newer checkpoint that is garbage on disk (partial write that still
+	// got renamed): Load must fall back to generation 2.
+	if err := os.WriteFile(CheckpointPath(dir, 3), []byte("lmck####garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// WAL generations 2 and 3 both replay (>= chosen checkpoint's gen).
+	for _, gen := range []uint64{1, 2, 3} {
+		log, err := CreateLog(dir, gen, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log.Append(Record{Kind: RecAttach, ID: int64(gen), JoinTime: 0})
+		log.Close()
+	}
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checkpoint == nil || st.Checkpoint.Gen != 2 {
+		t.Fatalf("checkpoint: %+v", st.Checkpoint)
+	}
+	if len(st.Records) != 2 {
+		t.Fatalf("records: %d, want 2 (gens 2,3)", len(st.Records))
+	}
+	if st.NextGen != 4 {
+		t.Errorf("NextGen = %d, want 4", st.NextGen)
+	}
+	// A .tmp checkpoint never qualifies as state.
+	os.WriteFile(filepath.Join(dir, "ckpt-000009.lmck.tmp"), []byte("half"), 0o644)
+	st2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Checkpoint.Gen != 2 || st2.NextGen != 4 {
+		t.Errorf("tmp influenced load: ckpt=%d next=%d", st2.Checkpoint.Gen, st2.NextGen)
+	}
+}
+
+func TestLoadEmptyDir(t *testing.T) {
+	st, err := Load(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checkpoint != nil || len(st.Records) != 0 || st.NextGen != 1 {
+		t.Errorf("empty dir: %+v", st)
+	}
+}
+
+func TestLoadCountsTornBytes(t *testing.T) {
+	dir := t.TempDir()
+	log, _ := CreateLog(dir, 1, false, nil)
+	for _, r := range sampleRecords() {
+		log.Append(r)
+	}
+	log.Close()
+	path := WALPath(dir, 1)
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)-3], 0o644) // tear the final record
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TornBytes == 0 {
+		t.Error("torn bytes not counted")
+	}
+	if len(st.Records) != len(sampleRecords())-1 {
+		t.Errorf("records = %d, want %d", len(st.Records), len(sampleRecords())-1)
+	}
+}
+
+func TestPruneRetention(t *testing.T) {
+	dir := t.TempDir()
+	for gen := uint64(1); gen <= 4; gen++ {
+		c := sampleCheckpoint()
+		c.Gen = gen
+		if err := WriteCheckpoint(dir, c, nil); err != nil {
+			t.Fatal(err)
+		}
+		log, _ := CreateLog(dir, gen, false, nil)
+		log.Close()
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	wals, ckpts, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ckpts, []uint64{3, 4}) {
+		t.Errorf("checkpoints after prune: %v", ckpts)
+	}
+	// WAL generations >= oldest retained checkpoint survive.
+	if !reflect.DeepEqual(wals, []uint64{3, 4}) {
+		t.Errorf("wals after prune: %v", wals)
+	}
+}
+
+func TestEmitTailSplicing(t *testing.T) {
+	el := func(id int64) temporal.Element {
+		return temporal.Insert(temporal.Payload{ID: id}, 0, 1)
+	}
+	recs := []Record{
+		{Kind: RecEmit, Seq: 0, Els: temporal.Stream{el(0), el(1)}},
+		{Kind: RecAttach, ID: 1},
+		{Kind: RecEmit, Seq: 2, Els: temporal.Stream{el(2), el(3), el(4)}},
+		{Kind: RecEmit, Seq: 5, Els: temporal.Stream{el(5)}},
+	}
+	// From 3: skip record one entirely, take the uncovered suffix of the
+	// overlap record, then everything after.
+	got := EmitTail(recs, 3)
+	if len(got) != 3 {
+		t.Fatalf("tail length = %d, want 3", len(got))
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if got[i].Payload.ID != want {
+			t.Errorf("tail[%d].ID = %d, want %d", i, got[i].Payload.ID, want)
+		}
+	}
+	if tail := EmitTail(recs, 0); len(tail) != 6 {
+		t.Errorf("full tail = %d, want 6", len(tail))
+	}
+	if tail := EmitTail(recs, 99); len(tail) != 0 {
+		t.Errorf("past-end tail = %d, want 0", len(tail))
+	}
+}

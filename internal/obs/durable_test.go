@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDurabilityNilSafe(t *testing.T) {
+	var d *Durability
+	d.WALAppended(10)
+	d.Fsynced()
+	d.Checkpointed(100)
+	d.RecoveryDone(5, 3, 1000)
+	if got := d.Snapshot(); got != (DurabilitySnapshot{}) {
+		t.Fatalf("nil Durability snapshot not zero: %+v", got)
+	}
+}
+
+func TestDurabilityCountersAccumulate(t *testing.T) {
+	d := &Durability{}
+	if got := d.Snapshot(); got != (DurabilitySnapshot{}) {
+		t.Fatalf("fresh snapshot not zero: %+v", got)
+	}
+	d.WALAppended(32)
+	d.WALAppended(48)
+	d.Fsynced()
+	d.Checkpointed(4096)
+	d.Checkpointed(8192)
+
+	s := d.Snapshot()
+	if s.WALRecords != 2 || s.WALBytes != 80 {
+		t.Fatalf("WAL counters: %+v", s)
+	}
+	if s.Fsyncs != 1 {
+		t.Fatalf("fsync counter: %+v", s)
+	}
+	if s.Checkpoints != 2 || s.CheckpointBytes != 12288 {
+		t.Fatalf("checkpoint counters: %+v", s)
+	}
+	// No recoveries yet: quantiles stay zero.
+	if s.Recoveries != 0 || s.RecoveryP50NS != 0 || s.RecoveryMaxNS != 0 {
+		t.Fatalf("recovery fields populated without a recovery: %+v", s)
+	}
+}
+
+func TestDurabilityRecoveryQuantiles(t *testing.T) {
+	d := &Durability{}
+	// 1..100 ms — more samples than the ring, so retention kicks in too.
+	for i := 1; i <= 100; i++ {
+		d.RecoveryDone(int64(i), int64(i%3), int64(i)*1_000_000)
+	}
+	s := d.Snapshot()
+	if s.Recoveries != 100 {
+		t.Fatalf("recoveries = %d", s.Recoveries)
+	}
+	if s.ReplayedRecords != 5050 {
+		t.Fatalf("replayed = %d", s.ReplayedRecords)
+	}
+	if s.RecoveryLastNS != 100_000_000 {
+		t.Fatalf("last = %d", s.RecoveryLastNS)
+	}
+	// The ring holds the latest recoveryWindow samples (37..100 ms after
+	// wraparound), so the summary must sit inside that span and be ordered.
+	if s.RecoveryP50NS <= 0 || s.RecoveryP50NS > s.RecoveryP95NS ||
+		s.RecoveryP95NS > s.RecoveryP99NS || s.RecoveryP99NS > s.RecoveryMaxNS {
+		t.Fatalf("quantiles not ordered: %+v", s)
+	}
+	if s.RecoveryMaxNS != 100_000_000 {
+		t.Fatalf("max = %f, want 1e8", s.RecoveryMaxNS)
+	}
+}
+
+// TestDurabilityConcurrent exercises the counters from racing goroutines —
+// every write is a plain atomic, so this is a race-detector tripwire, plus an
+// exact-total check.
+func TestDurabilityConcurrent(t *testing.T) {
+	d := &Durability{}
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d.WALAppended(16)
+				d.Fsynced()
+				if i%50 == 0 {
+					d.Checkpointed(1024)
+					d.RecoveryDone(1, 0, 500)
+				}
+				_ = d.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := d.Snapshot()
+	if s.WALRecords != workers*per || s.WALBytes != workers*per*16 || s.Fsyncs != workers*per {
+		t.Fatalf("lost updates: %+v", s)
+	}
+	if want := int64(workers * (per / 50)); s.Recoveries != want || s.Checkpoints != want {
+		t.Fatalf("recovery/checkpoint counts: %+v want %d", s, want)
+	}
+}

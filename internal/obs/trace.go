@@ -32,6 +32,12 @@ const (
 	// workers: Stream carries the donor partition, Aux the recipient, T the
 	// donor's stable point at extraction time.
 	EventMigrate
+	// EventCheckpoint records one durable checkpoint commit: T is the stable
+	// point captured, Aux the checkpoint generation.
+	EventCheckpoint
+	// EventRecovery records one completed crash recovery: T is the recovered
+	// stable point, Aux the number of WAL records replayed.
+	EventRecovery
 )
 
 // String names the event kind.
@@ -57,6 +63,10 @@ func (k EventKind) String() string {
 		return "note"
 	case EventMigrate:
 		return "migrate"
+	case EventCheckpoint:
+		return "checkpoint"
+	case EventRecovery:
+		return "recovery"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }

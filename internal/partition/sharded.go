@@ -172,6 +172,7 @@ const (
 	ctlPrepare
 	ctlMigrate
 	ctlInstall
+	ctlSnapshot
 )
 
 type ctlMsg struct {
@@ -184,6 +185,7 @@ type ctlMsg struct {
 	prepReply  chan temporal.Time
 	mig        *migration
 	st         core.HandoffState
+	snapReply  chan temporal.Stream // ctlSnapshot: worker's Snapshot() stream
 }
 
 // workerSpin is how many empty scan passes a worker burns (yielding between
@@ -443,6 +445,15 @@ func (s *Sharded) handleCtl(w *shardWorker, m ctlMsg) {
 		}
 		w.stalled = false
 		s.replayHeld(w)
+	case ctlSnapshot:
+		// Runs at a loop boundary, so any prior drain pass has flushed its
+		// emissions (drainRing ends with flushEmit) — the checkpoint layer's
+		// exactness depends on that ordering, see Quiesce.
+		if sn, ok := w.op.Merger().(core.Snapshotter); ok {
+			m.snapReply <- sn.Snapshot()
+		} else {
+			m.snapReply <- nil
+		}
 	}
 }
 

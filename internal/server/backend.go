@@ -93,6 +93,19 @@ func (b *singleBackend) Stats() core.Stats {
 
 func (b *singleBackend) PartitionStats() []partition.PartitionStat { return nil }
 
+// Snapshot returns the merger's checkpoint stream (durability tier), or
+// ok=false when the algorithm cannot snapshot. The backend lock makes the cut
+// exact: no ProcessBatch is mid-flight while it runs.
+func (b *singleBackend) Snapshot() (temporal.Stream, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sn, ok := b.op.Merger().(core.Snapshotter)
+	if !ok {
+		return nil, false
+	}
+	return sn.Snapshot(), true
+}
+
 func (b *singleBackend) SizeBytes() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()

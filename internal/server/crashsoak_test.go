@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"lmerge/internal/gen"
+	"lmerge/internal/partition"
+	"lmerge/internal/temporal"
+)
+
+// TestCrashSoak is the race-enabled seeded crash/recover loop of the CI gate
+// (`make crash-soak`): many kill -9 cycles, each with a seed-varied workload,
+// crash point, backend shape (single / partitioned+rebalancing), fsync mode,
+// and crash-image mutilation (torn WAL tail, corrupted newest checkpoint).
+// Every cycle must recover a frontier no older than anything a subscriber
+// saw and converge, after full redelivery, to the no-crash oracle. The loop
+// closes by checking that the recovery-duration quantiles surface on
+// /metrics — the observable the recovery-time writeup in EXPERIMENTS.md
+// reads.
+func TestCrashSoak(t *testing.T) {
+	iters := 10
+	if testing.Short() {
+		iters = 3
+	}
+	var recoveryNS []float64
+	var lastMetrics []byte
+	for i := 0; i < iters; i++ {
+		seed := int64(1000 + i*17)
+		opts := func(o *Options) {
+			o.CheckpointEvery = 15 * time.Millisecond
+			o.Fsync = i%3 == 0
+			if i%2 == 1 {
+				o.Partitions = 3
+				o.Rebalance = &partition.RebalanceConfig{}
+			}
+		}
+
+		sc := gen.NewScript(gen.Config{
+			Events: 160, Seed: seed, EventDuration: 60, MaxGap: 8,
+			Revisions: 0.4, RemoveProb: 0.2, PayloadBytes: 12,
+		})
+		stream := sc.Render(gen.RenderOptions{Seed: seed + 1, Disorder: 0.15 + 0.05*float64(i%4), StableFreq: 0.06})
+
+		dir := t.TempDir()
+		s := newDurableServer(t, dir, opts)
+		p, err := Connect(s.Addr(), temporal.MinTime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Seed-varied crash point, pushed forward until the prefix carries a
+		// stable (otherwise the frontier check is vacuous).
+		cut := len(stream) * (30 + (i*13)%45) / 100
+		target := temporal.MinTime
+		for {
+			target = temporal.MinTime
+			for _, e := range stream[:cut] {
+				if e.Kind == temporal.KindStable {
+					target = temporal.MaxT(target, e.T())
+				}
+			}
+			if target != temporal.MinTime || cut >= len(stream) {
+				break
+			}
+			cut++
+		}
+		if err := p.SendStream(stream[:cut]); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		waitStable(t, s, target)
+		preStable := s.MaxStable()
+
+		// Crash: raw-byte image, seed-derived mutilation.
+		img := copyDataDir(t, dir)
+		if tear := (i * 3) % 7; tear > 0 {
+			tearNewestWAL(t, img, tear)
+		}
+		if i%4 == 2 {
+			corruptNewestCheckpoint(t, img)
+		}
+		p.Close()
+		s.Close()
+
+		s2 := newDurableServer(t, img, opts)
+		if got := s2.MaxStable(); got < preStable {
+			t.Fatalf("iter %d: recovered frontier %d regressed past pre-crash stable %d",
+				i, int64(got), int64(preStable))
+		}
+		d := s2.Durability()
+		if d.Recoveries != 1 || d.RecoveryLastNS <= 0 {
+			t.Fatalf("iter %d: recovery not counted: %+v", i, d)
+		}
+		recoveryNS = append(recoveryNS, float64(d.RecoveryLastNS))
+
+		p2, err := Connect(s2.Addr(), temporal.MinTime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p2.SendStream(stream); err != nil {
+			t.Fatal(err)
+		}
+		waitStable(t, s2, temporal.Infinity)
+		p2.Close()
+
+		sub, err := Subscribe(s2.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := collect(t, sub)
+		sub.Close()
+		got, err := temporal.Reconstitute(merged)
+		if err != nil {
+			t.Fatalf("iter %d: recovered output invalid: %v", i, err)
+		}
+		if !got.Equal(sc.TDB()) {
+			t.Fatalf("iter %d: TDB diverged from no-crash oracle", i)
+		}
+
+		rec := httptest.NewRecorder()
+		s2.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		lastMetrics = rec.Body.Bytes()
+		s2.Close()
+	}
+
+	// Recovery-duration quantiles: visible in-process and on /metrics.
+	sort.Float64s(recoveryNS)
+	p50 := recoveryNS[len(recoveryNS)/2]
+	t.Logf("crash-soak: %d recoveries, p50=%.2fms max=%.2fms",
+		len(recoveryNS), p50/1e6, recoveryNS[len(recoveryNS)-1]/1e6)
+	var metrics struct {
+		Service struct {
+			Durability *struct {
+				Recoveries    int64   `json:"recoveries"`
+				RecoveryP50NS float64 `json:"recovery_p50_ns"`
+			} `json:"durability"`
+		} `json:"service"`
+	}
+	if err := json.Unmarshal(lastMetrics, &metrics); err != nil {
+		t.Fatalf("bad /metrics payload: %v", err)
+	}
+	dm := metrics.Service.Durability
+	if dm == nil || dm.Recoveries != 1 || dm.RecoveryP50NS <= 0 {
+		t.Fatalf("/metrics durability block missing recovery quantiles: %s", lastMetrics)
+	}
+}

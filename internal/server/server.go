@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"lmerge/internal/core"
+	"lmerge/internal/durable"
 	"lmerge/internal/obs"
 	"lmerge/internal/partition"
 	"lmerge/internal/temporal"
@@ -82,6 +83,11 @@ type Server struct {
 	nextSub    int
 	subsClosed bool
 
+	// dur is the persistence tier (nil without Options.DataDir): WAL hooks on
+	// the ingestion and emission paths, the checkpoint barrier, and recovery
+	// state. See durability.go.
+	dur *durability
+
 	done chan struct{}
 	wg   sync.WaitGroup
 }
@@ -97,6 +103,9 @@ type pubState struct {
 	// (its own progress, updated under Server.mu).
 	watermark  temporal.Time
 	attachedAt time.Time
+	// joinTime is the stream's join guarantee, re-logged at WAL rotation so
+	// every generation replays standalone.
+	joinTime temporal.Time
 }
 
 // ctrlWriteTimeout bounds control-line writes (FF, DETACH) so a publisher
@@ -154,6 +163,22 @@ type Options struct {
 	// routing slots between partition workers when one runs hot (DESIGN.md
 	// §11). Zero-valued fields take the partition.RebalanceConfig defaults.
 	Rebalance *partition.RebalanceConfig
+
+	// DataDir, when non-empty, makes the merge state durable (DESIGN.md §12):
+	// publisher batches and merged-output emissions are written to a
+	// checksummed WAL before they are acknowledged or delivered, periodic
+	// checkpoints serialize the merger's Snapshot() stream (per partition,
+	// plus the routing table, when sharded) with atomic rename, and startup
+	// recovers from the newest valid checkpoint plus the WAL tail. Requires a
+	// snapshot-capable merge case (R3/R4 families).
+	DataDir string
+	// CheckpointEvery is the background checkpoint period under DataDir
+	// (default 2s).
+	CheckpointEvery time.Duration
+	// Fsync makes every WAL append fsync before returning — durable against
+	// power failure, not just process death — at a substantial per-element
+	// cost (measured in EXPERIMENTS.md).
+	Fsync bool
 }
 
 func (o Options) withDefaults() Options {
@@ -211,6 +236,17 @@ func NewWithOptions(addr string, opts Options) (*Server, error) {
 	} else {
 		s.be = newSingleBackend(opts.Case, s.broadcast, fb, lag, s.tel)
 	}
+	if opts.DataDir != "" {
+		// Recovery runs here, before the listener accepts: single-threaded,
+		// no publishers or subscribers attached yet.
+		if err := s.initDurability(); err != nil {
+			ln.Close()
+			s.be.Close()
+			return nil, err
+		}
+		s.wg.Add(1)
+		go s.checkpointLoop()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if s.opts.StragglerLag > 0 {
@@ -242,9 +278,11 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // goroutines to finish, and shuts the merge backend down.
 func (s *Server) Close() error {
 	err := s.ln.Close()
+	first := false
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
+		first = true
 		close(s.done)
 		// Wake publisher handlers blocked in a read.
 		for _, ps := range s.pubs {
@@ -260,9 +298,24 @@ func (s *Server) Close() error {
 	}
 	s.outMu.Unlock()
 	s.wg.Wait()
-	// Handlers have flushed and detached; the backend can drain and stop.
+	// Handlers have flushed and detached; a final checkpoint captures the
+	// settled state so a clean shutdown restarts from a checkpoint alone.
+	if s.dur != nil && first {
+		if cerr := s.checkpoint(); err == nil {
+			err = cerr
+		}
+	}
+	// The backend can now drain and stop.
 	if berr := s.be.Close(); err == nil {
 		err = berr
+	}
+	if s.dur != nil {
+		s.dur.mu.Lock()
+		if s.dur.log != nil {
+			s.dur.log.Close()
+			s.dur.log = nil
+		}
+		s.dur.mu.Unlock()
 	}
 	return err
 }
@@ -347,6 +400,10 @@ func (s *Server) MetricsHandler() http.Handler {
 		if ps := s.be.PartitionStats(); ps != nil {
 			svc["partition_stats"] = ps
 		}
+		if s.dur != nil {
+			// WAL/checkpoint counters and recovery-duration quantiles.
+			svc["durability"] = s.dur.tel.Snapshot()
+		}
 		return svc
 	})
 }
@@ -426,8 +483,17 @@ func lagsBehind(wm, stable, lag temporal.Time) bool {
 // the merge nor delay delivery to the others; on overflow the subscriber is
 // dropped (it may resume positionally with FROM).
 func (s *Server) broadcast(e temporal.Element) {
+	// Recovery seeding re-merges what the restored backlog already holds;
+	// those re-emissions are silenced wholesale (durability.go).
+	if s.dur.suppressed() {
+		return
+	}
 	var dropped []int
 	s.outMu.Lock()
+	// Write-ahead of delivery: the emission is WAL-logged before any
+	// subscriber queue sees it, so a restart's restored backlog is always a
+	// superset of what was delivered and positional FROM resume stays exact.
+	s.dur.appendEmit(len(s.backlog), e)
 	s.backlog = append(s.backlog, e)
 	for id, q := range s.subs {
 		if !q.push(e) {
@@ -544,7 +610,7 @@ func parseHello(line string) (hello, error) {
 const pubBatchSize = 64
 
 func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime temporal.Time) {
-	ps := &pubState{conn: conn, watermark: temporal.MinTime, attachedAt: time.Now()}
+	ps := &pubState{conn: conn, watermark: temporal.MinTime, attachedAt: time.Now(), joinTime: joinTime}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -552,13 +618,19 @@ func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime tempora
 	}
 	s.mu.Unlock()
 	// Attach outside s.mu: the backend serialises internally and (sharded)
-	// may block on worker queues.
+	// may block on worker queues. The checkpoint barrier's read side spans
+	// attach + WAL record + registration, so a checkpoint cut sees either all
+	// of them or none.
+	unlock := s.dur.shared()
 	id := s.be.Attach(joinTime)
+	s.dur.append(durable.Record{Kind: durable.RecAttach, ID: int64(id), JoinTime: joinTime})
 	stable := s.be.MaxStable()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.dur.append(durable.Record{Kind: durable.RecDetach, ID: int64(id)})
 		s.be.Detach(id)
+		unlock()
 		return
 	}
 	s.pubs[id] = ps
@@ -569,6 +641,7 @@ func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime tempora
 	// the publisher actually accrues from here on.
 	ps.watermark = stable
 	s.mu.Unlock()
+	unlock()
 	// The handshake reply carries the merged stable point: a reconnecting
 	// replica seeds its fast-forward watermark from it and skips everything
 	// the output no longer needs (cheap catch-up, Sec. V-D).
@@ -585,7 +658,13 @@ func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime tempora
 				wm = temporal.MaxT(wm, e.T())
 			}
 		}
+		// Log before merge, merge before ack (below): once the publisher hears
+		// ACK, the batch survives a crash. The barrier's read side keeps the
+		// couple atomic against a checkpoint cut.
+		unlock := s.dur.shared()
+		s.dur.append(durable.Record{Kind: durable.RecBatch, ID: int64(id), Els: pending})
 		err := s.be.ProcessBatch(id, pending)
+		unlock()
 		s.mu.Lock()
 		ps.watermark = temporal.MaxT(ps.watermark, wm)
 		s.mu.Unlock()
@@ -602,7 +681,10 @@ func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime tempora
 		// Anything parsed before the disconnect is part of the stream and
 		// must be merged before the detach releases the publisher's state.
 		flush()
+		unlock := s.dur.shared()
+		s.dur.append(durable.Record{Kind: durable.RecDetach, ID: int64(id)})
 		s.be.Detach(id)
+		unlock()
 		s.mu.Lock()
 		delete(s.pubs, id)
 		s.pubCount--
