@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench chaos partition-soak rebalance-soak crash-soak fuzz experiments scale bench-compare diffcheck diffcheck-race clean
+.PHONY: all check build vet test race cover bench chaos partition-soak rebalance-soak crash-soak spill-soak fuzz experiments scale bench-compare diffcheck diffcheck-race clean
 
 all: build vet test
 
 # Everything CI cares about: compile, vet, full tests, race on the
 # concurrent packages, the seeded chaos soaks (single-instance and
 # partitioned), the adaptive-repartitioning soak, the crash/recover soak,
-# and a race-enabled differential sweep over the trimmed config grid.
-check: build vet test race cover chaos partition-soak rebalance-soak crash-soak diffcheck-race
+# the budget-constrained out-of-core spill soak, and a race-enabled
+# differential sweep over the trimmed config grid.
+check: build vet test race cover chaos partition-soak rebalance-soak crash-soak spill-soak diffcheck-race
 
 build:
 	$(GO) build ./...
@@ -67,13 +68,20 @@ crash-soak:
 	$(GO) test -race -v -run 'TestCrashSoak|TestCrashRestart' ./internal/server/
 	$(GO) test -race -v -run TestKill9 ./cmd/lmserved/
 
+# Race-enabled soak of the out-of-core tier: accumulating long-lived state
+# against a 32 KiB resident budget, with the background run compactor racing
+# the merge path (see DESIGN.md §13).
+spill-soak:
+	$(GO) test -race -v -run 'TestSpillSoak|TestSpillEquivalence' ./internal/spill/
+
 # Short fuzz sessions over the wire codec, reconstitution, the server
-# handshake/frame parser, and the WAL record decoder.
+# handshake/frame parser, and the WAL record and spill-run decoders.
 fuzz:
 	$(GO) test ./internal/temporal/ -fuzz FuzzUnmarshalElement -fuzztime 30s
 	$(GO) test ./internal/temporal/ -fuzz FuzzReconstitute -fuzztime 30s
 	$(GO) test ./internal/server/ -run FuzzParseFrame -fuzz FuzzParseFrame -fuzztime 30s
 	$(GO) test ./internal/durable/ -run FuzzWALDecode -fuzz FuzzWALDecode -fuzztime 30s
+	$(GO) test ./internal/durable/ -run FuzzRunDecode -fuzz FuzzRunDecode -fuzztime 30s
 
 # Differential correctness sweep: every algorithm × executor × pipeline
 # against the brute-force oracle (see DESIGN.md §7). Any divergence is a bug;

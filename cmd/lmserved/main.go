@@ -61,6 +61,7 @@ func serve(args []string) {
 	dataDir := fs.String("data-dir", "", "durable merge state: WAL + checkpoints under this directory; restart jumpstarts from the latest checkpoint and replays the WAL tail (empty disables)")
 	ckptEvery := fs.Duration("checkpoint-every", 0, "checkpoint period when -data-dir is set (0 = server default)")
 	fsync := fs.Bool("fsync", false, "fsync every WAL append (survives power loss, not just process death)")
+	memBudget := fs.Int("mem-budget", 0, "bound resident merge state to this many bytes: frozen agreed state spills to sorted on-disk runs (under -data-dir/spill when set) and replays on demand (0 disables)")
 	fs.Parse(args)
 
 	c, err := parseCase(*caseName)
@@ -68,7 +69,8 @@ func serve(args []string) {
 		fatal(err)
 	}
 	opts := server.Options{Case: c, FeedbackLag: -1, Partitions: *parts,
-		DataDir: *dataDir, CheckpointEvery: *ckptEvery, Fsync: *fsync}
+		DataDir: *dataDir, CheckpointEvery: *ckptEvery, Fsync: *fsync,
+		MemBudget: *memBudget}
 	if *rebalance {
 		if *parts <= 1 {
 			fatal(fmt.Errorf("-rebalance needs -partitions > 1"))
@@ -87,6 +89,9 @@ func serve(args []string) {
 		} else {
 			fmt.Fprintf(os.Stderr, "lmserved: durable state in %s (fsync=%v)\n", *dataDir, *fsync)
 		}
+	}
+	if *memBudget > 0 {
+		fmt.Fprintf(os.Stderr, "lmserved: resident merge state bounded to %d bytes (out-of-core spill)\n", *memBudget)
 	}
 	if *parts > 1 {
 		mode := ""
@@ -130,9 +135,14 @@ func serve(args []string) {
 	st := s.Stats()
 	ps := s.PartitionStats()
 	snaps := s.Telemetry()
+	spSnap := s.SpillStats()
 	s.Close()
 	fmt.Fprintf(os.Stderr, "lmserved: done — in=%d out=%d dropped=%d warnings=%d\n",
 		st.InElements(), st.OutElements(), st.Dropped, st.ConsistencyWarnings)
+	if *memBudget > 0 {
+		fmt.Fprintf(os.Stderr, "lmserved: spill — runs=%d merged=%d spilled=%dB unspills=%d replay p95=%.0fns\n",
+			spSnap.RunsWritten, spSnap.RunsMerged, spSnap.SpilledBytes, spSnap.Unspills, spSnap.ReplayP95NS)
+	}
 	for _, snap := range snaps {
 		if snap.Name == "merge" {
 			fmt.Fprintf(os.Stderr, "lmserved: freshness lag p50=%.0f p95=%.0f max=%d — leader stream %d (%d switches)\n",

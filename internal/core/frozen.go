@@ -1,0 +1,223 @@
+package core
+
+import (
+	"sort"
+
+	"lmerge/internal/index"
+	"lmerge/internal/temporal"
+)
+
+// Frozen-slice extraction: the state-donation face behind out-of-core spill
+// (internal/spill). Where Handoff moves arbitrary live nodes between
+// partition instances of one merge, ExtractFrozen carves out only nodes that
+// are provably INERT — the paper's frozen/live split (Sec. III-B) applied
+// below the key level: a node whose start time is under the output stable
+// point and on which every attached input agrees with the output exactly can
+// no longer cause any output activity. Every future touch of such a node is
+// a no-op or a drop:
+//
+//   - an insert/adjust re-presenting the same (key, Ve) from a member stream
+//     is absorbed (SetVe / IncrementCount to the value already held);
+//   - a stable sweep reconciles it as inVe == outVe, a no-op, and eventually
+//     retires it once the agreed Ve freezes;
+//   - Snapshot emits it verbatim from its (key, Ve) pairs alone.
+//
+// So the node's future behaviour is a pure function of (key, Ve multiset,
+// member set) — exactly what a FrozenFrame records — and the node itself can
+// leave memory. The spill layer re-installs frames (InstallFrozen) before
+// any event that would interact with them in a non-trivial way.
+//
+// Nodes vouched by a strict SUBSET of the attached streams stay resident:
+// a straggler that never presented the key would trigger absent-treatment
+// withdrawal at its stable sweep, so those nodes are still "live" in the
+// only sense that matters for spill.
+
+// FrozenFrame is one extracted (Vs, Payload) key group. For R3 the Ve
+// multiset is a single unit entry (the agreed end time); for R4 it is the
+// output's full Ve multiset, frozen occurrences included (the resident node
+// would retain them too — Snapshot filters per occurrence).
+type FrozenFrame struct {
+	Vs      temporal.Time
+	Payload temporal.Payload
+	Ves     []index.VeCount // ascending Ve
+}
+
+// MaxVe returns the largest end time in the frame's multiset.
+func (f FrozenFrame) MaxVe() temporal.Time { return f.Ves[len(f.Ves)-1].Ve }
+
+// FrozenSlice is a batch of frames extracted under one member set.
+type FrozenSlice struct {
+	// Clock is the donor's output stable point at extraction time.
+	Clock temporal.Time
+	// Members is the sorted attached-stream set whose entries unanimously
+	// matched the output for every frame in the slice.
+	Members []StreamID
+	// Frames holds the extracted key groups in ascending (Vs, Payload) order.
+	Frames []FrozenFrame
+	// Bytes is the resident footprint freed, in SizeBytes units.
+	Bytes int
+}
+
+// FrozenExtractor is the capability bundle the spill layer requires: frozen
+// extraction plus the snapshot and handoff faces it composes with.
+type FrozenExtractor interface {
+	Merger
+	Snapshotter
+	Handoff
+	// ExtractFrozen removes inert nodes oldest-Vs-first until at least shed
+	// bytes of resident footprint are freed (or eligible nodes run out; a
+	// non-positive shed extracts everything eligible). ok is false when
+	// nothing was eligible.
+	ExtractFrozen(shed int) (fs FrozenSlice, ok bool)
+	// InstallFrozen re-admits previously extracted frames. Frames whose
+	// whole Ve multiset has frozen in the meantime are discarded — the
+	// resident node would have been retired by the sweep that froze them.
+	InstallFrozen(fs FrozenSlice)
+}
+
+// sortedMembers snapshots the attached set in ascending stream order.
+func (b *base) sortedMembers() []StreamID {
+	ms := make([]StreamID, 0, len(b.attached))
+	for s := range b.attached {
+		ms = append(ms, s)
+	}
+	sort.Ints(ms)
+	return ms
+}
+
+// ExtractFrozen implements FrozenExtractor for R3. A node is inert when its
+// start is under the output stable point, its output entry is still live
+// (a fully frozen output entry means the node is about to be retired — not
+// worth a disk round trip), and every attached stream holds an entry equal
+// to the output's. The InsertFullyFrozen policy is excluded for the same
+// reason it is not HandoffCapable: its output stable point is data-dependent.
+func (m *R3) ExtractFrozen(shed int) (FrozenSlice, bool) {
+	if m.opts.Insert == InsertFullyFrozen || len(m.attached) == 0 {
+		return FrozenSlice{}, false
+	}
+	fs := FrozenSlice{Clock: m.maxStable, Members: m.sortedMembers()}
+	var victims []temporal.VsPayload
+	m.index.Ascend(func(n *index.Node2) bool {
+		k := n.Key()
+		if k.Vs >= m.maxStable {
+			return false // keys are Vs-major: no later node is frozen-started
+		}
+		outVe, has := n.Ve(index.OutputStream)
+		if !has || outVe < m.maxStable {
+			return true
+		}
+		// Entries are always a subset of attached ∪ {output} (Detach deletes
+		// its entries), so per-member equality is full unanimity.
+		for _, s := range fs.Members {
+			if ve, ok := n.Ve(s); !ok || ve != outVe {
+				return true
+			}
+		}
+		fs.Frames = append(fs.Frames, FrozenFrame{
+			Vs: k.Vs, Payload: k.Payload,
+			Ves: []index.VeCount{{Ve: outVe, Count: 1}},
+		})
+		victims = append(victims, k)
+		fs.Bytes += index.Node2Bytes(n)
+		return shed <= 0 || fs.Bytes < shed
+	})
+	for _, k := range victims {
+		m.index.DeleteNode(k)
+	}
+	return fs, len(fs.Frames) > 0
+}
+
+// InstallFrozen implements FrozenExtractor for R3.
+func (m *R3) InstallFrozen(fs FrozenSlice) {
+	for _, fr := range fs.Frames {
+		ve := fr.MaxVe()
+		if ve < m.maxStable {
+			continue // froze while spilled; the resident twin was retired
+		}
+		el := temporal.Insert(fr.Payload, fr.Vs, ve)
+		if _, ok := m.index.SameVsPayload(el); ok {
+			continue // key re-entered resident state; spill layer prevents this
+		}
+		f := m.index.AddNode(el)
+		f.SetVe(index.OutputStream, ve)
+		for _, s := range fs.Members {
+			if m.isAttached(s) {
+				f.SetVe(s, ve)
+			}
+		}
+	}
+}
+
+// veCountsEqual reports multiset equality of two ascending VeCount runs.
+func veCountsEqual(a, b []index.VeCount) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtractFrozen implements FrozenExtractor for R4: a node is inert when its
+// start is under the output stable point, the output multiset still has a
+// live occurrence, and every attached stream's Ve multiset equals the
+// output's exactly, (Ve, count) by (Ve, count).
+func (m *R4) ExtractFrozen(shed int) (FrozenSlice, bool) {
+	if len(m.attached) == 0 {
+		return FrozenSlice{}, false
+	}
+	fs := FrozenSlice{Clock: m.maxStable, Members: m.sortedMembers()}
+	var victims []temporal.VsPayload
+	m.index.Ascend(func(n *index.Node3) bool {
+		k := n.Key()
+		if k.Vs >= m.maxStable {
+			return false
+		}
+		out := n.VeCounts(index.OutputStream)
+		if len(out) == 0 || out[len(out)-1].Ve < m.maxStable {
+			return true
+		}
+		for _, s := range fs.Members {
+			if !veCountsEqual(n.VeCounts(s), out) {
+				return true
+			}
+		}
+		fs.Frames = append(fs.Frames, FrozenFrame{Vs: k.Vs, Payload: k.Payload, Ves: out})
+		victims = append(victims, k)
+		fs.Bytes += index.Node3Bytes(n)
+		return shed <= 0 || fs.Bytes < shed
+	})
+	for _, k := range victims {
+		m.index.DeleteNode(k)
+	}
+	return fs, len(fs.Frames) > 0
+}
+
+// InstallFrozen implements FrozenExtractor for R4. The full multiset is
+// restored, frozen occurrences included, unless every occurrence froze while
+// the frame was spilled (then the resident twin would have been retired).
+func (m *R4) InstallFrozen(fs FrozenSlice) {
+	for _, fr := range fs.Frames {
+		if fr.MaxVe() < m.maxStable {
+			continue
+		}
+		el := temporal.Insert(fr.Payload, fr.Vs, fr.MaxVe())
+		if _, ok := m.index.SameVsPayload(el); ok {
+			continue
+		}
+		f := m.index.AddNode(el)
+		for _, vc := range fr.Ves {
+			for i := 0; i < vc.Count; i++ {
+				f.IncrementCount(index.OutputStream, vc.Ve)
+				for _, s := range fs.Members {
+					if m.isAttached(s) {
+						f.IncrementCount(s, vc.Ve)
+					}
+				}
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"lmerge/internal/core"
 	"lmerge/internal/partition"
+	"lmerge/internal/spill"
 	"lmerge/internal/temporal"
 )
 
@@ -121,6 +122,13 @@ func (a Algo) snapshotCapable() bool {
 	return ok
 }
 
+// spillCapable reports whether the algorithm's merger supports frozen-state
+// extraction (core.FrozenExtractor) — the eligibility gate for the
+// out-of-core spill axes, matching the server's -mem-budget gate.
+func (a Algo) spillCapable() bool {
+	return spill.Capable(a.NewMerger(func(temporal.Element) {}))
+}
+
 // Exec selects the execution substrate a configuration runs on.
 type Exec uint8
 
@@ -162,6 +170,18 @@ const (
 	// streams are redelivered — the in-process twin of the server's kill -9
 	// recovery, subject to the same oracle and frozen-surface checks.
 	ExecCrashRecover
+	// ExecSpill is ExecDirect with the merger wrapped in the out-of-core
+	// spill layer (internal/spill) under a pathological 1-byte budget and
+	// per-element probing, so every frozen-eligible node is forced through a
+	// spill/consult/unspill round trip and the background run merger churns
+	// constantly — the oracle, snapshot, and frozen-surface checks then cover
+	// state that lives in runs rather than the resident index.
+	ExecSpill
+	// ExecSpillCrash is ExecCrashRecover with BOTH phases' mergers
+	// spill-wrapped: the checkpoint snapshot must replay spilled runs, and the
+	// jumpstarted merger re-spills under the same starvation budget while
+	// absorbing redelivery.
+	ExecSpillCrash
 	execCount // sentinel
 )
 
@@ -189,6 +209,10 @@ func (x Exec) String() string {
 		return fmt.Sprintf("partitioned-%d/rebal", diffPartitions)
 	case ExecCrashRecover:
 		return "crash-recover"
+	case ExecSpill:
+		return "spill"
+	case ExecSpillCrash:
+		return "spill-crash"
 	}
 	return fmt.Sprintf("Exec(%d)", uint8(x))
 }
@@ -253,7 +277,8 @@ func (c Config) String() string {
 	}
 	if c.Order != "" && (c.Exec == ExecDirect || c.Exec == ExecSync ||
 		c.Exec == ExecPartitioned || c.Exec == ExecPartitionedRebal ||
-		c.Exec == ExecCrashRecover) {
+		c.Exec == ExecCrashRecover || c.Exec == ExecSpill ||
+		c.Exec == ExecSpillCrash) {
 		s += "/" + c.Order
 	}
 	return s

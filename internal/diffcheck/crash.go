@@ -5,6 +5,7 @@ import (
 
 	"lmerge/internal/core"
 	"lmerge/internal/durable"
+	"lmerge/internal/spill"
 	"lmerge/internal/temporal"
 )
 
@@ -32,9 +33,21 @@ import (
 func runCrashRecover(cfg Config, w *workload, opt Options) result {
 	var res result
 
-	// Phase 1: run to the crash point, maintaining checkpoint + WAL.
+	// Phase 1: run to the crash point, maintaining checkpoint + WAL. The
+	// spill-crash axis wraps both phases' mergers in the starved spill layer,
+	// so the checkpoint snapshot must replay spilled runs and the jumpstarted
+	// merger re-spills while absorbing redelivery.
 	var out temporal.Stream
 	m1 := cfg.Algo.NewMerger(func(e temporal.Element) { out = append(out, e) })
+	if cfg.Exec == ExecSpillCrash {
+		sp, err := spill.Wrap(m1, spillStarved())
+		if err != nil {
+			res.err = fmt.Errorf("spill wrap: %v; grid gate failed", err)
+			return res
+		}
+		defer sp.Close()
+		m1 = sp
+	}
 	if opt.Mutate != nil {
 		m1 = opt.Mutate(cfg, m1)
 	}
@@ -98,6 +111,15 @@ func runCrashRecover(cfg Config, w *workload, opt Options) result {
 			out2 = append(out2, e)
 		}
 	})
+	if cfg.Exec == ExecSpillCrash {
+		sp, err := spill.Wrap(m2, spillStarved())
+		if err != nil {
+			res.err = fmt.Errorf("spill wrap (recovery): %v", err)
+			return res
+		}
+		defer sp.Close()
+		m2 = sp
+	}
 	if opt.Mutate != nil {
 		m2 = opt.Mutate(cfg, m2)
 	}

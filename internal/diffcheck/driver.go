@@ -244,6 +244,13 @@ func grid(class Class, quick bool) []Config {
 			if x == ExecCrashRecover && !a.snapshotCapable() {
 				continue
 			}
+			if (x == ExecSpill || x == ExecSpillCrash) && !a.spillCapable() {
+				continue
+			}
+			if x == ExecSpillCrash && (!a.snapshotCapable() ||
+				a == AlgoR3HalfFrozen || a == AlgoR3FullyFrozen || a == AlgoR3Quorum2) {
+				continue
+			}
 			cfgs = append(cfgs, Config{Algo: a, Exec: x, Order: orders[int(x)%len(orders)]})
 		}
 		cfgs = append(cfgs,
@@ -277,6 +284,18 @@ func grid(class Class, quick bool) []Config {
 			// server has the same boundary: -data-dir hosts only the default
 			// immediate-emission mergers core.New constructs.
 			if x == ExecCrashRecover && (!a.snapshotCapable() ||
+				a == AlgoR3HalfFrozen || a == AlgoR3FullyFrozen || a == AlgoR3Quorum2) {
+				continue
+			}
+			// The spill axes need frozen-state extraction (core.FrozenExtractor,
+			// via the spill wrapper's Capable gate — the server's -mem-budget
+			// boundary). The crash variant additionally inherits every
+			// ExecCrashRecover exclusion: a spilled run replays through the same
+			// snapshot + jumpstart path a checkpoint does.
+			if (x == ExecSpill || x == ExecSpillCrash) && !a.spillCapable() {
+				continue
+			}
+			if x == ExecSpillCrash && (!a.snapshotCapable() ||
 				a == AlgoR3HalfFrozen || a == AlgoR3FullyFrozen || a == AlgoR3Quorum2) {
 				continue
 			}
@@ -323,8 +342,10 @@ func runConfig(cfg Config, w *workload, opt Options) result {
 	switch cfg.Exec {
 	case ExecDirect, ExecPartitioned, ExecPartitionedRebal:
 		return runDirect(cfg, w, opt)
-	case ExecCrashRecover:
+	case ExecCrashRecover, ExecSpillCrash:
 		return runCrashRecover(cfg, w, opt)
+	case ExecSpill:
+		return runSpill(cfg, w, opt)
 	default:
 		return runEngine(cfg, w, opt)
 	}

@@ -50,6 +50,18 @@ func (x Exec) goName() string {
 		return "ExecRuntime"
 	case ExecRuntimeUnbatched:
 		return "ExecRuntimeUnbatched"
+	case ExecPartitioned:
+		return "ExecPartitioned"
+	case ExecPartitionedRT:
+		return "ExecPartitionedRT"
+	case ExecPartitionedRebal:
+		return "ExecPartitionedRebal"
+	case ExecCrashRecover:
+		return "ExecCrashRecover"
+	case ExecSpill:
+		return "ExecSpill"
+	case ExecSpillCrash:
+		return "ExecSpillCrash"
 	}
 	return fmt.Sprintf("Exec(%d)", uint8(x))
 }

@@ -280,7 +280,12 @@ func Load(dir string) (*RecoveryState, error) {
 // Prune deletes checkpoints older than the newest `keep` generations and WAL
 // generations older than the oldest retained checkpoint. Keeping more than
 // one checkpoint generation is what lets Load fall back when the newest file
-// turns out invalid.
+// turns out invalid — and Prune honours that fallback: the cut never moves
+// past the newest LOADABLE checkpoint, so even when every retained-by-count
+// generation is corrupt, the generation Load would actually recover from
+// (and its WAL tail) survives. In-flight commits are safe by construction:
+// WriteCheckpoint publishes via a .tmp sibling that scanDir does not list,
+// and a generation still mid-write is newer than any cut.
 func Prune(dir string, keep int) error {
 	if keep < 1 {
 		keep = 1
@@ -293,14 +298,39 @@ func Prune(dir string, keep int) error {
 		return nil
 	}
 	cut := ckpts[len(ckpts)-keep]
+	if cut > 0 {
+		// Walk newest-first for the generation Load's fallback would choose;
+		// decoding is cheap relative to losing the only valid checkpoint.
+		loadable := uint64(0)
+		found := false
+		for i := len(ckpts) - 1; i >= 0; i-- {
+			data, err := os.ReadFile(CheckpointPath(dir, ckpts[i]))
+			if err != nil {
+				continue
+			}
+			if _, err := DecodeCheckpoint(data); err != nil {
+				continue
+			}
+			loadable, found = ckpts[i], true
+			break
+		}
+		if !found {
+			return nil // nothing loadable at all: delete nothing
+		}
+		if loadable < cut {
+			cut = loadable
+		}
+	}
 	var firstErr error
 	rm := func(path string) {
 		if err := os.Remove(path); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	for _, g := range ckpts[:len(ckpts)-keep] {
-		rm(CheckpointPath(dir, g))
+	for _, g := range ckpts {
+		if g < cut {
+			rm(CheckpointPath(dir, g))
+		}
 	}
 	for _, g := range wals {
 		if g < cut {

@@ -1,0 +1,240 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lmerge/internal/temporal"
+)
+
+// TestEmitTailBoundaries pins EmitTail's record-boundary semantics: a `from`
+// landing exactly on a record's first index takes the whole record (no
+// duplicate, no gap), a `from` landing exactly past a record's last index
+// skips it entirely, and everything in between splices mid-record.
+func TestEmitTailBoundaries(t *testing.T) {
+	el := func(id int64) temporal.Element {
+		return temporal.Insert(temporal.Payload{ID: id}, 0, 1)
+	}
+	recs := []Record{
+		{Kind: RecEmit, Seq: 10, Els: temporal.Stream{el(10), el(11), el(12)}},
+		{Kind: RecBatch, ID: 7, Els: temporal.Stream{el(99)}}, // non-emit: invisible
+		{Kind: RecEmit, Seq: 13, Els: temporal.Stream{el(13)}},
+	}
+	cases := []struct {
+		name string
+		from uint64
+		want []int64
+	}{
+		{"before first record", 0, []int64{10, 11, 12, 13}},
+		{"exactly first index", 10, []int64{10, 11, 12, 13}},
+		{"mid-record", 11, []int64{11, 12, 13}},
+		{"exactly record end", 13, []int64{13}},
+		{"exactly log end", 14, nil},
+		{"past log end", 99, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := EmitTail(recs, tc.from)
+			if len(got) != len(tc.want) {
+				t.Fatalf("from %d: tail length = %d, want %d", tc.from, len(got), len(tc.want))
+			}
+			for i, want := range tc.want {
+				if got[i].Payload.ID != want {
+					t.Errorf("from %d: tail[%d].ID = %d, want %d", tc.from, i, got[i].Payload.ID, want)
+				}
+			}
+		})
+	}
+	if tail := EmitTail(nil, 0); len(tail) != 0 {
+		t.Errorf("empty log: tail = %d, want 0", len(tail))
+	}
+}
+
+// TestEmitTailAfterChecksumTruncation crosses EmitTail with the torn-tail
+// path: when the final emit record is torn, checksum truncation drops it, and
+// a checkpoint that already covers the surviving prefix yields an empty tail
+// — recovery must not invent emissions the log no longer proves.
+func TestEmitTailAfterChecksumTruncation(t *testing.T) {
+	dir := t.TempDir()
+	el := func(id int64) temporal.Element {
+		return temporal.Insert(temporal.Payload{ID: id}, 0, 1)
+	}
+	log, err := CreateLog(dir, 1, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Append(Record{Kind: RecEmit, Seq: 0, Els: temporal.Stream{el(0), el(1)}})
+	log.Append(Record{Kind: RecEmit, Seq: 2, Els: temporal.Stream{el(2), el(3)}})
+	log.Close()
+	path := WALPath(dir, 1)
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)-3], 0o644) // tear the final record
+	recs, torn, err := ReadLog(path)
+	if err != nil || torn == 0 {
+		t.Fatalf("ReadLog: torn=%d err=%v", torn, err)
+	}
+	// The checkpoint covered indexes [0,2): the torn record held [2,4), so
+	// after truncation there is nothing left to splice.
+	if tail := EmitTail(recs, 2); len(tail) != 0 {
+		t.Errorf("tail after truncation = %d elements, want 0", len(tail))
+	}
+	// A checkpoint covering less still gets the surviving prefix's suffix.
+	if tail := EmitTail(recs, 1); len(tail) != 1 || tail[0].Payload.ID != 1 {
+		t.Errorf("partial tail = %v, want [1]", tail)
+	}
+}
+
+// writeGen writes a valid checkpoint and an (empty) WAL for gen.
+func writeGen(t *testing.T, dir string, gen uint64) {
+	t.Helper()
+	c := sampleCheckpoint()
+	c.Gen = gen
+	if err := WriteCheckpoint(dir, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	log, err := CreateLog(dir, gen, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+}
+
+// corruptCheckpoint replaces gen's checkpoint file with garbage that scanDir
+// still lists but DecodeCheckpoint rejects — a partial write that got renamed,
+// or bit rot.
+func corruptCheckpoint(t *testing.T, dir string, gen uint64) {
+	t.Helper()
+	if err := os.WriteFile(CheckpointPath(dir, gen), []byte("lmck####garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPruneCorruptNewestKeepsLoadable is the retention edge that used to lose
+// data: with the newest checkpoints corrupt, a keep-by-count prune would
+// delete the older generation Load actually falls back to. The cut must clamp
+// to the newest loadable generation, keeping it and its WAL tail.
+func TestPruneCorruptNewestKeepsLoadable(t *testing.T) {
+	dir := t.TempDir()
+	for gen := uint64(1); gen <= 4; gen++ {
+		writeGen(t, dir, gen)
+	}
+	corruptCheckpoint(t, dir, 3)
+	corruptCheckpoint(t, dir, 4)
+	if err := Prune(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	wals, ckpts, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gen 2 is the newest loadable: it and everything newer survive; only
+	// gen 1 (strictly older than the loadable fallback) is pruned.
+	if !reflect.DeepEqual(ckpts, []uint64{2, 3, 4}) {
+		t.Errorf("checkpoints after prune: %v, want [2 3 4]", ckpts)
+	}
+	if !reflect.DeepEqual(wals, []uint64{2, 3, 4}) {
+		t.Errorf("wals after prune: %v, want [2 3 4]", wals)
+	}
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checkpoint == nil || st.Checkpoint.Gen != 2 {
+		t.Fatalf("recovery after prune lost its fallback: %+v", st.Checkpoint)
+	}
+}
+
+// TestPruneNothingLoadableDeletesNothing: when every checkpoint is corrupt,
+// pruning must be a no-op — deleting any of them cannot help and discarding
+// WAL generations would destroy the only recoverable history.
+func TestPruneNothingLoadableDeletesNothing(t *testing.T) {
+	dir := t.TempDir()
+	for gen := uint64(1); gen <= 3; gen++ {
+		writeGen(t, dir, gen)
+		corruptCheckpoint(t, dir, gen)
+	}
+	if err := Prune(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	wals, ckpts, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ckpts, []uint64{1, 2, 3}) {
+		t.Errorf("checkpoints after prune: %v, want all retained", ckpts)
+	}
+	if !reflect.DeepEqual(wals, []uint64{1, 2, 3}) {
+		t.Errorf("wals after prune: %v, want all retained", wals)
+	}
+}
+
+// TestPruneHealthyNewestStillPrunes guards against the clamp overcorrecting:
+// with every checkpoint valid, retention is exactly keep-by-count.
+func TestPruneHealthyNewestStillPrunes(t *testing.T) {
+	dir := t.TempDir()
+	for gen := uint64(1); gen <= 4; gen++ {
+		writeGen(t, dir, gen)
+	}
+	if err := Prune(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	wals, ckpts, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ckpts, []uint64{4}) {
+		t.Errorf("checkpoints after prune: %v, want [4]", ckpts)
+	}
+	if !reflect.DeepEqual(wals, []uint64{4}) {
+		t.Errorf("wals after prune: %v, want [4]", wals)
+	}
+}
+
+// TestPruneIgnoresInFlightCommit races Prune against a checkpoint commit:
+// a generation still mid-write lives under a .tmp sibling, which Prune must
+// neither count as a retained generation nor delete. After the commit's
+// rename, the generation loads normally.
+func TestPruneIgnoresInFlightCommit(t *testing.T) {
+	dir := t.TempDir()
+	for gen := uint64(1); gen <= 2; gen++ {
+		writeGen(t, dir, gen)
+	}
+	// Simulate WriteCheckpoint mid-commit: the encoded image sits under the
+	// .tmp name, the rename has not happened yet.
+	inflight := sampleCheckpoint()
+	inflight.Gen = 3
+	tmp := CheckpointPath(dir, 3) + ".tmp"
+	if err := os.WriteFile(tmp, encodeCheckpoint(inflight), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Prune(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("in-flight checkpoint deleted by prune: %v", err)
+	}
+	_, ckpts, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tmp is invisible: retention counted only the committed gens.
+	if !reflect.DeepEqual(ckpts, []uint64{2}) {
+		t.Errorf("checkpoints after prune: %v, want [2]", ckpts)
+	}
+	// The commit completes; the generation must load as the newest.
+	if err := os.Rename(tmp, CheckpointPath(dir, 3)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checkpoint == nil || st.Checkpoint.Gen != 3 {
+		t.Fatalf("committed in-flight generation did not load: %+v", st.Checkpoint)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ckpt-000003.lmck")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"lmerge/internal/temporal"
+)
+
+// Run files are the on-disk unit of the out-of-core spill layer
+// (internal/spill): one sorted batch of frozen merge state, carrying the
+// same serialized stream form the checkpoints already write (one insert per
+// spilled occurrence, encoded with core.AppendStream) under the same
+// magic + version + CRC-framed-body discipline as checkpoint images.
+//
+// Unlike checkpoints, runs are crash-DISPOSABLE: every spilled frame is
+// still captured by Snapshot (the spill layer replays runs into snapshots),
+// so checkpoints subsume run content and recovery starts from an empty
+// spill directory. Run files are therefore written without fsync; the CRC
+// frame exists to catch torn or corrupted files within a process lifetime,
+// not to survive one.
+//
+// Layout:
+//
+//	magic   "lmrn"
+//	version uvarint
+//	bodyLen uvarint
+//	crc32   uint32 LE (IEEE, over body)
+//	body:
+//	  clock    varint   donor output stable point at spill time
+//	  minVs    varint   smallest frame start in the payload
+//	  maxVs    varint   largest frame start in the payload
+//	  frames   uvarint  key-group count
+//	  members  uvarint count, then varint per sorted member stream id
+//	  payload  uvarint length, then core.AppendStream bytes
+var runMagic = [4]byte{'l', 'm', 'r', 'n'}
+
+const runVersion = 1
+
+// RunMeta is the header of one spill run.
+type RunMeta struct {
+	// Clock is the donor merger's output stable point at spill time.
+	Clock temporal.Time
+	// Members is the sorted attached-stream set vouching for every frame.
+	Members []int
+	// Frames is the number of (Vs, Payload) key groups in the payload.
+	Frames int
+	// MinVs and MaxVs bound the frame start times, so readers can skip
+	// whole runs when probing for a key.
+	MinVs, MaxVs temporal.Time
+}
+
+// EncodeRun serialises a run header plus its opaque stream payload.
+func EncodeRun(m RunMeta, payload []byte) []byte {
+	buf := append([]byte(nil), runMagic[:]...)
+	buf = binary.AppendUvarint(buf, runVersion)
+	body := binary.AppendVarint(nil, int64(m.Clock))
+	body = binary.AppendVarint(body, int64(m.MinVs))
+	body = binary.AppendVarint(body, int64(m.MaxVs))
+	body = binary.AppendUvarint(body, uint64(m.Frames))
+	body = binary.AppendUvarint(body, uint64(len(m.Members)))
+	for _, s := range m.Members {
+		body = binary.AppendVarint(body, int64(s))
+	}
+	body = binary.AppendUvarint(body, uint64(len(payload)))
+	body = append(body, payload...)
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	return append(buf, body...)
+}
+
+// maxRunMembers bounds the decoded member count: spill member sets are
+// attached-stream sets, always tiny, so anything huge is corruption and
+// must not turn into a giant allocation.
+const maxRunMembers = 1 << 16
+
+// DecodeRun parses a run image, validating magic, version, and body
+// checksum. The payload is returned as an aliased sub-slice of data; the
+// caller decodes it with core.DecodeStream.
+func DecodeRun(data []byte) (RunMeta, []byte, error) {
+	var m RunMeta
+	fail := func(what string) (RunMeta, []byte, error) {
+		return RunMeta{}, nil, fmt.Errorf("%w: run %s", ErrRecordCorrupt, what)
+	}
+	if len(data) < len(runMagic) || string(data[:4]) != string(runMagic[:]) {
+		return fail("magic")
+	}
+	off := len(runMagic)
+	ver, n := binary.Uvarint(data[off:])
+	if n <= 0 || ver != runVersion {
+		return fail("version")
+	}
+	off += n
+	blen, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return fail("body length")
+	}
+	off += n
+	if off+4 > len(data) {
+		return fail("checksum frame")
+	}
+	crc := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	if uint64(len(data)-off) < blen {
+		return fail("body truncated")
+	}
+	body := data[off : off+int(blen)]
+	if crc32.ChecksumIEEE(body) != crc {
+		return fail("checksum")
+	}
+	p := 0
+	sv := func() (int64, bool) {
+		v, n := binary.Varint(body[p:])
+		if n <= 0 {
+			return 0, false
+		}
+		p += n
+		return v, true
+	}
+	uv := func() (uint64, bool) {
+		v, n := binary.Uvarint(body[p:])
+		if n <= 0 {
+			return 0, false
+		}
+		p += n
+		return v, true
+	}
+	clock, ok1 := sv()
+	minVs, ok2 := sv()
+	maxVs, ok3 := sv()
+	frames, ok4 := uv()
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return fail("header")
+	}
+	nm, ok := uv()
+	if !ok || nm > maxRunMembers {
+		return fail("member count")
+	}
+	m.Clock, m.MinVs, m.MaxVs = temporal.Time(clock), temporal.Time(minVs), temporal.Time(maxVs)
+	m.Frames = int(frames)
+	m.Members = make([]int, 0, nm)
+	for i := uint64(0); i < nm; i++ {
+		s, ok := sv()
+		if !ok {
+			return fail("member")
+		}
+		m.Members = append(m.Members, int(s))
+	}
+	plen, ok := uv()
+	if !ok || uint64(len(body)-p) != plen {
+		return fail("payload length")
+	}
+	return m, body[p:], nil
+}
+
+// WriteRunFile writes an encoded run to path via a .tmp sibling and rename,
+// so a reader never sees a half-written run under the real name. No fsync:
+// runs are crash-disposable (see package comment above).
+func WriteRunFile(path string, m RunMeta, payload []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, EncodeRun(m, payload), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ReadRunFile reads and decodes the run at path.
+func ReadRunFile(path string) (RunMeta, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return RunMeta{}, nil, err
+	}
+	return DecodeRun(data)
+}

@@ -1,0 +1,78 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lmerge/internal/core"
+	"lmerge/internal/temporal"
+)
+
+func sampleRunMeta() RunMeta {
+	return RunMeta{Clock: 40, Members: []int{1, 3, 7}, Frames: 2, MinVs: 5, MaxVs: 30}
+}
+
+func samplePayload() []byte {
+	return core.AppendStream(nil, temporal.Stream{
+		temporal.Insert(temporal.Payload{ID: 1, Data: "a"}, 5, 20),
+		temporal.Insert(temporal.Payload{ID: 2, Data: "bb"}, 30, temporal.Infinity),
+	})
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	want := sampleRunMeta()
+	payload := samplePayload()
+	got, p, err := DecodeRun(EncodeRun(want, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("meta: got %+v want %+v", got, want)
+	}
+	s, err := core.DecodeStream(p)
+	if err != nil || len(s) != 2 {
+		t.Errorf("payload: %d elements err=%v", len(s), err)
+	}
+}
+
+func TestRunDecodeCorruption(t *testing.T) {
+	data := EncodeRun(sampleRunMeta(), samplePayload())
+	for cut := 0; cut < len(data); cut++ {
+		if _, _, err := DecodeRun(data[:cut]); !errors.Is(err, ErrRecordCorrupt) {
+			t.Fatalf("truncated at %d: err = %v, want ErrRecordCorrupt", cut, err)
+		}
+	}
+	for off := 0; off < len(data); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= '#'
+		if _, _, err := DecodeRun(mut); !errors.Is(err, ErrRecordCorrupt) {
+			t.Fatalf("corrupt byte %d: err = %v, want ErrRecordCorrupt", off, err)
+		}
+	}
+}
+
+func TestRunFileWriteRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run-00000001.lmrun")
+	want := sampleRunMeta()
+	if err := WriteRunFile(path, want, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	got, p, err := ReadRunFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) || len(p) == 0 {
+		t.Errorf("read back: %+v payload=%d", got, len(p))
+	}
+	// No .tmp residue after commit.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("tmp file left behind: %v", err)
+	}
+	if _, _, err := ReadRunFile(filepath.Join(dir, "missing.lmrun")); err == nil {
+		t.Error("missing file: want error")
+	}
+}

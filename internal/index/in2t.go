@@ -182,7 +182,7 @@ func (x *In2t) Ascend(fn func(*Node2) bool) {
 func (x *In2t) SizeBytes() int {
 	total := 0
 	x.tree.Ascend(func(_ temporal.VsPayload, n *Node2) bool {
-		total += nodeOverhead + n.event.Payload.SizeBytes() + 16*n.ve.len()
+		total += Node2Bytes(n)
 		return true
 	})
 	return total

@@ -243,11 +243,7 @@ func (x *In3t) Ascend(fn func(*Node3) bool) {
 func (x *In3t) SizeBytes() int {
 	total := 0
 	x.tree.Ascend(func(_ temporal.VsPayload, n *Node3) bool {
-		total += nodeOverhead + n.event.Payload.SizeBytes()
-		n.eachStream(func(_ int, vs *VeSet) bool {
-			total += 16 + nodeOverhead/2*vs.distinct()
-			return true
-		})
+		total += Node3Bytes(n)
 		return true
 	})
 	return total

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"sync/atomic"
+
+	"lmerge/internal/metrics"
+)
+
+// replayWindow is how many run-replay-duration samples Spill retains for
+// quantile summaries. Replays (unspills and snapshot reads) are cold-path
+// events, so a small ring is plenty.
+const replayWindow = 64
+
+// Spill aggregates the out-of-core tier's counters: runs written and merged
+// by the background compactor, bytes moved out of resident memory, unspill
+// (run re-admission) traffic, and replay latencies. Like Node and
+// Durability, it is nil-safe and every write is a plain atomic, so one Spill
+// can be shared across all partition workers of a server.
+type Spill struct {
+	runsWritten   atomic.Int64
+	runsMerged    atomic.Int64
+	mergePasses   atomic.Int64
+	spilledBytes  atomic.Int64
+	mergedBytes   atomic.Int64
+	spilledFrames atomic.Int64
+	gcFrames      atomic.Int64
+	unspills      atomic.Int64
+	replays       atomic.Int64
+
+	residentBytes  atomic.Int64
+	residentFrames atomic.Int64
+	residentRuns   atomic.Int64
+
+	replayCount atomic.Int64
+	replayLast  atomic.Int64
+	replayRing  [replayWindow]atomic.Int64
+}
+
+// RunWritten records one spill run of frames key groups and n encoded bytes
+// leaving resident memory.
+func (p *Spill) RunWritten(frames, n int64) {
+	if p == nil {
+		return
+	}
+	p.runsWritten.Add(1)
+	p.spilledFrames.Add(frames)
+	p.spilledBytes.Add(n)
+}
+
+// RunsMerged records one background merge pass: in input runs compacted into
+// one output of n encoded bytes, with gc dead frames dropped.
+func (p *Spill) RunsMerged(in, n, gc int64) {
+	if p == nil {
+		return
+	}
+	p.mergePasses.Add(1)
+	p.runsMerged.Add(in)
+	p.mergedBytes.Add(n)
+	p.gcFrames.Add(gc)
+}
+
+// Unspilled records one run re-admitted into resident state.
+func (p *Spill) Unspilled() {
+	if p == nil {
+		return
+	}
+	p.unspills.Add(1)
+}
+
+// ReplayDone records one run replay (unspill or snapshot read) taking durNS.
+func (p *Spill) ReplayDone(durNS int64) {
+	if p == nil {
+		return
+	}
+	p.replays.Add(1)
+	i := p.replayCount.Add(1) - 1
+	p.replayRing[i%replayWindow].Store(durNS)
+	p.replayLast.Store(durNS)
+}
+
+// SetResident updates the gauges: resident bytes under the budget
+// controller, plus frames and runs currently living out of core.
+func (p *Spill) SetResident(bytes, frames, runs int64) {
+	if p == nil {
+		return
+	}
+	p.residentBytes.Store(bytes)
+	p.residentFrames.Store(frames)
+	p.residentRuns.Store(runs)
+}
+
+// AddResident adjusts the gauges by deltas (used when several workers share
+// one Spill and each reports only its own change).
+func (p *Spill) AddResident(bytes, frames, runs int64) {
+	if p == nil {
+		return
+	}
+	p.residentBytes.Add(bytes)
+	p.residentFrames.Add(frames)
+	p.residentRuns.Add(runs)
+}
+
+// SpillSnapshot is a point-in-time copy of the spill counters, with
+// replay-latency quantiles over the retained sample window.
+type SpillSnapshot struct {
+	RunsWritten   int64 `json:"runs_written"`
+	RunsMerged    int64 `json:"runs_merged"`
+	MergePasses   int64 `json:"merge_passes"`
+	SpilledBytes  int64 `json:"spilled_bytes"`
+	MergedBytes   int64 `json:"merged_bytes"`
+	SpilledFrames int64 `json:"spilled_frames"`
+	GCFrames      int64 `json:"gc_frames"`
+	Unspills      int64 `json:"unspills"`
+	Replays       int64 `json:"replays"`
+
+	ResidentBytes int64 `json:"resident_bytes"`
+	OutOfCore     int64 `json:"out_of_core_frames"`
+	Runs          int64 `json:"runs"`
+
+	ReplayLastNS int64   `json:"replay_last_ns"`
+	ReplayP50NS  float64 `json:"replay_p50_ns"`
+	ReplayP95NS  float64 `json:"replay_p95_ns"`
+	ReplayP99NS  float64 `json:"replay_p99_ns"`
+	ReplayMaxNS  float64 `json:"replay_max_ns"`
+}
+
+// Snapshot copies the counters and summarises the replay-latency ring.
+func (p *Spill) Snapshot() SpillSnapshot {
+	if p == nil {
+		return SpillSnapshot{}
+	}
+	s := SpillSnapshot{
+		RunsWritten:   p.runsWritten.Load(),
+		RunsMerged:    p.runsMerged.Load(),
+		MergePasses:   p.mergePasses.Load(),
+		SpilledBytes:  p.spilledBytes.Load(),
+		MergedBytes:   p.mergedBytes.Load(),
+		SpilledFrames: p.spilledFrames.Load(),
+		GCFrames:      p.gcFrames.Load(),
+		Unspills:      p.unspills.Load(),
+		Replays:       p.replays.Load(),
+		ResidentBytes: p.residentBytes.Load(),
+		OutOfCore:     p.residentFrames.Load(),
+		Runs:          p.residentRuns.Load(),
+		ReplayLastNS:  p.replayLast.Load(),
+	}
+	n := p.replayCount.Load()
+	if n == 0 {
+		return s
+	}
+	k := n
+	if k > replayWindow {
+		k = replayWindow
+	}
+	vals := make([]float64, k)
+	for i := int64(0); i < k; i++ {
+		vals[i] = float64(p.replayRing[i].Load())
+	}
+	sum := metrics.Summarize(vals)
+	s.ReplayP50NS = sum.P50
+	s.ReplayP95NS = sum.P95
+	s.ReplayP99NS = sum.P99
+	s.ReplayMaxNS = sum.Max
+	return s
+}

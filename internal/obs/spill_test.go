@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestSpillNilSafe: every method must be a no-op on a nil receiver, like
+// Node and Durability, so call sites never guard.
+func TestSpillNilSafe(t *testing.T) {
+	var p *Spill
+	p.RunWritten(3, 100)
+	p.RunsMerged(2, 50, 1)
+	p.Unspilled()
+	p.ReplayDone(7)
+	p.SetResident(1, 2, 3)
+	p.AddResident(1, 2, 3)
+	if snap := p.Snapshot(); snap != (SpillSnapshot{}) {
+		t.Errorf("nil snapshot not zero: %+v", snap)
+	}
+}
+
+func TestSpillCounters(t *testing.T) {
+	p := &Spill{}
+	p.RunWritten(10, 1000)
+	p.RunWritten(5, 500)
+	p.RunsMerged(3, 900, 2)
+	p.Unspilled()
+	p.Unspilled()
+	p.SetResident(4096, 15, 2)
+	p.AddResident(-96, -5, -1)
+	s := p.Snapshot()
+	if s.RunsWritten != 2 || s.SpilledFrames != 15 || s.SpilledBytes != 1500 {
+		t.Errorf("write counters: %+v", s)
+	}
+	if s.MergePasses != 1 || s.RunsMerged != 3 || s.MergedBytes != 900 || s.GCFrames != 2 {
+		t.Errorf("merge counters: %+v", s)
+	}
+	if s.Unspills != 2 {
+		t.Errorf("unspills = %d, want 2", s.Unspills)
+	}
+	if s.ResidentBytes != 4000 || s.OutOfCore != 10 || s.Runs != 1 {
+		t.Errorf("gauges: bytes=%d frames=%d runs=%d", s.ResidentBytes, s.OutOfCore, s.Runs)
+	}
+	if s.Replays != 0 || s.ReplayP50NS != 0 {
+		t.Errorf("replay summary without replays: %+v", s)
+	}
+}
+
+func TestSpillReplayQuantiles(t *testing.T) {
+	p := &Spill{}
+	// More samples than the ring retains: quantiles summarise the window,
+	// the counter keeps the true total.
+	for i := 1; i <= 100; i++ {
+		p.ReplayDone(int64(i * 10))
+	}
+	s := p.Snapshot()
+	if s.Replays != 100 {
+		t.Errorf("replays = %d, want 100", s.Replays)
+	}
+	if s.ReplayLastNS != 1000 {
+		t.Errorf("last = %d, want 1000", s.ReplayLastNS)
+	}
+	if s.ReplayP50NS <= 0 || s.ReplayP95NS < s.ReplayP50NS || s.ReplayMaxNS < s.ReplayP95NS {
+		t.Errorf("quantiles not ordered: p50=%.0f p95=%.0f max=%.0f",
+			s.ReplayP50NS, s.ReplayP95NS, s.ReplayMaxNS)
+	}
+	if s.ReplayMaxNS != 1000 {
+		t.Errorf("window max = %.0f, want 1000 (newest samples retained)", s.ReplayMaxNS)
+	}
+}
+
+// TestSpillSharedAcrossWorkers: delta-maintained gauges from concurrent
+// workers must net out exactly — the sharing contract the server relies on
+// when all partitions report into one Spill.
+func TestSpillSharedAcrossWorkers(t *testing.T) {
+	p := &Spill{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.AddResident(64, 2, 1)
+				p.RunWritten(1, 10)
+			}
+			for i := 0; i < 1000; i++ {
+				p.AddResident(-64, -2, -1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Snapshot()
+	if s.ResidentBytes != 0 || s.OutOfCore != 0 || s.Runs != 0 {
+		t.Errorf("gauges did not net out: %+v", s)
+	}
+	if s.RunsWritten != 8000 {
+		t.Errorf("runs written = %d, want 8000", s.RunsWritten)
+	}
+}
+
+func TestSpillSnapshotJSONKeys(t *testing.T) {
+	p := &Spill{}
+	p.RunWritten(1, 10)
+	p.ReplayDone(5)
+	data, err := json.Marshal(p.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"runs_written", "spilled_bytes", "resident_bytes",
+		"out_of_core_frames", "unspills", "replay_p95_ns"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("metrics JSON missing %q", k)
+		}
+	}
+}

@@ -43,7 +43,7 @@ func (c *Cleanse) Process(_ int, e temporal.Element, out *engine.Out) {
 	switch e.Kind {
 	case temporal.KindInsert:
 		if _, dup := c.buf.Get(e.Key()); !dup {
-			c.bytes += e.Payload.SizeBytes() + 72
+			c.bytes += e.Payload.SizeBytes() + cleanseEntryBytes
 		}
 		c.buf.Put(e.Key(), e.Ve)
 	case temporal.KindAdjust:
@@ -52,7 +52,7 @@ func (c *Cleanse) Process(_ int, e temporal.Element, out *engine.Out) {
 		}
 		if e.IsRemoval() {
 			c.buf.Delete(e.Key())
-			c.bytes -= e.Payload.SizeBytes() + 72
+			c.bytes -= e.Payload.SizeBytes() + cleanseEntryBytes
 			return
 		}
 		c.buf.Put(e.Key(), e.Ve)
@@ -88,7 +88,7 @@ func (c *Cleanse) release(t temporal.Time, out *engine.Out) {
 	for _, r := range ready {
 		out.Emit(temporal.Insert(r.k.Payload, r.k.Vs, r.ve))
 		c.buf.Delete(r.k)
-		c.bytes -= r.k.Payload.SizeBytes() + 72
+		c.bytes -= r.k.Payload.SizeBytes() + cleanseEntryBytes
 	}
 	// The output stable point is the release frontier: t if everything
 	// below t went out, else the first held event's start.

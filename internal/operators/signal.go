@@ -151,7 +151,7 @@ func (s *Signal) SizeBytes() int {
 	s.ensure()
 	total := 0
 	s.points.Ascend(func(_ temporal.Time, v signalPoint) bool {
-		total += v.p.SizeBytes() + 72
+		total += v.p.SizeBytes() + signalEntryBytes
 		return true
 	})
 	return total

@@ -1,0 +1,29 @@
+package operators
+
+import (
+	"unsafe"
+
+	"lmerge/internal/index"
+	"lmerge/internal/temporal"
+)
+
+// Derived per-entry SizeBytes overheads for the buffering operators. Each
+// was once a hand-rolled literal (+72, +16) that silently went stale as the
+// underlying structs grew; deriving them from the live layouts keeps the
+// memory accounting honest, which matters now that SizeBytes feeds the
+// out-of-core budget controller. Payload.SizeBytes() counts the 8-byte ID
+// plus the string DATA, so every container holding a Payload additionally
+// carries the struct's fixed footprint minus that ID — the string header.
+var payloadHeaderBytes = int(unsafe.Sizeof(temporal.Payload{})) - 8
+
+// cleanseEntryBytes is one Cleanse buffer entry: a key→Ve tree node keyed
+// by the full (Vs, Payload) pair, plus the payload header.
+var cleanseEntryBytes = index.NodeBytes[temporal.VsPayload, temporal.Time]() + payloadHeaderBytes
+
+// topkEntryBytes is one TopK window slice element: the inline Payload
+// struct beyond what Payload.SizeBytes already counts.
+var topkEntryBytes = payloadHeaderBytes
+
+// signalEntryBytes is one Signal sample: a time→signalPoint tree node plus
+// the payload header inside the point.
+var signalEntryBytes = index.NodeBytes[temporal.Time, signalPoint]() + payloadHeaderBytes

@@ -1,0 +1,50 @@
+package operators
+
+import (
+	"strconv"
+	"testing"
+	"unsafe"
+
+	"lmerge/internal/index"
+	"lmerge/internal/temporal"
+)
+
+// TestSizeConstantsDerived pins the per-entry overheads to the live struct
+// layouts: the derivation must track unsafe.Sizeof (never a hand-rolled
+// literal), and on 64-bit platforms the concrete values are pinned so a
+// struct growing silently shows up as a failing diff here instead of as
+// drifting memory accounting.
+func TestSizeConstantsDerived(t *testing.T) {
+	if got, want := payloadHeaderBytes, int(unsafe.Sizeof(temporal.Payload{}))-8; got != want {
+		t.Errorf("payloadHeaderBytes = %d, want sizeof(Payload)-8 = %d", got, want)
+	}
+	if got, want := cleanseEntryBytes, index.NodeBytes[temporal.VsPayload, temporal.Time]()+payloadHeaderBytes; got != want {
+		t.Errorf("cleanseEntryBytes = %d, want node+header = %d", got, want)
+	}
+	if got, want := topkEntryBytes, payloadHeaderBytes; got != want {
+		t.Errorf("topkEntryBytes = %d, want header = %d", got, want)
+	}
+	if got, want := signalEntryBytes, index.NodeBytes[temporal.Time, signalPoint]()+payloadHeaderBytes; got != want {
+		t.Errorf("signalEntryBytes = %d, want node+header = %d", got, want)
+	}
+	if strconv.IntSize != 64 {
+		return
+	}
+	// 64-bit pins. The old literals were stale: cleanse and signal entries
+	// were billed at 72 bytes when their tree nodes alone cost 64 and 72.
+	pins := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"payloadHeaderBytes", payloadHeaderBytes, 16},
+		{"cleanseEntryBytes", cleanseEntryBytes, 80},
+		{"topkEntryBytes", topkEntryBytes, 16},
+		{"signalEntryBytes", signalEntryBytes, 88},
+	}
+	for _, p := range pins {
+		if p.got != p.want {
+			t.Errorf("%s = %d, want %d (struct layout changed: re-pin and re-check EXPERIMENTS.md memory numbers)", p.name, p.got, p.want)
+		}
+	}
+}

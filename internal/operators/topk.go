@@ -125,7 +125,7 @@ func (t *TopK) SizeBytes() int {
 	total := 0
 	for _, ps := range t.windows {
 		for _, p := range ps {
-			total += p.SizeBytes() + 16
+			total += p.SizeBytes() + topkEntryBytes
 		}
 	}
 	return total

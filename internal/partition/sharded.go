@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lmerge/internal/core"
 	"lmerge/internal/obs"
@@ -102,6 +103,12 @@ type Sharded struct {
 	coldMu     sync.Mutex
 	statsReply chan core.Stats
 	sizeReply  chan int
+
+	// sizeTTL caches SizeBytes sweeps (ShardSizeCache); sizeCached/sizeStamp
+	// hold the last total and its UnixNano timestamp (0 = never swept).
+	sizeTTL    time.Duration
+	sizeCached atomic.Int64
+	sizeStamp  atomic.Int64
 
 	manualMigs atomic.Int64 // completed MigrateSlot calls
 
@@ -203,6 +210,8 @@ type shardedConfig struct {
 	reg       *obs.Registry
 	obsName   string
 	rebalance *RebalanceConfig
+	sizeTTL   time.Duration
+	wrap      func(part int, m core.Merger) core.Merger
 }
 
 // ShardKeyFunc overrides the payload→hash routing function.
@@ -239,6 +248,31 @@ func ShardFeedback(fn core.FeedbackFunc, lag temporal.Time) ShardedOption {
 	}
 }
 
+// ShardSizeCache bounds how often SizeBytes performs the real per-worker
+// control-lane sweep: results younger than ttl are served from a cached
+// value. Each sweep both walks every partition index AND costs one queued
+// control round trip per worker, so callers that poll (the server's stats
+// tick and /metrics handler) would otherwise stall the data plane on every
+// call. Zero ttl (the default) keeps every call exact.
+func ShardSizeCache(ttl time.Duration) ShardedOption {
+	return func(c *shardedConfig) {
+		if ttl > 0 {
+			c.sizeTTL = ttl
+		}
+	}
+}
+
+// ShardWrap interposes fn around every worker's merger at construction —
+// the hook the server's -mem-budget path uses to give each partition its
+// own spill-bounded view. fn runs once per worker before the pool starts;
+// the returned merger must preserve the inner one's capability surface
+// (handoff in particular, or rebalancing silently degrades).
+func ShardWrap(fn func(part int, m core.Merger) core.Merger) ShardedOption {
+	return func(c *shardedConfig) {
+		c.wrap = fn
+	}
+}
+
 // NewSharded starts a pool of parts workers, each merging with an algorithm
 // built by mk around the worker's partition-local emit. emit receives the
 // reunified output; it runs under the pool's emit mutex (never concurrently
@@ -266,6 +300,7 @@ func NewSharded(parts int, mk func(core.Emit) core.Merger, emit core.Emit, opts 
 		prepReply:  make(chan temporal.Time, 1),
 		statsReply: make(chan core.Stats, 1),
 		sizeReply:  make(chan int, 1),
+		sizeTTL:    cfg.sizeTTL,
 	}
 	s.table.Store(newRouteTable(parts))
 	s.maxStable.Store(int64(temporal.MinTime))
@@ -284,7 +319,11 @@ func NewSharded(parts int, mk func(core.Emit) core.Merger, emit core.Emit, opts 
 			w.tel = cfg.reg.Node(fmt.Sprintf("%s/part%d", cfg.obsName, p))
 			opOpts = append(opOpts, core.WithObserver(w.tel))
 		}
-		w.op = core.NewOperator(mk(s.workerEmit(w)), opOpts...)
+		m := mk(s.workerEmit(w))
+		if cfg.wrap != nil {
+			m = cfg.wrap(p, m)
+		}
+		w.op = core.NewOperator(m, opOpts...)
 		s.workers[p] = w
 	}
 	if h, ok := s.workers[0].op.Merger().(core.Handoff); ok && h.HandoffCapable() {
@@ -774,11 +813,20 @@ func (s *Sharded) Stats() core.Stats {
 // SizeBytes sums the workers' merge-state footprints, gathered through the
 // control lanes on a reusable reply channel (sizing walks each partition's
 // index, so this is a cold-path call — stats queries and periodic logs —
-// never per element). It also refreshes the pool telemetry node's state
-// gauge when one is attached.
+// never per element). Under ShardSizeCache a sweep younger than the TTL is
+// served from cache, so pollers (the server's stats tick plus the /metrics
+// handler, each calling this independently) trigger at most one per-worker
+// round-trip sweep per window instead of one per call. It also refreshes the
+// pool telemetry node's state gauge when one is attached.
 func (s *Sharded) SizeBytes() int {
 	if s.closed.Load() {
 		return 0
+	}
+	if s.sizeTTL > 0 {
+		if stamp := s.sizeStamp.Load(); stamp != 0 &&
+			time.Now().UnixNano()-stamp < s.sizeTTL.Nanoseconds() {
+			return int(s.sizeCached.Load())
+		}
 	}
 	s.coldMu.Lock()
 	total := 0
@@ -788,6 +836,10 @@ func (s *Sharded) SizeBytes() int {
 		total += <-s.sizeReply
 	}
 	s.coldMu.Unlock()
+	if s.sizeTTL > 0 {
+		s.sizeCached.Store(int64(total))
+		s.sizeStamp.Store(time.Now().UnixNano())
+	}
 	s.tel.SetStateBytes(total)
 	return total
 }

@@ -43,7 +43,7 @@ type singleBackend struct {
 	maxStable atomic.Int64
 }
 
-func newSingleBackend(c core.Case, emit core.Emit, fb core.FeedbackFunc, lag temporal.Time, tel *obs.Node) *singleBackend {
+func newSingleBackend(c core.Case, emit core.Emit, fb core.FeedbackFunc, lag temporal.Time, tel *obs.Node, wrap func(part int, m core.Merger) core.Merger) *singleBackend {
 	b := &singleBackend{}
 	b.maxStable.Store(int64(temporal.MinTime))
 	wrapped := func(e temporal.Element) {
@@ -59,7 +59,11 @@ func newSingleBackend(c core.Case, emit core.Emit, fb core.FeedbackFunc, lag tem
 	if tel != nil {
 		opOpts = append(opOpts, core.WithObserver(tel))
 	}
-	b.op = core.NewOperator(core.New(c, wrapped), opOpts...)
+	m := core.New(c, wrapped)
+	if wrap != nil {
+		m = wrap(0, m)
+	}
+	b.op = core.NewOperator(m, opOpts...)
 	return b
 }
 

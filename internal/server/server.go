@@ -40,6 +40,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -49,6 +51,7 @@ import (
 	"lmerge/internal/durable"
 	"lmerge/internal/obs"
 	"lmerge/internal/partition"
+	"lmerge/internal/spill"
 	"lmerge/internal/temporal"
 )
 
@@ -88,6 +91,14 @@ type Server struct {
 	// state. See durability.go.
 	dur *durability
 
+	// spillers are the out-of-core wrappers around the backend's mergers
+	// (empty without Options.MemBudget); spillTel is their shared telemetry
+	// and spillTmp a temporary run directory to remove at Close (empty when
+	// runs live under DataDir).
+	spillers []*spill.Merger
+	spillTel *obs.Spill
+	spillTmp string
+
 	done chan struct{}
 	wg   sync.WaitGroup
 }
@@ -111,6 +122,12 @@ type pubState struct {
 // ctrlWriteTimeout bounds control-line writes (FF, DETACH) so a publisher
 // with a full socket buffer can never stall the merge or the supervisor.
 const ctrlWriteTimeout = time.Second
+
+// sizeSweepTTL is how long a sharded SizeBytes sweep is served from cache
+// (see partition.ShardSizeCache): the stats tick and the /metrics handler
+// each poll independently, and an exact sweep costs one control-lane round
+// trip per worker.
+const sizeSweepTTL = 250 * time.Millisecond
 
 // writeCtrl writes one control line with a bounded deadline.
 func (ps *pubState) writeCtrl(format string, args ...any) {
@@ -163,6 +180,17 @@ type Options struct {
 	// routing slots between partition workers when one runs hot (DESIGN.md
 	// §11). Zero-valued fields take the partition.RebalanceConfig defaults.
 	Rebalance *partition.RebalanceConfig
+
+	// MemBudget, when > 0, bounds the merge state resident in memory (in
+	// SizeBytes units, split evenly across partitions): each merger is
+	// wrapped in the out-of-core spill layer (internal/spill, DESIGN.md §13),
+	// which extracts frozen agreed state into sorted on-disk runs whenever a
+	// probe sees the resident footprint above the budget, compacts runs in
+	// the background, and replays them on demand (key re-presentation,
+	// foreign stables, snapshots). Runs live under DataDir/spill when DataDir
+	// is set, else a temporary directory removed at Close. Requires a
+	// spill-capable merge case (R3/R4 families, immediate-emission policies).
+	MemBudget int
 
 	// DataDir, when non-empty, makes the merge state durable (DESIGN.md §12):
 	// publisher batches and merged-output emissions are written to a
@@ -222,19 +250,78 @@ func NewWithOptions(addr string, opts Options) (*Server, error) {
 		fb = s.signalFastForward
 		lag = opts.FeedbackLag
 	}
+	// The -mem-budget path: every backend merger is wrapped in the spill
+	// layer, the budget split evenly across partitions. Runs live under
+	// DataDir/spill (crash-disposable — recovery wipes and restarts from
+	// checkpoints, which subsume run content) or a temp dir removed at Close.
+	var mkWrap func(part int, m core.Merger) core.Merger
+	var wrapErr error
+	if opts.MemBudget > 0 {
+		spillDir := ""
+		if opts.DataDir != "" {
+			spillDir = filepath.Join(opts.DataDir, "spill")
+		} else {
+			d, derr := os.MkdirTemp("", "lmerge-spill-")
+			if derr != nil {
+				ln.Close()
+				return nil, fmt.Errorf("mem-budget run dir: %w", derr)
+			}
+			spillDir = d
+			s.spillTmp = d
+		}
+		s.spillTel = &obs.Spill{}
+		parts := opts.Partitions
+		if parts < 1 {
+			parts = 1
+		}
+		per := opts.MemBudget / parts
+		if per < 1 {
+			per = 1
+		}
+		mkWrap = func(part int, m core.Merger) core.Merger {
+			sp, err := spill.Wrap(m, spill.Config{
+				Budget: per,
+				Dir:    filepath.Join(spillDir, fmt.Sprintf("part%d", part)),
+				Tel:    s.spillTel,
+			})
+			if err != nil {
+				if wrapErr == nil {
+					wrapErr = err
+				}
+				return m
+			}
+			s.spillers = append(s.spillers, sp)
+			return sp
+		}
+	}
 	if opts.Partitions > 1 {
-		shOpts := []partition.ShardedOption{partition.ShardObserve(s.reg, "merge")}
+		shOpts := []partition.ShardedOption{
+			partition.ShardObserve(s.reg, "merge"),
+			// Both the stats tick and /metrics poll SizeBytes; each exact
+			// sweep round-trips every worker's control lane, so cap the sweeps
+			// instead of paying one per caller.
+			partition.ShardSizeCache(sizeSweepTTL),
+		}
 		if fb != nil {
 			shOpts = append(shOpts, partition.ShardFeedback(fb, lag))
 		}
 		if opts.Rebalance != nil {
 			shOpts = append(shOpts, partition.ShardRebalance(*opts.Rebalance))
 		}
+		if mkWrap != nil {
+			shOpts = append(shOpts, partition.ShardWrap(mkWrap))
+		}
 		s.be = partition.NewSharded(opts.Partitions, func(emit core.Emit) core.Merger {
 			return core.New(opts.Case, emit)
 		}, s.broadcast, shOpts...)
 	} else {
-		s.be = newSingleBackend(opts.Case, s.broadcast, fb, lag, s.tel)
+		s.be = newSingleBackend(opts.Case, s.broadcast, fb, lag, s.tel, mkWrap)
+	}
+	if wrapErr != nil {
+		ln.Close()
+		s.be.Close()
+		s.closeSpill()
+		return nil, fmt.Errorf("mem-budget: %w", wrapErr)
 	}
 	if opts.DataDir != "" {
 		// Recovery runs here, before the listener accepts: single-threaded,
@@ -242,6 +329,7 @@ func NewWithOptions(addr string, opts Options) (*Server, error) {
 		if err := s.initDurability(); err != nil {
 			ln.Close()
 			s.be.Close()
+			s.closeSpill()
 			return nil, err
 		}
 		s.wg.Add(1)
@@ -305,10 +393,13 @@ func (s *Server) Close() error {
 			err = cerr
 		}
 	}
-	// The backend can now drain and stop.
+	// The backend can now drain and stop; with the workers gone the spill
+	// wrappers' compactors can be stopped and the run storage released (runs
+	// are crash-disposable — the final checkpoint above subsumes them).
 	if berr := s.be.Close(); err == nil {
 		err = berr
 	}
+	s.closeSpill()
 	if s.dur != nil {
 		s.dur.mu.Lock()
 		if s.dur.log != nil {
@@ -319,6 +410,23 @@ func (s *Server) Close() error {
 	}
 	return err
 }
+
+// closeSpill stops the spill wrappers (idempotent) and removes a temporary
+// run directory.
+func (s *Server) closeSpill() {
+	for _, sp := range s.spillers {
+		sp.Close()
+	}
+	if s.spillTmp != "" {
+		os.RemoveAll(s.spillTmp)
+		s.spillTmp = ""
+	}
+}
+
+// SpillStats returns the out-of-core tier's counters: runs written/merged,
+// bytes spilled, unspill traffic, replay-latency quantiles, and the
+// resident-bytes gauge. Zero-valued without Options.MemBudget.
+func (s *Server) SpillStats() obs.SpillSnapshot { return s.spillTel.Snapshot() }
 
 // Stats returns the merge counters.
 func (s *Server) Stats() core.Stats { return s.be.Stats() }
@@ -403,6 +511,12 @@ func (s *Server) MetricsHandler() http.Handler {
 		if s.dur != nil {
 			// WAL/checkpoint counters and recovery-duration quantiles.
 			svc["durability"] = s.dur.tel.Snapshot()
+		}
+		if s.spillTel != nil {
+			// Out-of-core tier: runs written/merged, spilled bytes, replay
+			// latency quantiles, resident gauge (see Options.MemBudget).
+			svc["spill"] = s.spillTel.Snapshot()
+			svc["mem_budget"] = s.opts.MemBudget
 		}
 		return svc
 	})

@@ -1,0 +1,407 @@
+package spill
+
+import (
+	"reflect"
+	"testing"
+
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+)
+
+// renderWorkload renders nStreams physically divergent presentations of one
+// seeded logical script — general/multiset-class inputs (disorder, revisions,
+// removals, split inserts), the richest streams R3/R4 legally consume, with a
+// dense stable cadence so state keeps freezing and spill keeps triggering.
+func renderWorkload(seed int64, events, nStreams int, dup bool) []temporal.Stream {
+	cfg := gen.Config{
+		Events:        events,
+		Seed:          seed,
+		EventDuration: 60,
+		MaxGap:        9,
+		PayloadBytes:  6,
+		Revisions:     0.5,
+		RemoveProb:    0.25,
+	}
+	if dup {
+		cfg.DupProb = 0.3
+	}
+	sc := gen.NewScript(cfg)
+	streams := make([]temporal.Stream, nStreams)
+	for i := range streams {
+		streams[i] = sc.Render(gen.RenderOptions{
+			Seed:         seed*101 + int64(i) + 1,
+			StableFreq:   0.06,
+			StableEvery:  7 + i,
+			Disorder:     []float64{0.3, 0.1, 0.5}[i%3],
+			SplitInserts: i%2 == 1,
+		})
+	}
+	return streams
+}
+
+// drive round-robins the streams into m (stream IDs 1..n), invoking each
+// after every delivery when non-nil.
+func drive(t *testing.T, m core.Merger, streams []temporal.Stream, each func()) {
+	t.Helper()
+	pos := make([]int, len(streams))
+	for {
+		done := true
+		for i, s := range streams {
+			if pos[i] >= len(s) {
+				continue
+			}
+			done = false
+			if err := m.Process(core.StreamID(i+1), s[pos[i]]); err != nil {
+				t.Fatalf("stream %d element %d: %v", i+1, pos[i], err)
+			}
+			pos[i]++
+			if each != nil {
+				each()
+			}
+		}
+		if done {
+			return
+		}
+	}
+}
+
+func attachAll(m core.Merger, n int) {
+	for i := 1; i <= n; i++ {
+		m.Attach(core.StreamID(i))
+	}
+}
+
+// tdbOf reconstitutes an output stream to its temporal database.
+func tdbOf(t *testing.T, out temporal.Stream, what string) *temporal.TDB {
+	t.Helper()
+	tdb, err := temporal.Reconstitute(out)
+	if err != nil {
+		t.Fatalf("%s does not reconstitute: %v", what, err)
+	}
+	return tdb
+}
+
+// requireSameTDB asserts two output streams describe the same temporal
+// database (event multiset + stable point); emission order may differ.
+func requireSameTDB(t *testing.T, got, want temporal.Stream, what string) {
+	t.Helper()
+	g, w := tdbOf(t, got, what), tdbOf(t, want, what+" reference")
+	if g.Stable() != w.Stable() {
+		t.Fatalf("%s: stable %v, want %v", what, g.Stable(), w.Stable())
+	}
+	ge, we := g.Events(), w.Events()
+	if !reflect.DeepEqual(ge, we) {
+		t.Fatalf("%s: %d distinct events, want %d (first divergence hunt: %v vs %v)",
+			what, len(ge), len(we), ge, we)
+	}
+	for _, ev := range we {
+		if g.Count(ev) != w.Count(ev) {
+			t.Fatalf("%s: event %v count %d, want %d", what, ev, g.Count(ev), w.Count(ev))
+		}
+	}
+}
+
+func newCase(dup bool) core.Case {
+	if dup {
+		return core.CaseR4
+	}
+	return core.CaseR3
+}
+
+// TestWrapCapability: wrapping requires the frozen-extraction face; R0 has
+// none and must be refused with a named capability gap.
+func TestWrapCapability(t *testing.T) {
+	r0 := core.New(core.CaseR0, func(temporal.Element) {})
+	if Capable(r0) {
+		t.Error("R0 reported spill-capable")
+	}
+	if _, err := Wrap(r0, Config{Budget: 1}); err == nil {
+		t.Error("Wrap(R0): want error")
+	}
+	for _, c := range []core.Case{core.CaseR3, core.CaseR4} {
+		m := core.New(c, func(temporal.Element) {})
+		if !Capable(m) {
+			t.Errorf("%v not spill-capable", c)
+		}
+	}
+}
+
+// TestSpillEquivalence drives a starved-budget wrapped merger and an
+// unwrapped reference over identical divergent presentations: the final
+// temporal databases must match exactly, and the spill path must actually
+// have been exercised (runs written, runs re-admitted).
+func TestSpillEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dup  bool
+		dir  bool
+	}{
+		{"R3-mem", false, false},
+		{"R4-mem", true, false},
+		{"R3-disk", false, true},
+		{"R4-disk", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			streams := renderWorkload(11, 180, 3, tc.dup)
+			var refOut temporal.Stream
+			ref := core.New(newCase(tc.dup), func(e temporal.Element) { refOut = append(refOut, e) })
+			attachAll(ref, len(streams))
+			drive(t, ref, streams, nil)
+
+			tel := &obs.Spill{}
+			cfg := Config{Budget: 1, ProbeEvery: 1, Arity: 2, Tel: tel}
+			if tc.dir {
+				cfg.Dir = t.TempDir()
+			}
+			var out temporal.Stream
+			sp, err := Wrap(core.New(newCase(tc.dup), func(e temporal.Element) { out = append(out, e) }), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sp.Close()
+			attachAll(sp, len(streams))
+			drive(t, sp, streams, nil)
+
+			requireSameTDB(t, out, refOut, "final output")
+			if sp.MaxStable() != ref.MaxStable() {
+				t.Errorf("MaxStable %v, want %v", sp.MaxStable(), ref.MaxStable())
+			}
+			snap := tel.Snapshot()
+			if snap.RunsWritten == 0 {
+				t.Error("starved budget never spilled a run")
+			}
+			if snap.Unspills == 0 {
+				t.Error("no run was ever re-admitted")
+			}
+		})
+	}
+}
+
+// TestSpillSnapshotIncludesSpilled cuts mid-stream with frames out of core:
+// Snapshot must replay them — a checkpoint taken here is the recovery seed,
+// so a frame missing from it is lost state.
+func TestSpillSnapshotIncludesSpilled(t *testing.T) {
+	for _, dup := range []bool{false, true} {
+		streams := renderWorkload(23, 160, 3, dup)
+		// Truncate each presentation to a prefix so live + frozen coexist.
+		half := make([]temporal.Stream, len(streams))
+		for i, s := range streams {
+			half[i] = s[:len(s)/2]
+		}
+		ref := core.New(newCase(dup), func(temporal.Element) {})
+		attachAll(ref, len(half))
+		drive(t, ref, half, nil)
+
+		tel := &obs.Spill{}
+		sp, err := Wrap(core.New(newCase(dup), func(temporal.Element) {}), Config{Budget: 1, ProbeEvery: 1, Arity: 2, Tel: tel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		attachAll(sp, len(half))
+		drive(t, sp, half, nil)
+
+		if runs, _ := sp.st.stats(); runs == 0 {
+			t.Fatalf("dup=%v: no runs out of core at the cut", dup)
+		}
+		got := sp.Snapshot()
+		want := ref.(core.Snapshotter).Snapshot()
+		requireSameTDB(t, got, want, "mid-stream snapshot")
+		if tel.Snapshot().Replays == 0 {
+			t.Errorf("dup=%v: snapshot never replayed a run", dup)
+		}
+		sp.Close()
+	}
+}
+
+// TestSpillDetach detaches a stream while its vouched frames are out of
+// core, then finishes the remaining streams: results must match a resident
+// merger doing the same sequence.
+func TestSpillDetach(t *testing.T) {
+	for _, dup := range []bool{false, true} {
+		streams := renderWorkload(37, 160, 3, dup)
+		run := func(m core.Merger) {
+			attachAll(m, len(streams))
+			// Stream 3 delivers only a prefix; the others run to completion,
+			// then 3 detaches with its vouched state possibly out of core.
+			short := append([]temporal.Stream(nil), streams...)
+			short[2] = short[2][:len(short[2])/3]
+			drive(t, m, short, nil)
+			m.Detach(core.StreamID(3))
+		}
+		var refOut temporal.Stream
+		ref := core.New(newCase(dup), func(e temporal.Element) { refOut = append(refOut, e) })
+		run(ref)
+
+		var out temporal.Stream
+		sp, err := Wrap(core.New(newCase(dup), func(e temporal.Element) { out = append(out, e) }), Config{Budget: 1, ProbeEvery: 1, Arity: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(sp)
+		requireSameTDB(t, out, refOut, "post-detach output")
+		requireSameTDB(t, sp.Snapshot(), ref.(core.Snapshotter).Snapshot(), "post-detach snapshot")
+		sp.Close()
+	}
+}
+
+// soakStreams renders the memory-bound workload: long-lived insert-only
+// events (Ve far past the script horizon) under divergent disorder. The
+// stable frontier tracks Vs, so state freezes steadily and accumulates
+// instead of expiring — resident size grows linearly without a budget.
+// (Revisions and removals are off on purpose: a pending revision renders as
+// an adjust at the ORIGINAL Vs, so long lifetimes would pin the stable
+// frontier near zero and nothing would ever freeze.)
+func soakStreams(seed int64, events int, dup bool) []temporal.Stream {
+	cfg := gen.Config{
+		Events:        events,
+		Seed:          seed,
+		EventDuration: 1 << 20,
+		MaxGap:        9,
+		PayloadBytes:  6,
+	}
+	if dup {
+		cfg.DupProb = 0.3
+	}
+	sc := gen.NewScript(cfg)
+	streams := make([]temporal.Stream, 3)
+	for i := range streams {
+		streams[i] = sc.Render(gen.RenderOptions{
+			Seed:        seed*101 + int64(i) + 1,
+			StableFreq:  0.06,
+			StableEvery: 7 + i,
+			Disorder:    []float64{0.3, 0.1, 0.5}[i%3],
+		})
+	}
+	return streams
+}
+
+// TestSpillSoak is the budget-adherence soak (`make spill-soak` runs it with
+// the race detector, exercising the background compactor concurrently): tens
+// of thousands of deliveries of accumulating long-lived state against a
+// 32 KiB budget. The unwrapped reference peaks an order of magnitude above
+// the budget; the wrapped merger must stay within a small soft-budget factor
+// (live not-yet-unanimous state cannot be spilled), produce the identical
+// temporal database, and leave zeroed gauges after Close.
+func TestSpillSoak(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dup  bool
+	}{{"R3", false}, {"R4", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			const budget = 32 << 10
+			streams := soakStreams(71, 3000, tc.dup)
+
+			refPeak := 0
+			var refOut temporal.Stream
+			ref := core.New(newCase(tc.dup), func(e temporal.Element) { refOut = append(refOut, e) })
+			attachAll(ref, len(streams))
+			n := 0
+			drive(t, ref, streams, func() {
+				if n++; n%8 != 0 {
+					return
+				}
+				if sz := ref.SizeBytes(); sz > refPeak {
+					refPeak = sz
+				}
+			})
+
+			tel := &obs.Spill{}
+			var out temporal.Stream
+			sp, err := Wrap(core.New(newCase(tc.dup), func(e temporal.Element) { out = append(out, e) }),
+				Config{Budget: budget, ProbeEvery: 8, Arity: 3, Dir: t.TempDir(), Tel: tel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			attachAll(sp, len(streams))
+			peak := 0
+			n = 0
+			drive(t, sp, streams, func() {
+				if n++; n%8 != 0 {
+					return
+				}
+				if sz := sp.SizeBytes(); sz > peak {
+					peak = sz
+				}
+			})
+
+			// Budget adherence: soft (hot state is not spillable), but the
+			// resident peak must stay within a small factor of the budget
+			// while the unbounded reference blows far past it.
+			if peak > 3*budget {
+				t.Errorf("resident peak %d exceeds 3x budget %d", peak, budget)
+			}
+			if refPeak < 8*budget {
+				t.Fatalf("soak too small to be meaningful: reference peak %d", refPeak)
+			}
+			if 4*peak > refPeak {
+				t.Errorf("spilling barely helped: peak %d vs unbounded %d", peak, refPeak)
+			}
+			requireSameTDB(t, out, refOut, "soak output")
+			if sp.MaxStable() != temporal.Infinity {
+				t.Errorf("stable stalled at %v", sp.MaxStable())
+			}
+			// Unspills stay zero here by design: insert-only unique keys
+			// vouched by every stream never need re-admission — the ideal
+			// out-of-core case. Re-admission paths are asserted by the
+			// revision-heavy equivalence tests above.
+			snap := tel.Snapshot()
+			if snap.RunsWritten == 0 {
+				t.Errorf("spill path idle: %+v", snap)
+			}
+			sp.Close()
+			end := tel.Snapshot()
+			if end.ResidentBytes != 0 || end.OutOfCore != 0 || end.Runs != 0 {
+				t.Errorf("gauges not drained after Close: resident=%d frames=%d runs=%d",
+					end.ResidentBytes, end.OutOfCore, end.Runs)
+			}
+			t.Logf("%s: peak=%d reference=%d runs=%d merged=%d unspills=%d",
+				tc.name, peak, refPeak, snap.RunsWritten, snap.RunsMerged, snap.Unspills)
+		})
+	}
+}
+
+// TestSpillHandoffRoundTrip extracts every key mid-stream (the repartition
+// donation path, which must first re-admit all runs), installs the state
+// back, finishes the input, and checks equivalence.
+func TestSpillHandoffRoundTrip(t *testing.T) {
+	streams := renderWorkload(53, 160, 3, true)
+	halfLen := func(s temporal.Stream) int { return len(s) / 2 }
+
+	var refOut temporal.Stream
+	ref := core.New(core.CaseR4, func(e temporal.Element) { refOut = append(refOut, e) })
+	attachAll(ref, len(streams))
+
+	var out temporal.Stream
+	sp, err := Wrap(core.New(core.CaseR4, func(e temporal.Element) { out = append(out, e) }), Config{Budget: 1, ProbeEvery: 1, Arity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	attachAll(sp, len(streams))
+
+	for phase := 0; phase < 2; phase++ {
+		part := make([]temporal.Stream, len(streams))
+		for i, s := range streams {
+			if phase == 0 {
+				part[i] = s[:halfLen(s)]
+			} else {
+				part[i] = s[halfLen(s):]
+			}
+		}
+		drive(t, ref, part, nil)
+		drive(t, sp, part, nil)
+		if phase == 0 {
+			if !sp.HandoffCapable() {
+				t.Fatal("wrapped merger lost handoff capability")
+			}
+			hs := sp.ExtractKeys(func(temporal.Payload) bool { return true })
+			if runs, _ := sp.st.stats(); runs != 0 {
+				t.Fatalf("%d runs still out of core after ExtractKeys", runs)
+			}
+			sp.InstallKeys(hs)
+		}
+	}
+	requireSameTDB(t, out, refOut, "post-handoff output")
+}
