@@ -2,16 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench chaos partition-soak rebalance-soak crash-soak spill-soak fuzz experiments scale bench-compare diffcheck diffcheck-race clean
+.PHONY: all check build vet test race cover bench chaos partition-soak rebalance-soak crash-soak spill-soak fanout-soak fuzz experiments scale bench-compare diffcheck diffcheck-race clean
 
 all: build vet test
 
 # Everything CI cares about: compile, vet, full tests, race on the
 # concurrent packages, the seeded chaos soaks (single-instance and
 # partitioned), the adaptive-repartitioning soak, the crash/recover soak,
-# the budget-constrained out-of-core spill soak, and a race-enabled
-# differential sweep over the trimmed config grid.
-check: build vet test race cover chaos partition-soak rebalance-soak crash-soak spill-soak diffcheck-race
+# the budget-constrained out-of-core spill soak, the broadcast fan-out
+# soak, and a race-enabled differential sweep over the trimmed config grid.
+check: build vet test race cover chaos partition-soak rebalance-soak crash-soak spill-soak fanout-soak diffcheck-race
 
 build:
 	$(GO) build ./...
@@ -74,12 +74,20 @@ crash-soak:
 spill-soak:
 	$(GO) test -race -v -run 'TestSpillSoak|TestSpillEquivalence' ./internal/spill/
 
+# Race-enabled broadcast fan-out fault drill: 200 binary+text subscribers on
+# one server, every connection chaos-faulted, exact-TDB equivalence across
+# both protocols (see DESIGN.md §14).
+fanout-soak:
+	$(GO) test -race -v -run TestFanoutSoak ./internal/chaos/
+
 # Short fuzz sessions over the wire codec, reconstitution, the server
-# handshake/frame parser, and the WAL record and spill-run decoders.
+# handshake/frame parser, the v2 binary frame decoder, and the WAL record
+# and spill-run decoders.
 fuzz:
 	$(GO) test ./internal/temporal/ -fuzz FuzzUnmarshalElement -fuzztime 30s
 	$(GO) test ./internal/temporal/ -fuzz FuzzReconstitute -fuzztime 30s
 	$(GO) test ./internal/server/ -run FuzzParseFrame -fuzz FuzzParseFrame -fuzztime 30s
+	$(GO) test ./internal/wire/ -run FuzzBinaryFrame -fuzz FuzzBinaryFrame -fuzztime 30s
 	$(GO) test ./internal/durable/ -run FuzzWALDecode -fuzz FuzzWALDecode -fuzztime 30s
 	$(GO) test ./internal/durable/ -run FuzzRunDecode -fuzz FuzzRunDecode -fuzztime 30s
 
@@ -103,9 +111,12 @@ scale:
 	$(GO) run ./cmd/lmbench -exp scale -events 100000 -payload 64
 
 # Gate the partitioned path's per-element cost against the recorded PR-4
-# baseline: >10% ns/element growth on any multi-partition point fails.
+# baseline (>10% ns/element growth on any multi-partition point fails), and
+# the broadcast fan-out curve's encode-once invariants against the recorded
+# PR-9 run (encode work or allocation varying with subscriber count fails).
 bench-compare:
 	$(GO) run ./cmd/lmbenchcmp -old BENCH_PR4.json -new BENCH_PR6.json
+	$(GO) run ./cmd/lmbenchcmp -fanout -new BENCH_PR9.json
 
 clean:
 	$(GO) clean ./...

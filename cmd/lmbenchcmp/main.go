@@ -5,14 +5,24 @@
 // Usage:
 //
 //	lmbenchcmp -old BENCH_PR4.json -new BENCH_PR6.json [-tolerance 0.10]
+//	lmbenchcmp -fanout -new BENCH_PR9.json
 //
-// Both files must carry a "throughput_vs_partitions" section whose workload
-// curves ("uniform", "skewed_keyskew2") map partition counts to {"tput": N}
-// in input elements per wall-clock second. Throughputs are converted to
-// nanoseconds per element and every common (curve, partitions) point is
-// compared; a multi-partition point whose ns/element grew by more than the
-// tolerance fails the run (exit 1). Single-partition points are reported but
-// advisory — the partitioned path is what the gate protects.
+// In the default mode both files must carry a "throughput_vs_partitions"
+// section whose workload curves ("uniform", "skewed_keyskew2") map partition
+// counts to {"tput": N} in input elements per wall-clock second. Throughputs
+// are converted to nanoseconds per element and every common (curve,
+// partitions) point is compared; a multi-partition point whose ns/element
+// grew by more than the tolerance fails the run (exit 1). Single-partition
+// points are reported but advisory — the partitioned path is what the gate
+// protects.
+//
+// With -fanout the gate runs on the "fanout" section instead (broadcast
+// fan-out curves: per-element encode metrics keyed by subscriber count). The
+// new file is gated on the encode-once invariants themselves — frames and
+// bytes encoded per element must not vary with the subscriber count, and
+// allocation per element must stay far from linear in it; when the old file
+// also carries the section, per-subscriber-count allocation points are
+// compared across files under the tolerance as well.
 package main
 
 import (
@@ -75,11 +85,120 @@ func loadCurves(path string) (map[string]map[int]float64, error) {
 	return out, nil
 }
 
+// fanoutFile is the machine-readable "fanout" section: per-element encode
+// metrics keyed by subscriber count (as recorded by lmbench -exp fanout).
+type fanoutFile struct {
+	Fanout struct {
+		FramesPerEl  map[string]float64 `json:"frames_per_element"`
+		EncBytesPer  map[string]float64 `json:"encode_bytes_per_element"`
+		AllocBytesPE map[string]float64 `json:"alloc_bytes_per_element"`
+	} `json:"fanout"`
+}
+
+func loadFanout(path string) (map[int][3]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ff fanoutFile
+	if err := json.Unmarshal(raw, &ff); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(ff.Fanout.FramesPerEl) == 0 {
+		return nil, fmt.Errorf("%s: no fanout section", path)
+	}
+	out := make(map[int][3]float64)
+	for k, frames := range ff.Fanout.FramesPerEl {
+		subs, err := strconv.Atoi(k)
+		if err != nil || subs <= 0 {
+			return nil, fmt.Errorf("%s: fanout: bad subscriber count %q", path, k)
+		}
+		out[subs] = [3]float64{frames, ff.Fanout.EncBytesPer[k], ff.Fanout.AllocBytesPE[k]}
+	}
+	return out, nil
+}
+
+// fanoutAllocSlack bounds alloc-bytes-per-element growth across the fan-out
+// curve as a fraction of linear: growing the subscriber count R-fold may
+// grow allocation per element by at most slack*R. Any O(subscribers)
+// per-element allocation fails by a wide margin; the constant-cost design
+// passes with room for scheduler noise at extreme widths.
+const fanoutAllocSlack = 0.05
+
+// gateFanout enforces the encode-once invariants on the new file's fan-out
+// curve and, when the old file carries the section too, compares per-point
+// allocation across files. Returns the number of failed gates.
+func gateFanout(oldPath, newPath string, tol float64) int {
+	newF, err := loadFanout(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmbenchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	var subs []int
+	for n := range newF {
+		subs = append(subs, n)
+	}
+	sort.Ints(subs)
+	lo, hi := subs[0], subs[len(subs)-1]
+	failed := 0
+	fmt.Printf("%-10s %10s %10s %12s\n", "subs", "frames/el", "enc B/el", "alloc B/el")
+	for _, n := range subs {
+		p := newF[n]
+		fmt.Printf("%-10d %10.2f %10.1f %12.0f\n", n, p[0], p[1], p[2])
+	}
+	// Encode-once invariants: frames and bytes encoded per element must not
+	// vary with the subscriber count at all (1% float slop).
+	for i, name := range []string{"frames/el", "enc B/el"} {
+		if ratio := newF[hi][i] / newF[lo][i]; ratio > 1.01 || ratio < 0.99 {
+			fmt.Printf("FAIL: %s varies with subscriber count (%d subs: %.2f, %d subs: %.2f) — encode work is not subscriber-independent\n",
+				name, lo, newF[lo][i], hi, newF[hi][i])
+			failed++
+		}
+	}
+	// Allocation independence: far-from-linear growth across the curve.
+	allocRatio := newF[hi][2] / newF[lo][2]
+	linear := float64(hi) / float64(lo)
+	if allocRatio > fanoutAllocSlack*linear {
+		fmt.Printf("FAIL: alloc B/el grew %.1fx over a %.0fx subscriber range (limit %.1fx)\n",
+			allocRatio, linear, fanoutAllocSlack*linear)
+		failed++
+	} else {
+		fmt.Printf("alloc B/el grew %.1fx over a %.0fx subscriber range (limit %.1fx) — subscriber-independent\n",
+			allocRatio, linear, fanoutAllocSlack*linear)
+	}
+	// Cross-file: per-point allocation regression under the tolerance.
+	if oldF, err := loadFanout(oldPath); err == nil {
+		for _, n := range subs {
+			op, ok := oldF[n]
+			if !ok {
+				continue
+			}
+			delta := newF[n][2]/op[2] - 1
+			if delta > tol {
+				fmt.Printf("FAIL: alloc B/el at %d subs regressed %+.1f%% vs %s (> %.0f%%)\n",
+					n, delta*100, oldPath, tol*100)
+				failed++
+			}
+		}
+	}
+	return failed
+}
+
 func main() {
 	oldPath := flag.String("old", "BENCH_PR4.json", "baseline benchmark results file")
 	newPath := flag.String("new", "BENCH_PR6.json", "candidate benchmark results file")
 	tol := flag.Float64("tolerance", 0.10, "maximum allowed ns/element growth on multi-partition points")
+	fanout := flag.Bool("fanout", false, "gate the broadcast fan-out curve (\"fanout\" section) instead of the scale-out curves")
 	flag.Parse()
+
+	if *fanout {
+		if failed := gateFanout(*oldPath, *newPath, *tol); failed > 0 {
+			fmt.Fprintf(os.Stderr, "lmbenchcmp: %d fan-out gate(s) failed (%s)\n", failed, *newPath)
+			os.Exit(1)
+		}
+		fmt.Printf("fan-out encode work is subscriber-independent (%s)\n", *newPath)
+		return
+	}
 
 	oldC, err := loadCurves(*oldPath)
 	if err != nil {

@@ -1,29 +1,39 @@
 // Command lmcat performs a Logical Merge over stream files: each argument
-// is one physical stream (JSON lines, as produced by cmd/lmgen), delivered
-// round-robin into the selected LMerge algorithm; the merged stream is
-// written to stdout and statistics to stderr.
+// is one physical stream, delivered round-robin into the selected LMerge
+// algorithm; the merged stream is written to stdout and statistics to
+// stderr.
+//
+// Inputs may be JSON lines (cmd/lmgen) or the v2 binary stream-file format
+// (internal/wire: preamble + CRC-framed elements, as captured from a binary
+// subscriber feed) — the format is sniffed per file. -binary selects the
+// binary format for the merged output.
 //
 // Usage:
 //
 //	lmcat a.jsonl b.jsonl c.jsonl > merged.jsonl
-//	lmcat -case R4 -verify a.jsonl b.jsonl
+//	lmcat -case R4 -verify a.jsonl b.lmw
+//	lmcat -binary a.jsonl b.jsonl > merged.lmw
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"lmerge/internal/core"
 	"lmerge/internal/props"
 	"lmerge/internal/temporal"
+	"lmerge/internal/wire"
 )
 
 func main() {
 	caseName := flag.String("case", "auto", "merge algorithm: auto, R0, R1, R2, R3, R3-, R4 (auto measures the inputs and picks the cheapest safe case)")
 	verify := flag.Bool("verify", false, "reconstitute the output and every input; check logical equivalence")
 	quiet := flag.Bool("q", false, "suppress the merged stream on stdout (stats only)")
+	binary := flag.Bool("binary", false, "write the merged output in the v2 binary stream-file format instead of JSON lines")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: lmcat [-case R3] [-verify] stream.jsonl...")
@@ -36,7 +46,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		streams[i], err = temporal.ReadStream(f)
+		streams[i], err = readAnyStream(f)
 		f.Close()
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
@@ -83,7 +93,11 @@ func main() {
 	}
 
 	if !*quiet {
-		if err := temporal.WriteStream(os.Stdout, out); err != nil {
+		write := temporal.WriteStream
+		if *binary {
+			write = wire.WriteStream
+		}
+		if err := write(os.Stdout, out); err != nil {
 			fatal(err)
 		}
 	}
@@ -106,6 +120,17 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "lmcat: verified — output ≡ all %d inputs (%d events)\n", len(streams), outTDB.Len())
 	}
+}
+
+// readAnyStream sniffs the file format — the v2 binary stream container
+// opens with the 'L' 'M' magic, which can never begin a JSON line — and
+// decodes accordingly.
+func readAnyStream(r io.Reader) (temporal.Stream, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	if wire.SniffStream(br) {
+		return wire.ReadStream(br)
+	}
+	return temporal.ReadStream(br)
 }
 
 func makeMerger(name string, emit core.Emit) (core.Merger, error) {

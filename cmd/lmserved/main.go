@@ -7,8 +7,15 @@
 //
 //	lmserved serve -addr 127.0.0.1:7171 -case R3 [-partitions 4]
 //	lmgen -events 1000 -render-seed 1 | lmserved pub -addr 127.0.0.1:7171
-//	lmgen -events 1000 -render-seed 2 | lmserved pub -addr 127.0.0.1:7171
+//	lmgen -events 1000 -render-seed 2 | lmserved pub -addr 127.0.0.1:7171 -wire
 //	lmserved sub -addr 127.0.0.1:7171 > merged.jsonl
+//	lmserved sub -addr 127.0.0.1:7171 -wire > merged.jsonl
+//
+// The server negotiates both protocols on one listener: v1 JSON lines and
+// the v2 binary wire protocol (internal/wire). -wire selects v2 for the
+// pub/sub client modes — framed CRC-checked elements, encode-once broadcast
+// blocks on the server, credit-based backpressure instead of
+// disconnect-on-overflow.
 package main
 
 import (
@@ -62,6 +69,7 @@ func serve(args []string) {
 	ckptEvery := fs.Duration("checkpoint-every", 0, "checkpoint period when -data-dir is set (0 = server default)")
 	fsync := fs.Bool("fsync", false, "fsync every WAL append (survives power loss, not just process death)")
 	memBudget := fs.Int("mem-budget", 0, "bound resident merge state to this many bytes: frozen agreed state spills to sorted on-disk runs (under -data-dir/spill when set) and replays on demand (0 disables)")
+	creditDeadline := fs.Duration("credit-deadline", 0, "evict a binary (v2) subscriber that stays credit-stalled this long; 0 = server default")
 	fs.Parse(args)
 
 	c, err := parseCase(*caseName)
@@ -70,7 +78,7 @@ func serve(args []string) {
 	}
 	opts := server.Options{Case: c, FeedbackLag: -1, Partitions: *parts,
 		DataDir: *dataDir, CheckpointEvery: *ckptEvery, Fsync: *fsync,
-		MemBudget: *memBudget}
+		MemBudget: *memBudget, CreditDeadline: *creditDeadline}
 	if *rebalance {
 		if *parts <= 1 {
 			fatal(fmt.Errorf("-rebalance needs -partitions > 1"))
@@ -136,9 +144,15 @@ func serve(args []string) {
 	ps := s.PartitionStats()
 	snaps := s.Telemetry()
 	spSnap := s.SpillStats()
+	ws := s.WireStats()
 	s.Close()
 	fmt.Fprintf(os.Stderr, "lmserved: done — in=%d out=%d dropped=%d warnings=%d\n",
 		st.InElements(), st.OutElements(), st.Dropped, st.ConsistencyWarnings)
+	if ws.FramesEncoded > 0 || ws.LinesEncoded > 0 {
+		fmt.Fprintf(os.Stderr, "lmserved: wire — frames=%d (%dB encoded once) shared=%dB/%d frames history=%dB credit granted=%dB stalls=%d evictions=%d\n",
+			ws.FramesEncoded, ws.FrameBytes, ws.SharedBytes, ws.SharedFrames,
+			ws.HistoryBytes, ws.CreditGranted, ws.CreditStalls, ws.Evictions)
+	}
 	if *memBudget > 0 {
 		fmt.Fprintf(os.Stderr, "lmserved: spill — runs=%d merged=%d spilled=%dB unspills=%d replay p95=%.0fns\n",
 			spSnap.RunsWritten, spSnap.RunsMerged, spSnap.SpilledBytes, spSnap.Unspills, spSnap.ReplayP95NS)
@@ -166,6 +180,7 @@ func publish(args []string) {
 	fs := flag.NewFlagSet("pub", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7171", "server address")
 	join := fs.Int64("join", int64(temporal.MinTime), "join guarantee timestamp (default: complete stream)")
+	useWire := fs.Bool("wire", false, "publish over the v2 binary wire protocol (CRC-framed elements) instead of JSON lines")
 	fs.Parse(args)
 
 	var in *os.File
@@ -182,7 +197,11 @@ func publish(args []string) {
 	default:
 		fatal(fmt.Errorf("pub takes at most one input file"))
 	}
-	p, err := server.Connect(*addr, temporal.Time(*join))
+	connect := server.Connect
+	if *useWire {
+		connect = server.ConnectBinary
+	}
+	p, err := connect(*addr, temporal.Time(*join))
 	if err != nil {
 		fatal(err)
 	}
@@ -216,9 +235,14 @@ func subscribe(args []string) {
 	fs := flag.NewFlagSet("sub", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7171", "server address")
 	until := fs.Bool("until-complete", true, "exit once the merged stream reaches stable(∞)")
+	useWire := fs.Bool("wire", false, "subscribe over the v2 binary wire protocol (credit-based flow control) instead of JSON lines")
 	fs.Parse(args)
 
-	sub, err := server.Subscribe(*addr)
+	subscribe := server.Subscribe
+	if *useWire {
+		subscribe = server.SubscribeBinary
+	}
+	sub, err := subscribe(*addr)
 	if err != nil {
 		fatal(err)
 	}

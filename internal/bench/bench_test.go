@@ -159,7 +159,7 @@ func TestTableIVShape(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	reg := Experiments()
-	if len(reg) != 16 {
+	if len(reg) != 17 {
 		t.Fatalf("registry has %d experiments", len(reg))
 	}
 	for id, fn := range reg {

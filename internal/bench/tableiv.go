@@ -115,5 +115,6 @@ func Experiments() map[string]func(Scale) *Table {
 		"ablation-jumpstart": func(s Scale) *Table { return AblationJumpstart(s).Table },
 		"freshness":          func(s Scale) *Table { return FreshnessUnderLag(s).Table },
 		"spill":              func(s Scale) *Table { return SpillBound(s).Table },
+		"fanout":             func(s Scale) *Table { return FanoutBroadcast(s).Table },
 	}
 }

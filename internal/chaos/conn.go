@@ -3,6 +3,7 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync/atomic"
 	"time"
@@ -19,11 +20,18 @@ var ErrInjected = errors.New("chaos: injected connection fault")
 type Conn struct {
 	net.Conn
 	in   *Injector
+	bin  bool
 	dead atomic.Bool
 }
 
-// WrapConn wraps c with the injector's write faults.
+// WrapConn wraps c with the injector's write faults, corrupting in the
+// text-protocol mode (newline-preserving '#' garble).
 func (in *Injector) WrapConn(c net.Conn) *Conn { return &Conn{Conn: c, in: in} }
+
+// WrapConnBinary wraps c with the injector's write faults, corrupting in the
+// binary-protocol mode: seeded random bit damage instead of the '#' fill, so
+// frame CRCs are exercised by arbitrary garble, not one fixed pattern.
+func (in *Injector) WrapConnBinary(c net.Conn) *Conn { return &Conn{Conn: c, in: in, bin: true} }
 
 // Dialer returns a dial function (matching server.DialFunc) whose
 // connections carry the injector's faults.
@@ -34,6 +42,17 @@ func (in *Injector) Dialer() func(addr string) (net.Conn, error) {
 			return nil, err
 		}
 		return in.WrapConn(c), nil
+	}
+}
+
+// DialerBinary is Dialer with binary-mode corruption (see WrapConnBinary).
+func (in *Injector) DialerBinary() func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return in.WrapConnBinary(c), nil
 	}
 }
 
@@ -55,6 +74,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 	in.mu.Lock()
 	cfg, rng := in.cfg, in.rng
 	var delay time.Duration
+	var garbled []byte
 	kind := faultNone
 	switch f := rng.Float64(); {
 	case f < cfg.CrashProb:
@@ -67,6 +87,10 @@ func (c *Conn) Write(b []byte) (int, error) {
 		kind = faultCorrupt
 		in.stats.Corrupts++
 		in.stats.BytesMauled += int64(len(b))
+		if c.bin {
+			// Built under the lock: the injector's rng is not concurrency-safe.
+			garbled = corruptBinary(b, rng)
+		}
 	case f < cfg.CrashProb+cfg.TruncateProb+cfg.CorruptProb+cfg.DelayProb:
 		kind = faultDelay
 		in.stats.Delays++
@@ -91,7 +115,10 @@ func (c *Conn) Write(b []byte) (int, error) {
 	case faultCorrupt:
 		// The frame still "succeeds" from the sender's point of view; the
 		// receiver must detect the garbage and drop the connection.
-		return c.Conn.Write(corrupt(b))
+		if garbled == nil {
+			garbled = corrupt(b)
+		}
+		return c.Conn.Write(garbled)
 	case faultDelay:
 		time.Sleep(delay)
 	}
@@ -110,7 +137,9 @@ const (
 
 // corrupt garbles every byte except newlines, preserving the line structure
 // of the protocol so the receiver sees garbage lines rather than merged
-// frames. '#' can never begin valid JSON, so detection is guaranteed.
+// frames. '#' can never begin valid JSON, so detection is guaranteed. Text
+// mode must keep this fixed pattern: random bit damage could yield a
+// different-but-valid JSON line and silently diverge the merged TDB.
 func corrupt(b []byte) []byte {
 	g := make([]byte, len(b))
 	for i, x := range b {
@@ -119,6 +148,19 @@ func corrupt(b []byte) []byte {
 		} else {
 			g[i] = '#'
 		}
+	}
+	return g
+}
+
+// corruptBinary XORs every byte with a nonzero random value: each byte is
+// guaranteed to change, and the damage pattern varies per fault so the frame
+// CRC check faces arbitrary garble rather than one fixed fill. The receiver
+// detects it via checksum/length validation (internal/wire), never by
+// accident of framing.
+func corruptBinary(b []byte, rng *rand.Rand) []byte {
+	g := make([]byte, len(b))
+	for i, x := range b {
+		g[i] = x ^ byte(1+rng.Intn(255))
 	}
 	return g
 }

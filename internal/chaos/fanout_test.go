@@ -1,0 +1,201 @@
+package chaos_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lmerge/internal/chaos"
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/server"
+	"lmerge/internal/temporal"
+)
+
+// TestFanoutSoak is the broadcast fault drill for the v2 wire path: hundreds
+// of binary and text subscribers — every connection chaos-faulted — attach to
+// one server while chaos-perturbed replicas publish a single logical script
+// over both protocols. Connections crash, truncate, and garble (binary
+// garbling is caught by the frame CRC, text by the JSON parser); subscribers
+// resume positionally across reconnects and evictions. Every subscriber, on
+// either protocol, must reconstitute the exact script TDB — the
+// encode-once blocks shared across all queues are not allowed to tear, skip,
+// or duplicate for anyone.
+func TestFanoutSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fan-out soak skipped in -short mode")
+	}
+	s, err := server.NewWithOptions("127.0.0.1:0", server.Options{
+		Case:        core.CaseR3,
+		FeedbackLag: 0,
+		// ReadTimeout backstops handshakes mauled in flight: a garbled v2
+		// preamble routes the connection to the text path, where the server
+		// would otherwise wait forever for a newline that is never coming.
+		ReadTimeout:    500 * time.Millisecond,
+		CreditDeadline: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sc := soakScript(11)
+	want := sc.TDB()
+
+	inj := chaos.New(chaos.Config{
+		Seed:         9090,
+		DupProb:      0.05,
+		ShuffleProb:  0.3,
+		CrashProb:    0.05,
+		TruncateProb: 0.02,
+		CorruptProb:  0.03,
+	})
+
+	// Subscribers attach before any input so they ride the live broadcast;
+	// reconnects after faults exercise the history catch-up path too.
+	const binSubs, textSubs = 130, 70
+	const total = binSubs + textSubs
+	subForks := make([]*chaos.Injector, total)
+	for i := range subForks {
+		subForks[i] = inj.Fork(int64(1000 + i))
+	}
+	type subResult struct {
+		stream     temporal.Stream
+		reconnects int
+		ok         bool
+	}
+	results := make([]subResult, total)
+	var swg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		swg.Add(1)
+		go func(i int) {
+			defer swg.Done()
+			bin := i < binSubs
+			opts := server.ResilientOptions{
+				Dial:        subForks[i].Dialer(),
+				Seed:        int64(2000 + i),
+				MaxAttempts: 200,
+				Backoff:     server.Backoff{Initial: time.Millisecond, Max: 10 * time.Millisecond},
+				Binary:      bin,
+			}
+			if bin {
+				opts.Dial = subForks[i].DialerBinary()
+				// A small window forces frequent CREDIT grants — each one a
+				// fresh chance for the injector to crash or garble the
+				// connection mid-subscription.
+				opts.CreditWindow = 8 * 1024
+			}
+			rs := server.NewResilientSubscriber(s.Addr(), opts)
+			defer rs.Close()
+			for {
+				e, ok := rs.Next()
+				if !ok {
+					return
+				}
+				results[i].stream = append(results[i].stream, e)
+				if e.Kind == temporal.KindStable && e.T() == temporal.Infinity {
+					results[i].reconnects = rs.Reconnects()
+					results[i].ok = true
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Replicas: two publish over the binary protocol, one over text, all
+	// chaos-faulted and all presenting perturbed renderings of one script.
+	const publishers = 3
+	pubForks := make([]*chaos.Injector, publishers)
+	for i := range pubForks {
+		pubForks[i] = inj.Fork(int64(i))
+	}
+	reports := make([]server.DeliveryReport, publishers)
+	errs := make([]error, publishers)
+	var pwg sync.WaitGroup
+	for i := 0; i < publishers; i++ {
+		pwg.Add(1)
+		go func(i int) {
+			defer pwg.Done()
+			fork := pubForks[i]
+			stream := fork.Perturb(sc.Render(gen.RenderOptions{
+				Seed: int64(100 + i), Disorder: 0.3, StableFreq: 0.05,
+			}))
+			dial := fork.Dialer()
+			if i < 2 {
+				dial = fork.DialerBinary() // binary-mode garbling for binary replicas
+			}
+			rp := server.NewResilientPublisher(s.Addr(), server.ResilientOptions{
+				Dial:        dial,
+				Seed:        int64(200 + i),
+				MaxAttempts: 100,
+				Backoff:     server.Backoff{Initial: time.Millisecond, Max: 10 * time.Millisecond},
+				Binary:      i < 2,
+			})
+			reports[i], errs[i] = rp.Deliver(stream)
+		}(i)
+	}
+
+	// Publishers first: subscribers can only observe stable(∞) after every
+	// publisher's delivery completes, so a publisher failure must surface as
+	// its error, not as a subscriber timeout.
+	pwg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("publisher %d failed: %v (report %+v)", i, err, reports[i])
+		}
+	}
+	subsDone := make(chan struct{})
+	go func() { swg.Wait(); close(subsDone) }()
+	select {
+	case <-subsDone:
+	case <-time.After(120 * time.Second):
+		t.Fatal("timed out waiting for fan-out subscribers to complete")
+	}
+	reconnects := 0
+	for i := range results {
+		r := &results[i]
+		if !r.ok {
+			t.Fatalf("subscriber %d gave up before stable(inf)", i)
+		}
+		got, err := temporal.Reconstitute(r.stream)
+		if err != nil {
+			t.Fatalf("subscriber %d merged stream invalid: %v", i, err)
+		}
+		if !got.Equal(want) {
+			proto := "binary"
+			if i >= binSubs {
+				proto = "text"
+			}
+			t.Fatalf("%s subscriber %d TDB diverged from the script under chaos", proto, i)
+		}
+		reconnects += r.reconnects
+	}
+	if st := s.Stats(); st.ConsistencyWarnings != 0 {
+		t.Fatalf("fan-out soak raised %d consistency warnings", st.ConsistencyWarnings)
+	}
+
+	// Vacuousness guards: the drill must actually have hurt.
+	var ist chaos.Stats
+	for _, f := range append(append([]*chaos.Injector{}, subForks...), pubForks...) {
+		st := f.Stats()
+		ist.Crashes += st.Crashes
+		ist.Truncates += st.Truncates
+		ist.Corrupts += st.Corrupts
+		ist.BytesMauled += st.BytesMauled
+	}
+	if ist.Crashes == 0 || ist.Corrupts == 0 {
+		t.Fatalf("connection faults barely fired — soak is vacuous (stats %+v)", ist)
+	}
+	if reconnects == 0 {
+		t.Fatal("no subscriber ever resumed across a fault; the positional-resume path went untested")
+	}
+	ws := s.WireStats()
+	if ws.FramesEncoded == 0 {
+		t.Fatal("no frames were block-encoded; binary fan-out never engaged")
+	}
+	if ws.SharedFrames <= ws.FramesEncoded {
+		t.Fatalf("shared_frames %d <= frames_encoded %d — broadcast never actually shared encodes", ws.SharedFrames, ws.FramesEncoded)
+	}
+	t.Logf("fanout soak: %d subscribers (%d binary / %d text), %d resumes, faults=%+v, wire=%+v",
+		total, binSubs, textSubs, reconnects, ist, ws)
+}

@@ -1,0 +1,145 @@
+package obs
+
+import "sync/atomic"
+
+// Wire aggregates the broadcast fan-out counters of the binary wire
+// protocol (internal/wire, DESIGN.md §14): encode-once work (frames encoded,
+// blocks sealed), the write-many side (bytes delivered to subscribers from
+// shared blocks), and the credit-based backpressure events (stalls,
+// deadline evictions). Like Node and Spill it is nil-safe and every write is
+// a plain atomic, so one Wire is shared by the emit path and every
+// subscriber writer goroutine.
+type Wire struct {
+	framesEncoded atomic.Int64
+	frameBytes    atomic.Int64
+	blocksSealed  atomic.Int64
+	blockBytes    atomic.Int64
+
+	linesEncoded atomic.Int64
+	lineBytes    atomic.Int64
+
+	sharedBytes  atomic.Int64
+	sharedFrames atomic.Int64
+	historyBytes atomic.Int64
+
+	creditGranted atomic.Int64
+	creditStalls  atomic.Int64
+	evictions     atomic.Int64
+}
+
+// FrameEncoded records one element encoded once into the shared block log
+// (n framed bytes). This is the O(1)-per-element half of encode-once,
+// write-many: it fires once per merged element regardless of how many
+// subscribers share the block.
+func (w *Wire) FrameEncoded(n int) {
+	if w == nil {
+		return
+	}
+	w.framesEncoded.Add(1)
+	w.frameBytes.Add(int64(n))
+}
+
+// BlockSealed records one immutable block of n bytes sealed and handed over
+// entirely to subscriber references.
+func (w *Wire) BlockSealed(n int) {
+	if w == nil {
+		return
+	}
+	w.blocksSealed.Add(1)
+	w.blockBytes.Add(int64(n))
+}
+
+// LineEncoded records one element marshalled once as a text line (n bytes)
+// shared across every text subscriber queue.
+func (w *Wire) LineEncoded(n int) {
+	if w == nil {
+		return
+	}
+	w.linesEncoded.Add(1)
+	w.lineBytes.Add(int64(n))
+}
+
+// Shared records n block bytes (frames whole element frames) written to one
+// subscriber connection from a shared block.
+func (w *Wire) Shared(n int, frames int) {
+	if w == nil {
+		return
+	}
+	w.sharedBytes.Add(int64(n))
+	w.sharedFrames.Add(int64(frames))
+}
+
+// History records n bytes of per-subscriber catch-up encoding (positional
+// resume replay) — the cold path that is not shared.
+func (w *Wire) History(n int) {
+	if w == nil {
+		return
+	}
+	w.historyBytes.Add(int64(n))
+}
+
+// CreditGranted records a subscriber flow-control grant of n bytes.
+func (w *Wire) CreditGranted(n int64) {
+	if w == nil {
+		return
+	}
+	w.creditGranted.Add(n)
+}
+
+// CreditStalled records one stall episode: a subscriber writer paused
+// because its granted credit cannot cover the next frame.
+func (w *Wire) CreditStalled() {
+	if w == nil {
+		return
+	}
+	w.creditStalls.Add(1)
+}
+
+// Evicted records one slow-consumer eviction: a subscriber that stayed out
+// of credit past the deadline backstop.
+func (w *Wire) Evicted() {
+	if w == nil {
+		return
+	}
+	w.evictions.Add(1)
+}
+
+// WireSnapshot is a point-in-time copy of the fan-out counters.
+type WireSnapshot struct {
+	FramesEncoded int64 `json:"frames_encoded"`
+	FrameBytes    int64 `json:"frame_bytes"`
+	BlocksSealed  int64 `json:"blocks_sealed"`
+	BlockBytes    int64 `json:"block_bytes"`
+
+	LinesEncoded int64 `json:"lines_encoded"`
+	LineBytes    int64 `json:"line_bytes"`
+
+	SharedBytes  int64 `json:"shared_bytes"`
+	SharedFrames int64 `json:"shared_frames"`
+	HistoryBytes int64 `json:"history_bytes"`
+
+	CreditGranted int64 `json:"credit_granted_bytes"`
+	CreditStalls  int64 `json:"credits_stalled"`
+	Evictions     int64 `json:"evictions"`
+}
+
+// Snapshot copies the counters. Nil-safe (returns zeros).
+func (w *Wire) Snapshot() WireSnapshot {
+	if w == nil {
+		return WireSnapshot{}
+	}
+	return WireSnapshot{
+		FramesEncoded: w.framesEncoded.Load(),
+		FrameBytes:    w.frameBytes.Load(),
+		BlocksSealed:  w.blocksSealed.Load(),
+		BlockBytes:    w.blockBytes.Load(),
+		LinesEncoded:  w.linesEncoded.Load(),
+		LineBytes:     w.lineBytes.Load(),
+		SharedBytes:   w.sharedBytes.Load(),
+		SharedFrames:  w.sharedFrames.Load(),
+		HistoryBytes:  w.historyBytes.Load(),
+		CreditGranted: w.creditGranted.Load(),
+		CreditStalls:  w.creditStalls.Load(),
+		Evictions:     w.evictions.Load(),
+	}
+}

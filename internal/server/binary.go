@@ -1,0 +1,241 @@
+package server
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"time"
+
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+	"lmerge/internal/wire"
+)
+
+// Server side of the binary wire protocol v2 (internal/wire, DESIGN.md §14).
+// The listener stays protocol-agnostic: handle() peeks the first byte and
+// routes 'H' (text "HELLO") to the v1 path and the v2 magic here. Publishers
+// look like the text path with frames instead of lines; subscribers are
+// where v2 earns its keep — encode-once broadcast blocks shared by
+// reference, credit-based backpressure, and pipelined handshake resume.
+
+// serveBinary negotiates the preamble (already sniffed by handle) and
+// dispatches on the hello frame. r is positioned at the preamble.
+func (s *Server) serveBinary(conn net.Conn, r *bufio.Reader) {
+	var pre [wire.PreambleLen]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return
+	}
+	if err := wire.CheckPreamble(pre[:]); err != nil {
+		conn.Write(wire.AppendErr(nil, err.Error()))
+		return
+	}
+	fr := wire.NewReader(r)
+	typ, body, err := fr.Next()
+	if err != nil {
+		return
+	}
+	switch typ {
+	case wire.FrHelloPub:
+		joinTime, perr := wire.ParseHelloPub(body)
+		if perr != nil {
+			conn.Write(wire.AppendErr(nil, perr.Error()))
+			return
+		}
+		s.serveBinaryPublisher(conn, fr, joinTime)
+	case wire.FrHelloSub:
+		from, credit, perr := wire.ParseHelloSub(body)
+		if perr != nil {
+			conn.Write(wire.AppendErr(nil, perr.Error()))
+			return
+		}
+		conn.SetReadDeadline(time.Time{}) // credit grants have no cadence
+		s.serveBinarySubscriber(conn, fr, from, credit)
+	default:
+		conn.Write(wire.AppendErr(nil, "expected HELLO frame"))
+	}
+}
+
+// serveBinaryPublisher mirrors the text publisher loop over frames: DATA
+// frames accumulate into batches flushed at the same boundaries (size,
+// stable punctuation, drained input); FF/DETACH/ACK control flows back as
+// frames through the same pubState the supervisor uses.
+func (s *Server) serveBinaryPublisher(conn net.Conn, fr *wire.Reader, joinTime temporal.Time) {
+	h, stable, ok := s.attachPublisher(conn, joinTime, true)
+	if !ok {
+		return
+	}
+	defer h.finish()
+	h.ps.sendOK(int64(h.id), stable)
+	for {
+		if d := s.opts.ReadTimeout; d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		}
+		typ, body, err := fr.Next()
+		if err != nil {
+			// Transport end or a frame that failed its checksum: the
+			// connection is poisoned either way. The deferred finish merges
+			// whatever was cleanly parsed; the resilient client reconnects
+			// and fast-forwards past it.
+			return
+		}
+		switch typ {
+		case wire.FrData:
+			e, derr := wire.DecodeData(body)
+			if derr != nil {
+				h.flush()
+				h.ps.sendErr(derr)
+				return
+			}
+			if perr := h.add(e, fr.Buffered() > 0); perr != nil {
+				h.ps.sendErr(perr)
+				return
+			}
+		default:
+			// Unknown frame types are ignored for forward compatibility.
+		}
+	}
+}
+
+// binSub is one registered binary subscriber: its credit queue plus the
+// connection (so shutdown can unblock a writer mid-write).
+type binSub struct {
+	q    *blockQueue
+	conn net.Conn
+}
+
+// serveBinarySubscriber is the v2 fan-out path. The pipelined handshake
+// carried position and initial credit; the reply, history catch-up, and live
+// stream flow back without further round trips. Live delivery pops spans of
+// shared blocks (encoded once in broadcast) under the client's byte credit;
+// an exhausted credit pauses this writer — other subscribers are untouched —
+// until the grant arrives or the eviction deadline fires.
+func (s *Server) serveBinarySubscriber(conn net.Conn, fr *wire.Reader, from int, credit int64) {
+	q := newBlockQueue(credit, s.wireTel)
+	s.outMu.Lock()
+	if s.subsClosed {
+		s.outMu.Unlock()
+		return
+	}
+	id := s.nextSub
+	s.nextSub++
+	if from > len(s.backlog) {
+		from = len(s.backlog)
+	}
+	// Element structs share payloads, so this snapshot is cheap; everything
+	// emitted after registration reaches the queue as shared spans, so
+	// history + queue is exactly the merged stream from `from` on.
+	history := append(temporal.Stream(nil), s.backlog[from:]...)
+	s.binSubs[id] = &binSub{q: q, conn: conn}
+	s.outMu.Unlock()
+
+	evicted := false
+	defer func() {
+		s.outMu.Lock()
+		if sub, ok := s.binSubs[id]; ok {
+			sub.q.close()
+			delete(s.binSubs, id)
+		}
+		s.outMu.Unlock()
+		if evicted {
+			s.wireTel.Evicted()
+			s.reg.Trace().Record(obs.Event{Kind: obs.EventSubscriberDrop, Node: "server", Stream: id, Aux: 1})
+		}
+	}()
+
+	// Credit reader: the only frames a subscriber sends after the handshake
+	// are CREDIT grants. A read error (client gone) closes the queue, which
+	// wakes the writer.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			typ, body, err := fr.Next()
+			if err != nil {
+				q.close()
+				return
+			}
+			if typ == wire.FrCredit {
+				if n, perr := wire.ParseCredit(body); perr == nil {
+					q.grant(n)
+				}
+			}
+		}
+	}()
+	defer func() {
+		conn.Close()
+		<-readerDone
+	}()
+
+	// writeStall bounds every socket write: a peer that stops reading while
+	// credit remains outstanding is caught by the same deadline that backstops
+	// credit stalls. The deadline is re-armed lazily — only once the armed one
+	// has burned through half its window — because arming is not free (a
+	// timer per SetWriteDeadline on some transports, a syscall-path touch on
+	// others) and the hot path writes one small chunk per merged element. A
+	// write can therefore see as little as writeStall/2 of headroom, which
+	// still bounds the stall.
+	writeStall := s.opts.CreditDeadline
+	var armed time.Time
+	arm := func() {
+		if now := time.Now(); now.Sub(armed) > writeStall/2 {
+			armed = now
+			conn.SetWriteDeadline(now.Add(writeStall))
+		}
+	}
+	w := bufio.NewWriterSize(conn, wire.BlockCap)
+	writeAll := func(p []byte) bool {
+		arm()
+		_, err := w.Write(p)
+		return err == nil
+	}
+	flush := func() bool {
+		arm()
+		return w.Flush() == nil
+	}
+
+	// The OK reply must flush now — the first data pop may be far away.
+	if !writeAll(wire.AppendOK(nil, 0, s.be.MaxStable())) || !flush() {
+		return
+	}
+	if len(history) > 0 {
+		// Catch-up is per-subscriber (cold path): encode the snapshot as one
+		// private block and queue it ahead of every live span, so the credit
+		// machinery covers history and live traffic uniformly.
+		var hbuf []byte
+		for _, e := range history {
+			hbuf = wire.AppendData(hbuf, e)
+		}
+		s.wireTel.History(len(hbuf))
+		blk := wire.NewBlockFromBytes(hbuf)
+		q.pushHead(wire.Span{Blk: blk, Start: 0, End: len(hbuf), Elems: len(history)})
+		blk.Release() // the queue entry's reference keeps it alive
+	}
+	for {
+		buf, wref, done, frames, st := q.pop(s.opts.CreditDeadline)
+		switch st {
+		case popData:
+			ok := writeAll(buf)
+			wref.Release()
+			if done != nil {
+				done.Release()
+			}
+			if !ok {
+				return
+			}
+			s.wireTel.Shared(len(buf), frames)
+			// Flush before any wait, not just on an empty queue: when the
+			// remaining credit is short of the next frame, these buffered
+			// bytes are exactly what the client needs to see before it can
+			// grant more.
+			if !q.sendable() && !flush() {
+				return
+			}
+		case popEvicted:
+			evicted = true
+			return
+		default: // popClosed
+			flush()
+			return
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"lmerge/internal/obs"
+	"lmerge/internal/wire"
+)
+
+// maxCredit caps a subscriber's accumulated credit so a misbehaving client
+// spamming grants cannot overflow the accounting.
+const maxCredit = int64(1) << 40
+
+// blockQueue is a per-binary-subscriber queue of spans into shared encoded
+// blocks (DESIGN.md §14): the merge's emit path pushes the span each element
+// was encoded into exactly once, and the subscriber's writer goroutine pops
+// byte chunks to copy to the socket. Unlike the text path's subQueue it
+// never drops on overflow — queue entries are references into blocks that
+// are alive anyway, so a slow consumer costs O(blocks outstanding) entries,
+// not element copies. Backpressure is credit-based instead: pop sends only
+// bytes covered by the client's granted credit, pausing (not disconnecting)
+// when credit runs out, with the eviction deadline as the slow-consumer
+// backstop.
+//
+// Reference discipline: push/pushHead retain the span's block once per queue
+// entry; that reference is released exactly once — by pop's caller when the
+// entry is fully written, or by close/evict for entries still pending.
+// pop additionally retains the block around the socket write so a concurrent
+// close can never recycle bytes mid-write.
+type blockQueue struct {
+	mu      sync.Mutex
+	spans   []wire.Span
+	head    int // spans[head:] are pending
+	cursor  int // bytes of spans[head] already consumed (relative to Start)
+	credit  int64
+	closed  bool
+	evicted bool
+	// stallStart is when the writer first found credit short of the next
+	// frame; cleared on progress. The eviction deadline counts from it.
+	stallStart time.Time
+	sig        chan struct{} // 1-buffered wakeup for the single writer
+	tel        *obs.Wire
+}
+
+func newBlockQueue(initialCredit int64, tel *obs.Wire) *blockQueue {
+	q := &blockQueue{sig: make(chan struct{}, 1), tel: tel}
+	if initialCredit > 0 {
+		q.credit = min64(initialCredit, maxCredit)
+		tel.CreditGranted(q.credit)
+	}
+	return q
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (q *blockQueue) signal() {
+	select {
+	case q.sig <- struct{}{}:
+	default:
+	}
+}
+
+// push appends one span, coalescing with the previous entry when contiguous
+// in the same block (a lagging subscriber holds ~one entry per block). It
+// reports false when the queue is closed — the caller unregisters the
+// subscriber.
+func (q *blockQueue) push(sp wire.Span) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	if n := len(q.spans); n > q.head {
+		if last := &q.spans[n-1]; last.Blk == sp.Blk && last.End == sp.Start {
+			last.End = sp.End
+			last.Elems += sp.Elems
+			q.signal()
+			q.mu.Unlock()
+			return true
+		}
+	}
+	sp.Blk.Retain()
+	q.spans = append(q.spans, sp)
+	q.signal()
+	q.mu.Unlock()
+	return true
+}
+
+// pushHead inserts a span before every pending entry: the subscriber's
+// history catch-up block, queued by the writer itself before it consumes
+// anything (live spans pushed during the catch-up encode keep their order
+// behind it).
+func (q *blockQueue) pushHead(sp wire.Span) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	sp.Blk.Retain()
+	q.spans = append(q.spans, wire.Span{})
+	copy(q.spans[q.head+1:], q.spans[q.head:])
+	q.spans[q.head] = sp
+	q.signal()
+	q.mu.Unlock()
+	return true
+}
+
+// grant adds client-granted credit. Grants are non-negative by protocol
+// construction and the total is capped, so credit stays in [0, maxCredit].
+func (q *blockQueue) grant(n int64) {
+	if n <= 0 {
+		return
+	}
+	q.mu.Lock()
+	q.credit = min64(q.credit+n, maxCredit)
+	q.tel.CreditGranted(n)
+	q.signal()
+	q.mu.Unlock()
+}
+
+// creditNow reports the remaining credit (tests assert it never goes
+// negative).
+func (q *blockQueue) creditNow() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.credit
+}
+
+// sendable reports whether the writer could pop another chunk right now:
+// data is pending and the granted credit covers its next frame. The
+// subscriber writer must flush its buffered socket writes whenever this is
+// false — pop is about to block on a push or a credit grant, and bytes
+// sitting in the bufio writer would deadlock the credit loop (the client
+// cannot grant credit for frames it never received).
+func (q *blockQueue) sendable() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.head == len(q.spans) {
+		return false
+	}
+	sp := &q.spans[q.head]
+	fl, ok := wire.FrameSize(sp.Blk.Data()[sp.Start+q.cursor : sp.End])
+	return ok && int64(fl) <= q.credit
+}
+
+// pending reports queued-but-unsent bytes (tests).
+func (q *blockQueue) pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := -q.cursor
+	for _, sp := range q.spans[q.head:] {
+		n += sp.Len()
+	}
+	return n
+}
+
+// close stops the queue and releases every pending entry's block reference.
+func (q *blockQueue) close() {
+	q.mu.Lock()
+	q.shutdownLocked(false)
+	q.mu.Unlock()
+}
+
+// shutdownLocked is the single close path (normal close or eviction), so
+// pending references are released exactly once no matter how close, evict,
+// and push race.
+func (q *blockQueue) shutdownLocked(evict bool) {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.evicted = evict
+	for i := q.head; i < len(q.spans); i++ {
+		q.spans[i].Blk.Release()
+	}
+	q.spans = nil
+	q.head, q.cursor = 0, 0
+	q.signal()
+}
+
+// popStatus reports why pop returned.
+type popStatus int
+
+const (
+	popData    popStatus = iota // buf holds frames to write
+	popClosed                   // queue closed (server shutdown / subscriber gone)
+	popEvicted                  // credit stalled past the eviction deadline
+)
+
+// pop blocks until frames are sendable under the granted credit, then
+// returns a chunk of complete frames from one shared block. wref is the
+// writer's reference for the duration of the socket write; done, when
+// non-nil, is the queue entry's own reference (the entry was fully
+// consumed). The caller must Release both (wref always, done when non-nil)
+// after writing. When credit cannot cover the next frame, pop stalls; a
+// stall lasting evictAfter evicts the subscriber.
+func (q *blockQueue) pop(evictAfter time.Duration) (buf []byte, wref, done *wire.Block, frames int, st popStatus) {
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	q.mu.Lock()
+	for {
+		if q.closed {
+			ev := q.evicted
+			q.mu.Unlock()
+			if ev {
+				return nil, nil, nil, 0, popEvicted
+			}
+			return nil, nil, nil, 0, popClosed
+		}
+		if q.head == len(q.spans) {
+			// Nothing pending: wait for a push or close, no deadline (an idle
+			// subscriber is not a slow one).
+			q.mu.Unlock()
+			<-q.sig
+			q.mu.Lock()
+			continue
+		}
+		sp := &q.spans[q.head]
+		data := sp.Blk.Data()[sp.Start+q.cursor : sp.End]
+		take, nf := 0, 0
+		for take < len(data) {
+			fl, ok := wire.FrameSize(data[take:])
+			if !ok || take+fl > len(data) {
+				// Spans hold whole frames by construction; a mismatch here
+				// would be memory corruption, not wire damage. Stop rather
+				// than send a torn frame.
+				break
+			}
+			if int64(take+fl) > q.credit {
+				break
+			}
+			take += fl
+			nf++
+		}
+		if take > 0 {
+			q.credit -= int64(take)
+			q.stallStart = time.Time{}
+			blk := sp.Blk
+			blk.Retain() // writer's reference across the socket write
+			q.cursor += take
+			var doneBlk *wire.Block
+			if sp.Start+q.cursor == sp.End {
+				doneBlk = blk // hand the entry's reference to the caller
+				q.head++
+				q.cursor = 0
+				if q.head == len(q.spans) {
+					q.spans = q.spans[:0]
+					q.head = 0
+				}
+			}
+			q.mu.Unlock()
+			return data[:take], blk, doneBlk, nf, popData
+		}
+		// Data pending but credit short of the next frame: credit-stall.
+		if q.stallStart.IsZero() {
+			q.stallStart = time.Now()
+			q.tel.CreditStalled()
+		}
+		wait := evictAfter - time.Since(q.stallStart)
+		if wait <= 0 {
+			q.shutdownLocked(true)
+			q.mu.Unlock()
+			return nil, nil, nil, 0, popEvicted
+		}
+		q.mu.Unlock()
+		if timer == nil {
+			timer = time.NewTimer(wait)
+		} else {
+			timer.Reset(wait)
+		}
+		select {
+		case <-q.sig:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-timer.C:
+		}
+		q.mu.Lock()
+	}
+}

@@ -1,0 +1,264 @@
+package server
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+	"lmerge/internal/wire"
+)
+
+func testSpans(t *testing.T, n int) ([]wire.Span, *wire.BlockLog) {
+	t.Helper()
+	l := wire.NewBlockLog(nil)
+	spans := make([]wire.Span, n)
+	for i := range spans {
+		spans[i] = l.Append(temporal.Insert(temporal.Payload{ID: int64(i), Data: "payload"}, temporal.Time(i), temporal.Time(i+5)))
+	}
+	return spans, l
+}
+
+// TestBlockQueueCreditSplitsAtFrames: pop returns only whole frames covered
+// by the granted credit, the credit gauge never goes negative, and every
+// queued byte is eventually delivered in order.
+func TestBlockQueueCreditSplitsAtFrames(t *testing.T) {
+	spans, l := testSpans(t, 20)
+	defer l.Close()
+	frameLen := spans[0].Len() // identical payloads → identical frame sizes
+	q := newBlockQueue(0, nil)
+	for _, sp := range spans {
+		if !q.push(sp) {
+			t.Fatal("push on open queue failed")
+		}
+	}
+	total := 0
+	for _, sp := range spans {
+		total += sp.Len()
+	}
+	if q.pending() != total {
+		t.Fatalf("pending = %d, want %d", q.pending(), total)
+	}
+
+	var delivered []byte
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			buf, wref, fin, frames, st := q.pop(time.Minute)
+			if st != popData {
+				return
+			}
+			if len(buf)%frameLen != 0 || frames != len(buf)/frameLen {
+				mu.Lock()
+				delivered = nil // poison: torn frame
+				mu.Unlock()
+				wref.Release()
+				if fin != nil {
+					fin.Release()
+				}
+				return
+			}
+			mu.Lock()
+			delivered = append(delivered, buf...)
+			mu.Unlock()
+			wref.Release()
+			if fin != nil {
+				fin.Release()
+			}
+		}
+	}()
+
+	// Grant credit in odd chunks smaller and larger than a frame; the writer
+	// must still deliver only whole frames and never drive credit negative.
+	granted := 0
+	rng := rand.New(rand.NewSource(1))
+	for granted < total {
+		n := 1 + rng.Intn(2*frameLen)
+		if granted+n > total {
+			n = total - granted
+		}
+		q.grant(int64(n))
+		granted += n
+		if c := q.creditNow(); c < 0 {
+			t.Fatalf("credit went negative: %d", c)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		got := len(delivered)
+		mu.Unlock()
+		if got == total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d bytes", got, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q.close()
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered == nil {
+		t.Fatal("writer observed a torn frame")
+	}
+	// Byte-exact, in-order delivery of every span.
+	off := 0
+	for i, sp := range spans {
+		if string(delivered[off:off+sp.Len()]) != string(sp.Bytes()) {
+			t.Fatalf("span %d bytes diverged", i)
+		}
+		off += sp.Len()
+	}
+	if c := q.creditNow(); c != 0 {
+		t.Fatalf("credit left over: %d", c)
+	}
+}
+
+// TestBlockQueueCoalesce: contiguous spans of one block coalesce into one
+// entry holding one reference; a gap (sealed block) starts a new entry.
+func TestBlockQueueCoalesce(t *testing.T) {
+	spans, l := testSpans(t, 8)
+	defer l.Close()
+	blk := spans[0].Blk
+	before := blk.Refs()
+	q := newBlockQueue(1<<20, nil)
+	for _, sp := range spans {
+		q.push(sp)
+	}
+	if got := blk.Refs(); got != before+1 {
+		t.Fatalf("coalesced pushes took %d references, want 1", got-before)
+	}
+	total := 0
+	for _, sp := range spans {
+		total += sp.Len()
+	}
+	buf, wref, fin, frames, st := q.pop(time.Minute)
+	if st != popData || len(buf) != total || frames != len(spans) {
+		t.Fatalf("coalesced pop: %d bytes %d frames st=%v", len(buf), frames, st)
+	}
+	wref.Release()
+	if fin == nil {
+		t.Fatal("fully consumed entry did not hand back its reference")
+	}
+	fin.Release()
+	if got := blk.Refs(); got != before {
+		t.Fatalf("refs = %d after drain, want %d", got, before)
+	}
+	q.close()
+}
+
+// TestBlockQueueEviction: a credit-stalled queue evicts after the deadline,
+// telemetry records the stall and nothing leaks.
+func TestBlockQueueEviction(t *testing.T) {
+	spans, l := testSpans(t, 1)
+	defer l.Close()
+	tel := &obs.Wire{}
+	q := newBlockQueue(1, tel) // 1 byte: can never cover a frame
+	blk := spans[0].Blk
+	before := blk.Refs()
+	q.push(spans[0])
+	start := time.Now()
+	_, _, _, _, st := q.pop(30 * time.Millisecond)
+	if st != popEvicted {
+		t.Fatalf("pop = %v, want popEvicted", st)
+	}
+	if since := time.Since(start); since < 25*time.Millisecond {
+		t.Fatalf("evicted after %v, before the deadline", since)
+	}
+	if snap := tel.Snapshot(); snap.CreditStalls != 1 {
+		t.Fatalf("credit stalls = %d, want 1", snap.CreditStalls)
+	}
+	if got := blk.Refs(); got != before {
+		t.Fatalf("eviction leaked a reference: %d != %d", got, before)
+	}
+	// Queue is dead: pushes rejected, pop reports the eviction again.
+	if q.push(spans[0]) {
+		t.Fatal("push on evicted queue accepted")
+	}
+	if _, _, _, _, st := q.pop(time.Minute); st != popEvicted {
+		t.Fatalf("second pop = %v", st)
+	}
+}
+
+// TestBlockQueueReleaseOnceUnderRaces hammers one queue from a pusher, a
+// granter, and a popper while closing it mid-flight, using unpooled blocks so
+// reference counts stay observable. Every block must end at exactly zero
+// references (the Release-twice panic guards the other direction) and credit
+// must never go negative.
+func TestBlockQueueReleaseOnceUnderRaces(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		frame := wire.AppendData(nil, temporal.Insert(temporal.P(1), 0, 5))
+		const perBlock = 4
+		var blocks []*wire.Block
+		var spans []wire.Span
+		for b := 0; b < 8; b++ {
+			var run []byte
+			for f := 0; f < perBlock; f++ {
+				run = append(run, frame...)
+			}
+			blk := wire.NewBlockFromBytes(run)
+			blocks = append(blocks, blk)
+			for f := 0; f < perBlock; f++ {
+				spans = append(spans, wire.Span{Blk: blk, Start: f * len(frame), End: (f + 1) * len(frame), Elems: 1})
+			}
+		}
+		q := newBlockQueue(0, nil)
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() { // pusher
+			defer wg.Done()
+			for _, sp := range spans {
+				if !q.push(sp) {
+					return
+				}
+			}
+		}()
+		go func() { // granter, then closer
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(round)))
+			budget := len(frame) * len(spans)
+			for g := 0; g < budget/2; {
+				n := 1 + rng.Intn(len(frame))
+				q.grant(int64(n))
+				g += n
+			}
+			// Close races the pusher and the popper mid-stream.
+			q.close()
+		}()
+		go func() { // popper
+			defer wg.Done()
+			for {
+				_, wref, fin, _, st := q.pop(time.Minute)
+				if st != popData {
+					return
+				}
+				if c := q.creditNow(); c < 0 {
+					panic("credit negative")
+				}
+				wref.Release()
+				if fin != nil {
+					fin.Release()
+				}
+			}
+		}()
+		wg.Wait()
+		// The creator's reference is still ours; after dropping it every block
+		// must sit at exactly zero (queue entries and writer refs all released
+		// exactly once — an over-release would have panicked already).
+		for i, blk := range blocks {
+			blk.Release()
+			if got := blk.Refs(); got != 0 {
+				t.Fatalf("round %d block %d: %d references leaked", round, i, got)
+			}
+		}
+		if c := q.creditNow(); c < 0 {
+			t.Fatalf("round %d: credit negative: %d", round, c)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"lmerge/internal/temporal"
+	"lmerge/internal/wire"
 )
 
 // DialFunc opens a transport connection to the server. Tests and the chaos
@@ -29,6 +30,8 @@ func defaultDial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 type Publisher struct {
 	conn         net.Conn
 	w            *bufio.Writer
+	bin          bool
+	scratch      []byte // frame build buffer (binary Send)
 	id           int
 	joinStable   temporal.Time
 	writeTimeout time.Duration
@@ -42,10 +45,17 @@ type Publisher struct {
 // Connect dials the server as a publisher with the given join guarantee
 // (use temporal.MinTime for a from-the-start replica).
 func Connect(addr string, joinTime temporal.Time) (*Publisher, error) {
-	return connectVia(defaultDial, addr, joinTime, 0)
+	return connectVia(defaultDial, addr, joinTime, 0, false)
 }
 
-func connectVia(dial DialFunc, addr string, joinTime temporal.Time, writeTimeout time.Duration) (*Publisher, error) {
+// ConnectBinary dials the server as a publisher speaking the v2 binary wire
+// protocol (internal/wire): framed CRC-checked elements instead of JSON
+// lines, control signals as frames.
+func ConnectBinary(addr string, joinTime temporal.Time) (*Publisher, error) {
+	return connectVia(defaultDial, addr, joinTime, 0, true)
+}
+
+func connectVia(dial DialFunc, addr string, joinTime temporal.Time, writeTimeout time.Duration, bin bool) (*Publisher, error) {
 	if dial == nil {
 		dial = defaultDial
 	}
@@ -54,12 +64,15 @@ func connectVia(dial DialFunc, addr string, joinTime temporal.Time, writeTimeout
 		return nil, err
 	}
 	p := &Publisher{
-		conn: conn, w: bufio.NewWriter(conn),
+		conn: conn, w: bufio.NewWriter(conn), bin: bin,
 		joinStable: temporal.MinTime, writeTimeout: writeTimeout,
 		acked: make(chan struct{}), sigDone: make(chan struct{}),
 	}
 	p.ff.Store(int64(temporal.MinTime))
 	p.armWriteDeadline()
+	if bin {
+		return p.handshakeBinary(joinTime)
+	}
 	fmt.Fprintf(p.w, "HELLO PUB %d\n", int64(joinTime))
 	if err := p.w.Flush(); err != nil {
 		conn.Close()
@@ -94,6 +107,46 @@ func connectVia(dial DialFunc, addr string, joinTime temporal.Time, writeTimeout
 	return p, nil
 }
 
+// handshakeBinary sends the v2 preamble and HELLO_PUB frame, and parses the
+// OK reply (assigned stream id + the merged stable point that seeds the
+// fast-forward watermark).
+func (p *Publisher) handshakeBinary(joinTime temporal.Time) (*Publisher, error) {
+	buf := wire.AppendPreamble(nil)
+	buf = wire.AppendHelloPub(buf, joinTime)
+	p.w.Write(buf)
+	if err := p.w.Flush(); err != nil {
+		p.conn.Close()
+		return nil, err
+	}
+	fr := wire.NewReader(bufio.NewReader(p.conn))
+	if d := p.writeTimeout; d > 0 {
+		p.conn.SetReadDeadline(time.Now().Add(10 * d))
+	}
+	typ, body, err := fr.Next()
+	p.conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		p.conn.Close()
+		return nil, err
+	}
+	if typ != wire.FrOK {
+		p.conn.Close()
+		if typ == wire.FrErr {
+			return nil, fmt.Errorf("server refused publisher: %s", body)
+		}
+		return nil, fmt.Errorf("server refused publisher: frame 0x%02x", typ)
+	}
+	id, stable, perr := wire.ParseOK(body)
+	if perr != nil {
+		p.conn.Close()
+		return nil, perr
+	}
+	p.id = int(id)
+	p.joinStable = stable
+	p.ff.Store(int64(stable))
+	go p.readSignalsBinary(fr)
+	return p, nil
+}
+
 // readSignals consumes server lines after the handshake: fast-forward
 // watermarks (monotonically coalesced), DETACH notices (the supervisor's
 // straggler policy), and errors (which end the stream).
@@ -114,12 +167,38 @@ func (p *Publisher) readSignals(r *bufio.Reader) {
 		}
 		var t int64
 		if _, err := fmt.Sscanf(line, "FF %d", &t); err == nil {
-			for {
-				cur := p.ff.Load()
-				if t <= cur || p.ff.CompareAndSwap(cur, t) {
-					break
-				}
+			p.coalesceFF(t)
+		}
+	}
+}
+
+// readSignalsBinary is the frame counterpart of readSignals.
+func (p *Publisher) readSignalsBinary(fr *wire.Reader) {
+	defer close(p.sigDone)
+	for {
+		typ, body, err := fr.Next()
+		if err != nil {
+			return
+		}
+		switch typ {
+		case wire.FrDetach:
+			p.detached.Store(true)
+		case wire.FrAck:
+			p.ackOnce.Do(func() { close(p.acked) })
+		case wire.FrFF:
+			if t, perr := wire.ParseFF(body); perr == nil {
+				p.coalesceFF(int64(t))
 			}
+		}
+	}
+}
+
+// coalesceFF advances the fast-forward watermark monotonically.
+func (p *Publisher) coalesceFF(t int64) {
+	for {
+		cur := p.ff.Load()
+		if t <= cur || p.ff.CompareAndSwap(cur, t) {
+			return
 		}
 	}
 }
@@ -168,11 +247,16 @@ func (p *Publisher) armWriteDeadline() {
 
 // Send publishes one element.
 func (p *Publisher) Send(e temporal.Element) error {
+	p.armWriteDeadline()
+	if p.bin {
+		p.scratch = wire.AppendData(p.scratch[:0], e)
+		_, err := p.w.Write(p.scratch)
+		return err
+	}
 	line, err := temporal.MarshalElement(e)
 	if err != nil {
 		return err
 	}
-	p.armWriteDeadline()
 	if _, err := p.w.Write(line); err != nil {
 		return err
 	}
@@ -266,6 +350,12 @@ type ResilientOptions struct {
 	// Throttle, when non-nil, runs before each element actually sent —
 	// tests use it to model slow replicas (stragglers).
 	Throttle func(e temporal.Element)
+	// Binary selects the v2 binary wire protocol (internal/wire) instead of
+	// the v1 text protocol for this client.
+	Binary bool
+	// CreditWindow is a binary subscriber's flow-control window in bytes
+	// (default DefaultCreditWindow). Ignored by publishers and text clients.
+	CreditWindow int64
 }
 
 func (o ResilientOptions) withDefaults() ResilientOptions {
@@ -281,6 +371,9 @@ func (o ResilientOptions) withDefaults() ResilientOptions {
 	}
 	if o.Dial == nil {
 		o.Dial = defaultDial
+	}
+	if o.CreditWindow <= 0 {
+		o.CreditWindow = DefaultCreditWindow
 	}
 	return o
 }
@@ -352,7 +445,7 @@ func (rp *ResilientPublisher) Deliver(stream temporal.Stream) (DeliveryReport, e
 	failed := 0
 	var lastErr error
 	for {
-		p, err := connectVia(rp.opts.Dial, rp.addr, temporal.MinTime, rp.opts.WriteTimeout)
+		p, err := connectVia(rp.opts.Dial, rp.addr, temporal.MinTime, rp.opts.WriteTimeout, rp.opts.Binary)
 		if err != nil {
 			failed++
 			lastErr = err
@@ -439,26 +532,83 @@ func (rp *ResilientPublisher) skippable(p *Publisher, e temporal.Element) bool {
 	return p.ShouldSkip(e)
 }
 
-// Subscriber is a client-side subscription to the merged stream.
+// DefaultCreditWindow is the binary subscriber's default flow-control window:
+// the byte credit granted to the server at the handshake and replenished as
+// frames are consumed.
+const DefaultCreditWindow = 256 * 1024
+
+// handshakeTimeout bounds a subscriber's wait for the server's handshake
+// reply. The subscription never legitimately idles there — the reply is
+// written immediately on registration — so a longer silence means the
+// connection (or its handshake bytes) died in flight.
+const handshakeTimeout = 10 * time.Second
+
+// Subscriber is a client-side subscription to the merged stream, over either
+// protocol: sc is the v1 line scanner, fr the v2 frame reader.
 type Subscriber struct {
 	conn net.Conn
 	sc   *bufio.Scanner
+	fr   *wire.Reader
+	// Credit accounting (binary): sinceGrant counts consumed frame bytes; at
+	// half the window a CREDIT frame replenishes the server, so delivery never
+	// pauses while this consumer keeps up.
+	window     int64
+	sinceGrant int64
+	gbuf       []byte
 }
 
 // Subscribe dials the server as a consumer of the merged stream.
 func Subscribe(addr string) (*Subscriber, error) {
-	return subscribeVia(defaultDial, addr, 0)
+	return subscribeVia(defaultDial, addr, 0, false, 0)
+}
+
+// SubscribeBinary dials the server as a consumer speaking the v2 binary wire
+// protocol, with the default credit window.
+func SubscribeBinary(addr string) (*Subscriber, error) {
+	return subscribeVia(defaultDial, addr, 0, true, DefaultCreditWindow)
 }
 
 // subscribeVia subscribes, resuming after the first `from` elements of the
-// merged history.
-func subscribeVia(dial DialFunc, addr string, from int) (*Subscriber, error) {
+// merged history. Binary subscriptions pipeline position and the initial
+// credit grant into the single HELLO_SUB frame (one round trip).
+func subscribeVia(dial DialFunc, addr string, from int, bin bool, window int64) (*Subscriber, error) {
 	if dial == nil {
 		dial = defaultDial
 	}
 	conn, err := dial(addr)
 	if err != nil {
 		return nil, err
+	}
+	if bin {
+		if window <= 0 {
+			window = DefaultCreditWindow
+		}
+		buf := wire.AppendPreamble(nil)
+		buf = wire.AppendHelloSub(buf, from, window)
+		if _, err := conn.Write(buf); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		fr := wire.NewReader(bufio.NewReaderSize(conn, 64*1024))
+		// Bound the wait for the OK reply: a handshake mauled in flight (the
+		// chaos injector garbles the preamble, misrouting the connection) can
+		// leave a server without ReadTimeout holding the socket open forever;
+		// the deadline turns that into a reconnect instead of a hang.
+		conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		typ, body, err := fr.Next()
+		conn.SetReadDeadline(time.Time{})
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if typ != wire.FrOK {
+			conn.Close()
+			if typ == wire.FrErr {
+				return nil, fmt.Errorf("server refused subscription: %s", body)
+			}
+			return nil, fmt.Errorf("server refused subscription")
+		}
+		return &Subscriber{conn: conn, fr: fr, window: window}, nil
 	}
 	if from > 0 {
 		_, err = fmt.Fprintf(conn, "HELLO SUB FROM %d\n", from)
@@ -481,6 +631,9 @@ func subscribeVia(dial DialFunc, addr string, from int) (*Subscriber, error) {
 // Next returns the next merged element; ok is false when the connection
 // ends.
 func (s *Subscriber) Next() (temporal.Element, bool) {
+	if s.fr != nil {
+		return s.nextBinary()
+	}
 	for s.sc.Scan() {
 		line := s.sc.Bytes()
 		if len(line) == 0 {
@@ -493,6 +646,33 @@ func (s *Subscriber) Next() (temporal.Element, bool) {
 		return e, true
 	}
 	return temporal.Element{}, false
+}
+
+func (s *Subscriber) nextBinary() (temporal.Element, bool) {
+	for {
+		typ, body, err := s.fr.Next()
+		if err != nil {
+			return temporal.Element{}, false
+		}
+		s.sinceGrant += wire.FrameHeader + 1 + int64(len(body))
+		if s.sinceGrant >= s.window/2 {
+			// Replenish before delivering: the grant rides ahead of however
+			// long the caller sits on this element.
+			s.gbuf = wire.AppendCredit(s.gbuf[:0], s.sinceGrant)
+			s.conn.Write(s.gbuf) // a dead conn surfaces on the next read
+			s.sinceGrant = 0
+		}
+		switch typ {
+		case wire.FrData:
+			e, derr := wire.DecodeData(body)
+			if derr != nil {
+				return temporal.Element{}, false
+			}
+			return e, true
+		case wire.FrErr:
+			return temporal.Element{}, false
+		}
+	}
 }
 
 // Close disconnects.
@@ -535,7 +715,7 @@ func (rs *ResilientSubscriber) Next() (temporal.Element, bool) {
 	failed := 0
 	for {
 		if rs.sub == nil {
-			sub, err := subscribeVia(rs.opts.Dial, rs.addr, rs.received)
+			sub, err := subscribeVia(rs.opts.Dial, rs.addr, rs.received, rs.opts.Binary, rs.opts.CreditWindow)
 			if err != nil {
 				failed++
 				if failed >= rs.opts.MaxAttempts {

@@ -182,7 +182,7 @@ func crashRestartCase(t *testing.T, opts func(*Options), corrupt func(t *testing
 		t.Fatalf("frontier regressed: recovered %d < delivered stable %d", int64(got), int64(seenStable))
 	}
 	// Positional resume: FROM len(prefix) must splice exactly.
-	resumed, err := subscribeVia(nil, s2.Addr(), len(prefix))
+	resumed, err := subscribeVia(nil, s2.Addr(), len(prefix), false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

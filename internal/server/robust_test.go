@@ -374,7 +374,7 @@ func TestSubscriberPositionalResume(t *testing.T) {
 	}
 	first.Close()
 
-	second, err := subscribeVia(nil, s.Addr(), k)
+	second, err := subscribeVia(nil, s.Addr(), k, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -53,6 +53,7 @@ import (
 	"lmerge/internal/partition"
 	"lmerge/internal/spill"
 	"lmerge/internal/temporal"
+	"lmerge/internal/wire"
 )
 
 // Server is a network-facing LMerge.
@@ -82,9 +83,15 @@ type Server struct {
 	// backend call.
 	outMu      sync.Mutex
 	backlog    temporal.Stream // full merged history, replayed to late subscribers
-	subs       map[int]*subQueue
+	subs       map[int]*subQueue // v1 text subscribers (shared marshalled lines)
+	binSubs    map[int]*binSub   // v2 binary subscribers (shared block spans)
 	nextSub    int
 	subsClosed bool
+	// blog is the encode-once block log of the binary fan-out path: each
+	// emitted element is framed exactly once (under outMu) and the resulting
+	// span is shared by reference across every binary subscriber queue.
+	blog    *wire.BlockLog
+	wireTel *obs.Wire
 
 	// dur is the persistence tier (nil without Options.DataDir): WAL hooks on
 	// the ingestion and emission paths, the checkpoint barrier, and recovery
@@ -103,13 +110,16 @@ type Server struct {
 	wg   sync.WaitGroup
 }
 
-// pubState is the server-side view of one attached publisher.
+// pubState is the server-side view of one attached publisher. bin selects
+// how control signals reach it: v1 text lines or v2 frames.
 type pubState struct {
 	conn net.Conn
-	// wmu serialises control-line writes (FF signals from the merge path,
-	// DETACH from the supervisor) so concurrent writers cannot interleave
-	// partial lines on the wire.
-	wmu sync.Mutex
+	bin  bool
+	// wmu serialises control writes (FF signals from the merge path, DETACH
+	// from the supervisor) so concurrent writers cannot interleave partial
+	// lines or frames on the wire. fbuf is the frame scratch it guards.
+	wmu  sync.Mutex
+	fbuf []byte
 	// watermark is the largest stable timestamp this publisher has delivered
 	// (its own progress, updated under Server.mu).
 	watermark  temporal.Time
@@ -136,6 +146,61 @@ func (ps *pubState) writeCtrl(format string, args ...any) {
 	ps.conn.SetWriteDeadline(time.Now().Add(ctrlWriteTimeout))
 	fmt.Fprintf(ps.conn, format, args...)
 	ps.conn.SetWriteDeadline(time.Time{})
+}
+
+// writeFrame builds one control frame in the guarded scratch and writes it
+// with a bounded deadline (the v2 counterpart of writeCtrl).
+func (ps *pubState) writeFrame(mk func([]byte) []byte) {
+	ps.wmu.Lock()
+	defer ps.wmu.Unlock()
+	ps.fbuf = mk(ps.fbuf[:0])
+	ps.conn.SetWriteDeadline(time.Now().Add(ctrlWriteTimeout))
+	ps.conn.Write(ps.fbuf)
+	ps.conn.SetWriteDeadline(time.Time{})
+}
+
+// The send* methods dispatch each control signal to the publisher's protocol,
+// so the merge path and the supervisor stay protocol-blind.
+
+func (ps *pubState) sendOK(id int64, stable temporal.Time) {
+	if ps.bin {
+		ps.writeFrame(func(b []byte) []byte { return wire.AppendOK(b, id, stable) })
+		return
+	}
+	ps.writeCtrl("OK %d %d\n", id, int64(stable))
+}
+
+func (ps *pubState) sendFF(t temporal.Time) {
+	if ps.bin {
+		ps.writeFrame(func(b []byte) []byte { return wire.AppendFF(b, t) })
+		return
+	}
+	ps.writeCtrl("FF %d\n", int64(t))
+}
+
+func (ps *pubState) sendDetach(reason string) {
+	if ps.bin {
+		ps.writeFrame(func(b []byte) []byte { return wire.AppendDetach(b, reason) })
+		return
+	}
+	ps.writeCtrl("DETACH %s\n", reason)
+}
+
+func (ps *pubState) sendAck() {
+	if ps.bin {
+		ps.writeFrame(wire.AppendAck)
+		return
+	}
+	ps.writeCtrl("ACK\n")
+}
+
+func (ps *pubState) sendErr(err error) {
+	if ps.bin {
+		msg := err.Error()
+		ps.writeFrame(func(b []byte) []byte { return wire.AppendErr(b, msg) })
+		return
+	}
+	ps.writeCtrl("ERR %v\n", err)
 }
 
 // Options configures a server.
@@ -166,9 +231,18 @@ type Options struct {
 	// signature of a crashed host — is detached. Zero disables.
 	ReadTimeout time.Duration
 	// SubscriberBuffer is the per-subscriber queue capacity in elements; a
-	// subscriber whose queue overflows is disconnected (it can resume with
-	// HELLO SUB FROM <n>). Default 32768.
+	// text subscriber whose queue overflows is disconnected (it can resume
+	// with HELLO SUB FROM <n>). Default 32768. Binary (v2) subscribers are
+	// not subject to it: their backpressure is credit-based (see
+	// CreditDeadline).
 	SubscriberBuffer int
+	// CreditDeadline bounds how long a binary subscriber may stay
+	// credit-stalled (its granted byte credit short of the next frame) before
+	// the slow-consumer backstop evicts it; it also bounds each socket write
+	// to a binary subscriber. An exhausted credit pauses that subscriber's
+	// writer — nobody else is perturbed — and only the deadline disconnects.
+	// Default 15s.
+	CreditDeadline time.Duration
 	// Partitions, when > 1, selects the keyed scale-out backend: a
 	// partition.Sharded pool of that many merger instances, each on its own
 	// worker goroutine, fed by payload-hash routing with stables broadcast
@@ -219,6 +293,9 @@ func (o Options) withDefaults() Options {
 	if o.SubscriberBuffer <= 0 {
 		o.SubscriberBuffer = 32768
 	}
+	if o.CreditDeadline <= 0 {
+		o.CreditDeadline = 15 * time.Second
+	}
 	return o
 }
 
@@ -236,14 +313,17 @@ func NewWithOptions(addr string, opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		ln:   ln,
-		opts: opts.withDefaults(),
-		subs: make(map[int]*subQueue),
-		pubs: make(map[core.StreamID]*pubState),
-		done: make(chan struct{}),
-		reg:  obs.NewRegistry(),
+		ln:      ln,
+		opts:    opts.withDefaults(),
+		subs:    make(map[int]*subQueue),
+		binSubs: make(map[int]*binSub),
+		pubs:    make(map[core.StreamID]*pubState),
+		done:    make(chan struct{}),
+		reg:     obs.NewRegistry(),
+		wireTel: &obs.Wire{},
 	}
 	s.tel = s.reg.Node("merge")
+	s.blog = wire.NewBlockLog(s.wireTel)
 	var fb core.FeedbackFunc
 	lag := temporal.Time(-1)
 	if opts.FeedbackLag >= 0 {
@@ -356,7 +436,7 @@ func (s *Server) signalFastForward(f core.Feedback) {
 		return
 	}
 	// Best effort; a slow or dead publisher is detached by its own handler.
-	ps.writeCtrl("FF %d\n", int64(f.T))
+	ps.sendFF(f.T)
 }
 
 // Addr returns the listen address.
@@ -384,6 +464,12 @@ func (s *Server) Close() error {
 		q.close()
 		delete(s.subs, id)
 	}
+	for id, sub := range s.binSubs {
+		sub.q.close()
+		// Unblock a writer mid-write on a wedged socket.
+		sub.conn.Close()
+		delete(s.binSubs, id)
+	}
 	s.outMu.Unlock()
 	s.wg.Wait()
 	// Handlers have flushed and detached; a final checkpoint captures the
@@ -399,6 +485,9 @@ func (s *Server) Close() error {
 	if berr := s.be.Close(); err == nil {
 		err = berr
 	}
+	// No emitters remain: release the block log's reference on its open block
+	// (queue entries were released when the subscriber queues closed).
+	s.blog.Close()
 	s.closeSpill()
 	if s.dur != nil {
 		s.dur.mu.Lock()
@@ -465,12 +554,18 @@ func (s *Server) StragglersDetached() int64 {
 	return s.detached
 }
 
-// Subscribers returns the number of connected subscribers.
+// Subscribers returns the number of connected subscribers (text + binary).
 func (s *Server) Subscribers() int {
 	s.outMu.Lock()
 	defer s.outMu.Unlock()
-	return len(s.subs)
+	return len(s.subs) + len(s.binSubs)
 }
+
+// WireStats returns the binary fan-out counters: encode-once work (frames,
+// blocks), write-many delivery (shared bytes/frames, per-subscriber history),
+// shared text lines, and the credit-backpressure events (grants, stalls,
+// deadline evictions).
+func (s *Server) WireStats() obs.WireSnapshot { return s.wireTel.Snapshot() }
 
 // Observability returns the server's telemetry registry: the "merge" node
 // carries the merge counters, freshness quantiles, and input-leadership
@@ -504,6 +599,9 @@ func (s *Server) MetricsHandler() http.Handler {
 			"merge_state_bytes":    sb,
 			"subscriber_backlog":   s.backlogLen(),
 			"straggler_supervised": s.opts.StragglerLag > 0,
+			// Binary fan-out: encode-once/write-many counters plus the
+			// credit-backpressure events (DESIGN.md §14).
+			"wire": s.wireTel.Snapshot(),
 		}
 		if ps := s.be.PartitionStats(); ps != nil {
 			svc["partition_stats"] = ps
@@ -576,7 +674,7 @@ func (s *Server) sweepStragglers() {
 			Kind: obs.EventStraggler, Node: "server", Stream: v.id,
 			T: v.wm, Aux: int64(stable),
 		})
-		v.ps.writeCtrl("DETACH straggler\n")
+		v.ps.sendDetach("straggler")
 		v.ps.conn.Close()
 	}
 }
@@ -592,10 +690,16 @@ func lagsBehind(wm, stable, lag temporal.Time) bool {
 
 // broadcast is the backend's emit callback. It runs inside the backend's own
 // emission serialisation (the single backend's lock, or the sharded pool's
-// emit mutex) and takes outMu for the subscriber state. Each subscriber has
-// its own bounded queue, so one slow or blocked consumer can neither stall
-// the merge nor delay delivery to the others; on overflow the subscriber is
-// dropped (it may resume positionally with FROM).
+// emit mutex) and takes outMu for the subscriber state. Delivery is
+// encode-once, write-many in both protocols: the element is marshalled at
+// most once as a text line shared across every text subscriber queue, and
+// framed at most once into the shared block log with the span fanned out to
+// every binary subscriber queue — per-subscriber cost is a queue entry, not
+// an encode. Each subscriber drains through its own queue, so one slow or
+// blocked consumer can neither stall the merge nor delay delivery to the
+// others; a text subscriber is dropped on queue overflow (it may resume
+// positionally with FROM), a binary one pauses on credit and is evicted only
+// by the deadline backstop.
 func (s *Server) broadcast(e temporal.Element) {
 	// Recovery seeding re-merges what the restored backlog already holds;
 	// those re-emissions are silenced wholesale (durability.go).
@@ -609,10 +713,22 @@ func (s *Server) broadcast(e temporal.Element) {
 	// superset of what was delivered and positional FROM resume stays exact.
 	s.dur.appendEmit(len(s.backlog), e)
 	s.backlog = append(s.backlog, e)
-	for id, q := range s.subs {
-		if !q.push(e) {
-			delete(s.subs, id)
-			dropped = append(dropped, id)
+	if len(s.subs) > 0 {
+		if line, err := temporal.MarshalElement(e); err == nil {
+			s.wireTel.LineEncoded(len(line))
+			for id, q := range s.subs {
+				if !q.push(line) {
+					delete(s.subs, id)
+					dropped = append(dropped, id)
+				}
+			}
+		}
+	}
+	if len(s.binSubs) > 0 {
+		sp := s.blog.Append(e)
+		for _, sub := range s.binSubs {
+			// A closed queue rejects the span; its handler unregisters it.
+			sub.q.push(sp)
 		}
 	}
 	s.outMu.Unlock()
@@ -636,11 +752,38 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// ServeConn runs the server's connection handler on an already-established
+// connection (either protocol), exactly as if it had arrived through the
+// listener. In-process harnesses use it to drive subscriber counts past the
+// OS file-descriptor ceiling (lmbench's fan-out experiment wires thousands
+// of net.Pipe-style connections straight in).
+func (s *Server) ServeConn(conn net.Conn) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return errors.New("server closed")
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		s.handle(conn)
+	}()
+	return nil
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReaderSize(conn, 64*1024)
 	if d := s.opts.ReadTimeout; d > 0 {
 		conn.SetReadDeadline(time.Now().Add(d))
+	}
+	// Protocol sniff: a v2 connection opens with the 'L' 'M' magic, which can
+	// never begin a v1 handshake ("HELLO ..."). One listener, two protocols.
+	if b, perr := r.Peek(1); perr == nil && b[0] == wire.Magic0 {
+		s.serveBinary(conn, r)
+		return
 	}
 	line, err := readLine(r)
 	if err != nil && len(line) == 0 {
@@ -723,29 +866,41 @@ func parseHello(line string) (hello, error) {
 // no more buffered input, so a trickling publisher sees per-element latency.
 const pubBatchSize = 64
 
-func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime temporal.Time) {
-	ps := &pubState{conn: conn, watermark: temporal.MinTime, attachedAt: time.Now(), joinTime: joinTime}
+// pubHandler is the protocol-independent core of a publisher connection:
+// the attach/merge/detach sequence shared by the v1 text loop and the v2
+// frame loop, which differ only in how they read elements off the wire.
+type pubHandler struct {
+	s       *Server
+	ps      *pubState
+	id      core.StreamID
+	pending temporal.Stream
+}
+
+// attachPublisher runs the shared attach sequence: backend attach, WAL
+// record, and registration. Attach runs outside s.mu — the backend
+// serialises internally and (sharded) may block on worker queues. The
+// checkpoint barrier's read side spans attach + WAL record + registration,
+// so a checkpoint cut sees either all of them or none. ok is false when the
+// server is closed.
+func (s *Server) attachPublisher(conn net.Conn, joinTime temporal.Time, bin bool) (h *pubHandler, stable temporal.Time, ok bool) {
+	ps := &pubState{conn: conn, bin: bin, watermark: temporal.MinTime, attachedAt: time.Now(), joinTime: joinTime}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return
+		return nil, 0, false
 	}
 	s.mu.Unlock()
-	// Attach outside s.mu: the backend serialises internally and (sharded)
-	// may block on worker queues. The checkpoint barrier's read side spans
-	// attach + WAL record + registration, so a checkpoint cut sees either all
-	// of them or none.
 	unlock := s.dur.shared()
 	id := s.be.Attach(joinTime)
 	s.dur.append(durable.Record{Kind: durable.RecAttach, ID: int64(id), JoinTime: joinTime})
-	stable := s.be.MaxStable()
+	stable = s.be.MaxStable()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.dur.append(durable.Record{Kind: durable.RecDetach, ID: int64(id)})
 		s.be.Detach(id)
 		unlock()
-		return
+		return nil, 0, false
 	}
 	s.pubs[id] = ps
 	s.pubCount++
@@ -756,54 +911,75 @@ func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime tempora
 	ps.watermark = stable
 	s.mu.Unlock()
 	unlock()
+	return &pubHandler{s: s, ps: ps, id: id, pending: make(temporal.Stream, 0, pubBatchSize)}, stable, true
+}
+
+// flush pushes the pending batch through the merge. Log before merge, merge
+// before ack: once the publisher hears ACK, the batch survives a crash. The
+// barrier's read side keeps the couple atomic against a checkpoint cut.
+func (h *pubHandler) flush() error {
+	if len(h.pending) == 0 {
+		return nil
+	}
+	wm := temporal.MinTime
+	for _, e := range h.pending {
+		if e.Kind == temporal.KindStable {
+			wm = temporal.MaxT(wm, e.T())
+		}
+	}
+	unlock := h.s.dur.shared()
+	h.s.dur.append(durable.Record{Kind: durable.RecBatch, ID: int64(h.id), Els: h.pending})
+	err := h.s.be.ProcessBatch(h.id, h.pending)
+	unlock()
+	h.s.mu.Lock()
+	h.ps.watermark = temporal.MaxT(h.ps.watermark, wm)
+	h.s.mu.Unlock()
+	h.pending = h.pending[:0]
+	if err == nil && wm == temporal.Infinity {
+		// The stream's own stable(∞) is merged: acknowledge end-of-stream
+		// so the publisher can distinguish a completed delivery from one
+		// whose tail was silently lost in transit.
+		h.ps.sendAck()
+	}
+	return err
+}
+
+// add appends one parsed element, flushing at the batching boundaries: batch
+// size, stable punctuation (it drives subscriber progress and feedback), or
+// a drained connection (more == false), so a trickling publisher sees
+// per-element latency.
+func (h *pubHandler) add(e temporal.Element, more bool) error {
+	h.pending = append(h.pending, e)
+	if len(h.pending) >= pubBatchSize || e.Kind == temporal.KindStable || !more {
+		return h.flush()
+	}
+	return nil
+}
+
+// finish merges anything parsed before the disconnect (it is part of the
+// stream) and detaches the publisher's state.
+func (h *pubHandler) finish() {
+	h.flush()
+	unlock := h.s.dur.shared()
+	h.s.dur.append(durable.Record{Kind: durable.RecDetach, ID: int64(h.id)})
+	h.s.be.Detach(h.id)
+	unlock()
+	h.s.mu.Lock()
+	delete(h.s.pubs, h.id)
+	h.s.pubCount--
+	h.s.mu.Unlock()
+}
+
+func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime temporal.Time) {
+	h, stable, ok := s.attachPublisher(conn, joinTime, false)
+	if !ok {
+		return
+	}
+	defer h.finish()
 	// The handshake reply carries the merged stable point: a reconnecting
 	// replica seeds its fast-forward watermark from it and skips everything
 	// the output no longer needs (cheap catch-up, Sec. V-D).
-	ps.writeCtrl("OK %d %d\n", id, int64(stable))
-
-	pending := make(temporal.Stream, 0, pubBatchSize)
-	flush := func() error {
-		if len(pending) == 0 {
-			return nil
-		}
-		wm := temporal.MinTime
-		for _, e := range pending {
-			if e.Kind == temporal.KindStable {
-				wm = temporal.MaxT(wm, e.T())
-			}
-		}
-		// Log before merge, merge before ack (below): once the publisher hears
-		// ACK, the batch survives a crash. The barrier's read side keeps the
-		// couple atomic against a checkpoint cut.
-		unlock := s.dur.shared()
-		s.dur.append(durable.Record{Kind: durable.RecBatch, ID: int64(id), Els: pending})
-		err := s.be.ProcessBatch(id, pending)
-		unlock()
-		s.mu.Lock()
-		ps.watermark = temporal.MaxT(ps.watermark, wm)
-		s.mu.Unlock()
-		pending = pending[:0]
-		if err == nil && wm == temporal.Infinity {
-			// The stream's own stable(∞) is merged: acknowledge end-of-stream
-			// so the publisher can distinguish a completed delivery from one
-			// whose tail was silently lost in transit.
-			ps.writeCtrl("ACK\n")
-		}
-		return err
-	}
-	defer func() {
-		// Anything parsed before the disconnect is part of the stream and
-		// must be merged before the detach releases the publisher's state.
-		flush()
-		unlock := s.dur.shared()
-		s.dur.append(durable.Record{Kind: durable.RecDetach, ID: int64(id)})
-		s.be.Detach(id)
-		unlock()
-		s.mu.Lock()
-		delete(s.pubs, id)
-		s.pubCount--
-		s.mu.Unlock()
-	}()
+	h.ps.sendOK(int64(h.id), stable)
 	for {
 		if d := s.opts.ReadTimeout; d > 0 {
 			conn.SetReadDeadline(time.Now().Add(d))
@@ -812,16 +988,13 @@ func (s *Server) servePublisher(conn net.Conn, r *bufio.Reader, joinTime tempora
 		if len(line) > 0 {
 			e, err := temporal.UnmarshalElement(line)
 			if err != nil {
-				flush()
-				ps.writeCtrl("ERR %v\n", err)
+				h.flush()
+				h.ps.sendErr(err)
 				return
 			}
-			pending = append(pending, e)
-			if len(pending) >= pubBatchSize || e.Kind == temporal.KindStable || r.Buffered() == 0 {
-				if perr := flush(); perr != nil {
-					ps.writeCtrl("ERR %v\n", perr)
-					return
-				}
+			if perr := h.add(e, r.Buffered() > 0); perr != nil {
+				h.ps.sendErr(perr)
+				return
 			}
 		}
 		if rerr != nil {
@@ -859,35 +1032,32 @@ func (s *Server) serveSubscriber(conn net.Conn, resumeFrom int) {
 
 	w := bufio.NewWriter(conn)
 	fmt.Fprintf(w, "OK SUB\n")
-	write := func(e temporal.Element) bool {
-		line, err := temporal.MarshalElement(e)
-		if err != nil {
-			return false
-		}
+	writeLine := func(line []byte) bool {
 		if _, err := w.Write(line); err != nil {
 			return false
 		}
-		if err := w.WriteByte('\n'); err != nil {
-			return false
-		}
-		return true
+		return w.WriteByte('\n') == nil
 	}
+	// History catch-up is per-subscriber (cold path): marshal the snapshot
+	// here. Live lines arrive pre-marshalled, encoded once in broadcast and
+	// shared read-only across every text subscriber queue.
 	for _, e := range history {
-		if !write(e) {
+		line, err := temporal.MarshalElement(e)
+		if err != nil || !writeLine(line) {
 			return
 		}
 	}
 	if err := w.Flush(); err != nil {
 		return
 	}
-	var scratch []temporal.Element
+	var scratch [][]byte
 	for {
 		batch, ok := q.pop(scratch)
 		if !ok {
 			break
 		}
-		for _, e := range batch {
-			if !write(e) {
+		for _, line := range batch {
+			if !writeLine(line) {
 				return
 			}
 		}

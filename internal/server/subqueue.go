@@ -1,14 +1,13 @@
 package server
 
-import (
-	"sync"
+import "sync"
 
-	"lmerge/internal/temporal"
-)
-
-// subQueue is a per-subscriber bounded element queue between the merge path
-// (which must never block) and the subscriber's writer goroutine (which may
-// be arbitrarily slow). push is non-blocking: when the queue is full the
+// subQueue is a per-subscriber bounded queue between the merge path (which
+// must never block) and a text subscriber's writer goroutine (which may be
+// arbitrarily slow). Entries are marshalled lines, encoded once per emitted
+// element in broadcast and shared read-only across every text subscriber's
+// queue — the v1 cousin of the binary path's shared blocks, fixing the old
+// per-subscriber re-marshal. push is non-blocking: when the queue is full the
 // subscriber is marked overflowed and closed — the disconnect-on-overflow
 // policy — while other subscribers are untouched. pop hands the whole
 // pending batch to the writer in one swap, recycling the writer's previous
@@ -16,7 +15,7 @@ import (
 type subQueue struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	buf  []temporal.Element
+	buf  [][]byte
 	max  int
 	// closed stops the queue (server shutdown, subscriber gone, overflow);
 	// overflowed records that the close was the overflow policy.
@@ -30,9 +29,10 @@ func newSubQueue(max int) *subQueue {
 	return q
 }
 
-// push appends one element; it reports false when the queue is closed or
-// just overflowed (the caller should drop the subscriber).
-func (q *subQueue) push(e temporal.Element) bool {
+// push appends one shared line (not copied — the caller must never mutate
+// it); it reports false when the queue is closed or just overflowed (the
+// caller should drop the subscriber).
+func (q *subQueue) push(line []byte) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -44,15 +44,15 @@ func (q *subQueue) push(e temporal.Element) bool {
 		q.cond.Broadcast()
 		return false
 	}
-	q.buf = append(q.buf, e)
+	q.buf = append(q.buf, line)
 	q.cond.Signal()
 	return true
 }
 
-// pop blocks until elements are pending or the queue closes, then returns
-// the whole pending batch. reuse becomes the queue's next write buffer. ok
-// is false once the queue is closed and drained.
-func (q *subQueue) pop(reuse []temporal.Element) ([]temporal.Element, bool) {
+// pop blocks until lines are pending or the queue closes, then returns the
+// whole pending batch. reuse becomes the queue's next write buffer. ok is
+// false once the queue is closed and drained.
+func (q *subQueue) pop(reuse [][]byte) ([][]byte, bool) {
 	q.mu.Lock()
 	for len(q.buf) == 0 && !q.closed {
 		q.cond.Wait()

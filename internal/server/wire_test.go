@@ -1,0 +1,331 @@
+package server
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"lmerge/internal/core"
+	"lmerge/internal/gen"
+	"lmerge/internal/temporal"
+	"lmerge/internal/wire"
+)
+
+// publishScript renders the script under the given render seed and publishes
+// it through a fresh (text or binary) publisher.
+func publishScript(t *testing.T, addr string, sc *gen.Script, seed int64, bin bool) {
+	t.Helper()
+	connect := Connect
+	if bin {
+		connect = ConnectBinary
+	}
+	p, err := connect(addr, temporal.MinTime)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	defer p.Close()
+	stream := sc.Render(gen.RenderOptions{Seed: seed, Disorder: 0.3, StableFreq: 0.05})
+	if err := p.SendStream(stream); err != nil {
+		t.Error(err)
+	}
+}
+
+func assertTDB(t *testing.T, merged temporal.Stream, want *temporal.TDB, who string) {
+	t.Helper()
+	got, err := temporal.Reconstitute(merged)
+	if err != nil {
+		t.Fatalf("%s: merged stream invalid: %v", who, err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("%s: merged TDB differs:\n got %v\nwant %v", who, got, want)
+	}
+}
+
+// TestBinaryEndToEnd: a binary publisher and a text publisher feed one merge;
+// a binary subscriber and a text subscriber on the same listener observe the
+// identical merged TDB — the two protocols are views of one stream.
+func TestBinaryEndToEnd(t *testing.T) {
+	s := newTestServer(t)
+	sc := serverScript(31)
+	want := sc.TDB()
+
+	bsub, err := SubscribeBinary(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bsub.Close()
+	tsub, err := Subscribe(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tsub.Close()
+
+	var wg sync.WaitGroup
+	for i, bin := range []bool{true, false} {
+		wg.Add(1)
+		go func(i int, bin bool) {
+			defer wg.Done()
+			publishScript(t, s.Addr(), sc, int64(40+i), bin)
+		}(i, bin)
+	}
+	var bstream, tstream temporal.Stream
+	var cwg sync.WaitGroup
+	cwg.Add(2)
+	go func() { defer cwg.Done(); bstream = collect(t, bsub) }()
+	go func() { defer cwg.Done(); tstream = collect(t, tsub) }()
+	cwg.Wait()
+	wg.Wait()
+
+	assertTDB(t, bstream, want, "binary subscriber")
+	assertTDB(t, tstream, want, "text subscriber")
+	// Same merged stream, element for element, not merely TDB-equivalent.
+	if len(bstream) != len(tstream) {
+		t.Fatalf("binary saw %d elements, text saw %d", len(bstream), len(tstream))
+	}
+	for i := range bstream {
+		if bstream[i] != tstream[i] {
+			t.Fatalf("element %d diverges across protocols: %+v != %+v", i, bstream[i], tstream[i])
+		}
+	}
+	if st := s.Stats(); st.ConsistencyWarnings != 0 {
+		t.Fatalf("consistency warnings: %d", st.ConsistencyWarnings)
+	}
+}
+
+// TestBinaryEndToEndPartitioned runs the same cross-protocol equivalence on
+// the sharded backend: fan-out happens after reunification, so the wire layer
+// must be byte-for-byte oblivious to the backend.
+func TestBinaryEndToEndPartitioned(t *testing.T) {
+	s, err := NewWithOptions("127.0.0.1:0", Options{Case: core.CaseR3, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sc := serverScript(32)
+	want := sc.TDB()
+
+	bsub, err := SubscribeBinary(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bsub.Close()
+	tsub, err := Subscribe(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tsub.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			publishScript(t, s.Addr(), sc, int64(50+i), i%2 == 0)
+		}(i)
+	}
+	var bstream, tstream temporal.Stream
+	var cwg sync.WaitGroup
+	cwg.Add(2)
+	go func() { defer cwg.Done(); bstream = collect(t, bsub) }()
+	go func() { defer cwg.Done(); tstream = collect(t, tsub) }()
+	cwg.Wait()
+	wg.Wait()
+
+	assertTDB(t, bstream, want, "binary subscriber")
+	assertTDB(t, tstream, want, "text subscriber")
+}
+
+// TestBinarySubscriberResume: a binary subscriber that drops mid-stream and
+// reconnects with FROM <n> (pipelined in the hello) sees exactly the suffix,
+// and the stitched stream reconstitutes to the full TDB.
+func TestBinarySubscriberResume(t *testing.T) {
+	s := newTestServer(t)
+	sc := serverScript(33)
+	want := sc.TDB()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		publishScript(t, s.Addr(), sc, 60, true)
+	}()
+	wg.Wait() // entire stream merged; everything below is history catch-up
+
+	sub, err := SubscribeBinary(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefix temporal.Stream
+	for len(prefix) < 25 {
+		e, ok := sub.Next()
+		if !ok {
+			t.Fatal("subscriber closed during prefix")
+		}
+		prefix = append(prefix, e)
+	}
+	sub.Close() // abandon mid-stream
+
+	resumed, err := subscribeVia(nil, s.Addr(), len(prefix), true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	suffix := collect(t, resumed)
+	assertTDB(t, append(append(temporal.Stream{}, prefix...), suffix...), want, "resumed subscriber")
+}
+
+// TestBinaryCreditEviction: a subscriber that never grants credit stalls its
+// own writer and is evicted at the deadline; a healthy subscriber on the same
+// broadcast is untouched and observes the complete TDB.
+func TestBinaryCreditEviction(t *testing.T) {
+	s, err := NewWithOptions("127.0.0.1:0", Options{Case: core.CaseR3, CreditDeadline: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sc := serverScript(34)
+	want := sc.TDB()
+
+	// The stalled subscriber: handshake with a 1-byte credit window — never
+	// enough for a frame — and never send a grant.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := wire.AppendHelloSub(wire.AppendPreamble(nil), 0, 1)
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	fr := wire.NewReader(bufio.NewReader(conn))
+	if typ, _, err := fr.Next(); err != nil || typ != wire.FrOK {
+		t.Fatalf("stalled subscriber handshake: typ=0x%02x err=%v", typ, err)
+	}
+
+	healthy, err := SubscribeBinary(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+
+	publishScript(t, s.Addr(), sc, 70, true)
+	assertTDB(t, collect(t, healthy), want, "healthy subscriber")
+
+	// The stalled peer pends frames it can never cover; the deadline evicts it
+	// without touching the healthy one (which already finished above).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ws := s.WireStats()
+		if ws.Evictions >= 1 && ws.CreditStalls >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no eviction: stats %+v", ws)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The server hung up on the stalled subscriber.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		if _, _, err := fr.Next(); err != nil {
+			break // EOF / reset: connection torn down by the eviction
+		}
+	}
+}
+
+// TestBinaryVersionNegotiation: an unknown protocol version is answered with
+// an ERR frame and the connection dropped, while v1 text and v2 binary
+// clients keep working on the same listener.
+func TestBinaryVersionNegotiation(t *testing.T) {
+	s := newTestServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{wire.Magic0, wire.Magic1, wire.Version + 1}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	reply, err := io.ReadAll(conn)
+	if err != nil || len(reply) == 0 {
+		t.Fatalf("no reply to bad version: %d bytes, %v", len(reply), err)
+	}
+	typ, body, _, derr := wire.DecodeFrame(reply)
+	if derr != nil || typ != wire.FrErr {
+		t.Fatalf("want ERR frame, got typ=0x%02x body=%q err=%v", typ, body, derr)
+	}
+
+	// The listener still negotiates both live protocols.
+	tsub, err := Subscribe(s.Addr())
+	if err != nil {
+		t.Fatalf("text handshake after version error: %v", err)
+	}
+	tsub.Close()
+	bsub, err := SubscribeBinary(s.Addr())
+	if err != nil {
+		t.Fatalf("binary handshake after version error: %v", err)
+	}
+	bsub.Close()
+}
+
+// TestBinaryEncodeOnceFanOut: with K subscribers attached before any input,
+// each merged element is encoded exactly once (frames_encoded == stream
+// length) while the shared-bytes counters show K deliveries of those same
+// frames — the O(1)-encode fan-out claim, in counter form.
+func TestBinaryEncodeOnceFanOut(t *testing.T) {
+	s := newTestServer(t)
+	sc := serverScript(35)
+	want := sc.TDB()
+
+	const K = 5
+	subs := make([]*Subscriber, K)
+	for i := range subs {
+		sub, err := SubscribeBinary(s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub.Close()
+		subs[i] = sub
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		publishScript(t, s.Addr(), sc, 80, true)
+	}()
+	streams := make([]temporal.Stream, K)
+	var cwg sync.WaitGroup
+	for i := range subs {
+		cwg.Add(1)
+		go func(i int) {
+			defer cwg.Done()
+			streams[i] = collect(t, subs[i])
+		}(i)
+	}
+	cwg.Wait()
+	wg.Wait()
+
+	n := int64(len(streams[0]))
+	for i, st := range streams {
+		assertTDB(t, st, want, "fan-out subscriber")
+		if int64(len(st)) != n {
+			t.Fatalf("subscriber %d saw %d elements, subscriber 0 saw %d", i, len(st), n)
+		}
+	}
+	ws := s.WireStats()
+	if ws.FramesEncoded != n {
+		t.Fatalf("frames_encoded = %d for %d merged elements and %d subscribers — not encode-once", ws.FramesEncoded, n, K)
+	}
+	if ws.SharedFrames != K*n {
+		t.Fatalf("shared_frames = %d, want %d (%d subscribers x %d frames)", ws.SharedFrames, K*n, K, n)
+	}
+	if ws.SharedBytes < ws.FrameBytes*K {
+		t.Fatalf("shared_bytes = %d < %d x %d", ws.SharedBytes, K, ws.FrameBytes)
+	}
+}

@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+)
+
+// BlockCap is the target byte capacity of a shared block. Large enough that
+// the per-block bookkeeping (sealing, refcount churn, one queue entry per
+// block for a lagging subscriber) amortises over hundreds of element frames;
+// small enough that a block becomes immutable — and collectable — promptly.
+const BlockCap = 32 * 1024
+
+// Block is an immutable run of complete DATA frames shared by reference
+// across every subscriber queue: the encode-once, write-many unit of the
+// broadcast path. The emit path appends frames to the open block's tail
+// while subscriber writers concurrently read earlier regions; a region is
+// published to a reader only via a queue push (mutex-ordered after the
+// append), and the backing array never reallocates, so tail writes and
+// region reads touch disjoint memory.
+//
+// Lifecycle is reference counted: a block starts with one reference held by
+// its creator (the BlockLog's open-block reference, or the caller of
+// NewBlockFromBytes), each queue entry referencing it adds one, and the last
+// Release returns pool-born blocks to the pool. Every reference is released
+// exactly once; over-release panics (refcount underflow) rather than risk
+// recycling shared bytes.
+// The buf slice header is fixed at creation (always full length) and never
+// mutated afterwards: tail writes go through copy into the unpublished
+// region, so concurrent readers of published spans never touch a word the
+// appender is writing — neither the header nor the bytes.
+type Block struct {
+	buf    []byte
+	refs   atomic.Int32
+	pooled bool
+}
+
+var blockPool = sync.Pool{
+	New: func() any { return &Block{buf: make([]byte, BlockCap), pooled: true} },
+}
+
+// newBlock returns a block with at least n bytes of capacity and one
+// reference. Requests beyond BlockCap (an oversized single frame) get a
+// dedicated unpooled block.
+func newBlock(n int) *Block {
+	if n <= BlockCap {
+		b := blockPool.Get().(*Block)
+		b.refs.Store(1)
+		return b
+	}
+	b := &Block{buf: make([]byte, n)}
+	b.refs.Store(1)
+	return b
+}
+
+// NewBlockFromBytes wraps an already-encoded frame run (per-subscriber
+// history catch-up) as a block with one reference held by the caller.
+func NewBlockFromBytes(buf []byte) *Block {
+	b := &Block{buf: buf}
+	b.refs.Store(1)
+	return b
+}
+
+// Retain adds a reference.
+func (b *Block) Retain() { b.refs.Add(1) }
+
+// Release drops a reference; the last one recycles a pool-born block.
+func (b *Block) Release() {
+	switch n := b.refs.Add(-1); {
+	case n == 0:
+		if b.pooled {
+			blockPool.Put(b)
+		}
+	case n < 0:
+		panic("wire: block reference released twice")
+	}
+}
+
+// Refs reports the current reference count (tests).
+func (b *Block) Refs() int32 { return b.refs.Load() }
+
+// Data returns the block's frame bytes.
+func (b *Block) Data() []byte { return b.buf }
+
+// Span is a byte range of complete frames within one block, the unit queued
+// to a subscriber. Adjacent spans of the same block coalesce in the queue,
+// so a lagging subscriber holds ~one span per block, not one per element.
+type Span struct {
+	Blk        *Block
+	Start, End int
+	Elems      int
+}
+
+// Bytes returns the span's framed bytes.
+func (sp Span) Bytes() []byte { return sp.Blk.buf[sp.Start:sp.End] }
+
+// Len returns the span's byte length.
+func (sp Span) Len() int { return sp.End - sp.Start }
+
+// BlockLog encodes merged-output elements once into a chain of shared
+// blocks. Append is the only mutator and must be externally serialised (the
+// server calls it under its output lock); everything it returns is immutable.
+type BlockLog struct {
+	open    *Block
+	fill    int // bytes of open.buf written so far (the unpublished tail starts here)
+	scratch []byte
+	tel     *obs.Wire
+}
+
+// NewBlockLog builds a log reporting into tel (nil-safe).
+func NewBlockLog(tel *obs.Wire) *BlockLog { return &BlockLog{tel: tel} }
+
+// Append encodes e as one DATA frame at the tail of the open block (sealing
+// it and opening a new one when full) and returns the span covering the new
+// frame. The caller fans the span out to subscriber queues; the encode work
+// happened exactly once regardless of how many queues share it.
+func (l *BlockLog) Append(e temporal.Element) Span {
+	l.scratch = AppendData(l.scratch[:0], e)
+	n := len(l.scratch)
+	if l.open == nil || l.fill+n > len(l.open.buf) {
+		l.seal()
+		l.open = newBlock(n)
+	}
+	start := l.fill
+	copy(l.open.buf[start:], l.scratch)
+	l.fill = start + n
+	l.tel.FrameEncoded(n)
+	return Span{Blk: l.open, Start: start, End: start + n, Elems: 1}
+}
+
+// seal releases the log's reference on the open block: from here on only
+// subscriber queue entries keep it alive.
+func (l *BlockLog) seal() {
+	if l.open == nil {
+		return
+	}
+	l.tel.BlockSealed(l.fill)
+	l.open.Release()
+	l.open, l.fill = nil, 0
+}
+
+// Close seals the open block. The log must not be appended to afterwards.
+func (l *BlockLog) Close() { l.seal() }

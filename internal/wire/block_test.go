@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+)
+
+// TestBlockLogEncodeOnce: appended spans are contiguous complete frames that
+// decode back to the appended elements, and frames for consecutive elements
+// land in the same block until it fills.
+func TestBlockLogEncodeOnce(t *testing.T) {
+	tel := &obs.Wire{}
+	l := NewBlockLog(tel)
+	defer l.Close()
+	els := sampleElements()
+	spans := make([]Span, len(els))
+	for i, e := range els {
+		spans[i] = l.Append(e)
+		spans[i].Blk.Retain() // simulate one queue entry per span
+	}
+	for i, sp := range spans {
+		if sp.Elems != 1 {
+			t.Fatalf("span %d holds %d elements", i, sp.Elems)
+		}
+		typ, body, n, err := DecodeFrame(sp.Bytes())
+		if err != nil || typ != FrData || n != sp.Len() {
+			t.Fatalf("span %d: typ=0x%02x n=%d err=%v", i, typ, n, err)
+		}
+		e, derr := DecodeData(body)
+		if derr != nil || e != els[i] {
+			t.Fatalf("span %d decode: %+v %v", i, e, derr)
+		}
+	}
+	// Small elements share one open block, contiguously.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Blk != spans[0].Blk || spans[i].Start != spans[i-1].End {
+			t.Fatalf("span %d not contiguous in the shared block", i)
+		}
+	}
+	snap := tel.Snapshot()
+	if snap.FramesEncoded != int64(len(els)) {
+		t.Fatalf("frames_encoded = %d, want %d", snap.FramesEncoded, len(els))
+	}
+	for _, sp := range spans {
+		sp.Blk.Release()
+	}
+}
+
+// TestBlockLogSealsAtCapacity: a payload stream larger than BlockCap rolls
+// over to fresh blocks; sealed blocks survive (and stay intact) as long as a
+// reference remains.
+func TestBlockLogSealsAtCapacity(t *testing.T) {
+	tel := &obs.Wire{}
+	l := NewBlockLog(tel)
+	defer l.Close()
+	big := temporal.Payload{ID: 9, Data: strings.Repeat("x", 4096)}
+	var spans []Span
+	for i := 0; i < 32; i++ { // ~128 KiB of frames, > 4 blocks
+		sp := l.Append(temporal.Insert(big, temporal.Time(i), temporal.Time(i+10)))
+		sp.Blk.Retain()
+		spans = append(spans, sp)
+	}
+	blocks := map[*Block]bool{}
+	for _, sp := range spans {
+		blocks[sp.Blk] = true
+	}
+	if len(blocks) < 4 {
+		t.Fatalf("expected >= 4 blocks for 128KiB of frames, got %d", len(blocks))
+	}
+	if sealed := tel.Snapshot().BlocksSealed; sealed < int64(len(blocks)-1) {
+		t.Fatalf("blocks_sealed = %d with %d blocks", sealed, len(blocks))
+	}
+	// Every span still decodes after its block was sealed.
+	for i, sp := range spans {
+		typ, body, _, err := DecodeFrame(sp.Bytes())
+		if err != nil || typ != FrData {
+			t.Fatalf("sealed span %d: %v", i, err)
+		}
+		if e, derr := DecodeData(body); derr != nil || e.Vs != temporal.Time(i) {
+			t.Fatalf("sealed span %d decoded wrong: %+v %v", i, e, derr)
+		}
+		sp.Blk.Release()
+	}
+}
+
+// TestBlockRefcount: an oversized (unpooled) block exposes the raw count; a
+// double release panics instead of recycling shared bytes.
+func TestBlockRefcount(t *testing.T) {
+	b := NewBlockFromBytes(AppendAck(nil))
+	if b.Refs() != 1 {
+		t.Fatalf("fresh block refs = %d", b.Refs())
+	}
+	b.Retain()
+	b.Retain()
+	if b.Refs() != 3 {
+		t.Fatalf("refs = %d after two retains", b.Refs())
+	}
+	b.Release()
+	b.Release()
+	b.Release()
+	if b.Refs() != 0 {
+		t.Fatalf("refs = %d after balanced releases", b.Refs())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+// TestBlockLogSingleFrameOverCap: one frame larger than BlockCap gets a
+// dedicated block rather than being torn.
+func TestBlockLogSingleFrameOverCap(t *testing.T) {
+	l := NewBlockLog(nil)
+	defer l.Close()
+	huge := temporal.Payload{ID: 1, Data: strings.Repeat("y", BlockCap+100)}
+	sp := l.Append(temporal.Insert(huge, 0, 1))
+	if sp.Start != 0 || sp.Len() <= BlockCap {
+		t.Fatalf("oversized frame span: start=%d len=%d", sp.Start, sp.Len())
+	}
+	typ, body, _, err := DecodeFrame(sp.Bytes())
+	if err != nil || typ != FrData {
+		t.Fatalf("oversized frame broken: %v", err)
+	}
+	if e, derr := DecodeData(body); derr != nil || len(e.Payload.Data) != BlockCap+100 {
+		t.Fatalf("oversized frame decode: %v", derr)
+	}
+}

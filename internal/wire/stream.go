@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"lmerge/internal/temporal"
+)
+
+// Stream-file container: the v2 preamble followed by one DATA frame per
+// element. cmd/lmcat reads and writes it as the binary alternative to the
+// JSON-lines format (temporal.WriteStream/ReadStream); the frames are
+// byte-identical to what travels the v2 wire, so a captured subscriber feed
+// is directly replayable.
+
+// WriteStream writes s in the binary stream-file format.
+func WriteStream(w io.Writer, s temporal.Stream) error {
+	bw := bufio.NewWriter(w)
+	bw.Write(AppendPreamble(nil))
+	var buf []byte
+	for _, e := range s {
+		buf = AppendData(buf[:0], e)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadStream reads a binary stream file until EOF. The reader must be
+// positioned at the preamble. A torn final frame is an error (files, unlike
+// sockets, should end cleanly).
+func ReadStream(r io.Reader) (temporal.Stream, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	var pre [PreambleLen]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil {
+		return nil, fmt.Errorf("wire: reading preamble: %w", err)
+	}
+	if err := CheckPreamble(pre[:]); err != nil {
+		return nil, err
+	}
+	fr := NewReader(br)
+	var out temporal.Stream
+	for i := 0; ; i++ {
+		typ, body, err := fr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("wire: frame %d: %w", i, err)
+		}
+		if typ != FrData {
+			return nil, fmt.Errorf("wire: frame %d: unexpected type 0x%02x in stream file", i, typ)
+		}
+		e, err := DecodeData(body)
+		if err != nil {
+			return nil, fmt.Errorf("wire: frame %d: %w", i, err)
+		}
+		out = append(out, e)
+	}
+}
+
+// SniffStream reports whether the buffered reader is positioned at a binary
+// stream-file preamble (cmd/lmcat auto-detects input formats with it).
+func SniffStream(br *bufio.Reader) bool {
+	p, err := br.Peek(2)
+	return err == nil && p[0] == Magic0 && p[1] == Magic1
+}

@@ -1,0 +1,389 @@
+// Package wire is the binary wire protocol (v2) of the merge service:
+// length-prefixed CRC-framed messages behind a magic + version-negotiation
+// preamble, so the v1 text protocol (JSON lines, internal/server) stays
+// reachable for old clients on the same listener port.
+//
+// A v2 connection opens with the three-byte preamble 'L' 'M' <version>; the
+// server distinguishes protocols by the first byte ('H' of "HELLO" versus
+// 'L'). Every subsequent message, in both directions, is one frame:
+//
+//	length   uint32 LE — byte length of the payload
+//	crc      uint32 LE — IEEE CRC-32 of the payload
+//	payload  type byte + type-specific body
+//
+// The CRC makes corruption detection the receiver's job (the chaos injector
+// garbles frames in flight); a frame that fails its checksum, claims an
+// implausible length, or ends early poisons the connection — the receiver
+// drops it and the resilient clients reconnect and resume.
+//
+// Frame grammar ("Stream Types", PAPERS.md, is the reference for treating
+// the handshake and frame grammar as a typed protocol with machine-checkable
+// invariants — see the canonical round-trip obligations in FuzzBinaryFrame):
+//
+//	HELLO_PUB joinTime                          client→server, once
+//	HELLO_SUB from credit                       client→server, once (pipelined
+//	                                            resume: position + initial
+//	                                            credit grant in one round trip)
+//	OK        id stable                         server→client handshake reply
+//	ERR       message                           either direction, terminal
+//	DATA      element                           publisher batches and the
+//	                                            merged output, one element per
+//	                                            frame (core binary codec)
+//	CREDIT    bytes                             subscriber→server flow-control
+//	                                            grant (credit-based
+//	                                            backpressure)
+//	FF        t                                 server→publisher fast-forward
+//	DETACH    reason                            server→publisher force-detach
+//	ACK                                         server→publisher end-of-stream
+//
+// Timestamps and counts are varints (the core element codec's conventions).
+// The DATA body is exactly one core.AppendElement encoding, which makes a
+// sealed run of DATA frames self-delimiting: the broadcast fan-out path
+// (block.go) encodes each merged element once into an immutable refcounted
+// block and every subscriber queue shares the same framed bytes.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"lmerge/internal/core"
+	"lmerge/internal/temporal"
+)
+
+// Version is the protocol generation this package speaks. The preamble
+// carries it so a future v3 can negotiate past us.
+const Version = 2
+
+// Magic0 and Magic1 open every binary connection. Magic0 is the byte the
+// server peeks to route between protocols; it can never begin a valid v1
+// handshake ("HELLO ..." starts with 'H').
+const (
+	Magic0 = 'L'
+	Magic1 = 'M'
+)
+
+// PreambleLen is the byte length of the connection preamble.
+const PreambleLen = 3
+
+// Frame types.
+const (
+	FrHelloPub byte = 0x01 // joinTime varint
+	FrHelloSub byte = 0x02 // from uvarint, credit uvarint
+	FrOK       byte = 0x03 // id varint, stable varint
+	FrErr      byte = 0x04 // utf-8 message
+	FrData     byte = 0x05 // one element, core binary codec
+	FrCredit   byte = 0x06 // bytes uvarint
+	FrFF       byte = 0x07 // t varint
+	FrDetach   byte = 0x08 // utf-8 reason
+	FrAck      byte = 0x09 // empty
+)
+
+// FrameHeader is the fixed frame overhead: length + crc.
+const FrameHeader = 8
+
+// MaxFrameLen caps a frame's claimed payload length. A corrupted length
+// field can claim up to 4 GiB; refusing anything implausibly large keeps a
+// garbled header from provoking giant allocations.
+const MaxFrameLen = 1 << 24
+
+// ErrFrameCorrupt reports a frame whose checksum or structure is invalid.
+var ErrFrameCorrupt = errors.New("wire: corrupt frame")
+
+// ErrFrameTooLarge reports a frame whose length field exceeds MaxFrameLen.
+var ErrFrameTooLarge = errors.New("wire: frame too large")
+
+// ErrBadPreamble reports a connection preamble with the wrong magic or an
+// unsupported version.
+var ErrBadPreamble = errors.New("wire: bad preamble")
+
+// AppendPreamble appends the v2 connection preamble.
+func AppendPreamble(buf []byte) []byte {
+	return append(buf, Magic0, Magic1, Version)
+}
+
+// CheckPreamble validates a connection preamble.
+func CheckPreamble(p []byte) error {
+	if len(p) < PreambleLen || p[0] != Magic0 || p[1] != Magic1 {
+		return fmt.Errorf("%w: not a v2 connection", ErrBadPreamble)
+	}
+	if p[2] != Version {
+		return fmt.Errorf("%w: unsupported version %d (speaking %d)", ErrBadPreamble, p[2], Version)
+	}
+	return nil
+}
+
+// beginFrame reserves the header and writes the type byte; endFrame backfills
+// length and checksum once the body is in place.
+func beginFrame(buf []byte, typ byte) ([]byte, int) {
+	base := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0, typ)
+	return buf, base
+}
+
+func endFrame(buf []byte, base int) []byte {
+	payload := buf[base+FrameHeader:]
+	binary.LittleEndian.PutUint32(buf[base:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[base+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// AppendHelloPub appends a publisher handshake frame.
+func AppendHelloPub(buf []byte, joinTime temporal.Time) []byte {
+	buf, base := beginFrame(buf, FrHelloPub)
+	buf = binary.AppendVarint(buf, int64(joinTime))
+	return endFrame(buf, base)
+}
+
+// AppendHelloSub appends a subscriber handshake frame: positional resume
+// after the first `from` merged elements, plus the initial byte-credit grant
+// — position and flow-control window in one round trip.
+func AppendHelloSub(buf []byte, from int, credit int64) []byte {
+	buf, base := beginFrame(buf, FrHelloSub)
+	buf = binary.AppendUvarint(buf, uint64(from))
+	buf = binary.AppendUvarint(buf, uint64(credit))
+	return endFrame(buf, base)
+}
+
+// AppendOK appends the server's handshake reply: the assigned stream id
+// (publishers; 0 for subscribers) and the merged output's stable point.
+func AppendOK(buf []byte, id int64, stable temporal.Time) []byte {
+	buf, base := beginFrame(buf, FrOK)
+	buf = binary.AppendVarint(buf, id)
+	buf = binary.AppendVarint(buf, int64(stable))
+	return endFrame(buf, base)
+}
+
+// AppendErr appends a terminal error frame.
+func AppendErr(buf []byte, msg string) []byte {
+	buf, base := beginFrame(buf, FrErr)
+	buf = append(buf, msg...)
+	return endFrame(buf, base)
+}
+
+// AppendData appends one element as a complete DATA frame. This is the
+// encode-once unit of the broadcast path: the frame bytes are immutable once
+// written and are shared verbatim across every subscriber connection.
+func AppendData(buf []byte, e temporal.Element) []byte {
+	buf, base := beginFrame(buf, FrData)
+	buf = core.AppendElement(buf, e)
+	return endFrame(buf, base)
+}
+
+// AppendCredit appends a subscriber flow-control grant of n bytes.
+func AppendCredit(buf []byte, n int64) []byte {
+	buf, base := beginFrame(buf, FrCredit)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	return endFrame(buf, base)
+}
+
+// AppendFF appends a fast-forward signal.
+func AppendFF(buf []byte, t temporal.Time) []byte {
+	buf, base := beginFrame(buf, FrFF)
+	buf = binary.AppendVarint(buf, int64(t))
+	return endFrame(buf, base)
+}
+
+// AppendDetach appends a force-detach notice.
+func AppendDetach(buf []byte, reason string) []byte {
+	buf, base := beginFrame(buf, FrDetach)
+	buf = append(buf, reason...)
+	return endFrame(buf, base)
+}
+
+// AppendAck appends an end-of-stream acknowledgment.
+func AppendAck(buf []byte) []byte {
+	buf, base := beginFrame(buf, FrAck)
+	return endFrame(buf, base)
+}
+
+// FrameSize reports the total on-wire size (header + payload) of the frame
+// at the head of data, reading only the length field. ok is false when fewer
+// than 4 bytes are available or the length is implausible. The broadcast
+// writer uses it to split a shared block at frame boundaries when a
+// subscriber's remaining credit does not cover the whole block.
+func FrameSize(data []byte) (int, bool) {
+	if len(data) < 4 {
+		return 0, false
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if n == 0 || n > MaxFrameLen {
+		return 0, false
+	}
+	return FrameHeader + int(n), true
+}
+
+// DecodeFrame decodes one frame from the head of data, returning the type,
+// the body (aliasing data), and the bytes consumed. io.ErrUnexpectedEOF
+// means the frame is cut short (more bytes may repair it — the stream-file
+// reader treats a torn tail this way); ErrFrameCorrupt and ErrFrameTooLarge
+// are terminal.
+func DecodeFrame(data []byte) (typ byte, body []byte, n int, err error) {
+	if len(data) < FrameHeader {
+		return 0, nil, 0, io.ErrUnexpectedEOF
+	}
+	plen := binary.LittleEndian.Uint32(data)
+	if plen == 0 {
+		return 0, nil, 0, fmt.Errorf("%w: empty payload", ErrFrameCorrupt)
+	}
+	if plen > MaxFrameLen {
+		return 0, nil, 0, fmt.Errorf("%w: payload claims %d bytes", ErrFrameTooLarge, plen)
+	}
+	total := FrameHeader + int(plen)
+	if len(data) < total {
+		return 0, nil, 0, io.ErrUnexpectedEOF
+	}
+	payload := data[FrameHeader:total]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[4:]) {
+		return 0, nil, 0, fmt.Errorf("%w: checksum mismatch", ErrFrameCorrupt)
+	}
+	return payload[0], payload[1:], total, nil
+}
+
+// Reader reads frames from a buffered connection, reusing one payload
+// buffer: the body returned by Next is valid only until the next call.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader wraps r for frame reading.
+func NewReader(r *bufio.Reader) *Reader { return &Reader{r: r} }
+
+// Buffered reports how many payload bytes are immediately available,
+// mirroring bufio.Reader.Buffered — the server's publisher handler flushes
+// its batch when the connection has no more buffered input.
+func (fr *Reader) Buffered() int { return fr.r.Buffered() }
+
+// Next reads one frame. A clean EOF at a frame boundary returns io.EOF; a
+// torn frame returns io.ErrUnexpectedEOF; a checksum or structure failure
+// returns ErrFrameCorrupt (the connection should be dropped).
+func (fr *Reader) Next() (typ byte, body []byte, err error) {
+	var hdr [FrameHeader]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[:])
+	if plen == 0 {
+		return 0, nil, fmt.Errorf("%w: empty payload", ErrFrameCorrupt)
+	}
+	if plen > MaxFrameLen {
+		return 0, nil, fmt.Errorf("%w: payload claims %d bytes", ErrFrameTooLarge, plen)
+	}
+	if cap(fr.buf) < int(plen) {
+		fr.buf = make([]byte, plen)
+	}
+	payload := fr.buf[:plen]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrFrameCorrupt)
+	}
+	return payload[0], payload[1:], nil
+}
+
+// ---- body parsers ----
+
+func getVarint(body []byte) (int64, []byte, error) {
+	v, n := binary.Varint(body)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", ErrFrameCorrupt)
+	}
+	return v, body[n:], nil
+}
+
+func getUvarint(body []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrFrameCorrupt)
+	}
+	return v, body[n:], nil
+}
+
+func wantEmpty(body []byte) error {
+	if len(body) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrFrameCorrupt, len(body))
+	}
+	return nil
+}
+
+// ParseHelloPub parses a HELLO_PUB body.
+func ParseHelloPub(body []byte) (temporal.Time, error) {
+	v, rest, err := getVarint(body)
+	if err != nil {
+		return 0, err
+	}
+	return temporal.Time(v), wantEmpty(rest)
+}
+
+// ParseHelloSub parses a HELLO_SUB body.
+func ParseHelloSub(body []byte) (from int, credit int64, err error) {
+	f, rest, err := getUvarint(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	c, rest, err := getUvarint(rest)
+	if err != nil {
+		return 0, 0, err
+	}
+	if f > uint64(int64(^uint64(0)>>2)) || c > uint64(int64(^uint64(0)>>1)) {
+		return 0, 0, fmt.Errorf("%w: hello fields overflow", ErrFrameCorrupt)
+	}
+	return int(f), int64(c), wantEmpty(rest)
+}
+
+// ParseOK parses an OK body.
+func ParseOK(body []byte) (id int64, stable temporal.Time, err error) {
+	id, rest, err := getVarint(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	st, rest, err := getVarint(rest)
+	if err != nil {
+		return 0, 0, err
+	}
+	return id, temporal.Time(st), wantEmpty(rest)
+}
+
+// ParseCredit parses a CREDIT body. Grants are non-negative by construction
+// (uvarint), so server-side credit accounting can never be driven negative
+// by a client.
+func ParseCredit(body []byte) (int64, error) {
+	v, rest, err := getUvarint(body)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(int64(^uint64(0)>>1)) {
+		return 0, fmt.Errorf("%w: credit overflow", ErrFrameCorrupt)
+	}
+	return int64(v), wantEmpty(rest)
+}
+
+// ParseFF parses an FF body.
+func ParseFF(body []byte) (temporal.Time, error) {
+	v, rest, err := getVarint(body)
+	if err != nil {
+		return 0, err
+	}
+	return temporal.Time(v), wantEmpty(rest)
+}
+
+// DecodeData decodes a DATA body, which must hold exactly one element.
+func DecodeData(body []byte) (temporal.Element, error) {
+	e, n, err := core.DecodeElement(body)
+	if err != nil {
+		return temporal.Element{}, fmt.Errorf("%w: %v", ErrFrameCorrupt, err)
+	}
+	if n != len(body) {
+		return temporal.Element{}, fmt.Errorf("%w: %d trailing bytes after element", ErrFrameCorrupt, len(body)-n)
+	}
+	return e, nil
+}
