@@ -87,15 +87,28 @@ func loadCurves(path string) (map[string]map[int]float64, error) {
 
 // fanoutFile is the machine-readable "fanout" section: per-element encode
 // metrics keyed by subscriber count (as recorded by lmbench -exp fanout).
+// The at-rest maps (server_goroutines, idle_resident_bytes_per_subscriber)
+// arrived with the cursor-plane delivery rework; older recordings lack them
+// and their gates are skipped gracefully.
 type fanoutFile struct {
 	Fanout struct {
 		FramesPerEl  map[string]float64 `json:"frames_per_element"`
 		EncBytesPer  map[string]float64 `json:"encode_bytes_per_element"`
 		AllocBytesPE map[string]float64 `json:"alloc_bytes_per_element"`
+		Goroutines   map[string]float64 `json:"server_goroutines"`
+		IdleResident map[string]float64 `json:"idle_resident_bytes_per_subscriber"`
 	} `json:"fanout"`
 }
 
-func loadFanout(path string) (map[int][3]float64, error) {
+// fanoutPoint is one subscriber-count row of the fan-out curve. The at-rest
+// fields are optional (hasGor/hasRes) so older files stay loadable.
+type fanoutPoint struct {
+	frames, encBytes, allocBytes float64
+	goroutines, resident         float64
+	hasGor, hasRes               bool
+}
+
+func loadFanout(path string) (map[int]fanoutPoint, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -107,13 +120,16 @@ func loadFanout(path string) (map[int][3]float64, error) {
 	if len(ff.Fanout.FramesPerEl) == 0 {
 		return nil, fmt.Errorf("%s: no fanout section", path)
 	}
-	out := make(map[int][3]float64)
+	out := make(map[int]fanoutPoint)
 	for k, frames := range ff.Fanout.FramesPerEl {
 		subs, err := strconv.Atoi(k)
 		if err != nil || subs <= 0 {
 			return nil, fmt.Errorf("%s: fanout: bad subscriber count %q", path, k)
 		}
-		out[subs] = [3]float64{frames, ff.Fanout.EncBytesPer[k], ff.Fanout.AllocBytesPE[k]}
+		p := fanoutPoint{frames: frames, encBytes: ff.Fanout.EncBytesPer[k], allocBytes: ff.Fanout.AllocBytesPE[k]}
+		p.goroutines, p.hasGor = ff.Fanout.Goroutines[k]
+		p.resident, p.hasRes = ff.Fanout.IdleResident[k]
+		out[subs] = p
 	}
 	return out, nil
 }
@@ -125,9 +141,21 @@ func loadFanout(path string) (map[int][3]float64, error) {
 // passes with room for scheduler noise at extreme widths.
 const fanoutAllocSlack = 0.05
 
-// gateFanout enforces the encode-once invariants on the new file's fan-out
-// curve and, when the old file carries the section too, compares per-point
-// allocation across files. Returns the number of failed gates.
+// fanoutGoroutineSlack is the absolute growth allowed in the server's at-rest
+// goroutine count between the smallest wide point (>=100 subs) and the widest
+// one. The worker pool is fixed-size, so anything beyond scheduler jitter
+// means delivery grew a per-subscriber goroutine back.
+const fanoutGoroutineSlack = 2
+
+// fanoutIdleResidentCap bounds the post-GC resident bytes one idle subscriber
+// may pin at wide fan-out (>=1000 subs): a csub, a cursor, and registration
+// bookkeeping — not a write buffer, not a goroutine stack.
+const fanoutIdleResidentCap = 2048
+
+// gateFanout enforces the encode-once and at-rest invariants on the new
+// file's fan-out curve and, when the old file carries the section too,
+// compares per-point allocation across files. Returns the number of failed
+// gates.
 func gateFanout(oldPath, newPath string, tol float64) int {
 	newF, err := loadFanout(newPath)
 	if err != nil {
@@ -141,22 +169,35 @@ func gateFanout(oldPath, newPath string, tol float64) int {
 	sort.Ints(subs)
 	lo, hi := subs[0], subs[len(subs)-1]
 	failed := 0
-	fmt.Printf("%-10s %10s %10s %12s\n", "subs", "frames/el", "enc B/el", "alloc B/el")
+	fmt.Printf("%-10s %10s %10s %12s %9s %11s\n", "subs", "frames/el", "enc B/el", "alloc B/el", "srv gor", "idle B/sub")
 	for _, n := range subs {
 		p := newF[n]
-		fmt.Printf("%-10d %10.2f %10.1f %12.0f\n", n, p[0], p[1], p[2])
+		gor, res := "-", "-"
+		if p.hasGor {
+			gor = fmt.Sprintf("%.0f", p.goroutines)
+		}
+		if p.hasRes {
+			res = fmt.Sprintf("%.0f", p.resident)
+		}
+		fmt.Printf("%-10d %10.2f %10.1f %12.0f %9s %11s\n", n, p.frames, p.encBytes, p.allocBytes, gor, res)
 	}
 	// Encode-once invariants: frames and bytes encoded per element must not
 	// vary with the subscriber count at all (1% float slop).
-	for i, name := range []string{"frames/el", "enc B/el"} {
-		if ratio := newF[hi][i] / newF[lo][i]; ratio > 1.01 || ratio < 0.99 {
+	for _, g := range []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"frames/el", newF[lo].frames, newF[hi].frames},
+		{"enc B/el", newF[lo].encBytes, newF[hi].encBytes},
+	} {
+		if ratio := g.hi / g.lo; ratio > 1.01 || ratio < 0.99 {
 			fmt.Printf("FAIL: %s varies with subscriber count (%d subs: %.2f, %d subs: %.2f) — encode work is not subscriber-independent\n",
-				name, lo, newF[lo][i], hi, newF[hi][i])
+				g.name, lo, g.lo, hi, g.hi)
 			failed++
 		}
 	}
 	// Allocation independence: far-from-linear growth across the curve.
-	allocRatio := newF[hi][2] / newF[lo][2]
+	allocRatio := newF[hi].allocBytes / newF[lo].allocBytes
 	linear := float64(hi) / float64(lo)
 	if allocRatio > fanoutAllocSlack*linear {
 		fmt.Printf("FAIL: alloc B/el grew %.1fx over a %.0fx subscriber range (limit %.1fx)\n",
@@ -166,6 +207,47 @@ func gateFanout(oldPath, newPath string, tol float64) int {
 		fmt.Printf("alloc B/el grew %.1fx over a %.0fx subscriber range (limit %.1fx) — subscriber-independent\n",
 			allocRatio, linear, fanoutAllocSlack*linear)
 	}
+	// At-rest goroutine flatness: between the narrowest wide point (>=100
+	// subs, past pool startup) and the widest, the server may grow by at most
+	// the jitter slack. Skipped when the recording predates the gauges.
+	gorBase := 0
+	for _, n := range subs {
+		if n >= 100 && newF[n].hasGor {
+			gorBase = n
+			break
+		}
+	}
+	if gorBase != 0 && newF[hi].hasGor && hi > gorBase {
+		b, w := newF[gorBase].goroutines, newF[hi].goroutines
+		if w > b+fanoutGoroutineSlack {
+			fmt.Printf("FAIL: server goroutines grew %.0f → %.0f from %d to %d subs — delivery is not O(worker pool)\n",
+				b, w, gorBase, hi)
+			failed++
+		} else {
+			fmt.Printf("server goroutines flat %.0f → %.0f from %d to %d subs — O(worker pool)\n", b, w, gorBase, hi)
+		}
+	} else {
+		fmt.Println("server_goroutines not recorded at wide fan-out; at-rest goroutine gate skipped")
+	}
+	// Idle resident footprint: at wide fan-out each attached-but-idle
+	// subscriber pins at most the cap.
+	resGated := false
+	for _, n := range subs {
+		p := newF[n]
+		if n < 1000 || !p.hasRes {
+			continue
+		}
+		resGated = true
+		if p.resident > fanoutIdleResidentCap {
+			fmt.Printf("FAIL: %.0f resident bytes per idle subscriber at %d subs (cap %d)\n", p.resident, n, fanoutIdleResidentCap)
+			failed++
+		} else {
+			fmt.Printf("%.0f resident bytes per idle subscriber at %d subs (cap %d)\n", p.resident, n, fanoutIdleResidentCap)
+		}
+	}
+	if !resGated {
+		fmt.Println("idle_resident_bytes_per_subscriber not recorded at wide fan-out; resident gate skipped")
+	}
 	// Cross-file: per-point allocation regression under the tolerance.
 	if oldF, err := loadFanout(oldPath); err == nil {
 		for _, n := range subs {
@@ -173,7 +255,7 @@ func gateFanout(oldPath, newPath string, tol float64) int {
 			if !ok {
 				continue
 			}
-			delta := newF[n][2]/op[2] - 1
+			delta := newF[n].allocBytes/op.allocBytes - 1
 			if delta > tol {
 				fmt.Printf("FAIL: alloc B/el at %d subs regressed %+.1f%% vs %s (> %.0f%%)\n",
 					n, delta*100, oldPath, tol*100)

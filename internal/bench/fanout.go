@@ -50,6 +50,17 @@ type FanoutPoint struct {
 	NsPerEl float64
 	// DeliveredMB is the total bytes fanned out to subscribers.
 	DeliveredMB float64
+	// ServerGoroutines is the goroutine delta attributable to the server
+	// once all N subscribers are attached and idle (bench-client drain
+	// goroutines subtracted out). The cursor plane (DESIGN.md §15) pins this
+	// at the worker pool + sweeper regardless of N; the text path keeps its
+	// per-subscriber writer for contrast.
+	ServerGoroutines int
+	// IdleResidentPerSub is the post-GC heap delta per attached-but-idle
+	// subscriber, measured after handshakes settle and before any publish:
+	// the at-rest footprint of one registration (csub + cursor bookkeeping),
+	// with client-side pipes and buffers preallocated outside the bracket.
+	IdleResidentPerSub float64
 }
 
 // fanoutEvents caps the script length: fan-out multiplies delivered byte
@@ -115,6 +126,26 @@ func drainLines(conn net.Conn, buf []byte, ready, done *sync.WaitGroup) {
 	}
 }
 
+// settledGoroutines waits for the process goroutine count to stop moving
+// (handshake handlers returning, workers parking) and returns it.
+func settledGoroutines() int {
+	last, stable := runtime.NumGoroutine(), 0
+	for i := 0; i < 500; i++ {
+		time.Sleep(2 * time.Millisecond)
+		n := runtime.NumGoroutine()
+		if n == last {
+			stable++
+			if stable >= 3 {
+				return n
+			}
+		} else {
+			stable = 0
+		}
+		last = n
+	}
+	return last
+}
+
 // runFanout measures one (subscriber count, protocol) point: a fresh server,
 // n in-process drain subscribers attached over net.Pipe (past any FD limit),
 // one binary publisher delivering the rendered script, and MemStats deltas
@@ -130,38 +161,70 @@ func runFanout(stream temporal.Stream, n int, binary bool) FanoutPoint {
 	}
 	defer s.Close()
 
+	// Preallocate every client-side artifact — pipes, drain buffers, hello
+	// frames — before the idle baseline, so the resident-per-subscriber
+	// bracket below measures server registration state, not bench
+	// scaffolding.
+	cliConns := make([]net.Conn, n)
+	srvConns := make([]net.Conn, n)
+	bufs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		cliConns[i], srvConns[i] = net.Pipe()
+		bufs[i] = make([]byte, 4096)
+	}
+	hello := wire.AppendHelloSub(wire.AppendPreamble(nil), 0, fanoutCredit)
+	runtime.GC()
+	var mi0 runtime.MemStats
+	runtime.ReadMemStats(&mi0)
+	g0 := runtime.NumGoroutine()
+
 	// Attach and handshake every subscriber before the first element is
 	// published: each one must observe the complete merged stream live (no
 	// history catch-up), so the shared-frame accounting below is exact.
 	var ready, textDone sync.WaitGroup
-	conns := make([]net.Conn, n)
 	for i := 0; i < n; i++ {
-		cli, srv := net.Pipe()
-		conns[i] = cli
-		if err := s.ServeConn(srv); err != nil {
+		if err := s.ServeConn(srvConns[i]); err != nil {
 			panic(fmt.Sprintf("bench: fanout attach: %v", err))
 		}
-		buf := make([]byte, 4096)
+		buf := bufs[i]
 		ready.Add(1)
 		if binary {
 			go func(c net.Conn) {
-				c.Write(wire.AppendHelloSub(wire.AppendPreamble(nil), 0, fanoutCredit))
+				c.Write(hello)
 				drainFrames(c, buf, &ready)
-			}(cli)
+			}(cliConns[i])
 		} else {
 			textDone.Add(1)
 			go func(c net.Conn) {
 				io.WriteString(c, "HELLO SUB\n")
 				drainLines(c, buf, &ready, &textDone)
-			}(cli)
+			}(cliConns[i])
 		}
 	}
 	ready.Wait()
 	defer func() {
-		for _, c := range conns {
+		for _, c := range cliConns {
 			c.Close()
 		}
 	}()
+
+	// The at-rest point: handshake handlers have returned (or, on the text
+	// path, parked as per-subscriber writers), nothing is being published.
+	// The goroutine delta minus our own n drain clients is the server's
+	// standing cost; the post-GC heap delta per subscriber is the resident
+	// footprint of one idle registration.
+	gIdle := settledGoroutines()
+	runtime.GC()
+	var mi1 runtime.MemStats
+	runtime.ReadMemStats(&mi1)
+	serverGoroutines := gIdle - g0 - n
+	if serverGoroutines < 0 {
+		serverGoroutines = 0
+	}
+	idleResident := (int64(mi1.HeapAlloc) - int64(mi0.HeapAlloc)) / int64(n)
+	if idleResident < 0 {
+		idleResident = 0
+	}
 
 	pubCli, pubSrv := net.Pipe()
 	if err := s.ServeConn(pubSrv); err != nil {
@@ -214,12 +277,14 @@ func runFanout(stream temporal.Stream, n int, binary bool) FanoutPoint {
 	st := s.Stats()
 	out := st.OutElements()
 	pt := FanoutPoint{
-		Subscribers:     n,
-		Binary:          binary,
-		OutElements:     out,
-		AllocsPerEl:     float64(m1.Mallocs-m0.Mallocs) / float64(out),
-		AllocBytesPerEl: float64(m1.TotalAlloc-m0.TotalAlloc) / float64(out),
-		NsPerEl:         float64(wall.Nanoseconds()) / float64(out),
+		Subscribers:        n,
+		Binary:             binary,
+		OutElements:        out,
+		AllocsPerEl:        float64(m1.Mallocs-m0.Mallocs) / float64(out),
+		AllocBytesPerEl:    float64(m1.TotalAlloc-m0.TotalAlloc) / float64(out),
+		NsPerEl:            float64(wall.Nanoseconds()) / float64(out),
+		ServerGoroutines:   serverGoroutines,
+		IdleResidentPerSub: float64(idleResident),
 	}
 	if binary {
 		pt.FramesPerEl = float64(ws.FramesEncoded) / float64(out)
@@ -256,7 +321,7 @@ func FanoutBroadcast(scale Scale) FanoutResult {
 		Table: &Table{
 			ID:      "fanout",
 			Title:   "Broadcast fan-out: encode work per element vs subscriber count",
-			Columns: []string{"subs", "proto", "out el", "frames/el", "enc B/el", "allocs/el", "alloc B/el", "ns/el", "delivered"},
+			Columns: []string{"subs", "proto", "out el", "frames/el", "enc B/el", "allocs/el", "alloc B/el", "ns/el", "srv gor", "idle B/sub", "delivered"},
 		},
 	}
 	add := func(n int, binary bool) {
@@ -273,6 +338,8 @@ func FanoutBroadcast(scale Scale) FanoutResult {
 			fmt.Sprintf("%.1f", pt.AllocsPerEl),
 			fmt.Sprintf("%.0f", pt.AllocBytesPerEl),
 			fmt.Sprintf("%.0f", pt.NsPerEl),
+			fmt.Sprintf("%d", pt.ServerGoroutines),
+			fmt.Sprintf("%.0f", pt.IdleResidentPerSub),
 			fmt.Sprintf("%.1fMB", pt.DeliveredMB))
 	}
 	for _, n := range []int{1, 10, 100, 1000, 10000} {
@@ -284,6 +351,7 @@ func FanoutBroadcast(scale Scale) FanoutResult {
 	res.Table.Note("events capped at %d, payloads at %dB: delivered volume scales with subs x elements; the property under test is per-element cost vs subs", fanoutEvents, fanoutPayload)
 	res.Table.Note("frames/el and enc B/el are server encode-side counters (obs.Wire): encode-once pins them flat at every fan-out width")
 	res.Table.Note("allocs/el spans the whole process incl. in-process drain clients; ns/el includes the unavoidable O(subs) byte copying")
+	res.Table.Note("srv gor and idle B/sub are taken at rest, post-handshake pre-publish: the cursor plane holds goroutines at the worker pool and resident state at one csub+cursor per subscriber")
 	res.Table.Note("GOMAXPROCS=%d NumCPU=%d", runtime.GOMAXPROCS(0), runtime.NumCPU())
 	return res
 }

@@ -1,7 +1,9 @@
 package chaos_test
 
 import (
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,10 +19,13 @@ import (
 // one server while chaos-perturbed replicas publish a single logical script
 // over both protocols. Connections crash, truncate, and garble (binary
 // garbling is caught by the frame CRC, text by the JSON parser); subscribers
-// resume positionally across reconnects and evictions. Every subscriber, on
-// either protocol, must reconstitute the exact script TDB — the
-// encode-once blocks shared across all queues are not allowed to tear, skip,
-// or duplicate for anyone.
+// resume positionally across reconnects and evictions. Alongside the faulted
+// crowd, an idle cohort stops reading mid-stream (long enough to stall its
+// cursor server-side, well inside CreditDeadline) and then resumes, and a
+// churn storm attaches and abandons short-lived subscribers throughout.
+// Every surviving subscriber, on either protocol, must reconstitute the
+// exact script TDB — the encode-once blocks shared across all cursors are
+// not allowed to tear, skip, or duplicate for anyone.
 func TestFanoutSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fan-out soak skipped in -short mode")
@@ -102,6 +107,83 @@ func TestFanoutSoak(t *testing.T) {
 		}(i)
 	}
 
+	// Idle cohort: clean-connection subscribers that go quiet mid-stream. A
+	// window far smaller than the script guarantees the pause leaves the
+	// server stalled on their cursors (not merely buffering client-side); the
+	// pause is well inside CreditDeadline, so the delivery plane must park
+	// them — never evict — and hand back the exact suffix on resume with
+	// zero reconnects.
+	const idleSubs = 12
+	idleResults := make([]subResult, idleSubs)
+	var iwg sync.WaitGroup
+	for i := 0; i < idleSubs; i++ {
+		iwg.Add(1)
+		go func(i int) {
+			defer iwg.Done()
+			rs := server.NewResilientSubscriber(s.Addr(), server.ResilientOptions{
+				Seed:         int64(3000 + i),
+				MaxAttempts:  50,
+				Backoff:      server.Backoff{Initial: time.Millisecond, Max: 10 * time.Millisecond},
+				Binary:       true,
+				CreditWindow: 2 * 1024,
+			})
+			defer rs.Close()
+			paused := false
+			for {
+				e, ok := rs.Next()
+				if !ok {
+					return
+				}
+				idleResults[i].stream = append(idleResults[i].stream, e)
+				if !paused && len(idleResults[i].stream) == 3+i%5 {
+					paused = true
+					time.Sleep(600 * time.Millisecond)
+				}
+				if e.Kind == temporal.KindStable && e.T() == temporal.Infinity {
+					idleResults[i].reconnects = rs.Reconnects()
+					idleResults[i].ok = true
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Churn storm: short-lived subscribers attach, read a random handful of
+	// elements, and vanish without detaching cleanly — continuously, for the
+	// whole broadcast. Cursor attach/detach under live appends must not
+	// perturb anyone else's stream (the exact-TDB asserts below) and must
+	// not leak registrations.
+	churnDone := make(chan struct{})
+	var churnCycles int64
+	var cwg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		cwg.Add(1)
+		go func(g int) {
+			defer cwg.Done()
+			rng := rand.New(rand.NewSource(int64(7000 + g)))
+			for {
+				select {
+				case <-churnDone:
+					return
+				default:
+				}
+				sub, err := server.SubscribeBinary(s.Addr())
+				if err != nil {
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				n := 1 + rng.Intn(40)
+				for j := 0; j < n; j++ {
+					if _, ok := sub.Next(); !ok {
+						break
+					}
+				}
+				sub.Close()
+				atomic.AddInt64(&churnCycles, 1)
+			}
+		}(g)
+	}
+
 	// Replicas: two publish over the binary protocol, one over text, all
 	// chaos-faulted and all presenting perturbed renderings of one script.
 	const publishers = 3
@@ -144,8 +226,10 @@ func TestFanoutSoak(t *testing.T) {
 			t.Fatalf("publisher %d failed: %v (report %+v)", i, err, reports[i])
 		}
 	}
+	close(churnDone)
+	cwg.Wait()
 	subsDone := make(chan struct{})
-	go func() { swg.Wait(); close(subsDone) }()
+	go func() { swg.Wait(); iwg.Wait(); close(subsDone) }()
 	select {
 	case <-subsDone:
 	case <-time.After(120 * time.Second):
@@ -170,6 +254,22 @@ func TestFanoutSoak(t *testing.T) {
 		}
 		reconnects += r.reconnects
 	}
+	for i := range idleResults {
+		r := &idleResults[i]
+		if !r.ok {
+			t.Fatalf("idle subscriber %d gave up before stable(inf)", i)
+		}
+		if r.reconnects != 0 {
+			t.Fatalf("idle subscriber %d reconnected %d times — an in-deadline pause must be parked, not evicted", i, r.reconnects)
+		}
+		got, err := temporal.Reconstitute(r.stream)
+		if err != nil {
+			t.Fatalf("idle subscriber %d merged stream invalid: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("idle subscriber %d TDB diverged after its pause", i)
+		}
+	}
 	if st := s.Stats(); st.ConsistencyWarnings != 0 {
 		t.Fatalf("fan-out soak raised %d consistency warnings", st.ConsistencyWarnings)
 	}
@@ -189,6 +289,9 @@ func TestFanoutSoak(t *testing.T) {
 	if reconnects == 0 {
 		t.Fatal("no subscriber ever resumed across a fault; the positional-resume path went untested")
 	}
+	if cycles := atomic.LoadInt64(&churnCycles); cycles < 3 {
+		t.Fatalf("churn storm completed only %d attach/abandon cycles — the storm never ran", cycles)
+	}
 	ws := s.WireStats()
 	if ws.FramesEncoded == 0 {
 		t.Fatal("no frames were block-encoded; binary fan-out never engaged")
@@ -196,6 +299,6 @@ func TestFanoutSoak(t *testing.T) {
 	if ws.SharedFrames <= ws.FramesEncoded {
 		t.Fatalf("shared_frames %d <= frames_encoded %d — broadcast never actually shared encodes", ws.SharedFrames, ws.FramesEncoded)
 	}
-	t.Logf("fanout soak: %d subscribers (%d binary / %d text), %d resumes, faults=%+v, wire=%+v",
-		total, binSubs, textSubs, reconnects, ist, ws)
+	t.Logf("fanout soak: %d subscribers (%d binary / %d text / %d idle), %d churn cycles, %d resumes, faults=%+v, wire=%+v",
+		total+idleSubs, binSubs, textSubs, idleSubs, atomic.LoadInt64(&churnCycles), reconnects, ist, ws)
 }

@@ -25,6 +25,14 @@ type Wire struct {
 	creditGranted atomic.Int64
 	creditStalls  atomic.Int64
 	evictions     atomic.Int64
+
+	// Delivery-plane gauges (PR 10): the at-rest shape of the fan-out loop.
+	binSubscribers atomic.Int64
+	readyDepth     atomic.Int64
+	fanWorkers     atomic.Int64
+	creditReaders  atomic.Int64
+	retainedBytes  atomic.Int64
+	retainedBlocks atomic.Int64
 }
 
 // FrameEncoded records one element encoded once into the shared block log
@@ -104,6 +112,67 @@ func (w *Wire) Evicted() {
 	w.evictions.Add(1)
 }
 
+// SubscriberAttached / SubscriberDetached track the binary-subscriber gauge.
+func (w *Wire) SubscriberAttached() {
+	if w == nil {
+		return
+	}
+	w.binSubscribers.Add(1)
+}
+
+// SubscriberDetached decrements the binary-subscriber gauge.
+func (w *Wire) SubscriberDetached() {
+	if w == nil {
+		return
+	}
+	w.binSubscribers.Add(-1)
+}
+
+// ReadyDepth adjusts the fan-out loop's ready-queue depth gauge by d
+// (positive on enqueue, negative on dequeue).
+func (w *Wire) ReadyDepth(d int64) {
+	if w == nil {
+		return
+	}
+	w.readyDepth.Add(d)
+}
+
+// SetWorkers records the size of the delivery worker pool.
+func (w *Wire) SetWorkers(n int64) {
+	if w == nil {
+		return
+	}
+	w.fanWorkers.Store(n)
+}
+
+// ReaderStarted / ReaderStopped track the on-demand credit-reader gauge: one
+// per subscriber that has ever credit-stalled, zero for subscribers that
+// never fall behind.
+func (w *Wire) ReaderStarted() {
+	if w == nil {
+		return
+	}
+	w.creditReaders.Add(1)
+}
+
+// ReaderStopped decrements the credit-reader gauge.
+func (w *Wire) ReaderStopped() {
+	if w == nil {
+		return
+	}
+	w.creditReaders.Add(-1)
+}
+
+// SetRetained records the broadcast log's retention window: filled bytes and
+// block count still held for the slowest cursor.
+func (w *Wire) SetRetained(bytes, blocks int64) {
+	if w == nil {
+		return
+	}
+	w.retainedBytes.Store(bytes)
+	w.retainedBlocks.Store(blocks)
+}
+
 // WireSnapshot is a point-in-time copy of the fan-out counters.
 type WireSnapshot struct {
 	FramesEncoded int64 `json:"frames_encoded"`
@@ -121,6 +190,13 @@ type WireSnapshot struct {
 	CreditGranted int64 `json:"credit_granted_bytes"`
 	CreditStalls  int64 `json:"credits_stalled"`
 	Evictions     int64 `json:"evictions"`
+
+	BinSubscribers int64 `json:"binary_subscribers"`
+	ReadyDepth     int64 `json:"ready_depth"`
+	FanoutWorkers  int64 `json:"fanout_workers"`
+	CreditReaders  int64 `json:"credit_readers"`
+	RetainedBytes  int64 `json:"retained_log_bytes"`
+	RetainedBlocks int64 `json:"retained_log_blocks"`
 }
 
 // Snapshot copies the counters. Nil-safe (returns zeros).
@@ -141,5 +217,12 @@ func (w *Wire) Snapshot() WireSnapshot {
 		CreditGranted: w.creditGranted.Load(),
 		CreditStalls:  w.creditStalls.Load(),
 		Evictions:     w.evictions.Load(),
+
+		BinSubscribers: w.binSubscribers.Load(),
+		ReadyDepth:     w.readyDepth.Load(),
+		FanoutWorkers:  w.fanWorkers.Load(),
+		CreditReaders:  w.creditReaders.Load(),
+		RetainedBytes:  w.retainedBytes.Load(),
+		RetainedBlocks: w.retainedBlocks.Load(),
 	}
 }

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestWireCountersAndSnapshot drives every counter and gauge once and checks
+// the snapshot reflects exactly what was recorded — including the
+// delivery-plane gauges (subscribers, ready depth, workers, credit readers,
+// retention window) that the event-loop fan-out path maintains.
+func TestWireCountersAndSnapshot(t *testing.T) {
+	var w Wire
+	w.FrameEncoded(40)
+	w.FrameEncoded(60)
+	w.BlockSealed(32 << 10)
+	w.LineEncoded(85)
+	w.Shared(100, 2)
+	w.Shared(50, 1)
+	w.History(512)
+	w.CreditGranted(4096)
+	w.CreditStalled()
+	w.Evicted()
+	w.SubscriberAttached()
+	w.SubscriberAttached()
+	w.SubscriberDetached()
+	w.ReadyDepth(3)
+	w.ReadyDepth(-2)
+	w.SetWorkers(4)
+	w.ReaderStarted()
+	w.ReaderStarted()
+	w.ReaderStopped()
+	w.SetRetained(1<<15, 2)
+
+	got := w.Snapshot()
+	want := WireSnapshot{
+		FramesEncoded: 2, FrameBytes: 100,
+		BlocksSealed: 1, BlockBytes: 32 << 10,
+		LinesEncoded: 1, LineBytes: 85,
+		SharedBytes: 150, SharedFrames: 3, HistoryBytes: 512,
+		CreditGranted: 4096, CreditStalls: 1, Evictions: 1,
+		BinSubscribers: 1, ReadyDepth: 1, FanoutWorkers: 4,
+		CreditReaders: 1, RetainedBytes: 1 << 15, RetainedBlocks: 2,
+	}
+	if got != want {
+		t.Fatalf("snapshot mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWireNilSafe: a nil *Wire must absorb every method silently — the
+// server passes nil telemetry in benchmarks and tests.
+func TestWireNilSafe(t *testing.T) {
+	var w *Wire
+	w.FrameEncoded(1)
+	w.BlockSealed(1)
+	w.LineEncoded(1)
+	w.Shared(1, 1)
+	w.History(1)
+	w.CreditGranted(1)
+	w.CreditStalled()
+	w.Evicted()
+	w.SubscriberAttached()
+	w.SubscriberDetached()
+	w.ReadyDepth(1)
+	w.SetWorkers(1)
+	w.ReaderStarted()
+	w.ReaderStopped()
+	w.SetRetained(1, 1)
+	if s := w.Snapshot(); s != (WireSnapshot{}) {
+		t.Fatalf("nil Wire snapshot not zero: %+v", s)
+	}
+}
+
+// TestWireSnapshotJSONKeys pins the wire-section JSON contract the /stats
+// endpoint exposes: renaming a key silently breaks dashboards.
+func TestWireSnapshotJSONKeys(t *testing.T) {
+	raw, err := json.Marshal(WireSnapshot{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{
+		"frames_encoded", "frame_bytes", "blocks_sealed", "block_bytes",
+		"lines_encoded", "line_bytes",
+		"shared_bytes", "shared_frames", "history_bytes",
+		"credit_granted_bytes", "credits_stalled", "evictions",
+		"binary_subscribers", "ready_depth", "fanout_workers",
+		"credit_readers", "retained_log_bytes", "retained_log_blocks",
+	} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("wire snapshot JSON lost key %q", k)
+		}
+	}
+	if len(m) != 18 {
+		t.Fatalf("wire snapshot has %d JSON keys, want 18 — update the contract test alongside the struct", len(m))
+	}
+}
+
+// TestWireConcurrent hammers one Wire from many goroutines under -race and
+// checks additive counters land exactly: the emit path and every delivery
+// worker share a single struct.
+func TestWireConcurrent(t *testing.T) {
+	var w Wire
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				w.FrameEncoded(10)
+				w.Shared(10, 1)
+				w.SubscriberAttached()
+				w.SubscriberDetached()
+				w.ReadyDepth(1)
+				w.ReadyDepth(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := w.Snapshot()
+	if s.FramesEncoded != workers*per || s.SharedFrames != workers*per {
+		t.Fatalf("lost updates: %+v", s)
+	}
+	if s.BinSubscribers != 0 || s.ReadyDepth != 0 {
+		t.Fatalf("gauges did not return to zero: %+v", s)
+	}
+}

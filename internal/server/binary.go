@@ -6,7 +6,6 @@ import (
 	"net"
 	"time"
 
-	"lmerge/internal/obs"
 	"lmerge/internal/temporal"
 	"lmerge/internal/wire"
 )
@@ -19,8 +18,16 @@ import (
 // reference, credit-based backpressure, and pipelined handshake resume.
 
 // serveBinary negotiates the preamble (already sniffed by handle) and
-// dispatches on the hello frame. r is positioned at the preamble.
+// dispatches on the hello frame. r is positioned at the preamble. The
+// subscriber branch transfers connection ownership to the fan-out loop;
+// every other path closes the connection here.
 func (s *Server) serveBinary(conn net.Conn, r *bufio.Reader) {
+	owned := true
+	defer func() {
+		if owned {
+			conn.Close()
+		}
+	}()
 	var pre [wire.PreambleLen]byte
 	if _, err := io.ReadFull(r, pre[:]); err != nil {
 		return
@@ -49,7 +56,8 @@ func (s *Server) serveBinary(conn net.Conn, r *bufio.Reader) {
 			return
 		}
 		conn.SetReadDeadline(time.Time{}) // credit grants have no cadence
-		s.serveBinarySubscriber(conn, fr, from, credit)
+		owned = false
+		s.serveBinarySubscriber(conn, r, from, credit)
 	default:
 		conn.Write(wire.AppendErr(nil, "expected HELLO frame"))
 	}
@@ -96,146 +104,69 @@ func (s *Server) serveBinaryPublisher(conn net.Conn, fr *wire.Reader, joinTime t
 	}
 }
 
-// binSub is one registered binary subscriber: its credit queue plus the
-// connection (so shutdown can unblock a writer mid-write).
-type binSub struct {
-	q    *blockQueue
-	conn net.Conn
-}
-
 // serveBinarySubscriber is the v2 fan-out path. The pipelined handshake
-// carried position and initial credit; the reply, history catch-up, and live
-// stream flow back without further round trips. Live delivery pops spans of
-// shared blocks (encoded once in broadcast) under the client's byte credit;
-// an exhausted credit pauses this writer — other subscribers are untouched —
-// until the grant arrives or the eviction deadline fires.
-func (s *Server) serveBinarySubscriber(conn net.Conn, fr *wire.Reader, from int, credit int64) {
-	q := newBlockQueue(credit, s.wireTel)
+// carried position and initial credit; the reply and history catch-up are
+// written here, then the connection is handed to the event-loop delivery
+// plane (fanloop.go) and this handler returns — a registered subscriber
+// costs a cursor and a csub record, not a goroutine. Live delivery cuts
+// frames from the shared broadcast log under the client's byte credit; an
+// exhausted credit stalls only that subscriber until a grant arrives or the
+// eviction deadline fires.
+func (s *Server) serveBinarySubscriber(conn net.Conn, r *bufio.Reader, from int, credit int64) {
+	c := &csub{conn: conn, credit: min64(credit, maxCredit)}
 	s.outMu.Lock()
 	if s.subsClosed {
 		s.outMu.Unlock()
+		conn.Close()
 		return
 	}
-	id := s.nextSub
+	c.id = s.nextSub
 	s.nextSub++
 	if from > len(s.backlog) {
 		from = len(s.backlog)
 	}
-	// Element structs share payloads, so this snapshot is cheap; everything
-	// emitted after registration reaches the queue as shared spans, so
-	// history + queue is exactly the merged stream from `from` on.
-	history := append(temporal.Stream(nil), s.backlog[from:]...)
-	s.binSubs[id] = &binSub{q: q, conn: conn}
-	s.outMu.Unlock()
-
-	evicted := false
-	defer func() {
-		s.outMu.Lock()
-		if sub, ok := s.binSubs[id]; ok {
-			sub.q.close()
-			delete(s.binSubs, id)
-		}
+	// Elements share payloads, so this slice of the append-only backlog is
+	// stable; everything emitted after the cursor attaches lands in the
+	// shared log behind it, so history + cursor is exactly the merged stream
+	// from `from` on.
+	history := s.backlog[from:]
+	c.cur = s.blog.Attach()
+	if !s.fl.register(c) {
+		s.blog.Detach(c.cur)
 		s.outMu.Unlock()
-		if evicted {
-			s.wireTel.Evicted()
-			s.reg.Trace().Record(obs.Event{Kind: obs.EventSubscriberDrop, Node: "server", Stream: id, Aux: 1})
-		}
-	}()
-
-	// Credit reader: the only frames a subscriber sends after the handshake
-	// are CREDIT grants. A read error (client gone) closes the queue, which
-	// wakes the writer.
-	readerDone := make(chan struct{})
-	go func() {
-		defer close(readerDone)
-		for {
-			typ, body, err := fr.Next()
-			if err != nil {
-				q.close()
-				return
-			}
-			if typ == wire.FrCredit {
-				if n, perr := wire.ParseCredit(body); perr == nil {
-					q.grant(n)
-				}
-			}
-		}
-	}()
-	defer func() {
 		conn.Close()
-		<-readerDone
-	}()
-
-	// writeStall bounds every socket write: a peer that stops reading while
-	// credit remains outstanding is caught by the same deadline that backstops
-	// credit stalls. The deadline is re-armed lazily — only once the armed one
-	// has burned through half its window — because arming is not free (a
-	// timer per SetWriteDeadline on some transports, a syscall-path touch on
-	// others) and the hot path writes one small chunk per merged element. A
-	// write can therefore see as little as writeStall/2 of headroom, which
-	// still bounds the stall.
-	writeStall := s.opts.CreditDeadline
-	var armed time.Time
-	arm := func() {
-		if now := time.Now(); now.Sub(armed) > writeStall/2 {
-			armed = now
-			conn.SetWriteDeadline(now.Add(writeStall))
-		}
-	}
-	w := bufio.NewWriterSize(conn, wire.BlockCap)
-	writeAll := func(p []byte) bool {
-		arm()
-		_, err := w.Write(p)
-		return err == nil
-	}
-	flush := func() bool {
-		arm()
-		return w.Flush() == nil
-	}
-
-	// The OK reply must flush now — the first data pop may be far away.
-	if !writeAll(wire.AppendOK(nil, 0, s.be.MaxStable())) || !flush() {
 		return
 	}
+	s.outMu.Unlock()
+
+	// The OK reply goes out now — the handler still owns the connection until
+	// activate, and the first delivery round may be far away.
+	conn.SetWriteDeadline(time.Now().Add(s.opts.CreditDeadline))
+	if _, err := conn.Write(wire.AppendOK(nil, 0, s.be.MaxStable())); err != nil {
+		s.fl.drop(c)
+		return
+	}
+	conn.SetWriteDeadline(time.Time{})
 	if len(history) > 0 {
-		// Catch-up is per-subscriber (cold path): encode the snapshot as one
-		// private block and queue it ahead of every live span, so the credit
-		// machinery covers history and live traffic uniformly.
+		// Catch-up is per-subscriber (cold path): encode the snapshot once
+		// into a private buffer served ahead of the shared log under the same
+		// credit, freed when drained.
 		var hbuf []byte
 		for _, e := range history {
 			hbuf = wire.AppendData(hbuf, e)
 		}
 		s.wireTel.History(len(hbuf))
-		blk := wire.NewBlockFromBytes(hbuf)
-		q.pushHead(wire.Span{Blk: blk, Start: 0, End: len(hbuf), Elems: len(history)})
-		blk.Release() // the queue entry's reference keeps it alive
+		c.hist = hbuf
 	}
-	for {
-		buf, wref, done, frames, st := q.pop(s.opts.CreditDeadline)
-		switch st {
-		case popData:
-			ok := writeAll(buf)
-			wref.Release()
-			if done != nil {
-				done.Release()
-			}
-			if !ok {
-				return
-			}
-			s.wireTel.Shared(len(buf), frames)
-			// Flush before any wait, not just on an empty queue: when the
-			// remaining credit is short of the next frame, these buffered
-			// bytes are exactly what the client needs to see before it can
-			// grant more.
-			if !q.sendable() && !flush() {
-				return
-			}
-		case popEvicted:
-			evicted = true
-			return
-		default: // popClosed
-			flush()
-			return
+	// Whatever the handshake buffer read past the HELLO frame (a pipelined
+	// CREDIT, typically) moves to a small private slice so the on-demand
+	// credit reader can resume from it — and the 64 KiB handshake buffer
+	// becomes garbage the moment this handler returns.
+	if n := r.Buffered(); n > 0 {
+		if b, err := r.Peek(n); err == nil {
+			c.leftover = append([]byte(nil), b...)
+			r.Discard(n)
 		}
 	}
+	s.fl.activate(c)
 }

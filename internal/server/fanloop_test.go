@@ -1,0 +1,351 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"lmerge/internal/core"
+	"lmerge/internal/temporal"
+	"lmerge/internal/wire"
+)
+
+// White-box battery for the event-loop delivery plane (fanloop.go,
+// DESIGN.md §15): the server-side halves of the cursor-plane invariants —
+// subscribers cost no goroutine at rest, eviction fires at the deadline and
+// never before, the credit ledger never goes negative under live grant
+// traffic, retention is bounded by eviction, and concurrent attach/detach
+// churn still delivers every subscriber the exact merged suffix it asked
+// for.
+
+// settleGoroutines waits for the goroutine count to stop moving (handler
+// goroutines returning, workers parking) and returns it.
+func settleGoroutines(t *testing.T) int {
+	t.Helper()
+	last, stable := runtime.NumGoroutine(), 0
+	for i := 0; i < 400; i++ {
+		time.Sleep(5 * time.Millisecond)
+		n := runtime.NumGoroutine()
+		if n == last {
+			stable++
+			if stable >= 3 {
+				return n
+			}
+		} else {
+			stable = 0
+		}
+		last = n
+	}
+	return last
+}
+
+// rawBinarySub dials a v2 subscriber handshake with an explicit credit and
+// returns the connection positioned after the server's OK frame.
+func rawBinarySub(t *testing.T, addr string, from int, credit int64) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	buf = wire.AppendPreamble(buf)
+	buf = wire.AppendHelloSub(buf, from, credit)
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [wire.FrameHeader]byte
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		t.Fatalf("reading OK header: %v", err)
+	}
+	fl, ok := wire.FrameSize(hdr[:])
+	if !ok {
+		t.Fatalf("implausible OK frame header % x", hdr)
+	}
+	rest := make([]byte, fl-wire.FrameHeader)
+	if _, err := io.ReadFull(conn, rest); err != nil {
+		t.Fatalf("reading OK body: %v", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// TestFanLoopIdleSubscribersCostNoGoroutines: attaching many idle binary
+// subscribers grows the server by the worker pool once, then not at all —
+// the O(worker pool) half of the acceptance criteria, asserted in-process.
+func TestFanLoopIdleSubscribersCostNoGoroutines(t *testing.T) {
+	s := newTestServer(t)
+	// First subscriber starts the worker pool + sweeper.
+	rawBinarySub(t, s.Addr(), 0, 1<<20)
+	base := settleGoroutines(t)
+	const extra = 64
+	for i := 0; i < extra; i++ {
+		rawBinarySub(t, s.Addr(), 0, 1<<20)
+	}
+	if got := s.Subscribers(); got != extra+1 {
+		t.Fatalf("registered %d subscribers, want %d", got, extra+1)
+	}
+	after := settleGoroutines(t)
+	if after > base+2 {
+		t.Fatalf("%d idle subscribers grew goroutines %d → %d; delivery must be O(worker pool)", extra, base, after)
+	}
+	ws := s.WireStats()
+	if ws.FanoutWorkers != int64(s.opts.FanoutWorkers) {
+		t.Fatalf("worker gauge %d, want %d", ws.FanoutWorkers, s.opts.FanoutWorkers)
+	}
+	if ws.BinSubscribers != extra+1 {
+		t.Fatalf("subscriber gauge %d, want %d", ws.BinSubscribers, extra+1)
+	}
+}
+
+// TestFanLoopEvictionDeadline: a credit-starved subscriber is evicted by the
+// sweeper — never before the deadline, and reasonably soon after it — while
+// a healthy subscriber on the same server is untouched.
+func TestFanLoopEvictionDeadline(t *testing.T) {
+	const deadline = 150 * time.Millisecond
+	s, err := NewWithOptions("127.0.0.1:0", Options{Case: core.CaseR3, FeedbackLag: -1, CreditDeadline: deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	starved := rawBinarySub(t, s.Addr(), 0, 1) // 1 byte of credit: stalls on the first frame
+	healthy, err := SubscribeBinary(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+
+	sc := serverScript(77)
+	t0 := time.Now()
+	go publishScript(t, s.Addr(), sc, 600, true)
+	merged := collect(t, healthy)
+	assertTDB(t, merged, sc.TDB(), "healthy subscriber")
+
+	// The starved connection must be closed by the eviction backstop.
+	starved.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 4096)
+	for {
+		if _, err := starved.Read(buf); err != nil {
+			break
+		}
+	}
+	elapsed := time.Since(t0)
+	if elapsed < deadline {
+		t.Fatalf("starved subscriber dropped after %v — before the %v deadline", elapsed, deadline)
+	}
+	ws := s.WireStats()
+	if ws.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", ws.Evictions)
+	}
+	if ws.CreditStalls < 1 {
+		t.Fatalf("credit stalls = %d, want >= 1", ws.CreditStalls)
+	}
+	if ws.BinSubscribers != 1 { // the healthy one remains
+		t.Fatalf("subscriber gauge %d after eviction, want 1", ws.BinSubscribers)
+	}
+}
+
+// TestFanLoopCreditNeverNegative: a tiny credit window forces constant
+// stall/grant cycling; a sampler races the workers asserting the ledger
+// invariant while delivery still ends exact.
+func TestFanLoopCreditNeverNegative(t *testing.T) {
+	s := newTestServer(t)
+	sub, err := subscribeVia(defaultDial, s.Addr(), 0, true, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.fl.mu.Lock()
+			for _, c := range s.fl.subs {
+				if c.credit < 0 {
+					s.fl.mu.Unlock()
+					t.Errorf("subscriber %d credit went negative: %d", c.id, c.credit)
+					return
+				}
+			}
+			s.fl.mu.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	sc := serverScript(78)
+	go publishScript(t, s.Addr(), sc, 601, true)
+	merged := collect(t, sub)
+	close(stop)
+	sampler.Wait()
+	assertTDB(t, merged, sc.TDB(), "tiny-window subscriber")
+	if ws := s.WireStats(); ws.CreditGranted < ws.SharedBytes {
+		t.Fatalf("delivered %d shared bytes against only %d granted", ws.SharedBytes, ws.CreditGranted)
+	}
+}
+
+// TestFanLoopRetentionBoundedByEviction: a stalled laggard pins the
+// broadcast log's window; its eviction releases everything, so retention is
+// bounded by CreditDeadline, not by the laggard's lifetime.
+func TestFanLoopRetentionBoundedByEviction(t *testing.T) {
+	const deadline = 200 * time.Millisecond
+	s, err := NewWithOptions("127.0.0.1:0", Options{Case: core.CaseR3, FeedbackLag: -1, CreditDeadline: deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	starved := rawBinarySub(t, s.Addr(), 0, 1)
+
+	sc := serverScript(79)
+	publishScript(t, s.Addr(), sc, 602, true)
+
+	// Publishing returns once the stream is sent; emission is asynchronous,
+	// so wait for the log to see frames before asserting retention.
+	pinnedBy := time.Now().Add(5 * time.Second)
+	for s.WireStats().RetainedBytes == 0 {
+		if time.Now().After(pinnedBy) {
+			t.Fatal("laggard attached but nothing retained — cursors are not pinning the log")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Wait out the eviction, then the window must collapse to at most the
+	// open block.
+	buf := make([]byte, 4096)
+	starved.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for {
+		if _, err := starved.Read(buf); err != nil {
+			break
+		}
+	}
+	deadlineAt := time.Now().Add(5 * time.Second)
+	for {
+		if b := s.blog.RetainedBytes(); b <= wire.BlockCap {
+			break
+		}
+		if time.Now().After(deadlineAt) {
+			t.Fatalf("retained %d bytes long after the laggard's eviction", s.blog.RetainedBytes())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFanLoopChurnExactSuffixes: subscribers attach at random positions
+// mid-stream while others detach; every survivor receives exactly the
+// merged suffix it asked for — no skip, no double-read — element for
+// element against a reference subscriber.
+func TestFanLoopChurnExactSuffixes(t *testing.T) {
+	s := newTestServer(t)
+	ref, err := SubscribeBinary(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	sc := serverScript(80)
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				publishScript(t, s.Addr(), sc, int64(620+i), true)
+			}(i)
+		}
+		wg.Wait()
+	}()
+
+	rng := rand.New(rand.NewSource(81))
+	type result struct {
+		from   int
+		stream temporal.Stream
+		err    error
+	}
+	results := make(chan result, 16)
+	var churn sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		churn.Add(1)
+		go func(i int, from int, abandon bool) {
+			defer churn.Done()
+			sub, err := subscribeVia(defaultDial, s.Addr(), from, true, 4096)
+			if err != nil {
+				results <- result{err: fmt.Errorf("sub %d: %w", i, err)}
+				return
+			}
+			defer sub.Close()
+			if abandon {
+				// Churn: read a few elements, then vanish mid-stream.
+				for j := 0; j < 5; j++ {
+					if _, ok := sub.Next(); !ok {
+						break
+					}
+				}
+				results <- result{from: -1}
+				return
+			}
+			var got temporal.Stream
+			for {
+				e, ok := sub.Next()
+				if !ok {
+					results <- result{err: fmt.Errorf("sub %d: stream ended early", i)}
+					return
+				}
+				got = append(got, e)
+				if e.Kind == temporal.KindStable && e.T() == temporal.Infinity {
+					results <- result{from: from, stream: got}
+					return
+				}
+			}
+		}(i, rng.Intn(40), i%3 == 0)
+		time.Sleep(time.Duration(rng.Intn(8)) * time.Millisecond)
+	}
+
+	full := collect(t, ref)
+	churn.Wait()
+	<-pubDone
+	assertTDB(t, full, sc.TDB(), "reference subscriber")
+
+	for i := 0; i < 16; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.from < 0 {
+			continue // abandoned mid-stream by design
+		}
+		want := full[r.from:]
+		if len(r.stream) != len(want) {
+			t.Fatalf("from=%d: got %d elements, want %d", r.from, len(r.stream), len(want))
+		}
+		for j := range want {
+			if r.stream[j] != want[j] {
+				t.Fatalf("from=%d: element %d diverges: %+v != %+v", r.from, j, r.stream[j], want[j])
+			}
+		}
+	}
+
+	// Every abandoned and finished subscriber eventually unregisters and the
+	// retention window drains behind the survivors.
+	deadlineAt := time.Now().Add(10 * time.Second)
+	for s.fl.subscribers() > 1 { // the reference may still be attached
+		if time.Now().After(deadlineAt) {
+			t.Fatalf("%d subscribers still registered after churn", s.fl.subscribers())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

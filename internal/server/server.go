@@ -42,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -82,15 +83,16 @@ type Server struct {
 	// partitioned, from worker goroutines), so it is never held across a
 	// backend call.
 	outMu      sync.Mutex
-	backlog    temporal.Stream // full merged history, replayed to late subscribers
+	backlog    temporal.Stream   // full merged history, replayed to late subscribers
 	subs       map[int]*subQueue // v1 text subscribers (shared marshalled lines)
-	binSubs    map[int]*binSub   // v2 binary subscribers (shared block spans)
 	nextSub    int
 	subsClosed bool
-	// blog is the encode-once block log of the binary fan-out path: each
-	// emitted element is framed exactly once (under outMu) and the resulting
-	// span is shared by reference across every binary subscriber queue.
+	// blog is the encode-once broadcast log of the binary fan-out path: each
+	// emitted element is framed exactly once (under outMu) and every binary
+	// subscriber reads it through its own cursor; fl is the event-loop worker
+	// pool that drains those cursors (fanloop.go, DESIGN.md §15).
 	blog    *wire.BlockLog
+	fl      *fanLoop
 	wireTel *obs.Wire
 
 	// dur is the persistence tier (nil without Options.DataDir): WAL hooks on
@@ -243,6 +245,11 @@ type Options struct {
 	// writer — nobody else is perturbed — and only the deadline disconnects.
 	// Default 15s.
 	CreditDeadline time.Duration
+	// FanoutWorkers sizes the binary delivery worker pool: the fixed set of
+	// goroutines multiplexing every binary subscriber's socket writes
+	// (fanloop.go). Started lazily on the first binary subscriber. Default
+	// max(2, GOMAXPROCS).
+	FanoutWorkers int
 	// Partitions, when > 1, selects the keyed scale-out backend: a
 	// partition.Sharded pool of that many merger instances, each on its own
 	// worker goroutine, fed by payload-hash routing with stables broadcast
@@ -296,6 +303,12 @@ func (o Options) withDefaults() Options {
 	if o.CreditDeadline <= 0 {
 		o.CreditDeadline = 15 * time.Second
 	}
+	if o.FanoutWorkers <= 0 {
+		o.FanoutWorkers = runtime.GOMAXPROCS(0)
+		if o.FanoutWorkers < 2 {
+			o.FanoutWorkers = 2
+		}
+	}
 	return o
 }
 
@@ -316,7 +329,6 @@ func NewWithOptions(addr string, opts Options) (*Server, error) {
 		ln:      ln,
 		opts:    opts.withDefaults(),
 		subs:    make(map[int]*subQueue),
-		binSubs: make(map[int]*binSub),
 		pubs:    make(map[core.StreamID]*pubState),
 		done:    make(chan struct{}),
 		reg:     obs.NewRegistry(),
@@ -324,6 +336,7 @@ func NewWithOptions(addr string, opts Options) (*Server, error) {
 	}
 	s.tel = s.reg.Node("merge")
 	s.blog = wire.NewBlockLog(s.wireTel)
+	s.fl = newFanLoop(s)
 	var fb core.FeedbackFunc
 	lag := temporal.Time(-1)
 	if opts.FeedbackLag >= 0 {
@@ -464,13 +477,12 @@ func (s *Server) Close() error {
 		q.close()
 		delete(s.subs, id)
 	}
-	for id, sub := range s.binSubs {
-		sub.q.close()
-		// Unblock a writer mid-write on a wedged socket.
-		sub.conn.Close()
-		delete(s.binSubs, id)
-	}
 	s.outMu.Unlock()
+	// Shut the binary delivery plane down: closes every subscriber
+	// connection (unblocking workers mid-write and credit readers mid-read)
+	// and detaches their cursors; the workers themselves are joined by
+	// wg.Wait below.
+	s.fl.close()
 	s.wg.Wait()
 	// Handlers have flushed and detached; a final checkpoint captures the
 	// settled state so a clean shutdown restarts from a checkpoint alone.
@@ -485,8 +497,8 @@ func (s *Server) Close() error {
 	if berr := s.be.Close(); err == nil {
 		err = berr
 	}
-	// No emitters remain: release the block log's reference on its open block
-	// (queue entries were released when the subscriber queues closed).
+	// No emitters or cursors remain (fl.close detached every subscriber):
+	// sealing the open block drains the retention window to zero.
 	s.blog.Close()
 	s.closeSpill()
 	if s.dur != nil {
@@ -557,8 +569,9 @@ func (s *Server) StragglersDetached() int64 {
 // Subscribers returns the number of connected subscribers (text + binary).
 func (s *Server) Subscribers() int {
 	s.outMu.Lock()
-	defer s.outMu.Unlock()
-	return len(s.subs) + len(s.binSubs)
+	n := len(s.subs)
+	s.outMu.Unlock()
+	return n + s.fl.subscribers()
 }
 
 // WireStats returns the binary fan-out counters: encode-once work (frames,
@@ -724,14 +737,17 @@ func (s *Server) broadcast(e temporal.Element) {
 			}
 		}
 	}
-	if len(s.binSubs) > 0 {
-		sp := s.blog.Append(e)
-		for _, sub := range s.binSubs {
-			// A closed queue rejects the span; its handler unregisters it.
-			sub.q.push(sp)
-		}
+	// Binary fan-out is O(1) in subscriber count: encode once into the
+	// shared log, then one wake splices every parked cursor into the worker
+	// pool's ready list. (hasSubs is serialised with registration by outMu.)
+	wakeBin := s.fl.hasSubs()
+	if wakeBin {
+		s.blog.Append(e)
 	}
 	s.outMu.Unlock()
+	if wakeBin {
+		s.fl.wake()
+	}
 	for _, id := range dropped {
 		s.reg.Trace().Record(obs.Event{Kind: obs.EventSubscriberDrop, Node: "server", Stream: id})
 	}
@@ -774,17 +790,19 @@ func (s *Server) ServeConn(conn net.Conn) error {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
 	r := bufio.NewReaderSize(conn, 64*1024)
 	if d := s.opts.ReadTimeout; d > 0 {
 		conn.SetReadDeadline(time.Now().Add(d))
 	}
 	// Protocol sniff: a v2 connection opens with the 'L' 'M' magic, which can
 	// never begin a v1 handshake ("HELLO ..."). One listener, two protocols.
+	// The binary path owns the connection from here (a v2 subscriber's
+	// connection outlives this handler — the fan-out loop closes it).
 	if b, perr := r.Peek(1); perr == nil && b[0] == wire.Magic0 {
 		s.serveBinary(conn, r)
 		return
 	}
+	defer conn.Close()
 	line, err := readLine(r)
 	if err != nil && len(line) == 0 {
 		return

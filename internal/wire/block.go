@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -9,28 +10,27 @@ import (
 )
 
 // BlockCap is the target byte capacity of a shared block. Large enough that
-// the per-block bookkeeping (sealing, refcount churn, one queue entry per
-// block for a lagging subscriber) amortises over hundreds of element frames;
-// small enough that a block becomes immutable — and collectable — promptly.
+// the per-block bookkeeping (sealing, refcount churn, cursor-count updates
+// for a lagging subscriber) amortises over hundreds of element frames; small
+// enough that a block becomes immutable — and collectable — promptly.
 const BlockCap = 32 * 1024
 
 // Block is an immutable run of complete DATA frames shared by reference
-// across every subscriber queue: the encode-once, write-many unit of the
-// broadcast path. The emit path appends frames to the open block's tail
-// while subscriber writers concurrently read earlier regions; a region is
-// published to a reader only via a queue push (mutex-ordered after the
-// append), and the backing array never reallocates, so tail writes and
-// region reads touch disjoint memory.
+// across every subscriber: the encode-once, write-many unit of the broadcast
+// path. The emit path appends frames to the open block's tail while delivery
+// workers concurrently read earlier regions; a region is published to a
+// reader only through the log's mutex, and the backing array never
+// reallocates, so tail writes and region reads touch disjoint memory.
 //
 // Lifecycle is reference counted: a block starts with one reference held by
-// its creator (the BlockLog's open-block reference, or the caller of
-// NewBlockFromBytes), each queue entry referencing it adds one, and the last
-// Release returns pool-born blocks to the pool. Every reference is released
-// exactly once; over-release panics (refcount underflow) rather than risk
-// recycling shared bytes.
+// its creator (the BlockLog's retention window, or the caller of
+// NewBlockFromBytes), transient readers (ReadAt) add one for the duration of
+// a socket write, and the last Release returns pool-born blocks to the pool.
+// Every reference is released exactly once; over-release panics (refcount
+// underflow) rather than risk recycling shared bytes.
 // The buf slice header is fixed at creation (always full length) and never
 // mutated afterwards: tail writes go through copy into the unpublished
-// region, so concurrent readers of published spans never touch a word the
+// region, so concurrent readers of published regions never touch a word the
 // appender is writing — neither the header nor the bytes.
 type Block struct {
 	buf    []byte
@@ -56,8 +56,9 @@ func newBlock(n int) *Block {
 	return b
 }
 
-// NewBlockFromBytes wraps an already-encoded frame run (per-subscriber
-// history catch-up) as a block with one reference held by the caller.
+// NewBlockFromBytes wraps an already-encoded frame run as a block with one
+// reference held by the caller (tests; the server's history catch-up is a
+// plain per-subscriber byte slice, not a block).
 func NewBlockFromBytes(buf []byte) *Block {
 	b := &Block{buf: buf}
 	b.refs.Store(1)
@@ -85,9 +86,9 @@ func (b *Block) Refs() int32 { return b.refs.Load() }
 // Data returns the block's frame bytes.
 func (b *Block) Data() []byte { return b.buf }
 
-// Span is a byte range of complete frames within one block, the unit queued
-// to a subscriber. Adjacent spans of the same block coalesce in the queue,
-// so a lagging subscriber holds ~one span per block, not one per element.
+// Span is a byte range of complete frames within one block. Append returns
+// one per element (tests decode them); the delivery plane itself addresses
+// the log through cursors, not spans.
 type Span struct {
 	Blk        *Block
 	Start, End int
@@ -100,12 +101,77 @@ func (sp Span) Bytes() []byte { return sp.Blk.buf[sp.Start:sp.End] }
 // Len returns the span's byte length.
 func (sp Span) Len() int { return sp.End - sp.Start }
 
-// BlockLog encodes merged-output elements once into a chain of shared
-// blocks. Append is the only mutator and must be externally serialised (the
-// server calls it under its output lock); everything it returns is immutable.
+// FrameCut returns the longest whole-frame prefix of data that fits both the
+// byte budget and the room bytes of output space, plus the number of frames
+// in it. When the prefix is empty but data holds a frame, need reports that
+// first frame's size — the caller distinguishes "credit short" (need >
+// budget) from "output buffer short" (need > room). data must start at a
+// frame boundary.
+func FrameCut(data []byte, budget int64, room int) (take, frames, need int) {
+	for take < len(data) {
+		fl, ok := FrameSize(data[take:])
+		if !ok || take+fl > len(data) {
+			// Frames are whole by construction; a mismatch here would be
+			// memory corruption, not wire damage. Stop rather than tear one.
+			break
+		}
+		if int64(take+fl) > budget || take+fl > room {
+			if take == 0 {
+				need = fl
+			}
+			break
+		}
+		take += fl
+		frames++
+	}
+	return take, frames, need
+}
+
+// Cursor is one subscriber's read position in a BlockLog: the absolute byte
+// offset of the next unread frame. It costs a few words — not a stack, not a
+// queue — which is what lets idle subscribers scale. All movement goes
+// through the owning log (CopyOut/Advance/Detach); the log's per-block
+// cursor counts keep every block at or ahead of the slowest cursor alive and
+// release blocks the minimum cursor has passed.
+type Cursor struct {
+	pos      int64
+	detached bool
+}
+
+// Pos returns the cursor's absolute byte position in the log.
+func (c *Cursor) Pos() int64 { return c.pos }
+
+// logBlock is one retained block of the log's window plus its retention
+// bookkeeping: the absolute position of its first byte, the filled prefix,
+// and how many cursors are positioned inside it.
+type logBlock struct {
+	blk     *Block
+	start   int64
+	fill    int
+	sealed  bool
+	cursors int
+}
+
+// BlockLog encodes merged-output elements once into a chain of shared blocks
+// and retains the suffix of that chain still ahead of the slowest cursor.
+// Append is the only mutator of the head and is additionally serialised by
+// the server's output lock; cursor operations (attach, read, advance,
+// detach) come from delivery workers concurrently and are serialised by the
+// log's own mutex.
+//
+// Retention rule: every retained block holds the window's reference; the
+// tail block is released as soon as it is sealed and no cursor remains
+// inside it (the minimum cursor passed it). With no cursors attached a block
+// is released the moment it seals — exactly the footprint of a server with
+// no binary subscribers — and a laggard's retention is bounded by the credit
+// deadline that eventually evicts it.
 type BlockLog struct {
-	open    *Block
-	fill    int // bytes of open.buf written so far (the unpublished tail starts here)
+	mu      sync.Mutex
+	win     []logBlock
+	head    atomic.Int64 // total bytes appended; read lock-free by the delivery plane
+	drained int          // cursors positioned exactly at head (nothing left to read)
+	cursors int
+	retain  int64 // filled bytes currently retained (gauge)
 	scratch []byte
 	tel     *obs.Wire
 }
@@ -113,34 +179,242 @@ type BlockLog struct {
 // NewBlockLog builds a log reporting into tel (nil-safe).
 func NewBlockLog(tel *obs.Wire) *BlockLog { return &BlockLog{tel: tel} }
 
+// Head returns the log's append position: the absolute offset one past the
+// last published byte. It is an atomic load — the delivery plane polls it
+// without touching the log lock to decide whether a parked subscriber has
+// data.
+func (l *BlockLog) Head() int64 { return l.head.Load() }
+
+// Cursors returns the number of attached cursors.
+func (l *BlockLog) Cursors() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cursors
+}
+
+// RetainedBytes returns the filled bytes currently held by the retention
+// window (the slowest-reader suffix).
+func (l *BlockLog) RetainedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.retain
+}
+
+// RetainedBlocks returns the number of blocks in the retention window.
+func (l *BlockLog) RetainedBlocks() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.win)
+}
+
 // Append encodes e as one DATA frame at the tail of the open block (sealing
-// it and opening a new one when full) and returns the span covering the new
-// frame. The caller fans the span out to subscriber queues; the encode work
-// happened exactly once regardless of how many queues share it.
+// it and opening a new one when full) and publishes the new head. The encode
+// work happens exactly once regardless of how many cursors will read the
+// frame. The returned span covers the new frame (tests decode it; delivery
+// reads through cursors).
 func (l *BlockLog) Append(e temporal.Element) Span {
+	l.mu.Lock()
 	l.scratch = AppendData(l.scratch[:0], e)
 	n := len(l.scratch)
-	if l.open == nil || l.fill+n > len(l.open.buf) {
-		l.seal()
-		l.open = newBlock(n)
+	head := l.head.Load()
+	open := l.openLocked()
+	if open == nil || open.fill+n > len(open.blk.buf) {
+		l.sealLocked()
+		l.win = append(l.win, logBlock{blk: newBlock(n), start: head})
+		open = &l.win[len(l.win)-1]
 	}
-	start := l.fill
-	copy(l.open.buf[start:], l.scratch)
-	l.fill = start + n
+	start := open.fill
+	copy(open.blk.buf[start:], l.scratch)
+	open.fill += n
+	// Cursors that had drained the log now point at the fresh bytes, which by
+	// construction live in the (possibly brand-new) open block.
+	open.cursors += l.drained
+	l.drained = 0
+	l.retain += int64(n)
+	l.head.Store(head + int64(n))
 	l.tel.FrameEncoded(n)
-	return Span{Blk: l.open, Start: start, End: start + n, Elems: 1}
+	sp := Span{Blk: open.blk, Start: start, End: start + n, Elems: 1}
+	if open.fill == len(open.blk.buf) {
+		// Exactly full — an oversized single-frame block always is — so no
+		// later frame can land here: seal now, letting retention release it
+		// the moment the last cursor passes instead of at the next append.
+		l.sealLocked()
+	}
+	l.tel.SetRetained(l.retain, int64(len(l.win)))
+	l.mu.Unlock()
+	return sp
 }
 
-// seal releases the log's reference on the open block: from here on only
-// subscriber queue entries keep it alive.
-func (l *BlockLog) seal() {
-	if l.open == nil {
+// Attach registers a new cursor at the current head: a fresh subscriber
+// observes everything appended from this point on (history before it is
+// served from the server backlog, outside the log). Attach and the backlog
+// snapshot happen under the server's output lock, so history + cursor is
+// exactly the merged stream.
+func (l *BlockLog) Attach() *Cursor {
+	l.mu.Lock()
+	c := &Cursor{pos: l.head.Load()}
+	l.cursors++
+	l.drained++
+	l.mu.Unlock()
+	return c
+}
+
+// Detach removes a cursor and releases whatever tail of the window only it
+// was holding. Idempotent: the delivery plane's close paths may race.
+func (l *BlockLog) Detach(c *Cursor) {
+	l.mu.Lock()
+	if !c.detached {
+		c.detached = true
+		l.uncountLocked(c.pos)
+		l.cursors--
+		l.freeTailsLocked()
+	}
+	l.mu.Unlock()
+}
+
+// CopyOut copies the longest run of whole frames at the cursor that fits
+// both dst and the byte budget, advancing the cursor past what it copied,
+// and returns the bytes and frames taken. The copy crosses block boundaries;
+// blocks the cursor finishes may be released before CopyOut returns, which
+// is why delivery copies under the lock instead of holding block references
+// across socket writes. When nothing fits, need reports the size of the next
+// pending frame (0 if the cursor has drained the log): need > budget is a
+// credit stall, need > len(dst) an oversized frame for the direct ReadAt
+// path.
+func (l *BlockLog) CopyOut(c *Cursor, dst []byte, budget int64) (n, frames, need int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	head := l.head.Load()
+	for c.pos < head && n < len(dst) {
+		b := &l.win[l.idxLocked(c.pos)]
+		data := b.blk.buf[int(c.pos-b.start):b.fill]
+		take, nf, nd := FrameCut(data, budget-int64(n), len(dst)-n)
+		if take == 0 {
+			if n == 0 {
+				need = nd
+			}
+			return n, frames, need
+		}
+		copy(dst[n:], data[:take])
+		n += take
+		frames += nf
+		l.advanceLocked(c, int64(take))
+	}
+	return n, frames, need
+}
+
+// ReadAt returns the unread remainder of the cursor's current block without
+// copying, with one reference retained on the block for the caller. It
+// serves frames too large for a pooled copy buffer: the caller writes
+// directly from the block, then calls Advance and Release. ok is false when
+// the cursor has drained the log.
+func (l *BlockLog) ReadAt(c *Cursor) (data []byte, blk *Block, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c.pos >= l.head.Load() {
+		return nil, nil, false
+	}
+	b := &l.win[l.idxLocked(c.pos)]
+	b.blk.Retain()
+	return b.blk.buf[int(c.pos-b.start):b.fill], b.blk, true
+}
+
+// Advance moves the cursor n bytes forward (whole frames only — the caller
+// cut at frame boundaries) and releases any tail blocks the minimum cursor
+// has now passed.
+func (l *BlockLog) Advance(c *Cursor, n int) {
+	if n <= 0 {
 		return
 	}
-	l.tel.BlockSealed(l.fill)
-	l.open.Release()
-	l.open, l.fill = nil, 0
+	l.mu.Lock()
+	l.advanceLocked(c, int64(n))
+	l.mu.Unlock()
 }
 
-// Close seals the open block. The log must not be appended to afterwards.
-func (l *BlockLog) Close() { l.seal() }
+// Close seals the open block; whatever the window still retains for lagging
+// cursors is released as they detach. The log must not be appended to
+// afterwards.
+func (l *BlockLog) Close() {
+	l.mu.Lock()
+	l.sealLocked()
+	l.mu.Unlock()
+}
+
+// ---- internals (all under l.mu) ----
+
+func (l *BlockLog) openLocked() *logBlock {
+	if len(l.win) == 0 {
+		return nil
+	}
+	if b := &l.win[len(l.win)-1]; !b.sealed {
+		return b
+	}
+	return nil
+}
+
+// idxLocked maps an absolute position inside the window to its block index.
+func (l *BlockLog) idxLocked(pos int64) int {
+	return sort.Search(len(l.win), func(i int) bool {
+		return l.win[i].start+int64(l.win[i].fill) > pos
+	})
+}
+
+// advanceLocked moves a cursor and maintains the per-block cursor counts the
+// retention rule runs on.
+func (l *BlockLog) advanceLocked(c *Cursor, n int64) {
+	if c.pos+n > l.head.Load() {
+		panic("wire: cursor advanced past the log head")
+	}
+	l.uncountLocked(c.pos)
+	c.pos += n
+	l.countLocked(c.pos)
+	l.freeTailsLocked()
+}
+
+func (l *BlockLog) countLocked(pos int64) {
+	if pos == l.head.Load() {
+		l.drained++
+		return
+	}
+	l.win[l.idxLocked(pos)].cursors++
+}
+
+func (l *BlockLog) uncountLocked(pos int64) {
+	if pos == l.head.Load() {
+		l.drained--
+		return
+	}
+	l.win[l.idxLocked(pos)].cursors--
+}
+
+// sealLocked marks the open block immutable. The block stays in the window
+// until every cursor passes it (freeTailsLocked), so sealing no longer hands
+// ownership anywhere — it just ends the append region.
+func (l *BlockLog) sealLocked() {
+	if b := l.openLocked(); b != nil {
+		b.sealed = true
+		l.tel.BlockSealed(b.fill)
+		l.freeTailsLocked()
+	}
+}
+
+// freeTailsLocked releases sealed tail blocks no cursor is still inside:
+// the minimum cursor has passed them. Retention is contiguous — a cursorless
+// block behind a laggard's block stays until the laggard moves — which keeps
+// the bookkeeping O(1) amortised per block.
+func (l *BlockLog) freeTailsLocked() {
+	freed := false
+	for len(l.win) > 0 && l.win[0].sealed && l.win[0].cursors == 0 {
+		l.retain -= int64(l.win[0].fill)
+		l.win[0].blk.Release()
+		l.win[0] = logBlock{}
+		l.win = l.win[1:]
+		freed = true
+	}
+	if len(l.win) == 0 {
+		l.win = nil // let the drained backing array go
+	}
+	if freed {
+		l.tel.SetRetained(l.retain, int64(len(l.win)))
+	}
+}

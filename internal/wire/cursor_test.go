@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lmerge/internal/obs"
+	"lmerge/internal/temporal"
+)
+
+// The cursor-plane property battery (DESIGN.md §15): seeded random
+// interleavings of append / copy-out / direct-read / attach / detach driven
+// against a flat shadow model of the framed stream. The invariants are the
+// ones the delivery plane's correctness rests on:
+//
+//  1. no cursor ever skips or double-reads a byte — everything a cursor
+//     copies out is byte-identical to the shadow stream at its position;
+//  2. reads respect the credit budget and cut at frame boundaries;
+//  3. retention is exactly slowest-reader: every unread byte stays resident,
+//     and the window never holds more than one block of slack behind the
+//     minimum cursor;
+//  4. once every cursor detaches and the log closes, the window drains to
+//     zero — block references hit zero exactly when the minimum cursor
+//     passes them, so nothing leaks.
+
+// cursorModel pairs a live cursor with its shadow state.
+type cursorModel struct {
+	c      *Cursor
+	pos    int64 // mirror of c.Pos(), advanced only by verified reads
+	credit int64 // client-style credit ledger; must never go negative
+}
+
+// checkRetention asserts invariant 3 against the log's gauges.
+func checkRetention(t *testing.T, l *BlockLog, cursors []*cursorModel, step int) {
+	t.Helper()
+	head := l.Head()
+	minPos := head
+	for _, cm := range cursors {
+		if cm.pos < minPos {
+			minPos = cm.pos
+		}
+	}
+	unread := head - minPos
+	got := l.RetainedBytes()
+	if got < unread {
+		t.Fatalf("step %d: retained %d < unread %d — a live byte was released", step, got, unread)
+	}
+	if got > unread+BlockCap {
+		t.Fatalf("step %d: retained %d > unread %d + one block — slowest-reader retention leaks", step, got, unread)
+	}
+}
+
+func TestBlockLogCursorProperty(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			l := NewBlockLog(&obs.Wire{})
+			var model []byte // every framed byte ever appended, in order
+			var cursors []*cursorModel
+			attach := func() {
+				cursors = append(cursors, &cursorModel{c: l.Attach(), pos: l.Head()})
+			}
+			attach()
+			scratch := make([]byte, 0, 64*1024)
+			for step := 0; step < 4000; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // append a small element
+					e := temporal.Insert(temporal.Payload{ID: int64(step), Data: strings.Repeat("v", rng.Intn(200))},
+						temporal.Time(step), temporal.Time(step+10))
+					model = AppendData(model, e)
+					l.Append(e)
+				case op == 4: // append an element framing past BlockCap (dedicated block)
+					if rng.Intn(8) == 0 {
+						e := temporal.Insert(temporal.Payload{ID: int64(step), Data: strings.Repeat("X", BlockCap+rng.Intn(2048))},
+							temporal.Time(step), temporal.Infinity)
+						model = AppendData(model, e)
+						l.Append(e)
+					}
+				case op < 8: // copy-out under a credit budget
+					if len(cursors) == 0 {
+						attach()
+						break
+					}
+					cm := cursors[rng.Intn(len(cursors))]
+					cm.credit += int64(rng.Intn(3000)) // client grant
+					dst := scratch[:1+rng.Intn(cap(scratch))]
+					n, frames, need := l.CopyOut(cm.c, dst, cm.credit)
+					if int64(n) > cm.credit {
+						t.Fatalf("step %d: CopyOut took %d bytes against credit %d", step, n, cm.credit)
+					}
+					cm.credit -= int64(n)
+					if cm.credit < 0 {
+						t.Fatalf("step %d: credit went negative: %d", step, cm.credit)
+					}
+					want := model[cm.pos : cm.pos+int64(n)]
+					if !bytes.Equal(dst[:n], want) {
+						t.Fatalf("step %d: cursor read diverges from the stream at pos %d (n=%d)", step, cm.pos, n)
+					}
+					// The cut must be whole frames, exactly `frames` of them.
+					fc := 0
+					for off := 0; off < n; fc++ {
+						fl, ok := FrameSize(dst[off:n])
+						if !ok || off+fl > n {
+							t.Fatalf("step %d: CopyOut returned a torn frame at offset %d", step, off)
+						}
+						off += fl
+					}
+					if fc != frames {
+						t.Fatalf("step %d: CopyOut reported %d frames, cut holds %d", step, frames, fc)
+					}
+					cm.pos += int64(n)
+					if cm.pos != cm.c.Pos() {
+						t.Fatalf("step %d: model pos %d != cursor pos %d", step, cm.pos, cm.c.Pos())
+					}
+					if n == 0 && need > 0 {
+						// The reported blocker must be the true size of the next frame.
+						fl, ok := FrameSize(model[cm.pos:])
+						if !ok || fl != need {
+							t.Fatalf("step %d: need=%d but next frame is %d (ok=%v)", step, need, fl, ok)
+						}
+						if int64(need) <= cm.credit && need <= len(dst) {
+							t.Fatalf("step %d: CopyOut refused a frame that fits credit %d and room %d", step, cm.credit, len(dst))
+						}
+					}
+				case op == 8: // direct read (the oversized-frame path)
+					if len(cursors) == 0 {
+						break
+					}
+					cm := cursors[rng.Intn(len(cursors))]
+					data, blk, ok := l.ReadAt(cm.c)
+					if !ok {
+						if cm.pos != l.Head() {
+							t.Fatalf("step %d: ReadAt says drained at pos %d, head %d", step, cm.pos, l.Head())
+						}
+						break
+					}
+					fl, fok := FrameSize(data)
+					if !fok || fl > len(data) {
+						blk.Release()
+						t.Fatalf("step %d: ReadAt region does not start with a whole frame", step)
+					}
+					if !bytes.Equal(data[:fl], model[cm.pos:cm.pos+int64(fl)]) {
+						blk.Release()
+						t.Fatalf("step %d: ReadAt bytes diverge at pos %d", step, cm.pos)
+					}
+					l.Advance(cm.c, fl)
+					blk.Release()
+					cm.pos += int64(fl)
+				case op == 9: // attach / detach churn
+					if rng.Intn(2) == 0 || len(cursors) == 0 {
+						attach()
+					} else {
+						i := rng.Intn(len(cursors))
+						l.Detach(cursors[i].c)
+						cursors = append(cursors[:i], cursors[i+1:]...)
+					}
+				}
+				checkRetention(t, l, cursors, step)
+			}
+			// Drain everything, then tear down: the window must hit zero —
+			// block refcounts reach zero exactly when the last cursor passes.
+			for _, cm := range cursors {
+				for {
+					n, _, need := l.CopyOut(cm.c, scratch[:cap(scratch)], int64(1)<<40)
+					cm.pos += int64(n)
+					if n == 0 && need == 0 {
+						break
+					}
+				}
+				if cm.pos != l.Head() {
+					t.Fatalf("cursor drained at %d, head %d", cm.pos, l.Head())
+				}
+				l.Detach(cm.c)
+			}
+			l.Close()
+			if b, n := l.RetainedBytes(), l.RetainedBlocks(); b != 0 || n != 0 {
+				t.Fatalf("retention window not empty after drain+close: %d bytes in %d blocks", b, n)
+			}
+			if int64(len(model)) != l.Head() {
+				t.Fatalf("shadow stream %d bytes, log head %d", len(model), l.Head())
+			}
+		})
+	}
+}
+
+// TestBlockLogDetachReleasesLaggardTail: a lagging cursor pins the window;
+// detaching it (the eviction path) releases every block only it was holding.
+func TestBlockLogDetachReleasesLaggardTail(t *testing.T) {
+	l := NewBlockLog(&obs.Wire{})
+	defer l.Close()
+	laggard := l.Attach()
+	big := strings.Repeat("y", 4096)
+	for i := 0; i < 64; i++ {
+		l.Append(temporal.Insert(temporal.Payload{ID: int64(i), Data: big}, temporal.Time(i), temporal.Time(i+1)))
+	}
+	if l.RetainedBytes() < l.Head() {
+		t.Fatalf("laggard at 0 but only %d of %d bytes retained", l.RetainedBytes(), l.Head())
+	}
+	if l.RetainedBlocks() < 8 {
+		t.Fatalf("expected a multi-block window, got %d", l.RetainedBlocks())
+	}
+	fresh := l.Attach() // at head: must not pin anything extra
+	l.Detach(laggard)
+	if b := l.RetainedBytes(); b > int64(BlockCap) {
+		t.Fatalf("detaching the laggard left %d bytes retained", b)
+	}
+	l.Detach(fresh)
+}

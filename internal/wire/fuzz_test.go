@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"io"
@@ -126,6 +127,159 @@ func FuzzBinaryFrame(f *testing.F) {
 					t.Fatalf("CREDIT value round trip diverged: %d -> %d", c, c2)
 				}
 			}
+		}
+	})
+}
+
+// FuzzCreditLedger fuzzes the credit/cursor control plane end to end: an
+// op-coded byte stream drives appends, cursor attach/detach/copy-out, and
+// CREDIT grants that travel as real frames (split across arbitrary write
+// boundaries, then coalesced off a buffered reader exactly the way the
+// server's on-demand credit reader batches them). Invariants: parsed grants
+// sum to what was sent, the per-cursor credit ledger never goes negative,
+// cursor reads are byte-identical to a shadow stream (resume positions are
+// exact), and the retention window drains to zero at teardown.
+func FuzzCreditLedger(f *testing.F) {
+	f.Add([]byte{0, 10, 2, 4, 0xff, 0x01, 1, 5, 40, 0, 200, 5, 255, 3, 0})
+	f.Add([]byte{2, 2, 0, 1, 0, 255, 4, 100, 0, 2, 5, 10, 5, 10, 3, 1, 0, 3})
+	f.Add(bytes.Repeat([]byte{0, 64, 4, 16, 1, 5, 128}, 24))
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		l := NewBlockLog(nil)
+		var model []byte
+		type cur struct {
+			c      *Cursor
+			pos    int64
+			credit int64
+		}
+		var curs []*cur
+		dst := make([]byte, 8192)
+		next := func() byte {
+			if len(ops) == 0 {
+				return 0
+			}
+			b := ops[0]
+			ops = ops[1:]
+			return b
+		}
+		for step := 0; len(ops) > 0 && step < 1024; step++ {
+			switch next() % 6 {
+			case 0: // small append
+				e := temporal.Insert(temporal.Payload{ID: int64(step), Data: string(bytes.Repeat([]byte{'a'}, int(next())*8))},
+					temporal.Time(step), temporal.Time(step+1))
+				model = AppendData(model, e)
+				l.Append(e)
+			case 1: // oversized append (dedicated block)
+				e := temporal.Insert(temporal.Payload{ID: int64(step), Data: string(bytes.Repeat([]byte{'B'}, BlockCap+int(next())))},
+					temporal.Time(step), temporal.Infinity)
+				model = AppendData(model, e)
+				l.Append(e)
+			case 2: // attach at head (a resume position: history is pre-cursor)
+				if len(curs) < 4 {
+					curs = append(curs, &cur{c: l.Attach(), pos: l.Head()})
+				}
+			case 3: // detach
+				if len(curs) > 0 {
+					i := int(next()) % len(curs)
+					l.Detach(curs[i].c)
+					curs = append(curs[:i], curs[i+1:]...)
+				}
+			case 4: // grant: as real CREDIT frames, split and coalesced
+				if len(curs) == 0 {
+					continue
+				}
+				cm := curs[int(next())%len(curs)]
+				parts := 1 + int(next())%3
+				var sent int64
+				var frames []byte
+				for i := 0; i < parts; i++ {
+					amt := int64(next())*16 + 1
+					sent += amt
+					frames = AppendCredit(frames, amt)
+				}
+				fr := NewReader(bufio.NewReader(bytes.NewReader(frames)))
+				var got int64
+				for {
+					typ, body, err := fr.Next()
+					if err != nil {
+						break
+					}
+					if typ != FrCredit {
+						t.Fatalf("credit stream produced frame type 0x%02x", typ)
+					}
+					n, perr := ParseCredit(body)
+					if perr != nil {
+						t.Fatalf("credit frame failed to parse: %v", perr)
+					}
+					got += n
+					// Mirror the server's batching: fold everything already
+					// buffered into the same grant.
+					for fr.Buffered() > 0 {
+						typ2, body2, err2 := fr.Next()
+						if err2 != nil {
+							break
+						}
+						if typ2 == FrCredit {
+							if n2, perr2 := ParseCredit(body2); perr2 == nil {
+								got += n2
+							}
+						}
+					}
+				}
+				if got != sent {
+					t.Fatalf("coalesced grants %d != sent %d", got, sent)
+				}
+				cm.credit += got
+			case 5: // copy-out under the ledger
+				if len(curs) == 0 {
+					continue
+				}
+				cm := curs[int(next())%len(curs)]
+				room := int(next())*64 + 1
+				if room > len(dst) {
+					room = len(dst)
+				}
+				n, _, need := l.CopyOut(cm.c, dst[:room], cm.credit)
+				if int64(n) > cm.credit {
+					t.Fatalf("CopyOut overdrew the ledger: %d of %d", n, cm.credit)
+				}
+				cm.credit -= int64(n)
+				if cm.credit < 0 {
+					t.Fatalf("credit went negative: %d", cm.credit)
+				}
+				if !bytes.Equal(dst[:n], model[cm.pos:cm.pos+int64(n)]) {
+					t.Fatalf("cursor read diverged from the stream at pos %d", cm.pos)
+				}
+				cm.pos += int64(n)
+				if cm.pos != cm.c.Pos() {
+					t.Fatalf("ledger pos %d != cursor pos %d", cm.pos, cm.c.Pos())
+				}
+				if n == 0 && need > 0 && int64(need) <= cm.credit && need <= room {
+					t.Fatalf("CopyOut refused a frame that fits credit %d and room %d", cm.credit, room)
+				}
+				if need == 0 && n == 0 && cm.pos != l.Head() {
+					// Oversized-frame path: the direct read must hand back
+					// exactly the next frame.
+					data, blk, ok := l.ReadAt(cm.c)
+					if !ok {
+						t.Fatalf("drained report but ReadAt sees data at %d", cm.pos)
+					}
+					fl, fok := FrameSize(data)
+					if !fok || !bytes.Equal(data[:fl], model[cm.pos:cm.pos+int64(fl)]) {
+						blk.Release()
+						t.Fatalf("direct read diverged at pos %d", cm.pos)
+					}
+					l.Advance(cm.c, fl)
+					blk.Release()
+					cm.pos += int64(fl)
+				}
+			}
+		}
+		for _, cm := range curs {
+			l.Detach(cm.c)
+		}
+		l.Close()
+		if b, n := l.RetainedBytes(), l.RetainedBlocks(); b != 0 || n != 0 {
+			t.Fatalf("retention window leaked: %d bytes in %d blocks", b, n)
 		}
 	})
 }
